@@ -1,0 +1,124 @@
+// A2 (ablation): the cost of the table/array symbiosis — coercions in both
+// directions and the array-table join behind AreasOfInterest.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+
+using sciql::StrFormat;
+using sciql::engine::Database;
+
+namespace {
+
+void PrepareArray(Database* db, int64_t n) {
+  (void)db->Run(StrFormat(
+      "CREATE ARRAY a (x INT DIMENSION[0:1:%lld], y INT DIMENSION[0:1:%lld], "
+      "v INT DEFAULT 0)",
+      static_cast<long long>(n), static_cast<long long>(n)));
+  (void)db->Run("UPDATE a SET v = x * 31 + y");
+}
+
+void BM_ArrayToTable(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  PrepareArray(&db, n);
+  int round = 0;
+  for (auto _ : state) {
+    auto st = db.Run(StrFormat(
+        "CREATE TABLE t%d AS SELECT x, y, v FROM a", round++));
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ArrayToTable)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TableToArray(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  PrepareArray(&db, n);
+  if (!db.Run("CREATE TABLE t AS SELECT x, y, v FROM a").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  int round = 0;
+  for (auto _ : state) {
+    auto st = db.Run(StrFormat(
+        "CREATE ARRAY a%d AS SELECT [x], [y], v FROM t", round++));
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TableToArray)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArrayTableJoin(benchmark::State& state) {
+  // The AreasOfInterest join: image array x bounding-box table.
+  int64_t n = state.range(0);
+  Database db;
+  PrepareArray(&db, n);
+  (void)db.Run("CREATE TABLE boxes (x1 INT, x2 INT, y1 INT, y2 INT)");
+  (void)db.Run(StrFormat("INSERT INTO boxes VALUES (0, 16, 0, 16), "
+                         "(%lld, %lld, %lld, %lld)",
+                         static_cast<long long>(n / 2),
+                         static_cast<long long>(n / 2 + 16),
+                         static_cast<long long>(n / 2),
+                         static_cast<long long>(n / 2 + 16)));
+  for (auto _ : state) {
+    auto rs = db.Query(
+        "SELECT x, y, v FROM a, boxes "
+        "WHERE x >= x1 AND x < x2 AND y >= y1 AND y < y2");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ArrayTableJoin)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EquiJoinArrayWithTable(benchmark::State& state) {
+  // Equi-join between array dimension values and a table key.
+  int64_t n = state.range(0);
+  Database db;
+  PrepareArray(&db, n);
+  (void)db.Run("CREATE TABLE labels (y INT, tag INT)");
+  std::string rows;
+  for (int64_t y = 0; y < n; ++y) {
+    rows += rows.empty() ? "" : ", ";
+    rows += StrFormat("(%lld, %lld)", static_cast<long long>(y),
+                      static_cast<long long>(y % 7));
+  }
+  (void)db.Run("INSERT INTO labels VALUES " + rows);
+  for (auto _ : state) {
+    auto rs = db.Query(
+        "SELECT a.v, labels.tag FROM a JOIN labels ON a.y = labels.y "
+        "WHERE labels.tag = 3");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_EquiJoinArrayWithTable)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ValueGroupHistogram(benchmark::State& state) {
+  // Value-based grouping on array attributes (the histogram path).
+  int64_t n = state.range(0);
+  Database db;
+  (void)db.Run(StrFormat(
+      "CREATE ARRAY a (x INT DIMENSION[0:1:%lld], y INT DIMENSION[0:1:%lld], "
+      "v INT DEFAULT 0)",
+      static_cast<long long>(n), static_cast<long long>(n)));
+  (void)db.Run("UPDATE a SET v = (x * 31 + y) % 256");
+  for (auto _ : state) {
+    auto rs = db.Query("SELECT v, COUNT(*) AS c FROM a GROUP BY v");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ValueGroupHistogram)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,138 @@
+// F1: the basic array operations of Figure 1 — creation, guarded update,
+// insert/delete-as-update, tiling, dimension expansion — timed across array
+// sizes. Regenerates the semantic pipeline of the paper's running example
+// at scale.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+
+using sciql::StrFormat;
+using sciql::engine::Database;
+
+namespace {
+
+std::string CreateSql(int64_t n) {
+  return StrFormat(
+      "CREATE ARRAY matrix (x INT DIMENSION[0:1:%lld], "
+      "y INT DIMENSION[0:1:%lld], v INT DEFAULT 0)",
+      static_cast<long long>(n), static_cast<long long>(n));
+}
+
+void BM_CreateArray(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    Database db;
+    benchmark::DoNotOptimize(db.Run(CreateSql(n)));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CreateArray)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GuardedUpdate(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  if (!db.Run(CreateSql(n)).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = db.Run(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_GuardedUpdate)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_InsertDiagonal(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  if (!db.Run(CreateSql(n)).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = db.Run(
+        "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InsertDiagonal)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DeleteHalf(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  if (!db.Run(CreateSql(n)).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = db.Run("DELETE FROM matrix WHERE x > y");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n / 2);
+}
+BENCHMARK(BM_DeleteHalf)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TilingQueryFig1e(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  if (!db.Run(CreateSql(n)).ok() ||
+      !db.Run("UPDATE matrix SET v = x + y").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto rs = db.Query(
+        "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2] "
+        "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TilingQueryFig1e)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AlterExpand(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.Run(CreateSql(n)).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    state.ResumeTiming();
+    auto st = db.Run(StrFormat(
+        "ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:%lld]",
+        static_cast<long long>(n + 1)));
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AlterExpand)->Arg(64)->Arg(256);
+
+void BM_PointQuery(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Database db;
+  if (!db.Run(CreateSql(n)).ok() ||
+      !db.Run("UPDATE matrix SET v = x * 7 + y").ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::string q = StrFormat("SELECT v FROM matrix WHERE x = %lld AND y = %lld",
+                            static_cast<long long>(n / 2),
+                            static_cast<long long>(n / 3));
+  for (auto _ : state) {
+    auto rs = db.Query(q);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs->Value(0, 0));
+  }
+}
+BENCHMARK(BM_PointQuery)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,138 @@
+// F3: array storage and creation (Figure 3) plus the ingestion claim of the
+// introduction ("ingestion of terabytes of data is too slow" with
+// tuple-at-a-time interfaces). Compares:
+//   * array.series / array.filler materialisation (the paper's primitives),
+//   * vault-style bulk column load,
+//   * tuple-at-a-time SQL INSERT into a table.
+
+#include <benchmark/benchmark.h>
+
+#include "src/array/series.h"
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+#include "src/vault/synth.h"
+#include "src/vault/vault.h"
+
+using sciql::StrFormat;
+using sciql::engine::Database;
+
+namespace {
+
+void BM_SeriesMaterialise(benchmark::State& state) {
+  // x-style series: each value repeated n times (Figure 3, dim 0).
+  int64_t n = state.range(0);
+  sciql::array::DimRange r(0, 1, n);
+  for (auto _ : state) {
+    auto bat = sciql::array::Series(r, static_cast<size_t>(n), 1);
+    benchmark::DoNotOptimize(bat->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.SetBytesProcessed(state.iterations() * n * n * sizeof(int32_t));
+}
+BENCHMARK(BM_SeriesMaterialise)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_FillerMaterialise(benchmark::State& state) {
+  int64_t cells = state.range(0) * state.range(0);
+  for (auto _ : state) {
+    auto bat = sciql::array::Filler(static_cast<size_t>(cells),
+                                    sciql::gdk::ScalarValue::Int(0));
+    benchmark::DoNotOptimize(bat->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+  state.SetBytesProcessed(state.iterations() * cells * sizeof(int32_t));
+}
+BENCHMARK(BM_FillerMaterialise)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_VaultBulkLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  sciql::vault::Image img = sciql::vault::MakeTerrainImage(n, n);
+  int round = 0;
+  for (auto _ : state) {
+    Database db;
+    auto st = sciql::vault::LoadImage(
+        &db, StrFormat("img%d", round++), img);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_VaultBulkLoad)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_TupleAtATimeInsert(benchmark::State& state) {
+  // The counterfactual the paper complains about: one INSERT per pixel row.
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.Run("CREATE TABLE pix (x INT, y INT, v INT)").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    state.ResumeTiming();
+    for (size_t x = 0; x < n; ++x) {
+      for (size_t y = 0; y < n; ++y) {
+        auto st = db.Run(StrFormat("INSERT INTO pix VALUES (%zu, %zu, %zu)",
+                                   x, y, (x * y) % 251));
+        if (!st.ok()) {
+          state.SkipWithError(st.ToString().c_str());
+          return;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TupleAtATimeInsert)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MultiRowInsert(benchmark::State& state) {
+  // Middle ground: batched VALUES lists of 256 rows.
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.Run("CREATE TABLE pix (x INT, y INT, v INT)").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    state.ResumeTiming();
+    std::string batch;
+    size_t in_batch = 0;
+    for (size_t x = 0; x < n; ++x) {
+      for (size_t y = 0; y < n; ++y) {
+        batch += batch.empty() ? "" : ", ";
+        batch += StrFormat("(%zu, %zu, %zu)", x, y, (x * y) % 251);
+        if (++in_batch == 256) {
+          auto st = db.Run("INSERT INTO pix VALUES " + batch);
+          if (!st.ok()) {
+            state.SkipWithError(st.ToString().c_str());
+            return;
+          }
+          batch.clear();
+          in_batch = 0;
+        }
+      }
+    }
+    if (!batch.empty()) {
+      benchmark::DoNotOptimize(db.Run("INSERT INTO pix VALUES " + batch));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MultiRowInsert)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CreateArrayThroughSql(benchmark::State& state) {
+  // End-to-end CREATE ARRAY: parser + catalog + series/filler.
+  int64_t n = state.range(0);
+  std::string sql = StrFormat(
+      "CREATE ARRAY a (x INT DIMENSION[0:1:%lld], y INT DIMENSION[0:1:%lld], "
+      "v INT DEFAULT 0)",
+      static_cast<long long>(n), static_cast<long long>(n));
+  for (auto _ : state) {
+    Database db;
+    auto st = db.Run(sql);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CreateArrayThroughSql)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,176 @@
+// S2a (Scenario II, grey-scale column of Figure 5): the six operations on
+// the "building" image — load, invert, edge detection, smoothing, reduction,
+// rotation. Each op is measured two ways:
+//   * SciQL: executed inside the database;
+//   * BLOB round-trip: export the whole image to the application, process
+//     natively, re-import — the workflow the paper's introduction argues
+//     against for BLOB-stored arrays.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+#include "src/img/ops.h"
+#include "src/vault/synth.h"
+#include "src/vault/vault.h"
+
+using sciql::Status;
+using sciql::StrFormat;
+using sciql::engine::Database;
+using sciql::vault::Image;
+
+namespace {
+
+struct Setup {
+  Database db;
+  Image img;
+  explicit Setup(size_t n) : img(sciql::vault::MakeBuildingImage(n, n)) {
+    (void)sciql::vault::LoadImage(&db, "img", img);
+  }
+};
+
+template <typename SciqlOp>
+void RunSciqlOp(benchmark::State& state, SciqlOp op) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Setup s(n);
+  int round = 0;
+  for (auto _ : state) {
+    std::string dst = StrFormat("out%d", round++);
+    Status st = op(&s.db, "img", dst);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+template <typename NativeOp>
+void RunBlobRoundTrip(benchmark::State& state, NativeOp op) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Setup s(n);
+  int round = 0;
+  for (auto _ : state) {
+    // A BLOB is an opaque byte string: the application receives the encoded
+    // image, must parse it, process it, re-encode it, and the DBMS
+    // re-ingests the bytes. (With arrays as first-class citizens none of
+    // the encode/decode steps exist.)
+    auto stored = sciql::vault::StoreImage(&s.db, "img");
+    if (!stored.ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    std::string blob = sciql::vault::SerializePgm(*stored);
+    auto img = sciql::vault::ParsePgm(blob);
+    if (!img.ok()) {
+      state.SkipWithError("blob parse failed");
+      return;
+    }
+    Image out = op(*img);
+    std::string blob_out = sciql::vault::SerializePgm(out);
+    auto reimported = sciql::vault::ParsePgm(blob_out);
+    if (!reimported.ok()) {
+      state.SkipWithError("blob reimport failed");
+      return;
+    }
+    Status st = sciql::vault::LoadImage(&s.db, StrFormat("out%d", round++),
+                                        *reimported);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+#define GREY_SIZES Arg(128)->Arg(256)->Arg(512)
+
+void BM_Load_Sciql(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Image img = sciql::vault::MakeBuildingImage(n, n);
+  int round = 0;
+  for (auto _ : state) {
+    Database db;
+    Status st =
+        sciql::vault::LoadImage(&db, StrFormat("img%d", round++), img);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Load_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Invert_Sciql(benchmark::State& state) {
+  RunSciqlOp(state, [](Database* db, const std::string& s,
+                       const std::string& d) {
+    return sciql::img::Invert(db, s, d);
+  });
+}
+BENCHMARK(BM_Invert_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Invert_BlobRoundTrip(benchmark::State& state) {
+  RunBlobRoundTrip(state,
+                   [](const Image& i) { return sciql::img::native::Invert(i); });
+}
+BENCHMARK(BM_Invert_BlobRoundTrip)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_EdgeDetect_Sciql(benchmark::State& state) {
+  RunSciqlOp(state, [](Database* db, const std::string& s,
+                       const std::string& d) {
+    return sciql::img::EdgeDetect(db, s, d);
+  });
+}
+BENCHMARK(BM_EdgeDetect_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_EdgeDetect_BlobRoundTrip(benchmark::State& state) {
+  RunBlobRoundTrip(state, [](const Image& i) {
+    return sciql::img::native::EdgeDetect(i);
+  });
+}
+BENCHMARK(BM_EdgeDetect_BlobRoundTrip)
+    ->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Smooth_Sciql(benchmark::State& state) {
+  RunSciqlOp(state, [](Database* db, const std::string& s,
+                       const std::string& d) {
+    return sciql::img::Smooth(db, s, d);
+  });
+}
+BENCHMARK(BM_Smooth_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Smooth_BlobRoundTrip(benchmark::State& state) {
+  RunBlobRoundTrip(state,
+                   [](const Image& i) { return sciql::img::native::Smooth(i); });
+}
+BENCHMARK(BM_Smooth_BlobRoundTrip)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Reduce_Sciql(benchmark::State& state) {
+  RunSciqlOp(state, [](Database* db, const std::string& s,
+                       const std::string& d) {
+    return sciql::img::Reduce2x(db, s, d);
+  });
+}
+BENCHMARK(BM_Reduce_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Reduce_BlobRoundTrip(benchmark::State& state) {
+  RunBlobRoundTrip(state, [](const Image& i) {
+    return sciql::img::native::Reduce2x(i);
+  });
+}
+BENCHMARK(BM_Reduce_BlobRoundTrip)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Rotate_Sciql(benchmark::State& state) {
+  RunSciqlOp(state, [](Database* db, const std::string& s,
+                       const std::string& d) {
+    return sciql::img::Rotate90(db, s, d);
+  });
+}
+BENCHMARK(BM_Rotate_Sciql)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+void BM_Rotate_BlobRoundTrip(benchmark::State& state) {
+  RunBlobRoundTrip(state, [](const Image& i) {
+    return sciql::img::native::Rotate90(i);
+  });
+}
+BENCHMARK(BM_Rotate_BlobRoundTrip)->GREY_SIZES->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// S1 (Scenario I / Figure 4): one Game-of-Life generation, three ways.
+//   * SciQL structural grouping (3x3 tile, one query) — the paper's design;
+//   * plain SQL with the eight-way self-join the paper cites as the
+//     relational formulation;
+//   * native C++ (floor).
+// Expected shape: SciQL beats the self-join by a large factor and scales
+// near-linearly in cells; native is the floor.
+
+#include <benchmark/benchmark.h>
+
+#include "src/engine/database.h"
+#include "src/life/life.h"
+
+using sciql::engine::Database;
+using sciql::life::LifeBoard;
+using sciql::life::Pattern;
+
+namespace {
+
+void BM_LifeStepSciql(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db;
+  auto board = LifeBoard::Create(&db, "life", n);
+  if (!board.ok() || !board->Seed(Pattern::kRandom, 0, 0, 0.3, 42).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = board->StepSciql();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_LifeStepSciql)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LifeStepSqlSelfJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db;
+  auto board = LifeBoard::Create(&db, "life", n);
+  if (!board.ok() || !board->Seed(Pattern::kRandom, 0, 0, 0.3, 42).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = board->StepSqlSelfJoin();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_LifeStepSqlSelfJoin)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LifeStepNative(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Database db;
+  auto board = LifeBoard::Create(&db, "life", n);
+  if (!board.ok() || !board->Seed(Pattern::kRandom, 0, 0, 0.3, 42).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto st = board->StepNative();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_LifeStepNative)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

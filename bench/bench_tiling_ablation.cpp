@@ -1,0 +1,135 @@
+// A1 (ablation): the tiling engine design choice. Same structural-grouping
+// semantics computed by the naive gather-per-anchor engine versus the
+// separable sliding-window engine, across tile sizes and aggregates.
+// Expected shape: naive cost grows with tile area; sliding is (nearly)
+// independent of it.
+
+#include <benchmark/benchmark.h>
+
+#include "src/array/tiling.h"
+#include "src/common/rng.h"
+
+using sciql::array::ArrayDesc;
+using sciql::array::AttrDesc;
+using sciql::array::DimDesc;
+using sciql::array::DimRange;
+using sciql::array::TileSpec;
+using sciql::gdk::AggOp;
+using sciql::gdk::BAT;
+using sciql::gdk::BATPtr;
+using sciql::gdk::PhysType;
+using sciql::gdk::ScalarValue;
+
+namespace {
+
+struct Grid {
+  ArrayDesc desc;
+  BATPtr vals;
+};
+
+Grid MakeGrid(size_t n) {
+  Grid g;
+  g.desc = ArrayDesc({DimDesc{"x", DimRange(0, 1, static_cast<int64_t>(n)), false},
+                      DimDesc{"y", DimRange(0, 1, static_cast<int64_t>(n)), false}},
+                     {AttrDesc{"v", PhysType::kInt, ScalarValue::Int(0)}});
+  g.vals = BAT::Make(PhysType::kInt);
+  g.vals->Resize(n * n);
+  sciql::Rng rng(n);
+  for (auto& c : g.vals->ints()) {
+    c = static_cast<int32_t>(rng.Below(256));
+  }
+  return g;
+}
+
+TileSpec MakeTile(int64_t k) {
+  auto spec = TileSpec::FromRanges({{0, k}, {0, k}});
+  return spec.ok() ? *spec : TileSpec{};
+}
+
+void BM_TileSum_Naive(benchmark::State& state) {
+  size_t n = 256;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(state.range(0));
+  for (auto _ : state) {
+    auto r = NaiveTileAggregate(g.desc, *g.vals, spec, AggOp::kSum);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileSum_Naive)->Arg(2)->Arg(3)->Arg(5)->Arg(9)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TileSum_Sliding(benchmark::State& state) {
+  size_t n = 256;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(state.range(0));
+  for (auto _ : state) {
+    auto r = SlidingTileAggregate(g.desc, *g.vals, spec, AggOp::kSum);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileSum_Sliding)->Arg(2)->Arg(3)->Arg(5)->Arg(9)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TileMin_Naive(benchmark::State& state) {
+  size_t n = 256;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(state.range(0));
+  for (auto _ : state) {
+    auto r = NaiveTileAggregate(g.desc, *g.vals, spec, AggOp::kMin);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileMin_Naive)->Arg(3)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_TileMin_Sliding(benchmark::State& state) {
+  size_t n = 256;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(state.range(0));
+  for (auto _ : state) {
+    auto r = SlidingTileAggregate(g.desc, *g.vals, spec, AggOp::kMin);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileMin_Sliding)->Arg(3)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_TileAvg_GridScaling_Sliding(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(3);
+  for (auto _ : state) {
+    auto r = SlidingTileAggregate(g.desc, *g.vals, spec, AggOp::kAvg);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileAvg_GridScaling_Sliding)->Arg(128)->Arg(256)->Arg(512)
+    ->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_NonRectangularTile_Naive(benchmark::State& state) {
+  size_t n = 256;
+  Grid g = MakeGrid(n);
+  // EdgeDetection-style anchor+upper+left shape (no sliding fast path).
+  auto spec = TileSpec::FromCells({{0, 0}, {-1, 0}, {0, -1}});
+  if (!spec.ok()) {
+    state.SkipWithError("bad spec");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = TileAggregate(g.desc, *g.vals, *spec, AggOp::kSum);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_NonRectangularTile_Naive)->Unit(benchmark::kMillisecond);
+
+}  // namespace

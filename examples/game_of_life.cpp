@@ -1,0 +1,67 @@
+// Demo Scenario I: Conway's Game of Life, all rules as SciQL queries.
+//
+// Usage: game_of_life [pattern] [board-size] [generations]
+//   pattern: blinker | glider | rpentomino | random (default glider)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/engine/database.h"
+#include "src/life/life.h"
+
+using sciql::engine::Database;
+using sciql::life::LifeBoard;
+using sciql::life::Pattern;
+
+int main(int argc, char** argv) {
+  const char* pattern_name = argc > 1 ? argv[1] : "glider";
+  size_t n = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 12;
+  int generations = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  Pattern pattern = Pattern::kGlider;
+  if (std::strcmp(pattern_name, "blinker") == 0) pattern = Pattern::kBlinker;
+  if (std::strcmp(pattern_name, "rpentomino") == 0) {
+    pattern = Pattern::kRPentomino;
+  }
+  if (std::strcmp(pattern_name, "random") == 0) pattern = Pattern::kRandom;
+
+  Database db;
+  auto board = LifeBoard::Create(&db, "life", n);
+  if (!board.ok()) {
+    std::fprintf(stderr, "%s\n", board.status().ToString().c_str());
+    return 1;
+  }
+  auto st = board->Seed(pattern, 1, 1);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("The generation step, as a single SciQL query:\n"
+              "  INSERT INTO life (\n"
+              "    SELECT [x], [y],\n"
+              "           CASE WHEN SUM(v) - v = 3 THEN 1\n"
+              "                WHEN v = 1 AND SUM(v) - v = 2 THEN 1\n"
+              "                ELSE 0 END\n"
+              "    FROM life GROUP BY life[x-1:x+2][y-1:y+2]);\n\n");
+
+  for (int gen = 0; gen <= generations; ++gen) {
+    auto pop = board->Population();
+    auto text = board->Render();
+    if (!text.ok() || !pop.ok()) {
+      std::fprintf(stderr, "render failed\n");
+      return 1;
+    }
+    std::printf("generation %d (population %lld)\n%s\n", gen,
+                static_cast<long long>(*pop), text->c_str());
+    if (gen < generations) {
+      auto step = board->StepSciql();
+      if (!step.ok()) {
+        std::fprintf(stderr, "%s\n", step.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Interactive SciQL shell: the "audience has full control" part of the demo.
+// Reads ';'-terminated statements from stdin, prints results or errors.
+// EXPLAIN <stmt> shows the optimized MAL program.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/engine/database.h"
+
+int main() {
+  sciql::engine::Database db;
+  std::printf(
+      "monetlite SciQL shell — arrays as first-class citizens.\n"
+      "Example:\n"
+      "  CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
+      "v INT DEFAULT 0);\n"
+      "  SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2];\n"
+      "Ctrl-D to quit.\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "sciql> " : "  ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    buffer += line;
+    buffer += '\n';
+    if (buffer.find(';') == std::string::npos) continue;
+
+    auto rs = db.Execute(buffer);
+    buffer.clear();
+    if (!rs.ok()) {
+      std::printf("!! %s\n", rs.status().ToString().c_str());
+      continue;
+    }
+    if (rs->NumColumns() > 0) {
+      std::printf("%s", rs->ToString().c_str());
+      if (rs->IsArrayResult()) {
+        auto grid = rs->ToGrid();
+        if (grid.ok()) std::printf("\nas array:\n%s", grid->c_str());
+      }
+    } else {
+      std::printf("ok\n");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

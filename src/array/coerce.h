@@ -1,0 +1,51 @@
+// Array/table coercions (paper Sec. 2, "Array and Table Coercions").
+//
+// Array -> table is free in monetlite: the dimension and attribute BATs of an
+// array *are* its table representation (dimensions form the compound key).
+// Table -> array derives an unbounded array from the data: each dimension
+// column's actual range is inferred, cells not present in the input become
+// holes (or attribute defaults).
+
+#ifndef SCIQL_ARRAY_COERCE_H_
+#define SCIQL_ARRAY_COERCE_H_
+
+#include <vector>
+
+#include "src/array/descriptor.h"
+#include "src/common/result.h"
+#include "src/gdk/bat.h"
+
+namespace sciql {
+namespace array {
+
+/// \brief A fully materialised array: descriptor plus one BAT per dimension
+/// and one BAT per attribute, all cell-aligned.
+struct MaterializedArray {
+  ArrayDesc desc;
+  std::vector<gdk::BATPtr> dim_bats;
+  std::vector<gdk::BATPtr> attr_bats;
+};
+
+/// \brief Derive a dimension range from a column of observed values: the
+/// range covers [min, max] with the step set to the gcd of the distinct
+/// value gaps (1 if a single value).
+Result<DimRange> DeriveRange(const gdk::BAT& dim_vals);
+
+/// \brief Coerce row data to an array (SELECT [c1], [c2], v FROM t).
+///
+/// `dim_cols` are the bracketed columns, `attr_cols` the remaining ones.
+/// The result is an unbounded array whose actual size is derived from the
+/// data; cells without an input row keep the attribute defaults from
+/// `attr_defaults` (pass NULL scalars to get holes). On duplicate
+/// coordinates, the later row wins (INSERT-as-overwrite semantics).
+Result<MaterializedArray> TableToArray(
+    const std::vector<const gdk::BAT*>& dim_cols,
+    const std::vector<std::string>& dim_names,
+    const std::vector<const gdk::BAT*>& attr_cols,
+    const std::vector<std::string>& attr_names,
+    const std::vector<gdk::ScalarValue>& attr_defaults);
+
+}  // namespace array
+}  // namespace sciql
+
+#endif  // SCIQL_ARRAY_COERCE_H_

@@ -1,0 +1,82 @@
+#include "src/array/descriptor.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace array {
+
+int ArrayDesc::DimIndex(const std::string& name) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (EqualsIgnoreCase(dims_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ArrayDesc::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (EqualsIgnoreCase(attrs_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t ArrayDesc::CellCount() const {
+  size_t n = 1;
+  for (const DimDesc& d : dims_) n *= d.range.Size();
+  return dims_.empty() ? 0 : n;
+}
+
+std::vector<size_t> ArrayDesc::Strides() const {
+  std::vector<size_t> strides(dims_.size(), 1);
+  for (size_t i = dims_.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * dims_[i].range.Size();
+  }
+  return strides;
+}
+
+size_t ArrayDesc::LinearIndex(const std::vector<size_t>& idxs) const {
+  std::vector<size_t> strides = Strides();
+  size_t pos = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) pos += idxs[i] * strides[i];
+  return pos;
+}
+
+std::vector<size_t> ArrayDesc::CoordsOf(size_t pos) const {
+  std::vector<size_t> strides = Strides();
+  std::vector<size_t> idxs(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    idxs[i] = pos / strides[i];
+    pos %= strides[i];
+  }
+  return idxs;
+}
+
+int64_t ArrayDesc::CellPosOfValues(const std::vector<int64_t>& values) const {
+  std::vector<size_t> strides = Strides();
+  int64_t pos = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    int64_t idx = dims_[i].range.IndexOfOrNeg(values[i]);
+    if (idx < 0) return -1;
+    pos += idx * static_cast<int64_t>(strides[i]);
+  }
+  return pos;
+}
+
+std::string ArrayDesc::ToString() const {
+  std::vector<std::string> parts;
+  for (const DimDesc& d : dims_) {
+    parts.push_back(StrFormat("%s INT DIMENSION%s", d.name.c_str(),
+                              d.range.ToString().c_str()));
+  }
+  for (const AttrDesc& a : attrs_) {
+    std::string s =
+        StrFormat("%s %s", a.name.c_str(), gdk::PhysTypeName(a.type));
+    if (!a.default_value.is_null) {
+      s += " DEFAULT " + a.default_value.ToString();
+    }
+    parts.push_back(s);
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace array
+}  // namespace sciql

@@ -1,0 +1,85 @@
+// Array descriptors: dimensions plus non-dimensional attributes, and the
+// linearisation of multi-dimensional cell coordinates onto the dense void
+// head of the underlying BATs.
+
+#ifndef SCIQL_ARRAY_DESCRIPTOR_H_
+#define SCIQL_ARRAY_DESCRIPTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/array/dimension.h"
+#include "src/common/result.h"
+#include "src/gdk/types.h"
+
+namespace sciql {
+namespace array {
+
+/// \brief A named dimension with its range constraint.
+struct DimDesc {
+  std::string name;
+  DimRange range;
+  /// Unbounded dimensions get their actual range derived from data (paper
+  /// Sec. 2, array/table coercions); `range` then holds the derived extent.
+  bool unbounded = false;
+};
+
+/// \brief A non-dimensional attribute (cell value column).
+struct AttrDesc {
+  std::string name;
+  gdk::PhysType type = gdk::PhysType::kInt;
+  /// DEFAULT value; "omitting the default implies a NULL" (paper Sec. 2).
+  gdk::ScalarValue default_value = gdk::ScalarValue::Null(gdk::PhysType::kInt);
+};
+
+/// \brief Shape + schema of a SciQL array.
+///
+/// Cells are linearised with the FIRST declared dimension varying SLOWEST,
+/// matching the paper's Figure 3 (x: series(0,1,4,4,1), y: series(0,1,4,1,4)).
+class ArrayDesc {
+ public:
+  ArrayDesc() = default;
+  ArrayDesc(std::vector<DimDesc> dims, std::vector<AttrDesc> attrs)
+      : dims_(std::move(dims)), attrs_(std::move(attrs)) {}
+
+  const std::vector<DimDesc>& dims() const { return dims_; }
+  const std::vector<AttrDesc>& attrs() const { return attrs_; }
+  std::vector<DimDesc>* mutable_dims() { return &dims_; }
+  std::vector<AttrDesc>* mutable_attrs() { return &attrs_; }
+
+  size_t ndims() const { return dims_.size(); }
+  size_t nattrs() const { return attrs_.size(); }
+
+  /// \brief Index of the dimension named `name` (case-insensitive), or -1.
+  int DimIndex(const std::string& name) const;
+  /// \brief Index of the attribute named `name` (case-insensitive), or -1.
+  int AttrIndex(const std::string& name) const;
+
+  /// \brief Total number of cells (product of dimension sizes).
+  size_t CellCount() const;
+
+  /// \brief Per-dimension strides for linearisation (first dim slowest).
+  std::vector<size_t> Strides() const;
+
+  /// \brief Linear cell position of per-dimension indices. No bounds check.
+  size_t LinearIndex(const std::vector<size_t>& idxs) const;
+
+  /// \brief Per-dimension indices of linear position `pos`.
+  std::vector<size_t> CoordsOf(size_t pos) const;
+
+  /// \brief Linear position of per-dimension *values*, or -1 if any value is
+  /// outside its dimension range.
+  int64_t CellPosOfValues(const std::vector<int64_t>& values) const;
+
+  /// \brief DDL-style rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<DimDesc> dims_;
+  std::vector<AttrDesc> attrs_;
+};
+
+}  // namespace array
+}  // namespace sciql
+
+#endif  // SCIQL_ARRAY_DESCRIPTOR_H_

@@ -1,0 +1,56 @@
+#include "src/array/dimension.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace array {
+
+Status DimRange::Validate() const {
+  if (step == 0) {
+    return Status::InvalidArgument("dimension step must not be zero");
+  }
+  return Status::OK();
+}
+
+size_t DimRange::Size() const {
+  if (step > 0) {
+    if (stop <= start) return 0;
+    return static_cast<size_t>((stop - start + step - 1) / step);
+  }
+  if (stop >= start) return 0;
+  int64_t up = start - stop;
+  int64_t st = -step;
+  return static_cast<size_t>((up + st - 1) / st);
+}
+
+bool DimRange::Contains(int64_t v) const { return IndexOfOrNeg(v) >= 0; }
+
+int64_t DimRange::IndexOfOrNeg(int64_t v) const {
+  int64_t delta = v - start;
+  if (step > 0) {
+    if (v < start || v >= stop) return -1;
+    if (delta % step != 0) return -1;
+    return delta / step;
+  }
+  if (v > start || v <= stop) return -1;
+  if (delta % step != 0) return -1;
+  return delta / step;
+}
+
+Result<size_t> DimRange::IndexOf(int64_t v) const {
+  int64_t idx = IndexOfOrNeg(v);
+  if (idx < 0) {
+    return Status::OutOfRange(
+        StrFormat("value %lld not in dimension range %s",
+                  static_cast<long long>(v), ToString().c_str()));
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string DimRange::ToString() const {
+  return StrFormat("[%lld:%lld:%lld]", static_cast<long long>(start),
+                   static_cast<long long>(step), static_cast<long long>(stop));
+}
+
+}  // namespace array
+}  // namespace sciql

@@ -1,0 +1,177 @@
+#include "src/array/series.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace array {
+
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+BATPtr Series(const DimRange& range, size_t repeat_each, size_t repeat_group) {
+  auto out = BAT::Make(PhysType::kInt);
+  size_t nvals = range.Size();
+  auto& v = out->ints();
+  v.reserve(nvals * repeat_each * repeat_group);
+  for (size_t g = 0; g < repeat_group; ++g) {
+    for (size_t i = 0; i < nvals; ++i) {
+      int32_t val = static_cast<int32_t>(range.ValueAt(i));
+      v.insert(v.end(), repeat_each, val);
+    }
+  }
+  return out;
+}
+
+BATPtr Filler(size_t count, const ScalarValue& v) {
+  return BAT::MakeConst(v, count);
+}
+
+BATPtr MaterializeDim(const ArrayDesc& desc, size_t d) {
+  // N = product of the sizes of the dimensions declared after d,
+  // M = product of the sizes of the dimensions declared before d.
+  size_t repeat_each = 1;
+  for (size_t i = d + 1; i < desc.ndims(); ++i) {
+    repeat_each *= desc.dims()[i].range.Size();
+  }
+  size_t repeat_group = 1;
+  for (size_t i = 0; i < d; ++i) {
+    repeat_group *= desc.dims()[i].range.Size();
+  }
+  return Series(desc.dims()[d].range, repeat_each, repeat_group);
+}
+
+Result<gdk::BATPtr> CellPositions(
+    const ArrayDesc& desc, const std::vector<const gdk::BAT*>& dim_vals) {
+  if (dim_vals.size() != desc.ndims()) {
+    return Status::Internal(
+        StrFormat("CellPositions: %zu value columns for %zu dimensions",
+                  dim_vals.size(), desc.ndims()));
+  }
+  size_t n = desc.ndims() == 0 ? 0 : dim_vals[0]->Count();
+  for (const gdk::BAT* b : dim_vals) {
+    if (b->Count() != n) {
+      return Status::Internal("CellPositions: misaligned dimension columns");
+    }
+    if (b->type() != PhysType::kInt && b->type() != PhysType::kLng) {
+      return Status::TypeMismatch("dimension values must be integers");
+    }
+  }
+  std::vector<size_t> strides = desc.Strides();
+  auto out = BAT::Make(PhysType::kOid);
+  auto& pos = out->oids();
+  pos.assign(n, gdk::kOidNil);
+  for (size_t r = 0; r < n; ++r) {
+    int64_t p = 0;
+    bool ok = true;
+    for (size_t d = 0; d < desc.ndims(); ++d) {
+      const gdk::BAT* b = dim_vals[d];
+      int64_t v;
+      if (b->type() == PhysType::kInt) {
+        int32_t x = b->ints()[r];
+        if (x == gdk::kIntNil) {
+          ok = false;
+          break;
+        }
+        v = x;
+      } else {
+        int64_t x = b->lngs()[r];
+        if (x == gdk::kLngNil) {
+          ok = false;
+          break;
+        }
+        v = x;
+      }
+      int64_t idx = desc.dims()[d].range.IndexOfOrNeg(v);
+      if (idx < 0) {
+        ok = false;
+        break;
+      }
+      p += idx * static_cast<int64_t>(strides[d]);
+    }
+    if (ok) pos[r] = static_cast<gdk::oid_t>(p);
+  }
+  return out;
+}
+
+namespace {
+
+// Typed scatter: same physical type on both sides writes directly into the
+// dense array, skipping per-row scalar boxing.
+template <typename T>
+Status ScatterTyped(gdk::BAT* attr, const gdk::BAT& positions,
+                    const gdk::BAT& values) {
+  auto& dst = attr->Data<T>();
+  const auto& src = values.Data<T>();
+  const auto& pos = positions.oids();
+  size_t limit = dst.size();
+  for (size_t i = 0; i < pos.size(); ++i) {
+    gdk::oid_t p = pos[i];
+    if (p == gdk::kOidNil) continue;
+    if (p >= limit) {
+      return Status::OutOfRange(
+          StrFormat("scatter position %llu beyond array size %zu",
+                    static_cast<unsigned long long>(p), limit));
+    }
+    dst[p] = src[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ScatterIntoAttr(gdk::BAT* attr, const gdk::BAT& positions,
+                       const gdk::BAT& values) {
+  if (positions.type() != PhysType::kOid) {
+    return Status::TypeMismatch("scatter expects oid positions");
+  }
+  if (positions.Count() != values.Count()) {
+    return Status::Internal("scatter: positions misaligned with values");
+  }
+  if (attr->type() == values.type() && attr->type() != PhysType::kStr) {
+    switch (attr->type()) {
+      case PhysType::kBit:
+        return ScatterTyped<uint8_t>(attr, positions, values);
+      case PhysType::kInt:
+        return ScatterTyped<int32_t>(attr, positions, values);
+      case PhysType::kLng:
+        return ScatterTyped<int64_t>(attr, positions, values);
+      case PhysType::kDbl:
+        return ScatterTyped<double>(attr, positions, values);
+      case PhysType::kOid:
+        return ScatterTyped<uint64_t>(attr, positions, values);
+      default:
+        break;
+    }
+  }
+  size_t limit = attr->Count();
+  for (size_t i = 0; i < positions.Count(); ++i) {
+    gdk::oid_t p = positions.oids()[i];
+    if (p == gdk::kOidNil) continue;
+    if (p >= limit) {
+      return Status::OutOfRange(
+          StrFormat("scatter position %llu beyond array size %zu",
+                    static_cast<unsigned long long>(p), limit));
+    }
+    SCIQL_RETURN_NOT_OK(attr->Set(p, values.GetScalar(i)));
+  }
+  return Status::OK();
+}
+
+Status ScatterConstIntoAttr(gdk::BAT* attr, const gdk::BAT& positions,
+                            const gdk::ScalarValue& v) {
+  size_t limit = attr->Count();
+  for (size_t i = 0; i < positions.Count(); ++i) {
+    gdk::oid_t p = positions.oids()[i];
+    if (p == gdk::kOidNil) continue;
+    if (p >= limit) {
+      return Status::OutOfRange("scatter position beyond array size");
+    }
+    SCIQL_RETURN_NOT_OK(attr->Set(p, v));
+  }
+  return Status::OK();
+}
+
+}  // namespace array
+}  // namespace sciql

@@ -1,0 +1,483 @@
+#include "src/array/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace array {
+
+using gdk::AggOp;
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+Result<TileSpec> TileSpec::FromRanges(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges) {
+  TileSpec spec;
+  spec.box = ranges;
+  spec.rectangular = true;
+  size_t cells = 1;
+  for (const auto& [lo, hi] : ranges) {
+    if (hi <= lo) {
+      return Status::InvalidArgument(
+          StrFormat("empty tile slice [%lld:%lld)", static_cast<long long>(lo),
+                    static_cast<long long>(hi)));
+    }
+    cells *= static_cast<size_t>(hi - lo);
+  }
+  if (cells > (1u << 22)) {
+    return Status::InvalidArgument("tile has too many cells (> 4M)");
+  }
+  // Enumerate the box as explicit offsets (odometer walk).
+  std::vector<int64_t> cur;
+  cur.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) cur.push_back(lo);
+  spec.offsets.reserve(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    spec.offsets.push_back(cur);
+    for (size_t d = ranges.size(); d-- > 0;) {
+      if (++cur[d] < ranges[d].second) break;
+      cur[d] = ranges[d].first;
+    }
+  }
+  return spec;
+}
+
+Result<TileSpec> TileSpec::FromCells(std::vector<std::vector<int64_t>> cells) {
+  if (cells.empty()) {
+    return Status::InvalidArgument("tile must contain at least one cell");
+  }
+  size_t nd = cells[0].size();
+  std::set<std::vector<int64_t>> uniq;
+  for (const auto& c : cells) {
+    if (c.size() != nd) {
+      return Status::InvalidArgument("tile cells with mixed dimensionality");
+    }
+    uniq.insert(c);
+  }
+  TileSpec spec;
+  spec.offsets.assign(uniq.begin(), uniq.end());
+  // Rectangularity: the bounding box has exactly as many cells as the set.
+  spec.box.assign(nd, {0, 0});
+  for (size_t d = 0; d < nd; ++d) {
+    int64_t lo = spec.offsets[0][d];
+    int64_t hi = spec.offsets[0][d];
+    for (const auto& c : spec.offsets) {
+      lo = std::min(lo, c[d]);
+      hi = std::max(hi, c[d]);
+    }
+    spec.box[d] = {lo, hi + 1};
+  }
+  size_t box_cells = 1;
+  for (const auto& [lo, hi] : spec.box) {
+    box_cells *= static_cast<size_t>(hi - lo);
+  }
+  spec.rectangular = box_cells == spec.offsets.size();
+  return spec;
+}
+
+std::string TileSpec::ToString(const ArrayDesc& desc) const {
+  auto dim_name = [&](size_t d) {
+    return d < desc.ndims() ? desc.dims()[d].name : StrFormat("d%zu", d);
+  };
+  if (rectangular) {
+    std::string out;
+    for (size_t d = 0; d < box.size(); ++d) {
+      out += StrFormat("[%s%+lld:%s%+lld]", dim_name(d).c_str(),
+                       static_cast<long long>(box[d].first),
+                       dim_name(d).c_str(),
+                       static_cast<long long>(box[d].second));
+    }
+    return out;
+  }
+  std::vector<std::string> cells;
+  for (const auto& c : offsets) {
+    std::string s;
+    for (size_t d = 0; d < c.size(); ++d) {
+      s += StrFormat("[%s%+lld]", dim_name(d).c_str(),
+                     static_cast<long long>(c[d]));
+    }
+    cells.push_back(s);
+  }
+  return Join(cells, ",");
+}
+
+namespace {
+
+// Shared accumulator; integer inputs track exact int64 sums.
+struct Accum {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  double dmin = 0.0;
+  double dmax = 0.0;
+  int64_t imin = 0;
+  int64_t imax = 0;
+  bool any = false;
+};
+
+Status EmitAgg(AggOp op, const Accum& a, bool is_dbl, BAT* out) {
+  switch (op) {
+    case AggOp::kCount:
+    case AggOp::kCountStar:
+      return out->Append(ScalarValue::Lng(a.count));
+    case AggOp::kSum:
+      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
+      return out->Append(is_dbl ? ScalarValue::Dbl(a.dsum)
+                                : ScalarValue::Lng(a.isum));
+    case AggOp::kAvg:
+      if (!a.any) return out->Append(ScalarValue::Null(PhysType::kDbl));
+      return out->Append(
+          ScalarValue::Dbl(a.dsum / static_cast<double>(a.count)));
+    case AggOp::kMin:
+      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
+      return out->Append(is_dbl ? ScalarValue::Dbl(a.dmin)
+                                : ScalarValue::Lng(a.imin));
+    case AggOp::kMax:
+      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
+      return out->Append(is_dbl ? ScalarValue::Dbl(a.dmax)
+                                : ScalarValue::Lng(a.imax));
+  }
+  return Status::Internal("unreachable agg emit");
+}
+
+PhysType AggOutputType(AggOp op, PhysType in, bool is_dbl) {
+  switch (op) {
+    case AggOp::kCount:
+    case AggOp::kCountStar:
+      return PhysType::kLng;
+    case AggOp::kAvg:
+      return PhysType::kDbl;
+    case AggOp::kSum:
+      return is_dbl ? PhysType::kDbl : PhysType::kLng;
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return in;  // value-based MIN/MAX also keep the input type
+  }
+  return in;
+}
+
+// Reads cell r of `vals` as (double, int64, valid).
+struct CellReader {
+  const BAT* vals;
+  bool is_dbl;
+  bool Read(size_t r, double* d, int64_t* i) const {
+    switch (vals->type()) {
+      case PhysType::kBit: {
+        uint8_t v = vals->bits()[r];
+        if (v == gdk::kBitNil) return false;
+        *i = v;
+        *d = v;
+        return true;
+      }
+      case PhysType::kInt: {
+        int32_t v = vals->ints()[r];
+        if (v == gdk::kIntNil) return false;
+        *i = v;
+        *d = v;
+        return true;
+      }
+      case PhysType::kLng: {
+        int64_t v = vals->lngs()[r];
+        if (v == gdk::kLngNil) return false;
+        *i = v;
+        *d = static_cast<double>(v);
+        return true;
+      }
+      case PhysType::kDbl: {
+        double v = vals->dbls()[r];
+        if (gdk::IsDblNil(v)) return false;
+        *i = static_cast<int64_t>(v);
+        *d = v;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace
+
+Result<BATPtr> NaiveTileAggregate(const ArrayDesc& desc, const BAT& vals,
+                                  const TileSpec& spec, AggOp op) {
+  size_t ncells = desc.CellCount();
+  if (vals.Count() != ncells) {
+    return Status::Internal(
+        StrFormat("tile aggregate: %zu values for %zu cells", vals.Count(),
+                  ncells));
+  }
+  if (!gdk::IsNumeric(vals.type())) {
+    return Status::TypeMismatch("tile aggregation over non-numeric values");
+  }
+  if (spec.ndims() != desc.ndims()) {
+    return Status::Internal("tile spec dimensionality mismatch");
+  }
+  bool is_dbl = vals.type() == PhysType::kDbl;
+  CellReader reader{&vals, is_dbl};
+
+  size_t nd = desc.ndims();
+  std::vector<size_t> sizes(nd);
+  for (size_t d = 0; d < nd; ++d) sizes[d] = desc.dims()[d].range.Size();
+  std::vector<size_t> strides = desc.Strides();
+
+  auto out = BAT::Make(AggOutputType(op, vals.type(), is_dbl));
+  out->Reserve(ncells);
+
+  // Odometer over anchor coordinates.
+  std::vector<int64_t> coord(nd, 0);
+  for (size_t pos = 0; pos < ncells; ++pos) {
+    Accum a;
+    for (const auto& off : spec.offsets) {
+      int64_t p = 0;
+      bool inside = true;
+      for (size_t d = 0; d < nd; ++d) {
+        int64_t c = coord[d] + off[d];
+        if (c < 0 || c >= static_cast<int64_t>(sizes[d])) {
+          inside = false;
+          break;
+        }
+        p += c * static_cast<int64_t>(strides[d]);
+      }
+      if (!inside) continue;  // out-of-range cells are ignored
+      double dv;
+      int64_t iv;
+      if (!reader.Read(static_cast<size_t>(p), &dv, &iv)) continue;  // hole
+      a.count++;
+      a.isum += iv;
+      a.dsum += dv;
+      if (!a.any || dv < a.dmin) a.dmin = dv;
+      if (!a.any || dv > a.dmax) a.dmax = dv;
+      if (!a.any || iv < a.imin) a.imin = iv;
+      if (!a.any || iv > a.imax) a.imax = iv;
+      a.any = true;
+    }
+    SCIQL_RETURN_NOT_OK(EmitAgg(op, a, is_dbl, out.get()));
+    for (size_t d = nd; d-- > 0;) {
+      if (++coord[d] < static_cast<int64_t>(sizes[d])) break;
+      coord[d] = 0;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// One sliding pass along `axis`: out[i] = reduce of in[i+lo .. i+hi) clamped
+// to the axis extent. Operates in-place on the dense grid `g` (and, for
+// sum/count, nothing else is needed since box reductions are separable).
+template <typename T>
+void AxisBoxSum(std::vector<T>* g, const std::vector<size_t>& sizes,
+                const std::vector<size_t>& strides, size_t axis, int64_t lo,
+                int64_t hi) {
+  size_t n = sizes[axis];
+  size_t stride = strides[axis];
+  size_t total = g->size();
+  if (n == 0 || total == 0) return;
+  size_t nlines = total / n;
+  std::vector<T> prefix(n + 1);
+  std::vector<T> line(n);
+  // Enumerate line base offsets: all positions with axis-coordinate 0.
+  // Walk all positions and process those whose axis index is 0.
+  for (size_t base = 0, seen = 0; seen < nlines; ++base) {
+    size_t axis_idx = (base / stride) % n;
+    if (axis_idx != 0) continue;
+    ++seen;
+    for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
+    prefix[0] = 0;
+    for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + line[i];
+    for (size_t i = 0; i < n; ++i) {
+      int64_t w_lo = std::max<int64_t>(0, static_cast<int64_t>(i) + lo);
+      int64_t w_hi =
+          std::min<int64_t>(static_cast<int64_t>(n), static_cast<int64_t>(i) + hi);
+      (*g)[base + i * stride] =
+          w_hi > w_lo ? prefix[w_hi] - prefix[w_lo] : T(0);
+    }
+  }
+}
+
+// Sliding min/max along one axis with a monotonic deque; `invalid` marks
+// cells that carry no value (treated as identity).
+void AxisBoxMinMax(std::vector<double>* g, const std::vector<size_t>& sizes,
+                   const std::vector<size_t>& strides, size_t axis, int64_t lo,
+                   int64_t hi, bool want_min) {
+  size_t n = sizes[axis];
+  size_t stride = strides[axis];
+  size_t total = g->size();
+  if (n == 0 || total == 0) return;
+  size_t nlines = total / n;
+  std::vector<double> line(n);
+  std::vector<double> out_line(n);
+  const double identity = want_min ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity();
+  for (size_t base = 0, seen = 0; seen < nlines; ++base) {
+    size_t axis_idx = (base / stride) % n;
+    if (axis_idx != 0) continue;
+    ++seen;
+    for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
+    // Monotonic deque of indices; windows [i+lo, i+hi) advance with i.
+    std::deque<size_t> dq;
+    int64_t next_enter = lo;  // first index not yet pushed for window of i=0
+    for (size_t i = 0; i < n; ++i) {
+      int64_t w_lo = static_cast<int64_t>(i) + lo;
+      int64_t w_hi = static_cast<int64_t>(i) + hi;  // exclusive
+      // Push entering elements.
+      for (int64_t j = std::max(next_enter, static_cast<int64_t>(0));
+           j < std::min(w_hi, static_cast<int64_t>(n)); ++j) {
+        double v = line[static_cast<size_t>(j)];
+        while (!dq.empty()) {
+          double b = line[dq.back()];
+          if (want_min ? b >= v : b <= v) {
+            dq.pop_back();
+          } else {
+            break;
+          }
+        }
+        dq.push_back(static_cast<size_t>(j));
+      }
+      next_enter = std::max(next_enter, std::min(w_hi, static_cast<int64_t>(n)));
+      // Pop leaving elements.
+      while (!dq.empty() && static_cast<int64_t>(dq.front()) < w_lo) {
+        dq.pop_front();
+      }
+      out_line[i] = dq.empty() ? identity : line[dq.front()];
+    }
+    for (size_t i = 0; i < n; ++i) (*g)[base + i * stride] = out_line[i];
+  }
+}
+
+}  // namespace
+
+Result<BATPtr> SlidingTileAggregate(const ArrayDesc& desc, const BAT& vals,
+                                    const TileSpec& spec, AggOp op) {
+  if (!spec.rectangular) {
+    return Status::InvalidArgument(
+        "sliding tile aggregation requires a rectangular tile");
+  }
+  size_t ncells = desc.CellCount();
+  if (vals.Count() != ncells) {
+    return Status::Internal("tile aggregate: values misaligned with cells");
+  }
+  if (!gdk::IsNumeric(vals.type())) {
+    return Status::TypeMismatch("tile aggregation over non-numeric values");
+  }
+  size_t nd = desc.ndims();
+  if (spec.box.size() != nd) {
+    return Status::Internal("tile spec dimensionality mismatch");
+  }
+  bool is_dbl = vals.type() == PhysType::kDbl;
+  CellReader reader{&vals, is_dbl};
+
+  std::vector<size_t> sizes(nd);
+  for (size_t d = 0; d < nd; ++d) sizes[d] = desc.dims()[d].range.Size();
+  std::vector<size_t> strides = desc.Strides();
+
+  // Count of valid (non-hole) cells per window — needed by every aggregate.
+  std::vector<int64_t> cnt(ncells);
+  for (size_t r = 0; r < ncells; ++r) {
+    double dv;
+    int64_t iv;
+    cnt[r] = reader.Read(r, &dv, &iv) ? 1 : 0;
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    AxisBoxSum(&cnt, sizes, strides, d, spec.box[d].first, spec.box[d].second);
+  }
+
+  auto out = BAT::Make(AggOutputType(op, vals.type(), is_dbl));
+  out->Reserve(ncells);
+
+  if (op == AggOp::kCount || op == AggOp::kCountStar) {
+    for (size_t r = 0; r < ncells; ++r) {
+      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Lng(cnt[r])));
+    }
+    return out;
+  }
+
+  if (op == AggOp::kSum || op == AggOp::kAvg) {
+    if (is_dbl) {
+      std::vector<double> sum(ncells);
+      for (size_t r = 0; r < ncells; ++r) {
+        double dv;
+        int64_t iv;
+        sum[r] = reader.Read(r, &dv, &iv) ? dv : 0.0;
+      }
+      for (size_t d = 0; d < nd; ++d) {
+        AxisBoxSum(&sum, sizes, strides, d, spec.box[d].first,
+                   spec.box[d].second);
+      }
+      for (size_t r = 0; r < ncells; ++r) {
+        if (cnt[r] == 0) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
+        } else if (op == AggOp::kSum) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(sum[r])));
+        } else {
+          SCIQL_RETURN_NOT_OK(out->Append(
+              ScalarValue::Dbl(sum[r] / static_cast<double>(cnt[r]))));
+        }
+      }
+    } else {
+      std::vector<int64_t> sum(ncells);
+      for (size_t r = 0; r < ncells; ++r) {
+        double dv;
+        int64_t iv;
+        sum[r] = reader.Read(r, &dv, &iv) ? iv : 0;
+      }
+      for (size_t d = 0; d < nd; ++d) {
+        AxisBoxSum(&sum, sizes, strides, d, spec.box[d].first,
+                   spec.box[d].second);
+      }
+      for (size_t r = 0; r < ncells; ++r) {
+        if (cnt[r] == 0) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
+        } else if (op == AggOp::kSum) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Lng(sum[r])));
+        } else {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(
+              static_cast<double>(sum[r]) / static_cast<double>(cnt[r]))));
+        }
+      }
+    }
+    return out;
+  }
+
+  // MIN / MAX via separable sliding extrema on a double grid (exact for
+  // integers up to 2^53).
+  bool want_min = op == AggOp::kMin;
+  std::vector<double> ext(ncells);
+  const double identity = want_min ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < ncells; ++r) {
+    double dv;
+    int64_t iv;
+    ext[r] = reader.Read(r, &dv, &iv) ? dv : identity;
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    AxisBoxMinMax(&ext, sizes, strides, d, spec.box[d].first,
+                  spec.box[d].second, want_min);
+  }
+  for (size_t r = 0; r < ncells; ++r) {
+    if (cnt[r] == 0) {
+      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
+    } else if (is_dbl) {
+      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(ext[r])));
+    } else {
+      SCIQL_RETURN_NOT_OK(
+          out->Append(ScalarValue::Lng(static_cast<int64_t>(ext[r]))));
+    }
+  }
+  return out;
+}
+
+Result<BATPtr> TileAggregate(const ArrayDesc& desc, const BAT& vals,
+                             const TileSpec& spec, AggOp op) {
+  if (spec.rectangular) return SlidingTileAggregate(desc, vals, spec, op);
+  return NaiveTileAggregate(desc, vals, spec, op);
+}
+
+}  // namespace array
+}  // namespace sciql

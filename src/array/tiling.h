@@ -1,0 +1,79 @@
+// Structural grouping ("array tiling"), the key language innovation of SciQL
+// (paper Sec. 2, "Array Tiling"): break an array into possibly overlapping
+// tiles anchored at every valid cell, then aggregate each tile.
+//
+// Two execution engines implement the same semantics:
+//  * NaiveTileAggregate   — gathers the tile cells for every anchor; works
+//                           for any tile shape (explicit cell lists).
+//  * SlidingTileAggregate — for contiguous rectangular tiles; separable
+//                           per-axis sliding-window passes (prefix sums for
+//                           SUM/COUNT/AVG, monotonic deques for MIN/MAX).
+// Their equivalence is property-tested; bench/bench_tiling_ablation measures
+// the difference.
+
+#ifndef SCIQL_ARRAY_TILING_H_
+#define SCIQL_ARRAY_TILING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/array/descriptor.h"
+#include "src/common/result.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace array {
+
+/// \brief The shape of a tile: anchor-relative cell offsets in *index* space.
+///
+/// `GROUP BY a[x:x+2][y:y+2]` becomes per-dimension offset ranges [0,2)x[0,2);
+/// `GROUP BY a[x][y], a[x-1][y], a[x][y-1]` becomes an explicit offset list.
+/// Cells outside the array's dimension ranges and holes (NULLs) are ignored
+/// by the aggregation functions (paper Sec. 2).
+struct TileSpec {
+  /// Every cell of the tile as per-dimension index offsets from the anchor.
+  std::vector<std::vector<int64_t>> offsets;
+  /// If the offsets form a dense axis-aligned box, its per-dimension
+  /// [lo, hi) bounds; enables the sliding engine.
+  std::vector<std::pair<int64_t, int64_t>> box;
+  bool rectangular = false;
+
+  /// \brief Build a rectangular tile from per-dimension [lo, hi) offsets.
+  static Result<TileSpec> FromRanges(
+      const std::vector<std::pair<int64_t, int64_t>>& ranges);
+
+  /// \brief Build from explicit offset cells; detects rectangularity.
+  static Result<TileSpec> FromCells(std::vector<std::vector<int64_t>> cells);
+
+  size_t ndims() const {
+    return rectangular ? box.size() : (offsets.empty() ? 0 : offsets[0].size());
+  }
+  size_t CellsPerTile() const { return offsets.size(); }
+
+  /// \brief "[x+0:x+2][y+0:y+2]" (rectangular) or cell-list rendering.
+  std::string ToString(const ArrayDesc& desc) const;
+};
+
+/// \brief Tiled aggregation: one output row per anchor cell, aligned with the
+/// array's cell order. `vals` must be cell-aligned (Count == CellCount).
+///
+/// Output types follow the value-based aggregation rules: SUM over integers
+/// widens to lng, AVG is dbl, COUNT is lng, MIN/MAX keep the input type.
+/// Anchors whose tile contains no non-NULL cell yield NULL (COUNT yields 0).
+Result<gdk::BATPtr> NaiveTileAggregate(const ArrayDesc& desc,
+                                       const gdk::BAT& vals,
+                                       const TileSpec& spec, gdk::AggOp op);
+
+/// \brief Sliding-window implementation; requires spec.rectangular.
+Result<gdk::BATPtr> SlidingTileAggregate(const ArrayDesc& desc,
+                                         const gdk::BAT& vals,
+                                         const TileSpec& spec, gdk::AggOp op);
+
+/// \brief Dispatch: sliding for rectangular tiles, naive otherwise.
+Result<gdk::BATPtr> TileAggregate(const ArrayDesc& desc, const gdk::BAT& vals,
+                                  const TileSpec& spec, gdk::AggOp op);
+
+}  // namespace array
+}  // namespace sciql
+
+#endif  // SCIQL_ARRAY_TILING_H_

@@ -1,0 +1,230 @@
+#include "src/catalog/catalog.h"
+
+#include <algorithm>
+
+#include "src/array/series.h"
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace catalog {
+
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::ScalarValue;
+
+int TableObject::ColumnIndex(const std::string& col) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableObject::AppendRow(const std::vector<ScalarValue>& row) {
+  if (row.size() != columns.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table %s has %zu columns", row.size(),
+                  name.c_str(), columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    SCIQL_RETURN_NOT_OK(bats[i]->Append(row[i]));
+  }
+  return Status::OK();
+}
+
+Status TableObject::DeleteRows(const gdk::BAT& positions) {
+  if (positions.type() != gdk::PhysType::kOid) {
+    return Status::TypeMismatch("DeleteRows expects oid positions");
+  }
+  size_t n = RowCount();
+  std::vector<bool> dead(n, false);
+  for (gdk::oid_t p : positions.oids()) {
+    if (p != gdk::kOidNil && p < n) dead[p] = true;
+  }
+  // Keep-list, then gather each column.
+  auto keep = BAT::Make(gdk::PhysType::kOid);
+  for (size_t i = 0; i < n; ++i) {
+    if (!dead[i]) keep->oids().push_back(i);
+  }
+  for (auto& b : bats) {
+    SCIQL_ASSIGN_OR_RETURN(BATPtr nb, gdk::Project(*b, *keep));
+    b = nb;
+  }
+  return Status::OK();
+}
+
+Status ArrayObject::Materialize() {
+  for (const auto& d : desc.dims()) {
+    SCIQL_RETURN_NOT_OK(d.range.Validate());
+  }
+  size_t ncells = desc.CellCount();
+  dim_bats.clear();
+  attr_bats.clear();
+  for (size_t d = 0; d < desc.ndims(); ++d) {
+    dim_bats.push_back(array::MaterializeDim(desc, d));
+  }
+  for (const auto& a : desc.attrs()) {
+    ScalarValue def = a.default_value;
+    if (def.is_null) {
+      def = ScalarValue::Null(a.type);
+    } else if (def.type != a.type) {
+      SCIQL_ASSIGN_OR_RETURN(def, gdk::CastScalar(def, a.type));
+    }
+    attr_bats.push_back(array::Filler(ncells, def));
+  }
+  return Status::OK();
+}
+
+Status ArrayObject::AlterDimension(size_t dim_idx,
+                                   const array::DimRange& new_range) {
+  if (dim_idx >= desc.ndims()) {
+    return Status::OutOfRange("no such dimension");
+  }
+  SCIQL_RETURN_NOT_OK(new_range.Validate());
+
+  array::ArrayDesc new_desc = desc;
+  (*new_desc.mutable_dims())[dim_idx].range = new_range;
+
+  ArrayObject rebuilt;
+  rebuilt.name = name;
+  rebuilt.desc = new_desc;
+  SCIQL_RETURN_NOT_OK(rebuilt.Materialize());
+
+  // Copy cells present in both geometries (values *and* holes survive;
+  // only genuinely new cells take the defaults — paper Fig. 1(f)).
+  size_t old_cells = desc.CellCount();
+  std::vector<size_t> old_sizes(desc.ndims());
+  for (size_t d = 0; d < desc.ndims(); ++d) {
+    old_sizes[d] = desc.dims()[d].range.Size();
+  }
+  std::vector<size_t> coord(desc.ndims(), 0);
+  for (size_t pos = 0; pos < old_cells; ++pos) {
+    // Dimension values of this old cell; locate in the new geometry.
+    int64_t new_pos = 0;
+    bool inside = true;
+    std::vector<size_t> new_strides = new_desc.Strides();
+    for (size_t d = 0; d < desc.ndims(); ++d) {
+      int64_t value = desc.dims()[d].range.ValueAt(coord[d]);
+      int64_t idx = new_desc.dims()[d].range.IndexOfOrNeg(value);
+      if (idx < 0) {
+        inside = false;
+        break;
+      }
+      new_pos += idx * static_cast<int64_t>(new_strides[d]);
+    }
+    if (inside) {
+      for (size_t a = 0; a < attr_bats.size(); ++a) {
+        SCIQL_RETURN_NOT_OK(rebuilt.attr_bats[a]->Set(
+            static_cast<size_t>(new_pos), attr_bats[a]->GetScalar(pos)));
+      }
+    }
+    for (size_t d = desc.ndims(); d-- > 0;) {
+      if (++coord[d] < old_sizes[d]) break;
+      coord[d] = 0;
+    }
+  }
+
+  desc = std::move(rebuilt.desc);
+  dim_bats = std::move(rebuilt.dim_bats);
+  attr_bats = std::move(rebuilt.attr_bats);
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(const std::string& name,
+                            std::vector<array::AttrDesc> columns) {
+  std::string key = ToLower(name);
+  if (Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  auto t = std::make_shared<TableObject>();
+  t->name = key;
+  t->columns = std::move(columns);
+  for (const auto& c : t->columns) {
+    t->bats.push_back(BAT::Make(c.type));
+  }
+  tables_[key] = std::move(t);
+  return Status::OK();
+}
+
+Status Catalog::CreateArray(const std::string& name, array::ArrayDesc desc) {
+  std::string key = ToLower(name);
+  if (Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  if (desc.ndims() == 0) {
+    return Status::InvalidArgument("an array needs at least one dimension");
+  }
+  auto a = std::make_shared<ArrayObject>();
+  a->name = key;
+  a->desc = std::move(desc);
+  SCIQL_RETURN_NOT_OK(a->Materialize());
+  arrays_[key] = std::move(a);
+  return Status::OK();
+}
+
+Status Catalog::AdoptArray(const std::string& name,
+                           array::MaterializedArray arr) {
+  std::string key = ToLower(name);
+  if (Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  auto a = std::make_shared<ArrayObject>();
+  a->name = key;
+  a->desc = std::move(arr.desc);
+  a->dim_bats = std::move(arr.dim_bats);
+  a->attr_bats = std::move(arr.attr_bats);
+  arrays_[key] = std::move(a);
+  return Status::OK();
+}
+
+Status Catalog::DropObject(const std::string& name) {
+  std::string key = ToLower(name);
+  if (tables_.erase(key) > 0) return Status::OK();
+  if (arrays_.erase(key) > 0) return Status::OK();
+  return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  std::string key = ToLower(name);
+  return tables_.count(key) > 0 || arrays_.count(key) > 0;
+}
+
+Result<std::shared_ptr<TableObject>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("no such table: %s", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<ArrayObject>> Catalog::GetArray(
+    const std::string& name) const {
+  auto it = arrays_.find(ToLower(name));
+  if (it == arrays_.end()) {
+    return Status::NotFound(StrFormat("no such array: %s", name.c_str()));
+  }
+  return it->second;
+}
+
+bool Catalog::IsArray(const std::string& name) const {
+  return arrays_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Catalog::ArrayNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : arrays_) out.push_back(k);
+  return out;
+}
+
+}  // namespace catalog
+}  // namespace sciql

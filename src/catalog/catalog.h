@@ -1,0 +1,91 @@
+// The SQL/SciQL catalog: tables and arrays as first-class, side-by-side
+// persistent objects (paper Sec. 1: "store arrays directly in an RDBMS
+// side-by-side with the SQL tables").
+//
+// Adopting the vertically decomposed storage model, each table stores one
+// BAT per column; each array stores one BAT per dimension and one BAT per
+// non-dimensional attribute (paper Sec. 3, "Array Storage & Creation").
+// Fixed arrays are materialised before first use via array.series /
+// array.filler.
+
+#ifndef SCIQL_CATALOG_CATALOG_H_
+#define SCIQL_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/array/coerce.h"
+#include "src/array/descriptor.h"
+#include "src/common/result.h"
+#include "src/gdk/bat.h"
+
+namespace sciql {
+namespace catalog {
+
+/// \brief A relational table: a set of tuples, vertically decomposed.
+struct TableObject {
+  std::string name;
+  std::vector<array::AttrDesc> columns;
+  std::vector<gdk::BATPtr> bats;
+
+  size_t RowCount() const { return bats.empty() ? 0 : bats[0]->Count(); }
+  int ColumnIndex(const std::string& col) const;
+
+  /// \brief Append one row (values aligned with columns).
+  Status AppendRow(const std::vector<gdk::ScalarValue>& row);
+
+  /// \brief Remove the rows at `positions` (compacting; row ids shift).
+  Status DeleteRows(const gdk::BAT& positions);
+};
+
+/// \brief A SciQL array: an indexed collection of cells; all cells covered by
+/// the dimensions always exist.
+struct ArrayObject {
+  std::string name;
+  array::ArrayDesc desc;
+  std::vector<gdk::BATPtr> dim_bats;
+  std::vector<gdk::BATPtr> attr_bats;
+
+  size_t CellCount() const { return desc.CellCount(); }
+
+  /// \brief (Re-)materialise all dimension BATs and reset attribute BATs to
+  /// their defaults — the array creation step of paper Sec. 3 / Figure 3.
+  Status Materialize();
+
+  /// \brief ALTER ARRAY ... ALTER DIMENSION d SET RANGE r: cells present in
+  /// both the old and new geometry keep their values (including holes), new
+  /// cells take the attribute defaults (paper Fig. 1(f)).
+  Status AlterDimension(size_t dim_idx, const array::DimRange& new_range);
+};
+
+/// \brief Name -> object registry. Object names are case-insensitive.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name,
+                     std::vector<array::AttrDesc> columns);
+  Status CreateArray(const std::string& name, array::ArrayDesc desc);
+  /// \brief Register an already-materialised array (CREATE ARRAY AS SELECT).
+  Status AdoptArray(const std::string& name, array::MaterializedArray arr);
+  Status DropObject(const std::string& name);
+
+  /// True if `name` refers to a table or an array.
+  bool Exists(const std::string& name) const;
+
+  Result<std::shared_ptr<TableObject>> GetTable(const std::string& name) const;
+  Result<std::shared_ptr<ArrayObject>> GetArray(const std::string& name) const;
+  bool IsArray(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ArrayNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<TableObject>> tables_;
+  std::map<std::string, std::shared_ptr<ArrayObject>> arrays_;
+};
+
+}  // namespace catalog
+}  // namespace sciql
+
+#endif  // SCIQL_CATALOG_CATALOG_H_

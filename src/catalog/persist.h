@@ -1,0 +1,34 @@
+// Catalog persistence: arrays and tables as *persistent* first-class
+// database objects (paper Sec. 3, "the creation of persistent database
+// objects has been extended to implement array creation").
+//
+// The on-disk layout is one binary file per database: a versioned header,
+// then each object's schema followed by its column BATs. Strings are stored
+// length-prefixed and re-interned on load.
+
+#ifndef SCIQL_CATALOG_PERSIST_H_
+#define SCIQL_CATALOG_PERSIST_H_
+
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+
+namespace sciql {
+namespace catalog {
+
+/// \brief Serialize the whole catalog (schemas + data) to `path`.
+Status SaveCatalog(const Catalog& cat, const std::string& path);
+
+/// \brief Load a catalog previously written by SaveCatalog. The target
+/// catalog must be empty.
+Status LoadCatalog(Catalog* cat, const std::string& path);
+
+/// \brief In-memory round trip (used by tests and the shell's dump command).
+Result<std::string> SerializeCatalog(const Catalog& cat);
+Status DeserializeCatalog(Catalog* cat, const std::string& bytes);
+
+}  // namespace catalog
+}  // namespace sciql
+
+#endif  // SCIQL_CATALOG_PERSIST_H_

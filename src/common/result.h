@@ -1,0 +1,69 @@
+// Result<T>: a Status plus a value on success (arrow::Result / StatusOr
+// idiom). Used wherever an operation produces both a value and may fail.
+
+#ifndef SCIQL_COMMON_RESULT_H_
+#define SCIQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace sciql {
+
+/// \brief Either an error Status or a value of type T.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; undefined if !ok().
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sciql
+
+/// Evaluate `expr` (a Result<T>); on error return the Status, else bind the
+/// value into `lhs`.
+#define SCIQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).take();
+
+#define SCIQL_ASSIGN_OR_RETURN(lhs, expr) \
+  SCIQL_ASSIGN_OR_RETURN_IMPL(            \
+      SCIQL_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SCIQL_CONCAT_INNER_(a, b) a##b
+#define SCIQL_CONCAT_(a, b) SCIQL_CONCAT_INNER_(a, b)
+
+#endif  // SCIQL_COMMON_RESULT_H_

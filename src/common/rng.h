@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// A small xoshiro256** implementation so that benchmark workloads and
+// property tests are reproducible across platforms and standard libraries
+// (std::mt19937 distributions are not portable across implementations).
+
+#ifndef SCIQL_COMMON_RNG_H_
+#define SCIQL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sciql {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5C1E20130622ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sciql
+
+#endif  // SCIQL_COMMON_RNG_H_

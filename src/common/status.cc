@@ -1,0 +1,45 @@
+#include "src/common/status.h"
+
+namespace sciql {
+
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kTypeMismatch:
+      return "TypeMismatch";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kBindError:
+      return "BindError";
+    case Status::Code::kExecError:
+      return "ExecError";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace sciql

@@ -1,0 +1,101 @@
+// Status: RocksDB-style error handling without exceptions.
+//
+// Every fallible operation in the engine returns a Status (or a Result<T>,
+// see result.h). Statuses carry a coarse error code plus a human-readable
+// message assembled at the failure site.
+
+#ifndef SCIQL_COMMON_STATUS_H_
+#define SCIQL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sciql {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. The class is cheap to copy in the error-free case (empty string).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kTypeMismatch,
+    kOutOfRange,
+    kParseError,
+    kBindError,
+    kExecError,
+    kIOError,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(Code::kTypeMismatch, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(Code::kBindError, std::move(msg));
+  }
+  static Status ExecError(std::string msg) {
+    return Status(Code::kExecError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// \brief Human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace sciql
+
+/// Propagate a non-OK Status to the caller.
+#define SCIQL_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::sciql::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // SCIQL_COMMON_STATUS_H_

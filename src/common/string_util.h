@@ -1,0 +1,39 @@
+// Small string helpers shared across the code base.
+
+#ifndef SCIQL_COMMON_STRING_UTIL_H_
+#define SCIQL_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sciql {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief ASCII lower-casing (SQL identifiers are case-insensitive).
+std::string ToLower(const std::string& s);
+
+/// \brief ASCII upper-casing.
+std::string ToUpper(const std::string& s);
+
+/// \brief Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief Split `s` on character `sep` (no trimming, keeps empty fields).
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// \brief Strip leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// \brief True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// \brief Render a double the way a result grid should show it: integers
+/// without a decimal point, otherwise shortest round-trip representation.
+std::string FormatDouble(double v);
+
+}  // namespace sciql
+
+#endif  // SCIQL_COMMON_STRING_UTIL_H_

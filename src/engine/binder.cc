@@ -1,0 +1,270 @@
+#include "src/engine/binder.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace engine {
+
+using gdk::ScalarValue;
+
+Result<int> Env::Resolve(const std::string& qual,
+                         const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const EnvCol& c = cols[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qual.empty() && !EqualsIgnoreCase(c.qual, qual)) continue;
+    if (found >= 0) {
+      return Status::BindError(
+          StrFormat("ambiguous column reference: %s", name.c_str()));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::string full = qual.empty() ? name : qual + "." + name;
+    return Status::BindError(StrFormat("unknown column: %s", full.c_str()));
+  }
+  return found;
+}
+
+bool Env::CanResolve(const std::string& qual, const std::string& name) const {
+  return Resolve(qual, name).ok();
+}
+
+Result<int> Env::AnyReg() const {
+  if (cols.empty()) {
+    return Status::BindError("expression requires a FROM clause");
+  }
+  return cols[0].reg;
+}
+
+void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == sql::Expr::Kind::kBinary && e->bin_op == gdk::BinOp::kAnd) {
+    SplitConjuncts(e->children[0].get(), out);
+    SplitConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void ExprCompiler::CollectAggregates(const sql::Expr& e,
+                                     std::vector<const sql::Expr*>* out) {
+  if (e.kind == sql::Expr::Kind::kAggregate) {
+    out->push_back(&e);
+    return;  // aggregates do not nest
+  }
+  for (const auto& c : e.children) CollectAggregates(*c, out);
+}
+
+bool ExprCompiler::ContainsAggregate(const sql::Expr& e) {
+  std::vector<const sql::Expr*> aggs;
+  CollectAggregates(e, &aggs);
+  return !aggs.empty();
+}
+
+bool ExprCompiler::IsScalarExpr(const sql::Expr& e) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kColumn:
+    case sql::Expr::Kind::kCellRef:
+    case sql::Expr::Kind::kAggregate:
+    case sql::Expr::Kind::kStar:
+      return false;
+    default:
+      break;
+  }
+  for (const auto& c : e.children) {
+    if (!IsScalarExpr(*c)) return false;
+  }
+  return true;
+}
+
+void ExprCompiler::CollectColumns(
+    const sql::Expr& e,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  if (e.kind == sql::Expr::Kind::kColumn) {
+    out->emplace_back(e.table, e.column);
+  }
+  for (const auto& c : e.children) CollectColumns(*c, out);
+}
+
+Result<int> ExprCompiler::BroadcastToEnv(int scalar_reg) {
+  SCIQL_ASSIGN_OR_RETURN(int any, env_->AnyReg());
+  int cnt = prog_->EmitR("bat", "count", {any}, "n");
+  return prog_->EmitR("batcalc", "const", {scalar_reg, cnt}, "bcast");
+}
+
+Result<int> ExprCompiler::Compile(const sql::Expr& e) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kLiteral:
+      return prog_->Const(e.literal);
+
+    case sql::Expr::Kind::kColumn: {
+      SCIQL_ASSIGN_OR_RETURN(int idx, env_->Resolve(e.table, e.column));
+      return env_->cols[static_cast<size_t>(idx)].reg;
+    }
+
+    case sql::Expr::Kind::kStar:
+      return Status::BindError("* is only valid inside COUNT(*)");
+
+    case sql::Expr::Kind::kBinary: {
+      SCIQL_ASSIGN_OR_RETURN(int l, Compile(*e.children[0]));
+      SCIQL_ASSIGN_OR_RETURN(int r, Compile(*e.children[1]));
+      return prog_->EmitR("batcalc", gdk::BinOpName(e.bin_op), {l, r}, "e");
+    }
+
+    case sql::Expr::Kind::kUnary: {
+      SCIQL_ASSIGN_OR_RETURN(int c, Compile(*e.children[0]));
+      const char* fn = "not";
+      switch (e.un_op) {
+        case gdk::UnOp::kNot:
+          fn = "not";
+          break;
+        case gdk::UnOp::kNeg:
+          fn = "neg";
+          break;
+        case gdk::UnOp::kAbs:
+          fn = "abs";
+          break;
+        case gdk::UnOp::kIsNull:
+          fn = "isnil";
+          break;
+      }
+      return prog_->EmitR("batcalc", fn, {c}, "e");
+    }
+
+    case sql::Expr::Kind::kFunc: {
+      if (e.func_name == "abs" && e.children.size() == 1) {
+        SCIQL_ASSIGN_OR_RETURN(int c, Compile(*e.children[0]));
+        return prog_->EmitR("batcalc", "abs", {c}, "e");
+      }
+      if (e.func_name == "mod" && e.children.size() == 2) {
+        SCIQL_ASSIGN_OR_RETURN(int l, Compile(*e.children[0]));
+        SCIQL_ASSIGN_OR_RETURN(int r, Compile(*e.children[1]));
+        return prog_->EmitR("batcalc", "%", {l, r}, "e");
+      }
+      return Status::BindError(
+          StrFormat("unknown function: %s", e.func_name.c_str()));
+    }
+
+    case sql::Expr::Kind::kAggregate: {
+      if (agg_map_ != nullptr) {
+        auto it = agg_map_->find(&e);
+        if (it != agg_map_->end()) return it->second;
+      }
+      return Status::BindError(
+          "aggregate function used outside GROUP BY / aggregation context");
+    }
+
+    case sql::Expr::Kind::kCase:
+      return CompileCase(e);
+
+    case sql::Expr::Kind::kIsNull: {
+      SCIQL_ASSIGN_OR_RETURN(int c, Compile(*e.children[0]));
+      int r = prog_->EmitR("batcalc", "isnil", {c}, "e");
+      if (e.negated) r = prog_->EmitR("batcalc", "not", {r}, "e");
+      return r;
+    }
+
+    case sql::Expr::Kind::kBetween: {
+      SCIQL_ASSIGN_OR_RETURN(int v, Compile(*e.children[0]));
+      SCIQL_ASSIGN_OR_RETURN(int lo, Compile(*e.children[1]));
+      SCIQL_ASSIGN_OR_RETURN(int hi, Compile(*e.children[2]));
+      int ge = prog_->EmitR("batcalc", ">=", {v, lo}, "e");
+      int le = prog_->EmitR("batcalc", "<=", {v, hi}, "e");
+      int r = prog_->EmitR("batcalc", "and", {ge, le}, "e");
+      if (e.negated) r = prog_->EmitR("batcalc", "not", {r}, "e");
+      return r;
+    }
+
+    case sql::Expr::Kind::kIn: {
+      SCIQL_ASSIGN_OR_RETURN(int v, Compile(*e.children[0]));
+      int acc = -1;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        SCIQL_ASSIGN_OR_RETURN(int item, Compile(*e.children[i]));
+        int eq = prog_->EmitR("batcalc", "==", {v, item}, "e");
+        acc = acc < 0 ? eq : prog_->EmitR("batcalc", "or", {acc, eq}, "e");
+      }
+      if (acc < 0) return Status::BindError("empty IN list");
+      if (e.negated) acc = prog_->EmitR("batcalc", "not", {acc}, "e");
+      return acc;
+    }
+
+    case sql::Expr::Kind::kCellRef:
+      return CompileCellRef(e);
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<int> ExprCompiler::CompileCase(const sql::Expr& e) {
+  // CASE WHEN c1 THEN v1 WHEN c2 THEN v2 ELSE d END compiles to nested
+  // ifthenelse from the last arm inward; a missing ELSE yields NULL.
+  size_t pairs = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+  int else_reg;
+  if (e.has_else) {
+    SCIQL_ASSIGN_OR_RETURN(else_reg, Compile(*e.children.back()));
+  } else {
+    else_reg = prog_->Const(ScalarValue::Null(gdk::PhysType::kInt));
+  }
+  int acc = else_reg;
+  for (size_t i = pairs; i-- > 0;) {
+    SCIQL_ASSIGN_OR_RETURN(int cond, Compile(*e.children[2 * i]));
+    SCIQL_ASSIGN_OR_RETURN(int val, Compile(*e.children[2 * i + 1]));
+    acc = prog_->EmitR("batcalc", "ifthenelse", {cond, val, acc}, "case");
+  }
+  return acc;
+}
+
+Result<int> ExprCompiler::CompileCellRef(const sql::Expr& e) {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(e.array_name));
+  const array::ArrayDesc& desc = arr->desc;
+  if (e.children.size() != desc.ndims()) {
+    return Status::BindError(
+        StrFormat("array %s has %zu dimensions but %zu index expressions",
+                  e.array_name.c_str(), desc.ndims(), e.children.size()));
+  }
+  std::string attr = e.attr_name;
+  if (attr.empty()) {
+    if (desc.nattrs() != 1) {
+      return Status::BindError(
+          StrFormat("array %s has %zu attributes; qualify the cell access",
+                    e.array_name.c_str(), desc.nattrs()));
+    }
+    attr = desc.attrs()[0].name;
+  } else if (desc.AttrIndex(attr) < 0) {
+    return Status::BindError(StrFormat("array %s has no attribute %s",
+                                       e.array_name.c_str(), attr.c_str()));
+  }
+
+  // Index expressions, broadcast to the environment's row alignment.
+  std::vector<int> idx_regs;
+  bool any_bat = false;
+  std::vector<bool> scalar(e.children.size());
+  for (size_t d = 0; d < e.children.size(); ++d) {
+    scalar[d] = IsScalarExpr(*e.children[d]);
+    any_bat = any_bat || !scalar[d];
+  }
+  for (size_t d = 0; d < e.children.size(); ++d) {
+    SCIQL_ASSIGN_OR_RETURN(int r, Compile(*e.children[d]));
+    if (scalar[d] && (any_bat || !env_->cols.empty())) {
+      SCIQL_ASSIGN_OR_RETURN(r, BroadcastToEnv(r));
+    }
+    idx_regs.push_back(r);
+  }
+
+  auto desc_obj = std::make_shared<array::ArrayDesc>(desc);
+  int desc_reg = prog_->Obj(desc_obj, "arraydesc", "@" + ToLower(e.array_name));
+  std::vector<int> args = {desc_reg};
+  for (int r : idx_regs) args.push_back(r);
+  int pos = prog_->EmitR("array", "cellpos", args, "pos");
+
+  int attr_bind = prog_->EmitR(
+      "sql", "bind",
+      {prog_->Const(ScalarValue::Str(ToLower(e.array_name))),
+       prog_->Const(ScalarValue::Str(ToLower(attr)))},
+      "a");
+  return prog_->EmitR("algebra", "project", {attr_bind, pos}, "cell");
+}
+
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,89 @@
+// Name resolution (environments of bound columns) and compilation of scalar
+// expressions into vectorized MAL instruction sequences.
+
+#ifndef SCIQL_ENGINE_BINDER_H_
+#define SCIQL_ENGINE_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/mal/program.h"
+#include "src/sql/ast.h"
+
+namespace sciql {
+namespace engine {
+
+/// \brief One column visible to expressions: qualifier (table alias), name,
+/// dimension flag and the MAL register holding its (row-aligned) BAT.
+struct EnvCol {
+  std::string qual;
+  std::string name;
+  bool is_dim = false;
+  int reg = -1;
+};
+
+/// \brief The set of columns in scope, all aligned to the same row set.
+struct Env {
+  std::vector<EnvCol> cols;
+
+  /// \brief Resolve [qual.]name; unqualified names must be unambiguous.
+  Result<int> Resolve(const std::string& qual, const std::string& name) const;
+
+  /// \brief True if [qual.]name resolves (without ambiguity).
+  bool CanResolve(const std::string& qual, const std::string& name) const;
+
+  /// \brief The register of the first column (used for row counts).
+  Result<int> AnyReg() const;
+};
+
+/// \brief Compiles expressions to MAL over an environment.
+///
+/// Aggregate nodes are not compiled here: the planner precomputes them and
+/// provides their registers through `agg_map` (keyed by AST node).
+class ExprCompiler {
+ public:
+  ExprCompiler(mal::MalProgram* prog, catalog::Catalog* cat, const Env* env)
+      : prog_(prog), cat_(cat), env_(env) {}
+
+  void set_agg_map(const std::map<const sql::Expr*, int>* m) { agg_map_ = m; }
+
+  /// \brief Compile `e`; returns the register holding its value (a BAT
+  /// aligned with the environment, or a scalar constant for
+  /// column-free expressions).
+  Result<int> Compile(const sql::Expr& e);
+
+  /// \brief All aggregate nodes in `e` (not recursing into their arguments).
+  static void CollectAggregates(const sql::Expr& e,
+                                std::vector<const sql::Expr*>* out);
+  static bool ContainsAggregate(const sql::Expr& e);
+
+  /// \brief True if `e` references no columns, cell accesses or aggregates
+  /// (its value is a scalar constant).
+  static bool IsScalarExpr(const sql::Expr& e);
+
+  /// \brief Collect all column references (qual, name) in `e`.
+  static void CollectColumns(const sql::Expr& e,
+                             std::vector<std::pair<std::string, std::string>>* out);
+
+ private:
+  Result<int> CompileCellRef(const sql::Expr& e);
+  Result<int> CompileCase(const sql::Expr& e);
+  /// Broadcast a scalar register to a BAT aligned with the environment.
+  Result<int> BroadcastToEnv(int scalar_reg);
+
+  mal::MalProgram* prog_;
+  catalog::Catalog* cat_;
+  const Env* env_;
+  const std::map<const sql::Expr*, int>* agg_map_ = nullptr;
+};
+
+/// \brief Decompose an AND tree into conjuncts.
+void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>* out);
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_BINDER_H_

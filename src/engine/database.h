@@ -1,0 +1,61 @@
+// The public entry point of monetlite/SciQL: an embedded database that
+// parses, compiles, optimizes and executes SQL/SciQL statements.
+//
+// Typical use:
+//
+//   sciql::engine::Database db;
+//   auto st = db.Run(
+//       "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], "
+//       "y INT DIMENSION[0:1:4], v INT DEFAULT 0)");
+//   auto rs = db.Query("SELECT [x], [y], AVG(v) FROM matrix "
+//                      "GROUP BY matrix[x:x+2][y:y+2] "
+//                      "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+
+#ifndef SCIQL_ENGINE_DATABASE_H_
+#define SCIQL_ENGINE_DATABASE_H_
+
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/engine/result_set.h"
+#include "src/sql/ast.h"
+
+namespace sciql {
+namespace engine {
+
+/// \brief An embedded monetlite database instance with SciQL support.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// \brief Execute one or more ';'-separated statements; returns the result
+  /// of the last one. DML returns a one-row `rows` count; EXPLAIN returns
+  /// the optimized MAL program text.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// \brief Alias of Execute for read-only use.
+  Result<ResultSet> Query(const std::string& sql) { return Execute(sql); }
+
+  /// \brief Execute and discard the result (DDL/DML convenience).
+  Status Run(const std::string& sql);
+
+  /// \brief The optimized MAL program for a statement, as text.
+  Result<std::string> ExplainText(const std::string& sql);
+
+  catalog::Catalog* catalog() { return &cat_; }
+
+ private:
+  Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);
+  Result<std::string> BuildExplain(const sql::Statement& stmt);
+
+  catalog::Catalog cat_;
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_DATABASE_H_

@@ -1,0 +1,347 @@
+#include "src/engine/executor.h"
+
+#include "src/array/coerce.h"
+#include "src/array/series.h"
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+#include "src/mal/interpreter.h"
+
+namespace sciql {
+namespace engine {
+
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::ScalarValue;
+
+namespace {
+
+ResultSet SingleCount(int64_t n) {
+  ResultSet rs;
+  auto b = BAT::Make(gdk::PhysType::kLng);
+  (void)b->Append(ScalarValue::Lng(n));
+  rs.AddColumn("rows", false, std::move(b));
+  return rs;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::AssembleResult(const CompiledStatement& cs,
+                                           mal::MalContext* ctx) {
+  // Row count: BAT results fix it (and must agree); all-scalar results
+  // produce a single row.
+  size_t nrows = 1;
+  bool any_bat = false;
+  for (const auto& rc : cs.prog.results()) {
+    const mal::MalValue& v = ctx->Reg(rc.reg);
+    if (!v.IsBat()) continue;
+    if (!any_bat) {
+      nrows = v.bat->Count();
+      any_bat = true;
+    } else if (v.bat->Count() != nrows) {
+      return Status::Internal(
+          StrFormat("result column %s has %zu rows, expected %zu",
+                    rc.name.c_str(), v.bat->Count(), nrows));
+    }
+  }
+
+  ResultSet rs;
+  for (const auto& rc : cs.prog.results()) {
+    const mal::MalValue& v = ctx->Reg(rc.reg);
+    if (v.IsBat()) {
+      // Clone: results must not alias mutable catalog storage.
+      rs.AddColumn(rc.name, rc.is_dim, v.bat->CloneData());
+    } else if (v.IsScalar()) {
+      rs.AddColumn(rc.name, rc.is_dim, BAT::MakeConst(v.scalar, nrows));
+    } else {
+      return Status::Internal(
+          StrFormat("result column %s has no value", rc.name.c_str()));
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> Executor::Execute(const CompiledStatement& cs) {
+  if (cs.action == CompiledStatement::Action::kDdlDisplay) {
+    return Status::Internal("DDL display programs are not executable");
+  }
+  mal::MalContext ctx(cat_);
+  SCIQL_RETURN_NOT_OK(mal::MalEngine::Global().Run(cs.prog, &ctx));
+  SCIQL_ASSIGN_OR_RETURN(ResultSet rows, AssembleResult(cs, &ctx));
+
+  switch (cs.action) {
+    case CompiledStatement::Action::kQuery:
+      return rows;
+    case CompiledStatement::Action::kInsert:
+      SCIQL_RETURN_NOT_OK(ApplyInsert(cs, rows));
+      return SingleCount(static_cast<int64_t>(rows.NumRows()));
+    case CompiledStatement::Action::kUpdate:
+      SCIQL_RETURN_NOT_OK(ApplyUpdate(cs, rows));
+      return SingleCount(static_cast<int64_t>(rows.NumRows()));
+    case CompiledStatement::Action::kDelete:
+      SCIQL_RETURN_NOT_OK(ApplyDelete(cs, rows));
+      return SingleCount(static_cast<int64_t>(rows.NumRows()));
+    case CompiledStatement::Action::kCreateTableAs:
+    case CompiledStatement::Action::kCreateArrayAs:
+      SCIQL_RETURN_NOT_OK(ApplyCreateAs(cs, rows));
+      return SingleCount(static_cast<int64_t>(rows.NumRows()));
+    case CompiledStatement::Action::kDdlDisplay:
+      break;
+  }
+  return Status::Internal("unreachable executor action");
+}
+
+Status Executor::ApplyInsert(const CompiledStatement& cs,
+                             const ResultSet& rows) {
+  if (cat_->IsArray(cs.target)) {
+    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+    const array::ArrayDesc& desc = arr->desc;
+    // Map result columns onto dimensions and attributes.
+    std::vector<int> dim_src(desc.ndims(), -1);
+    std::vector<std::pair<int, int>> attr_src;  // (result col, attr idx)
+    if (!cs.insert_columns.empty()) {
+      if (cs.insert_columns.size() != rows.NumColumns()) {
+        return Status::InvalidArgument(
+            "INSERT column list arity differs from the row source");
+      }
+      for (size_t i = 0; i < cs.insert_columns.size(); ++i) {
+        const std::string& col = cs.insert_columns[i];
+        int d = desc.DimIndex(col);
+        if (d >= 0) {
+          dim_src[static_cast<size_t>(d)] = static_cast<int>(i);
+          continue;
+        }
+        int a = desc.AttrIndex(col);
+        if (a < 0) {
+          return Status::BindError(StrFormat("array %s has no column %s",
+                                             cs.target.c_str(), col.c_str()));
+        }
+        attr_src.emplace_back(static_cast<int>(i), a);
+      }
+    } else {
+      // Positional: dimension-flagged result columns feed the dimensions in
+      // order; the rest feed the attributes in order.
+      std::vector<size_t> dims_found, attrs_found;
+      for (size_t i = 0; i < rows.NumColumns(); ++i) {
+        if (rows.column(i).is_dim) {
+          dims_found.push_back(i);
+        } else {
+          attrs_found.push_back(i);
+        }
+      }
+      if (dims_found.empty() && rows.NumColumns() >= desc.ndims()) {
+        // No [dim] markers: the leading columns are the dimensions.
+        for (size_t d = 0; d < desc.ndims(); ++d) dims_found.push_back(d);
+        attrs_found.clear();
+        for (size_t i = desc.ndims(); i < rows.NumColumns(); ++i) {
+          attrs_found.push_back(i);
+        }
+      }
+      if (dims_found.size() != desc.ndims()) {
+        return Status::InvalidArgument(
+            StrFormat("INSERT into array %s needs %zu dimension columns",
+                      cs.target.c_str(), desc.ndims()));
+      }
+      for (size_t d = 0; d < desc.ndims(); ++d) {
+        dim_src[d] = static_cast<int>(dims_found[d]);
+      }
+      if (attrs_found.size() > desc.nattrs()) {
+        return Status::InvalidArgument("too many attribute columns in INSERT");
+      }
+      for (size_t a = 0; a < attrs_found.size(); ++a) {
+        attr_src.emplace_back(static_cast<int>(attrs_found[a]),
+                              static_cast<int>(a));
+      }
+    }
+
+    std::vector<BATPtr> dim_casts;
+    std::vector<const BAT*> dim_vals;
+    for (size_t d = 0; d < desc.ndims(); ++d) {
+      if (dim_src[d] < 0) {
+        return Status::InvalidArgument(
+            StrFormat("INSERT misses dimension %s", desc.dims()[d].name.c_str()));
+      }
+      const BATPtr& b = rows.column(static_cast<size_t>(dim_src[d])).data;
+      if (b->type() != gdk::PhysType::kInt &&
+          b->type() != gdk::PhysType::kLng) {
+        SCIQL_ASSIGN_OR_RETURN(BATPtr c,
+                               gdk::CastBat(*b, gdk::PhysType::kLng));
+        dim_casts.push_back(c);
+        dim_vals.push_back(dim_casts.back().get());
+      } else {
+        dim_vals.push_back(b.get());
+      }
+    }
+    SCIQL_ASSIGN_OR_RETURN(BATPtr pos, array::CellPositions(desc, dim_vals));
+    for (const auto& [src, attr] : attr_src) {
+      SCIQL_RETURN_NOT_OK(array::ScatterIntoAttr(
+          arr->attr_bats[static_cast<size_t>(attr)].get(), *pos,
+          *rows.column(static_cast<size_t>(src)).data));
+    }
+    return Status::OK();
+  }
+
+  // Table insert.
+  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+  size_t nrows = rows.NumRows();
+  std::vector<int> src(tab->columns.size(), -1);
+  if (!cs.insert_columns.empty()) {
+    if (cs.insert_columns.size() != rows.NumColumns()) {
+      return Status::InvalidArgument(
+          "INSERT column list arity differs from the row source");
+    }
+    for (size_t i = 0; i < cs.insert_columns.size(); ++i) {
+      int c = tab->ColumnIndex(cs.insert_columns[i]);
+      if (c < 0) {
+        return Status::BindError(
+            StrFormat("table %s has no column %s", cs.target.c_str(),
+                      cs.insert_columns[i].c_str()));
+      }
+      src[static_cast<size_t>(c)] = static_cast<int>(i);
+    }
+  } else {
+    if (rows.NumColumns() != tab->columns.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "INSERT provides %zu columns, table %s has %zu",
+          rows.NumColumns(), cs.target.c_str(), tab->columns.size()));
+    }
+    for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<int>(i);
+  }
+  for (size_t c = 0; c < tab->columns.size(); ++c) {
+    BAT* target = tab->bats[c].get();
+    if (src[c] < 0) {
+      // Unlisted columns take their default (NULL when unspecified).
+      ScalarValue def = tab->columns[c].default_value;
+      if (def.is_null) def = ScalarValue::Null(tab->columns[c].type);
+      for (size_t r = 0; r < nrows; ++r) {
+        SCIQL_RETURN_NOT_OK(target->Append(def));
+      }
+      continue;
+    }
+    const BATPtr& vals = rows.column(static_cast<size_t>(src[c])).data;
+    if (vals->type() == target->type()) {
+      SCIQL_RETURN_NOT_OK(target->AppendBat(*vals));
+    } else {
+      for (size_t r = 0; r < nrows; ++r) {
+        SCIQL_RETURN_NOT_OK(target->Append(vals->GetScalar(r)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::ApplyUpdate(const CompiledStatement& cs,
+                             const ResultSet& rows) {
+  int pos_col = rows.ColumnIndex("__pos");
+  if (pos_col < 0) return Status::Internal("UPDATE result lacks __pos");
+  const BATPtr& pos = rows.column(static_cast<size_t>(pos_col)).data;
+
+  if (cat_->IsArray(cs.target)) {
+    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+    for (const std::string& col : cs.set_columns) {
+      int vcol = rows.ColumnIndex("__set_" + col);
+      if (vcol < 0) return Status::Internal("missing UPDATE value column");
+      int a = arr->desc.AttrIndex(col);
+      SCIQL_RETURN_NOT_OK(array::ScatterIntoAttr(
+          arr->attr_bats[static_cast<size_t>(a)].get(), *pos,
+          *rows.column(static_cast<size_t>(vcol)).data));
+    }
+    return Status::OK();
+  }
+
+  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+  for (const std::string& col : cs.set_columns) {
+    int vcol = rows.ColumnIndex("__set_" + col);
+    if (vcol < 0) return Status::Internal("missing UPDATE value column");
+    int c = tab->ColumnIndex(col);
+    BAT* target = tab->bats[static_cast<size_t>(c)].get();
+    const BATPtr& vals = rows.column(static_cast<size_t>(vcol)).data;
+    for (size_t i = 0; i < pos->Count(); ++i) {
+      gdk::oid_t p = pos->oids()[i];
+      if (p == gdk::kOidNil) continue;
+      SCIQL_RETURN_NOT_OK(target->Set(p, vals->GetScalar(i)));
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::ApplyDelete(const CompiledStatement& cs,
+                             const ResultSet& rows) {
+  int pos_col = rows.ColumnIndex("__pos");
+  if (pos_col < 0) return Status::Internal("DELETE result lacks __pos");
+  const BATPtr& pos = rows.column(static_cast<size_t>(pos_col)).data;
+
+  if (cat_->IsArray(cs.target)) {
+    // DELETE on arrays punches holes: all attributes become NULL
+    // (paper Sec. 2: "The DELETE statement creates holes").
+    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+    for (size_t a = 0; a < arr->attr_bats.size(); ++a) {
+      SCIQL_RETURN_NOT_OK(array::ScatterConstIntoAttr(
+          arr->attr_bats[a].get(), *pos,
+          ScalarValue::Null(arr->desc.attrs()[a].type)));
+    }
+    return Status::OK();
+  }
+  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+  return tab->DeleteRows(*pos);
+}
+
+Status Executor::ApplyCreateAs(const CompiledStatement& cs,
+                               const ResultSet& rows) {
+  if (cs.action == CompiledStatement::Action::kCreateTableAs) {
+    std::vector<array::AttrDesc> cols;
+    for (size_t i = 0; i < rows.NumColumns(); ++i) {
+      array::AttrDesc ad;
+      ad.name = rows.column(i).name;
+      ad.type = rows.column(i).data->type();
+      ad.default_value = ScalarValue::Null(ad.type);
+      cols.push_back(std::move(ad));
+    }
+    SCIQL_RETURN_NOT_OK(cat_->CreateTable(cs.target, std::move(cols)));
+    SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+    for (size_t i = 0; i < rows.NumColumns(); ++i) {
+      SCIQL_RETURN_NOT_OK(tab->bats[i]->AppendBat(*rows.column(i).data));
+    }
+    return Status::OK();
+  }
+
+  // CREATE ARRAY AS SELECT: coerce the rows to an array; the dimension
+  // columns are the [dim]-flagged projections.
+  std::vector<const BAT*> dim_cols;
+  std::vector<std::string> dim_names;
+  std::vector<const BAT*> attr_cols;
+  std::vector<std::string> attr_names;
+  std::vector<ScalarValue> attr_defaults;
+  for (size_t i = 0; i < rows.NumColumns(); ++i) {
+    const auto& c = rows.column(i);
+    if (c.is_dim) {
+      dim_cols.push_back(c.data.get());
+      dim_names.push_back(c.name);
+    } else {
+      attr_cols.push_back(c.data.get());
+      attr_names.push_back(c.name);
+      attr_defaults.push_back(ScalarValue::Null(c.data->type()));
+    }
+  }
+  if (dim_cols.empty()) {
+    return Status::InvalidArgument(
+        "CREATE ARRAY AS SELECT requires [dim] projections in the select "
+        "list");
+  }
+  // Dimension columns must be integral.
+  std::vector<BATPtr> casts;
+  for (auto& b : dim_cols) {
+    if (b->type() != gdk::PhysType::kInt && b->type() != gdk::PhysType::kLng) {
+      SCIQL_ASSIGN_OR_RETURN(BATPtr c, gdk::CastBat(*b, gdk::PhysType::kLng));
+      casts.push_back(c);
+      b = casts.back().get();
+    }
+  }
+  SCIQL_ASSIGN_OR_RETURN(
+      array::MaterializedArray arr,
+      array::TableToArray(dim_cols, dim_names, attr_cols, attr_names,
+                          attr_defaults));
+  return cat_->AdoptArray(cs.target, std::move(arr));
+}
+
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,38 @@
+// Execution of compiled statements: runs the MAL program, assembles the
+// result set, and applies DML/CREATE-AS actions to the catalog.
+
+#ifndef SCIQL_ENGINE_EXECUTOR_H_
+#define SCIQL_ENGINE_EXECUTOR_H_
+
+#include "src/engine/mal_gen.h"
+#include "src/engine/result_set.h"
+#include "src/mal/interpreter.h"
+
+namespace sciql {
+namespace engine {
+
+class Executor {
+ public:
+  explicit Executor(catalog::Catalog* cat) : cat_(cat) {}
+
+  /// \brief Run the statement. Queries return their rows; DML returns a
+  /// single-row result with the affected row count.
+  Result<ResultSet> Execute(const CompiledStatement& cs);
+
+ private:
+  /// Assemble aligned result columns (scalars broadcast to the row count).
+  Result<ResultSet> AssembleResult(const CompiledStatement& cs,
+                                   mal::MalContext* ctx);
+
+  Status ApplyInsert(const CompiledStatement& cs, const ResultSet& rows);
+  Status ApplyUpdate(const CompiledStatement& cs, const ResultSet& rows);
+  Status ApplyDelete(const CompiledStatement& cs, const ResultSet& rows);
+  Status ApplyCreateAs(const CompiledStatement& cs, const ResultSet& rows);
+
+  catalog::Catalog* cat_;
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_EXECUTOR_H_

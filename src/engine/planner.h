@@ -1,0 +1,50 @@
+// Compilation of SELECT statements into MAL pipelines: scans and joins over
+// the FROM items, WHERE filtering, value-based or structural (tiling)
+// grouping, HAVING, projection, ORDER BY and LIMIT.
+
+#ifndef SCIQL_ENGINE_PLANNER_H_
+#define SCIQL_ENGINE_PLANNER_H_
+
+#include "src/engine/binder.h"
+
+namespace sciql {
+namespace engine {
+
+/// \brief Compiles one SELECT (possibly nested) into an existing MalProgram.
+class SelectCompiler {
+ public:
+  SelectCompiler(mal::MalProgram* prog, catalog::Catalog* cat)
+      : prog_(prog), cat_(cat) {}
+
+  /// \brief Compile the full pipeline; the returned environment holds the
+  /// output columns (name, is_dim, register) in select-list order.
+  Result<Env> Compile(const sql::SelectStmt& sel);
+
+  /// \brief Bind all columns of a table or array into a fresh environment
+  /// (dimensions first for arrays). Also used by the DML compilers.
+  Result<Env> ScanObject(const std::string& name, const std::string& alias);
+
+ private:
+  /// FROM: scans and joins; returns the base environment and the conjuncts
+  /// of WHERE not consumed by equi-joins.
+  Result<Env> CompileFrom(const sql::SelectStmt& sel,
+                          std::vector<const sql::Expr*>* residual);
+
+  /// Filter `env` in place by a predicate (bit BAT -> candidates ->
+  /// projection of every column).
+  Status ApplyFilter(Env* env, int bits_reg, bool bits_scalar,
+                     std::vector<int>* extra_aligned);
+
+  /// Structural grouping: compute tile aggregates (cell-aligned).
+  Status CompileTiling(const sql::SelectStmt& sel, const Env& env,
+                       const std::vector<const sql::Expr*>& aggs,
+                       std::map<const sql::Expr*, int>* agg_map);
+
+  mal::MalProgram* prog_;
+  catalog::Catalog* cat_;
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_PLANNER_H_

@@ -1,0 +1,133 @@
+#include "src/engine/result_set.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace engine {
+
+void ResultSet::AddColumn(std::string name, bool is_dim, gdk::BATPtr data) {
+  cols_.push_back(Column{std::move(name), is_dim, std::move(data)});
+}
+
+int ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ResultSet::IsArrayResult() const {
+  for (const auto& c : cols_) {
+    if (c.is_dim) return true;
+  }
+  return false;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  if (cols_.empty()) return "(empty result)\n";
+  size_t rows = NumRows();
+  size_t shown = std::min(rows, max_rows);
+
+  std::vector<std::vector<std::string>> cells(shown + 1);
+  for (const auto& c : cols_) {
+    cells[0].push_back(c.is_dim ? "[" + c.name + "]" : c.name);
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      gdk::ScalarValue v = Value(r, c);
+      std::string s = v.ToString();
+      if (v.type == gdk::PhysType::kStr && !v.is_null) s = v.s;  // unquoted
+      cells[r + 1].push_back(std::move(s));
+    }
+  }
+  std::vector<size_t> width(cols_.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      std::string& s = cells[r][c];
+      out += std::string(width[c] - s.size(), ' ') + s;
+    }
+    out += "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c > 0 ? 3 : 0);
+      }
+      out += std::string(total, '-') + "\n";
+    }
+  }
+  if (shown < rows) {
+    out += StrFormat("... (%zu rows total)\n", rows);
+  }
+  return out;
+}
+
+Result<std::string> ResultSet::ToGrid(int value_col) const {
+  std::vector<size_t> dim_cols;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].is_dim) dim_cols.push_back(i);
+  }
+  if (dim_cols.size() != 2) {
+    return Status::InvalidArgument(
+        "ToGrid requires exactly two dimension columns");
+  }
+  size_t vcol = 0;
+  if (value_col >= 0) {
+    vcol = static_cast<size_t>(value_col);
+  } else {
+    bool found = false;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (!cols_[i].is_dim) {
+        vcol = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("no value column");
+  }
+
+  std::map<std::pair<int64_t, int64_t>, std::string> grid;
+  std::vector<int64_t> xs, ys;
+  for (size_t r = 0; r < NumRows(); ++r) {
+    gdk::ScalarValue xv = Value(r, dim_cols[0]);
+    gdk::ScalarValue yv = Value(r, dim_cols[1]);
+    if (xv.is_null || yv.is_null) continue;
+    int64_t x = xv.AsInt64();
+    int64_t y = yv.AsInt64();
+    xs.push_back(x);
+    ys.push_back(y);
+    gdk::ScalarValue v = Value(r, vcol);
+    grid[{x, y}] = v.is_null ? "null"
+                   : v.type == gdk::PhysType::kDbl
+                       ? FormatDouble(v.d)
+                       : v.ToString();
+  }
+  if (xs.empty()) return std::string("(empty grid)\n");
+  auto [xmin_it, xmax_it] = std::minmax_element(xs.begin(), xs.end());
+  auto [ymin_it, ymax_it] = std::minmax_element(ys.begin(), ys.end());
+  size_t width = 4;
+  for (const auto& [k, s] : grid) width = std::max(width, s.size());
+
+  std::string out;
+  for (int64_t y = *ymax_it; y >= *ymin_it; --y) {
+    for (int64_t x = *xmin_it; x <= *xmax_it; ++x) {
+      auto it = grid.find({x, y});
+      std::string s = it == grid.end() ? "null" : it->second;
+      out += std::string(width - s.size() + (x > *xmin_it ? 1 : 0), ' ') + s;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,61 @@
+// Columnar query results with table- and array-shaped rendering.
+
+#ifndef SCIQL_ENGINE_RESULT_SET_H_
+#define SCIQL_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gdk/bat.h"
+
+namespace sciql {
+namespace engine {
+
+/// \brief A query result: named, aligned columns. Columns flagged `is_dim`
+/// came from dimension projections ([x]); they carry the array
+/// interpretation of the result (paper Sec. 2: "producing an array if the
+/// projection list contains dimensional expressions").
+class ResultSet {
+ public:
+  struct Column {
+    std::string name;
+    bool is_dim = false;
+    gdk::BATPtr data;
+  };
+
+  ResultSet() = default;
+
+  void AddColumn(std::string name, bool is_dim, gdk::BATPtr data);
+
+  size_t NumColumns() const { return cols_.size(); }
+  size_t NumRows() const { return cols_.empty() ? 0 : cols_[0].data->Count(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  int ColumnIndex(const std::string& name) const;
+
+  /// \brief Cell accessor (row-major).
+  gdk::ScalarValue Value(size_t row, size_t col) const {
+    return cols_[col].data->GetScalar(row);
+  }
+
+  /// \brief True if any column is a dimension projection.
+  bool IsArrayResult() const;
+
+  /// \brief Pretty-print as an aligned text table (the demo GUI's raw
+  /// result box).
+  std::string ToString(size_t max_rows = 64) const;
+
+  /// \brief Render a 2-dimensional array result as a value grid, the way the
+  /// paper's Figure 1 draws matrices: first dimension as columns (x), second
+  /// as rows (y), highest y first. `value_col` selects the payload column
+  /// (-1: first non-dim column). Cells without a row print as "null".
+  Result<std::string> ToGrid(int value_col = -1) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_RESULT_SET_H_

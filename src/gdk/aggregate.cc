@@ -1,0 +1,200 @@
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kCountStar:
+      return "count_star";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kAvg:
+      return "avg";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+// Accumulators per group: sums in double and int64 (exact for integers),
+// counts, and typed min/max tracked as ScalarValue-free primitives.
+struct Accum {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  double dmin = 0.0;
+  double dmax = 0.0;
+  int64_t imin = 0;
+  int64_t imax = 0;
+  bool any = false;
+};
+
+template <typename T>
+void Accumulate(const std::vector<T>& vals, const std::vector<oid_t>& gids,
+                std::vector<Accum>* accs) {
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const T& v = vals[i];
+    if (TypeTraits<T>::IsNil(v)) continue;
+    Accum& a = (*accs)[gids[i]];
+    a.count++;
+    if constexpr (std::is_same_v<T, double>) {
+      a.dsum += v;
+      if (!a.any || v < a.dmin) a.dmin = v;
+      if (!a.any || v > a.dmax) a.dmax = v;
+    } else {
+      int64_t x = static_cast<int64_t>(v);
+      a.isum += x;
+      a.dsum += static_cast<double>(x);
+      if (!a.any || x < a.imin) a.imin = x;
+      if (!a.any || x > a.imax) a.imax = x;
+    }
+    a.any = true;
+  }
+}
+
+}  // namespace
+
+Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
+                                size_t ngroups) {
+  if (groups.type() != PhysType::kOid) {
+    return Status::TypeMismatch("GroupedAggregate expects oid groups");
+  }
+  const auto& gids = groups.oids();
+
+  if (op == AggOp::kCountStar) {
+    auto out = BAT::Make(PhysType::kLng);
+    out->lngs().assign(ngroups, 0);
+    for (oid_t g : gids) out->lngs()[g]++;
+    return out;
+  }
+
+  if (vals == nullptr) {
+    return Status::InvalidArgument("aggregate requires a value column");
+  }
+  if (vals->Count() != gids.size()) {
+    return Status::Internal("GroupedAggregate: values misaligned with groups");
+  }
+
+  if (op == AggOp::kCount) {
+    auto out = BAT::Make(PhysType::kLng);
+    out->lngs().assign(ngroups, 0);
+    for (size_t i = 0; i < gids.size(); ++i) {
+      if (!vals->IsNullAt(i)) out->lngs()[gids[i]]++;
+    }
+    return out;
+  }
+
+  if (!IsNumeric(vals->type())) {
+    if (op == AggOp::kMin || op == AggOp::kMax) {
+      // String min/max: scan with lexicographic compare.
+      auto out = vals->CloneStructure();
+      std::vector<int64_t> best(ngroups, -1);
+      for (size_t i = 0; i < gids.size(); ++i) {
+        if (vals->IsNullAt(i)) continue;
+        int64_t& b = best[gids[i]];
+        if (b < 0) {
+          b = static_cast<int64_t>(i);
+          continue;
+        }
+        bool lt = vals->GetStr(i) < vals->GetStr(static_cast<size_t>(b));
+        if ((op == AggOp::kMin) == lt) b = static_cast<int64_t>(i);
+      }
+      for (size_t g = 0; g < ngroups; ++g) {
+        ScalarValue v = best[g] < 0
+                            ? ScalarValue::Null(vals->type())
+                            : vals->GetScalar(static_cast<size_t>(best[g]));
+        SCIQL_RETURN_NOT_OK(out->Append(v));
+      }
+      return out;
+    }
+    return Status::TypeMismatch(
+        StrFormat("%s over non-numeric column", AggOpName(op)));
+  }
+
+  std::vector<Accum> accs(ngroups);
+  switch (vals->type()) {
+    case PhysType::kBit:
+      Accumulate(vals->bits(), gids, &accs);
+      break;
+    case PhysType::kInt:
+      Accumulate(vals->ints(), gids, &accs);
+      break;
+    case PhysType::kLng:
+      Accumulate(vals->lngs(), gids, &accs);
+      break;
+    case PhysType::kDbl:
+      Accumulate(vals->dbls(), gids, &accs);
+      break;
+    default:
+      return Status::Internal("unreachable aggregate type");
+  }
+
+  bool is_dbl = vals->type() == PhysType::kDbl;
+  switch (op) {
+    case AggOp::kSum: {
+      // Integer sums widen to lng (MonetDB promotes on aggregation).
+      auto out = BAT::Make(is_dbl ? PhysType::kDbl : PhysType::kLng);
+      for (const Accum& a : accs) {
+        if (!a.any) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
+        } else if (is_dbl) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(a.dsum)));
+        } else {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Lng(a.isum)));
+        }
+      }
+      return out;
+    }
+    case AggOp::kAvg: {
+      auto out = BAT::Make(PhysType::kDbl);
+      for (const Accum& a : accs) {
+        if (!a.any) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(PhysType::kDbl)));
+        } else {
+          SCIQL_RETURN_NOT_OK(out->Append(
+              ScalarValue::Dbl(a.dsum / static_cast<double>(a.count))));
+        }
+      }
+      return out;
+    }
+    case AggOp::kMin:
+    case AggOp::kMax: {
+      auto out = vals->CloneStructure();
+      for (const Accum& a : accs) {
+        if (!a.any) {
+          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(vals->type())));
+          continue;
+        }
+        ScalarValue v;
+        if (is_dbl) {
+          v = ScalarValue::Dbl(op == AggOp::kMin ? a.dmin : a.dmax);
+        } else {
+          v = ScalarValue::Lng(op == AggOp::kMin ? a.imin : a.imax);
+        }
+        SCIQL_RETURN_NOT_OK(out->Append(v));
+      }
+      return out;
+    }
+    default:
+      return Status::Internal("unreachable aggregate op");
+  }
+}
+
+Result<ScalarValue> Aggregate(AggOp op, const BAT& vals) {
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids().assign(vals.Count(), 0);
+  SCIQL_ASSIGN_OR_RETURN(BATPtr one,
+                         GroupedAggregate(op, &vals, *groups, 1));
+  return one->GetScalar(0);
+}
+
+}  // namespace gdk
+}  // namespace sciql

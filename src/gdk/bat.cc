@@ -1,0 +1,269 @@
+#include "src/gdk/bat.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace gdk {
+
+BAT::BAT(PhysType t) : type_(t) {
+  switch (t) {
+    case PhysType::kBit:
+      tail_ = std::vector<uint8_t>();
+      break;
+    case PhysType::kInt:
+      tail_ = std::vector<int32_t>();
+      break;
+    case PhysType::kLng:
+      tail_ = std::vector<int64_t>();
+      break;
+    case PhysType::kDbl:
+      tail_ = std::vector<double>();
+      break;
+    case PhysType::kOid:
+    case PhysType::kStr:
+      tail_ = std::vector<uint64_t>();
+      break;
+  }
+  if (t == PhysType::kStr) heap_ = std::make_shared<StrHeap>();
+}
+
+BATPtr BAT::Make(PhysType t) { return std::make_shared<BAT>(t); }
+
+BATPtr BAT::MakeStr(std::shared_ptr<StrHeap> heap) {
+  auto b = std::make_shared<BAT>(PhysType::kStr);
+  b->heap_ = std::move(heap);
+  return b;
+}
+
+BATPtr BAT::MakeDense(oid_t seq, size_t count) {
+  auto b = Make(PhysType::kOid);
+  FillDense(&b->oids(), seq, count);
+  return b;
+}
+
+BATPtr BAT::MakeConst(const ScalarValue& v, size_t count) {
+  auto b = Make(v.type);
+  b->Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Status st = b->Append(v);
+    (void)st;  // Append of a same-typed scalar cannot fail.
+  }
+  return b;
+}
+
+size_t BAT::Count() const {
+  return std::visit([](const auto& v) { return v.size(); }, tail_);
+}
+
+ScalarValue BAT::GetScalar(size_t i) const {
+  switch (type_) {
+    case PhysType::kBit: {
+      uint8_t v = bits()[i];
+      return v == kBitNil ? ScalarValue::Null(type_) : ScalarValue::Bit(v != 0);
+    }
+    case PhysType::kInt: {
+      int32_t v = ints()[i];
+      return v == kIntNil ? ScalarValue::Null(type_) : ScalarValue::Int(v);
+    }
+    case PhysType::kLng: {
+      int64_t v = lngs()[i];
+      return v == kLngNil ? ScalarValue::Null(type_) : ScalarValue::Lng(v);
+    }
+    case PhysType::kDbl: {
+      double v = dbls()[i];
+      return IsDblNil(v) ? ScalarValue::Null(type_) : ScalarValue::Dbl(v);
+    }
+    case PhysType::kOid: {
+      oid_t v = oids()[i];
+      return v == kOidNil ? ScalarValue::Null(type_) : ScalarValue::Oid(v);
+    }
+    case PhysType::kStr: {
+      uint64_t off = oids()[i];
+      if (heap_->IsNil(off)) return ScalarValue::Null(type_);
+      return ScalarValue::Str(std::string(heap_->Get(off)));
+    }
+  }
+  return ScalarValue::Null(type_);
+}
+
+Status BAT::Append(const ScalarValue& in) {
+  ScalarValue v = in;
+  if (v.type != type_) {
+    SCIQL_ASSIGN_OR_RETURN(v, CastScalar(in, type_));
+  }
+  switch (type_) {
+    case PhysType::kBit:
+      bits().push_back(v.is_null ? kBitNil : static_cast<uint8_t>(v.i != 0));
+      break;
+    case PhysType::kInt:
+      ints().push_back(v.is_null ? kIntNil : static_cast<int32_t>(v.i));
+      break;
+    case PhysType::kLng:
+      lngs().push_back(v.is_null ? kLngNil : v.i);
+      break;
+    case PhysType::kDbl:
+      dbls().push_back(v.is_null ? DblNil() : v.d);
+      break;
+    case PhysType::kOid:
+      oids().push_back(v.is_null ? kOidNil : static_cast<oid_t>(v.i));
+      break;
+    case PhysType::kStr:
+      oids().push_back(v.is_null ? kStrNilOffset : heap_->Put(v.s));
+      break;
+  }
+  return Status::OK();
+}
+
+Status BAT::Set(size_t i, const ScalarValue& in) {
+  if (i >= Count()) {
+    return Status::OutOfRange(StrFormat("BAT::Set position %zu >= count %zu",
+                                        i, Count()));
+  }
+  ScalarValue v = in;
+  if (v.type != type_) {
+    SCIQL_ASSIGN_OR_RETURN(v, CastScalar(in, type_));
+  }
+  switch (type_) {
+    case PhysType::kBit:
+      bits()[i] = v.is_null ? kBitNil : static_cast<uint8_t>(v.i != 0);
+      break;
+    case PhysType::kInt:
+      ints()[i] = v.is_null ? kIntNil : static_cast<int32_t>(v.i);
+      break;
+    case PhysType::kLng:
+      lngs()[i] = v.is_null ? kLngNil : v.i;
+      break;
+    case PhysType::kDbl:
+      dbls()[i] = v.is_null ? DblNil() : v.d;
+      break;
+    case PhysType::kOid:
+      oids()[i] = v.is_null ? kOidNil : static_cast<oid_t>(v.i);
+      break;
+    case PhysType::kStr:
+      oids()[i] = v.is_null ? kStrNilOffset : heap_->Put(v.s);
+      break;
+  }
+  return Status::OK();
+}
+
+Status BAT::AppendBat(const BAT& other) {
+  if (other.type() != type_) {
+    return Status::TypeMismatch(
+        StrFormat("append %s BAT to %s BAT", PhysTypeName(other.type()),
+                  PhysTypeName(type_)));
+  }
+  if (type_ == PhysType::kStr && heap_ != other.heap_) {
+    // Re-intern through the scalar path so offsets stay heap-local.
+    Reserve(Count() + other.Count());
+    for (size_t i = 0; i < other.Count(); ++i) {
+      SCIQL_RETURN_NOT_OK(Append(other.GetScalar(i)));
+    }
+    return Status::OK();
+  }
+  std::visit(
+      [&other](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& src = std::get<Vec>(other.tail_);
+        dst.insert(dst.end(), src.begin(), src.end());
+      },
+      tail_);
+  return Status::OK();
+}
+
+bool BAT::IsNullAt(size_t i) const {
+  switch (type_) {
+    case PhysType::kBit:
+      return bits()[i] == kBitNil;
+    case PhysType::kInt:
+      return ints()[i] == kIntNil;
+    case PhysType::kLng:
+      return lngs()[i] == kLngNil;
+    case PhysType::kDbl:
+      return IsDblNil(dbls()[i]);
+    case PhysType::kOid:
+      return oids()[i] == kOidNil;
+    case PhysType::kStr:
+      return oids()[i] == kStrNilOffset;
+  }
+  return false;
+}
+
+size_t BAT::CountNulls() const {
+  size_t n = 0;
+  for (size_t i = 0; i < Count(); ++i) n += IsNullAt(i) ? 1 : 0;
+  return n;
+}
+
+void BAT::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, tail_);
+}
+
+void BAT::Resize(size_t n) {
+  switch (type_) {
+    case PhysType::kBit:
+      bits().resize(n, kBitNil);
+      break;
+    case PhysType::kInt:
+      ints().resize(n, kIntNil);
+      break;
+    case PhysType::kLng:
+      lngs().resize(n, kLngNil);
+      break;
+    case PhysType::kDbl:
+      dbls().resize(n, DblNil());
+      break;
+    case PhysType::kOid:
+      oids().resize(n, kOidNil);
+      break;
+    case PhysType::kStr:
+      oids().resize(n, kStrNilOffset);
+      break;
+  }
+}
+
+BATPtr BAT::CloneStructure() const {
+  if (type_ == PhysType::kStr) return MakeStr(heap_);
+  return Make(type_);
+}
+
+BATPtr BAT::CloneData() const {
+  auto b = CloneStructure();
+  b->tail_ = tail_;
+  return b;
+}
+
+BATPtr BAT::Slice(size_t lo, size_t hi) const {
+  auto b = CloneStructure();
+  size_t n = Count();
+  if (lo > n) lo = n;
+  if (hi > n) hi = n;
+  if (hi < lo) hi = lo;
+  std::visit(
+      [&](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& src = std::get<Vec>(tail_);
+        dst.assign(src.begin() + lo, src.begin() + hi);
+      },
+      b->tail_);
+  return b;
+}
+
+std::string BAT::ToString(size_t max_rows) const {
+  std::string out = StrFormat("[:%s, %zu rows] [", PhysTypeName(type_), Count());
+  size_t n = std::min(Count(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += GetScalar(i).ToString();
+  }
+  if (Count() > max_rows) out += ", ...";
+  out += "]";
+  return out;
+}
+
+void FillDense(std::vector<oid_t>* out, oid_t seq, size_t count) {
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) (*out)[i] = seq + i;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,125 @@
+// BAT: Binary Association Table, the storage unit of the GDK kernel.
+//
+// As in MonetDB, a BAT conceptually maps a void head column (dense row
+// identifiers 0..n-1) to a typed tail column stored as one consecutive C
+// array [3]. monetlite keeps the head implicit and stores the tail in a
+// std::vector of the physical type; strings store heap offsets plus a shared
+// StrHeap.
+
+#ifndef SCIQL_GDK_BAT_H_
+#define SCIQL_GDK_BAT_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gdk/strheap.h"
+#include "src/gdk/types.h"
+
+namespace sciql {
+namespace gdk {
+
+class BAT;
+using BATPtr = std::shared_ptr<BAT>;
+
+/// \brief A single typed column with an implicit dense void head.
+class BAT {
+ public:
+  /// \brief Create an empty BAT with tail type `t`.
+  static BATPtr Make(PhysType t);
+
+  /// \brief Create an empty string BAT sharing an existing heap.
+  static BATPtr MakeStr(std::shared_ptr<StrHeap> heap);
+
+  /// \brief Create an oid BAT holding the dense sequence [seq, seq+count).
+  static BATPtr MakeDense(oid_t seq, size_t count);
+
+  /// \brief Create a BAT of `count` copies of scalar `v`.
+  static BATPtr MakeConst(const ScalarValue& v, size_t count);
+
+  explicit BAT(PhysType t);
+
+  PhysType type() const { return type_; }
+  size_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  /// Typed access to the tail vector. The requested type must match type().
+  std::vector<uint8_t>& bits() { return std::get<std::vector<uint8_t>>(tail_); }
+  std::vector<int32_t>& ints() { return std::get<std::vector<int32_t>>(tail_); }
+  std::vector<int64_t>& lngs() { return std::get<std::vector<int64_t>>(tail_); }
+  std::vector<double>& dbls() { return std::get<std::vector<double>>(tail_); }
+  std::vector<uint64_t>& oids() { return std::get<std::vector<uint64_t>>(tail_); }
+  const std::vector<uint8_t>& bits() const { return std::get<std::vector<uint8_t>>(tail_); }
+  const std::vector<int32_t>& ints() const { return std::get<std::vector<int32_t>>(tail_); }
+  const std::vector<int64_t>& lngs() const { return std::get<std::vector<int64_t>>(tail_); }
+  const std::vector<double>& dbls() const { return std::get<std::vector<double>>(tail_); }
+  const std::vector<uint64_t>& oids() const { return std::get<std::vector<uint64_t>>(tail_); }
+
+  /// Generic typed vector access for template kernels.
+  template <typename T>
+  std::vector<T>& Data() {
+    return std::get<std::vector<T>>(tail_);
+  }
+  template <typename T>
+  const std::vector<T>& Data() const {
+    return std::get<std::vector<T>>(tail_);
+  }
+
+  /// String heap (only for kStr BATs).
+  const std::shared_ptr<StrHeap>& heap() const { return heap_; }
+  StrHeap* mutable_heap() { return heap_.get(); }
+
+  /// \brief The string value at row `i` (kStr only).
+  std::string_view GetStr(size_t i) const { return heap_->Get(oids()[i]); }
+
+  /// \brief Read row `i` as a scalar (NULL decoded from the sentinel).
+  ScalarValue GetScalar(size_t i) const;
+
+  /// \brief Append a scalar; it must be of (or castable to) the tail type.
+  Status Append(const ScalarValue& v);
+
+  /// \brief Overwrite row `i` with scalar `v` (same typing rule as Append).
+  Status Set(size_t i, const ScalarValue& v);
+
+  /// \brief Append all rows of `other` (must have the same tail type).
+  Status AppendBat(const BAT& other);
+
+  /// \brief True if row `i` holds the nil sentinel.
+  bool IsNullAt(size_t i) const;
+
+  /// \brief Number of nil rows (O(n) scan).
+  size_t CountNulls() const;
+
+  void Reserve(size_t n);
+  void Resize(size_t n);  ///< grows with nil sentinels
+
+  /// \brief Empty BAT of the same type (string BATs share this heap).
+  BATPtr CloneStructure() const;
+
+  /// \brief Deep copy of the tail (string heap is shared).
+  BATPtr CloneData() const;
+
+  /// \brief Rows [lo, hi) as a new BAT.
+  BATPtr Slice(size_t lo, size_t hi) const;
+
+  /// \brief Debug rendering: "[ 0, 1, nil, ... ]".
+  std::string ToString(size_t max_rows = 32) const;
+
+ private:
+  PhysType type_;
+  std::variant<std::vector<uint8_t>, std::vector<int32_t>, std::vector<int64_t>,
+               std::vector<double>, std::vector<uint64_t>>
+      tail_;
+  std::shared_ptr<StrHeap> heap_;  // only for kStr
+};
+
+/// \brief Materialize `count` dense oids starting at `seq` into `out`.
+void FillDense(std::vector<oid_t>* out, oid_t seq, size_t count);
+
+}  // namespace gdk
+}  // namespace sciql
+
+#endif  // SCIQL_GDK_BAT_H_

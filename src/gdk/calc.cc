@@ -1,0 +1,507 @@
+#include <cmath>
+#include <cstring>
+
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+  }
+  return "?";
+}
+
+const char* UnOpName(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kNot: return "not";
+    case UnOp::kIsNull: return "isnil";
+    case UnOp::kAbs: return "abs";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsArith(BinOp op) {
+  return op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul ||
+         op == BinOp::kDiv || op == BinOp::kMod;
+}
+bool IsCompare(BinOp op) {
+  return op == BinOp::kEq || op == BinOp::kNe || op == BinOp::kLt ||
+         op == BinOp::kLe || op == BinOp::kGt || op == BinOp::kGe;
+}
+
+// Reads either a vector element or a broadcast constant.
+template <typename T>
+struct Acc {
+  const T* vec = nullptr;
+  T cval = TypeTraits<T>::Nil();
+  T operator[](size_t i) const { return vec != nullptr ? vec[i] : cval; }
+};
+
+template <typename T>
+Result<BATPtr> ArithLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
+  auto out = BAT::Make(TypeTraits<T>::kType);
+  auto& o = out->template Data<T>();
+  o.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    T a = la[i];
+    T b = ra[i];
+    if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
+      o[i] = TypeTraits<T>::Nil();
+      continue;
+    }
+    switch (op) {
+      case BinOp::kAdd:
+        o[i] = a + b;
+        break;
+      case BinOp::kSub:
+        o[i] = a - b;
+        break;
+      case BinOp::kMul:
+        o[i] = a * b;
+        break;
+      case BinOp::kDiv:
+        if constexpr (std::is_same_v<T, double>) {
+          if (b == 0.0) return Status::ExecError("division by zero");
+          o[i] = a / b;
+        } else {
+          if (b == 0) return Status::ExecError("division by zero");
+          o[i] = static_cast<T>(a / b);
+        }
+        break;
+      case BinOp::kMod:
+        if constexpr (std::is_same_v<T, double>) {
+          if (b == 0.0) return Status::ExecError("modulo by zero");
+          o[i] = std::fmod(a, b);
+        } else {
+          if (b == 0) return Status::ExecError("modulo by zero");
+          // SQL MOD follows the sign of the divisor-free C semantics here;
+          // dimension arithmetic in SciQL only uses non-negative operands.
+          o[i] = static_cast<T>(a % b);
+        }
+        break;
+      default:
+        return Status::Internal("non-arithmetic op in ArithLoop");
+    }
+  }
+  return out;
+}
+
+template <typename T>
+BATPtr CmpLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
+  auto out = BAT::Make(PhysType::kBit);
+  auto& o = out->bits();
+  o.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    T a = la[i];
+    T b = ra[i];
+    if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
+      o[i] = kBitNil;
+      continue;
+    }
+    bool r = false;
+    switch (op) {
+      case BinOp::kEq: r = a == b; break;
+      case BinOp::kNe: r = a != b; break;
+      case BinOp::kLt: r = a < b; break;
+      case BinOp::kLe: r = a <= b; break;
+      case BinOp::kGt: r = a > b; break;
+      case BinOp::kGe: r = a >= b; break;
+      default: break;
+    }
+    o[i] = r ? 1 : 0;
+  }
+  return out;
+}
+
+// Three-valued AND/OR.
+BATPtr BoolLoop(BinOp op, size_t n, Acc<uint8_t> la, Acc<uint8_t> ra) {
+  auto out = BAT::Make(PhysType::kBit);
+  auto& o = out->bits();
+  o.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = la[i];
+    uint8_t b = ra[i];
+    if (op == BinOp::kAnd) {
+      if (a == 0 || b == 0) {
+        o[i] = 0;
+      } else if (a == kBitNil || b == kBitNil) {
+        o[i] = kBitNil;
+      } else {
+        o[i] = 1;
+      }
+    } else {  // kOr
+      if (a == 1 || b == 1) {
+        o[i] = 1;
+      } else if (a == kBitNil || b == kBitNil) {
+        o[i] = kBitNil;
+      } else {
+        o[i] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+struct StrAcc {
+  const BAT* bat = nullptr;
+  const ScalarValue* scalar = nullptr;
+  std::pair<std::string_view, bool> Get(size_t i) const {
+    if (bat != nullptr) {
+      if (bat->IsNullAt(i)) return {{}, true};
+      return {bat->GetStr(i), false};
+    }
+    if (scalar->is_null) return {{}, true};
+    return {std::string_view(scalar->s), false};
+  }
+};
+
+BATPtr StrCmpLoop(BinOp op, size_t n, const StrAcc& la, const StrAcc& ra) {
+  auto out = BAT::Make(PhysType::kBit);
+  auto& o = out->bits();
+  o.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [a, an] = la.Get(i);
+    auto [b, bn] = ra.Get(i);
+    if (an || bn) {
+      o[i] = kBitNil;
+      continue;
+    }
+    bool r = false;
+    switch (op) {
+      case BinOp::kEq: r = a == b; break;
+      case BinOp::kNe: r = a != b; break;
+      case BinOp::kLt: r = a < b; break;
+      case BinOp::kLe: r = a <= b; break;
+      case BinOp::kGt: r = a > b; break;
+      case BinOp::kGe: r = a >= b; break;
+      default: break;
+    }
+    o[i] = r ? 1 : 0;
+  }
+  return out;
+}
+
+template <typename T>
+Acc<T> MakeAcc(const BAT* b, const ScalarValue* s) {
+  Acc<T> a;
+  if (b != nullptr) {
+    a.vec = b->template Data<T>().data();
+  } else if (!s->is_null) {
+    if constexpr (std::is_same_v<T, double>) {
+      a.cval = s->AsDouble();
+    } else {
+      a.cval = static_cast<T>(s->i);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<BATPtr> CastBat(const BAT& b, PhysType to) {
+  if (b.type() == to) return b.CloneData();
+  if (!IsNumeric(to) && to != PhysType::kOid && to != PhysType::kLng) {
+    return Status::TypeMismatch(
+        StrFormat("cannot cast BAT of %s to %s", PhysTypeName(b.type()),
+                  PhysTypeName(to)));
+  }
+  auto out = BAT::Make(to);
+  out->Reserve(b.Count());
+  for (size_t i = 0; i < b.Count(); ++i) {
+    SCIQL_ASSIGN_OR_RETURN(ScalarValue v, CastScalar(b.GetScalar(i), to));
+    SCIQL_RETURN_NOT_OK(out->Append(v));
+  }
+  return out;
+}
+
+Result<BATPtr> CalcBinary(BinOp op, const BAT* lb, const ScalarValue* ls,
+                          const BAT* rb, const ScalarValue* rs) {
+  if ((lb == nullptr) == (ls == nullptr) ||
+      (rb == nullptr) == (rs == nullptr)) {
+    return Status::Internal("CalcBinary: exactly one operand form per side");
+  }
+  if (lb == nullptr && rb == nullptr) {
+    return Status::Internal("CalcBinary: at least one BAT operand required");
+  }
+  size_t n = lb != nullptr ? lb->Count() : rb->Count();
+  if (lb != nullptr && rb != nullptr && lb->Count() != rb->Count()) {
+    return Status::Internal(StrFormat("CalcBinary: length mismatch %zu vs %zu",
+                                      lb->Count(), rb->Count()));
+  }
+
+  PhysType lt = lb != nullptr ? lb->type() : ls->type;
+  PhysType rt = rb != nullptr ? rb->type() : rs->type;
+
+  // String comparisons.
+  if (IsCompare(op) && (lt == PhysType::kStr || rt == PhysType::kStr)) {
+    if (lt != PhysType::kStr || rt != PhysType::kStr) {
+      return Status::TypeMismatch("comparison between str and non-str");
+    }
+    StrAcc la{lb, ls};
+    StrAcc ra{rb, rs};
+    return StrCmpLoop(op, n, la, ra);
+  }
+
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    if (lt != PhysType::kBit || rt != PhysType::kBit) {
+      return Status::TypeMismatch("AND/OR require boolean operands");
+    }
+    return BoolLoop(op, n, MakeAcc<uint8_t>(lb, ls), MakeAcc<uint8_t>(rb, rs));
+  }
+
+  if (!IsNumeric(lt) || !IsNumeric(rt)) {
+    if (!(lt == PhysType::kOid && rt == PhysType::kOid && IsCompare(op))) {
+      return Status::TypeMismatch(
+          StrFormat("operator %s on %s and %s", BinOpName(op),
+                    PhysTypeName(lt), PhysTypeName(rt)));
+    }
+  }
+
+  PhysType ct = lt == PhysType::kOid ? PhysType::kOid : PromoteNumeric(lt, rt);
+  // Comparison of two bit operands can stay in bit space.
+  if (IsCompare(op) && lt == PhysType::kBit && rt == PhysType::kBit) {
+    ct = PhysType::kBit;
+  }
+
+  // Promote sides to the common type.
+  BATPtr lcast, rcast;
+  ScalarValue lsv, rsv;
+  if (lb != nullptr && lb->type() != ct) {
+    SCIQL_ASSIGN_OR_RETURN(lcast, CastBat(*lb, ct));
+    lb = lcast.get();
+  }
+  if (rb != nullptr && rb->type() != ct) {
+    SCIQL_ASSIGN_OR_RETURN(rcast, CastBat(*rb, ct));
+    rb = rcast.get();
+  }
+  if (ls != nullptr && ls->type != ct) {
+    SCIQL_ASSIGN_OR_RETURN(lsv, CastScalar(*ls, ct));
+    ls = &lsv;
+  }
+  if (rs != nullptr && rs->type != ct) {
+    SCIQL_ASSIGN_OR_RETURN(rsv, CastScalar(*rs, ct));
+    rs = &rsv;
+  }
+
+  auto run = [&]<typename T>() -> Result<BATPtr> {
+    Acc<T> la = MakeAcc<T>(lb, ls);
+    Acc<T> ra = MakeAcc<T>(rb, rs);
+    if (IsArith(op)) return ArithLoop<T>(op, n, la, ra);
+    return CmpLoop<T>(op, n, la, ra);
+  };
+
+  switch (ct) {
+    case PhysType::kBit:
+      return run.template operator()<uint8_t>();
+    case PhysType::kInt:
+      return run.template operator()<int32_t>();
+    case PhysType::kLng:
+      return run.template operator()<int64_t>();
+    case PhysType::kDbl:
+      return run.template operator()<double>();
+    case PhysType::kOid:
+      return run.template operator()<uint64_t>();
+    default:
+      return Status::Internal("unreachable calc type");
+  }
+}
+
+Result<ScalarValue> CalcBinaryScalar(BinOp op, const ScalarValue& l,
+                                     const ScalarValue& r) {
+  // Route through a 1-row BAT; scalar expressions are not hot paths.
+  auto lb = BAT::Make(l.type);
+  SCIQL_RETURN_NOT_OK(lb->Append(l));
+  SCIQL_ASSIGN_OR_RETURN(BATPtr out, CalcBinary(op, lb.get(), nullptr,
+                                                nullptr, &r));
+  return out->GetScalar(0);
+}
+
+Result<BATPtr> CalcUnary(UnOp op, const BAT& b) {
+  size_t n = b.Count();
+  switch (op) {
+    case UnOp::kIsNull: {
+      auto out = BAT::Make(PhysType::kBit);
+      out->bits().resize(n);
+      for (size_t i = 0; i < n; ++i) out->bits()[i] = b.IsNullAt(i) ? 1 : 0;
+      return out;
+    }
+    case UnOp::kNot: {
+      if (b.type() != PhysType::kBit) {
+        return Status::TypeMismatch("NOT requires a boolean operand");
+      }
+      auto out = BAT::Make(PhysType::kBit);
+      out->bits().resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        uint8_t v = b.bits()[i];
+        out->bits()[i] = v == kBitNil ? kBitNil : static_cast<uint8_t>(v == 0);
+      }
+      return out;
+    }
+    case UnOp::kNeg:
+    case UnOp::kAbs: {
+      if (!IsNumeric(b.type())) {
+        return Status::TypeMismatch(
+            StrFormat("%s requires a numeric operand", UnOpName(op)));
+      }
+      PhysType ot = b.type() == PhysType::kBit ? PhysType::kInt : b.type();
+      const BAT* src = &b;
+      BATPtr cast;
+      if (ot != b.type()) {
+        SCIQL_ASSIGN_OR_RETURN(cast, CastBat(b, ot));
+        src = cast.get();
+      }
+      auto apply = [&]<typename T>() -> BATPtr {
+        auto out = BAT::Make(ot);
+        auto& o = out->template Data<T>();
+        const auto& v = src->template Data<T>();
+        o.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          if (TypeTraits<T>::IsNil(v[i])) {
+            o[i] = TypeTraits<T>::Nil();
+          } else if (op == UnOp::kNeg) {
+            o[i] = static_cast<T>(-v[i]);
+          } else {
+            o[i] = v[i] < 0 ? static_cast<T>(-v[i]) : v[i];
+          }
+        }
+        return out;
+      };
+      switch (ot) {
+        case PhysType::kInt:
+          return apply.template operator()<int32_t>();
+        case PhysType::kLng:
+          return apply.template operator()<int64_t>();
+        case PhysType::kDbl:
+          return apply.template operator()<double>();
+        default:
+          return Status::Internal("unreachable unary type");
+      }
+    }
+  }
+  return Status::Internal("unreachable unary op");
+}
+
+Result<ScalarValue> CalcUnaryScalar(UnOp op, const ScalarValue& v) {
+  auto b = BAT::Make(v.type);
+  SCIQL_RETURN_NOT_OK(b->Append(v));
+  SCIQL_ASSIGN_OR_RETURN(BATPtr out, CalcUnary(op, *b));
+  return out->GetScalar(0);
+}
+
+Result<BATPtr> IfThenElse(const BAT& cond, const BAT* tb, const ScalarValue* ts,
+                          const BAT* eb, const ScalarValue* es) {
+  if (cond.type() != PhysType::kBit) {
+    return Status::TypeMismatch("IfThenElse condition must be boolean");
+  }
+  size_t n = cond.Count();
+  if ((tb != nullptr && tb->Count() != n) ||
+      (eb != nullptr && eb->Count() != n)) {
+    return Status::Internal("IfThenElse: arm length mismatch");
+  }
+  PhysType tt = tb != nullptr ? tb->type() : ts->type;
+  PhysType et = eb != nullptr ? eb->type() : es->type;
+
+  PhysType ot;
+  if (tt == PhysType::kStr || et == PhysType::kStr) {
+    if (tt != et) return Status::TypeMismatch("CASE arms mix str and non-str");
+    ot = PhysType::kStr;
+  } else if (IsNumeric(tt) && IsNumeric(et)) {
+    ot = tt == et ? tt : PromoteNumeric(tt, et);
+  } else if (tt == et) {
+    ot = tt;
+  } else {
+    return Status::TypeMismatch(
+        StrFormat("CASE arms have incompatible types %s and %s",
+                  PhysTypeName(tt), PhysTypeName(et)));
+  }
+
+  // Typed fast path for numeric outputs: promote both arms to the output
+  // type once, then run one branch-per-row loop over dense vectors.
+  if (IsNumeric(ot)) {
+    BATPtr tcast, ecast;
+    ScalarValue tsv, esv;
+    if (tb != nullptr && tb->type() != ot) {
+      SCIQL_ASSIGN_OR_RETURN(tcast, CastBat(*tb, ot));
+      tb = tcast.get();
+    }
+    if (eb != nullptr && eb->type() != ot) {
+      SCIQL_ASSIGN_OR_RETURN(ecast, CastBat(*eb, ot));
+      eb = ecast.get();
+    }
+    if (ts != nullptr && ts->type != ot) {
+      SCIQL_ASSIGN_OR_RETURN(tsv, CastScalar(*ts, ot));
+      ts = &tsv;
+    }
+    if (es != nullptr && es->type != ot) {
+      SCIQL_ASSIGN_OR_RETURN(esv, CastScalar(*es, ot));
+      es = &esv;
+    }
+    auto run = [&]<typename T>() -> BATPtr {
+      auto out = BAT::Make(ot);
+      auto& o = out->template Data<T>();
+      o.resize(n);
+      Acc<T> ta = MakeAcc<T>(tb, ts);
+      Acc<T> ea = MakeAcc<T>(eb, es);
+      const auto& c = cond.bits();
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = c[i] == 1 ? ta[i] : ea[i];  // nil condition selects ELSE
+      }
+      return out;
+    };
+    switch (ot) {
+      case PhysType::kBit:
+        return run.template operator()<uint8_t>();
+      case PhysType::kInt:
+        return run.template operator()<int32_t>();
+      case PhysType::kLng:
+        return run.template operator()<int64_t>();
+      case PhysType::kDbl:
+        return run.template operator()<double>();
+      default:
+        break;
+    }
+  }
+
+  // Generic (row-at-a-time) path for strings and mixed cases.
+  std::shared_ptr<StrHeap> heap;
+  if (ot == PhysType::kStr) {
+    if (tb != nullptr) heap = tb->heap();
+    else if (eb != nullptr) heap = eb->heap();
+  }
+  BATPtr out = ot == PhysType::kStr && heap != nullptr ? BAT::MakeStr(heap)
+                                                       : BAT::Make(ot);
+  out->Reserve(n);
+  const auto& c = cond.bits();
+  for (size_t i = 0; i < n; ++i) {
+    bool take_then = c[i] == 1;  // nil condition selects the ELSE arm
+    ScalarValue v;
+    if (take_then) {
+      v = tb != nullptr ? tb->GetScalar(i) : *ts;
+    } else {
+      v = eb != nullptr ? eb->GetScalar(i) : *es;
+    }
+    SCIQL_RETURN_NOT_OK(out->Append(v));
+  }
+  return out;
+}
+
+}  // namespace gdk
+}  // namespace sciql

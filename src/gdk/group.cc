@@ -1,0 +1,87 @@
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+    uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
+    h ^= p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+// Canonical key bits per row: NULLs share one fixed pattern so that SQL
+// GROUP BY places all NULLs in a single group.
+template <typename T>
+uint64_t RowKey(const std::vector<T>& v, size_t i) {
+  if (TypeTraits<T>::IsNil(v[i])) return 0xF1F1F1F1F1F1F1F1ULL;
+  if constexpr (std::is_same_v<T, double>) {
+    double d = v[i] == 0.0 ? 0.0 : v[i];
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  } else {
+    return static_cast<uint64_t>(v[i]);
+  }
+}
+
+}  // namespace
+
+Result<GroupResult> Group(const BAT& b, const BAT* prev, size_t prev_ngroups) {
+  size_t n = b.Count();
+  if (prev != nullptr && prev->Count() != n) {
+    return Status::Internal("Group: refinement grouping misaligned");
+  }
+
+  GroupResult res;
+  res.groups = BAT::Make(PhysType::kOid);
+  res.extents = BAT::Make(PhysType::kOid);
+  auto& gids = res.groups->oids();
+  gids.resize(n);
+
+  std::unordered_map<std::pair<uint64_t, uint64_t>, oid_t, PairHash> seen;
+  seen.reserve(n / 4 + 16);
+
+  auto keyer = [&](size_t i) -> uint64_t {
+    switch (b.type()) {
+      case PhysType::kBit:
+        return RowKey(b.bits(), i);
+      case PhysType::kInt:
+        return RowKey(b.ints(), i);
+      case PhysType::kLng:
+        return RowKey(b.lngs(), i);
+      case PhysType::kDbl:
+        return RowKey(b.dbls(), i);
+      case PhysType::kOid:
+      case PhysType::kStr:
+        // Str offsets are canonical within a heap (deduplicated).
+        return RowKey(b.oids(), i);
+    }
+    return 0;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t prev_gid = prev == nullptr ? 0 : prev->oids()[i];
+    auto key = std::make_pair(prev_gid, keyer(i));
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      oid_t gid = res.ngroups++;
+      seen.emplace(key, gid);
+      res.extents->oids().push_back(static_cast<oid_t>(i));
+      gids[i] = gid;
+    } else {
+      gids[i] = it->second;
+    }
+  }
+  return res;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,275 @@
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+namespace {
+
+// Canonical 64-bit key for hashing a value of any physical type. NULLs are
+// filtered by callers before keying.
+template <typename T>
+uint64_t KeyBits(const T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    // Normalize -0.0 == 0.0 so hash matches operator==.
+    double d = v == 0.0 ? 0.0 : v;
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  } else {
+    return static_cast<uint64_t>(v);
+  }
+}
+
+template <typename T>
+Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
+  const auto& lv = l.Data<T>();
+  const auto& rv = r.Data<T>();
+  // Build on the smaller side.
+  const bool build_left = lv.size() <= rv.size();
+  const auto& build = build_left ? lv : rv;
+  const auto& probe = build_left ? rv : lv;
+
+  std::unordered_multimap<uint64_t, oid_t> table;
+  table.reserve(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    if (TypeTraits<T>::IsNil(build[i])) continue;
+    table.emplace(KeyBits(build[i]), static_cast<oid_t>(i));
+  }
+
+  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+  auto& lo = out.left->oids();
+  auto& ro = out.right->oids();
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (TypeTraits<T>::IsNil(probe[i])) continue;
+    auto [lo_it, hi_it] = table.equal_range(KeyBits(probe[i]));
+    for (auto it = lo_it; it != hi_it; ++it) {
+      // Hash collision guard: re-check actual equality.
+      if (build[it->second] != probe[i]) continue;
+      if (build_left) {
+        lo.push_back(it->second);
+        ro.push_back(static_cast<oid_t>(i));
+      } else {
+        lo.push_back(static_cast<oid_t>(i));
+        ro.push_back(it->second);
+      }
+    }
+  }
+  return out;
+}
+
+Result<JoinResult> HashJoinStr(const BAT& l, const BAT& r) {
+  // Strings hash by content; offsets are only comparable within one heap.
+  std::unordered_multimap<std::string_view, oid_t> table;
+  table.reserve(l.Count());
+  for (size_t i = 0; i < l.Count(); ++i) {
+    if (l.IsNullAt(i)) continue;
+    table.emplace(l.GetStr(i), static_cast<oid_t>(i));
+  }
+  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+  for (size_t i = 0; i < r.Count(); ++i) {
+    if (r.IsNullAt(i)) continue;
+    auto [lo_it, hi_it] = table.equal_range(r.GetStr(i));
+    for (auto it = lo_it; it != hi_it; ++it) {
+      out.left->oids().push_back(it->second);
+      out.right->oids().push_back(static_cast<oid_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinResult> HashJoin(const BAT& l, const BAT& r) {
+  if (l.type() != r.type()) {
+    // Promote numerics to a common type, then join.
+    if (IsNumeric(l.type()) && IsNumeric(r.type())) {
+      PhysType ct = PromoteNumeric(l.type(), r.type());
+      SCIQL_ASSIGN_OR_RETURN(BATPtr lc, CastBat(l, ct));
+      SCIQL_ASSIGN_OR_RETURN(BATPtr rc, CastBat(r, ct));
+      return HashJoin(*lc, *rc);
+    }
+    return Status::TypeMismatch(
+        StrFormat("join on %s vs %s", PhysTypeName(l.type()),
+                  PhysTypeName(r.type())));
+  }
+  switch (l.type()) {
+    case PhysType::kBit:
+      return HashJoinTyped<uint8_t>(l, r);
+    case PhysType::kInt:
+      return HashJoinTyped<int32_t>(l, r);
+    case PhysType::kLng:
+      return HashJoinTyped<int64_t>(l, r);
+    case PhysType::kDbl:
+      return HashJoinTyped<double>(l, r);
+    case PhysType::kOid:
+      return HashJoinTyped<uint64_t>(l, r);
+    case PhysType::kStr:
+      return HashJoinStr(l, r);
+  }
+  return Status::Internal("unreachable join type");
+}
+
+namespace {
+
+// Canonical per-row key bits for multi-key hashing; NULL rows are marked
+// unjoinable by the caller.
+Result<uint64_t> RowKeyBits(const BAT& b, size_t i, bool* is_null) {
+  *is_null = b.IsNullAt(i);
+  if (*is_null) return uint64_t{0};
+  switch (b.type()) {
+    case PhysType::kBit:
+      return static_cast<uint64_t>(b.bits()[i]);
+    case PhysType::kInt:
+      return static_cast<uint64_t>(static_cast<int64_t>(b.ints()[i]));
+    case PhysType::kLng:
+      return static_cast<uint64_t>(b.lngs()[i]);
+    case PhysType::kDbl:
+      return KeyBits(b.dbls()[i]);
+    case PhysType::kOid:
+      return b.oids()[i];
+    case PhysType::kStr: {
+      std::string_view s = b.GetStr(i);
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  }
+  return Status::Internal("unreachable key type");
+}
+
+bool RowsEqual(const std::vector<const BAT*>& lkeys, size_t li,
+               const std::vector<const BAT*>& rkeys, size_t ri) {
+  for (size_t k = 0; k < lkeys.size(); ++k) {
+    const BAT& l = *lkeys[k];
+    const BAT& r = *rkeys[k];
+    if (l.IsNullAt(li) || r.IsNullAt(ri)) return false;
+    if (l.type() == PhysType::kStr || r.type() == PhysType::kStr) {
+      if (l.type() != r.type()) return false;
+      if (l.GetStr(li) != r.GetStr(ri)) return false;
+      continue;
+    }
+    // Numeric comparison in double space is exact for our value ranges.
+    double lv = l.GetScalar(li).AsDouble();
+    double rv = r.GetScalar(ri).AsDouble();
+    if (lv != rv) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
+                                 const std::vector<const BAT*>& rkeys) {
+  if (lkeys.empty() || lkeys.size() != rkeys.size()) {
+    return Status::Internal("HashJoinMulti: bad key arity");
+  }
+  if (lkeys.size() == 1) {
+    // Single-key joins use the typed fast path (with numeric promotion).
+    return HashJoin(*lkeys[0], *rkeys[0]);
+  }
+  size_t nl = lkeys[0]->Count();
+  size_t nr = rkeys[0]->Count();
+  for (const BAT* b : lkeys) {
+    if (b->Count() != nl) return Status::Internal("left keys misaligned");
+  }
+  for (const BAT* b : rkeys) {
+    if (b->Count() != nr) return Status::Internal("right keys misaligned");
+  }
+  // Promote numeric key pairs to a common type so 1 (int) == 1 (lng).
+  std::vector<BATPtr> casts;
+  std::vector<const BAT*> lk = lkeys;
+  std::vector<const BAT*> rk = rkeys;
+  for (size_t k = 0; k < lk.size(); ++k) {
+    if (lk[k]->type() != rk[k]->type() && IsNumeric(lk[k]->type()) &&
+        IsNumeric(rk[k]->type())) {
+      PhysType ct = PromoteNumeric(lk[k]->type(), rk[k]->type());
+      if (lk[k]->type() != ct) {
+        SCIQL_ASSIGN_OR_RETURN(BATPtr c, CastBat(*lk[k], ct));
+        casts.push_back(c);
+        lk[k] = casts.back().get();
+      }
+      if (rk[k]->type() != ct) {
+        SCIQL_ASSIGN_OR_RETURN(BATPtr c, CastBat(*rk[k], ct));
+        casts.push_back(c);
+        rk[k] = casts.back().get();
+      }
+    }
+  }
+
+  auto hash_row = [](const std::vector<const BAT*>& keys, size_t i,
+                     bool* is_null) -> Result<uint64_t> {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const BAT* b : keys) {
+      bool null_part = false;
+      SCIQL_ASSIGN_OR_RETURN(uint64_t bits, RowKeyBits(*b, i, &null_part));
+      if (null_part) {
+        *is_null = true;
+        return uint64_t{0};
+      }
+      h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    *is_null = false;
+    return h;
+  };
+
+  const bool build_left = nl <= nr;
+  const auto& build = build_left ? lk : rk;
+  const auto& probe = build_left ? rk : lk;
+  size_t nb = build_left ? nl : nr;
+  size_t np = build_left ? nr : nl;
+
+  std::unordered_multimap<uint64_t, oid_t> table;
+  table.reserve(nb);
+  for (size_t i = 0; i < nb; ++i) {
+    bool is_null = false;
+    SCIQL_ASSIGN_OR_RETURN(uint64_t h, hash_row(build, i, &is_null));
+    if (is_null) continue;
+    table.emplace(h, static_cast<oid_t>(i));
+  }
+
+  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+  for (size_t i = 0; i < np; ++i) {
+    bool is_null = false;
+    SCIQL_ASSIGN_OR_RETURN(uint64_t h, hash_row(probe, i, &is_null));
+    if (is_null) continue;
+    auto [lo_it, hi_it] = table.equal_range(h);
+    for (auto it = lo_it; it != hi_it; ++it) {
+      size_t bi = it->second;
+      bool eq = build_left ? RowsEqual(lk, bi, rk, i)
+                           : RowsEqual(lk, i, rk, bi);
+      if (!eq) continue;
+      if (build_left) {
+        out.left->oids().push_back(bi);
+        out.right->oids().push_back(static_cast<oid_t>(i));
+      } else {
+        out.left->oids().push_back(static_cast<oid_t>(i));
+        out.right->oids().push_back(bi);
+      }
+    }
+  }
+  return out;
+}
+
+JoinResult CrossJoin(size_t nl, size_t nr) {
+  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+  out.left->Reserve(nl * nr);
+  out.right->Reserve(nl * nr);
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nr; ++j) {
+      out.left->oids().push_back(i);
+      out.right->oids().push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,156 @@
+// Vectorized kernel operations over BATs: selection, projection, joins,
+// grouping, aggregation, elementwise calculation and sorting.
+//
+// These are the GDK-level primitives the MAL interpreter dispatches to; they
+// correspond to MonetDB's algebra.*, batcalc.*, group.* and aggr.* modules.
+
+#ifndef SCIQL_GDK_KERNELS_H_
+#define SCIQL_GDK_KERNELS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gdk/bat.h"
+
+namespace sciql {
+namespace gdk {
+
+// ---------------------------------------------------------------------------
+// Selection
+// ---------------------------------------------------------------------------
+
+/// \brief Comparison operators used by theta-selects and calc.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief Positions (candidates) where the bit BAT holds true (1).
+///
+/// `cands`, if non-null, restricts and indirects: `bits` is aligned with
+/// `cands` and the emitted oids come from `cands`' tail.
+Result<BATPtr> BoolSelect(const BAT& bits, const BAT* cands);
+
+/// \brief Positions where `b[i] op v` holds (NULLs never match).
+Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
+                           const ScalarValue& v);
+
+/// \brief Positions in [lo, hi] / [lo, hi) etc. of `b` (numeric only).
+Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
+                           const ScalarValue& lo, const ScalarValue& hi,
+                           bool lo_incl, bool hi_incl);
+
+/// \brief Positions where b is (not) nil.
+Result<BATPtr> NullSelect(const BAT& b, const BAT* cands, bool select_null);
+
+// ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+/// \brief Gather: out[i] = b[positions[i]]. A nil position yields NULL.
+///
+/// This is MonetDB's algebra.projection (positional fetch-join).
+Result<BATPtr> Project(const BAT& b, const BAT& positions);
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// \brief Matching row-id pairs of an equi-join (hash join; NULLs never match).
+struct JoinResult {
+  BATPtr left;
+  BATPtr right;
+};
+
+Result<JoinResult> HashJoin(const BAT& l, const BAT& r);
+
+/// \brief Multi-key equi-join: rows match when all key columns match
+/// pairwise (NULL never matches). `lkeys[i]` joins against `rkeys[i]`.
+Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
+                                 const std::vector<const BAT*>& rkeys);
+
+/// \brief All nl*nr pairs, left-major.
+JoinResult CrossJoin(size_t nl, size_t nr);
+
+// ---------------------------------------------------------------------------
+// Grouping
+// ---------------------------------------------------------------------------
+
+/// \brief Result of (refining) a grouping: per-row group ids, one
+/// representative row per group, and the group count.
+struct GroupResult {
+  BATPtr groups;   ///< oid BAT: row -> group id (0..ngroups-1)
+  BATPtr extents;  ///< oid BAT: group id -> first row of the group
+  size_t ngroups = 0;
+};
+
+/// \brief Group rows of `b` by tail value, optionally refining an existing
+/// grouping (`prev`, with `prev_ngroups` groups). NULLs form a group.
+Result<GroupResult> Group(const BAT& b, const BAT* prev, size_t prev_ngroups);
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+enum class AggOp { kCount, kCountStar, kSum, kAvg, kMin, kMax };
+
+const char* AggOpName(AggOp op);
+
+/// \brief Grouped aggregate: one output row per group id in [0, ngroups).
+///
+/// `vals` must be aligned with `groups` (ignored for kCountStar). NULLs are
+/// skipped; empty/all-NULL groups yield NULL (COUNT yields 0).
+Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
+                                size_t ngroups);
+
+/// \brief Ungrouped aggregate over the whole BAT.
+Result<ScalarValue> Aggregate(AggOp op, const BAT& vals);
+
+// ---------------------------------------------------------------------------
+// Elementwise calculation (batcalc)
+// ---------------------------------------------------------------------------
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+enum class UnOp { kNeg, kNot, kIsNull, kAbs };
+
+const char* BinOpName(BinOp op);
+const char* UnOpName(UnOp op);
+
+/// \brief Elementwise binary operation. Exactly one of {lb,ls} and one of
+/// {rb,rs} must be set; BAT operands must have equal length.
+///
+/// Arithmetic promotes bit<int<lng<dbl and propagates NULL. Comparisons yield
+/// bit with NULL for NULL inputs; kAnd/kOr use SQL three-valued logic.
+/// Integer division/modulo by zero is an execution error.
+Result<BATPtr> CalcBinary(BinOp op, const BAT* lb, const ScalarValue* ls,
+                          const BAT* rb, const ScalarValue* rs);
+
+/// \brief Scalar-scalar variant of CalcBinary.
+Result<ScalarValue> CalcBinaryScalar(BinOp op, const ScalarValue& l,
+                                     const ScalarValue& r);
+
+Result<BATPtr> CalcUnary(UnOp op, const BAT& b);
+Result<ScalarValue> CalcUnaryScalar(UnOp op, const ScalarValue& v);
+
+/// \brief out[i] = cond[i]==true ? then[i] : else[i] (NULL cond selects else).
+/// Arms may be scalars (broadcast) or BATs aligned with `cond`.
+Result<BATPtr> IfThenElse(const BAT& cond, const BAT* tb, const ScalarValue* ts,
+                          const BAT* eb, const ScalarValue* es);
+
+/// \brief Cast every row to `to` (numeric conversions only).
+Result<BATPtr> CastBat(const BAT& b, PhysType to);
+
+// ---------------------------------------------------------------------------
+// Sorting
+// ---------------------------------------------------------------------------
+
+/// \brief Stable order index over one or more aligned key columns.
+/// NULLs sort first on ascending keys (MonetDB: nil is smallest).
+Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
+                          const std::vector<bool>& desc);
+
+}  // namespace gdk
+}  // namespace sciql
+
+#endif  // SCIQL_GDK_KERNELS_H_

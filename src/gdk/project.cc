@@ -1,0 +1,78 @@
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+Result<BATPtr> Project(const BAT& b, const BAT& positions) {
+  if (positions.type() != PhysType::kOid) {
+    return Status::TypeMismatch("Project expects oid positions");
+  }
+  auto out = b.CloneStructure();
+  const auto& pos = positions.oids();
+  size_t n = pos.size();
+  size_t limit = b.Count();
+
+  auto gather = [&](auto& dst, const auto& src) -> Status {
+    using T = std::decay_t<decltype(dst[0])>;
+    dst.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      oid_t p = pos[i];
+      if (p == kOidNil) {
+        dst[i] = TypeTraits<T>::Nil();
+        continue;
+      }
+      if (p >= limit) {
+        return Status::OutOfRange(
+            StrFormat("Project: position %llu out of range (count %zu)",
+                      static_cast<unsigned long long>(p), limit));
+      }
+      dst[i] = src[p];
+    }
+    return Status::OK();
+  };
+
+  Status st;
+  switch (b.type()) {
+    case PhysType::kBit:
+      st = gather(out->bits(), b.bits());
+      break;
+    case PhysType::kInt:
+      st = gather(out->ints(), b.ints());
+      break;
+    case PhysType::kLng:
+      st = gather(out->lngs(), b.lngs());
+      break;
+    case PhysType::kDbl:
+      st = gather(out->dbls(), b.dbls());
+      break;
+    case PhysType::kOid:
+    case PhysType::kStr: {
+      // For strings a nil position must yield the nil offset, not kOidNil.
+      auto& dst = out->oids();
+      const auto& src = b.oids();
+      dst.resize(n);
+      bool is_str = b.type() == PhysType::kStr;
+      for (size_t i = 0; i < n; ++i) {
+        oid_t p = pos[i];
+        if (p == kOidNil) {
+          dst[i] = is_str ? kStrNilOffset : kOidNil;
+          continue;
+        }
+        if (p >= limit) {
+          return Status::OutOfRange(
+              StrFormat("Project: position %llu out of range (count %zu)",
+                        static_cast<unsigned long long>(p), limit));
+        }
+        dst[i] = src[p];
+      }
+      st = Status::OK();
+      break;
+    }
+  }
+  SCIQL_RETURN_NOT_OK(st);
+  return out;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,188 @@
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+namespace {
+
+// Emit the absolute oid for aligned position i: either i itself or an
+// indirect lookup through the candidate list.
+inline oid_t ResolveOid(const BAT* cands, size_t i) {
+  return cands == nullptr ? static_cast<oid_t>(i) : cands->oids()[i];
+}
+
+template <typename T, typename Pred>
+BATPtr ScanSelect(const std::vector<T>& data, const BAT* cands, Pred pred) {
+  auto out = BAT::Make(PhysType::kOid);
+  size_t n = data.size();
+  out->Reserve(n / 4);
+  for (size_t i = 0; i < n; ++i) {
+    const T& v = data[i];
+    if (TypeTraits<T>::IsNil(v)) continue;
+    if (pred(v)) out->oids().push_back(ResolveOid(cands, i));
+  }
+  return out;
+}
+
+template <typename T>
+bool ApplyCmp(CmpOp op, const T& a, const T& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BATPtr> BoolSelect(const BAT& bits, const BAT* cands) {
+  if (bits.type() != PhysType::kBit) {
+    return Status::TypeMismatch("BoolSelect expects a bit BAT");
+  }
+  if (cands != nullptr && cands->Count() != bits.Count()) {
+    return Status::Internal(
+        StrFormat("BoolSelect: candidate count %zu != bits count %zu",
+                  cands->Count(), bits.Count()));
+  }
+  auto out = BAT::Make(PhysType::kOid);
+  const auto& v = bits.bits();
+  out->Reserve(v.size() / 4);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == 1) out->oids().push_back(ResolveOid(cands, i));
+  }
+  return out;
+}
+
+Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
+                           const ScalarValue& sv) {
+  if (cands != nullptr && cands->Count() != b.Count()) {
+    return Status::Internal("ThetaSelect: candidates misaligned with input");
+  }
+  if (sv.is_null) {
+    // Comparison with NULL never matches.
+    return BAT::Make(PhysType::kOid);
+  }
+  switch (b.type()) {
+    case PhysType::kInt: {
+      SCIQL_ASSIGN_OR_RETURN(ScalarValue c, CastScalar(sv, PhysType::kInt));
+      int32_t x = static_cast<int32_t>(c.i);
+      return ScanSelect(b.ints(), cands,
+                        [op, x](int32_t v) { return ApplyCmp(op, v, x); });
+    }
+    case PhysType::kLng: {
+      SCIQL_ASSIGN_OR_RETURN(ScalarValue c, CastScalar(sv, PhysType::kLng));
+      int64_t x = c.i;
+      return ScanSelect(b.lngs(), cands,
+                        [op, x](int64_t v) { return ApplyCmp(op, v, x); });
+    }
+    case PhysType::kDbl: {
+      SCIQL_ASSIGN_OR_RETURN(ScalarValue c, CastScalar(sv, PhysType::kDbl));
+      double x = c.d;
+      return ScanSelect(b.dbls(), cands,
+                        [op, x](double v) { return ApplyCmp(op, v, x); });
+    }
+    case PhysType::kBit: {
+      SCIQL_ASSIGN_OR_RETURN(ScalarValue c, CastScalar(sv, PhysType::kBit));
+      uint8_t x = static_cast<uint8_t>(c.i);
+      return ScanSelect(b.bits(), cands,
+                        [op, x](uint8_t v) { return ApplyCmp(op, v, x); });
+    }
+    case PhysType::kOid: {
+      oid_t x = static_cast<oid_t>(sv.i);
+      return ScanSelect(b.oids(), cands,
+                        [op, x](oid_t v) { return ApplyCmp(op, v, x); });
+    }
+    case PhysType::kStr: {
+      if (sv.type != PhysType::kStr) {
+        return Status::TypeMismatch("string theta-select needs a str scalar");
+      }
+      auto out = BAT::Make(PhysType::kOid);
+      for (size_t i = 0; i < b.Count(); ++i) {
+        if (b.IsNullAt(i)) continue;
+        std::string_view v = b.GetStr(i);
+        bool match = false;
+        switch (op) {
+          case CmpOp::kEq:
+            match = v == sv.s;
+            break;
+          case CmpOp::kNe:
+            match = v != sv.s;
+            break;
+          case CmpOp::kLt:
+            match = v < sv.s;
+            break;
+          case CmpOp::kLe:
+            match = v <= sv.s;
+            break;
+          case CmpOp::kGt:
+            match = v > sv.s;
+            break;
+          case CmpOp::kGe:
+            match = v >= sv.s;
+            break;
+        }
+        if (match) out->oids().push_back(ResolveOid(cands, i));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable theta-select type");
+}
+
+Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
+                           const ScalarValue& lo, const ScalarValue& hi,
+                           bool lo_incl, bool hi_incl) {
+  if (!IsNumeric(b.type())) {
+    return Status::TypeMismatch("RangeSelect expects a numeric BAT");
+  }
+  if (lo.is_null || hi.is_null) return BAT::Make(PhysType::kOid);
+  double l = lo.AsDouble();
+  double h = hi.AsDouble();
+  auto pred = [l, h, lo_incl, hi_incl](double v) {
+    bool ge = lo_incl ? v >= l : v > l;
+    bool le = hi_incl ? v <= h : v < h;
+    return ge && le;
+  };
+  switch (b.type()) {
+    case PhysType::kInt:
+      return ScanSelect(b.ints(), cands,
+                        [&](int32_t v) { return pred(static_cast<double>(v)); });
+    case PhysType::kLng:
+      return ScanSelect(b.lngs(), cands,
+                        [&](int64_t v) { return pred(static_cast<double>(v)); });
+    case PhysType::kDbl:
+      return ScanSelect(b.dbls(), cands, pred);
+    case PhysType::kBit:
+      return ScanSelect(b.bits(), cands,
+                        [&](uint8_t v) { return pred(static_cast<double>(v)); });
+    default:
+      return Status::TypeMismatch("RangeSelect: unsupported type");
+  }
+}
+
+Result<BATPtr> NullSelect(const BAT& b, const BAT* cands, bool select_null) {
+  if (cands != nullptr && cands->Count() != b.Count()) {
+    return Status::Internal("NullSelect: candidates misaligned with input");
+  }
+  auto out = BAT::Make(PhysType::kOid);
+  for (size_t i = 0; i < b.Count(); ++i) {
+    if (b.IsNullAt(i) == select_null) {
+      out->oids().push_back(ResolveOid(cands, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+
+namespace {
+
+// Three-way compare of rows i and j of one key column; nil sorts smallest.
+int CompareAt(const BAT& b, size_t i, size_t j) {
+  bool ni = b.IsNullAt(i);
+  bool nj = b.IsNullAt(j);
+  if (ni || nj) return (ni ? 0 : 1) - (nj ? 0 : 1);
+  switch (b.type()) {
+    case PhysType::kBit: {
+      uint8_t a = b.bits()[i], c = b.bits()[j];
+      return (a > c) - (a < c);
+    }
+    case PhysType::kInt: {
+      int32_t a = b.ints()[i], c = b.ints()[j];
+      return (a > c) - (a < c);
+    }
+    case PhysType::kLng: {
+      int64_t a = b.lngs()[i], c = b.lngs()[j];
+      return (a > c) - (a < c);
+    }
+    case PhysType::kDbl: {
+      double a = b.dbls()[i], c = b.dbls()[j];
+      return (a > c) - (a < c);
+    }
+    case PhysType::kOid: {
+      oid_t a = b.oids()[i], c = b.oids()[j];
+      return (a > c) - (a < c);
+    }
+    case PhysType::kStr: {
+      auto a = b.GetStr(i);
+      auto c = b.GetStr(j);
+      return a.compare(c) > 0 ? 1 : (a == c ? 0 : -1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
+                          const std::vector<bool>& desc) {
+  if (keys.empty()) return Status::InvalidArgument("OrderIndex: no keys");
+  if (keys.size() != desc.size()) {
+    return Status::Internal("OrderIndex: keys/desc size mismatch");
+  }
+  size_t n = keys[0]->Count();
+  for (const BAT* k : keys) {
+    if (k->Count() != n) {
+      return Status::Internal("OrderIndex: key columns misaligned");
+    }
+  }
+  auto out = BAT::Make(PhysType::kOid);
+  auto& idx = out->oids();
+  idx.resize(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](oid_t a, oid_t c) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int cmp = CompareAt(*keys[k], a, c);
+      if (cmp != 0) return desc[k] ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  return out;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,2 @@
+// StrHeap is header-only; this file anchors the translation unit.
+#include "src/gdk/strheap.h"

@@ -1,0 +1,60 @@
+// String heap: append-only, duplicate-eliminating string storage.
+//
+// String BATs store fixed-width offsets into a shared StrHeap, mirroring
+// MonetDB's string heaps with double elimination. Because equal strings are
+// guaranteed to share an offset within one heap, equality within a heap is an
+// O(1) offset comparison.
+
+#ifndef SCIQL_GDK_STRHEAP_H_
+#define SCIQL_GDK_STRHEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sciql {
+namespace gdk {
+
+/// \brief Append-only deduplicated string arena.
+///
+/// Offset 0 is reserved for the nil string (SQL NULL).
+class StrHeap {
+ public:
+  StrHeap() {
+    // Reserve offset 0 for nil: a single NUL byte.
+    data_.push_back('\0');
+  }
+
+  /// \brief Intern `s`, returning its offset. Equal strings get equal offsets.
+  uint64_t Put(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    uint64_t off = data_.size();
+    data_.insert(data_.end(), s.begin(), s.end());
+    data_.push_back('\0');
+    index_.emplace(std::string(s), off);
+    return off;
+  }
+
+  /// \brief The string at `off`. Offset 0 yields the empty nil string.
+  std::string_view Get(uint64_t off) const {
+    const char* p = data_.data() + off;
+    return std::string_view(p);
+  }
+
+  bool IsNil(uint64_t off) const { return off == 0; }
+
+  size_t ByteSize() const { return data_.size(); }
+  size_t UniqueCount() const { return index_.size(); }
+
+ private:
+  std::vector<char> data_;
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+}  // namespace gdk
+}  // namespace sciql
+
+#endif  // SCIQL_GDK_STRHEAP_H_

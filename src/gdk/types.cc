@@ -1,0 +1,150 @@
+#include "src/gdk/types.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace gdk {
+
+const char* PhysTypeName(PhysType t) {
+  switch (t) {
+    case PhysType::kBit:
+      return "bit";
+    case PhysType::kInt:
+      return "int";
+    case PhysType::kLng:
+      return "lng";
+    case PhysType::kDbl:
+      return "dbl";
+    case PhysType::kOid:
+      return "oid";
+    case PhysType::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+PhysType PromoteNumeric(PhysType a, PhysType b) {
+  auto rank = [](PhysType t) {
+    switch (t) {
+      case PhysType::kBit:
+        return 0;
+      case PhysType::kInt:
+        return 1;
+      case PhysType::kLng:
+        return 2;
+      case PhysType::kDbl:
+        return 3;
+      default:
+        return 4;
+    }
+  };
+  PhysType widest = rank(a) >= rank(b) ? a : b;
+  // Arithmetic on bare bits happens in int space.
+  if (widest == PhysType::kBit) return PhysType::kInt;
+  return widest;
+}
+
+double ScalarValue::AsDouble() const {
+  if (is_null) return DblNil();
+  if (type == PhysType::kDbl) return d;
+  return static_cast<double>(i);
+}
+
+int64_t ScalarValue::AsInt64() const {
+  if (is_null) return kLngNil;
+  if (type == PhysType::kDbl) return static_cast<int64_t>(d);
+  return i;
+}
+
+std::string ScalarValue::ToString() const {
+  if (is_null) return "null";
+  switch (type) {
+    case PhysType::kBit:
+      return i ? "true" : "false";
+    case PhysType::kInt:
+    case PhysType::kLng:
+      return std::to_string(i);
+    case PhysType::kOid:
+      return std::to_string(static_cast<uint64_t>(i)) + "@0";
+    case PhysType::kDbl:
+      return FormatDouble(d);
+    case PhysType::kStr:
+      return "'" + s + "'";
+  }
+  return "?";
+}
+
+bool ScalarValue::Equals(const ScalarValue& other) const {
+  if (type != other.type) return false;
+  if (is_null || other.is_null) return is_null == other.is_null;
+  switch (type) {
+    case PhysType::kDbl:
+      return d == other.d;
+    case PhysType::kStr:
+      return s == other.s;
+    default:
+      return i == other.i;
+  }
+}
+
+Result<ScalarValue> CastScalar(const ScalarValue& v, PhysType to) {
+  if (v.type == to) return v;
+  if (v.is_null) return ScalarValue::Null(to);
+  ScalarValue out;
+  out.type = to;
+  out.is_null = false;
+  switch (to) {
+    case PhysType::kBit:
+      if (!IsNumeric(v.type)) {
+        return Status::TypeMismatch(
+            StrFormat("cannot cast %s to bit", PhysTypeName(v.type)));
+      }
+      out.i = (v.type == PhysType::kDbl ? v.d != 0.0 : v.i != 0) ? 1 : 0;
+      return out;
+    case PhysType::kInt: {
+      if (!IsNumeric(v.type)) {
+        return Status::TypeMismatch(
+            StrFormat("cannot cast %s to int", PhysTypeName(v.type)));
+      }
+      int64_t x = v.type == PhysType::kDbl ? static_cast<int64_t>(v.d) : v.i;
+      if (x < std::numeric_limits<int32_t>::min() ||
+          x > std::numeric_limits<int32_t>::max()) {
+        return Status::OutOfRange(StrFormat("value %lld overflows int",
+                                            static_cast<long long>(x)));
+      }
+      out.i = x;
+      return out;
+    }
+    case PhysType::kLng:
+      if (!IsNumeric(v.type)) {
+        return Status::TypeMismatch(
+            StrFormat("cannot cast %s to lng", PhysTypeName(v.type)));
+      }
+      out.i = v.type == PhysType::kDbl ? static_cast<int64_t>(v.d) : v.i;
+      return out;
+    case PhysType::kDbl:
+      if (!IsNumeric(v.type)) {
+        return Status::TypeMismatch(
+            StrFormat("cannot cast %s to dbl", PhysTypeName(v.type)));
+      }
+      out.d = v.type == PhysType::kDbl ? v.d : static_cast<double>(v.i);
+      return out;
+    case PhysType::kOid:
+      if (v.type != PhysType::kInt && v.type != PhysType::kLng) {
+        return Status::TypeMismatch(
+            StrFormat("cannot cast %s to oid", PhysTypeName(v.type)));
+      }
+      if (v.i < 0) {
+        return Status::OutOfRange("negative value cannot be cast to oid");
+      }
+      out.i = v.i;
+      return out;
+    case PhysType::kStr:
+      return Status::TypeMismatch(
+          StrFormat("cannot cast %s to str", PhysTypeName(v.type)));
+  }
+  return Status::Internal("unreachable cast");
+}
+
+}  // namespace gdk
+}  // namespace sciql

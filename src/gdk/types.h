@@ -1,0 +1,175 @@
+// Physical types of the GDK kernel.
+//
+// monetlite follows MonetDB's convention of encoding NULL ("nil") as a
+// sentinel value inside the dense C array of each column rather than with a
+// separate validity bitmap: INT32_MIN / INT64_MIN for integers, NaN for
+// doubles, the maximal oid for oids, offset 0 of the string heap for strings
+// and 0x80 for the three-valued bit type.
+
+#ifndef SCIQL_GDK_TYPES_H_
+#define SCIQL_GDK_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sciql {
+namespace gdk {
+
+/// Row identifier (position in a BAT). `kOidNil` encodes NULL.
+using oid_t = uint64_t;
+
+inline constexpr oid_t kOidNil = std::numeric_limits<oid_t>::max();
+inline constexpr int32_t kIntNil = std::numeric_limits<int32_t>::min();
+inline constexpr int64_t kLngNil = std::numeric_limits<int64_t>::min();
+inline constexpr uint8_t kBitNil = 0x80;
+inline constexpr uint64_t kStrNilOffset = 0;
+
+/// \brief Physical column types stored in BATs.
+enum class PhysType : uint8_t {
+  kBit = 0,  ///< three-valued boolean: 0, 1, 0x80 (nil)
+  kInt,      ///< 32-bit signed integer
+  kLng,      ///< 64-bit signed integer
+  kDbl,      ///< IEEE double
+  kOid,      ///< row identifier
+  kStr,      ///< offset into a string heap
+};
+
+/// \brief Name of a physical type ("int", "lng", ...), as MAL prints it.
+const char* PhysTypeName(PhysType t);
+
+/// \brief True for bit/int/lng/dbl.
+inline bool IsNumeric(PhysType t) {
+  return t == PhysType::kBit || t == PhysType::kInt || t == PhysType::kLng ||
+         t == PhysType::kDbl;
+}
+
+/// \brief Common type two numeric operands promote to (bit < int < lng < dbl).
+PhysType PromoteNumeric(PhysType a, PhysType b);
+
+inline double DblNil() { return std::numeric_limits<double>::quiet_NaN(); }
+inline bool IsDblNil(double v) { return std::isnan(v); }
+
+/// \brief Compile-time traits mapping C++ storage types to PhysType and nil.
+template <typename T>
+struct TypeTraits;
+
+template <>
+struct TypeTraits<uint8_t> {
+  static constexpr PhysType kType = PhysType::kBit;
+  static uint8_t Nil() { return kBitNil; }
+  static bool IsNil(uint8_t v) { return v == kBitNil; }
+};
+template <>
+struct TypeTraits<int32_t> {
+  static constexpr PhysType kType = PhysType::kInt;
+  static int32_t Nil() { return kIntNil; }
+  static bool IsNil(int32_t v) { return v == kIntNil; }
+};
+template <>
+struct TypeTraits<int64_t> {
+  static constexpr PhysType kType = PhysType::kLng;
+  static int64_t Nil() { return kLngNil; }
+  static bool IsNil(int64_t v) { return v == kLngNil; }
+};
+template <>
+struct TypeTraits<double> {
+  static constexpr PhysType kType = PhysType::kDbl;
+  static double Nil() { return DblNil(); }
+  static bool IsNil(double v) { return std::isnan(v); }
+};
+template <>
+struct TypeTraits<uint64_t> {
+  static constexpr PhysType kType = PhysType::kOid;
+  static uint64_t Nil() { return kOidNil; }
+  static bool IsNil(uint64_t v) { return v == kOidNil; }
+};
+
+/// \brief A typed scalar constant (literal, parameter, or single query
+/// result), with explicit NULL flag.
+///
+/// Scalars flow between the parser (literals), the MAL constant pool, the
+/// vectorized kernels (BAT-scalar operations) and result sets.
+struct ScalarValue {
+  PhysType type = PhysType::kInt;
+  bool is_null = true;
+  int64_t i = 0;    ///< payload for kBit/kInt/kLng/kOid
+  double d = 0.0;   ///< payload for kDbl
+  std::string s;    ///< payload for kStr
+
+  ScalarValue() = default;
+
+  static ScalarValue Null(PhysType t) {
+    ScalarValue v;
+    v.type = t;
+    v.is_null = true;
+    return v;
+  }
+  static ScalarValue Bit(bool b) {
+    ScalarValue v;
+    v.type = PhysType::kBit;
+    v.is_null = false;
+    v.i = b ? 1 : 0;
+    return v;
+  }
+  static ScalarValue Int(int32_t x) {
+    ScalarValue v;
+    v.type = PhysType::kInt;
+    v.is_null = false;
+    v.i = x;
+    return v;
+  }
+  static ScalarValue Lng(int64_t x) {
+    ScalarValue v;
+    v.type = PhysType::kLng;
+    v.is_null = false;
+    v.i = x;
+    return v;
+  }
+  static ScalarValue Dbl(double x) {
+    ScalarValue v;
+    v.type = PhysType::kDbl;
+    v.is_null = false;
+    v.d = x;
+    return v;
+  }
+  static ScalarValue Oid(oid_t x) {
+    ScalarValue v;
+    v.type = PhysType::kOid;
+    v.is_null = false;
+    v.i = static_cast<int64_t>(x);
+    return v;
+  }
+  static ScalarValue Str(std::string x) {
+    ScalarValue v;
+    v.type = PhysType::kStr;
+    v.is_null = false;
+    v.s = std::move(x);
+    return v;
+  }
+
+  /// Numeric payload widened to double; NULL yields NaN.
+  double AsDouble() const;
+  /// Numeric payload as int64; doubles truncate; NULL yields kLngNil.
+  int64_t AsInt64() const;
+  /// True iff type is kBit and value is 1.
+  bool IsTrue() const { return !is_null && type == PhysType::kBit && i == 1; }
+
+  /// SQL-style rendering ("null", 42, 1.5, 'text').
+  std::string ToString() const;
+
+  bool Equals(const ScalarValue& other) const;
+};
+
+/// \brief Convert a scalar to another physical type (numeric widening /
+/// narrowing; NULL maps to NULL). Fails for unsupported conversions.
+Result<ScalarValue> CastScalar(const ScalarValue& v, PhysType to);
+
+}  // namespace gdk
+}  // namespace sciql
+
+#endif  // SCIQL_GDK_TYPES_H_

@@ -1,0 +1,286 @@
+#include "src/img/ops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace img {
+
+using engine::ResultSet;
+
+Status Invert(engine::Database* db, const std::string& src,
+              const std::string& dst, int maxval) {
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x], [y], %d - v AS v FROM %s",
+      dst.c_str(), maxval, src.c_str()));
+}
+
+Status EdgeDetect(engine::Database* db, const std::string& src,
+                  const std::string& dst) {
+  // Relative cell addressing: out-of-range neighbours yield NULL, so the
+  // borders of the result are holes (paper Sec. 4: "computing the
+  // differences in colour intensities of each pixel and its upper and left
+  // neighbouring pixels").
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x], [y], "
+      "ABS(%s[x][y] - %s[x-1][y]) + ABS(%s[x][y] - %s[x][y-1]) AS v FROM %s",
+      dst.c_str(), src.c_str(), src.c_str(), src.c_str(), src.c_str(),
+      src.c_str()));
+}
+
+Status Smooth(engine::Database* db, const std::string& src,
+              const std::string& dst) {
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x], [y], AVG(v) AS v FROM %s "
+      "GROUP BY %s[x-1:x+2][y-1:y+2]",
+      dst.c_str(), src.c_str(), src.c_str()));
+}
+
+Status Reduce2x(engine::Database* db, const std::string& src,
+                const std::string& dst) {
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x / 2] AS x, [y / 2] AS y, AVG(v) AS v "
+      "FROM %s GROUP BY %s[x:x+2][y:y+2] "
+      "HAVING x MOD 2 = 0 AND y MOD 2 = 0",
+      dst.c_str(), src.c_str(), src.c_str()));
+}
+
+Status Rotate90(engine::Database* db, const std::string& src,
+                const std::string& dst) {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db->catalog()->GetArray(src));
+  size_t h = arr->desc.dims()[1].range.Size();
+  // Clockwise: (x, y) -> (H-1-y, x).
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [%zu - y] AS x, [x] AS y, v AS v FROM %s",
+      dst.c_str(), h - 1, src.c_str()));
+}
+
+Status FilterWater(engine::Database* db, const std::string& src,
+                   const std::string& dst, int level) {
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x], [y], "
+      "CASE WHEN v < %d THEN 0 ELSE v END AS v FROM %s",
+      dst.c_str(), level, src.c_str()));
+}
+
+Result<std::vector<std::pair<int32_t, int64_t>>> Histogram(
+    engine::Database* db, const std::string& src) {
+  SCIQL_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      db->Query(StrFormat(
+          "SELECT v, COUNT(*) AS cnt FROM %s GROUP BY v ORDER BY v",
+          src.c_str())));
+  std::vector<std::pair<int32_t, int64_t>> out;
+  for (size_t r = 0; r < rs.NumRows(); ++r) {
+    gdk::ScalarValue v = rs.Value(r, 0);
+    gdk::ScalarValue c = rs.Value(r, 1);
+    if (v.is_null) continue;
+    out.emplace_back(static_cast<int32_t>(v.AsInt64()), c.AsInt64());
+  }
+  return out;
+}
+
+Status Zoom2x(engine::Database* db, const std::string& src,
+              const std::string& dst, int64_t x0, int64_t y0, int64_t w,
+              int64_t h) {
+  // The zoomed array's own dimensions drive the nearest-neighbour gather
+  // from the source region.
+  SCIQL_RETURN_NOT_OK(db->Run(StrFormat(
+      "CREATE ARRAY %s (x INT DIMENSION[0:1:%lld], y INT DIMENSION[0:1:%lld], "
+      "v INT)",
+      dst.c_str(), static_cast<long long>(2 * w),
+      static_cast<long long>(2 * h))));
+  return db->Run(StrFormat(
+      "INSERT INTO %s (SELECT [x], [y], %s[%lld + x / 2][%lld + y / 2] "
+      "FROM %s)",
+      dst.c_str(), src.c_str(), static_cast<long long>(x0),
+      static_cast<long long>(y0), dst.c_str()));
+}
+
+Status Brighten(engine::Database* db, const std::string& src,
+                const std::string& dst, int delta, int maxval) {
+  return db->Run(StrFormat(
+      "CREATE ARRAY %s AS SELECT [x], [y], "
+      "CASE WHEN v + %d > %d THEN %d ELSE v + %d END AS v FROM %s",
+      dst.c_str(), delta, maxval, maxval, delta, src.c_str()));
+}
+
+Result<ResultSet> AreasOfInterest(engine::Database* db, const std::string& src,
+                                  const std::vector<Box>& boxes) {
+  // The bounding boxes live in an ordinary SQL table; the query joins the
+  // image array with the table — the combined use of arrays and tables.
+  (void)db->Run("DROP TABLE maskt");
+  SCIQL_RETURN_NOT_OK(
+      db->Run("CREATE TABLE maskt (x1 INT, x2 INT, y1 INT, y2 INT)"));
+  if (!boxes.empty()) {
+    std::vector<std::string> rows;
+    for (const Box& b : boxes) {
+      rows.push_back(StrFormat(
+          "(%lld, %lld, %lld, %lld)", static_cast<long long>(b.x0),
+          static_cast<long long>(b.x1), static_cast<long long>(b.y0),
+          static_cast<long long>(b.y1)));
+    }
+    SCIQL_RETURN_NOT_OK(db->Run(
+        StrFormat("INSERT INTO maskt VALUES %s", Join(rows, ", ").c_str())));
+  }
+  return db->Query(StrFormat(
+      "SELECT x, y, v FROM %s, maskt "
+      "WHERE x >= x1 AND x < x2 AND y >= y1 AND y < y2",
+      src.c_str()));
+}
+
+Result<ResultSet> MaskedSelect(engine::Database* db, const std::string& src,
+                               const std::string& mask) {
+  return db->Query(StrFormat(
+      "SELECT x, y, v FROM %s WHERE %s[x][y] = 1", src.c_str(),
+      mask.c_str()));
+}
+
+namespace native {
+
+using vault::Image;
+
+Image Invert(const Image& in, int maxval) {
+  Image out = in;
+  for (auto& p : out.pixels) p = maxval - p;
+  return out;
+}
+
+Image EdgeDetect(const Image& in) {
+  Image out = in;
+  for (size_t y = 0; y < in.height; ++y) {
+    for (size_t x = 0; x < in.width; ++x) {
+      if (x == 0 || y == 0) {
+        out.Set(x, y, 0);  // the SciQL result has holes here
+        continue;
+      }
+      int32_t v = in.At(x, y);
+      out.Set(x, y, std::abs(v - in.At(x - 1, y)) + std::abs(v - in.At(x, y - 1)));
+    }
+  }
+  return out;
+}
+
+Image Smooth(const Image& in) {
+  Image out = in;
+  for (size_t y = 0; y < in.height; ++y) {
+    for (size_t x = 0; x < in.width; ++x) {
+      int64_t sum = 0;
+      int cnt = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          int64_t cx = static_cast<int64_t>(x) + dx;
+          int64_t cy = static_cast<int64_t>(y) + dy;
+          if (cx < 0 || cy < 0 || cx >= static_cast<int64_t>(in.width) ||
+              cy >= static_cast<int64_t>(in.height)) {
+            continue;
+          }
+          sum += in.At(static_cast<size_t>(cx), static_cast<size_t>(cy));
+          ++cnt;
+        }
+      }
+      // Match SQL AVG (double) truncated on export to integer pixels.
+      out.Set(x, y, static_cast<int32_t>(static_cast<double>(sum) / cnt));
+    }
+  }
+  return out;
+}
+
+Image Reduce2x(const Image& in) {
+  Image out;
+  out.width = (in.width + 1) / 2;
+  out.height = (in.height + 1) / 2;
+  out.maxval = in.maxval;
+  out.pixels.assign(out.width * out.height, 0);
+  for (size_t y = 0; y < out.height; ++y) {
+    for (size_t x = 0; x < out.width; ++x) {
+      int64_t sum = 0;
+      int cnt = 0;
+      for (size_t dy = 0; dy < 2; ++dy) {
+        for (size_t dx = 0; dx < 2; ++dx) {
+          size_t cx = 2 * x + dx;
+          size_t cy = 2 * y + dy;
+          if (cx >= in.width || cy >= in.height) continue;
+          sum += in.At(cx, cy);
+          ++cnt;
+        }
+      }
+      out.Set(x, y, static_cast<int32_t>(static_cast<double>(sum) / cnt));
+    }
+  }
+  return out;
+}
+
+Image Rotate90(const Image& in) {
+  Image out;
+  out.width = in.height;
+  out.height = in.width;
+  out.maxval = in.maxval;
+  out.pixels.assign(out.width * out.height, 0);
+  for (size_t y = 0; y < in.height; ++y) {
+    for (size_t x = 0; x < in.width; ++x) {
+      out.Set(in.height - 1 - y, x, in.At(x, y));
+    }
+  }
+  return out;
+}
+
+Image FilterWater(const Image& in, int level) {
+  Image out = in;
+  for (auto& p : out.pixels) {
+    if (p < level) p = 0;
+  }
+  return out;
+}
+
+std::vector<std::pair<int32_t, int64_t>> Histogram(const Image& in) {
+  std::map<int32_t, int64_t> h;
+  for (int32_t p : in.pixels) h[p]++;
+  return {h.begin(), h.end()};
+}
+
+Image Zoom2x(const Image& in, int64_t x0, int64_t y0, int64_t w, int64_t h) {
+  Image out;
+  out.width = static_cast<size_t>(2 * w);
+  out.height = static_cast<size_t>(2 * h);
+  out.maxval = in.maxval;
+  out.pixels.assign(out.width * out.height, 0);
+  for (size_t y = 0; y < out.height; ++y) {
+    for (size_t x = 0; x < out.width; ++x) {
+      size_t sx = static_cast<size_t>(x0 + static_cast<int64_t>(x) / 2);
+      size_t sy = static_cast<size_t>(y0 + static_cast<int64_t>(y) / 2);
+      if (sx < in.width && sy < in.height) out.Set(x, y, in.At(sx, sy));
+    }
+  }
+  return out;
+}
+
+Image Brighten(const Image& in, int delta, int maxval) {
+  Image out = in;
+  for (auto& p : out.pixels) p = std::min(p + delta, maxval);
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> AreasOfInterest(
+    const Image& in, const std::vector<Box>& boxes) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t y = 0; y < in.height; ++y) {
+    for (size_t x = 0; x < in.width; ++x) {
+      for (const Box& b : boxes) {
+        if (static_cast<int64_t>(x) >= b.x0 && static_cast<int64_t>(x) < b.x1 &&
+            static_cast<int64_t>(y) >= b.y0 && static_cast<int64_t>(y) < b.y1) {
+          out.emplace_back(static_cast<int64_t>(x), static_cast<int64_t>(y));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace native
+
+}  // namespace img
+}  // namespace sciql

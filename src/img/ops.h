@@ -1,0 +1,102 @@
+// In-database image processing operations (demo Scenario II), each expressed
+// as a concise SciQL query, plus native in-memory baselines used both for
+// correctness checks and as the "BLOB round-trip" comparison point (export
+// whole image -> process in the application -> re-import).
+
+#ifndef SCIQL_IMG_OPS_H_
+#define SCIQL_IMG_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/vault/pgm.h"
+
+namespace sciql {
+namespace img {
+
+/// \brief A rectangular region of interest [x0, x1) x [y0, y1).
+struct Box {
+  int64_t x0, x1, y0, y1;
+};
+
+// -- SciQL (in-database) operations. `src` names an existing 2-D image
+//    array with attribute v; most create a new array `dst`. ------------------
+
+/// \brief Intensity inversion: v' = maxval - v.
+Status Invert(engine::Database* db, const std::string& src,
+              const std::string& dst, int maxval = 255);
+
+/// \brief EdgeDetection (TELEIOS use case): differences in colour intensity
+/// of each pixel and its upper and left neighbours, via relative cell
+/// addressing. Border pixels (no neighbour) become holes.
+Status EdgeDetect(engine::Database* db, const std::string& src,
+                  const std::string& dst);
+
+/// \brief Smoothing: 3x3 structural-grouping average.
+Status Smooth(engine::Database* db, const std::string& src,
+              const std::string& dst);
+
+/// \brief Resolution reduction: 2x2 tiles averaged, reindexed to half size.
+Status Reduce2x(engine::Database* db, const std::string& src,
+                const std::string& dst);
+
+/// \brief Rotation by 90 degrees clockwise via dimension reindexing.
+Status Rotate90(engine::Database* db, const std::string& src,
+                const std::string& dst);
+
+/// \brief Filter out water areas: intensities below `level` become 0.
+Status FilterWater(engine::Database* db, const std::string& src,
+                   const std::string& dst, int level);
+
+/// \brief Intensity histogram: value-based GROUP BY over the coerced array.
+Result<std::vector<std::pair<int32_t, int64_t>>> Histogram(
+    engine::Database* db, const std::string& src);
+
+/// \brief Zoom: nearest-neighbour 2x upsample of the region anchored at
+/// (x0, y0) with extent w x h, driven by the target array's own dimensions.
+Status Zoom2x(engine::Database* db, const std::string& src,
+              const std::string& dst, int64_t x0, int64_t y0, int64_t w,
+              int64_t h);
+
+/// \brief Increase intensity by `delta`, saturating at `maxval`.
+Status Brighten(engine::Database* db, const std::string& src,
+                const std::string& dst, int delta, int maxval = 255);
+
+/// \brief AreasOfInterest: join the image array with a bounding-box table;
+/// ships only the selected pixels (the paper's array-table symbiosis demo).
+Result<engine::ResultSet> AreasOfInterest(engine::Database* db,
+                                          const std::string& src,
+                                          const std::vector<Box>& boxes);
+
+/// \brief AreasOfInterest via a bit-mask image array: pixels where
+/// mask[x][y] = 1.
+Result<engine::ResultSet> MaskedSelect(engine::Database* db,
+                                       const std::string& src,
+                                       const std::string& mask);
+
+// -- Native in-memory baselines (ground truth / BLOB round-trip). ------------
+
+namespace native {
+
+vault::Image Invert(const vault::Image& in, int maxval = 255);
+vault::Image EdgeDetect(const vault::Image& in);  // borders produce 0
+vault::Image Smooth(const vault::Image& in);
+vault::Image Reduce2x(const vault::Image& in);
+vault::Image Rotate90(const vault::Image& in);
+vault::Image FilterWater(const vault::Image& in, int level);
+std::vector<std::pair<int32_t, int64_t>> Histogram(const vault::Image& in);
+vault::Image Zoom2x(const vault::Image& in, int64_t x0, int64_t y0, int64_t w,
+                    int64_t h);
+vault::Image Brighten(const vault::Image& in, int delta, int maxval = 255);
+std::vector<std::pair<int64_t, int64_t>> AreasOfInterest(
+    const vault::Image& in, const std::vector<Box>& boxes);
+
+}  // namespace native
+
+}  // namespace img
+}  // namespace sciql
+
+#endif  // SCIQL_IMG_OPS_H_

@@ -1,0 +1,256 @@
+#include "src/life/life.h"
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace life {
+
+using engine::ResultSet;
+
+Result<LifeBoard> LifeBoard::Create(engine::Database* db,
+                                    const std::string& name, size_t n) {
+  if (n < 3) return Status::InvalidArgument("board must be at least 3x3");
+  SCIQL_RETURN_NOT_OK(db->Run(StrFormat(
+      "CREATE ARRAY %s (x INT DIMENSION[0:1:%zu], y INT DIMENSION[0:1:%zu], "
+      "v INT DEFAULT 0)",
+      name.c_str(), n, n)));
+  return LifeBoard(db, name, n);
+}
+
+Status LifeBoard::SetCell(int64_t x, int64_t y, int alive) {
+  return db_->Run(StrFormat("UPDATE %s SET v = %d WHERE x = %lld AND y = %lld",
+                            name_.c_str(), alive, static_cast<long long>(x),
+                            static_cast<long long>(y)));
+}
+
+Status LifeBoard::Seed(Pattern p, int64_t ox, int64_t oy, double density,
+                       uint64_t seed) {
+  auto insert_cells =
+      [&](const std::vector<std::pair<int64_t, int64_t>>& cells) -> Status {
+    std::vector<std::string> rows;
+    for (const auto& [dx, dy] : cells) {
+      rows.push_back(StrFormat("(%lld, %lld, 1)",
+                               static_cast<long long>(ox + dx),
+                               static_cast<long long>(oy + dy)));
+    }
+    return db_->Run(StrFormat("INSERT INTO %s (x, y, v) VALUES %s",
+                              name_.c_str(), Join(rows, ", ").c_str()));
+  };
+  switch (p) {
+    case Pattern::kBlinker:
+      return insert_cells({{0, 1}, {1, 1}, {2, 1}});
+    case Pattern::kGlider:
+      return insert_cells({{1, 0}, {2, 1}, {0, 2}, {1, 2}, {2, 2}});
+    case Pattern::kBlock:
+      return insert_cells({{0, 0}, {1, 0}, {0, 1}, {1, 1}});
+    case Pattern::kRPentomino:
+      return insert_cells({{1, 0}, {2, 0}, {0, 1}, {1, 1}, {1, 2}});
+    case Pattern::kRandom: {
+      // Bulk random fill through the storage layer (vault-style ingestion);
+      // SciQL INSERT VALUES would need n^2 literals.
+      SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+      Rng rng(seed);
+      auto& v = arr->attr_bats[0]->ints();
+      for (auto& cell : v) cell = rng.Chance(density) ? 1 : 0;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable pattern");
+}
+
+Status LifeBoard::StepSciql() {
+  // All play rules in one structural-grouping query: the 3x3 tile sum minus
+  // the anchor value is the number of living neighbours.
+  return db_->Run(StrFormat(
+      "INSERT INTO %s ("
+      "SELECT [x], [y], "
+      "CASE WHEN SUM(v) - v = 3 THEN 1 "
+      "     WHEN v = 1 AND SUM(v) - v = 2 THEN 1 "
+      "     ELSE 0 END "
+      "FROM %s GROUP BY %s[x-1:x+2][y-1:y+2])",
+      name_.c_str(), name_.c_str(), name_.c_str()));
+}
+
+Status LifeBoard::StepSciqlNeighborTile() {
+  // The tile lists exactly the eight neighbours; the anchor value v is
+  // still accessible because non-aggregated attributes refer to the anchor
+  // cell, which need not be part of the tile.
+  const char* n = name_.c_str();
+  return db_->Run(StrFormat(
+      "INSERT INTO %s ("
+      "SELECT [x], [y], "
+      "CASE WHEN SUM(v) = 3 THEN 1 "
+      "     WHEN v = 1 AND SUM(v) = 2 THEN 1 "
+      "     ELSE 0 END "
+      "FROM %s GROUP BY "
+      "%s[x-1][y-1], %s[x][y-1], %s[x+1][y-1], "
+      "%s[x-1][y],                %s[x+1][y], "
+      "%s[x-1][y+1], %s[x][y+1], %s[x+1][y+1])",
+      n, n, n, n, n, n, n, n, n, n));
+}
+
+Status LifeBoard::SyncToTable() {
+  // The relational counterfactual stores one tuple per cell, padded with a
+  // ring of dead cells so that every interior cell has all eight neighbours
+  // under inner joins.
+  (void)db_->Run("DROP TABLE cells");
+  SCIQL_RETURN_NOT_OK(db_->Run("CREATE TABLE cells (x INT, y INT, v INT)"));
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+  SCIQL_ASSIGN_OR_RETURN(auto tab, db_->catalog()->GetTable("cells"));
+  const auto& v = arr->attr_bats[0]->ints();
+  int64_t n = static_cast<int64_t>(n_);
+  auto& tx = tab->bats[0]->ints();
+  auto& ty = tab->bats[1]->ints();
+  auto& tv = tab->bats[2]->ints();
+  size_t padded = static_cast<size_t>((n + 2) * (n + 2));
+  tx.reserve(padded);
+  ty.reserve(padded);
+  tv.reserve(padded);
+  for (int64_t x = -1; x <= n; ++x) {
+    for (int64_t y = -1; y <= n; ++y) {
+      tx.push_back(static_cast<int32_t>(x));
+      ty.push_back(static_cast<int32_t>(y));
+      bool inside = x >= 0 && x < n && y >= 0 && y < n;
+      tv.push_back(inside ? v[static_cast<size_t>(x * n + y)] : 0);
+    }
+  }
+  return Status::OK();
+}
+
+Status LifeBoard::SyncFromTable() {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+  SCIQL_ASSIGN_OR_RETURN(auto tab, db_->catalog()->GetTable("cells"));
+  const auto& tx = tab->bats[0]->ints();
+  const auto& ty = tab->bats[1]->ints();
+  const auto& tv = tab->bats[2]->ints();
+  auto& v = arr->attr_bats[0]->ints();
+  int64_t n = static_cast<int64_t>(n_);
+  for (size_t i = 0; i < tx.size(); ++i) {
+    int64_t x = tx[i], y = ty[i];
+    if (x < 0 || x >= n || y < 0 || y >= n) continue;
+    v[static_cast<size_t>(x * n + y)] = tv[i];
+  }
+  return Status::OK();
+}
+
+Status LifeBoard::StepSqlSelfJoin() {
+  SCIQL_RETURN_NOT_OK(SyncToTable());
+  // The eight-way self-join the paper cites as the relational formulation:
+  // each neighbour is a separate join partner.
+  std::string sql =
+      "SELECT c.x AS x, c.y AS y, "
+      "CASE WHEN n1.v + n2.v + n3.v + n4.v + n5.v + n6.v + n7.v + n8.v = 3 "
+      "     THEN 1 "
+      "     WHEN c.v = 1 AND "
+      "          n1.v + n2.v + n3.v + n4.v + n5.v + n6.v + n7.v + n8.v = 2 "
+      "     THEN 1 "
+      "     ELSE 0 END AS v "
+      "FROM cells c";
+  static const int kOffsets[8][2] = {{-1, -1}, {0, -1}, {1, -1}, {-1, 0},
+                                     {1, 0},   {-1, 1}, {0, 1},  {1, 1}};
+  for (int i = 0; i < 8; ++i) {
+    sql += StrFormat(
+        " JOIN cells n%d ON n%d.x = c.x + %d AND n%d.y = c.y + %d", i + 1,
+        i + 1, kOffsets[i][0], i + 1, kOffsets[i][1]);
+  }
+  sql += StrFormat(
+      " WHERE c.x >= 0 AND c.x < %zu AND c.y >= 0 AND c.y < %zu", n_, n_);
+  SCIQL_ASSIGN_OR_RETURN(ResultSet next, db_->Query(sql));
+
+  // Apply the generation to the board.
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+  auto& v = arr->attr_bats[0]->ints();
+  int xs = next.ColumnIndex("x");
+  int ys = next.ColumnIndex("y");
+  int vs = next.ColumnIndex("v");
+  if (xs < 0 || ys < 0 || vs < 0) {
+    return Status::Internal("self-join step lost its columns");
+  }
+  int64_t n = static_cast<int64_t>(n_);
+  for (size_t r = 0; r < next.NumRows(); ++r) {
+    int64_t x = next.Value(r, static_cast<size_t>(xs)).AsInt64();
+    int64_t y = next.Value(r, static_cast<size_t>(ys)).AsInt64();
+    int64_t nv = next.Value(r, static_cast<size_t>(vs)).AsInt64();
+    v[static_cast<size_t>(x * n + y)] = static_cast<int32_t>(nv);
+  }
+  return Status::OK();
+}
+
+Status LifeBoard::StepNative() {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+  auto& v = arr->attr_bats[0]->ints();
+  int64_t n = static_cast<int64_t>(n_);
+  std::vector<int32_t> next(v.size());
+  for (int64_t x = 0; x < n; ++x) {
+    for (int64_t y = 0; y < n; ++y) {
+      int neighbours = 0;
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          int64_t cx = x + dx;
+          int64_t cy = y + dy;
+          if (cx < 0 || cx >= n || cy < 0 || cy >= n) continue;
+          neighbours += v[static_cast<size_t>(cx * n + cy)];
+        }
+      }
+      int32_t cur = v[static_cast<size_t>(x * n + y)];
+      next[static_cast<size_t>(x * n + y)] =
+          neighbours == 3 || (cur == 1 && neighbours == 2) ? 1 : 0;
+    }
+  }
+  v = std::move(next);
+  return Status::OK();
+}
+
+Status LifeBoard::Clear() {
+  return db_->Run(StrFormat("UPDATE %s SET v = 0", name_.c_str()));
+}
+
+Status LifeBoard::Resize(size_t n) {
+  SCIQL_RETURN_NOT_OK(db_->Run(
+      StrFormat("ALTER ARRAY %s ALTER DIMENSION x SET RANGE [0:1:%zu]",
+                name_.c_str(), n)));
+  SCIQL_RETURN_NOT_OK(db_->Run(
+      StrFormat("ALTER ARRAY %s ALTER DIMENSION y SET RANGE [0:1:%zu]",
+                name_.c_str(), n)));
+  n_ = n;
+  return Status::OK();
+}
+
+Result<std::vector<int>> LifeBoard::Snapshot() const {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db_->catalog()->GetArray(name_));
+  const auto& v = arr->attr_bats[0]->ints();
+  std::vector<int> out(n_ * n_, 0);
+  for (size_t x = 0; x < n_; ++x) {
+    for (size_t y = 0; y < n_; ++y) {
+      int32_t cell = v[x * n_ + y];
+      out[y * n_ + x] = cell == 1 ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+Result<int64_t> LifeBoard::Population() const {
+  SCIQL_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      db_->Query(StrFormat("SELECT SUM(v) AS pop FROM %s", name_.c_str())));
+  if (rs.NumRows() != 1) return Status::Internal("population query shape");
+  gdk::ScalarValue v = rs.Value(0, 0);
+  return v.is_null ? 0 : v.AsInt64();
+}
+
+Result<std::string> LifeBoard::Render() const {
+  SCIQL_ASSIGN_OR_RETURN(std::vector<int> cells, Snapshot());
+  std::string out;
+  for (size_t row = n_; row-- > 0;) {
+    for (size_t x = 0; x < n_; ++x) {
+      out += cells[row * n_ + x] ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace life
+}  // namespace sciql

@@ -1,0 +1,89 @@
+// Conway's Game of Life implemented on top of SciQL (demo Scenario I).
+//
+// All play rules are expressed as SciQL queries: board creation is a CREATE
+// ARRAY, seeding is INSERT, clearing is UPDATE, resizing is ALTER ARRAY, and
+// the generation step is one structural-grouping query over 3x3 tiles. For
+// the paper's comparison ("In SQL, such query would require an eight-way
+// self-join"), a pure-SQL table-based step is provided, plus a native C++
+// step as ground truth and performance floor.
+
+#ifndef SCIQL_LIFE_LIFE_H_
+#define SCIQL_LIFE_LIFE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace life {
+
+/// \brief Well-known seed patterns.
+enum class Pattern { kBlinker, kGlider, kBlock, kRPentomino, kRandom };
+
+/// \brief A Game of Life board stored as a SciQL array (or, for the SQL
+/// baseline, a relational table of cell tuples).
+class LifeBoard {
+ public:
+  /// \brief Create board array `name` of size n x n in `db`, all cells dead.
+  static Result<LifeBoard> Create(engine::Database* db, const std::string& name,
+                                  size_t n);
+
+  /// \brief Seed a pattern; `ox`,`oy` position its upper-left corner.
+  Status Seed(Pattern p, int64_t ox, int64_t oy, double density = 0.25,
+              uint64_t seed = 1);
+
+  /// \brief Set one cell alive (1) or dead (0) via SciQL UPDATE.
+  Status SetCell(int64_t x, int64_t y, int alive);
+
+  /// \brief All play rules in one SciQL query: 3x3 structural grouping,
+  /// neighbour count = SUM(tile) - v, INSERT overwrites the board.
+  Status StepSciql();
+
+  /// \brief Alternative SciQL formulation: the eight neighbours as an
+  /// explicit cell-list tile (the anchor is *not* part of the tile, so no
+  /// SUM(v) - v correction is needed).
+  Status StepSciqlNeighborTile();
+
+  /// \brief The paper's counterfactual: the same generation computed in
+  /// plain SQL over a `cells(x, y, v)` table using an eight-way self-join.
+  Status StepSqlSelfJoin();
+
+  /// \brief Native in-memory step (ground truth / performance floor).
+  Status StepNative();
+
+  /// \brief Clear the board (all cells dead) — UPDATE in SciQL.
+  Status Clear();
+
+  /// \brief Resize the board via ALTER ARRAY; new cells are dead.
+  Status Resize(size_t n);
+
+  /// \brief Current board as 0/1 values, row-major (y*n + x).
+  Result<std::vector<int>> Snapshot() const;
+
+  /// \brief Number of living cells (SELECT SUM(v)).
+  Result<int64_t> Population() const;
+
+  /// \brief ASCII rendering ('#' alive, '.' dead), highest y first.
+  Result<std::string> Render() const;
+
+  size_t size() const { return n_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  LifeBoard(engine::Database* db, std::string name, size_t n)
+      : db_(db), name_(std::move(name)), n_(n) {}
+
+  /// Mirror the array into the relational `cells` table (for the SQL step).
+  Status SyncToTable();
+  Status SyncFromTable();
+
+  engine::Database* db_;
+  std::string name_;
+  size_t n_;
+};
+
+}  // namespace life
+}  // namespace sciql
+
+#endif  // SCIQL_LIFE_LIFE_H_

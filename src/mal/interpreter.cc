@@ -1,0 +1,59 @@
+#include "src/mal/interpreter.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace mal {
+
+const MalEngine& MalEngine::Global() {
+  static MalEngine* engine = [] {
+    auto* e = new MalEngine();
+    RegisterAllModules(e);
+    return e;
+  }();
+  return *engine;
+}
+
+void MalEngine::Register(const std::string& name, MalFn fn, bool pure) {
+  fns_[name] = std::move(fn);
+  if (!pure) impure_.insert(name);
+}
+
+bool MalEngine::IsPure(const std::string& name) const {
+  return impure_.count(name) == 0;
+}
+
+Status MalEngine::Run(const MalProgram& prog, MalContext* ctx) const {
+  ctx->regs.assign(prog.regs().size(), MalValue::None());
+  for (size_t i = 0; i < prog.regs().size(); ++i) {
+    const MalProgram::Reg& r = prog.regs()[i];
+    if (r.is_const) {
+      ctx->regs[i] = MalValue::Of(r.cval);
+    } else if (r.is_obj) {
+      ctx->regs[i] = MalValue::Object(r.obj, r.obj_tag);
+    }
+  }
+  for (const MalInstr& instr : prog.instrs()) {
+    SCIQL_RETURN_NOT_OK(RunInstr(prog, instr, ctx));
+  }
+  return Status::OK();
+}
+
+Status MalEngine::RunInstr(const MalProgram& prog, const MalInstr& instr,
+                           MalContext* ctx) const {
+  auto it = fns_.find(instr.Name());
+  if (it == fns_.end()) {
+    return Status::Internal(
+        StrFormat("unknown MAL operation: %s", instr.Name().c_str()));
+  }
+  Status st = it->second(ctx, prog, instr);
+  if (!st.ok()) {
+    return Status::ExecError(
+        StrFormat("%s failed: %s", instr.Name().c_str(),
+                  st.ToString().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace mal
+}  // namespace sciql

@@ -1,0 +1,74 @@
+// The MAL interpreter: dispatches module.fn instructions to registered
+// kernel implementations over a register file (paper Fig. 2, "MAL
+// Interpreter" -> "GDK Kernel").
+
+#ifndef SCIQL_MAL_INTERPRETER_H_
+#define SCIQL_MAL_INTERPRETER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/mal/program.h"
+#include "src/mal/value.h"
+
+namespace sciql {
+namespace mal {
+
+/// \brief Execution state of one MAL program run.
+struct MalContext {
+  explicit MalContext(catalog::Catalog* cat) : catalog(cat) {}
+
+  catalog::Catalog* catalog;
+  std::vector<MalValue> regs;
+
+  MalValue& Reg(int r) { return regs[static_cast<size_t>(r)]; }
+};
+
+/// \brief Signature of a registered MAL operation.
+using MalFn =
+    std::function<Status(MalContext*, const MalProgram&, const MalInstr&)>;
+
+/// \brief Registry + dispatcher of MAL operations.
+///
+/// All modules (algebra, batcalc, group, aggr, array, sql) register their
+/// operations once into the global engine.
+class MalEngine {
+ public:
+  /// \brief The process-wide engine with every module registered.
+  static const MalEngine& Global();
+
+  /// \brief Register `module.fn`. Impure ops (catalog writers) must say so;
+  /// the optimizer never folds or eliminates them.
+  void Register(const std::string& name, MalFn fn, bool pure = true);
+
+  /// \brief True if the op has no side effects (safe for DCE/CSE/folding).
+  bool IsPure(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return fns_.count(name) > 0; }
+
+  /// \brief Execute the whole program: loads constants, then runs every
+  /// instruction in order.
+  Status Run(const MalProgram& prog, MalContext* ctx) const;
+
+  /// \brief Execute a single instruction against an existing context.
+  Status RunInstr(const MalProgram& prog, const MalInstr& instr,
+                  MalContext* ctx) const;
+
+ private:
+  std::unordered_map<std::string, MalFn> fns_;
+  std::unordered_set<std::string> impure_;
+};
+
+/// \brief Called by MalEngine::Global() to install all operations; defined in
+/// modules.cc.
+void RegisterAllModules(MalEngine* engine);
+
+}  // namespace mal
+}  // namespace sciql
+
+#endif  // SCIQL_MAL_INTERPRETER_H_

@@ -1,0 +1,21 @@
+#include "src/mal/value.h"
+
+namespace sciql {
+namespace mal {
+
+std::string MalValue::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "nil";
+    case Kind::kScalar:
+      return scalar.ToString();
+    case Kind::kBat:
+      return bat->ToString();
+    case Kind::kObj:
+      return "<" + obj_tag + ">";
+  }
+  return "?";
+}
+
+}  // namespace mal
+}  // namespace sciql

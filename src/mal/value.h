@@ -1,0 +1,62 @@
+// Runtime values flowing through MAL registers: scalars, BATs, or opaque
+// plan objects (array descriptors, tile specs).
+
+#ifndef SCIQL_MAL_VALUE_H_
+#define SCIQL_MAL_VALUE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/gdk/bat.h"
+
+namespace sciql {
+namespace mal {
+
+/// \brief The content of one MAL register at runtime.
+struct MalValue {
+  enum class Kind { kNone, kScalar, kBat, kObj };
+
+  Kind kind = Kind::kNone;
+  gdk::ScalarValue scalar;
+  gdk::BATPtr bat;
+  std::shared_ptr<const void> obj;
+  std::string obj_tag;
+
+  static MalValue None() { return MalValue(); }
+  static MalValue Of(gdk::ScalarValue v) {
+    MalValue m;
+    m.kind = Kind::kScalar;
+    m.scalar = std::move(v);
+    return m;
+  }
+  static MalValue Of(gdk::BATPtr b) {
+    MalValue m;
+    m.kind = Kind::kBat;
+    m.bat = std::move(b);
+    return m;
+  }
+  static MalValue Object(std::shared_ptr<const void> o, std::string tag) {
+    MalValue m;
+    m.kind = Kind::kObj;
+    m.obj = std::move(o);
+    m.obj_tag = std::move(tag);
+    return m;
+  }
+
+  bool IsBat() const { return kind == Kind::kBat; }
+  bool IsScalar() const { return kind == Kind::kScalar; }
+
+  /// Typed access to an object payload.
+  template <typename T>
+  const T* As(const std::string& tag) const {
+    if (kind != Kind::kObj || obj_tag != tag) return nullptr;
+    return static_cast<const T*>(obj.get());
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mal
+}  // namespace sciql
+
+#endif  // SCIQL_MAL_VALUE_H_

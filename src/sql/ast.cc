@@ -1,0 +1,278 @@
+#include "src/sql/ast.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace sql {
+
+namespace {
+
+// SQL-source spelling of a binary operator (the kernel spells equality
+// "==", SQL spells it "=").
+const char* SqlBinOpName(gdk::BinOp op) {
+  switch (op) {
+    case gdk::BinOp::kEq:
+      return "=";
+    case gdk::BinOp::kNe:
+      return "<>";
+    case gdk::BinOp::kAnd:
+      return "AND";
+    case gdk::BinOp::kOr:
+      return "OR";
+    default:
+      return gdk::BinOpName(op);
+  }
+}
+
+// SQL-source spelling of a column type.
+const char* SqlTypeName(gdk::PhysType t) {
+  switch (t) {
+    case gdk::PhysType::kBit:
+      return "BOOLEAN";
+    case gdk::PhysType::kInt:
+      return "INT";
+    case gdk::PhysType::kLng:
+      return "BIGINT";
+    case gdk::PhysType::kDbl:
+      return "DOUBLE";
+    case gdk::PhysType::kStr:
+      return "VARCHAR";
+    case gdk::PhysType::kOid:
+      return "BIGINT";
+  }
+  return "INT";
+}
+
+}  // namespace
+
+ExprPtr Expr::Lit(gdk::ScalarValue v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Col(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Bin(gdk::BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->func_name = func_name;
+  e->agg_op = agg_op;
+  e->star = star;
+  e->negated = negated;
+  e->has_else = has_else;
+  e->array_name = array_name;
+  e->attr_name = attr_name;
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kStar:
+      return "*";
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + SqlBinOpName(bin_op) +
+             " " + children[1]->ToString() + ")";
+    case Kind::kUnary:
+      return std::string(gdk::UnOpName(un_op)) + "(" +
+             children[0]->ToString() + ")";
+    case Kind::kFunc: {
+      std::vector<std::string> args;
+      for (const auto& c : children) args.push_back(c->ToString());
+      return func_name + "(" + Join(args, ", ") + ")";
+    }
+    case Kind::kAggregate:
+      if (star) return "COUNT(*)";
+      return ToUpper(gdk::AggOpName(agg_op)) + "(" +
+             children[0]->ToString() + ")";
+    case Kind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case Kind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kBetween:
+      return children[0]->ToString() + (negated ? " NOT" : "") + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case Kind::kIn: {
+      std::vector<std::string> args;
+      for (size_t i = 1; i < children.size(); ++i) {
+        args.push_back(children[i]->ToString());
+      }
+      return children[0]->ToString() + (negated ? " NOT" : "") + " IN (" +
+             Join(args, ", ") + ")";
+    }
+    case Kind::kCellRef: {
+      std::string out = array_name;
+      for (const auto& c : children) out += "[" + c->ToString() + "]";
+      if (!attr_name.empty()) out += "." + attr_name;
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> cols;
+  for (const auto& item : items) {
+    std::string s;
+    if (item.is_star) {
+      s = "*";
+    } else if (item.is_dim) {
+      s = "[" + item.expr->ToString() + "]";
+    } else {
+      s = item.expr->ToString();
+    }
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    cols.push_back(std::move(s));
+  }
+  out += Join(cols, ", ");
+  if (!from.empty()) {
+    out += " FROM ";
+    std::vector<std::string> refs;
+    for (const auto& t : from) {
+      std::string s =
+          t.subquery != nullptr ? "(" + t.subquery->ToString() + ")" : t.name;
+      if (!t.alias.empty()) s += " AS " + t.alias;
+      refs.push_back(std::move(s));
+    }
+    out += Join(refs, ", ");
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (group_by.has_value()) {
+    out += " GROUP BY ";
+    if (group_by->structural) {
+      std::vector<std::string> pats;
+      for (const auto& p : group_by->patterns) {
+        std::string s = p.array;
+        for (const auto& d : p.dims) {
+          if (d.is_range) {
+            s += "[" + d.lo->ToString() + ":" + d.hi->ToString() + "]";
+          } else {
+            s += "[" + d.single->ToString() + "]";
+          }
+        }
+        pats.push_back(std::move(s));
+      }
+      out += Join(pats, ", ");
+    } else {
+      std::vector<std::string> keys;
+      for (const auto& k : group_by->keys) keys.push_back(k->ToString());
+      out += Join(keys, ", ");
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    std::vector<std::string> keys;
+    for (const auto& o : order_by) {
+      keys.push_back(o.expr->ToString() + (o.desc ? " DESC" : ""));
+    }
+    out += Join(keys, ", ");
+  }
+  if (limit >= 0) out += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
+  return out;
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case Kind::kSelect:
+      return select->ToString();
+    case Kind::kCreateTable:
+    case Kind::kCreateArray: {
+      std::string out = "CREATE ";
+      out += kind == Kind::kCreateArray ? "ARRAY " : "TABLE ";
+      out += object_name;
+      if (select != nullptr) return out + " AS " + select->ToString();
+      std::vector<std::string> cols;
+      for (const auto& c : columns) {
+        std::string s = c.name;
+        s += " ";
+        s += SqlTypeName(c.type);
+        if (c.is_dimension) {
+          s += " DIMENSION";
+          if (c.has_range) s += c.range.ToString();
+        }
+        if (c.has_default) s += " DEFAULT " + c.default_value.ToString();
+        cols.push_back(std::move(s));
+      }
+      return out + " (" + Join(cols, ", ") + ")";
+    }
+    case Kind::kDrop:
+      return std::string("DROP ") + (drop_is_array ? "ARRAY " : "TABLE ") +
+             object_name;
+    case Kind::kAlterArray:
+      return "ALTER ARRAY " + object_name + " ALTER DIMENSION " + dim_name +
+             " SET RANGE " + new_range.ToString();
+    case Kind::kInsert: {
+      std::string out = "INSERT INTO " + object_name;
+      if (!insert_columns.empty()) {
+        out += " (" + Join(insert_columns, ", ") + ")";
+      }
+      if (select != nullptr) return out + " " + select->ToString();
+      out += " VALUES ";
+      std::vector<std::string> rows;
+      for (const auto& row : insert_values) {
+        std::vector<std::string> vals;
+        for (const auto& v : row) vals.push_back(v->ToString());
+        rows.push_back("(" + Join(vals, ", ") + ")");
+      }
+      return out + Join(rows, ", ");
+    }
+    case Kind::kUpdate: {
+      std::string out = "UPDATE " + object_name + " SET ";
+      std::vector<std::string> sets;
+      for (const auto& [col, e] : set_clauses) {
+        sets.push_back(col + " = " + e->ToString());
+      }
+      out += Join(sets, ", ");
+      if (where != nullptr) out += " WHERE " + where->ToString();
+      return out;
+    }
+    case Kind::kDelete: {
+      std::string out = "DELETE FROM " + object_name;
+      if (where != nullptr) out += " WHERE " + where->ToString();
+      return out;
+    }
+    case Kind::kExplain:
+      return "EXPLAIN " + inner->ToString();
+  }
+  return "?";
+}
+
+}  // namespace sql
+}  // namespace sciql

@@ -1,0 +1,187 @@
+// Abstract syntax tree for the SQL/SciQL dialect.
+//
+// SciQL-specific nodes: dimension projections ([x] in a select list),
+// relative cell references (img[x-1][y]), tile patterns in GROUP BY
+// (matrix[x:x+2][y:y+2]), CREATE ARRAY with DIMENSION range constraints and
+// ALTER ARRAY ... SET RANGE.
+
+#ifndef SCIQL_SQL_AST_H_
+#define SCIQL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/array/dimension.h"
+#include "src/gdk/kernels.h"
+#include "src/gdk/types.h"
+
+namespace sciql {
+namespace sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief One expression node; `kind` selects which members are meaningful.
+struct Expr {
+  enum class Kind {
+    kLiteral,    ///< literal (ScalarValue)
+    kColumn,     ///< [table.]column
+    kStar,       ///< * (inside COUNT(*))
+    kBinary,     ///< children[0] op children[1]
+    kUnary,      ///< op children[0]
+    kFunc,       ///< func_name(children...)  (scalar functions, e.g. ABS)
+    kAggregate,  ///< agg_op(children[0]) or COUNT(*)
+    kCase,       ///< WHEN/THEN pairs in children, optional ELSE last
+    kIsNull,     ///< children[0] IS [NOT] NULL
+    kBetween,    ///< children[0] [NOT] BETWEEN children[1] AND children[2]
+    kIn,         ///< children[0] [NOT] IN (children[1..])
+    kCellRef,    ///< array[e1][e2]...[ek](.attr)? relative cell access
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  gdk::ScalarValue literal;                 // kLiteral
+  std::string table;                        // kColumn qualifier (may be "")
+  std::string column;                       // kColumn
+  gdk::BinOp bin_op = gdk::BinOp::kAdd;     // kBinary
+  gdk::UnOp un_op = gdk::UnOp::kNeg;        // kUnary
+  std::string func_name;                    // kFunc
+  gdk::AggOp agg_op = gdk::AggOp::kCount;   // kAggregate
+  bool star = false;                        // kAggregate: COUNT(*)
+  bool negated = false;                     // IS NOT NULL / NOT BETWEEN / NOT IN
+  bool has_else = false;                    // kCase
+  std::string array_name;                   // kCellRef
+  std::string attr_name;                    // kCellRef (may be "")
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+  ExprPtr Clone() const;
+
+  static ExprPtr Lit(gdk::ScalarValue v);
+  static ExprPtr Col(std::string table, std::string column);
+  static ExprPtr Bin(gdk::BinOp op, ExprPtr l, ExprPtr r);
+};
+
+/// \brief One item of a SELECT list. `is_dim` marks a dimension projection
+/// `[expr]` (the SciQL table->array coercion qualifier).
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool is_dim = false;
+  bool is_star = false;  ///< bare `*`
+};
+
+struct SelectStmt;
+
+/// \brief FROM item: a named object or a parenthesised subquery.
+struct TableRef {
+  std::string name;
+  std::string alias;
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+/// \brief One `[...]` group inside a tile pattern: a single cell expression
+/// or a right-open range `lo:hi`.
+struct TileDim {
+  bool is_range = false;
+  ExprPtr single;
+  ExprPtr lo;
+  ExprPtr hi;
+};
+
+/// \brief A tile pattern `array[d1][d2]...` in a structural GROUP BY.
+struct TilePattern {
+  std::string array;
+  std::vector<TileDim> dims;
+};
+
+/// \brief GROUP BY clause: value-based keys or structural tile patterns.
+struct GroupBy {
+  bool structural = false;
+  std::vector<ExprPtr> keys;           // value-based
+  std::vector<TilePattern> patterns;   // structural
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;
+  std::optional<GroupBy> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+
+  std::string ToString() const;
+};
+
+/// \brief Column or dimension definition in CREATE TABLE / CREATE ARRAY.
+struct ColumnDef {
+  std::string name;
+  gdk::PhysType type = gdk::PhysType::kInt;
+  bool is_dimension = false;
+  bool has_range = false;
+  array::DimRange range;
+  bool has_default = false;
+  gdk::ScalarValue default_value;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateArray,
+    kDrop,
+    kAlterArray,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kExplain,
+  };
+
+  Kind kind = Kind::kSelect;
+
+  // kSelect / AS SELECT bodies / INSERT ... SELECT
+  std::unique_ptr<SelectStmt> select;
+
+  // kCreateTable / kCreateArray
+  std::string object_name;
+  std::vector<ColumnDef> columns;
+
+  // kDrop
+  bool drop_is_array = false;
+
+  // kAlterArray
+  std::string dim_name;
+  array::DimRange new_range;
+
+  // kInsert
+  std::vector<std::string> insert_columns;            // optional
+  std::vector<std::vector<ExprPtr>> insert_values;    // VALUES rows
+
+  // kUpdate
+  std::vector<std::pair<std::string, ExprPtr>> set_clauses;
+
+  // kUpdate / kDelete
+  ExprPtr where;
+
+  // kExplain
+  StatementPtr inner;
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace sciql
+
+#endif  // SCIQL_SQL_AST_H_

@@ -1,0 +1,220 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+      "DESC", "LIMIT", "AS", "CREATE", "TABLE", "ARRAY", "DIMENSION",
+      "DEFAULT", "INT", "INTEGER", "BIGINT", "SMALLINT", "LONG", "DOUBLE",
+      "FLOAT", "REAL", "BOOLEAN", "BOOL", "VARCHAR", "STRING", "TEXT", "CHAR",
+      "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "DROP", "ALTER",
+      "RANGE", "CASE", "WHEN", "THEN", "ELSE", "END", "NULL", "IS", "NOT",
+      "IN", "BETWEEN", "AND", "OR", "MOD", "DISTINCT", "COUNT", "SUM", "AVG",
+      "MIN", "MAX", "ABS", "JOIN", "INNER", "ON", "TRUE", "FALSE", "EXPLAIN",
+  };
+  return *kw;
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kEof:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kKeyword:
+      return "keyword " + text;
+    case TokenType::kIntLiteral:
+    case TokenType::kFloatLiteral:
+      return "number '" + text + "'";
+    case TokenType::kStrLiteral:
+      return "string literal";
+    case TokenType::kOperator:
+      return "'" + text + "'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t line = 1;
+  size_t line_start = 0;
+  auto col = [&](size_t pos) { return pos - line_start + 1; };
+
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+    t.col = col(i);
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                                sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      // Quoted identifier.
+      size_t start = ++i;
+      while (i < sql.size() && sql[i] != '"') ++i;
+      if (i >= sql.size()) {
+        return Status::ParseError(
+            StrFormat("unterminated quoted identifier at line %zu", line));
+      }
+      t.type = TokenType::kIdentifier;
+      t.text = sql.substr(start, i - start);
+      ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        ++i;
+      }
+      if (i < sql.size() && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < sql.size() &&
+               std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      if (i < sql.size() && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < sql.size() && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_float = true;
+          while (i < sql.size() &&
+                 std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;  // not an exponent; leave 'e' for the next token
+        }
+      }
+      t.text = sql.substr(start, i - start);
+      if (is_float) {
+        t.type = TokenType::kFloatLiteral;
+        t.float_val = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntLiteral;
+        t.int_val = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            value.push_back('\'');  // '' escape
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at line %zu", line));
+      }
+      t.type = TokenType::kStrLiteral;
+      t.text = std::move(value);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto two = i + 1 < sql.size() ? sql.substr(i, 2) : std::string();
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+      t.type = TokenType::kOperator;
+      t.text = two == "<>" ? "!=" : two;
+      i += 2;
+      out.push_back(std::move(t));
+      continue;
+    }
+    static const std::string kSingles = "+-*/%=<>()[],;.:";
+    if (kSingles.find(c) != std::string::npos) {
+      t.type = TokenType::kOperator;
+      t.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+    return Status::ParseError(StrFormat(
+        "unexpected character '%c' at line %zu column %zu", c, line, col(i)));
+  }
+
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.line = line;
+  eof.col = col(i);
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace sciql

@@ -1,0 +1,50 @@
+// SQL/SciQL lexer. Keywords are case-insensitive; SciQL adds the bracket
+// tokens used for dimension projections, cell references and tile patterns.
+
+#ifndef SCIQL_SQL_LEXER_H_
+#define SCIQL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sciql {
+namespace sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // foo, "quoted"
+  kKeyword,      // normalized upper-case text in Token::text
+  kIntLiteral,   // 123
+  kFloatLiteral, // 1.5, 2e3
+  kStrLiteral,   // 'abc' (text holds the unescaped value)
+  kOperator,     // + - * / % = <> != < <= > >= ( ) [ ] , ; . :
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // keyword/operator spelled text; identifier as written
+  int64_t int_val = 0;
+  double float_val = 0.0;
+  size_t line = 1;
+  size_t col = 1;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+  std::string Describe() const;
+};
+
+/// \brief Tokenize `sql`; fails with ParseError on malformed input
+/// (unterminated strings, stray characters).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// \brief True if `word` (upper-cased) is a reserved SQL/SciQL keyword.
+bool IsReservedKeyword(const std::string& upper);
+
+}  // namespace sql
+}  // namespace sciql
+
+#endif  // SCIQL_SQL_LEXER_H_

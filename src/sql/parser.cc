@@ -1,0 +1,827 @@
+#include "src/sql/parser.h"
+
+#include "src/common/string_util.h"
+#include "src/sql/lexer.h"
+
+namespace sciql {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StatementPtr>> ParseStatements() {
+    std::vector<StatementPtr> out;
+    while (!AtEof()) {
+      if (AcceptOp(";")) continue;
+      SCIQL_ASSIGN_OR_RETURN(StatementPtr s, ParseStatement());
+      out.push_back(std::move(s));
+      if (!AtEof()) {
+        SCIQL_RETURN_NOT_OK(ExpectOp(";"));
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool AtEof() const { return Cur().type == TokenType::kEof; }
+
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t p = pos_ + ahead;
+    if (p >= tokens_.size()) p = tokens_.size() - 1;
+    return tokens_[p];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StrFormat("%s at line %zu column %zu (near %s)",
+                                        msg.c_str(), Cur().line, Cur().col,
+                                        Cur().Describe().c_str()));
+  }
+
+  bool AcceptOp(const char* op) {
+    if (Cur().IsOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKw(const char* kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (!AcceptOp(op)) return Err(StrFormat("expected '%s'", op));
+    return Status::OK();
+  }
+  Status ExpectKw(const char* kw) {
+    if (!AcceptKw(kw)) return Err(StrFormat("expected %s", kw));
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Err("expected an identifier");
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  // -------------------------------------------------------------------------
+  // Statements
+  // -------------------------------------------------------------------------
+
+  Result<StatementPtr> ParseStatement() {
+    if (Cur().IsKeyword("EXPLAIN")) {
+      Advance();
+      auto st = std::make_unique<Statement>();
+      st->kind = Statement::Kind::kExplain;
+      SCIQL_ASSIGN_OR_RETURN(st->inner, ParseStatement());
+      return st;
+    }
+    if (Cur().IsKeyword("SELECT")) {
+      auto st = std::make_unique<Statement>();
+      st->kind = Statement::Kind::kSelect;
+      SCIQL_ASSIGN_OR_RETURN(st->select, ParseSelect());
+      return st;
+    }
+    if (Cur().IsKeyword("CREATE")) return ParseCreate();
+    if (Cur().IsKeyword("DROP")) return ParseDrop();
+    if (Cur().IsKeyword("ALTER")) return ParseAlter();
+    if (Cur().IsKeyword("INSERT")) return ParseInsert();
+    if (Cur().IsKeyword("UPDATE")) return ParseUpdate();
+    if (Cur().IsKeyword("DELETE")) return ParseDelete();
+    return Err("expected a statement");
+  }
+
+  Result<StatementPtr> ParseCreate() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("CREATE"));
+    bool is_array;
+    if (AcceptKw("ARRAY")) {
+      is_array = true;
+    } else if (AcceptKw("TABLE")) {
+      is_array = false;
+    } else {
+      return Err("expected TABLE or ARRAY after CREATE");
+    }
+    auto st = std::make_unique<Statement>();
+    st->kind = is_array ? Statement::Kind::kCreateArray
+                        : Statement::Kind::kCreateTable;
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    if (AcceptKw("AS")) {
+      if (!Cur().IsKeyword("SELECT")) {
+        return Err("expected SELECT after AS");
+      }
+      SCIQL_ASSIGN_OR_RETURN(st->select, ParseSelect());
+      return st;
+    }
+    SCIQL_RETURN_NOT_OK(ExpectOp("("));
+    while (true) {
+      SCIQL_ASSIGN_OR_RETURN(ColumnDef col, ParseColumnDef());
+      st->columns.push_back(std::move(col));
+      if (AcceptOp(",")) continue;
+      break;
+    }
+    SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+    return st;
+  }
+
+  Result<ColumnDef> ParseColumnDef() {
+    ColumnDef col;
+    SCIQL_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+    SCIQL_ASSIGN_OR_RETURN(col.type, ParseType());
+    while (true) {
+      if (AcceptKw("DIMENSION")) {
+        col.is_dimension = true;
+        if (Cur().IsOp("[")) {
+          SCIQL_ASSIGN_OR_RETURN(col.range, ParseRangeLiteral());
+          col.has_range = true;
+        }
+        continue;
+      }
+      if (AcceptKw("DEFAULT")) {
+        SCIQL_ASSIGN_OR_RETURN(col.default_value, ParseLiteralValue());
+        col.has_default = true;
+        continue;
+      }
+      break;
+    }
+    return col;
+  }
+
+  Result<StatementPtr> ParseDrop() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("DROP"));
+    auto st = std::make_unique<Statement>();
+    st->kind = Statement::Kind::kDrop;
+    if (AcceptKw("ARRAY")) {
+      st->drop_is_array = true;
+    } else if (!AcceptKw("TABLE")) {
+      return Err("expected TABLE or ARRAY after DROP");
+    }
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    return st;
+  }
+
+  Result<StatementPtr> ParseAlter() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("ALTER"));
+    SCIQL_RETURN_NOT_OK(ExpectKw("ARRAY"));
+    auto st = std::make_unique<Statement>();
+    st->kind = Statement::Kind::kAlterArray;
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    SCIQL_RETURN_NOT_OK(ExpectKw("ALTER"));
+    SCIQL_RETURN_NOT_OK(ExpectKw("DIMENSION"));
+    SCIQL_ASSIGN_OR_RETURN(st->dim_name, ExpectIdent());
+    SCIQL_RETURN_NOT_OK(ExpectKw("SET"));
+    SCIQL_RETURN_NOT_OK(ExpectKw("RANGE"));
+    SCIQL_ASSIGN_OR_RETURN(st->new_range, ParseRangeLiteral());
+    return st;
+  }
+
+  Result<StatementPtr> ParseInsert() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("INSERT"));
+    SCIQL_RETURN_NOT_OK(ExpectKw("INTO"));
+    auto st = std::make_unique<Statement>();
+    st->kind = Statement::Kind::kInsert;
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    // Optional column list. Disambiguate from INSERT INTO t (SELECT ...).
+    if (Cur().IsOp("(") && !Peek().IsKeyword("SELECT")) {
+      Advance();
+      while (true) {
+        SCIQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        st->insert_columns.push_back(std::move(col));
+        if (AcceptOp(",")) continue;
+        break;
+      }
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+    }
+    if (AcceptKw("VALUES")) {
+      while (true) {
+        SCIQL_RETURN_NOT_OK(ExpectOp("("));
+        std::vector<ExprPtr> row;
+        while (true) {
+          SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (AcceptOp(",")) continue;
+          break;
+        }
+        SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+        st->insert_values.push_back(std::move(row));
+        if (AcceptOp(",")) continue;
+        break;
+      }
+      return st;
+    }
+    bool paren = AcceptOp("(");
+    if (!Cur().IsKeyword("SELECT")) {
+      return Err("expected VALUES or SELECT in INSERT");
+    }
+    SCIQL_ASSIGN_OR_RETURN(st->select, ParseSelect());
+    if (paren) SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+    return st;
+  }
+
+  Result<StatementPtr> ParseUpdate() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("UPDATE"));
+    auto st = std::make_unique<Statement>();
+    st->kind = Statement::Kind::kUpdate;
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    SCIQL_RETURN_NOT_OK(ExpectKw("SET"));
+    while (true) {
+      SCIQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      SCIQL_RETURN_NOT_OK(ExpectOp("="));
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      st->set_clauses.emplace_back(std::move(col), std::move(e));
+      if (AcceptOp(",")) continue;
+      break;
+    }
+    if (AcceptKw("WHERE")) {
+      SCIQL_ASSIGN_OR_RETURN(st->where, ParseExpr());
+    }
+    return st;
+  }
+
+  Result<StatementPtr> ParseDelete() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("DELETE"));
+    SCIQL_RETURN_NOT_OK(ExpectKw("FROM"));
+    auto st = std::make_unique<Statement>();
+    st->kind = Statement::Kind::kDelete;
+    SCIQL_ASSIGN_OR_RETURN(st->object_name, ExpectIdent());
+    if (AcceptKw("WHERE")) {
+      SCIQL_ASSIGN_OR_RETURN(st->where, ParseExpr());
+    }
+    return st;
+  }
+
+  // -------------------------------------------------------------------------
+  // SELECT
+  // -------------------------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("SELECT"));
+    auto sel = std::make_unique<SelectStmt>();
+    if (AcceptKw("DISTINCT")) sel->distinct = true;
+    while (true) {
+      SelectItem item;
+      if (Cur().IsOp("*")) {
+        Advance();
+        item.is_star = true;
+      } else if (Cur().IsOp("[")) {
+        Advance();
+        SCIQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        SCIQL_RETURN_NOT_OK(ExpectOp("]"));
+        item.is_dim = true;
+      } else {
+        SCIQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKw("AS")) {
+        SCIQL_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Cur().type == TokenType::kIdentifier) {
+        item.alias = Cur().text;
+        Advance();
+      }
+      sel->items.push_back(std::move(item));
+      if (AcceptOp(",")) continue;
+      break;
+    }
+
+    if (AcceptKw("FROM")) {
+      SCIQL_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      sel->from.push_back(std::move(first));
+      while (true) {
+        if (AcceptOp(",")) {
+          SCIQL_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+          sel->from.push_back(std::move(ref));
+          continue;
+        }
+        if (AcceptKw("INNER") || Cur().IsKeyword("JOIN")) {
+          SCIQL_RETURN_NOT_OK(ExpectKw("JOIN"));
+          SCIQL_ASSIGN_OR_RETURN(TableRef ref2, ParseTableRef());
+          sel->from.push_back(std::move(ref2));
+          SCIQL_RETURN_NOT_OK(ExpectKw("ON"));
+          SCIQL_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+          // JOIN ... ON desugars to a where conjunct.
+          if (sel->where == nullptr) {
+            sel->where = std::move(on);
+          } else {
+            sel->where = Expr::Bin(gdk::BinOp::kAnd, std::move(sel->where),
+                                   std::move(on));
+          }
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (AcceptKw("WHERE")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr w, ParseExpr());
+      if (sel->where == nullptr) {
+        sel->where = std::move(w);
+      } else {
+        sel->where =
+            Expr::Bin(gdk::BinOp::kAnd, std::move(sel->where), std::move(w));
+      }
+    }
+
+    if (AcceptKw("GROUP")) {
+      SCIQL_RETURN_NOT_OK(ExpectKw("BY"));
+      GroupBy gb;
+      // Structural grouping: identifier immediately followed by '['.
+      if (Cur().type == TokenType::kIdentifier && Peek().IsOp("[")) {
+        gb.structural = true;
+        while (true) {
+          TilePattern pat;
+          SCIQL_ASSIGN_OR_RETURN(pat.array, ExpectIdent());
+          while (Cur().IsOp("[")) {
+            Advance();
+            TileDim td;
+            SCIQL_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+            if (AcceptOp(":")) {
+              td.is_range = true;
+              td.lo = std::move(first);
+              SCIQL_ASSIGN_OR_RETURN(td.hi, ParseExpr());
+            } else {
+              td.single = std::move(first);
+            }
+            SCIQL_RETURN_NOT_OK(ExpectOp("]"));
+            pat.dims.push_back(std::move(td));
+          }
+          if (pat.dims.empty()) {
+            return Err("tile pattern needs at least one [..] group");
+          }
+          gb.patterns.push_back(std::move(pat));
+          if (AcceptOp(",")) continue;
+          break;
+        }
+      } else {
+        while (true) {
+          SCIQL_ASSIGN_OR_RETURN(ExprPtr k, ParseExpr());
+          gb.keys.push_back(std::move(k));
+          if (AcceptOp(",")) continue;
+          break;
+        }
+      }
+      sel->group_by = std::move(gb);
+    }
+
+    if (AcceptKw("HAVING")) {
+      SCIQL_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+
+    if (AcceptKw("ORDER")) {
+      SCIQL_RETURN_NOT_OK(ExpectKw("BY"));
+      while (true) {
+        OrderItem oi;
+        SCIQL_ASSIGN_OR_RETURN(oi.expr, ParseExpr());
+        if (AcceptKw("DESC")) {
+          oi.desc = true;
+        } else {
+          AcceptKw("ASC");
+        }
+        sel->order_by.push_back(std::move(oi));
+        if (AcceptOp(",")) continue;
+        break;
+      }
+    }
+
+    if (AcceptKw("LIMIT")) {
+      if (Cur().type != TokenType::kIntLiteral) {
+        return Err("expected an integer after LIMIT");
+      }
+      sel->limit = Cur().int_val;
+      Advance();
+    }
+    return sel;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptOp("(")) {
+      SCIQL_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+    } else {
+      SCIQL_ASSIGN_OR_RETURN(ref.name, ExpectIdent());
+    }
+    if (AcceptKw("AS")) {
+      SCIQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Cur().type == TokenType::kIdentifier) {
+      ref.alias = Cur().text;
+      Advance();
+    }
+    if (ref.subquery != nullptr && ref.alias.empty()) {
+      return Err("a subquery in FROM requires an alias");
+    }
+    return ref;
+  }
+
+  // -------------------------------------------------------------------------
+  // Expressions (precedence climbing)
+  // -------------------------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SCIQL_ASSIGN_OR_RETURN(ExprPtr l, ParseAnd());
+    while (AcceptKw("OR")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAnd());
+      l = Expr::Bin(gdk::BinOp::kOr, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SCIQL_ASSIGN_OR_RETURN(ExprPtr l, ParseNot());
+    while (Cur().IsKeyword("AND")) {
+      Advance();
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr r, ParseNot());
+      l = Expr::Bin(gdk::BinOp::kAnd, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKw("NOT")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kUnary;
+      out->un_op = gdk::UnOp::kNot;
+      out->children.push_back(std::move(e));
+      return out;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SCIQL_ASSIGN_OR_RETURN(ExprPtr l, ParseAdditive());
+    if (Cur().IsOp("=") || Cur().IsOp("!=") || Cur().IsOp("<") ||
+        Cur().IsOp("<=") || Cur().IsOp(">") || Cur().IsOp(">=")) {
+      gdk::BinOp op;
+      if (Cur().IsOp("=")) op = gdk::BinOp::kEq;
+      else if (Cur().IsOp("!=")) op = gdk::BinOp::kNe;
+      else if (Cur().IsOp("<")) op = gdk::BinOp::kLt;
+      else if (Cur().IsOp("<=")) op = gdk::BinOp::kLe;
+      else if (Cur().IsOp(">")) op = gdk::BinOp::kGt;
+      else op = gdk::BinOp::kGe;
+      Advance();
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAdditive());
+      return Expr::Bin(op, std::move(l), std::move(r));
+    }
+    if (Cur().IsKeyword("IS")) {
+      Advance();
+      bool negated = AcceptKw("NOT");
+      SCIQL_RETURN_NOT_OK(ExpectKw("NULL"));
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kIsNull;
+      out->negated = negated;
+      out->children.push_back(std::move(l));
+      return out;
+    }
+    bool negated = false;
+    if (Cur().IsKeyword("NOT") &&
+        (Peek().IsKeyword("BETWEEN") || Peek().IsKeyword("IN"))) {
+      negated = true;
+      Advance();
+    }
+    if (AcceptKw("BETWEEN")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      SCIQL_RETURN_NOT_OK(ExpectKw("AND"));
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kBetween;
+      out->negated = negated;
+      out->children.push_back(std::move(l));
+      out->children.push_back(std::move(lo));
+      out->children.push_back(std::move(hi));
+      return out;
+    }
+    if (AcceptKw("IN")) {
+      SCIQL_RETURN_NOT_OK(ExpectOp("("));
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kIn;
+      out->negated = negated;
+      out->children.push_back(std::move(l));
+      while (true) {
+        SCIQL_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        out->children.push_back(std::move(item));
+        if (AcceptOp(",")) continue;
+        break;
+      }
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+      return out;
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SCIQL_ASSIGN_OR_RETURN(ExprPtr l, ParseMultiplicative());
+    while (Cur().IsOp("+") || Cur().IsOp("-")) {
+      gdk::BinOp op = Cur().IsOp("+") ? gdk::BinOp::kAdd : gdk::BinOp::kSub;
+      Advance();
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicative());
+      l = Expr::Bin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SCIQL_ASSIGN_OR_RETURN(ExprPtr l, ParseUnaryExpr());
+    while (Cur().IsOp("*") || Cur().IsOp("/") || Cur().IsOp("%") ||
+           Cur().IsKeyword("MOD")) {
+      gdk::BinOp op;
+      if (Cur().IsOp("*")) op = gdk::BinOp::kMul;
+      else if (Cur().IsOp("/")) op = gdk::BinOp::kDiv;
+      else op = gdk::BinOp::kMod;
+      Advance();
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr r, ParseUnaryExpr());
+      l = Expr::Bin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseUnaryExpr() {
+    if (AcceptOp("-")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+      // Fold negation of numeric literals immediately.
+      if (e->kind == Expr::Kind::kLiteral && !e->literal.is_null) {
+        if (e->literal.type == gdk::PhysType::kDbl) {
+          e->literal.d = -e->literal.d;
+          return e;
+        }
+        if (e->literal.type == gdk::PhysType::kInt ||
+            e->literal.type == gdk::PhysType::kLng) {
+          e->literal.i = -e->literal.i;
+          return e;
+        }
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kUnary;
+      out->un_op = gdk::UnOp::kNeg;
+      out->children.push_back(std::move(e));
+      return out;
+    }
+    if (AcceptOp("+")) return ParseUnaryExpr();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        int64_t v = t.int_val;
+        Advance();
+        if (v >= std::numeric_limits<int32_t>::min() &&
+            v <= std::numeric_limits<int32_t>::max()) {
+          return Expr::Lit(gdk::ScalarValue::Int(static_cast<int32_t>(v)));
+        }
+        return Expr::Lit(gdk::ScalarValue::Lng(v));
+      }
+      case TokenType::kFloatLiteral: {
+        double v = t.float_val;
+        Advance();
+        return Expr::Lit(gdk::ScalarValue::Dbl(v));
+      }
+      case TokenType::kStrLiteral: {
+        std::string v = t.text;
+        Advance();
+        return Expr::Lit(gdk::ScalarValue::Str(std::move(v)));
+      }
+      default:
+        break;
+    }
+
+    if (AcceptKw("NULL")) {
+      return Expr::Lit(gdk::ScalarValue::Null(gdk::PhysType::kInt));
+    }
+    if (AcceptKw("TRUE")) return Expr::Lit(gdk::ScalarValue::Bit(true));
+    if (AcceptKw("FALSE")) return Expr::Lit(gdk::ScalarValue::Bit(false));
+
+    if (Cur().IsKeyword("CASE")) return ParseCase();
+
+    // Aggregates and ABS are keywords.
+    if (Cur().IsKeyword("COUNT") || Cur().IsKeyword("SUM") ||
+        Cur().IsKeyword("AVG") || Cur().IsKeyword("MIN") ||
+        Cur().IsKeyword("MAX")) {
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kAggregate;
+      if (Cur().IsKeyword("COUNT")) out->agg_op = gdk::AggOp::kCount;
+      else if (Cur().IsKeyword("SUM")) out->agg_op = gdk::AggOp::kSum;
+      else if (Cur().IsKeyword("AVG")) out->agg_op = gdk::AggOp::kAvg;
+      else if (Cur().IsKeyword("MIN")) out->agg_op = gdk::AggOp::kMin;
+      else out->agg_op = gdk::AggOp::kMax;
+      Advance();
+      SCIQL_RETURN_NOT_OK(ExpectOp("("));
+      if (Cur().IsOp("*")) {
+        if (out->agg_op != gdk::AggOp::kCount) {
+          return Err("only COUNT can take *");
+        }
+        out->agg_op = gdk::AggOp::kCountStar;
+        out->star = true;
+        Advance();
+      } else {
+        SCIQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        out->children.push_back(std::move(arg));
+      }
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+      return out;
+    }
+    if (Cur().IsKeyword("ABS")) {
+      Advance();
+      SCIQL_RETURN_NOT_OK(ExpectOp("("));
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kUnary;
+      out->un_op = gdk::UnOp::kAbs;
+      out->children.push_back(std::move(arg));
+      return out;
+    }
+
+    if (AcceptOp("(")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+
+    if (Cur().type == TokenType::kIdentifier) {
+      std::string name = Cur().text;
+      Advance();
+      // Cell reference: name[expr][expr]...(.attr)?
+      if (Cur().IsOp("[")) {
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kCellRef;
+        out->array_name = name;
+        while (AcceptOp("[")) {
+          SCIQL_ASSIGN_OR_RETURN(ExprPtr idx, ParseExpr());
+          out->children.push_back(std::move(idx));
+          SCIQL_RETURN_NOT_OK(ExpectOp("]"));
+        }
+        if (AcceptOp(".")) {
+          SCIQL_ASSIGN_OR_RETURN(out->attr_name, ExpectIdent());
+        }
+        return out;
+      }
+      // Scalar function call: name(args).
+      if (Cur().IsOp("(")) {
+        Advance();
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kFunc;
+        out->func_name = ToLower(name);
+        if (!Cur().IsOp(")")) {
+          while (true) {
+            SCIQL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            out->children.push_back(std::move(arg));
+            if (AcceptOp(",")) continue;
+            break;
+          }
+        }
+        SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+        return out;
+      }
+      // Qualified column: table.column.
+      if (AcceptOp(".")) {
+        SCIQL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return Expr::Col(name, col);
+      }
+      return Expr::Col("", name);
+    }
+
+    return Err("expected an expression");
+  }
+
+  Result<ExprPtr> ParseCase() {
+    SCIQL_RETURN_NOT_OK(ExpectKw("CASE"));
+    auto out = std::make_unique<Expr>();
+    out->kind = Expr::Kind::kCase;
+    if (!Cur().IsKeyword("WHEN")) {
+      return Err("only searched CASE (CASE WHEN ...) is supported");
+    }
+    while (AcceptKw("WHEN")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      SCIQL_RETURN_NOT_OK(ExpectKw("THEN"));
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+      out->children.push_back(std::move(cond));
+      out->children.push_back(std::move(val));
+    }
+    if (AcceptKw("ELSE")) {
+      SCIQL_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+      out->children.push_back(std::move(val));
+      out->has_else = true;
+    }
+    SCIQL_RETURN_NOT_OK(ExpectKw("END"));
+    return out;
+  }
+
+  // -------------------------------------------------------------------------
+  // Shared helpers
+  // -------------------------------------------------------------------------
+
+  Result<gdk::PhysType> ParseType() {
+    auto match = [&](std::initializer_list<const char*> kws,
+                     gdk::PhysType t) -> std::optional<gdk::PhysType> {
+      for (const char* kw : kws) {
+        if (AcceptKw(kw)) return t;
+      }
+      return std::nullopt;
+    };
+    if (auto t = match({"INT", "INTEGER", "SMALLINT"}, gdk::PhysType::kInt)) {
+      return *t;
+    }
+    if (auto t = match({"BIGINT", "LONG"}, gdk::PhysType::kLng)) return *t;
+    if (auto t = match({"DOUBLE", "FLOAT", "REAL"}, gdk::PhysType::kDbl)) {
+      return *t;
+    }
+    if (auto t = match({"BOOLEAN", "BOOL"}, gdk::PhysType::kBit)) return *t;
+    if (auto t = match({"VARCHAR", "STRING", "TEXT", "CHAR"},
+                       gdk::PhysType::kStr)) {
+      // Optional length, ignored: VARCHAR(32).
+      if (AcceptOp("(")) {
+        if (Cur().type == TokenType::kIntLiteral) Advance();
+        SCIQL_RETURN_NOT_OK(ExpectOp(")"));
+      }
+      return *t;
+    }
+    return Err("expected a type name");
+  }
+
+  Result<int64_t> ParseSignedInt() {
+    bool neg = AcceptOp("-");
+    if (Cur().type != TokenType::kIntLiteral) {
+      return Err("expected an integer");
+    }
+    int64_t v = Cur().int_val;
+    Advance();
+    return neg ? -v : v;
+  }
+
+  Result<array::DimRange> ParseRangeLiteral() {
+    SCIQL_RETURN_NOT_OK(ExpectOp("["));
+    array::DimRange r;
+    SCIQL_ASSIGN_OR_RETURN(r.start, ParseSignedInt());
+    SCIQL_RETURN_NOT_OK(ExpectOp(":"));
+    SCIQL_ASSIGN_OR_RETURN(r.step, ParseSignedInt());
+    SCIQL_RETURN_NOT_OK(ExpectOp(":"));
+    SCIQL_ASSIGN_OR_RETURN(r.stop, ParseSignedInt());
+    SCIQL_RETURN_NOT_OK(ExpectOp("]"));
+    SCIQL_RETURN_NOT_OK(r.Validate());
+    return r;
+  }
+
+  Result<gdk::ScalarValue> ParseLiteralValue() {
+    bool neg = AcceptOp("-");
+    const Token& t = Cur();
+    if (t.type == TokenType::kIntLiteral) {
+      int64_t v = neg ? -t.int_val : t.int_val;
+      Advance();
+      if (v >= std::numeric_limits<int32_t>::min() &&
+          v <= std::numeric_limits<int32_t>::max()) {
+        return gdk::ScalarValue::Int(static_cast<int32_t>(v));
+      }
+      return gdk::ScalarValue::Lng(v);
+    }
+    if (t.type == TokenType::kFloatLiteral) {
+      double v = neg ? -t.float_val : t.float_val;
+      Advance();
+      return gdk::ScalarValue::Dbl(v);
+    }
+    if (neg) return Err("expected a number after '-'");
+    if (t.type == TokenType::kStrLiteral) {
+      std::string v = t.text;
+      Advance();
+      return gdk::ScalarValue::Str(std::move(v));
+    }
+    if (AcceptKw("NULL")) return gdk::ScalarValue::Null(gdk::PhysType::kInt);
+    if (AcceptKw("TRUE")) return gdk::ScalarValue::Bit(true);
+    if (AcceptKw("FALSE")) return gdk::ScalarValue::Bit(false);
+    return Err("expected a literal value");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<StatementPtr>> Parse(const std::string& text) {
+  SCIQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatements();
+}
+
+Result<StatementPtr> ParseOne(const std::string& text) {
+  SCIQL_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parse(text));
+  if (stmts.size() != 1) {
+    return Status::ParseError(
+        StrFormat("expected exactly one statement, got %zu", stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace sql
+}  // namespace sciql

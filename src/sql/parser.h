@@ -1,0 +1,24 @@
+// Recursive-descent parser for the SQL/SciQL dialect.
+
+#ifndef SCIQL_SQL_PARSER_H_
+#define SCIQL_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+
+namespace sciql {
+namespace sql {
+
+/// \brief Parse a (possibly multi-statement, ';'-separated) SQL/SciQL text.
+Result<std::vector<StatementPtr>> Parse(const std::string& text);
+
+/// \brief Parse exactly one statement.
+Result<StatementPtr> ParseOne(const std::string& text);
+
+}  // namespace sql
+}  // namespace sciql
+
+#endif  // SCIQL_SQL_PARSER_H_

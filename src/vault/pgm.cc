@@ -1,0 +1,122 @@
+#include "src/vault/pgm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace vault {
+
+namespace {
+
+// Skip whitespace and '#' comments in a PGM header.
+void SkipSpaceAndComments(const std::string& s, size_t* i) {
+  while (*i < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+    } else if (s[*i] == '#') {
+      while (*i < s.size() && s[*i] != '\n') ++*i;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<int64_t> ReadInt(const std::string& s, size_t* i) {
+  SkipSpaceAndComments(s, i);
+  size_t start = *i;
+  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+  if (*i == start) return Status::IOError("malformed PGM header");
+  return std::strtoll(s.substr(start, *i - start).c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<Image> ParsePgm(const std::string& bytes) {
+  if (bytes.size() < 2 || bytes[0] != 'P' ||
+      (bytes[1] != '2' && bytes[1] != '5')) {
+    return Status::IOError("not a PGM file (expected P2 or P5 magic)");
+  }
+  bool binary = bytes[1] == '5';
+  size_t i = 2;
+  SCIQL_ASSIGN_OR_RETURN(int64_t w, ReadInt(bytes, &i));
+  SCIQL_ASSIGN_OR_RETURN(int64_t h, ReadInt(bytes, &i));
+  SCIQL_ASSIGN_OR_RETURN(int64_t maxval, ReadInt(bytes, &i));
+  if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 65535) {
+    return Status::IOError("invalid PGM geometry");
+  }
+  Image img;
+  img.width = static_cast<size_t>(w);
+  img.height = static_cast<size_t>(h);
+  img.maxval = static_cast<int>(maxval);
+  size_t n = img.width * img.height;
+  img.pixels.resize(n);
+  if (binary) {
+    ++i;  // single whitespace after maxval
+    size_t bpp = maxval > 255 ? 2 : 1;
+    if (bytes.size() - i < n * bpp) {
+      return Status::IOError("truncated PGM pixel data");
+    }
+    for (size_t p = 0; p < n; ++p) {
+      if (bpp == 1) {
+        img.pixels[p] = static_cast<unsigned char>(bytes[i + p]);
+      } else {
+        img.pixels[p] =
+            (static_cast<unsigned char>(bytes[i + 2 * p]) << 8) |
+            static_cast<unsigned char>(bytes[i + 2 * p + 1]);
+      }
+    }
+  } else {
+    for (size_t p = 0; p < n; ++p) {
+      SCIQL_ASSIGN_OR_RETURN(int64_t v, ReadInt(bytes, &i));
+      img.pixels[p] = static_cast<int32_t>(v);
+    }
+  }
+  return img;
+}
+
+Result<Image> ReadPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParsePgm(ss.str());
+}
+
+std::string SerializePgm(const Image& img) {
+  std::string out =
+      StrFormat("P5\n%zu %zu\n%d\n", img.width, img.height, img.maxval);
+  bool wide = img.maxval > 255;
+  out.reserve(out.size() + img.pixels.size() * (wide ? 2 : 1));
+  for (int32_t v : img.pixels) {
+    int32_t c = std::clamp(v, 0, img.maxval);
+    if (wide) {
+      out.push_back(static_cast<char>((c >> 8) & 0xFF));
+    }
+    out.push_back(static_cast<char>(c & 0xFF));
+  }
+  return out;
+}
+
+Status WritePgm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot write %s", path.c_str()));
+  }
+  std::string bytes = SerializePgm(img);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status::IOError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace vault
+}  // namespace sciql

@@ -1,0 +1,47 @@
+// PGM (portable graymap) image reader/writer.
+//
+// The paper loads GeoTIFF images through MonetDB's Data Vault [9]. GeoTIFF
+// assets and libtiff are unavailable offline, so the vault substitutes PGM:
+// structurally the same payload (a 2-D grid of integer grey-scale
+// intensities), exercising the identical code path — bulk ingestion of a
+// raster into a 2-D array with an INT attribute.
+
+#ifndef SCIQL_VAULT_PGM_H_
+#define SCIQL_VAULT_PGM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sciql {
+namespace vault {
+
+/// \brief An in-memory grey-scale raster, row-major, origin at (0,0).
+struct Image {
+  size_t width = 0;
+  size_t height = 0;
+  int maxval = 255;
+  std::vector<int32_t> pixels;  // size = width*height; pixels[y*width + x]
+
+  int32_t At(size_t x, size_t y) const { return pixels[y * width + x]; }
+  void Set(size_t x, size_t y, int32_t v) { pixels[y * width + x] = v; }
+};
+
+/// \brief Read a PGM file (binary P5 or ASCII P2).
+Result<Image> ReadPgm(const std::string& path);
+
+/// \brief Write a binary (P5) PGM file. Values are clamped to [0, maxval].
+Status WritePgm(const Image& img, const std::string& path);
+
+/// \brief Parse a PGM from memory (for tests).
+Result<Image> ParsePgm(const std::string& bytes);
+
+/// \brief Serialize as binary P5 (for tests).
+std::string SerializePgm(const Image& img);
+
+}  // namespace vault
+}  // namespace sciql
+
+#endif  // SCIQL_VAULT_PGM_H_

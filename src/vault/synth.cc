@@ -1,0 +1,161 @@
+#include "src/vault/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace sciql {
+namespace vault {
+
+namespace {
+
+// Smooth 2-D value noise: bilinear interpolation of a coarse random lattice,
+// summed over a few octaves. Deterministic per seed.
+class ValueNoise {
+ public:
+  ValueNoise(size_t lattice, uint64_t seed) : n_(lattice) {
+    Rng rng(seed);
+    grid_.resize(n_ * n_);
+    for (double& v : grid_) v = rng.NextDouble();
+  }
+
+  double Sample(double x, double y) const {
+    double gx = x * static_cast<double>(n_ - 1);
+    double gy = y * static_cast<double>(n_ - 1);
+    size_t x0 = std::min(static_cast<size_t>(gx), n_ - 2);
+    size_t y0 = std::min(static_cast<size_t>(gy), n_ - 2);
+    double fx = gx - static_cast<double>(x0);
+    double fy = gy - static_cast<double>(y0);
+    // Smoothstep for C1 continuity.
+    fx = fx * fx * (3 - 2 * fx);
+    fy = fy * fy * (3 - 2 * fy);
+    double v00 = At(x0, y0), v10 = At(x0 + 1, y0);
+    double v01 = At(x0, y0 + 1), v11 = At(x0 + 1, y0 + 1);
+    double a = v00 + (v10 - v00) * fx;
+    double b = v01 + (v11 - v01) * fx;
+    return a + (b - a) * fy;
+  }
+
+ private:
+  double At(size_t x, size_t y) const { return grid_[y * n_ + x]; }
+  size_t n_;
+  std::vector<double> grid_;
+};
+
+}  // namespace
+
+Image MakeGradientImage(size_t width, size_t height) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height);
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      img.Set(x, y, static_cast<int32_t>((x + y) * 255 / (width + height - 2)));
+    }
+  }
+  return img;
+}
+
+Image MakeCheckerboardImage(size_t width, size_t height, size_t tile) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height);
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      bool on = ((x / tile) + (y / tile)) % 2 == 0;
+      img.Set(x, y, on ? 230 : 25);
+    }
+  }
+  return img;
+}
+
+Image MakeBuildingImage(size_t width, size_t height, uint64_t seed) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height);
+  Rng rng(seed);
+
+  size_t skyline = height / 5;             // sky above the facade
+  size_t door_w = std::max<size_t>(4, width / 10);
+  size_t door_h = std::max<size_t>(6, height / 5);
+
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      int32_t v;
+      if (y < skyline) {
+        // Sky: bright gradient with slight dithering.
+        v = 200 + static_cast<int32_t>(40.0 * y /
+                                       std::max<size_t>(1, skyline)) +
+            static_cast<int32_t>(rng.Below(8));
+      } else {
+        // Facade base tone.
+        v = 120 + static_cast<int32_t>(rng.Below(6));
+        // Window grid: dark rectangles every 8x10 pixels.
+        size_t fy = y - skyline;
+        bool in_window = (x % 8) >= 2 && (x % 8) <= 5 && (fy % 10) >= 2 &&
+                         (fy % 10) <= 6;
+        if (in_window) v = 30 + static_cast<int32_t>(rng.Below(10));
+        // Door in the centre bottom.
+        if (y >= height - door_h && x >= (width - door_w) / 2 &&
+            x < (width + door_w) / 2) {
+          v = 50;
+        }
+        // Roofline accent.
+        if (y == skyline) v = 10;
+      }
+      img.Set(x, y, std::clamp(v, 0, 255));
+    }
+  }
+  return img;
+}
+
+Image MakeTerrainImage(size_t width, size_t height, int water_level,
+                       uint64_t seed) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height);
+  ValueNoise coarse(9, seed);
+  ValueNoise mid(17, seed ^ 0xABCDEF);
+  ValueNoise fine(33, seed * 31 + 7);
+  std::vector<double> elevation(width * height);
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      double u = static_cast<double>(x) / static_cast<double>(width - 1);
+      double v = static_cast<double>(y) / static_cast<double>(height - 1);
+      elevation[y * width + x] = 0.55 * coarse.Sample(u, v) +
+                                 0.3 * mid.Sample(u, v) +
+                                 0.15 * fine.Sample(u, v);
+    }
+  }
+  // Sea level at the 25th elevation percentile: a quarter of the terrain
+  // reads as water (below `water_level`), the rest spreads over the land
+  // intensities — giving the histogram its characteristic two modes.
+  std::vector<double> sorted = elevation;
+  std::sort(sorted.begin(), sorted.end());
+  double sea = sorted[sorted.size() / 4];
+  double lo = sorted.front();
+  double hi = sorted.back();
+  for (size_t i = 0; i < elevation.size(); ++i) {
+    double e = elevation[i];
+    int32_t intensity;
+    if (e < sea) {
+      // Water: [0, water_level) scaled by depth.
+      double depth = (e - lo) / std::max(1e-9, sea - lo);
+      intensity = static_cast<int32_t>(depth * (water_level - 1));
+    } else {
+      // Land: [water_level, 255].
+      double h = (e - sea) / std::max(1e-9, hi - sea);
+      intensity = water_level + static_cast<int32_t>(h * (255 - water_level));
+    }
+    img.pixels[i] = std::clamp(intensity, 0, 255);
+  }
+  return img;
+}
+
+}  // namespace vault
+}  // namespace sciql

@@ -1,0 +1,30 @@
+// Deterministic synthetic image generators standing in for the demo's two
+// GeoTIFF assets: a grey-scale "classic building" photograph and a remote
+// sensing image of the earth with water areas.
+
+#ifndef SCIQL_VAULT_SYNTH_H_
+#define SCIQL_VAULT_SYNTH_H_
+
+#include "src/vault/pgm.h"
+
+namespace sciql {
+namespace vault {
+
+/// \brief Synthetic "building" image: a facade with window grid, door and
+/// sky gradient — rich in edges for EdgeDetection, deterministic per seed.
+Image MakeBuildingImage(size_t width, size_t height, uint64_t seed = 42);
+
+/// \brief Synthetic "remote sensing" terrain: smooth value-noise elevation
+/// mapped to intensities; low-lying cells (below `water_level`) read as
+/// water, exercising the water-filter and histogram scenarios.
+Image MakeTerrainImage(size_t width, size_t height, int water_level = 60,
+                       uint64_t seed = 7);
+
+/// \brief Simple diagnostic patterns.
+Image MakeGradientImage(size_t width, size_t height);
+Image MakeCheckerboardImage(size_t width, size_t height, size_t tile);
+
+}  // namespace vault
+}  // namespace sciql
+
+#endif  // SCIQL_VAULT_SYNTH_H_

@@ -1,0 +1,66 @@
+#include "src/vault/vault.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace vault {
+
+Status LoadImage(engine::Database* db, const std::string& name,
+                 const Image& img) {
+  SCIQL_RETURN_NOT_OK(db->Run(StrFormat(
+      "CREATE ARRAY %s (x INT DIMENSION[0:1:%zu], y INT DIMENSION[0:1:%zu], "
+      "v INT)",
+      name.c_str(), img.width, img.height)));
+  // Bulk load through the vault: write the attribute BAT directly, exactly
+  // how MonetDB data vaults bypass tuple-at-a-time SQL ingestion.
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db->catalog()->GetArray(name));
+  auto& v = arr->attr_bats[0]->ints();
+  size_t h = img.height;
+  for (size_t x = 0; x < img.width; ++x) {
+    for (size_t y = 0; y < h; ++y) {
+      v[x * h + y] = img.At(x, y);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadPgmFile(engine::Database* db, const std::string& name,
+                   const std::string& path) {
+  SCIQL_ASSIGN_OR_RETURN(Image img, ReadPgm(path));
+  return LoadImage(db, name, img);
+}
+
+Result<Image> StoreImage(engine::Database* db, const std::string& name) {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, db->catalog()->GetArray(name));
+  if (arr->desc.ndims() != 2) {
+    return Status::InvalidArgument(
+        StrFormat("array %s is not two-dimensional", name.c_str()));
+  }
+  if (arr->desc.nattrs() < 1) {
+    return Status::InvalidArgument(
+        StrFormat("array %s has no attribute to export", name.c_str()));
+  }
+  size_t w = arr->desc.dims()[0].range.Size();
+  size_t h = arr->desc.dims()[1].range.Size();
+  Image img;
+  img.width = w;
+  img.height = h;
+  img.pixels.assign(w * h, 0);
+  const gdk::BAT& v = *arr->attr_bats[0];
+  for (size_t x = 0; x < w; ++x) {
+    for (size_t y = 0; y < h; ++y) {
+      gdk::ScalarValue s = v.GetScalar(x * h + y);
+      img.Set(x, y, s.is_null ? 0 : static_cast<int32_t>(s.AsInt64()));
+    }
+  }
+  return img;
+}
+
+Status StorePgmFile(engine::Database* db, const std::string& name,
+                    const std::string& path) {
+  SCIQL_ASSIGN_OR_RETURN(Image img, StoreImage(db, name));
+  return WritePgm(img, path);
+}
+
+}  // namespace vault
+}  // namespace sciql

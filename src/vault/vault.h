@@ -1,0 +1,37 @@
+// The image Data Vault: attach raster images to the database as 2-D SciQL
+// arrays and export arrays back to image files (paper Sec. 4, Scenario II:
+// "images are loaded into MonetDB using its GeoTIFF Data Vault; each image
+// is stored as a 2D array with x,y dimensions and an integer column v").
+
+#ifndef SCIQL_VAULT_VAULT_H_
+#define SCIQL_VAULT_VAULT_H_
+
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/vault/pgm.h"
+
+namespace sciql {
+namespace vault {
+
+/// \brief Create array `name` (x INT DIMENSION[0:1:w], y INT
+/// DIMENSION[0:1:h], v INT) and bulk-load the image pixels into it.
+Status LoadImage(engine::Database* db, const std::string& name,
+                 const Image& img);
+
+/// \brief Load a PGM file into array `name`.
+Status LoadPgmFile(engine::Database* db, const std::string& name,
+                   const std::string& path);
+
+/// \brief Materialise a 2-D single-attribute array as an Image. NULL cells
+/// render as 0. The array's x dimension maps to image columns and y to rows.
+Result<Image> StoreImage(engine::Database* db, const std::string& name);
+
+/// \brief Export array `name` to a PGM file.
+Status StorePgmFile(engine::Database* db, const std::string& name,
+                    const std::string& path);
+
+}  // namespace vault
+}  // namespace sciql
+
+#endif  // SCIQL_VAULT_VAULT_H_

@@ -1,0 +1,157 @@
+// Scenario II: every image operation executed as a SciQL query must agree
+// with its native in-memory counterpart.
+
+#include "src/img/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vault/synth.h"
+#include "src/vault/vault.h"
+
+namespace sciql {
+namespace img {
+namespace {
+
+using vault::Image;
+
+class ImgOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    img_ = vault::MakeBuildingImage(24, 20, 3);
+    ASSERT_TRUE(vault::LoadImage(&db_, "img", img_).ok());
+  }
+
+  Image MustStore(const std::string& name) {
+    auto r = vault::StoreImage(&db_, name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r.value()) : Image();
+  }
+
+  engine::Database db_;
+  Image img_;
+};
+
+TEST_F(ImgOpsTest, InvertMatchesNative) {
+  ASSERT_TRUE(Invert(&db_, "img", "inv").ok());
+  EXPECT_EQ(MustStore("inv").pixels, native::Invert(img_).pixels);
+}
+
+TEST_F(ImgOpsTest, EdgeDetectMatchesNative) {
+  ASSERT_TRUE(EdgeDetect(&db_, "img", "edges").ok());
+  EXPECT_EQ(MustStore("edges").pixels, native::EdgeDetect(img_).pixels);
+}
+
+TEST_F(ImgOpsTest, SmoothMatchesNative) {
+  ASSERT_TRUE(Smooth(&db_, "img", "smooth").ok());
+  EXPECT_EQ(MustStore("smooth").pixels, native::Smooth(img_).pixels);
+}
+
+TEST_F(ImgOpsTest, ReduceMatchesNative) {
+  ASSERT_TRUE(Reduce2x(&db_, "img", "small").ok());
+  Image got = MustStore("small");
+  Image want = native::Reduce2x(img_);
+  EXPECT_EQ(got.width, want.width);
+  EXPECT_EQ(got.height, want.height);
+  EXPECT_EQ(got.pixels, want.pixels);
+}
+
+TEST_F(ImgOpsTest, RotateMatchesNative) {
+  ASSERT_TRUE(Rotate90(&db_, "img", "rot").ok());
+  Image got = MustStore("rot");
+  Image want = native::Rotate90(img_);
+  EXPECT_EQ(got.width, want.width);
+  EXPECT_EQ(got.height, want.height);
+  EXPECT_EQ(got.pixels, want.pixels);
+}
+
+TEST_F(ImgOpsTest, RotateFourTimesIsIdentity) {
+  ASSERT_TRUE(Rotate90(&db_, "img", "r1").ok());
+  ASSERT_TRUE(Rotate90(&db_, "r1", "r2").ok());
+  ASSERT_TRUE(Rotate90(&db_, "r2", "r3").ok());
+  ASSERT_TRUE(Rotate90(&db_, "r3", "r4").ok());
+  EXPECT_EQ(MustStore("r4").pixels, img_.pixels);
+}
+
+TEST_F(ImgOpsTest, BrightenSaturates) {
+  ASSERT_TRUE(Brighten(&db_, "img", "bright", 40).ok());
+  Image got = MustStore("bright");
+  Image want = native::Brighten(img_, 40);
+  EXPECT_EQ(got.pixels, want.pixels);
+  for (int32_t p : got.pixels) EXPECT_LE(p, 255);
+}
+
+TEST_F(ImgOpsTest, HistogramMatchesNative) {
+  auto got = Histogram(&db_, "img");
+  ASSERT_TRUE(got.ok());
+  auto want = native::Histogram(img_);
+  ASSERT_EQ(got->size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ((*got)[i].first, want[i].first);
+    EXPECT_EQ((*got)[i].second, want[i].second);
+  }
+  // Sanity: counts add up to the pixel count.
+  int64_t total = 0;
+  for (const auto& [v, c] : *got) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(img_.pixels.size()));
+}
+
+TEST_F(ImgOpsTest, ZoomMatchesNative) {
+  ASSERT_TRUE(Zoom2x(&db_, "img", "zoom", 4, 4, 8, 6).ok());
+  Image got = MustStore("zoom");
+  Image want = native::Zoom2x(img_, 4, 4, 8, 6);
+  EXPECT_EQ(got.width, want.width);
+  EXPECT_EQ(got.pixels, want.pixels);
+}
+
+TEST_F(ImgOpsTest, AreasOfInterestShipsOnlySelectedPixels) {
+  std::vector<Box> boxes = {{2, 6, 3, 7}, {10, 12, 0, 2}};
+  auto rs = AreasOfInterest(&db_, "img", boxes);
+  ASSERT_TRUE(rs.ok());
+  auto want = native::AreasOfInterest(img_, boxes);
+  EXPECT_EQ(rs->NumRows(), want.size());
+  // Every returned pixel carries its true intensity.
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    int64_t x = rs->Value(r, 0).AsInt64();
+    int64_t y = rs->Value(r, 1).AsInt64();
+    EXPECT_EQ(rs->Value(r, 2).AsInt64(),
+              img_.At(static_cast<size_t>(x), static_cast<size_t>(y)));
+  }
+}
+
+TEST_F(ImgOpsTest, AreasOfInterestEmptyMask) {
+  auto rs = AreasOfInterest(&db_, "img", {});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 0u);
+}
+
+TEST_F(ImgOpsTest, MaskedSelect) {
+  // Bit-mask array: 1 on a single row.
+  ASSERT_TRUE(db_
+                  .Run("CREATE ARRAY m (x INT DIMENSION[0:1:24], "
+                       "y INT DIMENSION[0:1:20], v INT DEFAULT 0)")
+                  .ok());
+  ASSERT_TRUE(db_.Run("UPDATE m SET v = 1 WHERE y = 5").ok());
+  auto rs = MaskedSelect(&db_, "img", "m");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 24u);
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    EXPECT_EQ(rs->Value(r, 1).AsInt64(), 5);
+  }
+}
+
+TEST_F(ImgOpsTest, WaterFilterOnTerrain) {
+  Image terrain = vault::MakeTerrainImage(24, 24, 60, 11);
+  ASSERT_TRUE(vault::LoadImage(&db_, "terrain", terrain).ok());
+  ASSERT_TRUE(FilterWater(&db_, "terrain", "land", 60).ok());
+  Image got = MustStore("land");
+  Image want = native::FilterWater(terrain, 60);
+  EXPECT_EQ(got.pixels, want.pixels);
+  // Water became black; land survives.
+  bool any_zero = false;
+  for (int32_t p : got.pixels) any_zero = any_zero || p == 0;
+  EXPECT_TRUE(any_zero);
+}
+
+}  // namespace
+}  // namespace img
+}  // namespace sciql

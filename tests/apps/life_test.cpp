@@ -1,0 +1,169 @@
+#include "src/life/life.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace life {
+namespace {
+
+TEST(LifeTest, BlinkerOscillatesViaSciql) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 5);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->Seed(Pattern::kBlinker, 1, 1).ok());
+  auto before = board->Snapshot();
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(board->StepSciql().ok());
+  auto mid = board->Snapshot();
+  ASSERT_TRUE(mid.ok());
+  EXPECT_NE(*before, *mid);  // horizontal -> vertical
+
+  ASSERT_TRUE(board->StepSciql().ok());
+  auto after = board->Snapshot();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);  // period 2
+}
+
+TEST(LifeTest, BlockIsStill) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 6);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->Seed(Pattern::kBlock, 2, 2).ok());
+  auto before = board->Snapshot();
+  ASSERT_TRUE(board->StepSciql().ok());
+  auto after = board->Snapshot();
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(LifeTest, GliderTranslatesDiagonally) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 10);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->Seed(Pattern::kGlider, 1, 1).ok());
+  auto p0 = board->Population();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 5);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(board->StepSciql().ok());
+  }
+  // After 4 generations a glider is translated by (1,1), population 5.
+  auto p4 = board->Population();
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(*p4, 5);
+}
+
+TEST(LifeTest, SciqlMatchesNativeOnRandomBoards) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 16);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->Seed(Pattern::kRandom, 0, 0, 0.35, 99).ok());
+
+  engine::Database db2;
+  auto board2 = LifeBoard::Create(&db2, "life", 16);
+  ASSERT_TRUE(board2.ok());
+  ASSERT_TRUE(board2->Seed(Pattern::kRandom, 0, 0, 0.35, 99).ok());
+
+  for (int gen = 0; gen < 5; ++gen) {
+    ASSERT_TRUE(board->StepSciql().ok());
+    ASSERT_TRUE(board2->StepNative().ok());
+    auto a = board->Snapshot();
+    auto b = board2->Snapshot();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(*a, *b) << "diverged at generation " << gen;
+  }
+}
+
+TEST(LifeTest, NeighborTileFormulationAgrees) {
+  // The explicit 8-cell tile (anchor excluded) computes the same
+  // generations as the 3x3 range tile with the SUM(v)-v correction.
+  engine::Database db;
+  auto a = LifeBoard::Create(&db, "lifea", 14);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->Seed(Pattern::kRandom, 0, 0, 0.35, 17).ok());
+
+  engine::Database db2;
+  auto b = LifeBoard::Create(&db2, "lifeb", 14);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->Seed(Pattern::kRandom, 0, 0, 0.35, 17).ok());
+
+  for (int gen = 0; gen < 4; ++gen) {
+    ASSERT_TRUE(a->StepSciql().ok());
+    ASSERT_TRUE(b->StepSciqlNeighborTile().ok());
+    auto sa = a->Snapshot();
+    auto sb = b->Snapshot();
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    ASSERT_EQ(*sa, *sb) << "neighbour-tile diverged at generation " << gen;
+  }
+}
+
+TEST(LifeTest, SqlSelfJoinMatchesSciql) {
+  engine::Database db;
+  auto a = LifeBoard::Create(&db, "lifea", 12);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->Seed(Pattern::kRandom, 0, 0, 0.3, 7).ok());
+
+  engine::Database db2;
+  auto b = LifeBoard::Create(&db2, "lifeb", 12);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->Seed(Pattern::kRandom, 0, 0, 0.3, 7).ok());
+
+  for (int gen = 0; gen < 3; ++gen) {
+    ASSERT_TRUE(a->StepSciql().ok());
+    ASSERT_TRUE(b->StepSqlSelfJoin().ok());
+    auto sa = a->Snapshot();
+    auto sb = b->Snapshot();
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    ASSERT_EQ(*sa, *sb) << "self-join diverged at generation " << gen;
+  }
+}
+
+TEST(LifeTest, ClearAndResize) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 8);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->Seed(Pattern::kRandom, 0, 0, 0.5, 3).ok());
+  ASSERT_TRUE(board->Clear().ok());
+  auto pop = board->Population();
+  ASSERT_TRUE(pop.ok());
+  EXPECT_EQ(*pop, 0);
+
+  ASSERT_TRUE(board->Seed(Pattern::kBlock, 1, 1).ok());
+  ASSERT_TRUE(board->Resize(12).ok());
+  EXPECT_EQ(board->size(), 12u);
+  auto pop2 = board->Population();
+  ASSERT_TRUE(pop2.ok());
+  EXPECT_EQ(*pop2, 4);  // pattern survives the resize
+}
+
+TEST(LifeTest, RenderShowsPattern) {
+  engine::Database db;
+  auto board = LifeBoard::Create(&db, "life", 4);
+  ASSERT_TRUE(board.ok());
+  ASSERT_TRUE(board->SetCell(0, 0, 1).ok());
+  auto text = board->Render();
+  ASSERT_TRUE(text.ok());
+  // (0,0) is bottom-left in the rendering.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text->size()) {
+    size_t nl = text->find('\n', start);
+    lines.push_back(text->substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[3][0], '#');
+  EXPECT_EQ(lines[0][0], '.');
+}
+
+TEST(LifeTest, TooSmallBoardRejected) {
+  engine::Database db;
+  EXPECT_FALSE(LifeBoard::Create(&db, "life", 2).ok());
+}
+
+}  // namespace
+}  // namespace life
+}  // namespace sciql

@@ -1,0 +1,113 @@
+#include "src/vault/vault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/vault/synth.h"
+
+namespace sciql {
+namespace vault {
+namespace {
+
+TEST(PgmTest, RoundTripBinary) {
+  Image img = MakeGradientImage(13, 7);
+  std::string bytes = SerializePgm(img);
+  auto back = ParsePgm(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width, 13u);
+  EXPECT_EQ(back->height, 7u);
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(PgmTest, ParseAsciiP2) {
+  auto img = ParsePgm("P2\n# comment\n2 2\n255\n0 64\n128 255\n");
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img->At(1, 0), 64);
+  EXPECT_EQ(img->At(0, 1), 128);
+}
+
+TEST(PgmTest, RejectsGarbage) {
+  EXPECT_FALSE(ParsePgm("JUNK").ok());
+  EXPECT_FALSE(ParsePgm("P5\n2 2\n255\nab").ok());  // truncated pixels
+  EXPECT_FALSE(ParsePgm("P5\n0 2\n255\n").ok());
+}
+
+TEST(PgmTest, FileRoundTrip) {
+  Image img = MakeCheckerboardImage(8, 8, 2);
+  std::string path = ::testing::TempDir() + "/sciql_pgm_test.pgm";
+  ASSERT_TRUE(WritePgm(img, path).ok());
+  auto back = ReadPgm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->pixels, img.pixels);
+  std::remove(path.c_str());
+}
+
+TEST(SynthTest, DeterministicGenerators) {
+  Image a = MakeBuildingImage(32, 32, 5);
+  Image b = MakeBuildingImage(32, 32, 5);
+  EXPECT_EQ(a.pixels, b.pixels);
+  Image t1 = MakeTerrainImage(32, 32, 60, 5);
+  Image t2 = MakeTerrainImage(32, 32, 60, 5);
+  EXPECT_EQ(t1.pixels, t2.pixels);
+}
+
+TEST(SynthTest, TerrainHasWaterMode) {
+  Image t = MakeTerrainImage(64, 64, 60, 7);
+  size_t low = 0;
+  for (int32_t p : t.pixels) {
+    ASSERT_GE(p, 0);
+    ASSERT_LE(p, 255);
+    if (p < 60) ++low;
+  }
+  // A meaningful share of the terrain reads as water.
+  EXPECT_GT(low, t.pixels.size() / 20);
+}
+
+TEST(VaultTest, LoadStoreRoundTrip) {
+  engine::Database db;
+  Image img = MakeGradientImage(6, 4);
+  ASSERT_TRUE(LoadImage(&db, "img", img).ok());
+
+  // The array has the documented shape.
+  auto arr = db.catalog()->GetArray("img");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ((*arr)->desc.dims()[0].range.Size(), 6u);
+  EXPECT_EQ((*arr)->desc.dims()[1].range.Size(), 4u);
+
+  // Pixels are queryable as cells.
+  auto rs = db.Query("SELECT v FROM img WHERE x = 5 AND y = 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), img.At(5, 3));
+
+  auto back = StoreImage(&db, "img");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->pixels, img.pixels);
+}
+
+TEST(VaultTest, StoreRendersHolesAsBlack) {
+  engine::Database db;
+  Image img = MakeGradientImage(4, 4);
+  ASSERT_TRUE(LoadImage(&db, "img", img).ok());
+  ASSERT_TRUE(db.Run("DELETE FROM img WHERE x = 0").ok());
+  auto back = StoreImage(&db, "img");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->At(0, 0), 0);
+  EXPECT_EQ(back->At(1, 1), img.At(1, 1));
+}
+
+TEST(VaultTest, PgmFileIntoDatabase) {
+  engine::Database db;
+  Image img = MakeTerrainImage(16, 16);
+  std::string path = ::testing::TempDir() + "/sciql_vault_test.pgm";
+  ASSERT_TRUE(WritePgm(img, path).ok());
+  ASSERT_TRUE(LoadPgmFile(&db, "terrain", path).ok());
+  auto rs = db.Query("SELECT COUNT(*) AS n FROM terrain");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), 256);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vault
+}  // namespace sciql

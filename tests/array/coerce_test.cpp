@@ -1,0 +1,113 @@
+#include "src/array/coerce.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace array {
+namespace {
+
+using gdk::BAT;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+TEST(DeriveRangeTest, UnitSteps) {
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints() = {3, 1, 2, 1};
+  auto r = DeriveRange(*b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, DimRange(1, 1, 4));
+}
+
+TEST(DeriveRangeTest, GcdOfGaps) {
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints() = {0, 10, 30};
+  auto r = DeriveRange(*b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, DimRange(0, 10, 40));
+}
+
+TEST(DeriveRangeTest, SingleValue) {
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints() = {7, 7};
+  auto r = DeriveRange(*b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, DimRange(7, 1, 8));
+}
+
+TEST(DeriveRangeTest, NullRejected) {
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints() = {1, gdk::kIntNil};
+  EXPECT_FALSE(DeriveRange(*b).ok());
+  auto e = BAT::Make(PhysType::kInt);
+  EXPECT_FALSE(DeriveRange(*e).ok());
+}
+
+TEST(TableToArrayTest, FillsHolesWithDefaults) {
+  auto xs = BAT::Make(PhysType::kInt);
+  xs->ints() = {0, 1, 2};
+  auto ys = BAT::Make(PhysType::kInt);
+  ys->ints() = {0, 1, 2};
+  auto vs = BAT::Make(PhysType::kInt);
+  vs->ints() = {10, 11, 12};
+  auto r = TableToArray({xs.get(), ys.get()}, {"x", "y"}, {vs.get()}, {"v"},
+                        {ScalarValue::Null(PhysType::kInt)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->desc.CellCount(), 9u);
+  // Diagonal values present, everything else a hole.
+  EXPECT_EQ(r->attr_bats[0]->ints()[0], 10);   // (0,0)
+  EXPECT_TRUE(r->attr_bats[0]->IsNullAt(1));   // (0,1)
+  EXPECT_EQ(r->attr_bats[0]->ints()[4], 11);   // (1,1)
+  EXPECT_EQ(r->attr_bats[0]->ints()[8], 12);   // (2,2)
+}
+
+TEST(TableToArrayTest, DuplicateCoordinatesLastWins) {
+  auto xs = BAT::Make(PhysType::kInt);
+  xs->ints() = {0, 0};
+  auto vs = BAT::Make(PhysType::kInt);
+  vs->ints() = {1, 2};
+  auto r = TableToArray({xs.get()}, {"x"}, {vs.get()}, {"v"},
+                        {ScalarValue::Null(PhysType::kInt)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->attr_bats[0]->ints()[0], 2);
+}
+
+TEST(TableToArrayTest, NonNullDefault) {
+  // Values {0, 1, 3}: the gcd of the gaps is 1, so the derived range is
+  // [0:1:4) and the missing cell x=2 takes the attribute default.
+  auto xs = BAT::Make(PhysType::kInt);
+  xs->ints() = {0, 1, 3};
+  auto vs = BAT::Make(PhysType::kInt);
+  vs->ints() = {5, 6, 7};
+  auto r = TableToArray({xs.get()}, {"x"}, {vs.get()}, {"v"},
+                        {ScalarValue::Int(-1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->attr_bats[0]->ints(), (std::vector<int32_t>{5, 6, -1, 7}));
+}
+
+TEST(TableToArrayTest, SparseValuesDeriveSteppedRange) {
+  // Values {0, 2}: step 2 is derived, so the array has exactly two cells.
+  auto xs = BAT::Make(PhysType::kInt);
+  xs->ints() = {0, 2};
+  auto vs = BAT::Make(PhysType::kInt);
+  vs->ints() = {5, 6};
+  auto r = TableToArray({xs.get()}, {"x"}, {vs.get()}, {"v"},
+                        {ScalarValue::Int(-1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->desc.dims()[0].range, DimRange(0, 2, 4));
+  EXPECT_EQ(r->attr_bats[0]->ints(), (std::vector<int32_t>{5, 6}));
+}
+
+TEST(TableToArrayTest, DimensionBatsMaterialised) {
+  auto xs = BAT::Make(PhysType::kInt);
+  xs->ints() = {1, 2};
+  auto ys = BAT::Make(PhysType::kInt);
+  ys->ints() = {0, 1};
+  auto r = TableToArray({xs.get(), ys.get()}, {"x", "y"}, {}, {}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->dim_bats[0]->ints(), (std::vector<int32_t>{1, 1, 2, 2}));
+  EXPECT_EQ(r->dim_bats[1]->ints(), (std::vector<int32_t>{0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace array
+}  // namespace sciql

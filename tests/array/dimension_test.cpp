@@ -1,0 +1,87 @@
+#include "src/array/dimension.h"
+
+#include <gtest/gtest.h>
+
+#include "src/array/descriptor.h"
+
+namespace sciql {
+namespace array {
+namespace {
+
+TEST(DimRangeTest, SizeRightOpen) {
+  EXPECT_EQ(DimRange(0, 1, 4).Size(), 4u);
+  EXPECT_EQ(DimRange(0, 2, 5).Size(), 3u);  // 0,2,4
+  EXPECT_EQ(DimRange(-1, 1, 5).Size(), 6u);
+  EXPECT_EQ(DimRange(3, 1, 3).Size(), 0u);
+  EXPECT_EQ(DimRange(5, 1, 3).Size(), 0u);
+}
+
+TEST(DimRangeTest, NegativeStep) {
+  DimRange r(10, -2, 4);  // 10, 8, 6
+  EXPECT_EQ(r.Size(), 3u);
+  EXPECT_EQ(r.ValueAt(0), 10);
+  EXPECT_EQ(r.ValueAt(2), 6);
+  EXPECT_TRUE(r.Contains(8));
+  EXPECT_FALSE(r.Contains(4));  // stop is exclusive
+  EXPECT_FALSE(r.Contains(7));  // off-grid
+}
+
+TEST(DimRangeTest, ContainsAndIndexOf) {
+  DimRange r(0, 2, 10);
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(8));
+  EXPECT_FALSE(r.Contains(10));
+  EXPECT_FALSE(r.Contains(3));
+  EXPECT_FALSE(r.Contains(-2));
+  ASSERT_TRUE(r.IndexOf(6).ok());
+  EXPECT_EQ(r.IndexOf(6).value(), 3u);
+  EXPECT_FALSE(r.IndexOf(7).ok());
+  EXPECT_EQ(r.IndexOfOrNeg(7), -1);
+}
+
+TEST(DimRangeTest, ZeroStepInvalid) {
+  EXPECT_FALSE(DimRange(0, 0, 4).Validate().ok());
+  EXPECT_TRUE(DimRange(0, 1, 4).Validate().ok());
+}
+
+TEST(DimRangeTest, ToStringMatchesDdl) {
+  EXPECT_EQ(DimRange(-1, 1, 5).ToString(), "[-1:1:5]");
+}
+
+TEST(ArrayDescTest, Fig3Linearisation) {
+  // The paper's 4x4 matrix: first dimension (x) varies slowest.
+  ArrayDesc desc({DimDesc{"x", DimRange(0, 1, 4), false},
+                  DimDesc{"y", DimRange(0, 1, 4), false}},
+                 {AttrDesc{"v", gdk::PhysType::kInt,
+                           gdk::ScalarValue::Int(0)}});
+  EXPECT_EQ(desc.CellCount(), 16u);
+  EXPECT_EQ(desc.Strides(), (std::vector<size_t>{4, 1}));
+  EXPECT_EQ(desc.LinearIndex({0, 3}), 3u);
+  EXPECT_EQ(desc.LinearIndex({1, 0}), 4u);
+  EXPECT_EQ(desc.CoordsOf(5), (std::vector<size_t>{1, 1}));
+  EXPECT_EQ(desc.CellPosOfValues({2, 3}), 11);
+  EXPECT_EQ(desc.CellPosOfValues({4, 0}), -1);
+}
+
+TEST(ArrayDescTest, NameLookupIsCaseInsensitive) {
+  ArrayDesc desc({DimDesc{"x", DimRange(0, 1, 2), false}},
+                 {AttrDesc{"v", gdk::PhysType::kInt,
+                           gdk::ScalarValue::Null(gdk::PhysType::kInt)}});
+  EXPECT_EQ(desc.DimIndex("X"), 0);
+  EXPECT_EQ(desc.AttrIndex("V"), 0);
+  EXPECT_EQ(desc.DimIndex("z"), -1);
+}
+
+TEST(ArrayDescTest, ThreeDimensionalStrides) {
+  ArrayDesc desc({DimDesc{"a", DimRange(0, 1, 2), false},
+                  DimDesc{"b", DimRange(0, 1, 3), false},
+                  DimDesc{"c", DimRange(0, 1, 5), false}},
+                 {});
+  EXPECT_EQ(desc.CellCount(), 30u);
+  EXPECT_EQ(desc.Strides(), (std::vector<size_t>{15, 5, 1}));
+  EXPECT_EQ(desc.CoordsOf(22), (std::vector<size_t>{1, 1, 2}));
+}
+
+}  // namespace
+}  // namespace array
+}  // namespace sciql

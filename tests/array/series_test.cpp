@@ -1,0 +1,112 @@
+#include "src/array/series.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace array {
+namespace {
+
+using gdk::BATPtr;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+TEST(SeriesTest, PaperFigure3XSeries) {
+  // x: array.series(0,1,4,4,1) -> 0 0 0 0 1 1 1 1 2 2 2 2 3 3 3 3
+  BATPtr x = Series(DimRange(0, 1, 4), 4, 1);
+  std::vector<int32_t> want = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3};
+  EXPECT_EQ(x->ints(), want);
+}
+
+TEST(SeriesTest, PaperFigure3YSeries) {
+  // y: array.series(0,1,4,1,4) -> 0 1 2 3 0 1 2 3 0 1 2 3 0 1 2 3
+  BATPtr y = Series(DimRange(0, 1, 4), 1, 4);
+  std::vector<int32_t> want = {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ(y->ints(), want);
+}
+
+TEST(SeriesTest, FillerMatchesPaper) {
+  // v: array.filler(16,0)
+  BATPtr v = Filler(16, ScalarValue::Int(0));
+  EXPECT_EQ(v->Count(), 16u);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(v->ints()[i], 0);
+}
+
+TEST(SeriesTest, SteppedAndNegativeRanges) {
+  BATPtr s = Series(DimRange(10, -5, -1), 1, 1);  // 10, 5, 0
+  EXPECT_EQ(s->ints(), (std::vector<int32_t>{10, 5, 0}));
+  BATPtr t = Series(DimRange(2, 3, 10), 2, 2);  // 2,2,5,5,8,8 twice
+  EXPECT_EQ(t->ints(),
+            (std::vector<int32_t>{2, 2, 5, 5, 8, 8, 2, 2, 5, 5, 8, 8}));
+}
+
+TEST(SeriesTest, MaterializeDimDerivesRepetitions) {
+  ArrayDesc desc({DimDesc{"x", DimRange(0, 1, 2), false},
+                  DimDesc{"y", DimRange(0, 1, 3), false}},
+                 {});
+  BATPtr x = MaterializeDim(desc, 0);
+  BATPtr y = MaterializeDim(desc, 1);
+  EXPECT_EQ(x->ints(), (std::vector<int32_t>{0, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(y->ints(), (std::vector<int32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CellPositionsTest, MapsValuesAndRejectsOutOfRange) {
+  ArrayDesc desc({DimDesc{"x", DimRange(0, 1, 4), false},
+                  DimDesc{"y", DimRange(0, 1, 4), false}},
+                 {});
+  auto xs = gdk::BAT::Make(PhysType::kInt);
+  xs->ints() = {0, 3, 4, gdk::kIntNil};
+  auto ys = gdk::BAT::Make(PhysType::kInt);
+  ys->ints() = {0, 3, 0, 1};
+  auto pos = CellPositions(desc, {xs.get(), ys.get()});
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ((*pos)->oids()[0], 0u);
+  EXPECT_EQ((*pos)->oids()[1], 15u);
+  EXPECT_EQ((*pos)->oids()[2], gdk::kOidNil);  // x=4 out of range
+  EXPECT_EQ((*pos)->oids()[3], gdk::kOidNil);  // null dimension value
+}
+
+TEST(CellPositionsTest, SteppedDimension) {
+  ArrayDesc desc({DimDesc{"t", DimRange(100, 10, 150), false}}, {});
+  auto ts = gdk::BAT::Make(PhysType::kInt);
+  ts->ints() = {100, 120, 125};
+  auto pos = CellPositions(desc, {ts.get()});
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ((*pos)->oids()[0], 0u);
+  EXPECT_EQ((*pos)->oids()[1], 2u);
+  EXPECT_EQ((*pos)->oids()[2], gdk::kOidNil);  // off-grid
+}
+
+TEST(ScatterTest, OverwritesAndSkipsNilPositions) {
+  auto attr = Filler(4, ScalarValue::Int(0));
+  auto pos = gdk::BAT::Make(PhysType::kOid);
+  pos->oids() = {1, gdk::kOidNil, 3};
+  auto vals = gdk::BAT::Make(PhysType::kInt);
+  vals->ints() = {11, 22, 33};
+  ASSERT_TRUE(ScatterIntoAttr(attr.get(), *pos, *vals).ok());
+  EXPECT_EQ(attr->ints(), (std::vector<int32_t>{0, 11, 0, 33}));
+}
+
+TEST(ScatterTest, OutOfBoundsPositionFails) {
+  auto attr = Filler(2, ScalarValue::Int(0));
+  auto pos = gdk::BAT::Make(PhysType::kOid);
+  pos->oids() = {5};
+  auto vals = gdk::BAT::Make(PhysType::kInt);
+  vals->ints() = {1};
+  EXPECT_FALSE(ScatterIntoAttr(attr.get(), *pos, *vals).ok());
+}
+
+TEST(ScatterTest, ConstScatter) {
+  auto attr = Filler(3, ScalarValue::Int(7));
+  auto pos = gdk::BAT::Make(PhysType::kOid);
+  pos->oids() = {0, 2};
+  ASSERT_TRUE(ScatterConstIntoAttr(attr.get(), *pos,
+                                   ScalarValue::Null(PhysType::kInt))
+                  .ok());
+  EXPECT_TRUE(attr->IsNullAt(0));
+  EXPECT_EQ(attr->ints()[1], 7);
+  EXPECT_TRUE(attr->IsNullAt(2));
+}
+
+}  // namespace
+}  // namespace array
+}  // namespace sciql

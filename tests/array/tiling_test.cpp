@@ -1,0 +1,215 @@
+#include "src/array/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "src/array/series.h"
+#include "src/common/rng.h"
+
+namespace sciql {
+namespace array {
+namespace {
+
+using gdk::AggOp;
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+ArrayDesc Desc2D(size_t nx, size_t ny) {
+  return ArrayDesc({DimDesc{"x", DimRange(0, 1, static_cast<int64_t>(nx)), false},
+                    DimDesc{"y", DimRange(0, 1, static_cast<int64_t>(ny)), false}},
+                   {AttrDesc{"v", PhysType::kInt, ScalarValue::Int(0)}});
+}
+
+TEST(TileSpecTest, FromRangesEnumeratesBox) {
+  auto spec = TileSpec::FromRanges({{0, 2}, {0, 2}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->rectangular);
+  EXPECT_EQ(spec->CellsPerTile(), 4u);
+}
+
+TEST(TileSpecTest, EmptySliceRejected) {
+  EXPECT_FALSE(TileSpec::FromRanges({{0, 0}}).ok());
+  EXPECT_FALSE(TileSpec::FromRanges({{2, 1}}).ok());
+}
+
+TEST(TileSpecTest, FromCellsDetectsRectangularity) {
+  auto rect = TileSpec::FromCells({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  ASSERT_TRUE(rect.ok());
+  EXPECT_TRUE(rect->rectangular);
+  auto lshape = TileSpec::FromCells({{0, 0}, {-1, 0}, {0, -1}});
+  ASSERT_TRUE(lshape.ok());
+  EXPECT_FALSE(lshape->rectangular);
+  EXPECT_EQ(lshape->CellsPerTile(), 3u);
+}
+
+TEST(TileSpecTest, DuplicateCellsCollapse) {
+  auto spec = TileSpec::FromCells({{0, 0}, {0, 0}, {1, 0}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->CellsPerTile(), 2u);
+}
+
+// The paper's Figure 1(d)/(e): 2x2 tiling of the 4x4 matrix with holes.
+TEST(TilingTest, PaperFigure1eAverages) {
+  ArrayDesc desc = Desc2D(4, 4);
+  // Figure 1(c) contents: v(x,y); holes where x > y except diagonal values.
+  auto v = BAT::Make(PhysType::kInt);
+  v->Resize(16);
+  auto set = [&](int64_t x, int64_t y, int32_t val) {
+    v->ints()[static_cast<size_t>(x * 4 + y)] = val;
+  };
+  // Column x=0: 0,-1,-2,-3 (y=0..3); diagonal x=y: 0,1,4,9; x>y: nil.
+  set(0, 0, 0); set(0, 1, -1); set(0, 2, -2); set(0, 3, -3);
+  set(1, 1, 1); set(1, 2, -1); set(1, 3, -2);
+  set(2, 2, 4); set(2, 3, -1);
+  set(3, 3, 9);
+
+  auto spec = TileSpec::FromRanges({{0, 2}, {0, 2}});
+  ASSERT_TRUE(spec.ok());
+  auto avg = NaiveTileAggregate(desc, *v, *spec, AggOp::kAvg);
+  ASSERT_TRUE(avg.ok());
+  // Anchor (1,1): cells (1,1)=1,(1,2)=-1,(2,1)=nil,(2,2)=4 -> 4/3.
+  EXPECT_NEAR((*avg)->dbls()[static_cast<size_t>(1 * 4 + 1)], 4.0 / 3.0, 1e-9);
+  // Anchor (1,3): cells (1,3)=-2,(2,3)=-1, rest out of range -> -1.5.
+  EXPECT_DOUBLE_EQ((*avg)->dbls()[static_cast<size_t>(1 * 4 + 3)], -1.5);
+  // Anchor (3,1): all cells nil or out of range -> NULL.
+  EXPECT_TRUE((*avg)->IsNullAt(static_cast<size_t>(3 * 4 + 1)));
+  // Anchor (3,3): only (3,3)=9 -> 9.
+  EXPECT_DOUBLE_EQ((*avg)->dbls()[static_cast<size_t>(3 * 4 + 3)], 9.0);
+}
+
+TEST(TilingTest, SlidingMatchesNaiveOnFigure1e) {
+  ArrayDesc desc = Desc2D(4, 4);
+  auto v = BAT::Make(PhysType::kInt);
+  v->Resize(16);
+  v->ints()[5] = 3;
+  v->ints()[9] = -2;
+  auto spec = TileSpec::FromRanges({{0, 2}, {0, 2}});
+  ASSERT_TRUE(spec.ok());
+  for (AggOp op : {AggOp::kSum, AggOp::kAvg, AggOp::kCount, AggOp::kMin,
+                   AggOp::kMax}) {
+    auto naive = NaiveTileAggregate(desc, *v, *spec, op);
+    auto sliding = SlidingTileAggregate(desc, *v, *spec, op);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(sliding.ok());
+    ASSERT_EQ((*naive)->Count(), (*sliding)->Count());
+    for (size_t i = 0; i < (*naive)->Count(); ++i) {
+      EXPECT_TRUE((*naive)->GetScalar(i).Equals((*sliding)->GetScalar(i)))
+          << "op=" << gdk::AggOpName(op) << " cell " << i << ": "
+          << (*naive)->GetScalar(i).ToString() << " vs "
+          << (*sliding)->GetScalar(i).ToString();
+    }
+  }
+}
+
+struct TilingSweepParam {
+  size_t nx, ny;
+  int64_t lo_x, hi_x, lo_y, hi_y;
+  double null_rate;
+};
+
+class TilingEquivalence : public ::testing::TestWithParam<TilingSweepParam> {};
+
+TEST_P(TilingEquivalence, SlidingEqualsNaive) {
+  const TilingSweepParam& p = GetParam();
+  ArrayDesc desc = Desc2D(p.nx, p.ny);
+  Rng rng(p.nx * 1000 + p.ny);
+  auto vi = BAT::Make(PhysType::kInt);
+  vi->Resize(p.nx * p.ny);
+  for (auto& cell : vi->ints()) {
+    if (!rng.Chance(p.null_rate)) {
+      cell = static_cast<int32_t>(rng.Range(-50, 50));
+    }
+  }
+  auto vd = BAT::Make(PhysType::kDbl);
+  vd->Resize(p.nx * p.ny);
+  for (auto& cell : vd->dbls()) {
+    if (!rng.Chance(p.null_rate)) cell = rng.NextDouble() * 10 - 5;
+  }
+  auto spec = TileSpec::FromRanges({{p.lo_x, p.hi_x}, {p.lo_y, p.hi_y}});
+  ASSERT_TRUE(spec.ok());
+  for (const BATPtr& v : {vi, vd}) {
+    for (AggOp op : {AggOp::kSum, AggOp::kAvg, AggOp::kCount, AggOp::kMin,
+                     AggOp::kMax}) {
+      auto naive = NaiveTileAggregate(desc, *v, *spec, op);
+      auto sliding = SlidingTileAggregate(desc, *v, *spec, op);
+      ASSERT_TRUE(naive.ok());
+      ASSERT_TRUE(sliding.ok());
+      for (size_t i = 0; i < (*naive)->Count(); ++i) {
+        gdk::ScalarValue a = (*naive)->GetScalar(i);
+        gdk::ScalarValue b = (*sliding)->GetScalar(i);
+        if (a.type == PhysType::kDbl && !a.is_null && !b.is_null) {
+          EXPECT_NEAR(a.d, b.d, 1e-9) << "cell " << i;
+        } else {
+          EXPECT_TRUE(a.Equals(b))
+              << "op=" << gdk::AggOpName(op) << " cell " << i << ": "
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilingEquivalence,
+    ::testing::Values(
+        TilingSweepParam{5, 5, 0, 2, 0, 2, 0.0},
+        TilingSweepParam{8, 6, -1, 2, -1, 2, 0.2},
+        TilingSweepParam{7, 7, -2, 3, 0, 1, 0.5},
+        TilingSweepParam{12, 3, 0, 4, -1, 1, 0.1},
+        TilingSweepParam{1, 9, 0, 1, -3, 4, 0.3},
+        TilingSweepParam{16, 16, -2, 2, -2, 2, 0.05}));
+
+TEST(TilingTest, NonRectangularEdgeDetectShape) {
+  // Upper+left neighbour tile (EdgeDetection support shape).
+  ArrayDesc desc = Desc2D(3, 3);
+  auto v = BAT::Make(PhysType::kInt);
+  v->Resize(9);
+  for (size_t i = 0; i < 9; ++i) v->ints()[i] = static_cast<int32_t>(i);
+  auto spec = TileSpec::FromCells({{0, 0}, {-1, 0}, {0, -1}});
+  ASSERT_TRUE(spec.ok());
+  auto sum = TileAggregate(desc, *v, *spec, AggOp::kSum);
+  ASSERT_TRUE(sum.ok());
+  // Anchor (1,1) = cell 4: cells 4 + 1 (x-1) + 3 (y-1) = 8.
+  EXPECT_EQ((*sum)->lngs()[4], 8);
+  // Anchor (0,0): only itself.
+  EXPECT_EQ((*sum)->lngs()[0], 0);
+}
+
+TEST(TilingTest, OneDimensionalWindow) {
+  ArrayDesc desc({DimDesc{"t", DimRange(0, 1, 6), false}},
+                 {AttrDesc{"v", PhysType::kInt, ScalarValue::Int(0)}});
+  auto v = BAT::Make(PhysType::kInt);
+  v->ints() = {1, 2, 3, 4, 5, 6};
+  auto spec = TileSpec::FromRanges({{-1, 2}});
+  ASSERT_TRUE(spec.ok());
+  auto sum = TileAggregate(desc, *v, *spec, AggOp::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->lngs(), (std::vector<int64_t>{3, 6, 9, 12, 15, 11}));
+}
+
+TEST(TilingTest, CountStarEquivalentOnDenseArray) {
+  ArrayDesc desc = Desc2D(3, 3);
+  auto v = BAT::Make(PhysType::kInt);
+  v->Resize(9);
+  for (auto& c : v->ints()) c = 1;
+  auto spec = TileSpec::FromRanges({{-1, 2}, {-1, 2}});
+  ASSERT_TRUE(spec.ok());
+  auto cnt = TileAggregate(desc, *v, *spec, AggOp::kCount);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->lngs()[4], 9);  // centre sees the full 3x3
+  EXPECT_EQ((*cnt)->lngs()[0], 4);  // corner sees 2x2
+}
+
+TEST(TilingTest, MisalignedValuesRejected) {
+  ArrayDesc desc = Desc2D(3, 3);
+  auto v = BAT::Make(PhysType::kInt);
+  v->Resize(5);
+  auto spec = TileSpec::FromRanges({{0, 1}, {0, 1}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(TileAggregate(desc, *v, *spec, AggOp::kSum).ok());
+}
+
+}  // namespace
+}  // namespace array
+}  // namespace sciql

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+using gdk::ScalarValue;
+
+class BasicSqlTest : public ::testing::Test {
+ protected:
+  Database db_;
+
+  ResultSet MustQuery(const std::string& q) {
+    auto r = db_.Query(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r.value()) : ResultSet();
+  }
+  void MustRun(const std::string& q) {
+    Status st = db_.Run(q);
+    ASSERT_TRUE(st.ok()) << q << " -> " << st.ToString();
+  }
+};
+
+TEST_F(BasicSqlTest, SelectConstant) {
+  ResultSet rs = MustQuery("SELECT 1 + 2 AS three");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 3);
+  EXPECT_EQ(rs.column(0).name, "three");
+}
+
+TEST_F(BasicSqlTest, CreateInsertSelect) {
+  MustRun("CREATE TABLE t (a INT, b DOUBLE, s VARCHAR)");
+  MustRun("INSERT INTO t VALUES (1, 1.5, 'one'), (2, 2.5, 'two')");
+  ResultSet rs = MustQuery("SELECT a, b, s FROM t");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(rs.Value(0, 1).d, 1.5);
+  EXPECT_EQ(rs.Value(1, 2).s, "two");
+}
+
+TEST_F(BasicSqlTest, WhereAndExpressions) {
+  MustRun("CREATE TABLE t (a INT, b INT)");
+  MustRun("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)");
+  ResultSet rs = MustQuery("SELECT a + b AS c FROM t WHERE a % 2 = 0");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 22);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 44);
+}
+
+TEST_F(BasicSqlTest, NullThreeValuedLogic) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (1), (NULL), (3)");
+  EXPECT_EQ(MustQuery("SELECT a FROM t WHERE a > 0").NumRows(), 2u);
+  EXPECT_EQ(MustQuery("SELECT a FROM t WHERE a IS NULL").NumRows(), 1u);
+  EXPECT_EQ(MustQuery("SELECT a FROM t WHERE a IS NOT NULL").NumRows(), 2u);
+  EXPECT_EQ(MustQuery("SELECT a FROM t WHERE NOT (a > 0)").NumRows(), 0u);
+}
+
+TEST_F(BasicSqlTest, GroupByWithAggregates) {
+  MustRun("CREATE TABLE sales (region VARCHAR, amount INT)");
+  MustRun(
+      "INSERT INTO sales VALUES ('n', 10), ('s', 20), ('n', 30), ('s', 5), "
+      "('w', NULL)");
+  ResultSet rs = MustQuery(
+      "SELECT region, SUM(amount) AS total, COUNT(*) AS n, AVG(amount) AS a "
+      "FROM sales GROUP BY region ORDER BY region");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.Value(0, 0).s, "n");
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 40);
+  EXPECT_EQ(rs.Value(2, 0).s, "w");
+  EXPECT_TRUE(rs.Value(2, 1).is_null);  // SUM of only-NULL group
+  EXPECT_EQ(rs.Value(2, 2).AsInt64(), 1);  // COUNT(*) counts the row
+}
+
+TEST_F(BasicSqlTest, HavingFiltersGroups) {
+  MustRun("CREATE TABLE t (k INT, v INT)");
+  MustRun("INSERT INTO t VALUES (1, 5), (1, 6), (2, 100)");
+  ResultSet rs =
+      MustQuery("SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING SUM(v) > 50");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 2);
+}
+
+TEST_F(BasicSqlTest, WholeTableAggregates) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3)");
+  ResultSet rs =
+      MustQuery("SELECT SUM(v) AS s, COUNT(*) AS c, MIN(v) AS lo FROM t");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 6);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 3);
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 1);
+}
+
+TEST_F(BasicSqlTest, EquiJoin) {
+  MustRun("CREATE TABLE a (id INT, x INT)");
+  MustRun("CREATE TABLE b (id INT, y INT)");
+  MustRun("INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)");
+  MustRun("INSERT INTO b VALUES (2, 200), (3, 300), (4, 400)");
+  ResultSet rs = MustQuery(
+      "SELECT a.x, b.y FROM a JOIN b ON a.id = b.id ORDER BY a.x");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 20);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 200);
+}
+
+TEST_F(BasicSqlTest, JoinWithArithmeticKeys) {
+  MustRun("CREATE TABLE a (x INT)");
+  MustRun("CREATE TABLE b (x INT)");
+  MustRun("INSERT INTO a VALUES (1), (2)");
+  MustRun("INSERT INTO b VALUES (2), (3)");
+  // b.x = a.x + 1 is an equi-join on computed keys.
+  ResultSet rs = MustQuery(
+      "SELECT a.x AS ax, b.x AS bx FROM a JOIN b ON b.x = a.x + 1 "
+      "ORDER BY ax");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 1);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 2);
+}
+
+TEST_F(BasicSqlTest, CrossJoinWithRangePredicate) {
+  MustRun("CREATE TABLE pts (p INT)");
+  MustRun("CREATE TABLE rngs (lo INT, hi INT)");
+  MustRun("INSERT INTO pts VALUES (1), (5), (9)");
+  MustRun("INSERT INTO rngs VALUES (0, 4), (8, 10)");
+  ResultSet rs = MustQuery(
+      "SELECT p FROM pts, rngs WHERE p >= lo AND p < hi ORDER BY p");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 1);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 9);
+}
+
+TEST_F(BasicSqlTest, SubqueryInFrom) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3)");
+  ResultSet rs = MustQuery(
+      "SELECT w + 1 AS u FROM (SELECT v * 10 AS w FROM t WHERE v > 1) AS s "
+      "ORDER BY u");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 21);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 31);
+}
+
+TEST_F(BasicSqlTest, OrderByLimitAndCase) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (3), (1), (2)");
+  ResultSet rs = MustQuery(
+      "SELECT CASE WHEN v >= 2 THEN 'big' ELSE 'small' END AS size, v "
+      "FROM t ORDER BY v DESC LIMIT 2");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).s, "big");
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 3);
+}
+
+TEST_F(BasicSqlTest, UpdateAndDelete) {
+  MustRun("CREATE TABLE t (k INT, v INT)");
+  MustRun("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  MustRun("UPDATE t SET v = v + 1 WHERE k >= 2");
+  ResultSet rs = MustQuery("SELECT v FROM t ORDER BY k");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 10);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 21);
+  MustRun("DELETE FROM t WHERE k = 2");
+  EXPECT_EQ(MustQuery("SELECT * FROM t").NumRows(), 2u);
+}
+
+TEST_F(BasicSqlTest, BindErrors) {
+  MustRun("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(db_.Query("SELECT nosuch FROM t").ok());
+  EXPECT_FALSE(db_.Query("SELECT a FROM missing").ok());
+  EXPECT_FALSE(db_.Query("SELECT SUM(a) FROM t WHERE SUM(a) > 1").ok());
+  EXPECT_FALSE(db_.Run("CREATE TABLE t (b INT)").ok());  // duplicate
+}
+
+TEST_F(BasicSqlTest, AmbiguousColumnFails) {
+  MustRun("CREATE TABLE a (v INT)");
+  MustRun("CREATE TABLE b (v INT)");
+  MustRun("INSERT INTO a VALUES (1)");
+  MustRun("INSERT INTO b VALUES (1)");
+  EXPECT_FALSE(db_.Query("SELECT v FROM a, b WHERE a.v = b.v").ok());
+}
+
+TEST_F(BasicSqlTest, DivisionByZeroSurfacesAsError) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (1)");
+  auto r = db_.Query("SELECT v / 0 FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kExecError);
+}
+
+TEST_F(BasicSqlTest, CreateTableAsSelect) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (1), (2)");
+  MustRun("CREATE TABLE t2 AS SELECT v * 2 AS w FROM t");
+  ResultSet rs = MustQuery("SELECT w FROM t2 ORDER BY w");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 4);
+}
+
+TEST_F(BasicSqlTest, ExplainShowsMal) {
+  MustRun("CREATE TABLE t (v INT)");
+  ResultSet rs = MustQuery("EXPLAIN SELECT v + 1 FROM t WHERE v > 0");
+  ASSERT_GE(rs.NumRows(), 2u);
+  std::string all;
+  for (size_t i = 0; i < rs.NumRows(); ++i) all += rs.Value(i, 0).s + "\n";
+  EXPECT_NE(all.find("sql.bind"), std::string::npos);
+  EXPECT_NE(all.find("algebra.select"), std::string::npos);
+  EXPECT_NE(all.find("batcalc.+"), std::string::npos);
+}
+
+TEST_F(BasicSqlTest, BetweenAndIn) {
+  MustRun("CREATE TABLE t (v INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  EXPECT_EQ(MustQuery("SELECT v FROM t WHERE v BETWEEN 2 AND 4").NumRows(),
+            3u);
+  EXPECT_EQ(MustQuery("SELECT v FROM t WHERE v NOT BETWEEN 2 AND 4").NumRows(),
+            2u);
+  EXPECT_EQ(MustQuery("SELECT v FROM t WHERE v IN (1, 5, 9)").NumRows(), 2u);
+  EXPECT_EQ(MustQuery("SELECT v FROM t WHERE v NOT IN (1, 5)").NumRows(), 3u);
+}
+
+TEST_F(BasicSqlTest, InsertColumnSubsetUsesDefaults) {
+  MustRun("CREATE TABLE t (a INT, b INT DEFAULT 7, c VARCHAR)");
+  MustRun("INSERT INTO t (a) VALUES (1)");
+  ResultSet rs = MustQuery("SELECT a, b, c FROM t");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 7);
+  EXPECT_TRUE(rs.Value(0, 2).is_null);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

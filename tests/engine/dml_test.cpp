@@ -1,0 +1,150 @@
+// Array DML semantics: INSERT-as-overwrite, DELETE-as-holes, guarded
+// updates, ALTER ARRAY, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+class ArrayDmlTest : public ::testing::Test {
+ protected:
+  void MustRun(const std::string& q) {
+    Status st = db_.Run(q);
+    ASSERT_TRUE(st.ok()) << q << " -> " << st.ToString();
+  }
+  ResultSet MustQuery(const std::string& q) {
+    auto r = db_.Query(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r.value()) : ResultSet();
+  }
+  Database db_;
+};
+
+TEST_F(ArrayDmlTest, InsertValuesOverwritesCells) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:3], v INT DEFAULT 0)");
+  MustRun("INSERT INTO a (x, v) VALUES (1, 42)");
+  ResultSet rs = MustQuery("SELECT v FROM a ORDER BY x");
+  ASSERT_EQ(rs.NumRows(), 3u);  // INSERT never adds cells
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 0);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 42);
+}
+
+TEST_F(ArrayDmlTest, InsertTwiceLastWins) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:3], v INT DEFAULT 0)");
+  MustRun("INSERT INTO a (x, v) VALUES (1, 5)");
+  MustRun("INSERT INTO a (x, v) VALUES (1, 7)");
+  ResultSet rs = MustQuery("SELECT v FROM a WHERE x = 1");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 7);
+}
+
+TEST_F(ArrayDmlTest, DeleteCreatesHolesKeepsCells) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:4], v INT DEFAULT 9)");
+  MustRun("DELETE FROM a WHERE x >= 2");
+  ResultSet rs = MustQuery("SELECT x, v FROM a");
+  ASSERT_EQ(rs.NumRows(), 4u);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 9);
+  EXPECT_TRUE(rs.Value(2, 1).is_null);
+  EXPECT_TRUE(rs.Value(3, 1).is_null);
+}
+
+TEST_F(ArrayDmlTest, UpdateWithDimensionVariables) {
+  MustRun(
+      "CREATE ARRAY a (x INT DIMENSION[0:1:3], y INT DIMENSION[0:1:3], "
+      "v INT DEFAULT 0)");
+  MustRun("UPDATE a SET v = x * 10 + y WHERE x <= y");
+  ResultSet rs = MustQuery("SELECT v FROM a WHERE x = 1 AND y = 2");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 12);
+  rs = MustQuery("SELECT v FROM a WHERE x = 2 AND y = 0");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 0);
+}
+
+TEST_F(ArrayDmlTest, UpdateDimensionRejected) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:3], v INT)");
+  auto st = db_.Run("UPDATE a SET x = 1");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("ALTER ARRAY"), std::string::npos);
+}
+
+TEST_F(ArrayDmlTest, MultipleAttributes) {
+  MustRun(
+      "CREATE ARRAY a (x INT DIMENSION[0:1:2], p INT DEFAULT 1, "
+      "q DOUBLE DEFAULT 0.5)");
+  MustRun("UPDATE a SET p = 10, q = 2.5 WHERE x = 1");
+  ResultSet rs = MustQuery("SELECT p, q FROM a ORDER BY x");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(rs.Value(1, 1).d, 2.5);
+  // DELETE punches holes in all attributes.
+  MustRun("DELETE FROM a WHERE x = 0");
+  rs = MustQuery("SELECT p, q FROM a WHERE x = 0");
+  EXPECT_TRUE(rs.Value(0, 0).is_null);
+  EXPECT_TRUE(rs.Value(0, 1).is_null);
+}
+
+TEST_F(ArrayDmlTest, InsertSelectCoercesRowsToCells) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:4], v INT DEFAULT 0)");
+  MustRun("CREATE TABLE src (x INT, v INT)");
+  MustRun("INSERT INTO src VALUES (0, 100), (2, 300)");
+  MustRun("INSERT INTO a SELECT [x], v FROM src");
+  ResultSet rs = MustQuery("SELECT v FROM a ORDER BY x");
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 100);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 0);  // untouched
+  EXPECT_EQ(rs.Value(2, 0).AsInt64(), 300);
+}
+
+TEST_F(ArrayDmlTest, AlterShrinkDropsCells) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:4], v INT DEFAULT 0)");
+  MustRun("UPDATE a SET v = x + 1");
+  MustRun("ALTER ARRAY a ALTER DIMENSION x SET RANGE [1:1:3]");
+  ResultSet rs = MustQuery("SELECT x, v FROM a ORDER BY x");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.Value(0, 0).AsInt64(), 1);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 2);
+  EXPECT_EQ(rs.Value(1, 1).AsInt64(), 3);
+}
+
+TEST_F(ArrayDmlTest, AlterChangesStep) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:6], v INT DEFAULT -1)");
+  MustRun("UPDATE a SET v = x");
+  MustRun("ALTER ARRAY a ALTER DIMENSION x SET RANGE [0:2:6]");
+  ResultSet rs = MustQuery("SELECT x, v FROM a ORDER BY x");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.Value(1, 0).AsInt64(), 2);
+  EXPECT_EQ(rs.Value(1, 1).AsInt64(), 2);  // value survived
+}
+
+TEST_F(ArrayDmlTest, DropArrayRequiresKindMatch) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:2], v INT)");
+  EXPECT_FALSE(db_.Run("DROP TABLE a").ok());
+  MustRun("DROP ARRAY a");
+  EXPECT_FALSE(db_.Query("SELECT v FROM a").ok());
+}
+
+TEST_F(ArrayDmlTest, CreateArrayValidation) {
+  EXPECT_FALSE(db_.Run("CREATE ARRAY bad (v INT)").ok());  // no dimension
+  EXPECT_FALSE(
+      db_.Run("CREATE ARRAY bad (x DOUBLE DIMENSION[0:1:2], v INT)").ok());
+  EXPECT_FALSE(db_.Run("CREATE ARRAY bad (x INT DIMENSION, v INT)").ok());
+  EXPECT_FALSE(
+      db_.Run("CREATE ARRAY bad (x INT DIMENSION[0:0:4], v INT)").ok());
+}
+
+TEST_F(ArrayDmlTest, RowsAffectedReported) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:5], v INT DEFAULT 0)");
+  auto r = db_.Execute("UPDATE a SET v = 1 WHERE x > 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Value(0, 0).AsInt64(), 2);
+}
+
+TEST_F(ArrayDmlTest, DefaultNullAttribute) {
+  MustRun("CREATE ARRAY a (x INT DIMENSION[0:1:2], v DOUBLE)");
+  ResultSet rs = MustQuery("SELECT v FROM a");
+  EXPECT_TRUE(rs.Value(0, 0).is_null);
+  EXPECT_TRUE(rs.Value(1, 0).is_null);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

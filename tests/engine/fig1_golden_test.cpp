@@ -1,0 +1,183 @@
+// Golden reproduction of the paper's Figure 1 (a)-(f): the running 4x4
+// matrix example, executed verbatim through the SciQL engine.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+class Fig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE ARRAY matrix ("
+                        "x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
+                        "v INT DEFAULT 0)")
+                    .ok());
+  }
+
+  // Cell value at (x, y), fetched through SciQL.
+  gdk::ScalarValue At(int64_t x, int64_t y) {
+    auto r = db_.Query("SELECT v FROM matrix WHERE x = " + std::to_string(x) +
+                       " AND y = " + std::to_string(y));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->NumRows(), 1u);
+    return r->Value(0, 0);
+  }
+
+  void ApplyFig1b() {
+    ASSERT_TRUE(db_.Run("UPDATE matrix SET v = CASE "
+                        "WHEN x > y THEN x + y WHEN x < y THEN x - y "
+                        "ELSE 0 END")
+                    .ok());
+  }
+
+  void ApplyFig1c() {
+    ApplyFig1b();
+    ASSERT_TRUE(db_.Run("INSERT INTO matrix SELECT [x], [y], x * y "
+                        "FROM matrix WHERE x = y")
+                    .ok());
+    ASSERT_TRUE(db_.Run("DELETE FROM matrix WHERE x > y").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(Fig1Test, A_CreationYieldsAllZeros) {
+  auto rs = db_.Query("SELECT x, y, v FROM matrix");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 16u);  // all cells exist after creation
+  for (size_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(rs->Value(r, 2).AsInt64(), 0);
+  }
+}
+
+TEST_F(Fig1Test, A_StorageMatchesFigure3) {
+  // The three BATs of Figure 3.
+  auto arr = db_.catalog()->GetArray("matrix");
+  ASSERT_TRUE(arr.ok());
+  std::vector<int32_t> want_x = {0, 0, 0, 0, 1, 1, 1, 1,
+                                 2, 2, 2, 2, 3, 3, 3, 3};
+  std::vector<int32_t> want_y = {0, 1, 2, 3, 0, 1, 2, 3,
+                                 0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ((*arr)->dim_bats[0]->ints(), want_x);
+  EXPECT_EQ((*arr)->dim_bats[1]->ints(), want_y);
+  EXPECT_EQ((*arr)->attr_bats[0]->ints(), std::vector<int32_t>(16, 0));
+}
+
+TEST_F(Fig1Test, B_GuardedUpdate) {
+  ApplyFig1b();
+  // v = x+y if x>y; x-y if x<y; 0 on the diagonal (paper Fig. 1(b)).
+  for (int64_t x = 0; x < 4; ++x) {
+    for (int64_t y = 0; y < 4; ++y) {
+      int64_t want = x > y ? x + y : (x < y ? x - y : 0);
+      EXPECT_EQ(At(x, y).AsInt64(), want) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST_F(Fig1Test, C_InsertOverwritesAndDeletePunchesHoles) {
+  ApplyFig1c();
+  // Diagonal: x*y.
+  EXPECT_EQ(At(0, 0).AsInt64(), 0);
+  EXPECT_EQ(At(1, 1).AsInt64(), 1);
+  EXPECT_EQ(At(2, 2).AsInt64(), 4);
+  EXPECT_EQ(At(3, 3).AsInt64(), 9);
+  // x > y: holes (NULL), but the cells still exist.
+  EXPECT_TRUE(At(1, 0).is_null);
+  EXPECT_TRUE(At(3, 2).is_null);
+  // x < y: unchanged from Fig. 1(b).
+  EXPECT_EQ(At(0, 3).AsInt64(), -3);
+  EXPECT_EQ(At(1, 2).AsInt64(), -1);
+  // Cell count unchanged: DELETE on arrays does not remove cells.
+  auto rs = db_.Query("SELECT x, y, v FROM matrix");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 16u);
+}
+
+TEST_F(Fig1Test, DE_TilingWithHaving) {
+  ApplyFig1c();
+  auto rs = db_.Query(
+      "SELECT [x], [y], AVG(v) FROM matrix "
+      "GROUP BY matrix[x:x+2][y:y+2] "
+      "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Four anchors: (1,1), (1,3), (3,1), (3,3) — Figure 1(d).
+  ASSERT_EQ(rs->NumRows(), 4u);
+  std::map<std::pair<int64_t, int64_t>, gdk::ScalarValue> got;
+  for (size_t r = 0; r < 4; ++r) {
+    got[{rs->Value(r, 0).AsInt64(), rs->Value(r, 1).AsInt64()}] =
+        rs->Value(r, 2);
+  }
+  // Figure 1(e) values.
+  ASSERT_TRUE(got.count({1, 1}));
+  EXPECT_NEAR((got[{1, 1}]).d, 4.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ((got[{1, 3}]).d, -1.5);
+  EXPECT_TRUE((got[{3, 1}]).is_null);  // tile of holes/out-of-range
+  EXPECT_DOUBLE_EQ((got[{3, 3}]).d, 9.0);
+}
+
+TEST_F(Fig1Test, DE_GridRendering) {
+  ApplyFig1c();
+  auto rs = db_.Query(
+      "SELECT [x], [y], AVG(v) FROM matrix "
+      "GROUP BY matrix[x:x+2][y:y+2] "
+      "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+  ASSERT_TRUE(rs.ok());
+  auto grid = rs->ToGrid();
+  ASSERT_TRUE(grid.ok());
+  // Top row of the rendered grid is y=3: -1.5 at x=1, 9 at x=3.
+  std::string first_line = grid->substr(0, grid->find('\n'));
+  EXPECT_NE(first_line.find("-1.5"), std::string::npos);
+  EXPECT_NE(first_line.find("9"), std::string::npos);
+}
+
+TEST_F(Fig1Test, F_DimensionExpansion) {
+  ApplyFig1c();
+  ASSERT_TRUE(
+      db_.Run("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]").ok());
+  ASSERT_TRUE(
+      db_.Run("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]").ok());
+  auto rs = db_.Query("SELECT x, y, v FROM matrix");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 36u);  // 6x6 (paper Fig. 1(f))
+  // Border cells take the DEFAULT 0.
+  EXPECT_EQ(At(-1, -1).AsInt64(), 0);
+  EXPECT_EQ(At(4, 4).AsInt64(), 0);
+  EXPECT_EQ(At(-1, 3).AsInt64(), 0);
+  // Interior preserved, including the holes.
+  EXPECT_EQ(At(3, 3).AsInt64(), 9);
+  EXPECT_EQ(At(0, 3).AsInt64(), -3);
+  EXPECT_TRUE(At(1, 0).is_null);
+}
+
+TEST_F(Fig1Test, CoercionRoundTrip) {
+  ApplyFig1b();
+  // Array -> table -> array (paper Sec. 2 "Array and Table Coercions").
+  ASSERT_TRUE(db_.Run("CREATE TABLE mtable AS SELECT x, y, v FROM matrix").ok());
+  auto cnt = db_.Query("SELECT COUNT(*) AS n FROM mtable");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(cnt->Value(0, 0).AsInt64(), 16);
+  ASSERT_TRUE(
+      db_.Run("CREATE ARRAY m2 AS SELECT [x], [y], v FROM mtable").ok());
+  auto rs = db_.Query(
+      "SELECT v FROM m2 WHERE x = 3 AND y = 0");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), 3);
+}
+
+TEST_F(Fig1Test, ExplainCreateArrayShowsFigure3Mal) {
+  auto text = db_.ExplainText(
+      "CREATE ARRAY m3 (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
+      "v INT DEFAULT 0)");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("array.series(0, 1, 4, 4, 1)"), std::string::npos);
+  EXPECT_NE(text->find("array.series(0, 1, 4, 1, 4)"), std::string::npos);
+  EXPECT_NE(text->find("array.filler(16, 0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

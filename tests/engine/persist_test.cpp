@@ -1,0 +1,131 @@
+// Persistence: arrays and tables survive a save/load cycle with schemas,
+// defaults, data, holes and string heaps intact.
+
+#include "src/catalog/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+TEST(PersistTest, RoundTripArraysAndTables) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE ARRAY m (x INT DIMENSION[0:1:4], "
+                     "y INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+                  .ok());
+  ASSERT_TRUE(db.Run("UPDATE m SET v = CASE WHEN x > y THEN x + y "
+                     "WHEN x < y THEN x - y ELSE 0 END")
+                  .ok());
+  ASSERT_TRUE(db.Run("DELETE FROM m WHERE x > y").ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE t (k INT, s VARCHAR, d DOUBLE)").ok());
+  ASSERT_TRUE(
+      db.Run("INSERT INTO t VALUES (1, 'one', 1.5), (2, NULL, NULL)").ok());
+
+  auto bytes = catalog::SerializeCatalog(*db.catalog());
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  Database db2;
+  ASSERT_TRUE(catalog::DeserializeCatalog(db2.catalog(), *bytes).ok());
+
+  // Array schema, data and holes.
+  auto rs = db2.Query("SELECT v FROM m WHERE x = 0 AND y = 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), -3);
+  rs = db2.Query("SELECT v FROM m WHERE x = 3 AND y = 0");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->Value(0, 0).is_null);
+
+  // Table data incl. strings and nulls.
+  rs = db2.Query("SELECT k, s, d FROM t ORDER BY k");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->Value(0, 1).s, "one");
+  EXPECT_TRUE(rs->Value(1, 1).is_null);
+  EXPECT_TRUE(rs->Value(1, 2).is_null);
+
+  // The loaded array keeps its default: a new dimension expansion fills
+  // with 0 (not NULL).
+  ASSERT_TRUE(
+      db2.Run("ALTER ARRAY m ALTER DIMENSION x SET RANGE [0:1:5]").ok());
+  rs = db2.Query("SELECT v FROM m WHERE x = 4 AND y = 0");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), 0);
+}
+
+TEST(PersistTest, FileRoundTrip) {
+  Database db;
+  ASSERT_TRUE(
+      db.Run("CREATE ARRAY a (x INT DIMENSION[-2:2:4], v DOUBLE DEFAULT 1.5)")
+          .ok());
+  ASSERT_TRUE(db.Run("UPDATE a SET v = x").ok());
+  std::string path = ::testing::TempDir() + "/sciql_persist_test.db";
+  ASSERT_TRUE(catalog::SaveCatalog(*db.catalog(), path).ok());
+
+  Database db2;
+  ASSERT_TRUE(catalog::LoadCatalog(db2.catalog(), path).ok());
+  auto rs = db2.Query("SELECT x, v FROM a ORDER BY x");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 3u);  // -2, 0, 2
+  EXPECT_DOUBLE_EQ(rs->Value(0, 1).d, -2.0);
+  std::remove(path.c_str());
+}
+
+TEST(PersistTest, LoadedDatabaseIsFullyOperational) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE ARRAY g (x INT DIMENSION[0:1:4], "
+                     "y INT DIMENSION[0:1:4], v INT DEFAULT 0); "
+                     "UPDATE g SET v = x * 4 + y")
+                  .ok());
+  auto bytes = catalog::SerializeCatalog(*db.catalog());
+  ASSERT_TRUE(bytes.ok());
+  Database db2;
+  ASSERT_TRUE(catalog::DeserializeCatalog(db2.catalog(), *bytes).ok());
+  // Tiling works on the loaded array (dimension BATs rematerialized).
+  auto rs = db2.Query(
+      "SELECT [x], [y], SUM(v) AS s FROM g GROUP BY g[x:x+2][y:y+2] "
+      "HAVING x = 0 AND y = 0");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->Value(0, 2).AsInt64(), 10);
+}
+
+TEST(PersistTest, RejectsCorruptImages) {
+  Database db;
+  EXPECT_FALSE(catalog::DeserializeCatalog(db.catalog(), "garbage").ok());
+  EXPECT_FALSE(catalog::DeserializeCatalog(db.catalog(), "").ok());
+
+  Database src;
+  ASSERT_TRUE(src.Run("CREATE TABLE t (v INT)").ok());
+  auto bytes = catalog::SerializeCatalog(*src.catalog());
+  ASSERT_TRUE(bytes.ok());
+  std::string truncated = bytes->substr(0, bytes->size() / 2);
+  Database db2;
+  EXPECT_FALSE(catalog::DeserializeCatalog(db2.catalog(), truncated).ok());
+  std::string trailing = *bytes + "x";
+  Database db3;
+  EXPECT_FALSE(catalog::DeserializeCatalog(db3.catalog(), trailing).ok());
+}
+
+TEST(PersistTest, RejectsNonEmptyTarget) {
+  Database src;
+  ASSERT_TRUE(src.Run("CREATE TABLE t (v INT)").ok());
+  auto bytes = catalog::SerializeCatalog(*src.catalog());
+  ASSERT_TRUE(bytes.ok());
+  Database busy;
+  ASSERT_TRUE(busy.Run("CREATE TABLE other (v INT)").ok());
+  EXPECT_FALSE(catalog::DeserializeCatalog(busy.catalog(), *bytes).ok());
+}
+
+TEST(PersistTest, MissingFileFails) {
+  Database db;
+  EXPECT_FALSE(
+      catalog::LoadCatalog(db.catalog(), "/nonexistent/path.db").ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,320 @@
+// Property tests: the SQL engine against straightforward native oracles on
+// randomized inputs — filters, aggregates, joins, tiling queries and the
+// Game-of-Life step across board geometries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Filter + aggregate vs oracle on a random table
+// ---------------------------------------------------------------------------
+
+struct TableParam {
+  size_t rows;
+  double null_rate;
+  uint64_t seed;
+};
+
+class FilterAggregateProperty : public ::testing::TestWithParam<TableParam> {};
+
+TEST_P(FilterAggregateProperty, MatchesOracle) {
+  const TableParam& p = GetParam();
+  Rng rng(p.seed);
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (k INT, v INT)").ok());
+
+  std::vector<std::pair<int32_t, std::optional<int32_t>>> rows;
+  std::string values;
+  for (size_t i = 0; i < p.rows; ++i) {
+    int32_t k = static_cast<int32_t>(rng.Below(10));
+    std::optional<int32_t> v;
+    if (!rng.Chance(p.null_rate)) {
+      v = static_cast<int32_t>(rng.Range(-100, 100));
+    }
+    rows.emplace_back(k, v);
+    values += values.empty() ? "" : ", ";
+    values += StrFormat("(%d, %s)", k,
+                        v.has_value() ? std::to_string(*v).c_str() : "NULL");
+  }
+  ASSERT_TRUE(db.Run("INSERT INTO t VALUES " + values).ok());
+
+  // WHERE v > 0: oracle count.
+  size_t expect_pos = 0;
+  for (const auto& [k, v] : rows) {
+    if (v.has_value() && *v > 0) ++expect_pos;
+  }
+  auto rs = db.Query("SELECT k FROM t WHERE v > 0");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), expect_pos);
+
+  // GROUP BY k with SUM/COUNT/MIN/MAX.
+  std::map<int32_t, std::tuple<int64_t, int64_t, int32_t, int32_t, bool>> want;
+  for (const auto& [k, v] : rows) {
+    auto& [sum, cnt, lo, hi, any] = want[k];
+    if (!v.has_value()) continue;
+    sum += *v;
+    cnt += 1;
+    if (!any || *v < lo) lo = *v;
+    if (!any || *v > hi) hi = *v;
+    any = true;
+  }
+  rs = db.Query(
+      "SELECT k, SUM(v) AS s, COUNT(v) AS c, MIN(v) AS lo, MAX(v) AS hi "
+      "FROM t GROUP BY k ORDER BY k");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), want.size());
+  size_t r = 0;
+  for (const auto& [k, agg] : want) {
+    const auto& [sum, cnt, lo, hi, any] = agg;
+    EXPECT_EQ(rs->Value(r, 0).AsInt64(), k);
+    if (any) {
+      EXPECT_EQ(rs->Value(r, 1).AsInt64(), sum) << "k=" << k;
+      EXPECT_EQ(rs->Value(r, 3).AsInt64(), lo);
+      EXPECT_EQ(rs->Value(r, 4).AsInt64(), hi);
+    } else {
+      EXPECT_TRUE(rs->Value(r, 1).is_null);
+    }
+    EXPECT_EQ(rs->Value(r, 2).AsInt64(), cnt);
+    ++r;
+  }
+
+  // ORDER BY v DESC is a permutation sorted by v (nulls last when DESC).
+  rs = db.Query("SELECT v FROM t ORDER BY v DESC");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), rows.size());
+  for (size_t i = 1; i < rs->NumRows(); ++i) {
+    gdk::ScalarValue a = rs->Value(i - 1, 0);
+    gdk::ScalarValue b = rs->Value(i, 0);
+    if (a.is_null) {
+      EXPECT_TRUE(b.is_null);  // nulls sort last in DESC
+    } else if (!b.is_null) {
+      EXPECT_GE(a.AsInt64(), b.AsInt64());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FilterAggregateProperty,
+    ::testing::Values(TableParam{50, 0.0, 1}, TableParam{200, 0.2, 2},
+                      TableParam{500, 0.5, 3}, TableParam{100, 0.9, 4},
+                      TableParam{1000, 0.1, 5}));
+
+// ---------------------------------------------------------------------------
+// Join vs nested-loop oracle
+// ---------------------------------------------------------------------------
+
+struct JoinParam {
+  size_t nl, nr;
+  uint64_t seed;
+};
+
+class JoinProperty : public ::testing::TestWithParam<JoinParam> {};
+
+TEST_P(JoinProperty, EquiJoinMatchesNestedLoop) {
+  const JoinParam& p = GetParam();
+  Rng rng(p.seed);
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE l (k INT, a INT)").ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE r (k INT, b INT)").ok());
+
+  std::vector<int32_t> lk(p.nl), rk(p.nr);
+  std::string lvals, rvals;
+  for (size_t i = 0; i < p.nl; ++i) {
+    lk[i] = static_cast<int32_t>(rng.Below(20));
+    lvals += lvals.empty() ? "" : ", ";
+    lvals += StrFormat("(%d, %zu)", lk[i], i);
+  }
+  for (size_t i = 0; i < p.nr; ++i) {
+    rk[i] = static_cast<int32_t>(rng.Below(20));
+    rvals += rvals.empty() ? "" : ", ";
+    rvals += StrFormat("(%d, %zu)", rk[i], i);
+  }
+  ASSERT_TRUE(db.Run("INSERT INTO l VALUES " + lvals).ok());
+  ASSERT_TRUE(db.Run("INSERT INTO r VALUES " + rvals).ok());
+
+  size_t expect = 0;
+  for (int32_t a : lk) {
+    for (int32_t b : rk) {
+      if (a == b) ++expect;
+    }
+  }
+  auto rs = db.Query("SELECT l.a, r.b FROM l JOIN r ON l.k = r.k");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinProperty,
+                         ::testing::Values(JoinParam{10, 10, 11},
+                                           JoinParam{100, 7, 12},
+                                           JoinParam{7, 100, 13},
+                                           JoinParam{300, 300, 14}));
+
+// ---------------------------------------------------------------------------
+// Tiling query vs native sliding window
+// ---------------------------------------------------------------------------
+
+struct TilingParam {
+  size_t n;
+  int64_t lo, hi;  // window offsets per dimension
+  uint64_t seed;
+};
+
+class TilingQueryProperty : public ::testing::TestWithParam<TilingParam> {};
+
+TEST_P(TilingQueryProperty, SumMatchesOracle) {
+  const TilingParam& p = GetParam();
+  Rng rng(p.seed);
+  Database db;
+  ASSERT_TRUE(db.Run(StrFormat(
+                        "CREATE ARRAY g (x INT DIMENSION[0:1:%zu], "
+                        "y INT DIMENSION[0:1:%zu], v INT DEFAULT 0)",
+                        p.n, p.n))
+                  .ok());
+  // Random contents through the storage layer for speed.
+  auto arr = db.catalog()->GetArray("g");
+  ASSERT_TRUE(arr.ok());
+  std::vector<int32_t>& v = (*arr)->attr_bats[0]->ints();
+  for (auto& c : v) c = static_cast<int32_t>(rng.Range(-9, 9));
+
+  auto rs = db.Query(StrFormat(
+      "SELECT [x], [y], SUM(v) AS s FROM g GROUP BY "
+      "g[x%+lld:x%+lld][y%+lld:y%+lld]",
+      static_cast<long long>(p.lo), static_cast<long long>(p.hi),
+      static_cast<long long>(p.lo), static_cast<long long>(p.hi)));
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), p.n * p.n);
+
+  for (size_t row = 0; row < rs->NumRows(); ++row) {
+    int64_t x = rs->Value(row, 0).AsInt64();
+    int64_t y = rs->Value(row, 1).AsInt64();
+    int64_t sum = 0;
+    for (int64_t dx = p.lo; dx < p.hi; ++dx) {
+      for (int64_t dy = p.lo; dy < p.hi; ++dy) {
+        int64_t cx = x + dx;
+        int64_t cy = y + dy;
+        if (cx < 0 || cy < 0 || cx >= static_cast<int64_t>(p.n) ||
+            cy >= static_cast<int64_t>(p.n)) {
+          continue;
+        }
+        sum += v[static_cast<size_t>(cx * static_cast<int64_t>(p.n) + cy)];
+      }
+    }
+    EXPECT_EQ(rs->Value(row, 2).AsInt64(), sum)
+        << "anchor (" << x << "," << y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TilingQueryProperty,
+                         ::testing::Values(TilingParam{6, 0, 2, 21},
+                                           TilingParam{9, -1, 2, 22},
+                                           TilingParam{12, -2, 3, 23},
+                                           TilingParam{5, 0, 5, 24}));
+
+// ---------------------------------------------------------------------------
+// Coercion round trip property
+// ---------------------------------------------------------------------------
+
+class CoercionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoercionProperty, ArrayTableArrayIsIdentity) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE ARRAY a (x INT DIMENSION[0:1:6], "
+                     "y INT DIMENSION[0:1:5], v INT DEFAULT 0)")
+                  .ok());
+  auto arr = db.catalog()->GetArray("a");
+  ASSERT_TRUE(arr.ok());
+  for (auto& c : (*arr)->attr_bats[0]->ints()) {
+    c = static_cast<int32_t>(rng.Range(-50, 50));
+  }
+  ASSERT_TRUE(db.Run("CREATE TABLE t AS SELECT x, y, v FROM a").ok());
+  ASSERT_TRUE(db.Run("CREATE ARRAY b AS SELECT [x], [y], v FROM t").ok());
+
+  auto back = db.catalog()->GetArray("b");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ((*back)->CellCount(), (*arr)->CellCount());
+  EXPECT_EQ((*back)->attr_bats[0]->ints(), (*arr)->attr_bats[0]->ints());
+  EXPECT_EQ((*back)->dim_bats[0]->ints(), (*arr)->dim_bats[0]->ints());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoercionProperty,
+                         ::testing::Values(31, 32, 33));
+
+// ---------------------------------------------------------------------------
+// Game of Life: SciQL == native across geometries and densities
+// ---------------------------------------------------------------------------
+
+struct LifeParam {
+  size_t n;
+  double density;
+  int generations;
+  uint64_t seed;
+};
+
+class LifeProperty : public ::testing::TestWithParam<LifeParam> {};
+
+TEST_P(LifeProperty, SciqlAgreesWithNative) {
+  const LifeParam& p = GetParam();
+  Database db;
+  ASSERT_TRUE(db.Run(StrFormat(
+                        "CREATE ARRAY life (x INT DIMENSION[0:1:%zu], "
+                        "y INT DIMENSION[0:1:%zu], v INT DEFAULT 0)",
+                        p.n, p.n))
+                  .ok());
+  auto arr = db.catalog()->GetArray("life");
+  ASSERT_TRUE(arr.ok());
+  Rng rng(p.seed);
+  std::vector<int32_t>& cells = (*arr)->attr_bats[0]->ints();
+  for (auto& c : cells) c = rng.Chance(p.density) ? 1 : 0;
+  std::vector<int32_t> shadow = cells;
+
+  const std::string step = StrFormat(
+      "INSERT INTO life (SELECT [x], [y], "
+      "CASE WHEN SUM(v) - v = 3 THEN 1 "
+      "WHEN v = 1 AND SUM(v) - v = 2 THEN 1 ELSE 0 END "
+      "FROM life GROUP BY life[x-1:x+2][y-1:y+2])");
+
+  int64_t n = static_cast<int64_t>(p.n);
+  for (int gen = 0; gen < p.generations; ++gen) {
+    ASSERT_TRUE(db.Run(step).ok());
+    std::vector<int32_t> next(shadow.size());
+    for (int64_t x = 0; x < n; ++x) {
+      for (int64_t y = 0; y < n; ++y) {
+        int neigh = 0;
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            if (dx == 0 && dy == 0) continue;
+            int64_t cx = x + dx, cy = y + dy;
+            if (cx < 0 || cy < 0 || cx >= n || cy >= n) continue;
+            neigh += shadow[static_cast<size_t>(cx * n + cy)];
+          }
+        }
+        int32_t cur = shadow[static_cast<size_t>(x * n + y)];
+        next[static_cast<size_t>(x * n + y)] =
+            neigh == 3 || (cur == 1 && neigh == 2) ? 1 : 0;
+      }
+    }
+    shadow = std::move(next);
+    ASSERT_EQ(cells, shadow) << "generation " << gen;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LifeProperty,
+    ::testing::Values(LifeParam{4, 0.5, 6, 41}, LifeParam{9, 0.3, 4, 42},
+                      LifeParam{16, 0.2, 3, 43}, LifeParam{25, 0.4, 2, 44},
+                      LifeParam{33, 0.35, 2, 45}));
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

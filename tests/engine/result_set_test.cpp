@@ -1,0 +1,111 @@
+#include "src/engine/result_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+using gdk::BAT;
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+ResultSet TwoColumn() {
+  ResultSet rs;
+  auto a = BAT::Make(PhysType::kInt);
+  (void)a->Append(ScalarValue::Int(1));
+  (void)a->Append(ScalarValue::Null(PhysType::kInt));
+  auto b = BAT::Make(PhysType::kStr);
+  (void)b->Append(ScalarValue::Str("hello"));
+  (void)b->Append(ScalarValue::Str("w"));
+  rs.AddColumn("n", false, a);
+  rs.AddColumn("s", false, b);
+  return rs;
+}
+
+TEST(ResultSetTest, Shape) {
+  ResultSet rs = TwoColumn();
+  EXPECT_EQ(rs.NumColumns(), 2u);
+  EXPECT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.ColumnIndex("S"), 1);  // case-insensitive
+  EXPECT_EQ(rs.ColumnIndex("missing"), -1);
+  EXPECT_FALSE(rs.IsArrayResult());
+}
+
+TEST(ResultSetTest, ToStringAlignsAndMarksNulls) {
+  std::string text = TwoColumn().ToString();
+  EXPECT_NE(text.find("n |"), std::string::npos);
+  EXPECT_NE(text.find("null"), std::string::npos);
+  EXPECT_NE(text.find("hello"), std::string::npos);
+}
+
+TEST(ResultSetTest, ToStringTruncates) {
+  ResultSet rs;
+  auto a = BAT::Make(PhysType::kInt);
+  for (int i = 0; i < 100; ++i) (void)a->Append(ScalarValue::Int(i));
+  rs.AddColumn("v", false, a);
+  std::string text = rs.ToString(5);
+  EXPECT_NE(text.find("100 rows total"), std::string::npos);
+}
+
+TEST(ResultSetTest, EmptyResult) {
+  ResultSet rs;
+  EXPECT_EQ(rs.NumRows(), 0u);
+  EXPECT_NE(rs.ToString().find("empty"), std::string::npos);
+}
+
+TEST(ResultSetTest, ToGridRequiresTwoDims) {
+  ResultSet rs = TwoColumn();
+  EXPECT_FALSE(rs.ToGrid().ok());
+}
+
+TEST(ResultSetTest, ToGridRendersYDownward) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE ARRAY g (x INT DIMENSION[0:1:2], "
+                     "y INT DIMENSION[0:1:2], v INT DEFAULT 0); "
+                     "UPDATE g SET v = x + 10 * y")
+                  .ok());
+  auto rs = db.Query("SELECT [x], [y], v FROM g");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->IsArrayResult());
+  auto grid = rs->ToGrid();
+  ASSERT_TRUE(grid.ok());
+  // Highest y first: row "10 11", then row "0 1".
+  size_t first_newline = grid->find('\n');
+  std::string top = grid->substr(0, first_newline);
+  EXPECT_NE(top.find("10"), std::string::npos);
+  EXPECT_NE(top.find("11"), std::string::npos);
+  std::string bottom = grid->substr(first_newline + 1);
+  EXPECT_NE(bottom.find("0"), std::string::npos);
+}
+
+TEST(ResultSetTest, DistinctThroughEngine) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (v INT, w INT)").ok());
+  ASSERT_TRUE(
+      db.Run("INSERT INTO t VALUES (1, 1), (1, 1), (2, 1), (1, 2)").ok());
+  auto rs = db.Query("SELECT DISTINCT v, w FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 3u);
+  rs = db.Query("SELECT DISTINCT v FROM t ORDER BY v DESC");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->Value(0, 0).AsInt64(), 2);
+  // ORDER BY a non-output expression under DISTINCT is rejected.
+  EXPECT_FALSE(db.Query("SELECT DISTINCT v FROM t ORDER BY w").ok());
+}
+
+TEST(ResultSetTest, DistinctWithNulls) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO t VALUES (NULL), (NULL), (1)").ok());
+  auto rs = db.Query("SELECT DISTINCT v FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 2u);  // NULLs collapse into one group
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

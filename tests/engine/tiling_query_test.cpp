@@ -1,0 +1,195 @@
+// Structural grouping, relative cell addressing and coercions through the
+// full SQL engine.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+class TilingQueryTest : public ::testing::Test {
+ protected:
+  void MustRun(const std::string& q) {
+    Status st = db_.Run(q);
+    ASSERT_TRUE(st.ok()) << q << " -> " << st.ToString();
+  }
+  ResultSet MustQuery(const std::string& q) {
+    auto r = db_.Query(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r.value()) : ResultSet();
+  }
+
+  // 4x4 array with v = x*4 + y (distinct everywhere).
+  void MakeGrid() {
+    MustRun(
+        "CREATE ARRAY g (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
+        "v INT DEFAULT 0)");
+    MustRun("UPDATE g SET v = x * 4 + y");
+  }
+
+  Database db_;
+};
+
+TEST_F(TilingQueryTest, FullTileSumOverAllAnchors) {
+  MakeGrid();
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], SUM(v) AS s FROM g GROUP BY g[x:x+2][y:y+2]");
+  ASSERT_EQ(rs.NumRows(), 16u);  // an anchor at every cell
+  // Anchor (0,0): cells (0,0)+(0,1)+(1,0)+(1,1) = 0+1+4+5 = 10.
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (size_t r = 0; r < rs.NumRows(); ++r) {
+    got[{rs.Value(r, 0).AsInt64(), rs.Value(r, 1).AsInt64()}] =
+        rs.Value(r, 2).AsInt64();
+  }
+  EXPECT_EQ((got[{0, 0}]), 10);
+  // Anchor (3,3): only itself (out-of-range ignored) = 15.
+  EXPECT_EQ((got[{3, 3}]), 15);
+  // Anchor (3, 0): (3,0)+(3,1) = 12 + 13 = 25.
+  EXPECT_EQ((got[{3, 0}]), 25);
+}
+
+TEST_F(TilingQueryTest, AnchorAttributeIsAccessible) {
+  MakeGrid();
+  // Non-aggregated v refers to the anchor cell (Game-of-Life idiom).
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], SUM(v) - v AS neighbours FROM g "
+      "GROUP BY g[x-1:x+2][y-1:y+2] HAVING x = 1 AND y = 1");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  // 3x3 sum around (1,1) = sum of v for x,y in 0..2 = (0+1+2)+(4+5+6)+(8+9+10)
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 45 - 5);
+}
+
+TEST_F(TilingQueryTest, ExplicitCellListPattern) {
+  MakeGrid();
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], SUM(v) AS s FROM g "
+      "GROUP BY g[x][y], g[x-1][y], g[x][y-1] HAVING x = 2 AND y = 2");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  // cells (2,2)=10, (1,2)=6, (2,1)=9 -> 25.
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 25);
+}
+
+TEST_F(TilingQueryTest, MultiplePatternsUnion) {
+  MakeGrid();
+  // Two single-cell patterns unioned: anchor and right neighbour.
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], SUM(v) AS s FROM g GROUP BY g[x][y], g[x+1][y] "
+      "HAVING y = 0 AND x = 0");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 0 + 4);
+}
+
+TEST_F(TilingQueryTest, CountAndMinMaxOverTiles) {
+  MakeGrid();
+  MustRun("DELETE FROM g WHERE x = 1 AND y = 1");  // punch a hole
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], COUNT(v) AS c, MIN(v) AS lo, MAX(v) AS hi FROM g "
+      "GROUP BY g[x:x+2][y:y+2] HAVING x = 0 AND y = 0");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 3);  // hole ignored
+  EXPECT_EQ(rs.Value(0, 3).AsInt64(), 0);
+  EXPECT_EQ(rs.Value(0, 4).AsInt64(), 4);
+}
+
+TEST_F(TilingQueryTest, CellRefExpression) {
+  MakeGrid();
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], g[x][y] - g[x-1][y] AS dx FROM g "
+      "WHERE x = 2 AND y = 3");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 4);  // v(2,3)-v(1,3) = 11-7
+}
+
+TEST_F(TilingQueryTest, CellRefOutOfRangeIsNull) {
+  MakeGrid();
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], g[x-1][y] AS left FROM g WHERE x = 0 AND y = 2");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_TRUE(rs.Value(0, 2).is_null);
+}
+
+TEST_F(TilingQueryTest, EdgeDetectionQueryShape) {
+  MakeGrid();
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], "
+      "ABS(g[x][y] - g[x-1][y]) + ABS(g[x][y] - g[x][y-1]) AS e FROM g");
+  ASSERT_EQ(rs.NumRows(), 16u);
+  std::map<std::pair<int64_t, int64_t>, gdk::ScalarValue> got;
+  for (size_t r = 0; r < rs.NumRows(); ++r) {
+    got[{rs.Value(r, 0).AsInt64(), rs.Value(r, 1).AsInt64()}] = rs.Value(r, 2);
+  }
+  EXPECT_TRUE((got[{0, 0}]).is_null);       // border: both neighbours missing
+  EXPECT_TRUE((got[{0, 2}]).is_null);       // left column
+  EXPECT_EQ((got[{2, 2}]).AsInt64(), 4 + 1);  // |10-6| + |10-9|
+}
+
+TEST_F(TilingQueryTest, DownsampleReindexesDimensions) {
+  MakeGrid();
+  MustRun(
+      "CREATE ARRAY small AS "
+      "SELECT [x / 2] AS x, [y / 2] AS y, AVG(v) AS v FROM g "
+      "GROUP BY g[x:x+2][y:y+2] HAVING x MOD 2 = 0 AND y MOD 2 = 0");
+  auto arr = db_.catalog()->GetArray("small");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ((*arr)->desc.dims()[0].range.Size(), 2u);
+  ResultSet rs = MustQuery("SELECT v FROM small WHERE x = 0 AND y = 0");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(rs.Value(0, 0).d, (0 + 1 + 4 + 5) / 4.0);
+}
+
+TEST_F(TilingQueryTest, SteppedDimensionTiles) {
+  MustRun(
+      "CREATE ARRAY s (t INT DIMENSION[0:10:50], v INT DEFAULT 1)");
+  // Offsets must be multiples of the step: t:t+20 covers 2 cells.
+  ResultSet rs = MustQuery(
+      "SELECT [t], SUM(v) AS c FROM s GROUP BY s[t:t+20] HAVING t = 0");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 1).AsInt64(), 2);
+  // Misaligned offset errors out.
+  EXPECT_FALSE(db_.Query("SELECT [t], SUM(v) FROM s GROUP BY s[t:t+5]").ok());
+}
+
+TEST_F(TilingQueryTest, WhereFiltersAnchorsNotTiles) {
+  MakeGrid();
+  // The tile of anchor (0,0) still sees its full 2x2 neighbourhood even
+  // though WHERE restricts the *anchors* to one cell.
+  ResultSet rs = MustQuery(
+      "SELECT [x], [y], SUM(v) AS s FROM g WHERE x = 0 AND y = 0 "
+      "GROUP BY g[x:x+2][y:y+2]");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.Value(0, 2).AsInt64(), 10);  // 0+1+4+5, not just v(0,0)
+}
+
+TEST_F(TilingQueryTest, TilingErrors) {
+  MakeGrid();
+  // Pattern over a different object.
+  MustRun("CREATE ARRAY h (x INT DIMENSION[0:1:2], v INT)");
+  EXPECT_FALSE(
+      db_.Query("SELECT [x], SUM(v) FROM g GROUP BY h[x:x+2]").ok());
+  // Dimensionality mismatch.
+  EXPECT_FALSE(db_.Query("SELECT [x], SUM(v) FROM g GROUP BY g[x:x+2]").ok());
+  // Non-anchored slice expression.
+  EXPECT_FALSE(
+      db_.Query("SELECT [x], SUM(v) FROM g GROUP BY g[y:y+2][x:x+2]").ok());
+  // Structural grouping needs an array.
+  MustRun("CREATE TABLE plain (x INT)");
+  EXPECT_FALSE(
+      db_.Query("SELECT x FROM plain GROUP BY plain[x:x+2]").ok());
+}
+
+TEST_F(TilingQueryTest, ValueGroupOnArrayCoercion) {
+  MakeGrid();
+  MustRun("UPDATE g SET v = x");  // four groups of four
+  ResultSet rs = MustQuery(
+      "SELECT v, COUNT(*) AS c FROM g GROUP BY v ORDER BY v");
+  ASSERT_EQ(rs.NumRows(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(rs.Value(r, 1).AsInt64(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

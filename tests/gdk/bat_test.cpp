@@ -1,0 +1,152 @@
+#include "src/gdk/bat.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+TEST(BatTest, AppendAndGet) {
+  auto b = BAT::Make(PhysType::kInt);
+  ASSERT_TRUE(b->Append(ScalarValue::Int(1)).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Null(PhysType::kInt)).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Int(-7)).ok());
+  EXPECT_EQ(b->Count(), 3u);
+  EXPECT_EQ(b->GetScalar(0).i, 1);
+  EXPECT_TRUE(b->GetScalar(1).is_null);
+  EXPECT_EQ(b->GetScalar(2).i, -7);
+  EXPECT_TRUE(b->IsNullAt(1));
+  EXPECT_FALSE(b->IsNullAt(0));
+  EXPECT_EQ(b->CountNulls(), 1u);
+}
+
+TEST(BatTest, NullSentinels) {
+  auto b = BAT::Make(PhysType::kInt);
+  ASSERT_TRUE(b->Append(ScalarValue::Null(PhysType::kInt)).ok());
+  EXPECT_EQ(b->ints()[0], kIntNil);
+
+  auto l = BAT::Make(PhysType::kLng);
+  ASSERT_TRUE(l->Append(ScalarValue::Null(PhysType::kLng)).ok());
+  EXPECT_EQ(l->lngs()[0], kLngNil);
+
+  auto d = BAT::Make(PhysType::kDbl);
+  ASSERT_TRUE(d->Append(ScalarValue::Null(PhysType::kDbl)).ok());
+  EXPECT_TRUE(IsDblNil(d->dbls()[0]));
+}
+
+TEST(BatTest, AppendCastsAcrossNumericTypes) {
+  auto d = BAT::Make(PhysType::kDbl);
+  ASSERT_TRUE(d->Append(ScalarValue::Int(3)).ok());
+  EXPECT_DOUBLE_EQ(d->dbls()[0], 3.0);
+
+  auto i = BAT::Make(PhysType::kInt);
+  ASSERT_TRUE(i->Append(ScalarValue::Dbl(2.9)).ok());
+  EXPECT_EQ(i->ints()[0], 2);  // truncation
+}
+
+TEST(BatTest, SetAndSlice) {
+  auto b = BAT::Make(PhysType::kInt);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b->Append(ScalarValue::Int(i)).ok());
+  }
+  ASSERT_TRUE(b->Set(4, ScalarValue::Int(99)).ok());
+  EXPECT_EQ(b->ints()[4], 99);
+  EXPECT_FALSE(b->Set(10, ScalarValue::Int(0)).ok());
+
+  auto s = b->Slice(2, 5);
+  EXPECT_EQ(s->Count(), 3u);
+  EXPECT_EQ(s->ints()[0], 2);
+  EXPECT_EQ(s->ints()[2], 99);
+
+  auto empty = b->Slice(8, 3);
+  EXPECT_EQ(empty->Count(), 0u);
+}
+
+TEST(BatTest, DenseSequence) {
+  auto b = BAT::MakeDense(5, 4);
+  ASSERT_EQ(b->Count(), 4u);
+  EXPECT_EQ(b->oids()[0], 5u);
+  EXPECT_EQ(b->oids()[3], 8u);
+}
+
+TEST(BatTest, ConstBroadcast) {
+  auto b = BAT::MakeConst(ScalarValue::Dbl(1.5), 3);
+  ASSERT_EQ(b->Count(), 3u);
+  EXPECT_DOUBLE_EQ(b->dbls()[2], 1.5);
+}
+
+TEST(BatTest, StringsDeduplicateInHeap) {
+  auto b = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(b->Append(ScalarValue::Str("hello")).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Str("world")).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Str("hello")).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Null(PhysType::kStr)).ok());
+  EXPECT_EQ(b->Count(), 4u);
+  EXPECT_EQ(b->oids()[0], b->oids()[2]);  // duplicate elimination
+  EXPECT_EQ(b->GetStr(1), "world");
+  EXPECT_TRUE(b->IsNullAt(3));
+  EXPECT_EQ(b->heap()->UniqueCount(), 2u);
+}
+
+TEST(BatTest, AppendBatSameHeapSharesOffsets) {
+  auto a = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(a->Append(ScalarValue::Str("x")).ok());
+  auto b = BAT::MakeStr(a->heap());
+  ASSERT_TRUE(b->Append(ScalarValue::Str("y")).ok());
+  ASSERT_TRUE(a->AppendBat(*b).ok());
+  EXPECT_EQ(a->Count(), 2u);
+  EXPECT_EQ(a->GetStr(1), "y");
+}
+
+TEST(BatTest, AppendBatForeignHeapReinterns) {
+  auto a = BAT::Make(PhysType::kStr);
+  auto b = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(b->Append(ScalarValue::Str("z")).ok());
+  ASSERT_TRUE(a->AppendBat(*b).ok());
+  EXPECT_EQ(a->GetStr(0), "z");
+}
+
+TEST(BatTest, AppendBatTypeMismatchFails) {
+  auto a = BAT::Make(PhysType::kInt);
+  auto b = BAT::Make(PhysType::kDbl);
+  ASSERT_TRUE(b->Append(ScalarValue::Dbl(1)).ok());
+  EXPECT_FALSE(a->AppendBat(*b).ok());
+}
+
+TEST(BatTest, CloneDataIsDeep) {
+  auto a = BAT::Make(PhysType::kInt);
+  ASSERT_TRUE(a->Append(ScalarValue::Int(1)).ok());
+  auto c = a->CloneData();
+  ASSERT_TRUE(c->Set(0, ScalarValue::Int(2)).ok());
+  EXPECT_EQ(a->ints()[0], 1);
+  EXPECT_EQ(c->ints()[0], 2);
+}
+
+TEST(BatTest, ResizeFillsWithNil) {
+  auto a = BAT::Make(PhysType::kInt);
+  ASSERT_TRUE(a->Append(ScalarValue::Int(1)).ok());
+  a->Resize(3);
+  EXPECT_TRUE(a->IsNullAt(2));
+}
+
+TEST(ScalarValueTest, ToStringForms) {
+  EXPECT_EQ(ScalarValue::Int(5).ToString(), "5");
+  EXPECT_EQ(ScalarValue::Dbl(1.5).ToString(), "1.5");
+  EXPECT_EQ(ScalarValue::Str("a'b").ToString(), "'a'b'");
+  EXPECT_EQ(ScalarValue::Null(PhysType::kInt).ToString(), "null");
+  EXPECT_EQ(ScalarValue::Bit(true).ToString(), "true");
+}
+
+TEST(ScalarValueTest, CastScalarRangeChecks) {
+  auto too_big = CastScalar(ScalarValue::Lng(int64_t{1} << 40), PhysType::kInt);
+  EXPECT_FALSE(too_big.ok());
+  auto ok = CastScalar(ScalarValue::Lng(41), PhysType::kInt);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->i, 41);
+  auto neg_oid = CastScalar(ScalarValue::Int(-2), PhysType::kOid);
+  EXPECT_FALSE(neg_oid.ok());
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

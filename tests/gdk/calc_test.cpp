@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+BATPtr IntBat(std::initializer_list<int32_t> vals) {
+  auto b = BAT::Make(PhysType::kInt);
+  for (int32_t v : vals) b->ints().push_back(v);
+  return b;
+}
+
+TEST(CalcTest, AddBatBat) {
+  auto a = IntBat({1, 2, 3});
+  auto b = IntBat({10, 20, 30});
+  auto r = CalcBinary(BinOp::kAdd, a.get(), nullptr, b.get(), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints(), (std::vector<int32_t>{11, 22, 33}));
+}
+
+TEST(CalcTest, AddBatScalarWithNullPropagation) {
+  auto a = IntBat({1, kIntNil, 3});
+  ScalarValue ten = ScalarValue::Int(10);
+  auto r = CalcBinary(BinOp::kAdd, a.get(), nullptr, nullptr, &ten);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints()[0], 11);
+  EXPECT_EQ((*r)->ints()[1], kIntNil);
+  EXPECT_EQ((*r)->ints()[2], 13);
+}
+
+TEST(CalcTest, MixedTypesPromote) {
+  auto a = IntBat({1, 2});
+  ScalarValue half = ScalarValue::Dbl(0.5);
+  auto r = CalcBinary(BinOp::kMul, a.get(), nullptr, nullptr, &half);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kDbl);
+  EXPECT_DOUBLE_EQ((*r)->dbls()[1], 1.0);
+}
+
+TEST(CalcTest, IntegerDivisionTruncates) {
+  auto a = IntBat({7, -7});
+  ScalarValue two = ScalarValue::Int(2);
+  auto r = CalcBinary(BinOp::kDiv, a.get(), nullptr, nullptr, &two);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints()[0], 3);
+  EXPECT_EQ((*r)->ints()[1], -3);
+}
+
+TEST(CalcTest, DivisionByZeroErrors) {
+  auto a = IntBat({1});
+  ScalarValue zero = ScalarValue::Int(0);
+  EXPECT_FALSE(CalcBinary(BinOp::kDiv, a.get(), nullptr, nullptr, &zero).ok());
+  EXPECT_FALSE(CalcBinary(BinOp::kMod, a.get(), nullptr, nullptr, &zero).ok());
+}
+
+TEST(CalcTest, ModMatchesPaperUsage) {
+  auto a = IntBat({0, 1, 2, 3});
+  ScalarValue two = ScalarValue::Int(2);
+  auto r = CalcBinary(BinOp::kMod, a.get(), nullptr, nullptr, &two);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints(), (std::vector<int32_t>{0, 1, 0, 1}));
+}
+
+TEST(CalcTest, ComparisonYieldsBitWithNil) {
+  auto a = IntBat({1, kIntNil, 3});
+  ScalarValue two = ScalarValue::Int(2);
+  auto r = CalcBinary(BinOp::kLt, a.get(), nullptr, nullptr, &two);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kBit);
+  EXPECT_EQ((*r)->bits()[0], 1);
+  EXPECT_EQ((*r)->bits()[1], kBitNil);
+  EXPECT_EQ((*r)->bits()[2], 0);
+}
+
+TEST(CalcTest, ThreeValuedAndOr) {
+  auto t = BAT::Make(PhysType::kBit);
+  t->bits() = {1, 0, kBitNil, 1, 0, kBitNil, 1, 0, kBitNil};
+  auto u = BAT::Make(PhysType::kBit);
+  u->bits() = {1, 1, 1, 0, 0, 0, kBitNil, kBitNil, kBitNil};
+
+  auto a = CalcBinary(BinOp::kAnd, t.get(), nullptr, u.get(), nullptr);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->bits(),
+            (std::vector<uint8_t>{1, 0, kBitNil, 0, 0, 0, kBitNil, 0, kBitNil}));
+
+  auto o = CalcBinary(BinOp::kOr, t.get(), nullptr, u.get(), nullptr);
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ((*o)->bits(),
+            (std::vector<uint8_t>{1, 1, 1, 1, 0, kBitNil, 1, kBitNil, kBitNil}));
+}
+
+TEST(CalcTest, NotAndIsNil) {
+  auto t = BAT::Make(PhysType::kBit);
+  t->bits() = {1, 0, kBitNil};
+  auto n = CalcUnary(UnOp::kNot, *t);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->bits(), (std::vector<uint8_t>{0, 1, kBitNil}));
+
+  auto a = IntBat({5, kIntNil});
+  auto isn = CalcUnary(UnOp::kIsNull, *a);
+  ASSERT_TRUE(isn.ok());
+  EXPECT_EQ((*isn)->bits(), (std::vector<uint8_t>{0, 1}));
+}
+
+TEST(CalcTest, NegAbs) {
+  auto a = IntBat({-5, 5, kIntNil});
+  auto n = CalcUnary(UnOp::kNeg, *a);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->ints()[0], 5);
+  EXPECT_EQ((*n)->ints()[2], kIntNil);
+  auto ab = CalcUnary(UnOp::kAbs, *a);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ((*ab)->ints()[0], 5);
+  EXPECT_EQ((*ab)->ints()[1], 5);
+}
+
+TEST(CalcTest, IfThenElseNullCondSelectsElse) {
+  auto c = BAT::Make(PhysType::kBit);
+  c->bits() = {1, 0, kBitNil};
+  ScalarValue yes = ScalarValue::Int(100);
+  ScalarValue no = ScalarValue::Int(-100);
+  auto r = IfThenElse(*c, nullptr, &yes, nullptr, &no);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints(), (std::vector<int32_t>{100, -100, -100}));
+}
+
+TEST(CalcTest, IfThenElsePromotesArms) {
+  auto c = BAT::Make(PhysType::kBit);
+  c->bits() = {1, 0};
+  ScalarValue i = ScalarValue::Int(1);
+  ScalarValue d = ScalarValue::Dbl(0.5);
+  auto r = IfThenElse(*c, nullptr, &i, nullptr, &d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kDbl);
+}
+
+TEST(CalcTest, StringCompare) {
+  auto s = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(s->Append(ScalarValue::Str("apple")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("banana")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Null(PhysType::kStr)).ok());
+  ScalarValue needle = ScalarValue::Str("banana");
+  auto r = CalcBinary(BinOp::kEq, s.get(), nullptr, nullptr, &needle);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->bits()[0], 0);
+  EXPECT_EQ((*r)->bits()[1], 1);
+  EXPECT_EQ((*r)->bits()[2], kBitNil);
+}
+
+TEST(CalcTest, ScalarScalar) {
+  auto r = CalcBinaryScalar(BinOp::kAdd, ScalarValue::Int(2),
+                            ScalarValue::Int(40));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->i, 42);
+  auto cmp = CalcBinaryScalar(BinOp::kGt, ScalarValue::Dbl(1.5),
+                              ScalarValue::Int(1));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(cmp->IsTrue());
+}
+
+TEST(CalcTest, CastBat) {
+  auto a = IntBat({1, kIntNil, 3});
+  auto d = CastBat(*a, PhysType::kDbl);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->dbls()[0], 1.0);
+  EXPECT_TRUE((*d)->IsNullAt(1));
+  auto l = CastBat(*a, PhysType::kLng);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ((*l)->lngs()[2], 3);
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+BATPtr IntBat(std::initializer_list<int32_t> vals) {
+  auto b = BAT::Make(PhysType::kInt);
+  for (int32_t v : vals) b->ints().push_back(v);
+  return b;
+}
+
+TEST(GroupTest, SingleColumn) {
+  auto b = IntBat({7, 8, 7, 9, 8});
+  auto g = Group(*b, nullptr, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ngroups, 3u);
+  EXPECT_EQ(g->groups->oids(), (std::vector<oid_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(g->extents->oids(), (std::vector<oid_t>{0, 1, 3}));
+}
+
+TEST(GroupTest, NullsFormOneGroup) {
+  auto b = IntBat({kIntNil, 1, kIntNil});
+  auto g = Group(*b, nullptr, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ngroups, 2u);
+  EXPECT_EQ(g->groups->oids()[0], g->groups->oids()[2]);
+}
+
+TEST(GroupTest, RefinementSplitsGroups) {
+  auto a = IntBat({1, 1, 2, 2});
+  auto b = IntBat({5, 6, 5, 5});
+  auto g1 = Group(*a, nullptr, 0);
+  ASSERT_TRUE(g1.ok());
+  auto g2 = Group(*b, g1->groups.get(), g1->ngroups);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->ngroups, 3u);  // (1,5), (1,6), (2,5)
+}
+
+TEST(GroupTest, StringGrouping) {
+  auto s = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(s->Append(ScalarValue::Str("a")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("b")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("a")).ok());
+  auto g = Group(*s, nullptr, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ngroups, 2u);
+}
+
+TEST(AggrTest, SumWidensToLng) {
+  auto v = IntBat({1, 2, 3, 4});
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 0, 1, 1};
+  auto r = GroupedAggregate(AggOp::kSum, v.get(), *groups, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kLng);
+  EXPECT_EQ((*r)->lngs(), (std::vector<int64_t>{3, 7}));
+}
+
+TEST(AggrTest, AvgIgnoresNulls) {
+  auto v = IntBat({4, kIntNil, 2});
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 0, 0};
+  auto r = GroupedAggregate(AggOp::kAvg, v.get(), *groups, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)->dbls()[0], 3.0);
+}
+
+TEST(AggrTest, EmptyGroupYieldsNullButCountZero) {
+  auto v = IntBat({1});
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {1};  // group 0 stays empty
+  auto sum = GroupedAggregate(AggOp::kSum, v.get(), *groups, 2);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE((*sum)->IsNullAt(0));
+  EXPECT_EQ((*sum)->lngs()[1], 1);
+  auto cnt = GroupedAggregate(AggOp::kCount, v.get(), *groups, 2);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->lngs()[0], 0);
+}
+
+TEST(AggrTest, MinMaxKeepOrderAndSkipNulls) {
+  auto v = IntBat({5, kIntNil, -2, 9});
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 0, 0, 1};
+  auto mn = GroupedAggregate(AggOp::kMin, v.get(), *groups, 2);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ((*mn)->GetScalar(0).AsInt64(), -2);
+  auto mx = GroupedAggregate(AggOp::kMax, v.get(), *groups, 2);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ((*mx)->GetScalar(0).AsInt64(), 5);
+  EXPECT_EQ((*mx)->GetScalar(1).AsInt64(), 9);
+}
+
+TEST(AggrTest, CountStar) {
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 1, 1, 1};
+  auto r = GroupedAggregate(AggOp::kCountStar, nullptr, *groups, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->lngs(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(AggrTest, DoubleSum) {
+  auto v = BAT::Make(PhysType::kDbl);
+  v->dbls() = {1.5, 2.5};
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 0};
+  auto r = GroupedAggregate(AggOp::kSum, v.get(), *groups, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kDbl);
+  EXPECT_DOUBLE_EQ((*r)->dbls()[0], 4.0);
+}
+
+TEST(AggrTest, StringMinMax) {
+  auto s = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(s->Append(ScalarValue::Str("pear")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("apple")).ok());
+  auto groups = BAT::Make(PhysType::kOid);
+  groups->oids() = {0, 0};
+  auto mn = GroupedAggregate(AggOp::kMin, s.get(), *groups, 1);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ((*mn)->GetScalar(0).s, "apple");
+}
+
+TEST(AggrTest, WholeBatAggregate) {
+  auto v = IntBat({1, 2, 3});
+  auto r = Aggregate(AggOp::kSum, *v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt64(), 6);
+  auto e = BAT::Make(PhysType::kInt);
+  auto rn = Aggregate(AggOp::kSum, *e);
+  ASSERT_TRUE(rn.ok());
+  EXPECT_TRUE(rn->is_null);
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

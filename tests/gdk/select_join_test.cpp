@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+BATPtr IntBat(std::initializer_list<int32_t> vals) {
+  auto b = BAT::Make(PhysType::kInt);
+  for (int32_t v : vals) b->ints().push_back(v);
+  return b;
+}
+
+TEST(SelectTest, BoolSelect) {
+  auto bits = BAT::Make(PhysType::kBit);
+  bits->bits() = {1, 0, kBitNil, 1};
+  auto r = BoolSelect(*bits, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->oids(), (std::vector<oid_t>{0, 3}));
+}
+
+TEST(SelectTest, BoolSelectThroughCandidates) {
+  auto bits = BAT::Make(PhysType::kBit);
+  bits->bits() = {1, 1};
+  auto cands = BAT::Make(PhysType::kOid);
+  cands->oids() = {4, 9};
+  auto r = BoolSelect(*bits, cands.get());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->oids(), (std::vector<oid_t>{4, 9}));
+}
+
+TEST(SelectTest, ThetaSelectSkipsNulls) {
+  auto b = IntBat({5, kIntNil, 7, 3});
+  auto r = ThetaSelect(*b, nullptr, CmpOp::kGt, ScalarValue::Int(4));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->oids(), (std::vector<oid_t>{0, 2}));
+}
+
+TEST(SelectTest, ThetaSelectWithNullConstantMatchesNothing) {
+  auto b = IntBat({5, 7});
+  auto r = ThetaSelect(*b, nullptr, CmpOp::kEq,
+                       ScalarValue::Null(PhysType::kInt));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Count(), 0u);
+}
+
+TEST(SelectTest, RangeSelect) {
+  auto b = IntBat({1, 2, 3, 4, 5});
+  auto r = RangeSelect(*b, nullptr, ScalarValue::Int(2), ScalarValue::Int(4),
+                       true, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->oids(), (std::vector<oid_t>{1, 2}));
+}
+
+TEST(SelectTest, NullSelect) {
+  auto b = IntBat({1, kIntNil, 3});
+  auto nulls = NullSelect(*b, nullptr, true);
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ((*nulls)->oids(), (std::vector<oid_t>{1}));
+  auto notnulls = NullSelect(*b, nullptr, false);
+  ASSERT_TRUE(notnulls.ok());
+  EXPECT_EQ((*notnulls)->oids(), (std::vector<oid_t>{0, 2}));
+}
+
+TEST(ProjectTest, GatherWithNilPositions) {
+  auto b = IntBat({10, 20, 30});
+  auto pos = BAT::Make(PhysType::kOid);
+  pos->oids() = {2, kOidNil, 0};
+  auto r = Project(*b, *pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ints()[0], 30);
+  EXPECT_TRUE((*r)->IsNullAt(1));
+  EXPECT_EQ((*r)->ints()[2], 10);
+}
+
+TEST(ProjectTest, OutOfRangePositionFails) {
+  auto b = IntBat({10});
+  auto pos = BAT::Make(PhysType::kOid);
+  pos->oids() = {3};
+  EXPECT_FALSE(Project(*b, *pos).ok());
+}
+
+TEST(ProjectTest, StringGatherKeepsHeap) {
+  auto s = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(s->Append(ScalarValue::Str("a")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("b")).ok());
+  auto pos = BAT::Make(PhysType::kOid);
+  pos->oids() = {1, kOidNil};
+  auto r = Project(*s, *pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetStr(0), "b");
+  EXPECT_TRUE((*r)->IsNullAt(1));
+}
+
+TEST(JoinTest, HashJoinBasics) {
+  auto l = IntBat({1, 2, 3, 2});
+  auto r = IntBat({2, 4, 1});
+  auto jr = HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  // Pairs: (0,2) 1=1; (1,0) and (3,0) 2=2.
+  EXPECT_EQ(jr->left->Count(), 3u);
+  std::multiset<std::pair<oid_t, oid_t>> got;
+  for (size_t i = 0; i < jr->left->Count(); ++i) {
+    got.insert({jr->left->oids()[i], jr->right->oids()[i]});
+  }
+  std::multiset<std::pair<oid_t, oid_t>> want{{0, 2}, {1, 0}, {3, 0}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(JoinTest, NullsNeverMatch) {
+  auto l = IntBat({kIntNil, 1});
+  auto r = IntBat({kIntNil, 1});
+  auto jr = HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr->left->Count(), 1u);
+}
+
+TEST(JoinTest, MixedNumericTypesPromote) {
+  auto l = IntBat({1, 2});
+  auto r = BAT::Make(PhysType::kLng);
+  r->lngs() = {2, 3};
+  auto jr = HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  ASSERT_EQ(jr->left->Count(), 1u);
+  EXPECT_EQ(jr->left->oids()[0], 1u);
+  EXPECT_EQ(jr->right->oids()[0], 0u);
+}
+
+TEST(JoinTest, StringJoinByContent) {
+  auto l = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(l->Append(ScalarValue::Str("x")).ok());
+  ASSERT_TRUE(l->Append(ScalarValue::Str("y")).ok());
+  auto r = BAT::Make(PhysType::kStr);  // different heap
+  ASSERT_TRUE(r->Append(ScalarValue::Str("y")).ok());
+  auto jr = HashJoin(*l, *r);
+  ASSERT_TRUE(jr.ok());
+  ASSERT_EQ(jr->left->Count(), 1u);
+  EXPECT_EQ(jr->left->oids()[0], 1u);
+}
+
+TEST(JoinTest, MultiKeyJoin) {
+  auto lx = IntBat({1, 1, 2});
+  auto ly = IntBat({1, 2, 1});
+  auto rx = IntBat({1, 2});
+  auto ry = IntBat({2, 1});
+  auto jr = HashJoinMulti({lx.get(), ly.get()}, {rx.get(), ry.get()});
+  ASSERT_TRUE(jr.ok());
+  ASSERT_EQ(jr->left->Count(), 2u);
+  std::multiset<std::pair<oid_t, oid_t>> got;
+  for (size_t i = 0; i < jr->left->Count(); ++i) {
+    got.insert({jr->left->oids()[i], jr->right->oids()[i]});
+  }
+  std::multiset<std::pair<oid_t, oid_t>> want{{1, 0}, {2, 1}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(JoinTest, MultiKeyAgreesWithNestedLoop) {
+  Rng rng(77);
+  auto lx = BAT::Make(PhysType::kInt);
+  auto ly = BAT::Make(PhysType::kInt);
+  auto rx = BAT::Make(PhysType::kInt);
+  auto ry = BAT::Make(PhysType::kInt);
+  for (int i = 0; i < 200; ++i) {
+    lx->ints().push_back(static_cast<int32_t>(rng.Below(10)));
+    ly->ints().push_back(static_cast<int32_t>(rng.Below(10)));
+    rx->ints().push_back(static_cast<int32_t>(rng.Below(10)));
+    ry->ints().push_back(static_cast<int32_t>(rng.Below(10)));
+  }
+  auto jr = HashJoinMulti({lx.get(), ly.get()}, {rx.get(), ry.get()});
+  ASSERT_TRUE(jr.ok());
+  size_t expected = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 200; ++j) {
+      if (lx->ints()[i] == rx->ints()[j] && ly->ints()[i] == ry->ints()[j]) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(jr->left->Count(), expected);
+}
+
+TEST(JoinTest, CrossJoinShape) {
+  JoinResult jr = CrossJoin(2, 3);
+  EXPECT_EQ(jr.left->Count(), 6u);
+  EXPECT_EQ(jr.left->oids()[0], 0u);
+  EXPECT_EQ(jr.right->oids()[5], 2u);
+}
+
+TEST(SortTest, OrderIndexNullsFirstAndStable) {
+  auto a = IntBat({3, kIntNil, 1, 3});
+  auto idx = OrderIndex({a.get()}, {false});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->oids(), (std::vector<oid_t>{1, 2, 0, 3}));
+  auto desc = OrderIndex({a.get()}, {true});
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ((*desc)->oids(), (std::vector<oid_t>{0, 3, 2, 1}));
+}
+
+TEST(SortTest, MultiKeyRefinement) {
+  auto a = IntBat({1, 1, 0, 0});
+  auto b = IntBat({5, 4, 9, 8});
+  auto idx = OrderIndex({a.get(), b.get()}, {false, false});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->oids(), (std::vector<oid_t>{3, 2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

@@ -1,0 +1,172 @@
+// MAL operation coverage beyond the basics: bat.* helpers, algebra.sort /
+// slice / njoin, catalog-backed sql.* ops and the array module through the
+// interpreter.
+
+#include <gtest/gtest.h>
+
+#include "src/array/tiling.h"
+#include "src/mal/interpreter.h"
+#include "src/mal/program.h"
+
+namespace sciql {
+namespace mal {
+namespace {
+
+using gdk::ScalarValue;
+
+int SeriesReg(MalProgram* p, int64_t start, int64_t step, int64_t stop) {
+  return p->EmitR("array", "series",
+                  {p->Const(ScalarValue::Lng(start)),
+                   p->Const(ScalarValue::Lng(step)),
+                   p->Const(ScalarValue::Lng(stop)),
+                   p->Const(ScalarValue::Lng(1)),
+                   p->Const(ScalarValue::Lng(1))},
+                  "s");
+}
+
+TEST(MalModulesTest, BatHelpers) {
+  MalProgram prog;
+  int s = SeriesReg(&prog, 0, 1, 5);
+  int n = prog.EmitR("bat", "count", {s}, "n");
+  int d = prog.EmitR("bat", "dense", {n}, "d");
+  int packed = prog.EmitR("bat", "pack",
+                          {prog.Const(ScalarValue::Int(3)),
+                           prog.Const(ScalarValue::Null(gdk::PhysType::kInt)),
+                           prog.Const(ScalarValue::Int(5))},
+                          "p");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(n).scalar.AsInt64(), 5);
+  EXPECT_EQ(ctx.Reg(d).bat->Count(), 5u);
+  EXPECT_EQ(ctx.Reg(d).bat->oids()[4], 4u);
+  EXPECT_EQ(ctx.Reg(packed).bat->Count(), 3u);
+  EXPECT_TRUE(ctx.Reg(packed).bat->IsNullAt(1));
+}
+
+TEST(MalModulesTest, SortAndSlice) {
+  MalProgram prog;
+  int s = SeriesReg(&prog, 10, -2, 0);  // 10 8 6 4 2
+  int idx = prog.EmitR("algebra", "sort",
+                       {s, prog.Const(ScalarValue::Lng(0))}, "idx");
+  int sorted = prog.EmitR("algebra", "project", {s, idx}, "sorted");
+  int sliced = prog.EmitR("algebra", "slice",
+                          {sorted, prog.Const(ScalarValue::Lng(1)),
+                           prog.Const(ScalarValue::Lng(3))},
+                          "sl");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(sorted).bat->ints(),
+            (std::vector<int32_t>{2, 4, 6, 8, 10}));
+  EXPECT_EQ(ctx.Reg(sliced).bat->ints(), (std::vector<int32_t>{4, 6}));
+}
+
+TEST(MalModulesTest, NJoinThroughInterpreter) {
+  MalProgram prog;
+  int l = SeriesReg(&prog, 0, 1, 4);   // 0 1 2 3
+  int r = SeriesReg(&prog, 2, 1, 6);   // 2 3 4 5
+  int lo = prog.NewReg("lo");
+  int ro = prog.NewReg("ro");
+  prog.Emit("algebra", "njoin", {lo, ro},
+            {prog.Const(ScalarValue::Lng(1)), l, r});
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(lo).bat->Count(), 2u);  // 2 and 3 match
+}
+
+TEST(MalModulesTest, SqlBindAgainstCatalog) {
+  catalog::Catalog cat;
+  ASSERT_TRUE(cat.CreateArray(
+                     "a", array::ArrayDesc(
+                              {array::DimDesc{"x", array::DimRange(0, 1, 3),
+                                              false}},
+                              {array::AttrDesc{"v", gdk::PhysType::kInt,
+                                               ScalarValue::Int(7)}}))
+                  .ok());
+  MalProgram prog;
+  int x = prog.EmitR("sql", "bind",
+                     {prog.Const(ScalarValue::Str("a")),
+                      prog.Const(ScalarValue::Str("x"))},
+                     "x");
+  int v = prog.EmitR("sql", "bind",
+                     {prog.Const(ScalarValue::Str("a")),
+                      prog.Const(ScalarValue::Str("v"))},
+                     "v");
+  int n = prog.EmitR("sql", "count",
+                     {prog.Const(ScalarValue::Str("a"))}, "n");
+  MalContext ctx(&cat);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(x).bat->ints(), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(ctx.Reg(v).bat->ints(), (std::vector<int32_t>{7, 7, 7}));
+  EXPECT_EQ(ctx.Reg(n).scalar.AsInt64(), 3);
+
+  // Binding a missing column fails with context.
+  MalProgram bad;
+  bad.EmitR("sql", "bind",
+            {bad.Const(ScalarValue::Str("a")),
+             bad.Const(ScalarValue::Str("nope"))},
+            "z");
+  MalContext ctx2(&cat);
+  EXPECT_FALSE(MalEngine::Global().Run(bad, &ctx2).ok());
+}
+
+TEST(MalModulesTest, TileAggThroughInterpreter) {
+  array::ArrayDesc desc(
+      {array::DimDesc{"x", array::DimRange(0, 1, 4), false}},
+      {array::AttrDesc{"v", gdk::PhysType::kInt, ScalarValue::Int(0)}});
+  auto spec = array::TileSpec::FromRanges({{0, 2}});
+  ASSERT_TRUE(spec.ok());
+
+  MalProgram prog;
+  int vals = SeriesReg(&prog, 1, 1, 5);  // 1 2 3 4
+  int desc_reg = prog.Obj(std::make_shared<array::ArrayDesc>(desc),
+                          "arraydesc", "@a");
+  int spec_reg = prog.Obj(std::make_shared<array::TileSpec>(*spec),
+                          "tilespec", "a[x+0:x+2]");
+  int agg = prog.EmitR("array", "tileagg",
+                       {desc_reg, spec_reg,
+                        prog.Const(ScalarValue::Str("sum")), vals},
+                       "agg");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(agg).bat->lngs(), (std::vector<int64_t>{3, 5, 7, 4}));
+}
+
+TEST(MalModulesTest, CastOps) {
+  MalProgram prog;
+  int s = SeriesReg(&prog, 0, 1, 3);
+  int d = prog.EmitR("batcalc", "cast_dbl", {s}, "d");
+  int l = prog.EmitR("batcalc", "cast_lng", {s}, "l");
+  int sc = prog.EmitR("batcalc", "cast_int",
+                      {prog.Const(ScalarValue::Dbl(3.9))}, "sc");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(d).bat->type(), gdk::PhysType::kDbl);
+  EXPECT_EQ(ctx.Reg(l).bat->type(), gdk::PhysType::kLng);
+  EXPECT_EQ(ctx.Reg(sc).scalar.i, 3);
+}
+
+TEST(MalModulesTest, ObjRegistersSurviveOptimization) {
+  // Objects are opaque to the optimizer; the tileagg instruction keeps its
+  // descriptor even after CSE/DCE rounds.
+  array::ArrayDesc desc(
+      {array::DimDesc{"x", array::DimRange(0, 1, 2), false}},
+      {array::AttrDesc{"v", gdk::PhysType::kInt, ScalarValue::Int(0)}});
+  auto spec = array::TileSpec::FromRanges({{0, 1}});
+  ASSERT_TRUE(spec.ok());
+  MalProgram prog;
+  int vals = SeriesReg(&prog, 0, 1, 2);
+  int agg = prog.EmitR(
+      "array", "tileagg",
+      {prog.Obj(std::make_shared<array::ArrayDesc>(desc), "arraydesc", "@a"),
+       prog.Obj(std::make_shared<array::TileSpec>(*spec), "tilespec", "t"),
+       prog.Const(ScalarValue::Str("count")), vals},
+      "agg");
+  prog.AddResult("agg", agg, false);
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(agg).bat->lngs(), (std::vector<int64_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace mal
+}  // namespace sciql

@@ -1,0 +1,85 @@
+#include "src/sql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sql/parser.h"
+
+namespace sciql {
+namespace sql {
+namespace {
+
+TEST(AstTest, ExprBuildersAndToString) {
+  ExprPtr e = Expr::Bin(gdk::BinOp::kAdd, Expr::Col("t", "a"),
+                        Expr::Lit(gdk::ScalarValue::Int(1)));
+  EXPECT_EQ(e->ToString(), "(t.a + 1)");
+}
+
+TEST(AstTest, CloneIsDeep) {
+  auto st = ParseOne(
+      "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t WHERE b IN (1,2)");
+  ASSERT_TRUE(st.ok());
+  const Expr& original = *(*st)->select->items[0].expr;
+  ExprPtr copy = original.Clone();
+  EXPECT_EQ(copy->ToString(), original.ToString());
+  // Mutating the clone leaves the original untouched.
+  copy->children[0]->bin_op = gdk::BinOp::kLt;
+  EXPECT_NE(copy->ToString(), original.ToString());
+}
+
+TEST(AstTest, StatementToStringCoversAllKinds) {
+  const char* statements[] = {
+      "CREATE TABLE t (a INT, s VARCHAR)",
+      "CREATE ARRAY m (x INT DIMENSION[0:1:4], v DOUBLE DEFAULT 1.5)",
+      "CREATE ARRAY m2 AS SELECT [x], v FROM m",
+      "DROP ARRAY m",
+      "DROP TABLE t",
+      "ALTER ARRAY m ALTER DIMENSION x SET RANGE [-1:2:7]",
+      "INSERT INTO t (a) VALUES (1), (2)",
+      "INSERT INTO m SELECT [x], v FROM m",
+      "UPDATE t SET a = a + 1 WHERE a < 10",
+      "DELETE FROM t WHERE a IS NULL",
+      "EXPLAIN SELECT 1",
+      "SELECT DISTINCT a, COUNT(*) FROM t GROUP BY a "
+      "HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 5",
+  };
+  for (const char* text : statements) {
+    auto st = ParseOne(text);
+    ASSERT_TRUE(st.ok()) << text << " -> " << st.status().ToString();
+    std::string rendered = (*st)->ToString();
+    auto again = ParseOne(rendered);
+    EXPECT_TRUE(again.ok()) << rendered << " -> "
+                            << again.status().ToString();
+    // Rendering is a fixpoint after one round trip.
+    EXPECT_EQ((*again)->ToString(), rendered);
+  }
+}
+
+TEST(AstTest, CellRefRendering) {
+  auto st = ParseOne("SELECT img[x-1][y].v FROM img");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ((*st)->select->items[0].expr->ToString(), "img[(x - 1)][y].v");
+}
+
+TEST(AstTest, TilePatternRendering) {
+  auto st = ParseOne(
+      "SELECT [x], SUM(v) FROM g GROUP BY g[x:x+2][y], g[x-1][y-1]");
+  ASSERT_TRUE(st.ok());
+  std::string out = (*st)->ToString();
+  EXPECT_NE(out.find("g[x:(x + 2)][y]"), std::string::npos);
+  EXPECT_NE(out.find("g[(x - 1)][(y - 1)]"), std::string::npos);
+}
+
+TEST(AstTest, NotVariantsRender) {
+  auto st = ParseOne(
+      "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (3) "
+      "AND c IS NOT NULL");
+  ASSERT_TRUE(st.ok());
+  std::string out = (*st)->ToString();
+  EXPECT_NE(out.find("NOT BETWEEN"), std::string::npos);
+  EXPECT_NE(out.find("NOT IN"), std::string::npos);
+  EXPECT_NE(out.find("IS NOT NULL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sciql

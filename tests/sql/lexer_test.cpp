@@ -1,0 +1,88 @@
+#include "src/sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace sql {
+namespace {
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto r = Tokenize("select Select SELECT");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);  // 3 + EOF
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*r)[i].IsKeyword("SELECT"));
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto r = Tokenize("MyTable");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*r)[0].text, "MyTable");
+}
+
+TEST(LexerTest, Numbers) {
+  auto r = Tokenize("42 1.5 2e3 7.25e-1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*r)[0].int_val, 42);
+  EXPECT_EQ((*r)[1].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ((*r)[1].float_val, 1.5);
+  EXPECT_DOUBLE_EQ((*r)[2].float_val, 2000.0);
+  EXPECT_DOUBLE_EQ((*r)[3].float_val, 0.725);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto r = Tokenize("'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kStrLiteral);
+  EXPECT_EQ((*r)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsIncludingBrackets) {
+  auto r = Tokenize("[x:y] <= >= <> != =");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[0].IsOp("["));
+  EXPECT_TRUE((*r)[2].IsOp(":"));
+  EXPECT_TRUE((*r)[4].IsOp("]"));
+  EXPECT_TRUE((*r)[5].IsOp("<="));
+  EXPECT_TRUE((*r)[6].IsOp(">="));
+  EXPECT_TRUE((*r)[7].IsOp("!="));  // <> normalizes
+  EXPECT_TRUE((*r)[8].IsOp("!="));
+  EXPECT_TRUE((*r)[9].IsOp("="));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto r = Tokenize("1 -- comment\n2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].int_val, 1);
+  EXPECT_EQ((*r)[1].int_val, 2);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto r = Tokenize("a\n  b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].line, 1u);
+  EXPECT_EQ((*r)[1].line, 2u);
+  EXPECT_EQ((*r)[1].col, 3u);
+}
+
+TEST(LexerTest, StrayCharacterFails) {
+  EXPECT_FALSE(Tokenize("select @").ok());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto r = Tokenize("\"select\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*r)[0].text, "select");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sciql

@@ -1,0 +1,206 @@
+#include "src/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sciql {
+namespace sql {
+namespace {
+
+StatementPtr MustParse(const std::string& text) {
+  auto r = ParseOne(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r.value()) : nullptr;
+}
+
+TEST(ParserTest, PaperCreateArray) {
+  auto st = MustParse(
+      "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
+      "v INT DEFAULT 0)");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->kind, Statement::Kind::kCreateArray);
+  ASSERT_EQ(st->columns.size(), 3u);
+  EXPECT_TRUE(st->columns[0].is_dimension);
+  EXPECT_EQ(st->columns[0].range, array::DimRange(0, 1, 4));
+  EXPECT_FALSE(st->columns[2].is_dimension);
+  EXPECT_TRUE(st->columns[2].has_default);
+  EXPECT_EQ(st->columns[2].default_value.i, 0);
+}
+
+TEST(ParserTest, PaperGuardedUpdate) {
+  auto st = MustParse(
+      "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+      "WHEN x < y THEN x - y ELSE 0 END");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->kind, Statement::Kind::kUpdate);
+  ASSERT_EQ(st->set_clauses.size(), 1u);
+  EXPECT_EQ(st->set_clauses[0].second->kind, Expr::Kind::kCase);
+}
+
+TEST(ParserTest, PaperInsertSelectWithDimProjections) {
+  auto st = MustParse(
+      "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->kind, Statement::Kind::kInsert);
+  ASSERT_NE(st->select, nullptr);
+  EXPECT_TRUE(st->select->items[0].is_dim);
+  EXPECT_TRUE(st->select->items[1].is_dim);
+  EXPECT_FALSE(st->select->items[2].is_dim);
+}
+
+TEST(ParserTest, PaperDeleteAndAlter) {
+  auto del = MustParse("DELETE FROM matrix WHERE x > y");
+  ASSERT_NE(del, nullptr);
+  EXPECT_EQ(del->kind, Statement::Kind::kDelete);
+
+  auto alt =
+      MustParse("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]");
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->kind, Statement::Kind::kAlterArray);
+  EXPECT_EQ(alt->new_range, array::DimRange(-1, 1, 5));
+}
+
+TEST(ParserTest, PaperTilingQuery) {
+  auto st = MustParse(
+      "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2] "
+      "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+  ASSERT_NE(st, nullptr);
+  const SelectStmt& sel = *st->select;
+  ASSERT_TRUE(sel.group_by.has_value());
+  EXPECT_TRUE(sel.group_by->structural);
+  ASSERT_EQ(sel.group_by->patterns.size(), 1u);
+  const TilePattern& pat = sel.group_by->patterns[0];
+  EXPECT_EQ(pat.array, "matrix");
+  ASSERT_EQ(pat.dims.size(), 2u);
+  EXPECT_TRUE(pat.dims[0].is_range);
+  ASSERT_NE(sel.having, nullptr);
+}
+
+TEST(ParserTest, ExplicitCellListTile) {
+  auto st = MustParse(
+      "SELECT [x], [y], SUM(v) FROM img "
+      "GROUP BY img[x][y], img[x-1][y], img[x][y-1]");
+  ASSERT_NE(st, nullptr);
+  ASSERT_TRUE(st->select->group_by.has_value());
+  EXPECT_EQ(st->select->group_by->patterns.size(), 3u);
+  EXPECT_FALSE(st->select->group_by->patterns[0].dims[0].is_range);
+}
+
+TEST(ParserTest, CellReferenceExpression) {
+  auto st = MustParse(
+      "SELECT [x], [y], ABS(img[x][y] - img[x-1][y]) FROM img");
+  ASSERT_NE(st, nullptr);
+  const Expr& e = *st->select->items[2].expr;
+  EXPECT_EQ(e.kind, Expr::Kind::kUnary);
+  const Expr& sub = *e.children[0];
+  EXPECT_EQ(sub.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(sub.children[0]->kind, Expr::Kind::kCellRef);
+  EXPECT_EQ(sub.children[0]->array_name, "img");
+  EXPECT_EQ(sub.children[0]->children.size(), 2u);
+}
+
+TEST(ParserTest, ValueGroupByVsStructural) {
+  auto st = MustParse("SELECT v, COUNT(*) FROM img GROUP BY v");
+  ASSERT_NE(st, nullptr);
+  ASSERT_TRUE(st->select->group_by.has_value());
+  EXPECT_FALSE(st->select->group_by->structural);
+  ASSERT_EQ(st->select->group_by->keys.size(), 1u);
+}
+
+TEST(ParserTest, JoinsDesugarToWhere) {
+  auto st = MustParse(
+      "SELECT a.x FROM t a JOIN s b ON a.x = b.x WHERE a.y > 1");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->select->from.size(), 2u);
+  ASSERT_NE(st->select->where, nullptr);
+  // ON and WHERE combined with AND.
+  EXPECT_EQ(st->select->where->bin_op, gdk::BinOp::kAnd);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto st = MustParse("SELECT 1 + 2 * 3");
+  const Expr& e = *st->select->items[0].expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin_op, gdk::BinOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, gdk::BinOp::kMul);
+
+  auto cmp = MustParse("SELECT a + 1 > b AND c = 2 OR d < 3");
+  const Expr& o = *cmp->select->items[0].expr;
+  EXPECT_EQ(o.bin_op, gdk::BinOp::kOr);
+  EXPECT_EQ(o.children[0]->bin_op, gdk::BinOp::kAnd);
+}
+
+TEST(ParserTest, BetweenInIsNull) {
+  auto st = MustParse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) "
+      "AND c IS NOT NULL AND d NOT IN (4)");
+  ASSERT_NE(st, nullptr);
+}
+
+TEST(ParserTest, OrderLimitDistinctiveClauses) {
+  auto st = MustParse("SELECT x FROM t ORDER BY x DESC, y LIMIT 10");
+  EXPECT_EQ(st->select->order_by.size(), 2u);
+  EXPECT_TRUE(st->select->order_by[0].desc);
+  EXPECT_FALSE(st->select->order_by[1].desc);
+  EXPECT_EQ(st->select->limit, 10);
+}
+
+TEST(ParserTest, InsertValuesMultiRow) {
+  auto st = MustParse("INSERT INTO t (x, y) VALUES (1, 2), (3, 4)");
+  EXPECT_EQ(st->insert_columns.size(), 2u);
+  EXPECT_EQ(st->insert_values.size(), 2u);
+}
+
+TEST(ParserTest, CreateAsSelect) {
+  auto st = MustParse("CREATE ARRAY a2 AS SELECT [x], v FROM a1");
+  EXPECT_EQ(st->kind, Statement::Kind::kCreateArray);
+  ASSERT_NE(st->select, nullptr);
+}
+
+TEST(ParserTest, SubqueryInFromNeedsAlias) {
+  EXPECT_FALSE(ParseOne("SELECT x FROM (SELECT x FROM t)").ok());
+  EXPECT_TRUE(ParseOne("SELECT x FROM (SELECT x FROM t) AS s").ok());
+}
+
+TEST(ParserTest, MultipleStatements) {
+  auto r = Parse("SELECT 1; SELECT 2;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  auto r = ParseOne("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnTrailingGarbage) {
+  EXPECT_FALSE(ParseOne("SELECT 1 SELECT 2").ok());
+}
+
+TEST(ParserTest, NegativeLiteralsFoldInRangesAndDefaults) {
+  auto st = MustParse(
+      "CREATE ARRAY a (x INT DIMENSION[-3:2:3], v DOUBLE DEFAULT -1.5)");
+  EXPECT_EQ(st->columns[0].range, array::DimRange(-3, 2, 3));
+  EXPECT_DOUBLE_EQ(st->columns[1].default_value.d, -1.5);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const char* queries[] = {
+      "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2] "
+      "HAVING x MOD 2 = 1",
+      "SELECT x, y, v FROM mtable WHERE x = y ORDER BY x DESC LIMIT 3",
+      "UPDATE m SET v = 0 WHERE x > y",
+  };
+  for (const char* q : queries) {
+    auto st = MustParse(q);
+    ASSERT_NE(st, nullptr);
+    // The rendering must itself re-parse.
+    auto again = ParseOne(st->ToString());
+    EXPECT_TRUE(again.ok()) << st->ToString() << " -> "
+                            << again.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sciql
