@@ -5,8 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/engine/database.h"
+#include "src/gdk/kernels.h"
 
 using sciql::StrFormat;
 using sciql::engine::Database;
@@ -134,5 +139,120 @@ void BM_PointQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PointQuery)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Thread-count sweep over the morsel-parallel GDK kernels (the select/calc
+// hot paths behind the Figure 1 statements), at 4M rows. Run with
+// --benchmark_filter=Threads; the bench_parallel CMake target merges the
+// JSON reports into BENCH_parallel.json.
+// ---------------------------------------------------------------------------
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Arg(hw);
+}
+
+constexpr size_t kSweepRows = 4 * 1024 * 1024;
+
+sciql::gdk::BATPtr SweepIntColumn() {
+  sciql::Rng rng(42);
+  auto b = sciql::gdk::BAT::Make(sciql::gdk::PhysType::kInt);
+  b->ints().resize(kSweepRows);
+  for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(1000000));
+  return b;
+}
+
+sciql::gdk::BATPtr SweepDblColumn(uint64_t seed) {
+  sciql::Rng rng(seed);
+  auto b = sciql::gdk::BAT::Make(sciql::gdk::PhysType::kDbl);
+  b->dbls().resize(kSweepRows);
+  for (auto& v : b->dbls()) {
+    v = static_cast<double>(rng.Below(1000000)) / 997.0;
+  }
+  return b;
+}
+
+void BM_SelectSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepIntColumn();
+  for (auto _ : state) {
+    auto r = sciql::gdk::ThetaSelect(*b, nullptr, sciql::gdk::CmpOp::kLt,
+                                     sciql::gdk::ScalarValue::Int(250000));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_SelectSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CalcSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto l = SweepDblColumn(7);
+  auto r = SweepDblColumn(8);
+  for (auto _ : state) {
+    auto out = sciql::gdk::CalcBinary(sciql::gdk::BinOp::kMul, l.get(),
+                                      nullptr, r.get(), nullptr);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*out)->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_CalcSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JoinSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  sciql::Rng rng(9);
+  auto build = sciql::gdk::BAT::Make(sciql::gdk::PhysType::kInt);
+  build->ints().resize(kSweepRows / 8);
+  for (auto& v : build->ints()) v = static_cast<int32_t>(rng.Below(1u << 20));
+  auto probe = sciql::gdk::BAT::Make(sciql::gdk::PhysType::kInt);
+  probe->ints().resize(kSweepRows);
+  for (auto& v : probe->ints()) v = static_cast<int32_t>(rng.Below(1u << 20));
+  for (auto _ : state) {
+    auto r = sciql::gdk::HashJoin(*build, *probe);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->left->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_JoinSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupAggSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  sciql::Rng rng(10);
+  auto vals = SweepDblColumn(11);
+  auto groups = sciql::gdk::BAT::Make(sciql::gdk::PhysType::kOid);
+  groups->oids().resize(kSweepRows);
+  for (auto& g : groups->oids()) g = rng.Below(512);
+  for (auto _ : state) {
+    auto r = sciql::gdk::GroupedAggregate(sciql::gdk::AggOp::kSum, vals.get(),
+                                          *groups, 512);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_GroupAggSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/array/tiling.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 using sciql::array::ArrayDesc;
 using sciql::array::AttrDesc;
@@ -131,5 +134,55 @@ void BM_NonRectangularTile_Naive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_NonRectangularTile_Naive)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Thread-count sweep over the tiling engines on a 1024x1024 grid (1M+
+// cells). Run with --benchmark_filter=Threads; the bench_parallel CMake
+// target merges the JSON reports into BENCH_parallel.json.
+// ---------------------------------------------------------------------------
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Arg(hw);
+}
+
+void BM_TileSumNaiveSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  size_t n = 1024;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(3);
+  for (auto _ : state) {
+    auto r = NaiveTileAggregate(g.desc, *g.vals, spec, AggOp::kSum);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileSumNaiveSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TileSumSlidingSweep_Threads(benchmark::State& state) {
+  sciql::ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  size_t n = 1024;
+  Grid g = MakeGrid(n);
+  TileSpec spec = MakeTile(9);
+  for (auto _ : state) {
+    auto r = SlidingTileAggregate(g.desc, *g.vals, spec, AggOp::kSum);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  sciql::ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileSumSlidingSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Merge Google Benchmark JSON reports from the thread-count sweeps into a
+single BENCH_parallel.json with per-op speedups relative to 1 thread.
+
+Usage: merge_parallel_bench.py report1.json [report2.json ...] -o OUT.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("reports", nargs="+")
+    parser.add_argument("-o", "--output", required=True)
+    args = parser.parse_args()
+
+    results = []
+    context = {}
+    for path in args.reports:
+        with open(path) as f:
+            data = json.load(f)
+        context = data.get("context", context)
+        for b in data.get("benchmarks", []):
+            name = b.get("name", "")
+            if "Threads/" not in name or b.get("run_type") == "aggregate":
+                continue
+            op, _, threads = name.rpartition("/")
+            try:
+                threads = int(threads)
+            except ValueError:
+                continue
+            results.append({
+                "op": op,
+                "threads": threads,
+                "real_time_ns": b.get("real_time"),
+                "cpu_time_ns": b.get("cpu_time"),
+                "items_per_second": b.get("items_per_second"),
+            })
+
+    speedups = {}
+    by_op = {}
+    for r in results:
+        by_op.setdefault(r["op"], {})[r["threads"]] = r["real_time_ns"]
+    for op, times in sorted(by_op.items()):
+        base = times.get(1)
+        if not base:
+            continue
+        speedups[op] = {
+            str(t): round(base / times[t], 3)
+            for t in sorted(times)
+            if times[t]
+        }
+
+    out = {
+        "description": "Thread-count sweep over the morsel-parallel GDK "
+                       "kernels and tiling engines (1/2/4/N threads; "
+                       "speedup is real time at 1 thread divided by real "
+                       "time at N threads)",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "date": context.get("date"),
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}: {len(results)} sweep points, "
+          f"{len(speedups)} ops", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 // EXPLAIN <stmt> shows the optimized MAL program.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -16,7 +17,8 @@ int main() {
       "  CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
       "v INT DEFAULT 0);\n"
       "  SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2];\n"
-      "Ctrl-D to quit.\n");
+      ".threads N sets the kernel thread count (now %d). Ctrl-D to quit.\n",
+      sciql::engine::Database::ExecutionThreads());
 
   std::string buffer;
   std::string line;
@@ -24,6 +26,13 @@ int main() {
     std::printf(buffer.empty() ? "sciql> " : "  ...> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && line.rfind(".threads", 0) == 0) {
+      int n = std::atoi(line.c_str() + 8);
+      if (n > 0) sciql::engine::Database::SetExecutionThreads(n);
+      std::printf("threads: %d\n",
+                  sciql::engine::Database::ExecutionThreads());
+      continue;
+    }
     buffer += line;
     buffer += '\n';
     if (buffer.find(';') == std::string::npos) continue;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace sciql {
 namespace array {
@@ -121,31 +122,6 @@ struct Accum {
   bool any = false;
 };
 
-Status EmitAgg(AggOp op, const Accum& a, bool is_dbl, BAT* out) {
-  switch (op) {
-    case AggOp::kCount:
-    case AggOp::kCountStar:
-      return out->Append(ScalarValue::Lng(a.count));
-    case AggOp::kSum:
-      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
-      return out->Append(is_dbl ? ScalarValue::Dbl(a.dsum)
-                                : ScalarValue::Lng(a.isum));
-    case AggOp::kAvg:
-      if (!a.any) return out->Append(ScalarValue::Null(PhysType::kDbl));
-      return out->Append(
-          ScalarValue::Dbl(a.dsum / static_cast<double>(a.count)));
-    case AggOp::kMin:
-      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
-      return out->Append(is_dbl ? ScalarValue::Dbl(a.dmin)
-                                : ScalarValue::Lng(a.imin));
-    case AggOp::kMax:
-      if (!a.any) return out->Append(ScalarValue::Null(out->type()));
-      return out->Append(is_dbl ? ScalarValue::Dbl(a.dmax)
-                                : ScalarValue::Lng(a.imax));
-  }
-  return Status::Internal("unreachable agg emit");
-}
-
 PhysType AggOutputType(AggOp op, PhysType in, bool is_dbl) {
   switch (op) {
     case AggOp::kCount:
@@ -160,6 +136,51 @@ PhysType AggOutputType(AggOp op, PhysType in, bool is_dbl) {
       return in;  // value-based MIN/MAX also keep the input type
   }
   return in;
+}
+
+// Write one aggregate result into row `pos` of the pre-sized numeric output
+// (nil sentinel for NULL). Equivalent to appending the ScalarValue the
+// sequential engine produced, but writable from parallel morsels.
+void StoreNumeric(BAT* out, size_t pos, bool is_null, int64_t iv, double dv) {
+  switch (out->type()) {
+    case PhysType::kBit:
+      out->bits()[pos] = is_null ? gdk::kBitNil : static_cast<uint8_t>(iv);
+      break;
+    case PhysType::kInt:
+      out->ints()[pos] = is_null ? gdk::kIntNil : static_cast<int32_t>(iv);
+      break;
+    case PhysType::kLng:
+      out->lngs()[pos] = is_null ? gdk::kLngNil : iv;
+      break;
+    case PhysType::kDbl:
+      out->dbls()[pos] = is_null ? gdk::DblNil() : dv;
+      break;
+    default:
+      break;
+  }
+}
+
+void StoreAgg(AggOp op, const Accum& a, bool is_dbl, BAT* out, size_t pos) {
+  switch (op) {
+    case AggOp::kCount:
+    case AggOp::kCountStar:
+      StoreNumeric(out, pos, false, a.count, 0.0);
+      return;
+    case AggOp::kSum:
+      StoreNumeric(out, pos, !a.any, a.isum, a.dsum);
+      return;
+    case AggOp::kAvg:
+      StoreNumeric(out, pos, !a.any, 0,
+                   a.any ? a.dsum / static_cast<double>(a.count) : 0.0);
+      return;
+    case AggOp::kMin:
+      StoreNumeric(out, pos, !a.any, a.imin, a.dmin);
+      return;
+    case AggOp::kMax:
+      StoreNumeric(out, pos, !a.any, a.imax, a.dmax);
+      return;
+  }
+  (void)is_dbl;
 }
 
 // Reads cell r of `vals` as (double, int64, valid).
@@ -227,50 +248,74 @@ Result<BATPtr> NaiveTileAggregate(const ArrayDesc& desc, const BAT& vals,
   std::vector<size_t> strides = desc.Strides();
 
   auto out = BAT::Make(AggOutputType(op, vals.type(), is_dbl));
-  out->Reserve(ncells);
+  out->Resize(ncells);
 
-  // Odometer over anchor coordinates.
-  std::vector<int64_t> coord(nd, 0);
-  for (size_t pos = 0; pos < ncells; ++pos) {
-    Accum a;
-    for (const auto& off : spec.offsets) {
-      int64_t p = 0;
-      bool inside = true;
-      for (size_t d = 0; d < nd; ++d) {
-        int64_t c = coord[d] + off[d];
-        if (c < 0 || c >= static_cast<int64_t>(sizes[d])) {
-          inside = false;
-          break;
+  // Every anchor cell is independent: each morsel re-derives its starting
+  // odometer coordinates from the linear anchor index and walks forward.
+  // Scale the grain down with the tile area so morsels stay similar-cost.
+  size_t tile_cells = spec.offsets.size();
+  size_t grain = kMorselRows / std::max<size_t>(1, tile_cells);
+  if (grain < 256) grain = 256;
+  ThreadPool::Get().ParallelFor(
+      ncells, grain, [&](size_t, size_t begin, size_t end) {
+        std::vector<int64_t> coord(nd);
+        size_t rem = begin;
+        for (size_t d = 0; d < nd; ++d) {
+          coord[d] = static_cast<int64_t>(rem / strides[d]);
+          rem %= strides[d];
         }
-        p += c * static_cast<int64_t>(strides[d]);
-      }
-      if (!inside) continue;  // out-of-range cells are ignored
-      double dv;
-      int64_t iv;
-      if (!reader.Read(static_cast<size_t>(p), &dv, &iv)) continue;  // hole
-      a.count++;
-      a.isum += iv;
-      a.dsum += dv;
-      if (!a.any || dv < a.dmin) a.dmin = dv;
-      if (!a.any || dv > a.dmax) a.dmax = dv;
-      if (!a.any || iv < a.imin) a.imin = iv;
-      if (!a.any || iv > a.imax) a.imax = iv;
-      a.any = true;
-    }
-    SCIQL_RETURN_NOT_OK(EmitAgg(op, a, is_dbl, out.get()));
-    for (size_t d = nd; d-- > 0;) {
-      if (++coord[d] < static_cast<int64_t>(sizes[d])) break;
-      coord[d] = 0;
-    }
-  }
+        for (size_t pos = begin; pos < end; ++pos) {
+          Accum a;
+          for (const auto& off : spec.offsets) {
+            int64_t p = 0;
+            bool inside = true;
+            for (size_t d = 0; d < nd; ++d) {
+              int64_t c = coord[d] + off[d];
+              if (c < 0 || c >= static_cast<int64_t>(sizes[d])) {
+                inside = false;
+                break;
+              }
+              p += c * static_cast<int64_t>(strides[d]);
+            }
+            if (!inside) continue;  // out-of-range cells are ignored
+            double dv;
+            int64_t iv;
+            if (!reader.Read(static_cast<size_t>(p), &dv, &iv)) {
+              continue;  // hole
+            }
+            a.count++;
+            a.isum += iv;
+            a.dsum += dv;
+            if (!a.any || dv < a.dmin) a.dmin = dv;
+            if (!a.any || dv > a.dmax) a.dmax = dv;
+            if (!a.any || iv < a.imin) a.imin = iv;
+            if (!a.any || iv > a.imax) a.imax = iv;
+            a.any = true;
+          }
+          StoreAgg(op, a, is_dbl, out.get(), pos);
+          for (size_t d = nd; d-- > 0;) {
+            if (++coord[d] < static_cast<int64_t>(sizes[d])) break;
+            coord[d] = 0;
+          }
+        }
+      });
   return out;
 }
 
 namespace {
 
+// Base offset of line `j` along `axis`: lines are the sets of positions that
+// differ only in their axis coordinate; bases are all positions with axis
+// coordinate 0, in increasing address order.
+inline size_t LineBase(size_t j, size_t n, size_t stride) {
+  return (j / stride) * (stride * n) + (j % stride);
+}
+
 // One sliding pass along `axis`: out[i] = reduce of in[i+lo .. i+hi) clamped
 // to the axis extent. Operates in-place on the dense grid `g` (and, for
 // sum/count, nothing else is needed since box reductions are separable).
+// Lines are independent, so they are processed morsel-parallel; every line
+// touches only its own positions and uses morsel-local scratch.
 template <typename T>
 void AxisBoxSum(std::vector<T>* g, const std::vector<size_t>& sizes,
                 const std::vector<size_t>& strides, size_t axis, int64_t lo,
@@ -280,29 +325,30 @@ void AxisBoxSum(std::vector<T>* g, const std::vector<size_t>& sizes,
   size_t total = g->size();
   if (n == 0 || total == 0) return;
   size_t nlines = total / n;
-  std::vector<T> prefix(n + 1);
-  std::vector<T> line(n);
-  // Enumerate line base offsets: all positions with axis-coordinate 0.
-  // Walk all positions and process those whose axis index is 0.
-  for (size_t base = 0, seen = 0; seen < nlines; ++base) {
-    size_t axis_idx = (base / stride) % n;
-    if (axis_idx != 0) continue;
-    ++seen;
-    for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
-    prefix[0] = 0;
-    for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + line[i];
-    for (size_t i = 0; i < n; ++i) {
-      int64_t w_lo = std::max<int64_t>(0, static_cast<int64_t>(i) + lo);
-      int64_t w_hi =
-          std::min<int64_t>(static_cast<int64_t>(n), static_cast<int64_t>(i) + hi);
-      (*g)[base + i * stride] =
-          w_hi > w_lo ? prefix[w_hi] - prefix[w_lo] : T(0);
-    }
-  }
+  size_t grain = kMorselRows / std::max<size_t>(1, n);
+  if (grain < 16) grain = 16;
+  ThreadPool::Get().ParallelFor(
+      nlines, grain, [&](size_t, size_t jbegin, size_t jend) {
+        std::vector<T> prefix(n + 1);
+        std::vector<T> line(n);
+        for (size_t j = jbegin; j < jend; ++j) {
+          size_t base = LineBase(j, n, stride);
+          for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
+          prefix[0] = 0;
+          for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + line[i];
+          for (size_t i = 0; i < n; ++i) {
+            int64_t w_lo = std::max<int64_t>(0, static_cast<int64_t>(i) + lo);
+            int64_t w_hi = std::min<int64_t>(static_cast<int64_t>(n),
+                                             static_cast<int64_t>(i) + hi);
+            (*g)[base + i * stride] =
+                w_hi > w_lo ? prefix[w_hi] - prefix[w_lo] : T(0);
+          }
+        }
+      });
 }
 
-// Sliding min/max along one axis with a monotonic deque; `invalid` marks
-// cells that carry no value (treated as identity).
+// Sliding min/max along one axis with a monotonic deque; cells holding the
+// identity carry no value.
 void AxisBoxMinMax(std::vector<double>* g, const std::vector<size_t>& sizes,
                    const std::vector<size_t>& strides, size_t axis, int64_t lo,
                    int64_t hi, bool want_min) {
@@ -311,44 +357,50 @@ void AxisBoxMinMax(std::vector<double>* g, const std::vector<size_t>& sizes,
   size_t total = g->size();
   if (n == 0 || total == 0) return;
   size_t nlines = total / n;
-  std::vector<double> line(n);
-  std::vector<double> out_line(n);
   const double identity = want_min ? std::numeric_limits<double>::infinity()
                                    : -std::numeric_limits<double>::infinity();
-  for (size_t base = 0, seen = 0; seen < nlines; ++base) {
-    size_t axis_idx = (base / stride) % n;
-    if (axis_idx != 0) continue;
-    ++seen;
-    for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
-    // Monotonic deque of indices; windows [i+lo, i+hi) advance with i.
-    std::deque<size_t> dq;
-    int64_t next_enter = lo;  // first index not yet pushed for window of i=0
-    for (size_t i = 0; i < n; ++i) {
-      int64_t w_lo = static_cast<int64_t>(i) + lo;
-      int64_t w_hi = static_cast<int64_t>(i) + hi;  // exclusive
-      // Push entering elements.
-      for (int64_t j = std::max(next_enter, static_cast<int64_t>(0));
-           j < std::min(w_hi, static_cast<int64_t>(n)); ++j) {
-        double v = line[static_cast<size_t>(j)];
-        while (!dq.empty()) {
-          double b = line[dq.back()];
-          if (want_min ? b >= v : b <= v) {
-            dq.pop_back();
-          } else {
-            break;
+  size_t grain = kMorselRows / std::max<size_t>(1, n);
+  if (grain < 16) grain = 16;
+  ThreadPool::Get().ParallelFor(
+      nlines, grain, [&](size_t, size_t jbegin, size_t jend) {
+        std::vector<double> line(n);
+        std::vector<double> out_line(n);
+        for (size_t j = jbegin; j < jend; ++j) {
+          size_t base = LineBase(j, n, stride);
+          for (size_t i = 0; i < n; ++i) line[i] = (*g)[base + i * stride];
+          // Monotonic deque of indices; windows [i+lo, i+hi) advance with i.
+          std::deque<size_t> dq;
+          int64_t next_enter = lo;  // first index not yet pushed for i=0
+          for (size_t i = 0; i < n; ++i) {
+            int64_t w_lo = static_cast<int64_t>(i) + lo;
+            int64_t w_hi = static_cast<int64_t>(i) + hi;  // exclusive
+            // Push entering elements.
+            for (int64_t j2 = std::max(next_enter, static_cast<int64_t>(0));
+                 j2 < std::min(w_hi, static_cast<int64_t>(n)); ++j2) {
+              double v = line[static_cast<size_t>(j2)];
+              while (!dq.empty()) {
+                double b = line[dq.back()];
+                if (want_min ? b >= v : b <= v) {
+                  dq.pop_back();
+                } else {
+                  break;
+                }
+              }
+              dq.push_back(static_cast<size_t>(j2));
+            }
+            next_enter = std::max(next_enter,
+                                  std::min(w_hi, static_cast<int64_t>(n)));
+            // Pop leaving elements.
+            while (!dq.empty() && static_cast<int64_t>(dq.front()) < w_lo) {
+              dq.pop_front();
+            }
+            out_line[i] = dq.empty() ? identity : line[dq.front()];
+          }
+          for (size_t i = 0; i < n; ++i) {
+            (*g)[base + i * stride] = out_line[i];
           }
         }
-        dq.push_back(static_cast<size_t>(j));
-      }
-      next_enter = std::max(next_enter, std::min(w_hi, static_cast<int64_t>(n)));
-      // Pop leaving elements.
-      while (!dq.empty() && static_cast<int64_t>(dq.front()) < w_lo) {
-        dq.pop_front();
-      }
-      out_line[i] = dq.empty() ? identity : line[dq.front()];
-    }
-    for (size_t i = 0; i < n; ++i) (*g)[base + i * stride] = out_line[i];
-  }
+      });
 }
 
 }  // namespace
@@ -377,70 +429,87 @@ Result<BATPtr> SlidingTileAggregate(const ArrayDesc& desc, const BAT& vals,
   for (size_t d = 0; d < nd; ++d) sizes[d] = desc.dims()[d].range.Size();
   std::vector<size_t> strides = desc.Strides();
 
+  auto& pool = ThreadPool::Get();
+
   // Count of valid (non-hole) cells per window — needed by every aggregate.
   std::vector<int64_t> cnt(ncells);
-  for (size_t r = 0; r < ncells; ++r) {
-    double dv;
-    int64_t iv;
-    cnt[r] = reader.Read(r, &dv, &iv) ? 1 : 0;
-  }
+  pool.ParallelFor(ncells, kMorselRows, [&](size_t, size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      double dv;
+      int64_t iv;
+      cnt[r] = reader.Read(r, &dv, &iv) ? 1 : 0;
+    }
+  });
   for (size_t d = 0; d < nd; ++d) {
     AxisBoxSum(&cnt, sizes, strides, d, spec.box[d].first, spec.box[d].second);
   }
 
   auto out = BAT::Make(AggOutputType(op, vals.type(), is_dbl));
-  out->Reserve(ncells);
+  out->Resize(ncells);
 
   if (op == AggOp::kCount || op == AggOp::kCountStar) {
-    for (size_t r = 0; r < ncells; ++r) {
-      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Lng(cnt[r])));
-    }
+    auto& o = out->lngs();
+    pool.ParallelFor(ncells, kMorselRows,
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) o[r] = cnt[r];
+                     });
     return out;
   }
 
   if (op == AggOp::kSum || op == AggOp::kAvg) {
     if (is_dbl) {
       std::vector<double> sum(ncells);
-      for (size_t r = 0; r < ncells; ++r) {
-        double dv;
-        int64_t iv;
-        sum[r] = reader.Read(r, &dv, &iv) ? dv : 0.0;
-      }
+      pool.ParallelFor(ncells, kMorselRows,
+                       [&](size_t, size_t begin, size_t end) {
+                         for (size_t r = begin; r < end; ++r) {
+                           double dv;
+                           int64_t iv;
+                           sum[r] = reader.Read(r, &dv, &iv) ? dv : 0.0;
+                         }
+                       });
       for (size_t d = 0; d < nd; ++d) {
         AxisBoxSum(&sum, sizes, strides, d, spec.box[d].first,
                    spec.box[d].second);
       }
-      for (size_t r = 0; r < ncells; ++r) {
-        if (cnt[r] == 0) {
-          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
-        } else if (op == AggOp::kSum) {
-          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(sum[r])));
-        } else {
-          SCIQL_RETURN_NOT_OK(out->Append(
-              ScalarValue::Dbl(sum[r] / static_cast<double>(cnt[r]))));
-        }
-      }
+      pool.ParallelFor(
+          ncells, kMorselRows, [&](size_t, size_t begin, size_t end) {
+            for (size_t r = begin; r < end; ++r) {
+              bool null = cnt[r] == 0;
+              double v = op == AggOp::kSum
+                             ? sum[r]
+                             : (null ? 0.0
+                                     : sum[r] / static_cast<double>(cnt[r]));
+              StoreNumeric(out.get(), r, null, 0, v);
+            }
+          });
     } else {
       std::vector<int64_t> sum(ncells);
-      for (size_t r = 0; r < ncells; ++r) {
-        double dv;
-        int64_t iv;
-        sum[r] = reader.Read(r, &dv, &iv) ? iv : 0;
-      }
+      pool.ParallelFor(ncells, kMorselRows,
+                       [&](size_t, size_t begin, size_t end) {
+                         for (size_t r = begin; r < end; ++r) {
+                           double dv;
+                           int64_t iv;
+                           sum[r] = reader.Read(r, &dv, &iv) ? iv : 0;
+                         }
+                       });
       for (size_t d = 0; d < nd; ++d) {
         AxisBoxSum(&sum, sizes, strides, d, spec.box[d].first,
                    spec.box[d].second);
       }
-      for (size_t r = 0; r < ncells; ++r) {
-        if (cnt[r] == 0) {
-          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
-        } else if (op == AggOp::kSum) {
-          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Lng(sum[r])));
-        } else {
-          SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(
-              static_cast<double>(sum[r]) / static_cast<double>(cnt[r]))));
-        }
-      }
+      pool.ParallelFor(
+          ncells, kMorselRows, [&](size_t, size_t begin, size_t end) {
+            for (size_t r = begin; r < end; ++r) {
+              bool null = cnt[r] == 0;
+              if (op == AggOp::kSum) {
+                StoreNumeric(out.get(), r, null, sum[r], 0.0);
+              } else {
+                double v = null ? 0.0
+                                : static_cast<double>(sum[r]) /
+                                      static_cast<double>(cnt[r]);
+                StoreNumeric(out.get(), r, null, 0, v);
+              }
+            }
+          });
     }
     return out;
   }
@@ -451,25 +520,25 @@ Result<BATPtr> SlidingTileAggregate(const ArrayDesc& desc, const BAT& vals,
   std::vector<double> ext(ncells);
   const double identity = want_min ? std::numeric_limits<double>::infinity()
                                    : -std::numeric_limits<double>::infinity();
-  for (size_t r = 0; r < ncells; ++r) {
-    double dv;
-    int64_t iv;
-    ext[r] = reader.Read(r, &dv, &iv) ? dv : identity;
-  }
+  pool.ParallelFor(ncells, kMorselRows,
+                   [&](size_t, size_t begin, size_t end) {
+                     for (size_t r = begin; r < end; ++r) {
+                       double dv;
+                       int64_t iv;
+                       ext[r] = reader.Read(r, &dv, &iv) ? dv : identity;
+                     }
+                   });
   for (size_t d = 0; d < nd; ++d) {
     AxisBoxMinMax(&ext, sizes, strides, d, spec.box[d].first,
                   spec.box[d].second, want_min);
   }
-  for (size_t r = 0; r < ncells; ++r) {
-    if (cnt[r] == 0) {
-      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
-    } else if (is_dbl) {
-      SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Dbl(ext[r])));
-    } else {
-      SCIQL_RETURN_NOT_OK(
-          out->Append(ScalarValue::Lng(static_cast<int64_t>(ext[r]))));
-    }
-  }
+  pool.ParallelFor(ncells, kMorselRows,
+                   [&](size_t, size_t begin, size_t end) {
+                     for (size_t r = begin; r < end; ++r) {
+                       StoreNumeric(out.get(), r, cnt[r] == 0,
+                                    static_cast<int64_t>(ext[r]), ext[r]);
+                     }
+                   });
   return out;
 }
 

@@ -1,0 +1,160 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sciql {
+
+namespace {
+
+// True while the current thread is executing morsels of some job; nested
+// ParallelFor calls from kernel code then degrade to sequential inline
+// execution instead of deadlocking or oversubscribing.
+thread_local bool t_in_worker = false;
+
+int DefaultThreadCount() {
+  const char* env = std::getenv("SCIQL_THREADS");
+  long v = 0;
+  if (env != nullptr) v = std::strtol(env, nullptr, 10);
+  if (v <= 0) v = static_cast<long>(std::thread::hardware_concurrency());
+  if (v <= 0) v = 1;
+  if (v > 256) v = 256;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+struct ThreadPool::Job {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t nmorsels = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool& ThreadPool::Get() {
+  // Leaked singleton: workers may still be parked in WorkerLoop at process
+  // exit and must not race a destructor.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::ThreadPool() : thread_count_(DefaultThreadCount()) {}
+
+int ThreadPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_count_;
+}
+
+void ThreadPool::SetThreadCount(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_count_ = n < 1 ? 1 : (n > 256 ? 256 : n);
+}
+
+void ThreadPool::EnsureWorkers(int needed) {
+  // Caller holds mu_.
+  while (static_cast<int>(workers_.size()) < needed) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !jobs_.empty(); });
+      job = jobs_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->nmorsels) {
+        // Fully claimed; retire it and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    RunJob(*job);
+  }
+}
+
+void ThreadPool::RunJob(Job& job) {
+  size_t m;
+  while ((m = job.next.fetch_add(1, std::memory_order_relaxed)) <
+         job.nmorsels) {
+    size_t begin = m * job.grain;
+    size_t end = begin + job.grain;
+    if (end > job.n) end = job.n;
+    (*job.fn)(m, begin, end);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.nmorsels) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  size_t nmorsels = MorselCount(n, grain);
+
+  int threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads = thread_count_;
+  }
+  if (threads <= 1 || nmorsels <= 1 || t_in_worker) {
+    // Sequential fallback: identical morsel boundaries, same call pattern.
+    for (size_t m = 0; m < nmorsels; ++m) {
+      size_t begin = m * grain;
+      size_t end = begin + grain;
+      if (end > n) end = n;
+      fn(m, begin, end);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->grain = grain;
+  job->nmorsels = nmorsels;
+  job->fn = &fn;
+
+  size_t helpers = static_cast<size_t>(threads) - 1;
+  if (helpers > nmorsels - 1) helpers = nmorsels - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkers(static_cast<int>(helpers));
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller claims morsels too, then waits for stragglers.
+  bool was_in_worker = t_in_worker;
+  t_in_worker = true;
+  RunJob(*job);
+  t_in_worker = was_in_worker;
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) >= job->nmorsels;
+    });
+  }
+  {
+    // Retire the job so parked workers don't touch its (stack-held) fn.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sciql

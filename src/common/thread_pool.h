@@ -1,0 +1,104 @@
+// Shared morsel-driven thread pool for the GDK kernels.
+//
+// Kernels split their input rows into fixed-size morsels and hand each morsel
+// to ParallelFor. Morsel boundaries depend only on (n, grain) — never on the
+// thread count — so a kernel that accumulates per-morsel partial results and
+// merges them in morsel order computes bit-identical output at any thread
+// count (including floating-point aggregates, whose summation tree is fixed
+// by the morsel layout).
+//
+// The pool is created lazily on first use. Thread count comes from the
+// SCIQL_THREADS environment variable; unset or 0 means
+// std::thread::hardware_concurrency(). A count of 1 (or a single morsel)
+// runs the morsels inline on the caller with no synchronization at all, so
+// the sequential path pays nothing for the abstraction.
+
+#ifndef SCIQL_COMMON_THREAD_POOL_H_
+#define SCIQL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sciql {
+
+/// Default rows per morsel for row-partitioned kernels.
+inline constexpr size_t kMorselRows = 65536;
+
+/// \brief Number of morsels [0,n) splits into at the given grain.
+inline size_t MorselCount(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// \brief Lazily-initialized shared worker pool with a parallel-for
+/// primitive over fixed morsel boundaries.
+class ThreadPool {
+ public:
+  /// The process-wide pool (created on first call).
+  static ThreadPool& Get();
+
+  /// Current target thread count (>= 1).
+  int thread_count() const;
+
+  /// \brief Override the thread count (testing / benchmarking). Workers are
+  /// spawned lazily as needed; lowering the count simply stops handing work
+  /// to the extra workers.
+  void SetThreadCount(int n);
+
+  /// \brief Invoke `fn(morsel, begin, end)` for every morsel
+  /// [begin, end) = [m*grain, min(n, (m+1)*grain)) of [0, n).
+  ///
+  /// Morsels run concurrently in unspecified order; `fn` must only touch
+  /// morsel-local state or disjoint output ranges. Calls from inside a worker
+  /// (nested parallelism) run sequentially inline. `fn` must not throw.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  struct Job;
+
+  ThreadPool();
+  ~ThreadPool() = delete;  // the singleton leaks by design (see Get())
+
+  void EnsureWorkers(int needed);
+  void WorkerLoop();
+  static void RunJob(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  int thread_count_ = 1;
+};
+
+/// \brief Morsel-parallel loop for fallible row kernels: runs
+/// `body(begin, end) -> Status` over fixed morsels of [0, n) and returns the
+/// first failing morsel's Status (in morsel order). Because morsels
+/// partition the rows in order, the reported error is the same one a
+/// sequential row scan would hit first.
+template <typename Body>
+Status ParallelRows(size_t n, size_t grain, Body body) {
+  size_t nmorsels = MorselCount(n, grain);
+  if (nmorsels <= 1) return body(0, n);
+  std::vector<Status> errs(nmorsels);
+  ThreadPool::Get().ParallelFor(n, grain,
+                                [&](size_t m, size_t begin, size_t end) {
+                                  errs[m] = body(begin, end);
+                                });
+  for (Status& st : errs) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace sciql
+
+#endif  // SCIQL_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "src/engine/database.h"
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/engine/executor.h"
 #include "src/engine/mal_gen.h"
 #include "src/mal/optimizer.h"
@@ -28,6 +29,12 @@ Status Database::Run(const std::string& text) {
   SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(text));
   return Status::OK();
 }
+
+void Database::SetExecutionThreads(int n) {
+  ThreadPool::Get().SetThreadCount(n);
+}
+
+int Database::ExecutionThreads() { return ThreadPool::Get().thread_count(); }
 
 Result<ResultSet> Database::ExecuteStatement(const sql::Statement& stmt) {
   switch (stmt.kind) {

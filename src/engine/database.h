@@ -45,6 +45,13 @@ class Database {
   /// \brief The optimized MAL program for a statement, as text.
   Result<std::string> ExplainText(const std::string& sql);
 
+  /// \brief Set the kernel thread count shared by every Database in this
+  /// process (morsel-parallel GDK kernels; see docs/execution.md). The
+  /// default comes from SCIQL_THREADS or the hardware concurrency.
+  static void SetExecutionThreads(int n);
+  /// \brief The current kernel thread count.
+  static int ExecutionThreads();
+
   catalog::Catalog* catalog() { return &cat_; }
 
  private:

@@ -1,4 +1,5 @@
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -24,6 +25,25 @@ const char* AggOpName(AggOp op) {
 
 namespace {
 
+// Parallel grouped accumulation keeps one accumulator array per morsel;
+// above this group count the per-morsel arrays would dominate, so the kernel
+// falls back to one sequential pass. Both gates depend only on the data
+// shape (never the thread count), so results stay deterministic.
+constexpr size_t kMaxParallelGroups = 8192;
+
+// Cap on partial-accumulator arrays: the grain grows with n so that at most
+// this many per-morsel partials exist, bounding the extra memory and merge
+// work at O(kMaxAggPartials * ngroups) regardless of input size.
+constexpr size_t kMaxAggPartials = 64;
+
+size_t AggGrain(size_t n) {
+  size_t grain = kMorselRows;
+  if (n / grain >= kMaxAggPartials) {
+    grain = (n + kMaxAggPartials - 1) / kMaxAggPartials;
+  }
+  return grain;
+}
+
 // Accumulators per group: sums in double and int64 (exact for integers),
 // counts, and typed min/max tracked as ScalarValue-free primitives.
 struct Accum {
@@ -38,9 +58,10 @@ struct Accum {
 };
 
 template <typename T>
-void Accumulate(const std::vector<T>& vals, const std::vector<oid_t>& gids,
-                std::vector<Accum>* accs) {
-  for (size_t i = 0; i < vals.size(); ++i) {
+void AccumulateRange(const std::vector<T>& vals,
+                     const std::vector<oid_t>& gids, size_t begin, size_t end,
+                     std::vector<Accum>* accs) {
+  for (size_t i = begin; i < end; ++i) {
     const T& v = vals[i];
     if (TypeTraits<T>::IsNil(v)) continue;
     Accum& a = (*accs)[gids[i]];
@@ -60,6 +81,79 @@ void Accumulate(const std::vector<T>& vals, const std::vector<oid_t>& gids,
   }
 }
 
+void MergeAccum(Accum* into, const Accum& from) {
+  if (!from.any) return;
+  if (!into->any) {
+    *into = from;
+    return;
+  }
+  into->count += from.count;
+  into->isum += from.isum;
+  into->dsum += from.dsum;  // merge order is fixed (morsel order)
+  if (from.dmin < into->dmin) into->dmin = from.dmin;
+  if (from.dmax > into->dmax) into->dmax = from.dmax;
+  if (from.imin < into->imin) into->imin = from.imin;
+  if (from.imax > into->imax) into->imax = from.imax;
+}
+
+// Fill per-group accumulators, splitting the rows into morsels when the
+// group count is small enough for per-morsel accumulator arrays. Partials
+// are merged in morsel order, so floating-point sums are bit-identical at
+// any thread count.
+template <typename T>
+void Accumulate(const std::vector<T>& vals, const std::vector<oid_t>& gids,
+                std::vector<Accum>* accs) {
+  size_t n = vals.size();
+  size_t ngroups = accs->size();
+  size_t grain = AggGrain(n);
+  size_t nmorsels = MorselCount(n, grain);
+  if (nmorsels <= 1 || ngroups > kMaxParallelGroups) {
+    AccumulateRange(vals, gids, 0, n, accs);
+    return;
+  }
+  std::vector<std::vector<Accum>> parts(nmorsels);
+  ThreadPool::Get().ParallelFor(n, grain,
+                                [&](size_t m, size_t begin, size_t end) {
+                                  parts[m].resize(ngroups);
+                                  AccumulateRange(vals, gids, begin, end,
+                                                  &parts[m]);
+                                });
+  for (const auto& part : parts) {
+    for (size_t g = 0; g < ngroups; ++g) {
+      MergeAccum(&(*accs)[g], part[g]);
+    }
+  }
+}
+
+// Per-group row counts (optionally skipping NULL values), morsel-parallel.
+std::vector<int64_t> CountPerGroup(const std::vector<oid_t>& gids,
+                                   size_t ngroups, const BAT* vals) {
+  std::vector<int64_t> counts(ngroups, 0);
+  size_t n = gids.size();
+  size_t grain = AggGrain(n);
+  size_t nmorsels = MorselCount(n, grain);
+  auto count_range = [&](std::vector<int64_t>* c, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (vals != nullptr && vals->IsNullAt(i)) continue;
+      (*c)[gids[i]]++;
+    }
+  };
+  if (nmorsels <= 1 || ngroups > kMaxParallelGroups) {
+    count_range(&counts, 0, n);
+    return counts;
+  }
+  std::vector<std::vector<int64_t>> parts(nmorsels);
+  ThreadPool::Get().ParallelFor(n, grain,
+                                [&](size_t m, size_t begin, size_t end) {
+                                  parts[m].assign(ngroups, 0);
+                                  count_range(&parts[m], begin, end);
+                                });
+  for (const auto& part : parts) {
+    for (size_t g = 0; g < ngroups; ++g) counts[g] += part[g];
+  }
+  return counts;
+}
+
 }  // namespace
 
 Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
@@ -71,8 +165,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
 
   if (op == AggOp::kCountStar) {
     auto out = BAT::Make(PhysType::kLng);
-    out->lngs().assign(ngroups, 0);
-    for (oid_t g : gids) out->lngs()[g]++;
+    out->lngs() = CountPerGroup(gids, ngroups, nullptr);
     return out;
   }
 
@@ -85,10 +178,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
 
   if (op == AggOp::kCount) {
     auto out = BAT::Make(PhysType::kLng);
-    out->lngs().assign(ngroups, 0);
-    for (size_t i = 0; i < gids.size(); ++i) {
-      if (!vals->IsNullAt(i)) out->lngs()[gids[i]]++;
-    }
+    out->lngs() = CountPerGroup(gids, ngroups, vals);
     return out;
   }
 
@@ -96,6 +186,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
     if (op == AggOp::kMin || op == AggOp::kMax) {
       // String min/max: scan with lexicographic compare.
       auto out = vals->CloneStructure();
+      out->Reserve(ngroups);
       std::vector<int64_t> best(ngroups, -1);
       for (size_t i = 0; i < gids.size(); ++i) {
         if (vals->IsNullAt(i)) continue;
@@ -142,6 +233,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
     case AggOp::kSum: {
       // Integer sums widen to lng (MonetDB promotes on aggregation).
       auto out = BAT::Make(is_dbl ? PhysType::kDbl : PhysType::kLng);
+      out->Reserve(ngroups);
       for (const Accum& a : accs) {
         if (!a.any) {
           SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(out->type())));
@@ -155,6 +247,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
     }
     case AggOp::kAvg: {
       auto out = BAT::Make(PhysType::kDbl);
+      out->Reserve(ngroups);
       for (const Accum& a : accs) {
         if (!a.any) {
           SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(PhysType::kDbl)));
@@ -168,6 +261,7 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
     case AggOp::kMin:
     case AggOp::kMax: {
       auto out = vals->CloneStructure();
+      out->Reserve(ngroups);
       for (const Accum& a : accs) {
         if (!a.any) {
           SCIQL_RETURN_NOT_OK(out->Append(ScalarValue::Null(vals->type())));

@@ -2,6 +2,7 @@
 #include <cstring>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -60,47 +61,51 @@ Result<BATPtr> ArithLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
   auto out = BAT::Make(TypeTraits<T>::kType);
   auto& o = out->template Data<T>();
   o.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    T a = la[i];
-    T b = ra[i];
-    if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
-      o[i] = TypeTraits<T>::Nil();
-      continue;
+  Status st = ParallelRows(n, kMorselRows, [&](size_t begin, size_t end) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      T a = la[i];
+      T b = ra[i];
+      if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
+        o[i] = TypeTraits<T>::Nil();
+        continue;
+      }
+      switch (op) {
+        case BinOp::kAdd:
+          o[i] = a + b;
+          break;
+        case BinOp::kSub:
+          o[i] = a - b;
+          break;
+        case BinOp::kMul:
+          o[i] = a * b;
+          break;
+        case BinOp::kDiv:
+          if constexpr (std::is_same_v<T, double>) {
+            if (b == 0.0) return Status::ExecError("division by zero");
+            o[i] = a / b;
+          } else {
+            if (b == 0) return Status::ExecError("division by zero");
+            o[i] = static_cast<T>(a / b);
+          }
+          break;
+        case BinOp::kMod:
+          if constexpr (std::is_same_v<T, double>) {
+            if (b == 0.0) return Status::ExecError("modulo by zero");
+            o[i] = std::fmod(a, b);
+          } else {
+            if (b == 0) return Status::ExecError("modulo by zero");
+            // SQL MOD follows the sign of the divisor-free C semantics here;
+            // dimension arithmetic in SciQL only uses non-negative operands.
+            o[i] = static_cast<T>(a % b);
+          }
+          break;
+        default:
+          return Status::Internal("non-arithmetic op in ArithLoop");
+      }
     }
-    switch (op) {
-      case BinOp::kAdd:
-        o[i] = a + b;
-        break;
-      case BinOp::kSub:
-        o[i] = a - b;
-        break;
-      case BinOp::kMul:
-        o[i] = a * b;
-        break;
-      case BinOp::kDiv:
-        if constexpr (std::is_same_v<T, double>) {
-          if (b == 0.0) return Status::ExecError("division by zero");
-          o[i] = a / b;
-        } else {
-          if (b == 0) return Status::ExecError("division by zero");
-          o[i] = static_cast<T>(a / b);
-        }
-        break;
-      case BinOp::kMod:
-        if constexpr (std::is_same_v<T, double>) {
-          if (b == 0.0) return Status::ExecError("modulo by zero");
-          o[i] = std::fmod(a, b);
-        } else {
-          if (b == 0) return Status::ExecError("modulo by zero");
-          // SQL MOD follows the sign of the divisor-free C semantics here;
-          // dimension arithmetic in SciQL only uses non-negative operands.
-          o[i] = static_cast<T>(a % b);
-        }
-        break;
-      default:
-        return Status::Internal("non-arithmetic op in ArithLoop");
-    }
-  }
+    return Status::OK();
+  });
+  SCIQL_RETURN_NOT_OK(st);
   return out;
 }
 
@@ -109,25 +114,28 @@ BATPtr CmpLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
   auto out = BAT::Make(PhysType::kBit);
   auto& o = out->bits();
   o.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    T a = la[i];
-    T b = ra[i];
-    if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
-      o[i] = kBitNil;
-      continue;
-    }
-    bool r = false;
-    switch (op) {
-      case BinOp::kEq: r = a == b; break;
-      case BinOp::kNe: r = a != b; break;
-      case BinOp::kLt: r = a < b; break;
-      case BinOp::kLe: r = a <= b; break;
-      case BinOp::kGt: r = a > b; break;
-      case BinOp::kGe: r = a >= b; break;
-      default: break;
-    }
-    o[i] = r ? 1 : 0;
-  }
+  ThreadPool::Get().ParallelFor(
+      n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          T a = la[i];
+          T b = ra[i];
+          if (TypeTraits<T>::IsNil(a) || TypeTraits<T>::IsNil(b)) {
+            o[i] = kBitNil;
+            continue;
+          }
+          bool r = false;
+          switch (op) {
+            case BinOp::kEq: r = a == b; break;
+            case BinOp::kNe: r = a != b; break;
+            case BinOp::kLt: r = a < b; break;
+            case BinOp::kLe: r = a <= b; break;
+            case BinOp::kGt: r = a > b; break;
+            case BinOp::kGe: r = a >= b; break;
+            default: break;
+          }
+          o[i] = r ? 1 : 0;
+        }
+      });
   return out;
 }
 
@@ -136,27 +144,30 @@ BATPtr BoolLoop(BinOp op, size_t n, Acc<uint8_t> la, Acc<uint8_t> ra) {
   auto out = BAT::Make(PhysType::kBit);
   auto& o = out->bits();
   o.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    uint8_t a = la[i];
-    uint8_t b = ra[i];
-    if (op == BinOp::kAnd) {
-      if (a == 0 || b == 0) {
-        o[i] = 0;
-      } else if (a == kBitNil || b == kBitNil) {
-        o[i] = kBitNil;
-      } else {
-        o[i] = 1;
-      }
-    } else {  // kOr
-      if (a == 1 || b == 1) {
-        o[i] = 1;
-      } else if (a == kBitNil || b == kBitNil) {
-        o[i] = kBitNil;
-      } else {
-        o[i] = 0;
-      }
-    }
-  }
+  ThreadPool::Get().ParallelFor(
+      n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          uint8_t a = la[i];
+          uint8_t b = ra[i];
+          if (op == BinOp::kAnd) {
+            if (a == 0 || b == 0) {
+              o[i] = 0;
+            } else if (a == kBitNil || b == kBitNil) {
+              o[i] = kBitNil;
+            } else {
+              o[i] = 1;
+            }
+          } else {  // kOr
+            if (a == 1 || b == 1) {
+              o[i] = 1;
+            } else if (a == kBitNil || b == kBitNil) {
+              o[i] = kBitNil;
+            } else {
+              o[i] = 0;
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -177,25 +188,28 @@ BATPtr StrCmpLoop(BinOp op, size_t n, const StrAcc& la, const StrAcc& ra) {
   auto out = BAT::Make(PhysType::kBit);
   auto& o = out->bits();
   o.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    auto [a, an] = la.Get(i);
-    auto [b, bn] = ra.Get(i);
-    if (an || bn) {
-      o[i] = kBitNil;
-      continue;
-    }
-    bool r = false;
-    switch (op) {
-      case BinOp::kEq: r = a == b; break;
-      case BinOp::kNe: r = a != b; break;
-      case BinOp::kLt: r = a < b; break;
-      case BinOp::kLe: r = a <= b; break;
-      case BinOp::kGt: r = a > b; break;
-      case BinOp::kGe: r = a >= b; break;
-      default: break;
-    }
-    o[i] = r ? 1 : 0;
-  }
+  ThreadPool::Get().ParallelFor(
+      n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          auto [a, an] = la.Get(i);
+          auto [b, bn] = ra.Get(i);
+          if (an || bn) {
+            o[i] = kBitNil;
+            continue;
+          }
+          bool r = false;
+          switch (op) {
+            case BinOp::kEq: r = a == b; break;
+            case BinOp::kNe: r = a != b; break;
+            case BinOp::kLt: r = a < b; break;
+            case BinOp::kLe: r = a <= b; break;
+            case BinOp::kGt: r = a > b; break;
+            case BinOp::kGe: r = a >= b; break;
+            default: break;
+          }
+          o[i] = r ? 1 : 0;
+        }
+      });
   return out;
 }
 
@@ -214,6 +228,65 @@ Acc<T> MakeAcc(const BAT* b, const ScalarValue* s) {
   return a;
 }
 
+// Typed numeric cast src -> dst, replicating CastScalar semantics (including
+// its error messages) without the per-row ScalarValue round trip.
+template <typename From, typename To>
+Result<BATPtr> CastLoop(const BAT& b, PhysType to) {
+  const auto& src = b.template Data<From>();
+  size_t n = src.size();
+  auto out = BAT::Make(to);
+  auto& dst = out->template Data<To>();
+  dst.resize(n);
+  Status st = ParallelRows(n, kMorselRows, [&](size_t begin, size_t end) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      From v = src[i];
+      if (TypeTraits<From>::IsNil(v)) {
+        dst[i] = TypeTraits<To>::Nil();
+        continue;
+      }
+      if constexpr (std::is_same_v<To, uint8_t>) {
+        dst[i] = v != From(0) ? 1 : 0;
+      } else if constexpr (std::is_same_v<To, int32_t>) {
+        int64_t x = static_cast<int64_t>(v);
+        if (x < std::numeric_limits<int32_t>::min() ||
+            x > std::numeric_limits<int32_t>::max()) {
+          return Status::OutOfRange(StrFormat("value %lld overflows int",
+                                              static_cast<long long>(x)));
+        }
+        dst[i] = static_cast<int32_t>(x);
+      } else if constexpr (std::is_same_v<To, uint64_t>) {
+        if (v < From(0)) {
+          return Status::OutOfRange("negative value cannot be cast to oid");
+        }
+        dst[i] = static_cast<uint64_t>(v);
+      } else {
+        dst[i] = static_cast<To>(v);
+      }
+    }
+    return Status::OK();
+  });
+  SCIQL_RETURN_NOT_OK(st);
+  return out;
+}
+
+template <typename From>
+Result<BATPtr> CastFrom(const BAT& b, PhysType to) {
+  switch (to) {
+    case PhysType::kBit:
+      return CastLoop<From, uint8_t>(b, to);
+    case PhysType::kInt:
+      return CastLoop<From, int32_t>(b, to);
+    case PhysType::kLng:
+      return CastLoop<From, int64_t>(b, to);
+    case PhysType::kDbl:
+      return CastLoop<From, double>(b, to);
+    case PhysType::kOid:
+      return CastLoop<From, uint64_t>(b, to);
+    default:
+      return Status::Internal("unreachable cast target");
+  }
+}
+
 }  // namespace
 
 Result<BATPtr> CastBat(const BAT& b, PhysType to) {
@@ -223,6 +296,27 @@ Result<BATPtr> CastBat(const BAT& b, PhysType to) {
         StrFormat("cannot cast BAT of %s to %s", PhysTypeName(b.type()),
                   PhysTypeName(to)));
   }
+  // Typed fast paths mirroring CastScalar: numeric -> numeric, and
+  // int/lng -> oid.
+  if (IsNumeric(b.type()) &&
+      (IsNumeric(to) ||
+       (to == PhysType::kOid &&
+        (b.type() == PhysType::kInt || b.type() == PhysType::kLng)))) {
+    switch (b.type()) {
+      case PhysType::kBit:
+        return CastFrom<uint8_t>(b, to);
+      case PhysType::kInt:
+        return CastFrom<int32_t>(b, to);
+      case PhysType::kLng:
+        return CastFrom<int64_t>(b, to);
+      case PhysType::kDbl:
+        return CastFrom<double>(b, to);
+      default:
+        break;
+    }
+  }
+  // Cold path (oid/str sources): row-at-a-time through CastScalar, which
+  // produces the canonical type-mismatch errors.
   auto out = BAT::Make(to);
   out->Reserve(b.Count());
   for (size_t i = 0; i < b.Count(); ++i) {
@@ -339,8 +433,14 @@ Result<BATPtr> CalcUnary(UnOp op, const BAT& b) {
   switch (op) {
     case UnOp::kIsNull: {
       auto out = BAT::Make(PhysType::kBit);
-      out->bits().resize(n);
-      for (size_t i = 0; i < n; ++i) out->bits()[i] = b.IsNullAt(i) ? 1 : 0;
+      auto& o = out->bits();
+      o.resize(n);
+      ThreadPool::Get().ParallelFor(
+          n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              o[i] = b.IsNullAt(i) ? 1 : 0;
+            }
+          });
       return out;
     }
     case UnOp::kNot: {
@@ -348,11 +448,16 @@ Result<BATPtr> CalcUnary(UnOp op, const BAT& b) {
         return Status::TypeMismatch("NOT requires a boolean operand");
       }
       auto out = BAT::Make(PhysType::kBit);
-      out->bits().resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        uint8_t v = b.bits()[i];
-        out->bits()[i] = v == kBitNil ? kBitNil : static_cast<uint8_t>(v == 0);
-      }
+      auto& o = out->bits();
+      const auto& v = b.bits();
+      o.resize(n);
+      ThreadPool::Get().ParallelFor(
+          n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              o[i] = v[i] == kBitNil ? kBitNil
+                                     : static_cast<uint8_t>(v[i] == 0);
+            }
+          });
       return out;
     }
     case UnOp::kNeg:
@@ -373,15 +478,18 @@ Result<BATPtr> CalcUnary(UnOp op, const BAT& b) {
         auto& o = out->template Data<T>();
         const auto& v = src->template Data<T>();
         o.resize(n);
-        for (size_t i = 0; i < n; ++i) {
-          if (TypeTraits<T>::IsNil(v[i])) {
-            o[i] = TypeTraits<T>::Nil();
-          } else if (op == UnOp::kNeg) {
-            o[i] = static_cast<T>(-v[i]);
-          } else {
-            o[i] = v[i] < 0 ? static_cast<T>(-v[i]) : v[i];
-          }
-        }
+        ThreadPool::Get().ParallelFor(
+            n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) {
+                if (TypeTraits<T>::IsNil(v[i])) {
+                  o[i] = TypeTraits<T>::Nil();
+                } else if (op == UnOp::kNeg) {
+                  o[i] = static_cast<T>(-v[i]);
+                } else {
+                  o[i] = v[i] < 0 ? static_cast<T>(-v[i]) : v[i];
+                }
+              }
+            });
         return out;
       };
       switch (ot) {
@@ -461,9 +569,12 @@ Result<BATPtr> IfThenElse(const BAT& cond, const BAT* tb, const ScalarValue* ts,
       Acc<T> ta = MakeAcc<T>(tb, ts);
       Acc<T> ea = MakeAcc<T>(eb, es);
       const auto& c = cond.bits();
-      for (size_t i = 0; i < n; ++i) {
-        o[i] = c[i] == 1 ? ta[i] : ea[i];  // nil condition selects ELSE
-      }
+      ThreadPool::Get().ParallelFor(
+          n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              o[i] = c[i] == 1 ? ta[i] : ea[i];  // nil condition selects ELSE
+            }
+          });
       return out;
     };
     switch (ot) {

@@ -1,7 +1,5 @@
-#include <cstring>
-#include <unordered_map>
-
 #include "src/common/string_util.h"
+#include "src/gdk/hash.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -9,27 +7,12 @@ namespace gdk {
 
 namespace {
 
-struct PairHash {
-  size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
-    uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
-    h ^= p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return static_cast<size_t>(h);
-  }
-};
-
 // Canonical key bits per row: NULLs share one fixed pattern so that SQL
 // GROUP BY places all NULLs in a single group.
 template <typename T>
 uint64_t RowKey(const std::vector<T>& v, size_t i) {
   if (TypeTraits<T>::IsNil(v[i])) return 0xF1F1F1F1F1F1F1F1ULL;
-  if constexpr (std::is_same_v<T, double>) {
-    double d = v[i] == 0.0 ? 0.0 : v[i];
-    uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    return bits;
-  } else {
-    return static_cast<uint64_t>(v[i]);
-  }
+  return KeyBits(v[i]);
 }
 
 }  // namespace
@@ -39,15 +22,14 @@ Result<GroupResult> Group(const BAT& b, const BAT* prev, size_t prev_ngroups) {
   if (prev != nullptr && prev->Count() != n) {
     return Status::Internal("Group: refinement grouping misaligned");
   }
+  (void)prev_ngroups;
 
   GroupResult res;
   res.groups = BAT::Make(PhysType::kOid);
   res.extents = BAT::Make(PhysType::kOid);
   auto& gids = res.groups->oids();
   gids.resize(n);
-
-  std::unordered_map<std::pair<uint64_t, uint64_t>, oid_t, PairHash> seen;
-  seen.reserve(n / 4 + 16);
+  res.extents->Reserve(n / 4 + 16);
 
   auto keyer = [&](size_t i) -> uint64_t {
     switch (b.type()) {
@@ -67,18 +49,30 @@ Result<GroupResult> Group(const BAT& b, const BAT* prev, size_t prev_ngroups) {
     return 0;
   };
 
+  // Open-addressing first-encounter table: entries are group ids chained
+  // through the shared bucket+next arrays; each group remembers its
+  // (previous-group, key-bits) pair for the equality re-check.
+  OidHashTable table(n);
+  std::vector<oid_t> grp_prev;
+  std::vector<uint64_t> grp_key;
+  grp_prev.reserve(n / 4 + 16);
+  grp_key.reserve(n / 4 + 16);
+
   for (size_t i = 0; i < n; ++i) {
-    uint64_t prev_gid = prev == nullptr ? 0 : prev->oids()[i];
-    auto key = std::make_pair(prev_gid, keyer(i));
-    auto it = seen.find(key);
-    if (it == seen.end()) {
-      oid_t gid = res.ngroups++;
-      seen.emplace(key, gid);
+    oid_t prev_gid = prev == nullptr ? 0 : prev->oids()[i];
+    uint64_t kb = keyer(i);
+    uint64_t h = Fingerprint64(HashCombine(Fingerprint64(prev_gid), kb));
+    oid_t gid = table.FindFirst(h, [&](oid_t g) {
+      return grp_prev[g] == prev_gid && grp_key[g] == kb;
+    });
+    if (gid == kOidNil) {
+      gid = static_cast<oid_t>(res.ngroups++);
+      grp_prev.push_back(prev_gid);
+      grp_key.push_back(kb);
+      table.Insert(h, gid);
       res.extents->oids().push_back(static_cast<oid_t>(i));
-      gids[i] = gid;
-    } else {
-      gids[i] = it->second;
     }
+    gids[i] = gid;
   }
   return res;
 }

@@ -1,0 +1,119 @@
+// Shared hashing utilities and the open-addressing hash table used by the
+// join and grouping kernels.
+//
+// Mirrors MonetDB's GDK hash layout: a power-of-two bucket array of chain
+// heads plus a per-row `next` link array. Collision chains thread through the
+// link array, so the whole table is two flat allocations with no per-node
+// heap traffic (unlike std::unordered_multimap, which the seed used).
+
+#ifndef SCIQL_GDK_HASH_H_
+#define SCIQL_GDK_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "src/gdk/types.h"
+
+namespace sciql {
+namespace gdk {
+
+/// \brief Canonical 64-bit key for a value of any physical type. Normalizes
+/// -0.0 to 0.0 so the key matches operator== for doubles. NULLs must be
+/// filtered by the caller.
+template <typename T>
+inline uint64_t KeyBits(const T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    double d = v == 0.0 ? 0.0 : v;
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  } else {
+    return static_cast<uint64_t>(v);
+  }
+}
+
+/// \brief 64-bit finalizing mixer (splitmix64); turns canonical key bits into
+/// a well-distributed hash so power-of-two bucket masking is safe even for
+/// dense integer keys.
+inline uint64_t Fingerprint64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// \brief Content hash of a string (FNV-1a folded through the mixer).
+inline uint64_t Fingerprint64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return Fingerprint64(h);
+}
+
+/// \brief Order-dependent combiner for multi-key row hashes.
+inline uint64_t HashCombine(uint64_t h, uint64_t bits) {
+  return h ^ (bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// \brief Open-addressing bucket + next-chain multimap from 64-bit hashes to
+/// oids. The caller verifies real key equality on each candidate (the table
+/// only stores chain structure, not keys).
+class OidHashTable {
+ public:
+  /// \brief Table sized for up to `n` entries (bucket count is the next
+  /// power of two >= n, at least 8).
+  explicit OidHashTable(size_t n) {
+    size_t nbuckets = 8;
+    while (nbuckets < n) nbuckets <<= 1;
+    mask_ = nbuckets - 1;
+    buckets_.assign(nbuckets, kOidNil);
+    next_.assign(n, kOidNil);
+  }
+
+  /// \brief Push entry `i` (must be < n) onto the front of its chain.
+  ///
+  /// Chains are LIFO: inserting build rows in *descending* oid order makes
+  /// every chain traverse in ascending oid order, which is the match order
+  /// the join kernels guarantee per probe row.
+  void Insert(uint64_t hash, oid_t i) {
+    oid_t& head = buckets_[hash & mask_];
+    next_[i] = head;
+    head = i;
+  }
+
+  /// \brief Invoke `f(oid)` for every candidate in the chain of `hash`.
+  /// Candidates are hash-bucket collisions; `f` must re-check equality.
+  template <typename F>
+  void ForEachCandidate(uint64_t hash, F&& f) const {
+    for (oid_t i = buckets_[hash & mask_]; i != kOidNil; i = next_[i]) {
+      f(i);
+    }
+  }
+
+  /// \brief First chain entry for which `pred(oid)` is true, or kOidNil.
+  template <typename Pred>
+  oid_t FindFirst(uint64_t hash, Pred&& pred) const {
+    for (oid_t i = buckets_[hash & mask_]; i != kOidNil; i = next_[i]) {
+      if (pred(i)) return i;
+    }
+    return kOidNil;
+  }
+
+ private:
+  uint64_t mask_ = 0;
+  std::vector<oid_t> buckets_;  // chain heads per bucket, kOidNil = empty
+  std::vector<oid_t> next_;     // per-entry chain link, kOidNil = end
+};
+
+}  // namespace gdk
+}  // namespace sciql
+
+#endif  // SCIQL_GDK_HASH_H_

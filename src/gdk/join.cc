@@ -1,7 +1,8 @@
-#include <cstring>
-#include <unordered_map>
+#include <algorithm>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
+#include "src/gdk/hash.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -9,20 +10,60 @@ namespace gdk {
 
 namespace {
 
-// Canonical 64-bit key for hashing a value of any physical type. NULLs are
-// filtered by callers before keying.
-template <typename T>
-uint64_t KeyBits(const T& v) {
-  if constexpr (std::is_same_v<T, double>) {
-    // Normalize -0.0 == 0.0 so hash matches operator==.
-    double d = v == 0.0 ? 0.0 : v;
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    std::memcpy(&bits, &d, sizeof(bits));
-    return bits;
-  } else {
-    return static_cast<uint64_t>(v);
+// Per-probe-morsel match lists; `b` holds build-side oids, `p` probe-side
+// oids. Morsels are concatenated in order, so the final result is sorted by
+// probe row with matches per probe row in ascending build-oid order —
+// independent of the thread count.
+struct MatchPart {
+  std::vector<oid_t> b;
+  std::vector<oid_t> p;
+};
+
+JoinResult AssemblePairs(const std::vector<MatchPart>& parts,
+                         bool build_left) {
+  size_t total = 0;
+  for (const auto& part : parts) total += part.b.size();
+  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+  out.left->Reserve(total);
+  out.right->Reserve(total);
+  auto& lo = out.left->oids();
+  auto& ro = out.right->oids();
+  for (const auto& part : parts) {
+    const auto& l = build_left ? part.b : part.p;
+    const auto& r = build_left ? part.p : part.b;
+    lo.insert(lo.end(), l.begin(), l.end());
+    ro.insert(ro.end(), r.begin(), r.end());
   }
+  return out;
+}
+
+// Probe driver shared by the join kernels: probe_row(i, bvec, pvec) appends
+// the build/probe oids matching probe row i. Multi-threaded pools partition
+// the probe rows into morsels and concatenate per-morsel matches in morsel
+// order; single-threaded pools emit straight into the output (same pairs,
+// no intermediate copies).
+template <typename ProbeFn>
+JoinResult ProbeJoin(size_t np, size_t est_matches, bool build_left,
+                     ProbeFn probe_row) {
+  size_t nmorsels = MorselCount(np, kMorselRows);
+  if (nmorsels <= 1 || ThreadPool::Get().thread_count() <= 1) {
+    JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
+    out.left->Reserve(est_matches);
+    out.right->Reserve(est_matches);
+    auto* b = build_left ? &out.left->oids() : &out.right->oids();
+    auto* p = build_left ? &out.right->oids() : &out.left->oids();
+    for (size_t i = 0; i < np; ++i) probe_row(i, b, p);
+    return out;
+  }
+  std::vector<MatchPart> parts(nmorsels);
+  ThreadPool::Get().ParallelFor(
+      np, kMorselRows, [&](size_t m, size_t begin, size_t end) {
+        MatchPart& part = parts[m];
+        for (size_t i = begin; i < end; ++i) {
+          probe_row(i, &part.b, &part.p);
+        }
+      });
+  return AssemblePairs(parts, build_left);
 }
 
 template <typename T>
@@ -33,53 +74,58 @@ Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   const bool build_left = lv.size() <= rv.size();
   const auto& build = build_left ? lv : rv;
   const auto& probe = build_left ? rv : lv;
+  size_t nb = build.size();
+  size_t np = probe.size();
 
-  std::unordered_multimap<uint64_t, oid_t> table;
-  table.reserve(build.size());
-  for (size_t i = 0; i < build.size(); ++i) {
+  OidHashTable table(nb);
+  // Descending insertion makes every chain traverse in ascending build oid.
+  for (size_t i = nb; i-- > 0;) {
     if (TypeTraits<T>::IsNil(build[i])) continue;
-    table.emplace(KeyBits(build[i]), static_cast<oid_t>(i));
+    table.Insert(Fingerprint64(KeyBits(build[i])), static_cast<oid_t>(i));
   }
 
-  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
-  auto& lo = out.left->oids();
-  auto& ro = out.right->oids();
-  for (size_t i = 0; i < probe.size(); ++i) {
-    if (TypeTraits<T>::IsNil(probe[i])) continue;
-    auto [lo_it, hi_it] = table.equal_range(KeyBits(probe[i]));
-    for (auto it = lo_it; it != hi_it; ++it) {
-      // Hash collision guard: re-check actual equality.
-      if (build[it->second] != probe[i]) continue;
-      if (build_left) {
-        lo.push_back(it->second);
-        ro.push_back(static_cast<oid_t>(i));
-      } else {
-        lo.push_back(static_cast<oid_t>(i));
-        ro.push_back(it->second);
-      }
-    }
-  }
-  return out;
+  return ProbeJoin(
+      np, nb, build_left,
+      [&](size_t i, std::vector<oid_t>* bvec, std::vector<oid_t>* pvec) {
+        if (TypeTraits<T>::IsNil(probe[i])) return;
+        uint64_t h = Fingerprint64(KeyBits(probe[i]));
+        table.ForEachCandidate(h, [&](oid_t bi) {
+          // Hash collision guard: re-check actual equality.
+          if (build[bi] != probe[i]) return;
+          bvec->push_back(bi);
+          pvec->push_back(static_cast<oid_t>(i));
+        });
+      });
 }
 
 Result<JoinResult> HashJoinStr(const BAT& l, const BAT& r) {
   // Strings hash by content; offsets are only comparable within one heap.
-  std::unordered_multimap<std::string_view, oid_t> table;
-  table.reserve(l.Count());
-  for (size_t i = 0; i < l.Count(); ++i) {
+  size_t nb = l.Count();
+  size_t np = r.Count();
+  const bool same_heap = l.heap() == r.heap();
+
+  OidHashTable table(nb);
+  for (size_t i = nb; i-- > 0;) {
     if (l.IsNullAt(i)) continue;
-    table.emplace(l.GetStr(i), static_cast<oid_t>(i));
+    table.Insert(Fingerprint64(l.GetStr(i)), static_cast<oid_t>(i));
   }
-  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
-  for (size_t i = 0; i < r.Count(); ++i) {
-    if (r.IsNullAt(i)) continue;
-    auto [lo_it, hi_it] = table.equal_range(r.GetStr(i));
-    for (auto it = lo_it; it != hi_it; ++it) {
-      out.left->oids().push_back(it->second);
-      out.right->oids().push_back(static_cast<oid_t>(i));
-    }
-  }
-  return out;
+
+  return ProbeJoin(
+      np, std::min(nb, np), /*build_left=*/true,
+      [&](size_t i, std::vector<oid_t>* bvec, std::vector<oid_t>* pvec) {
+        if (r.IsNullAt(i)) return;
+        std::string_view s = r.GetStr(i);
+        uint64_t h = Fingerprint64(s);
+        table.ForEachCandidate(h, [&](oid_t bi) {
+          // Within one deduplicated heap, offset equality is string
+          // equality; across heaps compare content.
+          bool eq =
+              same_heap ? l.oids()[bi] == r.oids()[i] : l.GetStr(bi) == s;
+          if (!eq) return;
+          bvec->push_back(bi);
+          pvec->push_back(static_cast<oid_t>(i));
+        });
+      });
 }
 
 }  // namespace
@@ -118,9 +164,9 @@ namespace {
 
 // Canonical per-row key bits for multi-key hashing; NULL rows are marked
 // unjoinable by the caller.
-Result<uint64_t> RowKeyBits(const BAT& b, size_t i, bool* is_null) {
+uint64_t RowKeyBits(const BAT& b, size_t i, bool* is_null) {
   *is_null = b.IsNullAt(i);
-  if (*is_null) return uint64_t{0};
+  if (*is_null) return 0;
   switch (b.type()) {
     case PhysType::kBit:
       return static_cast<uint64_t>(b.bits()[i]);
@@ -132,17 +178,28 @@ Result<uint64_t> RowKeyBits(const BAT& b, size_t i, bool* is_null) {
       return KeyBits(b.dbls()[i]);
     case PhysType::kOid:
       return b.oids()[i];
-    case PhysType::kStr: {
-      std::string_view s = b.GetStr(i);
-      uint64_t h = 1469598103934665603ULL;
-      for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-      }
-      return h;
-    }
+    case PhysType::kStr:
+      return Fingerprint64(b.GetStr(i));
   }
-  return Status::Internal("unreachable key type");
+  return 0;
+}
+
+// Combined row hash over all key columns; NULL in any column makes the row
+// unjoinable.
+uint64_t HashRow(const std::vector<const BAT*>& keys, size_t i,
+                 bool* is_null) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const BAT* b : keys) {
+    bool null_part = false;
+    uint64_t bits = RowKeyBits(*b, i, &null_part);
+    if (null_part) {
+      *is_null = true;
+      return 0;
+    }
+    h = HashCombine(h, bits);
+  }
+  *is_null = false;
+  return Fingerprint64(h);
 }
 
 bool RowsEqual(const std::vector<const BAT*>& lkeys, size_t li,
@@ -204,58 +261,34 @@ Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
     }
   }
 
-  auto hash_row = [](const std::vector<const BAT*>& keys, size_t i,
-                     bool* is_null) -> Result<uint64_t> {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const BAT* b : keys) {
-      bool null_part = false;
-      SCIQL_ASSIGN_OR_RETURN(uint64_t bits, RowKeyBits(*b, i, &null_part));
-      if (null_part) {
-        *is_null = true;
-        return uint64_t{0};
-      }
-      h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    *is_null = false;
-    return h;
-  };
-
   const bool build_left = nl <= nr;
   const auto& build = build_left ? lk : rk;
   const auto& probe = build_left ? rk : lk;
   size_t nb = build_left ? nl : nr;
   size_t np = build_left ? nr : nl;
 
-  std::unordered_multimap<uint64_t, oid_t> table;
-  table.reserve(nb);
-  for (size_t i = 0; i < nb; ++i) {
+  OidHashTable table(nb);
+  for (size_t i = nb; i-- > 0;) {
     bool is_null = false;
-    SCIQL_ASSIGN_OR_RETURN(uint64_t h, hash_row(build, i, &is_null));
+    uint64_t h = HashRow(build, i, &is_null);
     if (is_null) continue;
-    table.emplace(h, static_cast<oid_t>(i));
+    table.Insert(h, static_cast<oid_t>(i));
   }
 
-  JoinResult out{BAT::Make(PhysType::kOid), BAT::Make(PhysType::kOid)};
-  for (size_t i = 0; i < np; ++i) {
-    bool is_null = false;
-    SCIQL_ASSIGN_OR_RETURN(uint64_t h, hash_row(probe, i, &is_null));
-    if (is_null) continue;
-    auto [lo_it, hi_it] = table.equal_range(h);
-    for (auto it = lo_it; it != hi_it; ++it) {
-      size_t bi = it->second;
-      bool eq = build_left ? RowsEqual(lk, bi, rk, i)
-                           : RowsEqual(lk, i, rk, bi);
-      if (!eq) continue;
-      if (build_left) {
-        out.left->oids().push_back(bi);
-        out.right->oids().push_back(static_cast<oid_t>(i));
-      } else {
-        out.left->oids().push_back(static_cast<oid_t>(i));
-        out.right->oids().push_back(bi);
-      }
-    }
-  }
-  return out;
+  return ProbeJoin(
+      np, std::min(nb, np), build_left,
+      [&](size_t i, std::vector<oid_t>* bvec, std::vector<oid_t>* pvec) {
+        bool is_null = false;
+        uint64_t h = HashRow(probe, i, &is_null);
+        if (is_null) return;
+        table.ForEachCandidate(h, [&](oid_t bi) {
+          bool eq = build_left ? RowsEqual(lk, bi, rk, i)
+                               : RowsEqual(lk, i, rk, bi);
+          if (!eq) return;
+          bvec->push_back(bi);
+          pvec->push_back(static_cast<oid_t>(i));
+        });
+      });
 }
 
 JoinResult CrossJoin(size_t nl, size_t nr) {

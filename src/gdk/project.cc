@@ -1,4 +1,5 @@
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -13,23 +14,26 @@ Result<BATPtr> Project(const BAT& b, const BAT& positions) {
   size_t n = pos.size();
   size_t limit = b.Count();
 
+  // Morsel-parallel gather into disjoint ranges of the pre-sized output.
   auto gather = [&](auto& dst, const auto& src) -> Status {
     using T = std::decay_t<decltype(dst[0])>;
     dst.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      oid_t p = pos[i];
-      if (p == kOidNil) {
-        dst[i] = TypeTraits<T>::Nil();
-        continue;
+    return ParallelRows(n, kMorselRows, [&](size_t begin, size_t end) -> Status {
+      for (size_t i = begin; i < end; ++i) {
+        oid_t p = pos[i];
+        if (p == kOidNil) {
+          dst[i] = TypeTraits<T>::Nil();
+          continue;
+        }
+        if (p >= limit) {
+          return Status::OutOfRange(
+              StrFormat("Project: position %llu out of range (count %zu)",
+                        static_cast<unsigned long long>(p), limit));
+        }
+        dst[i] = src[p];
       }
-      if (p >= limit) {
-        return Status::OutOfRange(
-            StrFormat("Project: position %llu out of range (count %zu)",
-                      static_cast<unsigned long long>(p), limit));
-      }
-      dst[i] = src[p];
-    }
-    return Status::OK();
+      return Status::OK();
+    });
   };
 
   Status st;
@@ -53,20 +57,22 @@ Result<BATPtr> Project(const BAT& b, const BAT& positions) {
       const auto& src = b.oids();
       dst.resize(n);
       bool is_str = b.type() == PhysType::kStr;
-      for (size_t i = 0; i < n; ++i) {
-        oid_t p = pos[i];
-        if (p == kOidNil) {
-          dst[i] = is_str ? kStrNilOffset : kOidNil;
-          continue;
+      st = ParallelRows(n, kMorselRows, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          oid_t p = pos[i];
+          if (p == kOidNil) {
+            dst[i] = is_str ? kStrNilOffset : kOidNil;
+            continue;
+          }
+          if (p >= limit) {
+            return Status::OutOfRange(
+                StrFormat("Project: position %llu out of range (count %zu)",
+                          static_cast<unsigned long long>(p), limit));
+          }
+          dst[i] = src[p];
         }
-        if (p >= limit) {
-          return Status::OutOfRange(
-              StrFormat("Project: position %llu out of range (count %zu)",
-                        static_cast<unsigned long long>(p), limit));
-        }
-        dst[i] = src[p];
-      }
-      st = Status::OK();
+        return Status::OK();
+      });
       break;
     }
   }

@@ -1,4 +1,5 @@
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -12,17 +13,46 @@ inline oid_t ResolveOid(const BAT* cands, size_t i) {
   return cands == nullptr ? static_cast<oid_t>(i) : cands->oids()[i];
 }
 
+// Morsel-parallel filter: emit ResolveOid(cands, i) for every row i in
+// [0, n) where pred(i) holds. Each morsel collects into a local vector;
+// the locals are concatenated in morsel order, so the output is identical
+// to a sequential scan at any thread count. A single-threaded pool takes
+// the direct single-pass path (same oids, no intermediate copies).
+template <typename RowPred>
+BATPtr FilterSelect(size_t n, const BAT* cands, RowPred pred) {
+  auto out = BAT::Make(PhysType::kOid);
+  size_t nmorsels = MorselCount(n, kMorselRows);
+  if (nmorsels <= 1 || ThreadPool::Get().thread_count() <= 1) {
+    out->Reserve(n / 4);
+    auto& oids = out->oids();
+    for (size_t i = 0; i < n; ++i) {
+      if (pred(i)) oids.push_back(ResolveOid(cands, i));
+    }
+    return out;
+  }
+  std::vector<std::vector<oid_t>> parts(nmorsels);
+  ThreadPool::Get().ParallelFor(
+      n, kMorselRows, [&](size_t m, size_t begin, size_t end) {
+        auto& p = parts[m];
+        p.reserve((end - begin) / 4);
+        for (size_t i = begin; i < end; ++i) {
+          if (pred(i)) p.push_back(ResolveOid(cands, i));
+        }
+      });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out->Reserve(total);
+  auto& oids = out->oids();
+  for (const auto& p : parts) oids.insert(oids.end(), p.begin(), p.end());
+  return out;
+}
+
 template <typename T, typename Pred>
 BATPtr ScanSelect(const std::vector<T>& data, const BAT* cands, Pred pred) {
-  auto out = BAT::Make(PhysType::kOid);
-  size_t n = data.size();
-  out->Reserve(n / 4);
-  for (size_t i = 0; i < n; ++i) {
+  return FilterSelect(data.size(), cands, [&data, pred](size_t i) {
     const T& v = data[i];
-    if (TypeTraits<T>::IsNil(v)) continue;
-    if (pred(v)) out->oids().push_back(ResolveOid(cands, i));
-  }
-  return out;
+    return !TypeTraits<T>::IsNil(v) && pred(v);
+  });
 }
 
 template <typename T>
@@ -55,13 +85,8 @@ Result<BATPtr> BoolSelect(const BAT& bits, const BAT* cands) {
         StrFormat("BoolSelect: candidate count %zu != bits count %zu",
                   cands->Count(), bits.Count()));
   }
-  auto out = BAT::Make(PhysType::kOid);
   const auto& v = bits.bits();
-  out->Reserve(v.size() / 4);
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (v[i] == 1) out->oids().push_back(ResolveOid(cands, i));
-  }
-  return out;
+  return FilterSelect(v.size(), cands, [&v](size_t i) { return v[i] == 1; });
 }
 
 Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
@@ -107,34 +132,11 @@ Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
       if (sv.type != PhysType::kStr) {
         return Status::TypeMismatch("string theta-select needs a str scalar");
       }
-      auto out = BAT::Make(PhysType::kOid);
-      for (size_t i = 0; i < b.Count(); ++i) {
-        if (b.IsNullAt(i)) continue;
-        std::string_view v = b.GetStr(i);
-        bool match = false;
-        switch (op) {
-          case CmpOp::kEq:
-            match = v == sv.s;
-            break;
-          case CmpOp::kNe:
-            match = v != sv.s;
-            break;
-          case CmpOp::kLt:
-            match = v < sv.s;
-            break;
-          case CmpOp::kLe:
-            match = v <= sv.s;
-            break;
-          case CmpOp::kGt:
-            match = v > sv.s;
-            break;
-          case CmpOp::kGe:
-            match = v >= sv.s;
-            break;
-        }
-        if (match) out->oids().push_back(ResolveOid(cands, i));
-      }
-      return out;
+      const ScalarValue* pv = &sv;
+      return FilterSelect(b.Count(), cands, [&b, op, pv](size_t i) {
+        if (b.IsNullAt(i)) return false;
+        return ApplyCmp(op, b.GetStr(i), std::string_view(pv->s));
+      });
     }
   }
   return Status::Internal("unreachable theta-select type");
@@ -175,13 +177,9 @@ Result<BATPtr> NullSelect(const BAT& b, const BAT* cands, bool select_null) {
   if (cands != nullptr && cands->Count() != b.Count()) {
     return Status::Internal("NullSelect: candidates misaligned with input");
   }
-  auto out = BAT::Make(PhysType::kOid);
-  for (size_t i = 0; i < b.Count(); ++i) {
-    if (b.IsNullAt(i) == select_null) {
-      out->oids().push_back(ResolveOid(cands, i));
-    }
-  }
-  return out;
+  return FilterSelect(b.Count(), cands, [&b, select_null](size_t i) {
+    return b.IsNullAt(i) == select_null;
+  });
 }
 
 }  // namespace gdk
