@@ -1,0 +1,134 @@
+// Thread-count sweep over the parallel sort / order-index / partitioned
+// group kernels, at 4M rows. Run with --benchmark_filter=Threads; the
+// bench_parallel CMake target merges the JSON report into
+// BENCH_parallel.json alongside the select/calc/join/tiling sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/gdk/kernels.h"
+
+using sciql::Rng;
+using sciql::ThreadPool;
+using namespace sciql::gdk;
+
+namespace {
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Arg(hw);
+}
+
+constexpr size_t kSweepRows = 4 * 1024 * 1024;
+
+BATPtr SweepIntColumn(uint64_t seed, uint64_t domain) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints().resize(kSweepRows);
+  for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(domain));
+  return b;
+}
+
+BATPtr SweepDblColumn(uint64_t seed) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kDbl);
+  b->dbls().resize(kSweepRows);
+  for (auto& v : b->dbls()) {
+    v = static_cast<double>(rng.Below(1000000)) / 997.0 - 300.0;
+  }
+  return b;
+}
+
+void BM_SortIntSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepIntColumn(1, 1u << 30);
+  for (auto _ : state) {
+    b->InvalidateOrderIndex();  // time the build, not the cache hit
+    auto r = OrderIndex({b.get()}, {false});
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_SortIntSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortDblDescSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepDblColumn(2);
+  for (auto _ : state) {
+    auto r = OrderIndex({b.get()}, {true});
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_SortDblDescSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortMultiKeySweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto k1 = SweepIntColumn(3, 1000);  // duplicate-heavy primary key
+  auto k2 = SweepDblColumn(4);
+  for (auto _ : state) {
+    auto r = OrderIndex({k1.get(), k2.get()}, {false, true});
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_SortMultiKeySweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortMaterializeSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepIntColumn(5, 1u << 30);
+  for (auto _ : state) {
+    b->InvalidateOrderIndex();
+    auto r = SortBat(*b, /*desc=*/false);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_SortMaterializeSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupBuildSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepIntColumn(6, 4096);  // partitioned build, modest dictionary
+  for (auto _ : state) {
+    auto r = Group(*b, nullptr, 0);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->ngroups);
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_GroupBuildSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -48,8 +48,13 @@ Result<ResultSet> Executor::AssembleResult(const CompiledStatement& cs,
   for (const auto& rc : cs.prog.results()) {
     const mal::MalValue& v = ctx->Reg(rc.reg);
     if (v.IsBat()) {
-      // Clone: results must not alias mutable catalog storage.
-      rs.AddColumn(rc.name, rc.is_dim, v.bat->CloneData());
+      // Results must not alias mutable catalog storage. A register that is
+      // the sole owner of its BAT holds a value freshly computed by this
+      // program (catalog columns are co-owned by the catalog), so it can be
+      // adopted without the deep copy — sorted/projected columns of large
+      // results move instead of cloning.
+      rs.AddColumn(rc.name, rc.is_dim,
+                   v.bat.use_count() == 1 ? v.bat : v.bat->CloneData());
     } else if (v.IsScalar()) {
       rs.AddColumn(rc.name, rc.is_dim, BAT::MakeConst(v.scalar, nrows));
     } else {

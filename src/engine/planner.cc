@@ -566,7 +566,12 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
       sort_args.push_back(key);
       sort_args.push_back(prog_->Const(ScalarValue::Lng(oi.desc ? 1 : 0)));
     }
-    int idx = prog_->EmitR("algebra", "sort", sort_args, "ord");
+    // A single ascending key orders by the persistent order index
+    // (algebra.orderidx), which is cached on the key column and reused by
+    // later sorts, range-selects and ordered join probes on it.
+    int idx = (sort_args.size() == 2 && !sel.order_by[0].desc)
+                  ? prog_->EmitR("algebra", "orderidx", {sort_args[0]}, "ord")
+                  : prog_->EmitR("algebra", "sort", sort_args, "ord");
     for (EnvCol& c : out.cols) {
       c.reg = prog_->EmitR("algebra", "project", {c.reg, idx}, c.name);
     }

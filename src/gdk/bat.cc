@@ -86,6 +86,11 @@ ScalarValue BAT::GetScalar(size_t i) const {
   return ScalarValue::Null(type_);
 }
 
+void BAT::SetOrderIndex(OrderIndexPtr idx) const {
+  assert(idx == nullptr || idx->size() == Count());
+  order_index_ = std::move(idx);
+}
+
 Status BAT::Append(const ScalarValue& in) {
   ScalarValue v = in;
   if (v.type != type_) {
@@ -147,6 +152,9 @@ Status BAT::Set(size_t i, const ScalarValue& in) {
 }
 
 Status BAT::AppendBat(const BAT& other) {
+  // The scalar path below invalidates via the accessors; the std::visit path
+  // touches tail_ directly, so drop the cached index here.
+  InvalidateOrderIndex();
   if (other.type() != type_) {
     return Status::TypeMismatch(
         StrFormat("append %s BAT to %s BAT", PhysTypeName(other.type()),
@@ -229,6 +237,8 @@ BATPtr BAT::CloneStructure() const {
 BATPtr BAT::CloneData() const {
   auto b = CloneStructure();
   b->tail_ = tail_;
+  // The clone is value-identical, so a built order index stays valid for it.
+  b->order_index_ = order_index_;
   return b;
 }
 

@@ -25,6 +25,11 @@ namespace gdk {
 class BAT;
 using BATPtr = std::shared_ptr<BAT>;
 
+/// Shared, immutable stable order index: the ascending (nil-first)
+/// permutation of a BAT's rows. Shared so the cached copy on the BAT, the
+/// kernels that consume it and any cloned BATs all reference one build.
+using OrderIndexPtr = std::shared_ptr<const std::vector<oid_t>>;
+
 /// \brief A single typed column with an implicit dense void head.
 class BAT {
  public:
@@ -47,20 +52,24 @@ class BAT {
   bool Empty() const { return Count() == 0; }
 
   /// Typed access to the tail vector. The requested type must match type().
-  std::vector<uint8_t>& bits() { return std::get<std::vector<uint8_t>>(tail_); }
-  std::vector<int32_t>& ints() { return std::get<std::vector<int32_t>>(tail_); }
-  std::vector<int64_t>& lngs() { return std::get<std::vector<int64_t>>(tail_); }
-  std::vector<double>& dbls() { return std::get<std::vector<double>>(tail_); }
-  std::vector<uint64_t>& oids() { return std::get<std::vector<uint64_t>>(tail_); }
+  /// The mutable overloads drop the cached order index: any handle that can
+  /// rewrite the tail invalidates it (see order_index()).
+  std::vector<uint8_t>& bits() { InvalidateOrderIndex(); return std::get<std::vector<uint8_t>>(tail_); }
+  std::vector<int32_t>& ints() { InvalidateOrderIndex(); return std::get<std::vector<int32_t>>(tail_); }
+  std::vector<int64_t>& lngs() { InvalidateOrderIndex(); return std::get<std::vector<int64_t>>(tail_); }
+  std::vector<double>& dbls() { InvalidateOrderIndex(); return std::get<std::vector<double>>(tail_); }
+  std::vector<uint64_t>& oids() { InvalidateOrderIndex(); return std::get<std::vector<uint64_t>>(tail_); }
   const std::vector<uint8_t>& bits() const { return std::get<std::vector<uint8_t>>(tail_); }
   const std::vector<int32_t>& ints() const { return std::get<std::vector<int32_t>>(tail_); }
   const std::vector<int64_t>& lngs() const { return std::get<std::vector<int64_t>>(tail_); }
   const std::vector<double>& dbls() const { return std::get<std::vector<double>>(tail_); }
   const std::vector<uint64_t>& oids() const { return std::get<std::vector<uint64_t>>(tail_); }
 
-  /// Generic typed vector access for template kernels.
+  /// Generic typed vector access for template kernels. The mutable overload
+  /// drops the cached order index, like the typed accessors above.
   template <typename T>
   std::vector<T>& Data() {
+    InvalidateOrderIndex();
     return std::get<std::vector<T>>(tail_);
   }
   template <typename T>
@@ -105,6 +114,26 @@ class BAT {
   /// \brief Rows [lo, hi) as a new BAT.
   BATPtr Slice(size_t lo, size_t hi) const;
 
+  /// \brief The cached stable ascending (nil-first) order index, or null if
+  /// none has been built. Built lazily by gdk::EnsureOrderIndex and reused by
+  /// ORDER BY, range-selects and merge-join-style probes.
+  ///
+  /// Lifecycle: the cache is dropped by every mutating member (Append, Set,
+  /// AppendBat, Resize). Kernels that fill a fresh BAT through the raw tail
+  /// vectors never see a stale index because a fresh BAT has none. CloneData
+  /// carries the index over (the clone is value-identical); Slice drops it.
+  /// Not thread-safe against concurrent mutation — the engine executes MAL
+  /// programs on one thread and only kernels parallelize internally.
+  const OrderIndexPtr& order_index() const { return order_index_; }
+
+  /// \brief Install `idx` (size must equal Count()) as the cached order
+  /// index. `const` on purpose: building an index does not change the value
+  /// of the BAT, so read-only kernels may cache on const inputs.
+  void SetOrderIndex(OrderIndexPtr idx) const;
+
+  /// \brief Drop the cached order index (any mutation invalidates it).
+  void InvalidateOrderIndex() { order_index_.reset(); }
+
   /// \brief Debug rendering: "[ 0, 1, nil, ... ]".
   std::string ToString(size_t max_rows = 32) const;
 
@@ -114,6 +143,7 @@ class BAT {
                std::vector<double>, std::vector<uint64_t>>
       tail_;
   std::shared_ptr<StrHeap> heap_;  // only for kStr
+  mutable OrderIndexPtr order_index_;  // lazy, dropped on mutation
 };
 
 /// \brief Materialize `count` dense oids starting at `seq` into `out`.

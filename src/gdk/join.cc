@@ -66,6 +66,33 @@ JoinResult ProbeJoin(size_t np, size_t est_matches, bool build_left,
   return AssemblePairs(parts, build_left);
 }
 
+// Merge-join-style probe reusing the build side's persistent order index:
+// every probe row binary-searches its run of equal build values. Runs in
+// the sorted index are ascending row id (stable sort), so per-probe matches
+// come out in ascending build oid, and pairs are ordered by probe row —
+// HashJoin's output shape, with the roles possibly flipped (see below).
+template <typename T>
+JoinResult OrderedProbeJoin(const std::vector<T>& build,
+                            const std::vector<T>& probe,
+                            const std::vector<oid_t>& ord, bool build_left) {
+  return ProbeJoin(
+      probe.size(), build.size(), build_left,
+      [&](size_t i, std::vector<oid_t>* bvec, std::vector<oid_t>* pvec) {
+        const T v = probe[i];
+        if (TypeTraits<T>::IsNil(v)) return;
+        // Nils sort below every value, so they sit strictly before the run.
+        auto it = std::lower_bound(
+            ord.begin(), ord.end(), v, [&build](oid_t row, const T& x) {
+              const T& bv = build[row];
+              return TypeTraits<T>::IsNil(bv) || bv < x;
+            });
+        for (; it != ord.end() && build[*it] == v; ++it) {
+          bvec->push_back(*it);
+          pvec->push_back(static_cast<oid_t>(i));
+        }
+      });
+}
+
 template <typename T>
 Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   const auto& lv = l.Data<T>();
@@ -76,6 +103,25 @@ Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   const auto& probe = build_left ? rv : lv;
   size_t nb = build.size();
   size_t np = probe.size();
+
+  // Merge-join-style flip: when the side that would be *probed* (the larger
+  // one) carries a persistent order index and the other side is small
+  // enough, take the indexed side as build and binary-search it per probe
+  // row. That skips scanning/hashing the large side entirely: cost is
+  // np_small * log2(n_large) against the hash path's n_small + n_large.
+  // (An index on the smaller side is never used — with build = smaller
+  // side, log-factor probes always cost more than the hash build they'd
+  // avoid.) Pairs stay ordered by probe row, which under the flip is the
+  // non-indexed side; SQL join output is unordered and the choice depends
+  // only on database state, not thread count, so results stay deterministic.
+  const OrderIndexPtr oi = (build_left ? r : l).order_index();
+  if (oi != nullptr && np > 0) {
+    size_t log2np = 1;
+    while ((size_t(1) << log2np) < np) ++log2np;
+    if (nb * (log2np + 1) < nb + np) {
+      return OrderedProbeJoin(probe, build, *oi, !build_left);
+    }
+  }
 
   OidHashTable table(nb);
   // Descending insertion makes every chain traverse in ascending build oid.

@@ -147,8 +147,23 @@ Result<BATPtr> CastBat(const BAT& b, PhysType to);
 
 /// \brief Stable order index over one or more aligned key columns.
 /// NULLs sort first on ascending keys (MonetDB: nil is smallest).
+///
+/// Runs morsel-parallel: fixed ranges are sorted concurrently and combined
+/// by a deterministic merge tree, and the comparator is a total order
+/// (row id breaks ties), so the result is the unique stable permutation —
+/// bit-identical at any thread count. A single ascending key reuses (and
+/// populates) the key BAT's persistent order index.
 Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
                           const std::vector<bool>& desc);
+
+/// \brief Materialized stable sort of `b` (OrderIndex + Project).
+Result<BATPtr> SortBat(const BAT& b, bool desc);
+
+/// \brief The persistent ascending (nil-first) stable order index of `b`:
+/// returns the cached index or builds and caches it (see BAT::order_index
+/// for the invalidation lifecycle). Reused by ORDER BY, RangeSelect and the
+/// ordered join probe.
+Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b);
 
 }  // namespace gdk
 }  // namespace sciql

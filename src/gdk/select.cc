@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
@@ -142,6 +144,41 @@ Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
   return Status::Internal("unreachable theta-select type");
 }
 
+namespace {
+
+// Binary-search the [l, h] value window over the persistent order index and
+// emit the matching row ids re-sorted ascending — the same oid set in the
+// same row order a full scan produces, in O(log n + k log k). Returns null
+// when the window is so wide that re-sorting k ≈ n oids would cost more
+// than the O(n) scan; the caller falls through to the scan path.
+BATPtr RangeSelectViaIndex(const BAT& b, const std::vector<oid_t>& ord,
+                           double l, double h, bool lo_incl, bool hi_incl) {
+  // The index is ascending with nils first, so both predicates below hold
+  // for a prefix of `ord` and partition_point applies.
+  auto below_lo = [&](oid_t row) {
+    if (b.IsNullAt(row)) return true;  // nil prefix; nil never matches
+    double v = b.GetScalar(row).AsDouble();
+    return lo_incl ? v < l : v <= l;
+  };
+  auto within_hi = [&](oid_t row) {
+    if (b.IsNullAt(row)) return true;
+    double v = b.GetScalar(row).AsDouble();
+    return hi_incl ? v <= h : v < h;
+  };
+  auto lb = std::partition_point(ord.begin(), ord.end(), below_lo);
+  auto ub = std::partition_point(ord.begin(), ord.end(), within_hi);
+  size_t k = ub > lb ? static_cast<size_t>(ub - lb) : 0;
+  if (k * 8 > ord.size()) return nullptr;  // unselective: scan is cheaper
+  auto out = BAT::Make(PhysType::kOid);
+  if (k > 0) {
+    out->oids().assign(lb, ub);
+    std::sort(out->oids().begin(), out->oids().end());
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
                            const ScalarValue& lo, const ScalarValue& hi,
                            bool lo_incl, bool hi_incl) {
@@ -151,6 +188,11 @@ Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
   if (lo.is_null || hi.is_null) return BAT::Make(PhysType::kOid);
   double l = lo.AsDouble();
   double h = hi.AsDouble();
+  if (cands == nullptr && b.order_index() != nullptr) {
+    BATPtr via_index =
+        RangeSelectViaIndex(b, *b.order_index(), l, h, lo_incl, hi_incl);
+    if (via_index != nullptr) return via_index;
+  }
   auto pred = [l, h, lo_incl, hi_incl](double v) {
     bool ge = lo_incl ? v >= l : v > l;
     bool le = hi_incl ? v <= h : v < h;

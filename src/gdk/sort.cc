@@ -1,7 +1,25 @@
+// Parallel sort & order-index subsystem.
+//
+// OrderIndex partitions the row ids into fixed morsels, sorts every morsel
+// concurrently and combines the sorted runs with a binary merge tree whose
+// shape depends only on (n, grain). Because the comparator is a total order
+// (the row id breaks every tie), the result is the unique stable sort
+// permutation, so any combination order — and therefore any thread count —
+// produces bit-identical output (the same contract as the other
+// morsel-parallel kernels; see docs/execution.md).
+//
+// Typed fast paths avoid per-comparison type dispatch: each numeric key
+// column is pre-encoded into an order-preserving uint64 sort key (nil maps
+// below every value, matching MonetDB's "nil is smallest"), and string
+// columns are pre-decoded into string_views with a nil flag.
+
 #include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <string_view>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -9,42 +27,176 @@ namespace gdk {
 
 namespace {
 
-// Three-way compare of rows i and j of one key column; nil sorts smallest.
-int CompareAt(const BAT& b, size_t i, size_t j) {
-  bool ni = b.IsNullAt(i);
-  bool nj = b.IsNullAt(j);
-  if (ni || nj) return (ni ? 0 : 1) - (nj ? 0 : 1);
+// Order-preserving uint64 encodings. Nil maps to 0 and every non-nil value
+// maps strictly above it. Doubles collapse -0.0 onto 0.0 so key equality
+// matches operator== (ties stay ties and stability decides, exactly like a
+// three-way value compare would).
+inline uint64_t SortKey(uint8_t v) {
+  return v == kBitNil ? 0 : 1 + static_cast<uint64_t>(v);
+}
+inline uint64_t SortKey(int32_t v) {
+  // kIntNil (INT32_MIN) lands below every other int32 after the sign flip.
+  return static_cast<uint64_t>(static_cast<int64_t>(v)) ^ (1ull << 63);
+}
+inline uint64_t SortKey(int64_t v) {
+  // kLngNil (INT64_MIN) maps to 0.
+  return static_cast<uint64_t>(v) ^ (1ull << 63);
+}
+inline uint64_t SortKey(double v) {
+  if (IsDblNil(v)) return 0;
+  double d = v == 0.0 ? 0.0 : v;  // -0.0 ties with 0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Flip negatives entirely, set the sign bit on non-negatives: total order
+  // matching double <. No non-nil value can map to 0 (that would be a NaN).
+  return (bits & (1ull << 63)) ? ~bits : bits | (1ull << 63);
+}
+inline uint64_t SortKey(uint64_t v) {
+  return v == kOidNil ? 0 : v + 1;  // non-nil oids are < kOidNil, no overflow
+}
+
+// One prepared key column: numeric columns carry pre-encoded sort keys,
+// string columns carry decoded views plus a nil flag.
+struct SortCol {
+  bool desc = false;
+  bool is_str = false;
+  std::vector<uint64_t> keys;            // numeric encoding (empty for str)
+  std::vector<std::string_view> strs;    // decoded string payloads
+  std::vector<uint8_t> nils;             // str nil flags
+
+  // Three-way compare of rows a and b in this column's ascending order.
+  int Compare(oid_t a, oid_t b) const {
+    if (!is_str) {
+      uint64_t ka = keys[a], kb = keys[b];
+      return (ka > kb) - (ka < kb);
+    }
+    int na = nils[a] ? 0 : 1;
+    int nb = nils[b] ? 0 : 1;
+    if (na == 0 || nb == 0) return na - nb;
+    int cmp = strs[a].compare(strs[b]);
+    return (cmp > 0) - (cmp < 0);
+  }
+};
+
+template <typename T>
+void EncodeKeys(const std::vector<T>& v, std::vector<uint64_t>* keys) {
+  keys->resize(v.size());
+  ParallelRows(v.size(), kMorselRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) (*keys)[i] = SortKey(v[i]);
+    return Status::OK();
+  });
+}
+
+SortCol PrepareCol(const BAT& b, bool desc) {
+  SortCol col;
+  col.desc = desc;
   switch (b.type()) {
-    case PhysType::kBit: {
-      uint8_t a = b.bits()[i], c = b.bits()[j];
-      return (a > c) - (a < c);
-    }
-    case PhysType::kInt: {
-      int32_t a = b.ints()[i], c = b.ints()[j];
-      return (a > c) - (a < c);
-    }
-    case PhysType::kLng: {
-      int64_t a = b.lngs()[i], c = b.lngs()[j];
-      return (a > c) - (a < c);
-    }
-    case PhysType::kDbl: {
-      double a = b.dbls()[i], c = b.dbls()[j];
-      return (a > c) - (a < c);
-    }
-    case PhysType::kOid: {
-      oid_t a = b.oids()[i], c = b.oids()[j];
-      return (a > c) - (a < c);
-    }
+    case PhysType::kBit:
+      EncodeKeys(b.bits(), &col.keys);
+      break;
+    case PhysType::kInt:
+      EncodeKeys(b.ints(), &col.keys);
+      break;
+    case PhysType::kLng:
+      EncodeKeys(b.lngs(), &col.keys);
+      break;
+    case PhysType::kDbl:
+      EncodeKeys(b.dbls(), &col.keys);
+      break;
+    case PhysType::kOid:
+      EncodeKeys(b.oids(), &col.keys);
+      break;
     case PhysType::kStr: {
-      auto a = b.GetStr(i);
-      auto c = b.GetStr(j);
-      return a.compare(c) > 0 ? 1 : (a == c ? 0 : -1);
+      col.is_str = true;
+      size_t n = b.Count();
+      col.strs.resize(n);
+      col.nils.resize(n);
+      ParallelRows(n, kMorselRows, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          col.nils[i] = b.IsNullAt(i) ? 1 : 0;
+          col.strs[i] = col.nils[i] ? std::string_view() : b.GetStr(i);
+        }
+        return Status::OK();
+      });
+      break;
     }
   }
-  return 0;
+  return col;
+}
+
+// Sort the permutation `idx` with the total order `less`: parallel
+// morsel-local sorts, then a binary merge tree over the runs. Both the
+// morsel boundaries and the tree shape depend only on (n, grain), and
+// `less` is total, so the result equals a sequential std::sort.
+template <typename Less>
+void ParallelSortPermutation(std::vector<oid_t>* idx, const Less& less) {
+  size_t n = idx->size();
+  size_t nmorsels = MorselCount(n, kMorselRows);
+  auto first = idx->begin();
+  if (nmorsels <= 1 || ThreadPool::Get().thread_count() <= 1) {
+    std::sort(first, idx->end(), less);
+    return;
+  }
+  auto& pool = ThreadPool::Get();
+  pool.ParallelFor(n, kMorselRows, [&](size_t, size_t begin, size_t end) {
+    std::sort(first + begin, first + end, less);
+  });
+  for (size_t width = kMorselRows; width < n; width *= 2) {
+    size_t npairs = (n + 2 * width - 1) / (2 * width);
+    pool.ParallelFor(npairs, 1, [&](size_t, size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        size_t lo = p * 2 * width;
+        size_t mid = std::min(n, lo + width);
+        size_t hi = std::min(n, lo + 2 * width);
+        if (mid < hi) {
+          std::inplace_merge(first + lo, first + mid, first + hi, less);
+        }
+      }
+    });
+  }
+}
+
+// Sort [0, n) by the prepared key columns, stable (row id breaks ties).
+std::vector<oid_t> SortedPermutation(size_t n,
+                                     const std::vector<SortCol>& cols) {
+  std::vector<oid_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  if (cols.size() == 1 && !cols[0].is_str) {
+    // Single numeric key: compare the encodings directly.
+    const std::vector<uint64_t>& k = cols[0].keys;
+    if (!cols[0].desc) {
+      ParallelSortPermutation(&idx, [&k](oid_t a, oid_t b) {
+        return k[a] != k[b] ? k[a] < k[b] : a < b;
+      });
+    } else {
+      ParallelSortPermutation(&idx, [&k](oid_t a, oid_t b) {
+        return k[a] != k[b] ? k[a] > k[b] : a < b;
+      });
+    }
+    return idx;
+  }
+  ParallelSortPermutation(&idx, [&cols](oid_t a, oid_t b) {
+    for (const SortCol& c : cols) {
+      int cmp = c.Compare(a, b);
+      if (cmp != 0) return c.desc ? cmp > 0 : cmp < 0;
+    }
+    return a < b;
+  });
+  return idx;
 }
 
 }  // namespace
+
+Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b) {
+  if (b.order_index() != nullptr) return b.order_index();
+  std::vector<SortCol> cols;
+  cols.push_back(PrepareCol(b, /*desc=*/false));
+  auto idx = std::make_shared<std::vector<oid_t>>(
+      SortedPermutation(b.Count(), cols));
+  b.SetOrderIndex(idx);
+  return OrderIndexPtr(std::move(idx));
+}
 
 Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
                           const std::vector<bool>& desc) {
@@ -59,17 +211,25 @@ Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
     }
   }
   auto out = BAT::Make(PhysType::kOid);
-  auto& idx = out->oids();
-  idx.resize(n);
-  std::iota(idx.begin(), idx.end(), 0);
-  std::stable_sort(idx.begin(), idx.end(), [&](oid_t a, oid_t c) {
-    for (size_t k = 0; k < keys.size(); ++k) {
-      int cmp = CompareAt(*keys[k], a, c);
-      if (cmp != 0) return desc[k] ? cmp > 0 : cmp < 0;
-    }
-    return false;
-  });
+  if (keys.size() == 1 && !desc[0]) {
+    // Single ascending key: the persistent order index is exactly this
+    // permutation — reuse it (or build and cache it for the next caller).
+    SCIQL_ASSIGN_OR_RETURN(OrderIndexPtr idx, EnsureOrderIndex(*keys[0]));
+    out->oids() = *idx;
+    return out;
+  }
+  std::vector<SortCol> cols;
+  cols.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    cols.push_back(PrepareCol(*keys[k], desc[k]));
+  }
+  out->oids() = SortedPermutation(n, cols);
   return out;
+}
+
+Result<BATPtr> SortBat(const BAT& b, bool desc) {
+  SCIQL_ASSIGN_OR_RETURN(BATPtr idx, OrderIndex({&b}, {desc}));
+  return Project(b, *idx);
 }
 
 }  // namespace gdk

@@ -276,6 +276,20 @@ void RegisterAlgebra(MalEngine* e) {
                 SetRet(ctx, in, 0, MalValue::Of(idx));
                 return Status::OK();
               });
+
+  // algebra.orderidx(key) -> ascending stable order index, served from the
+  // key BAT's persistent index (built on first use, reused until mutation).
+  e->Register("algebra.orderidx",
+              [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
+                SCIQL_RETURN_NOT_OK(CheckArity(in, 1, 1));
+                SCIQL_ASSIGN_OR_RETURN(BATPtr k, BatArg(ctx, in, 0));
+                SCIQL_ASSIGN_OR_RETURN(gdk::OrderIndexPtr idx,
+                                       gdk::EnsureOrderIndex(*k));
+                auto out = BAT::Make(PhysType::kOid);
+                out->oids() = *idx;
+                SetRet(ctx, in, 0, MalValue::Of(std::move(out)));
+                return Status::OK();
+              });
 }
 
 // ---------------------------------------------------------------------------

@@ -370,6 +370,125 @@ TEST(ParallelDeterminism, GroupedAggregateIntSum) {
   });
 }
 
+// --------------------------------------------------------------------------
+// Parallel sort / order-index / partitioned group
+// --------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, OrderIndexIntDuplicateHeavy) {
+  // Narrow domain: long runs of ties exercise the stable tie-break through
+  // the merge tree. Invalidate the cache each run so the 8-thread pass
+  // really re-sorts instead of reusing the 1-thread build.
+  auto b = IntColumn(kRows, 40, true);
+  for (auto& v : b->ints()) {
+    if (v != kIntNil) v = v % 7;
+  }
+  ExpectDeterministic([&] {
+    b->InvalidateOrderIndex();
+    return OrderIndex({b.get()}, {false}).take();
+  });
+}
+
+TEST(ParallelDeterminism, OrderIndexIntDesc) {
+  auto b = IntColumn(kRows, 41, true);
+  ExpectDeterministic([&] { return OrderIndex({b.get()}, {true}).take(); });
+}
+
+TEST(ParallelDeterminism, OrderIndexDblWithNulls) {
+  auto b = DblColumn(kRows, 42, true);
+  b->dbls()[17] = 0.0;
+  b->dbls()[kRows - 3] = -0.0;  // must tie with 0.0, stability decides
+  ExpectDeterministic([&] {
+    b->InvalidateOrderIndex();
+    return OrderIndex({b.get()}, {false}).take();
+  });
+  ExpectDeterministic([&] { return OrderIndex({b.get()}, {true}).take(); });
+}
+
+TEST(ParallelDeterminism, OrderIndexStr) {
+  auto b = StrColumn(kRows, 43);  // domain 200: duplicate-heavy, has nils
+  ExpectDeterministic([&] {
+    b->InvalidateOrderIndex();
+    return OrderIndex({b.get()}, {false}).take();
+  });
+}
+
+TEST(ParallelDeterminism, OrderIndexMultiKey) {
+  auto k1 = IntColumn(kRows, 44, true);
+  for (auto& v : k1->ints()) {
+    if (v != kIntNil) v = v % 16;
+  }
+  auto k2 = DblColumn(kRows, 45, true);
+  ExpectDeterministic([&] {
+    return OrderIndex({k1.get(), k2.get()}, {false, true}).take();
+  });
+}
+
+TEST(ParallelDeterminism, SortBatMaterialized) {
+  auto b = IntColumn(kRows, 46, true);
+  ExpectDeterministic([&] {
+    b->InvalidateOrderIndex();
+    return SortBat(*b, /*desc=*/false).take();
+  });
+  auto s = StrColumn(kRows, 47);
+  ExpectDeterministic([&] {
+    s->InvalidateOrderIndex();
+    return SortBat(*s, /*desc=*/false).take();
+  });
+}
+
+TEST(ParallelDeterminism, OrderIndexThreadSweep128) {
+  // The acceptance contract verbatim: bit-identical at 1, 2 and 8 threads.
+  auto b = IntColumn(kRows, 50, true);
+  auto& pool = ThreadPool::Get();
+  pool.SetThreadCount(1);
+  b->InvalidateOrderIndex();
+  auto t1 = OrderIndex({b.get()}, {false}).take();
+  pool.SetThreadCount(2);
+  b->InvalidateOrderIndex();
+  auto t2 = OrderIndex({b.get()}, {false}).take();
+  pool.SetThreadCount(8);
+  b->InvalidateOrderIndex();
+  auto t8 = OrderIndex({b.get()}, {false}).take();
+  pool.SetThreadCount(1);
+  EXPECT_TRUE(BatsBitIdentical(*t1, *t2));
+  EXPECT_TRUE(BatsBitIdentical(*t1, *t8));
+}
+
+TEST(ParallelDeterminism, PartitionedGroupDuplicateHeavy) {
+  // Three distinct values plus NULL: every morsel dictionary contains every
+  // group, so the merge pass dedups heavily.
+  auto b = IntColumn(kRows, 48, true);
+  for (auto& v : b->ints()) {
+    if (v != kIntNil) v = ((v % 3) + 3) % 3;
+  }
+  auto& pool = ThreadPool::Get();
+  pool.SetThreadCount(1);
+  auto seq = Group(*b, nullptr, 0).take();
+  pool.SetThreadCount(8);
+  auto par = Group(*b, nullptr, 0).take();
+  pool.SetThreadCount(1);
+  EXPECT_EQ(seq.ngroups, par.ngroups);
+  EXPECT_TRUE(BatsBitIdentical(*seq.groups, *par.groups));
+  EXPECT_TRUE(BatsBitIdentical(*seq.extents, *par.extents));
+}
+
+TEST(ParallelDeterminism, PartitionedGroupManyGroups) {
+  // More groups than rows per morsel: most keys are unique to few morsels.
+  auto b = IntColumn(kRows, 49, true);
+  for (auto& v : b->ints()) {
+    if (v != kIntNil) v = ((v * 131) % 100000 + 100000) % 100000;
+  }
+  auto& pool = ThreadPool::Get();
+  pool.SetThreadCount(1);
+  auto seq = Group(*b, nullptr, 0).take();
+  pool.SetThreadCount(8);
+  auto par = Group(*b, nullptr, 0).take();
+  pool.SetThreadCount(1);
+  EXPECT_EQ(seq.ngroups, par.ngroups);
+  EXPECT_TRUE(BatsBitIdentical(*seq.groups, *par.groups));
+  EXPECT_TRUE(BatsBitIdentical(*seq.extents, *par.extents));
+}
+
 ArrayDesc Desc2D(size_t nx, size_t ny) {
   return ArrayDesc(
       {DimDesc{"x", DimRange(0, 1, static_cast<int64_t>(nx)), false},

@@ -1,0 +1,302 @@
+// Property tests for the parallel sort / order-index subsystem: sorted
+// output is a permutation, ties keep row order (stability), the persistent
+// order index agrees with a full sort, and the index-served RangeSelect and
+// ordered join probe return exactly what the scan/hash paths return.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+// Sizes straddling the 64K morsel boundary so both the sequential and the
+// partitioned merge-tree paths run.
+const size_t kSizes[] = {0, 1, 2, 777, 65536, 3 * 65536 + 1234};
+
+BATPtr RandomInts(size_t n, uint64_t seed, uint64_t domain, bool with_nulls) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints().resize(n);
+  for (auto& v : b->ints()) {
+    if (with_nulls && rng.Below(23) == 0) {
+      v = kIntNil;
+    } else {
+      v = static_cast<int32_t>(rng.Below(domain)) - static_cast<int32_t>(domain / 2);
+    }
+  }
+  return b;
+}
+
+BATPtr RandomDbls(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kDbl);
+  b->dbls().resize(n);
+  for (auto& v : b->dbls()) {
+    uint64_t k = rng.Below(41);
+    if (k == 0) {
+      v = DblNil();
+    } else if (k == 1) {
+      v = rng.Chance(0.5) ? 0.0 : -0.0;
+    } else {
+      v = static_cast<double>(rng.Below(10000)) / 7.0 - 500.0;
+    }
+  }
+  return b;
+}
+
+// nil-first three-way compare mirroring the documented sort contract.
+int CompareRows(const BAT& b, oid_t i, oid_t j) {
+  bool ni = b.IsNullAt(i);
+  bool nj = b.IsNullAt(j);
+  if (ni || nj) return (ni ? 0 : 1) - (nj ? 0 : 1);
+  ScalarValue a = b.GetScalar(i);
+  ScalarValue c = b.GetScalar(j);
+  if (b.type() == PhysType::kStr) {
+    return a.s < c.s ? -1 : (a.s == c.s ? 0 : 1);
+  }
+  double x = a.AsDouble();
+  double y = c.AsDouble();
+  return (x > y) - (x < y);
+}
+
+void CheckOrderIndexProperties(const BAT& b, bool desc) {
+  auto r = OrderIndex({&b}, {desc});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& idx = (*r)->oids();
+  size_t n = b.Count();
+  ASSERT_EQ(idx.size(), n);
+
+  // Permutation of [0, n).
+  std::vector<uint8_t> seen(n, 0);
+  for (oid_t o : idx) {
+    ASSERT_LT(o, n);
+    ASSERT_EQ(seen[o], 0) << "row " << o << " appears twice";
+    seen[o] = 1;
+  }
+
+  // Ordered, and stable on ties (equal keys keep ascending row order).
+  for (size_t i = 1; i < n; ++i) {
+    int cmp = CompareRows(b, idx[i - 1], idx[i]);
+    if (desc) cmp = -cmp;
+    ASSERT_LE(cmp, 0) << "out of order at position " << i;
+    if (cmp == 0) {
+      ASSERT_LT(idx[i - 1], idx[i]) << "tie broke stability at " << i;
+    }
+  }
+}
+
+TEST(SortProperty, OrderIndexIsStableSortedPermutation) {
+  for (int threads : {1, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    for (size_t n : kSizes) {
+      auto ints = RandomInts(n, 100 + n, 50, true);  // duplicate-heavy
+      CheckOrderIndexProperties(*ints, false);
+      ints->InvalidateOrderIndex();
+      CheckOrderIndexProperties(*ints, true);
+      auto dbls = RandomDbls(n, 200 + n);
+      CheckOrderIndexProperties(*dbls, false);
+    }
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(SortProperty, SortBatIsOrderedPermutationOfValues) {
+  ThreadPool::Get().SetThreadCount(8);
+  auto b = RandomInts(3 * 65536 + 17, 7, 1000, true);
+  auto sorted = SortBat(*b, false);
+  ASSERT_TRUE(sorted.ok());
+  // Same multiset of values.
+  std::vector<int32_t> in = b->ints();
+  std::vector<int32_t> out = (*sorted)->ints();
+  ASSERT_EQ(in.size(), out.size());
+  std::sort(in.begin(), in.end());
+  std::vector<int32_t> out_copy = out;
+  std::sort(out_copy.begin(), out_copy.end());
+  EXPECT_EQ(in, out_copy);
+  // Ordered nil-first (kIntNil is INT32_MIN, so plain <= covers it).
+  for (size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1], out[i]);
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(SortProperty, EnsureOrderIndexCachesAndAgreesWithFullSort) {
+  auto b = RandomInts(100000, 11, 500, true);
+  ASSERT_EQ(b->order_index(), nullptr);
+  auto idx = EnsureOrderIndex(*b);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_NE(b->order_index(), nullptr);
+  // Second call returns the same build.
+  auto idx2 = EnsureOrderIndex(*b);
+  ASSERT_TRUE(idx2.ok());
+  EXPECT_EQ(idx->get(), idx2->get());
+  // The cached index equals the ascending OrderIndex permutation.
+  b->InvalidateOrderIndex();
+  auto full = OrderIndex({b.get()}, {false});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(**idx, (*full)->oids());
+}
+
+TEST(SortProperty, MutationInvalidatesOrderIndex) {
+  auto b = RandomInts(1000, 13, 100, false);
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  ASSERT_NE(b->order_index(), nullptr);
+  ASSERT_TRUE(b->Set(3, ScalarValue::Int(-999)).ok());
+  EXPECT_EQ(b->order_index(), nullptr);
+
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  ASSERT_TRUE(b->Append(ScalarValue::Int(42)).ok());
+  EXPECT_EQ(b->order_index(), nullptr);
+
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  b->ints();  // any mutable tail handle drops the cache
+  EXPECT_EQ(b->order_index(), nullptr);
+
+  // A value-identical clone keeps the index; a rebuilt one is correct.
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  auto clone = b->CloneData();
+  EXPECT_NE(clone->order_index(), nullptr);
+  CheckOrderIndexProperties(*clone, false);
+}
+
+TEST(SortProperty, RangeSelectViaIndexMatchesScan) {
+  for (size_t n : {size_t(0), size_t(1000), size_t(90000)}) {
+    auto b = RandomDbls(n, 300 + n);
+    // Scan path first (no index), then the same selects through the index.
+    struct Win {
+      double lo, hi;
+      bool li, hi_incl;
+    };
+    std::vector<Win> wins = {{-100.0, 100.0, true, true},
+                             {-100.0, 100.0, false, false},
+                             {50.0, 50.0, true, true},
+                             {200.0, -200.0, true, true},  // empty window
+                             {-1e9, 1e9, true, true}};
+    std::vector<std::vector<oid_t>> scanned;
+    for (const Win& w : wins) {
+      auto r = RangeSelect(*b, nullptr, ScalarValue::Dbl(w.lo),
+                           ScalarValue::Dbl(w.hi), w.li, w.hi_incl);
+      ASSERT_TRUE(r.ok());
+      scanned.push_back((*r)->oids());
+    }
+    ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+    ASSERT_NE(b->order_index(), nullptr);
+    for (size_t i = 0; i < wins.size(); ++i) {
+      const Win& w = wins[i];
+      auto r = RangeSelect(*b, nullptr, ScalarValue::Dbl(w.lo),
+                           ScalarValue::Dbl(w.hi), w.li, w.hi_incl);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ((*r)->oids(), scanned[i]) << "window " << i << " n=" << n;
+    }
+    // Candidate-driven selects must ignore the index (different contract).
+    auto cands = BAT::MakeDense(0, n);
+    auto with_cands =
+        RangeSelect(*b, cands.get(), ScalarValue::Dbl(-100.0),
+                    ScalarValue::Dbl(100.0), true, true);
+    ASSERT_TRUE(with_cands.ok());
+    EXPECT_EQ((*with_cands)->oids(), scanned[0]);
+  }
+}
+
+// Canonical pair multiset of a join result for order-insensitive compares.
+std::vector<std::pair<oid_t, oid_t>> SortedPairs(const JoinResult& jr) {
+  std::vector<std::pair<oid_t, oid_t>> pairs;
+  const auto& l = jr.left->oids();
+  const auto& r = jr.right->oids();
+  pairs.reserve(l.size());
+  for (size_t i = 0; i < l.size(); ++i) pairs.emplace_back(l[i], r[i]);
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(SortProperty, OrderedJoinProbeMatchesHashJoin) {
+  // The LARGE side carries the index: HashJoin flips it into the build role
+  // and binary-searches it per small-side row instead of scanning it. The
+  // pair multiset must match the hash join exactly (pair order follows the
+  // probe side, which the flip changes, so compare canonically).
+  for (int threads : {1, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    auto small = RandomInts(5000, 19, 300, true);   // dup-heavy, with nils
+    auto large = RandomInts(120000, 23, 300, true);
+    auto hash = HashJoin(*small, *large);
+    ASSERT_TRUE(hash.ok());
+    ASSERT_TRUE(EnsureOrderIndex(*large).ok());
+    auto ordered = HashJoin(*small, *large);
+    ASSERT_TRUE(ordered.ok());
+    ASSERT_GT(hash->left->Count(), 0u);
+    EXPECT_EQ(SortedPairs(*hash), SortedPairs(*ordered));
+    // Flip ordering contract: pairs ordered by (non-indexed) left row, with
+    // ascending right (indexed) oids per left row.
+    const auto& lo = ordered->left->oids();
+    const auto& ro = ordered->right->oids();
+    for (size_t i = 1; i < lo.size(); ++i) {
+      ASSERT_TRUE(lo[i - 1] < lo[i] ||
+                  (lo[i - 1] == lo[i] && ro[i - 1] < ro[i]));
+    }
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(SortProperty, SmallSideIndexKeepsHashPath) {
+  // An index on the smaller side is never profitable; output must be the
+  // hash join's, bit for bit.
+  auto small = RandomInts(3000, 37, 100, true);
+  auto large = RandomInts(100000, 41, 100, true);
+  auto hash = HashJoin(*small, *large);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*small).ok());
+  auto again = HashJoin(*small, *large);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(hash->left->oids(), again->left->oids());
+  EXPECT_EQ(hash->right->oids(), again->right->oids());
+}
+
+TEST(SortProperty, OrderedJoinProbeDblZeroSigns) {
+  // Indexed large side holding both zero signs; both probe-side zero signs
+  // must match both of them (the sort key collapses -0.0 onto 0.0, matching
+  // operator== and the hash path's KeyBits normalization).
+  auto large = BAT::Make(PhysType::kDbl);
+  large->dbls().assign(1000, 7.5);
+  large->dbls()[10] = -0.0;
+  large->dbls()[500] = 0.0;
+  large->dbls()[700] = DblNil();
+  large->dbls()[900] = 2.0;
+  auto small = BAT::Make(PhysType::kDbl);
+  small->dbls() = {0.0, -0.0, 2.0, DblNil(), 5.0};
+  auto hash = HashJoin(*small, *large);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*large).ok());
+  auto ordered = HashJoin(*small, *large);
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(SortedPairs(*hash), SortedPairs(*ordered));
+  // 2 zero probes x 2 zero build rows + one 2.0 match.
+  EXPECT_EQ(ordered->left->Count(), 5u);
+}
+
+TEST(SortProperty, MultiKeyOrderIndexLexicographic) {
+  auto k1 = RandomInts(50000, 29, 8, true);
+  auto k2 = RandomInts(50000, 31, 1000, true);
+  auto r = OrderIndex({k1.get(), k2.get()}, {false, true});
+  ASSERT_TRUE(r.ok());
+  const auto& idx = (*r)->oids();
+  for (size_t i = 1; i < idx.size(); ++i) {
+    int c1 = CompareRows(*k1, idx[i - 1], idx[i]);
+    ASSERT_LE(c1, 0);
+    if (c1 == 0) {
+      int c2 = -CompareRows(*k2, idx[i - 1], idx[i]);  // desc
+      ASSERT_LE(c2, 0);
+      if (c2 == 0) ASSERT_LT(idx[i - 1], idx[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

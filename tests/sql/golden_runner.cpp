@@ -1,0 +1,240 @@
+// Golden-file SQL conformance harness (sqllogictest-style).
+//
+// Each tests/sql/golden/*.test file is registered as one gtest and replayed
+// against a fresh Database. File format, records separated by blank lines:
+//
+//   # comment (anywhere between records)
+//   statement ok          -- SQL on the following lines must succeed
+//   CREATE TABLE t (k INT);
+//
+//   statement error       -- SQL must fail (any error)
+//   SELECT nope FROM t;
+//
+//   query                 -- SQL, then ----, then the expected rows
+//   SELECT k FROM t ORDER BY k;
+//   ----
+//   1|2
+//
+//   query sorted          -- rows are lexicographically sorted before the
+//                            compare; use for queries without ORDER BY,
+//                            whose row order is implementation-defined (it
+//                            may legitimately change with, e.g., a cached
+//                            order index flipping a join's probe side)
+//
+//   threads N             -- switch the kernel thread count (restored at EOF)
+//   reset                 -- discard the database, start fresh
+//
+// Expected rows render one line per row, columns joined with '|', values
+// formatted like ResultSet::ToString cells: "null", integers, FormatDouble
+// for dbl, true/false for bit, and unquoted text for strings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+#ifndef SCIQL_SOURCE_DIR
+#error "SCIQL_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sciql {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string RenderRow(const engine::ResultSet& rs, size_t row) {
+  std::string out;
+  for (size_t c = 0; c < rs.NumColumns(); ++c) {
+    if (c > 0) out += '|';
+    gdk::ScalarValue v = rs.Value(row, c);
+    out += (v.type == gdk::PhysType::kStr && !v.is_null) ? v.s : v.ToString();
+  }
+  return out;
+}
+
+struct Record {
+  enum class Kind { kStatementOk, kStatementError, kQuery, kReset, kThreads };
+  Kind kind = Kind::kStatementOk;
+  int line = 0;           // 1-based line of the directive, for failures
+  std::string sql;
+  std::vector<std::string> expected;  // kQuery only
+  bool sort_rows = false;             // kQuery only ("query sorted")
+  int threads = 1;                    // kThreads only
+};
+
+// Parse one golden file into records; parse errors fail the test via
+// ADD_FAILURE and return an empty list.
+std::vector<Record> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+
+  std::vector<Record> records;
+  size_t i = 0;
+  auto blank_or_comment = [&](const std::string& s) {
+    return s.empty() || s[0] == '#';
+  };
+  while (i < lines.size()) {
+    if (blank_or_comment(lines[i])) {
+      ++i;
+      continue;
+    }
+    Record rec;
+    rec.line = static_cast<int>(i) + 1;
+    const std::string& head = lines[i];
+    ++i;
+    if (head == "statement ok") {
+      rec.kind = Record::Kind::kStatementOk;
+    } else if (head == "statement error") {
+      rec.kind = Record::Kind::kStatementError;
+    } else if (head == "query" || head == "query sorted") {
+      rec.kind = Record::Kind::kQuery;
+      rec.sort_rows = head == "query sorted";
+    } else if (head == "reset") {
+      rec.kind = Record::Kind::kReset;
+      records.push_back(std::move(rec));
+      continue;
+    } else if (head.rfind("threads ", 0) == 0) {
+      rec.kind = Record::Kind::kThreads;
+      rec.threads = std::stoi(head.substr(8));
+      records.push_back(std::move(rec));
+      continue;
+    } else {
+      ADD_FAILURE() << path << ":" << rec.line << ": unknown directive '"
+                    << head << "'";
+      return {};
+    }
+    // SQL body: up to ---- (query) or a blank line / EOF.
+    std::string sql;
+    while (i < lines.size() && !lines[i].empty() && lines[i] != "----") {
+      if (!sql.empty()) sql += '\n';
+      sql += lines[i];
+      ++i;
+    }
+    rec.sql = sql;
+    if (rec.kind == Record::Kind::kQuery) {
+      if (i >= lines.size() || lines[i] != "----") {
+        ADD_FAILURE() << path << ":" << rec.line
+                      << ": query record lacks a ---- separator";
+        return {};
+      }
+      ++i;  // skip ----
+      while (i < lines.size() && !lines[i].empty()) {
+        rec.expected.push_back(lines[i]);
+        ++i;
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void RunFile(const std::string& path) {
+  std::vector<Record> records = ParseFile(path);
+  auto db = std::make_unique<engine::Database>();
+  for (const Record& rec : records) {
+    std::string where = path + ":" + std::to_string(rec.line);
+    switch (rec.kind) {
+      case Record::Kind::kReset:
+        db = std::make_unique<engine::Database>();
+        break;
+      case Record::Kind::kThreads:
+        engine::Database::SetExecutionThreads(rec.threads);
+        break;
+      case Record::Kind::kStatementOk: {
+        Status st = db->Run(rec.sql);
+        EXPECT_TRUE(st.ok()) << where << ": statement failed: "
+                             << st.ToString() << "\n  " << rec.sql;
+        break;
+      }
+      case Record::Kind::kStatementError: {
+        Status st = db->Run(rec.sql);
+        EXPECT_FALSE(st.ok()) << where << ": statement unexpectedly "
+                              << "succeeded:\n  " << rec.sql;
+        break;
+      }
+      case Record::Kind::kQuery: {
+        auto rs = db->Query(rec.sql);
+        if (!rs.ok()) {
+          ADD_FAILURE() << where << ": query failed: "
+                        << rs.status().ToString() << "\n  " << rec.sql;
+          break;
+        }
+        std::vector<std::string> got;
+        for (size_t r = 0; r < rs->NumRows(); ++r) {
+          got.push_back(RenderRow(*rs, r));
+        }
+        if (rec.sort_rows) std::sort(got.begin(), got.end());
+        if (got != rec.expected) {
+          std::ostringstream oss;
+          oss << where << ": result mismatch for\n  " << rec.sql
+              << "\nexpected (" << rec.expected.size() << " rows):\n";
+          for (const auto& l : rec.expected) oss << "  " << l << "\n";
+          oss << "got (" << got.size() << " rows):\n";
+          for (const auto& l : got) oss << "  " << l << "\n";
+          ADD_FAILURE() << oss.str();
+        }
+        break;
+      }
+    }
+  }
+  // Golden files may sweep the thread count; leave the pool as we found it.
+  engine::Database::SetExecutionThreads(1);
+}
+
+class GoldenFileTest : public ::testing::Test {
+ public:
+  explicit GoldenFileTest(std::string path) : path_(std::move(path)) {}
+  void TestBody() override { RunFile(path_); }
+
+ private:
+  std::string path_;
+};
+
+// Register one test per golden file before main() runs (gtest accepts
+// RegisterTest calls up until InitGoogleTest).
+bool RegisterGoldenTests() {
+  fs::path dir = fs::path(SCIQL_SOURCE_DIR) / "tests" / "sql" / "golden";
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".test") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    // Surface a misconfigured golden dir as a failing test, not a silent
+    // zero-test pass.
+    ::testing::RegisterTest(
+        "GoldenSql", "MissingGoldenDir", nullptr, nullptr, __FILE__, __LINE__,
+        [dir]() -> ::testing::Test* {
+          return new GoldenFileTest((dir / "<missing>").string());
+        });
+    return false;
+  }
+  for (const fs::path& f : files) {
+    std::string name = f.stem().string();
+    ::testing::RegisterTest(
+        "GoldenSql", name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
+        [f]() -> ::testing::Test* { return new GoldenFileTest(f.string()); });
+  }
+  return true;
+}
+
+[[maybe_unused]] const bool kRegistered = RegisterGoldenTests();
+
+}  // namespace
+}  // namespace sciql
