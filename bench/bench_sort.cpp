@@ -114,6 +114,54 @@ void BM_SortMaterializeSweep_Threads(benchmark::State& state) {
 BENCHMARK(BM_SortMaterializeSweep_Threads)->Apply(ThreadArgs)
     ->Unit(benchmark::kMillisecond);
 
+// firstn-vs-sort: top-100 of 1M rows via the bounded-heap FirstN kernel
+// against the full sort it replaces (OrderIndex + head slice). Same rows,
+// same thread counts, adjacent in the merged BENCH_parallel.json report.
+constexpr size_t kTopKRows = 1024 * 1024;
+constexpr size_t kTopK = 100;
+
+void BM_FirstN100of1M_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints().resize(kTopKRows);
+  for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(1u << 30));
+  for (auto _ : state) {
+    b->InvalidateOrderIndex();  // time the heap path, not the index window
+    auto r = FirstN({b.get()}, {false}, kTopK);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kTopKRows);
+}
+BENCHMARK(BM_FirstN100of1M_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortSlice100of1M_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(7);  // identical rows to the FirstN sweep
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints().resize(kTopKRows);
+  for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(1u << 30));
+  for (auto _ : state) {
+    b->InvalidateOrderIndex();
+    auto r = OrderIndex({b.get()}, {false});
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Slice(0, kTopK)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kTopKRows);
+}
+BENCHMARK(BM_SortSlice100of1M_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GroupBuildSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
   auto b = SweepIntColumn(6, 4096);  // partitioned build, modest dictionary

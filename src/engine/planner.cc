@@ -566,18 +566,28 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
       sort_args.push_back(key);
       sort_args.push_back(prog_->Const(ScalarValue::Lng(oi.desc ? 1 : 0)));
     }
-    // A single ascending key orders by the persistent order index
-    // (algebra.orderidx), which is cached on the key column and reused by
-    // later sorts, range-selects and ordered join probes on it.
-    int idx = (sort_args.size() == 2 && !sel.order_by[0].desc)
-                  ? prog_->EmitR("algebra", "orderidx", {sort_args[0]}, "ord")
-                  : prog_->EmitR("algebra", "sort", sort_args, "ord");
+    int idx;
+    if (sel.limit >= 0) {
+      // ORDER BY + LIMIT fuses into top-k: algebra.firstn computes only the
+      // first k index entries (bounded per-morsel heaps; an existing order
+      // index short-circuits to an O(k) window copy), so the sort + slice
+      // pair below never materializes the full permutation.
+      std::vector<int> args = {prog_->Const(ScalarValue::Lng(sel.limit))};
+      args.insert(args.end(), sort_args.begin(), sort_args.end());
+      idx = prog_->EmitR("algebra", "firstn", args, "topk");
+    } else if (sort_args.size() == 2 && !sel.order_by[0].desc) {
+      // A single ascending key orders by the persistent order index
+      // (algebra.orderidx), which is cached on the key column and reused by
+      // later sorts, range-selects and ordered join probes on it.
+      idx = prog_->EmitR("algebra", "orderidx", {sort_args[0]}, "ord");
+    } else {
+      idx = prog_->EmitR("algebra", "sort", sort_args, "ord");
+    }
     for (EnvCol& c : out.cols) {
       c.reg = prog_->EmitR("algebra", "project", {c.reg, idx}, c.name);
     }
-  }
-
-  if (sel.limit >= 0) {
+  } else if (sel.limit >= 0) {
+    // LIMIT without ORDER BY keeps the row-order prefix: a plain slice.
     int lo = prog_->Const(ScalarValue::Lng(0));
     int hi = prog_->Const(ScalarValue::Lng(sel.limit));
     for (EnvCol& c : out.cols) {

@@ -1,3 +1,6 @@
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
@@ -36,12 +39,46 @@ constexpr size_t kMaxParallelGroups = 8192;
 // work at O(kMaxAggPartials * ngroups) regardless of input size.
 constexpr size_t kMaxAggPartials = 64;
 
+// Value-order compare of two non-nil rows of the same BAT, matching the
+// sort-key order (-0.0 ties 0.0 via plain double <). Used to locate tie-run
+// boundaries along an order index; exact for every type (no widening).
+bool RowValueLess(const BAT& v, oid_t a, oid_t b) {
+  switch (v.type()) {
+    case PhysType::kBit:
+      return v.bits()[a] < v.bits()[b];
+    case PhysType::kInt:
+      return v.ints()[a] < v.ints()[b];
+    case PhysType::kLng:
+      return v.lngs()[a] < v.lngs()[b];
+    case PhysType::kDbl:
+      return v.dbls()[a] < v.dbls()[b];
+    case PhysType::kOid:
+      return v.oids()[a] < v.oids()[b];
+    case PhysType::kStr:
+      return v.GetStr(a) < v.GetStr(b);
+  }
+  return false;
+}
+
 size_t AggGrain(size_t n) {
   size_t grain = kMorselRows;
   if (n / grain >= kMaxAggPartials) {
     grain = (n + kMaxAggPartials - 1) / kMaxAggPartials;
   }
   return grain;
+}
+
+// Total order on doubles for MIN/MAX selection, matching the sort-key
+// encoding in sort.cc: NaN (the dbl nil) below every value, -0.0 tying with
+// 0.0. The accumulation loops filter nil rows, so no NaN should reach these
+// compares — but a plain `<` would make the result depend on where a stray
+// NaN sits (a first-arriving NaN poisons the accumulator forever, a later
+// one is never selected). Routing every min/max compare through a total
+// order keeps the aggregate a pure function of the value multiset.
+inline bool DblTotalLess(double a, double b) {
+  if (std::isnan(a)) return !std::isnan(b);
+  if (std::isnan(b)) return false;
+  return a < b;
 }
 
 // Accumulators per group: sums in double and int64 (exact for integers),
@@ -68,8 +105,8 @@ void AccumulateRange(const std::vector<T>& vals,
     a.count++;
     if constexpr (std::is_same_v<T, double>) {
       a.dsum += v;
-      if (!a.any || v < a.dmin) a.dmin = v;
-      if (!a.any || v > a.dmax) a.dmax = v;
+      if (!a.any || DblTotalLess(v, a.dmin)) a.dmin = v;
+      if (!a.any || DblTotalLess(a.dmax, v)) a.dmax = v;
     } else {
       int64_t x = static_cast<int64_t>(v);
       a.isum += x;
@@ -90,8 +127,8 @@ void MergeAccum(Accum* into, const Accum& from) {
   into->count += from.count;
   into->isum += from.isum;
   into->dsum += from.dsum;  // merge order is fixed (morsel order)
-  if (from.dmin < into->dmin) into->dmin = from.dmin;
-  if (from.dmax > into->dmax) into->dmax = from.dmax;
+  if (DblTotalLess(from.dmin, into->dmin)) into->dmin = from.dmin;
+  if (DblTotalLess(into->dmax, from.dmax)) into->dmax = from.dmax;
   if (from.imin < into->imin) into->imin = from.imin;
   if (from.imax > into->imax) into->imax = from.imax;
 }
@@ -283,6 +320,32 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
 }
 
 Result<ScalarValue> Aggregate(AggOp op, const BAT& vals) {
+  // Ungrouped MIN/MAX on a column with a live order index reads the index
+  // endpoints instead of scanning: nils sort first, so the minimum is the
+  // first non-nil entry (the nil prefix boundary is binary-searched —
+  // IsNullAt is monotone along the index) and the maximum is the last
+  // entry. Only a cached index is used; building one would cost a full
+  // sort where the scan is O(n).
+  if ((op == AggOp::kMin || op == AggOp::kMax) &&
+      vals.order_index() != nullptr &&
+      (IsNumeric(vals.type()) || vals.type() == PhysType::kStr)) {
+    const std::vector<oid_t>& ord = *vals.order_index();
+    auto first_non_nil = std::partition_point(
+        ord.begin(), ord.end(),
+        [&vals](oid_t row) { return vals.IsNullAt(row); });
+    if (first_non_nil == ord.end()) return ScalarValue::Null(vals.type());
+    Telemetry().minmax_index++;
+    if (op == AggOp::kMin) return vals.GetScalar(*first_non_nil);
+    // The maximum value is at ord.back(), but the scan path keeps the
+    // *first-arriving* row among ties — observable when -0.0 and 0.0 tie —
+    // so return the first row of the max tie run (runs of the stable sort
+    // are ascending row id).
+    oid_t max_row = ord.back();
+    auto run_start = std::partition_point(
+        first_non_nil, ord.end(),
+        [&vals, max_row](oid_t row) { return RowValueLess(vals, row, max_row); });
+    return vals.GetScalar(*run_start);
+  }
   auto groups = BAT::Make(PhysType::kOid);
   groups->oids().assign(vals.Count(), 0);
   SCIQL_ASSIGN_OR_RETURN(BATPtr one,

@@ -93,6 +93,58 @@ JoinResult OrderedProbeJoin(const std::vector<T>& build,
       });
 }
 
+// True merge join for two indexed inputs: one linear pass over both sorted
+// permutations records, for every probe row, its run [begin, end) of equal
+// values in the build side's sorted index; the shared probe driver then
+// emits the pairs. No hash table, no binary searches — O(nb + np + pairs).
+// Build/probe roles and output shape are exactly the hash path's (pairs
+// ordered by probe row; within a row ascending build oid, because equal-key
+// runs of the stable sort are ascending row id), so the result is
+// bit-identical to the hash join, not merely the same multiset.
+template <typename T>
+JoinResult MergeJoinTyped(const std::vector<T>& build,
+                          const std::vector<T>& probe,
+                          const std::vector<oid_t>& bord,
+                          const std::vector<oid_t>& pord, bool build_left) {
+  const size_t nb = build.size();
+  const size_t np = probe.size();
+  std::vector<size_t> run_begin(np, 0);
+  std::vector<size_t> run_end(np, 0);
+  // Nils sort first on both sides and never match: skip both prefixes.
+  size_t bi = 0;
+  while (bi < nb && TypeTraits<T>::IsNil(build[bord[bi]])) ++bi;
+  size_t pi = 0;
+  while (pi < np && TypeTraits<T>::IsNil(probe[pord[pi]])) ++pi;
+  size_t matches = 0;
+  while (pi < np && bi < nb) {
+    const T pv = probe[pord[pi]];
+    const T bv = build[bord[bi]];
+    if (bv < pv) {
+      ++bi;
+    } else if (pv < bv) {
+      ++pi;
+    } else {
+      size_t be = bi;
+      while (be < nb && build[bord[be]] == pv) ++be;
+      while (pi < np && probe[pord[pi]] == pv) {
+        run_begin[pord[pi]] = bi;
+        run_end[pord[pi]] = be;
+        matches += be - bi;
+        ++pi;
+      }
+      bi = be;
+    }
+  }
+  return ProbeJoin(
+      np, matches, build_left,
+      [&](size_t i, std::vector<oid_t>* bvec, std::vector<oid_t>* pvec) {
+        for (size_t j = run_begin[i]; j < run_end[i]; ++j) {
+          bvec->push_back(bord[j]);
+          pvec->push_back(static_cast<oid_t>(i));
+        }
+      });
+}
+
 template <typename T>
 Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   const auto& lv = l.Data<T>();
@@ -104,6 +156,9 @@ Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   size_t nb = build.size();
   size_t np = probe.size();
 
+  const OrderIndexPtr bidx = (build_left ? l : r).order_index();
+  const OrderIndexPtr pidx = (build_left ? r : l).order_index();
+
   // Merge-join-style flip: when the side that would be *probed* (the larger
   // one) carries a persistent order index and the other side is small
   // enough, take the indexed side as build and binary-search it per probe
@@ -114,15 +169,28 @@ Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   // avoid.) Pairs stay ordered by probe row, which under the flip is the
   // non-indexed side; SQL join output is unordered and the choice depends
   // only on database state, not thread count, so results stay deterministic.
-  const OrderIndexPtr oi = (build_left ? r : l).order_index();
-  if (oi != nullptr && np > 0) {
+  if (pidx != nullptr && np > 0) {
     size_t log2np = 1;
     while ((size_t(1) << log2np) < np) ++log2np;
     if (nb * (log2np + 1) < nb + np) {
-      return OrderedProbeJoin(probe, build, *oi, !build_left);
+      Telemetry().joins_indexed_probe++;
+      return OrderedProbeJoin(probe, build, *pidx, !build_left);
     }
   }
 
+  // Both sides indexed and the one-sided probe gate above did not fire
+  // (the sides are within a log factor of each other, so O(nb + np) work
+  // is unavoidable): take the merge path. In that regime it dominates the
+  // hash path — same linear pass, but no hash table and no re-hashing —
+  // while for a tiny build side the gate above stays strictly better
+  // (log-factor probes instead of walking the large index, and no O(np)
+  // run bookkeeping).
+  if (bidx != nullptr && pidx != nullptr) {
+    Telemetry().joins_merge++;
+    return MergeJoinTyped(build, probe, *bidx, *pidx, build_left);
+  }
+
+  Telemetry().joins_hash++;
   OidHashTable table(nb);
   // Descending insertion makes every chain traverse in ascending build oid.
   for (size_t i = nb; i-- > 0;) {
@@ -150,6 +218,7 @@ Result<JoinResult> HashJoinStr(const BAT& l, const BAT& r) {
   size_t np = r.Count();
   const bool same_heap = l.heap() == r.heap();
 
+  Telemetry().joins_hash++;
   OidHashTable table(nb);
   for (size_t i = nb; i-- > 0;) {
     if (l.IsNullAt(i)) continue;
@@ -313,6 +382,7 @@ Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
   size_t nb = build_left ? nl : nr;
   size_t np = build_left ? nr : nl;
 
+  Telemetry().joins_hash++;
   OidHashTable table(nb);
   for (size_t i = nb; i-- > 0;) {
     bool is_null = false;

@@ -159,11 +159,50 @@ Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
 /// \brief Materialized stable sort of `b` (OrderIndex + Project).
 Result<BATPtr> SortBat(const BAT& b, bool desc);
 
+/// \brief Top-k: the first `k` entries of the stable order index over the
+/// key columns, without materializing the full sort.
+///
+/// Output is bit-identical to OrderIndex(keys, desc) truncated to k rows, at
+/// any thread count: per-morsel bounded heaps keep each morsel's k best rows
+/// under the total order (row id breaks ties), and the deterministic merge of
+/// the candidate sets yields the unique global first-k. A single ascending
+/// key with a live persistent order index short-circuits to an O(k) window
+/// copy of the index head; k >= n/2 (or k near the morsel grain on
+/// multi-morsel inputs) falls back to the full sort — the heaps would
+/// retain nearly every row anyway. All gates depend only on data shape,
+/// never the thread count.
+Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
+                      const std::vector<bool>& desc, size_t k);
+
 /// \brief The persistent ascending (nil-first) stable order index of `b`:
 /// returns the cached index or builds and caches it (see BAT::order_index
 /// for the invalidation lifecycle). Reused by ORDER BY, RangeSelect and the
 /// ordered join probe.
 Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b);
+
+// ---------------------------------------------------------------------------
+// Execution introspection
+// ---------------------------------------------------------------------------
+
+/// \brief Counters recording which physical strategy the index-aware kernels
+/// chose. The engine drives kernels from one thread (only kernel internals
+/// parallelize), so plain counters suffice. Tests reset and inspect these to
+/// pin decision rules ("this plan must not build a hash table") that are
+/// invisible in the result values.
+struct KernelTelemetry {
+  uint64_t joins_hash = 0;           ///< hash build + probe joins
+  uint64_t joins_indexed_probe = 0;  ///< one-sided index binary-search joins
+  uint64_t joins_merge = 0;          ///< both-sides-indexed merge joins
+  uint64_t firstn_index_window = 0;  ///< FirstN served as an index head copy
+  uint64_t firstn_heap = 0;          ///< FirstN via per-morsel bounded heaps
+  uint64_t firstn_sort_fallback = 0; ///< FirstN ran the full sort (k >= n/2)
+  uint64_t minmax_index = 0;         ///< ungrouped MIN/MAX from index endpoints
+
+  void Reset() { *this = KernelTelemetry{}; }
+};
+
+/// \brief The process-wide telemetry counters.
+KernelTelemetry& Telemetry();
 
 }  // namespace gdk
 }  // namespace sciql

@@ -157,36 +157,162 @@ void ParallelSortPermutation(std::vector<oid_t>* idx, const Less& less) {
   }
 }
 
-// Sort [0, n) by the prepared key columns, stable (row id breaks ties).
-std::vector<oid_t> SortedPermutation(size_t n,
-                                     const std::vector<SortCol>& cols) {
-  std::vector<oid_t> idx(n);
-  std::iota(idx.begin(), idx.end(), 0);
+// Invoke `fn` with the total-order comparator for the prepared key columns:
+// a single numeric key compares its uint64 encodings directly, everything
+// else walks the column list; the row id breaks every tie. The one factory
+// serves both the full sort and FirstN, so the top-k contract ("FirstN ==
+// sort + slice, bit for bit") cannot drift between two comparator copies.
+template <typename Fn>
+auto WithComparator(const std::vector<SortCol>& cols, Fn fn) {
   if (cols.size() == 1 && !cols[0].is_str) {
-    // Single numeric key: compare the encodings directly.
     const std::vector<uint64_t>& k = cols[0].keys;
     if (!cols[0].desc) {
-      ParallelSortPermutation(&idx, [&k](oid_t a, oid_t b) {
+      return fn([&k](oid_t a, oid_t b) {
         return k[a] != k[b] ? k[a] < k[b] : a < b;
       });
-    } else {
-      ParallelSortPermutation(&idx, [&k](oid_t a, oid_t b) {
-        return k[a] != k[b] ? k[a] > k[b] : a < b;
-      });
     }
-    return idx;
+    return fn([&k](oid_t a, oid_t b) {
+      return k[a] != k[b] ? k[a] > k[b] : a < b;
+    });
   }
-  ParallelSortPermutation(&idx, [&cols](oid_t a, oid_t b) {
+  return fn([&cols](oid_t a, oid_t b) {
     for (const SortCol& c : cols) {
       int cmp = c.Compare(a, b);
       if (cmp != 0) return c.desc ? cmp > 0 : cmp < 0;
     }
     return a < b;
   });
+}
+
+// Sort [0, n) by the prepared key columns, stable (row id breaks ties).
+std::vector<oid_t> SortedPermutation(size_t n,
+                                     const std::vector<SortCol>& cols) {
+  std::vector<oid_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  WithComparator(cols, [&idx](const auto& less) {
+    ParallelSortPermutation(&idx, less);
+  });
   return idx;
 }
 
+// Append the rows of [begin, end) that belong to the k smallest under
+// `less`, maintained as a max-heap (heap top = worst retained row, evicted
+// when a better row arrives). The retained set is exactly the morsel's
+// first k under the total order, so it does not depend on scheduling.
+template <typename Less>
+void BoundedTopK(size_t begin, size_t end, size_t k, const Less& less,
+                 std::vector<oid_t>* heap) {
+  std::vector<oid_t>& h = *heap;
+  for (size_t i = begin; i < end; ++i) {
+    oid_t row = static_cast<oid_t>(i);
+    if (h.size() < k) {
+      h.push_back(row);
+      std::push_heap(h.begin(), h.end(), less);
+    } else if (less(row, h.front())) {
+      std::pop_heap(h.begin(), h.end(), less);
+      h.back() = row;
+      std::push_heap(h.begin(), h.end(), less);
+    }
+  }
+}
+
+// First k rows of the stable sort order over [0, n): per-morsel bounded
+// heaps, then one sort of the candidate union (<= k rows per morsel, and
+// every global top-k row is some morsel's top-k row). Morsel boundaries are
+// fixed by (n, grain) and `less` is total, so the candidate set and the
+// final first-k are unique — bit-identical at any thread count.
+template <typename Less>
+std::vector<oid_t> FirstNPermutation(size_t n, size_t k, const Less& less) {
+  size_t nmorsels = MorselCount(n, kMorselRows);
+  std::vector<oid_t> cand;
+  if (nmorsels <= 1 || ThreadPool::Get().thread_count() <= 1) {
+    cand.reserve(std::min(n, k));
+    BoundedTopK(0, n, k, less, &cand);
+  } else {
+    std::vector<std::vector<oid_t>> parts(nmorsels);
+    ThreadPool::Get().ParallelFor(
+        n, kMorselRows, [&](size_t m, size_t begin, size_t end) {
+          parts[m].reserve(std::min(end - begin, k));
+          BoundedTopK(begin, end, k, less, &parts[m]);
+        });
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    cand.reserve(total);
+    for (const auto& p : parts) cand.insert(cand.end(), p.begin(), p.end());
+  }
+  std::sort(cand.begin(), cand.end(), less);
+  if (cand.size() > k) cand.resize(k);
+  return cand;
+}
+
+// First k of the prepared key columns, through the shared comparator
+// factory (the exact order SortedPermutation uses).
+std::vector<oid_t> FirstNOfCols(size_t n, size_t k,
+                                const std::vector<SortCol>& cols) {
+  return WithComparator(cols, [n, k](const auto& less) {
+    return FirstNPermutation(n, k, less);
+  });
+}
+
 }  // namespace
+
+KernelTelemetry& Telemetry() {
+  static KernelTelemetry t;
+  return t;
+}
+
+Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
+                      const std::vector<bool>& desc, size_t k) {
+  if (keys.empty()) return Status::InvalidArgument("FirstN: no keys");
+  if (keys.size() != desc.size()) {
+    return Status::Internal("FirstN: keys/desc size mismatch");
+  }
+  size_t n = keys[0]->Count();
+  for (const BAT* key : keys) {
+    if (key->Count() != n) {
+      return Status::Internal("FirstN: key columns misaligned");
+    }
+  }
+  auto out = BAT::Make(PhysType::kOid);
+  if (k == 0 || n == 0) return out;
+
+  // A live persistent index already holds the answer: copy its head. (Only
+  // a cached index is used — building one here would be the full sort this
+  // kernel exists to avoid.)
+  if (keys.size() == 1 && !desc[0] && keys[0]->order_index() != nullptr) {
+    const std::vector<oid_t>& ord = *keys[0]->order_index();
+    out->oids().assign(ord.begin(),
+                       ord.begin() + static_cast<ptrdiff_t>(std::min(k, n)));
+    Telemetry().firstn_index_window++;
+    return out;
+  }
+
+  // Large k degenerates to the full sort: at k >= n/2 the heaps would
+  // retain most rows while adding per-row maintenance, and on multi-morsel
+  // inputs a k approaching the morsel grain makes every morsel keep nearly
+  // all of its rows — the candidate union stops shrinking the problem and
+  // its final sort runs sequentially. Data-shape gates, so the chosen path
+  // (and thus the bit pattern) never depends on threads. (The result is
+  // the unique first-k either way; the gates only pick the cheaper route.)
+  if (k >= (n + 1) / 2 ||
+      (MorselCount(n, kMorselRows) > 1 && k >= kMorselRows / 4)) {
+    Telemetry().firstn_sort_fallback++;
+    SCIQL_ASSIGN_OR_RETURN(BATPtr idx, OrderIndex(keys, desc));
+    if (idx->Count() <= k) return idx;
+    out->oids().assign(idx->oids().begin(),
+                       idx->oids().begin() + static_cast<ptrdiff_t>(k));
+    return out;
+  }
+
+  std::vector<SortCol> cols;
+  cols.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cols.push_back(PrepareCol(*keys[i], desc[i]));
+  }
+  out->oids() = FirstNOfCols(n, k, cols);
+  Telemetry().firstn_heap++;
+  return out;
+}
 
 Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b) {
   if (b.order_index() != nullptr) return b.order_index();

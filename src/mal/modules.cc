@@ -249,6 +249,15 @@ void RegisterAlgebra(MalEngine* e) {
                 SCIQL_ASSIGN_OR_RETURN(BATPtr b, BatArg(ctx, in, 0));
                 SCIQL_ASSIGN_OR_RETURN(int64_t lo, LngArg(ctx, in, 1));
                 SCIQL_ASSIGN_OR_RETURN(int64_t hi, LngArg(ctx, in, 2));
+                // A negative bound cast to size_t would wrap to a huge
+                // offset; reject it here instead of relying on Slice's
+                // clamping (which only bounds the upper end to Count()).
+                if (lo < 0 || hi < 0) {
+                  return Status::InvalidArgument(StrFormat(
+                      "algebra.slice: negative bounds [%lld, %lld)",
+                      static_cast<long long>(lo),
+                      static_cast<long long>(hi)));
+                }
                 SetRet(ctx, in, 0,
                        MalValue::Of(b->Slice(static_cast<size_t>(lo),
                                              static_cast<size_t>(hi))));
@@ -273,6 +282,39 @@ void RegisterAlgebra(MalEngine* e) {
                   desc.push_back(d != 0);
                 }
                 SCIQL_ASSIGN_OR_RETURN(BATPtr idx, gdk::OrderIndex(keys, desc));
+                SetRet(ctx, in, 0, MalValue::Of(idx));
+                return Status::OK();
+              });
+
+  // algebra.firstn(k, key0, desc0, key1, desc1, ...) -> the first k entries
+  // of the stable order index, computed with bounded per-morsel heaps (an
+  // existing persistent index short-circuits to a window copy). Emitted by
+  // the planner for ORDER BY ... LIMIT k in place of a sort + slice pair.
+  e->Register("algebra.firstn",
+              [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
+                if (in.args.size() < 3 || in.args.size() % 2 != 1 ||
+                    in.rets.size() != 1) {
+                  return Status::Internal("algebra.firstn arity");
+                }
+                SCIQL_ASSIGN_OR_RETURN(int64_t k, LngArg(ctx, in, 0));
+                if (k < 0) {
+                  return Status::InvalidArgument(StrFormat(
+                      "algebra.firstn: negative row count %lld",
+                      static_cast<long long>(k)));
+                }
+                std::vector<BATPtr> keep;
+                std::vector<const BAT*> keys;
+                std::vector<bool> desc;
+                for (size_t i = 1; i < in.args.size(); i += 2) {
+                  SCIQL_ASSIGN_OR_RETURN(BATPtr key, BatArg(ctx, in, i));
+                  SCIQL_ASSIGN_OR_RETURN(int64_t d, LngArg(ctx, in, i + 1));
+                  keep.push_back(key);
+                  keys.push_back(keep.back().get());
+                  desc.push_back(d != 0);
+                }
+                SCIQL_ASSIGN_OR_RETURN(
+                    BATPtr idx,
+                    gdk::FirstN(keys, desc, static_cast<size_t>(k)));
                 SetRet(ctx, in, 0, MalValue::Of(idx));
                 return Status::OK();
               });

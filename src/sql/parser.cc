@@ -395,6 +395,15 @@ class Parser {
       if (Cur().type != TokenType::kIntLiteral) {
         return Err("expected an integer after LIMIT");
       }
+      // The lexer clamps overflowing literals to INT64_MAX (strtoll), and
+      // the planner folds the limit into slice/firstn row counts; cap it
+      // well below the clamp so an out-of-range literal is a parse error
+      // with a real message instead of a silently saturated bound.
+      constexpr int64_t kMaxLimit = int64_t{1} << 62;
+      if (Cur().int_val < 0 || Cur().int_val > kMaxLimit) {
+        return Err(StrFormat("LIMIT value %s is out of range (0 .. 2^62)",
+                             Cur().text.c_str()));
+      }
       sel->limit = Cur().int_val;
       Advance();
     }

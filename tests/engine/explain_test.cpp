@@ -76,6 +76,29 @@ TEST_F(ExplainTest, JoinPlanUsesNJoin) {
   EXPECT_NE(cross.find("algebra.crossjoin"), std::string::npos);
 }
 
+TEST_F(ExplainTest, OrderByLimitFusesIntoFirstN) {
+  ASSERT_TRUE(db_.Run("CREATE TABLE t (k INT, v INT)").ok());
+  // ORDER BY + LIMIT compiles to one algebra.firstn — no full sort, no
+  // slice pair left in the plan.
+  std::string plan = Explain("SELECT k FROM t ORDER BY k LIMIT 5");
+  EXPECT_NE(plan.find("algebra.firstn"), std::string::npos);
+  EXPECT_EQ(plan.find("algebra.slice"), std::string::npos);
+  EXPECT_EQ(plan.find("algebra.sort"), std::string::npos);
+  EXPECT_EQ(plan.find("algebra.orderidx"), std::string::npos);
+  // Descending and multi-key sorts fuse too.
+  std::string desc = Explain("SELECT k, v FROM t ORDER BY k DESC, v LIMIT 3");
+  EXPECT_NE(desc.find("algebra.firstn"), std::string::npos);
+  EXPECT_EQ(desc.find("algebra.sort"), std::string::npos);
+  // Without LIMIT the single-ascending-key plan keeps the persistent index.
+  std::string plain = Explain("SELECT k FROM t ORDER BY k");
+  EXPECT_NE(plain.find("algebra.orderidx"), std::string::npos);
+  EXPECT_EQ(plain.find("algebra.firstn"), std::string::npos);
+  // LIMIT without ORDER BY stays a plain row-order slice.
+  std::string sliced = Explain("SELECT k FROM t LIMIT 5");
+  EXPECT_NE(sliced.find("algebra.slice"), std::string::npos);
+  EXPECT_EQ(sliced.find("algebra.firstn"), std::string::npos);
+}
+
 TEST_F(ExplainTest, CellRefPlanGathersThroughPositions) {
   ASSERT_TRUE(db_.Run("CREATE ARRAY g (x INT DIMENSION[0:1:4], "
                       "y INT DIMENSION[0:1:4], v INT DEFAULT 0)")

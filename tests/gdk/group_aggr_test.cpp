@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/gdk/kernels.h"
 
 namespace sciql {
@@ -133,6 +136,142 @@ TEST(AggrTest, WholeBatAggregate) {
   auto rn = Aggregate(AggOp::kSum, *e);
   ASSERT_TRUE(rn.ok());
   EXPECT_TRUE(rn->is_null);
+}
+
+// MIN/MAX over doubles must be a pure function of the value multiset: a NaN
+// (the dbl nil sentinel) must produce the same result wherever it sits in
+// the row order — including at row 0, where a NaN-unsafe `<` chain would
+// let it poison the accumulator, and at morsel boundaries, where the
+// parallel partials merge. Every rotation of the input must agree.
+TEST(AggrTest, DoubleMinMaxNaNPositionInvariant) {
+  const std::vector<double> base = {3.5,      -1.25, DblNil(), 7.0,
+                                    DblNil(), 0.0,   -0.0,     2.5};
+  for (size_t rot = 0; rot < base.size(); ++rot) {
+    auto v = BAT::Make(PhysType::kDbl);
+    v->dbls() = base;
+    std::rotate(v->dbls().begin(), v->dbls().begin() + rot, v->dbls().end());
+    auto mn = Aggregate(AggOp::kMin, *v);
+    ASSERT_TRUE(mn.ok());
+    EXPECT_FALSE(mn->is_null) << "rotation " << rot;
+    EXPECT_EQ(mn->d, -1.25) << "rotation " << rot;
+    auto mx = Aggregate(AggOp::kMax, *v);
+    ASSERT_TRUE(mx.ok());
+    EXPECT_EQ(mx->d, 7.0) << "rotation " << rot;
+  }
+  // All-NaN input is NULL regardless of length.
+  auto all_nan = BAT::Make(PhysType::kDbl);
+  all_nan->dbls() = {DblNil(), DblNil(), DblNil()};
+  auto mn = Aggregate(AggOp::kMin, *all_nan);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_TRUE(mn->is_null);
+}
+
+// The same invariance across morsel boundaries: big input, NaNs moved
+// between the first and the last morsel, grouped and ungrouped results
+// must not change.
+TEST(AggrTest, DoubleMinMaxNaNAcrossMorsels) {
+  constexpr size_t kN = 200000;  // several 64K morsels
+  auto make = [&](size_t nan_at) {
+    auto v = BAT::Make(PhysType::kDbl);
+    v->dbls().resize(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      v->dbls()[i] = static_cast<double>((i * 37) % 1000) - 500.0;
+    }
+    v->dbls()[nan_at] = DblNil();
+    return v;
+  };
+  for (size_t nan_at : {size_t{0}, size_t{70000}, kN - 1}) {
+    auto v = make(nan_at);
+    auto mn = Aggregate(AggOp::kMin, *v);
+    auto mx = Aggregate(AggOp::kMax, *v);
+    ASSERT_TRUE(mn.ok());
+    ASSERT_TRUE(mx.ok());
+    EXPECT_EQ(mn->d, -500.0) << "nan at " << nan_at;
+    EXPECT_EQ(mx->d, 499.0) << "nan at " << nan_at;
+  }
+}
+
+// Ungrouped MIN/MAX with a live order index reads the index endpoints (nil
+// prefix skipped) instead of scanning; without one it scans as before.
+TEST(AggrTest, IndexBackedMinMax) {
+  auto v = IntBat({5, kIntNil, -2, 9, kIntNil, 7});
+  Telemetry().Reset();
+  auto scan_mn = Aggregate(AggOp::kMin, *v);
+  auto scan_mx = Aggregate(AggOp::kMax, *v);
+  ASSERT_TRUE(scan_mn.ok());
+  ASSERT_TRUE(scan_mx.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 0u);
+  ASSERT_TRUE(EnsureOrderIndex(*v).ok());
+  Telemetry().Reset();
+  auto idx_mn = Aggregate(AggOp::kMin, *v);
+  auto idx_mx = Aggregate(AggOp::kMax, *v);
+  ASSERT_TRUE(idx_mn.ok());
+  ASSERT_TRUE(idx_mx.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 2u);
+  EXPECT_EQ(idx_mn->AsInt64(), scan_mn->AsInt64());
+  EXPECT_EQ(idx_mx->AsInt64(), scan_mx->AsInt64());
+  EXPECT_EQ(idx_mn->AsInt64(), -2);
+  EXPECT_EQ(idx_mx->AsInt64(), 9);
+  // Mutation drops the index; the next aggregate scans the new values.
+  ASSERT_TRUE(v->Set(0, ScalarValue::Int(-100)).ok());
+  Telemetry().Reset();
+  auto after = Aggregate(AggOp::kMin, *v);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 0u);
+  EXPECT_EQ(after->AsInt64(), -100);
+}
+
+// The scan path keeps the first-arriving row among ties; the index path
+// must pick the same representative or cached-index state would change the
+// bit pattern of MAX over mixed -0.0/0.0.
+TEST(AggrTest, IndexBackedMinMaxTieRepresentativeMatchesScan) {
+  auto v = BAT::Make(PhysType::kDbl);
+  v->dbls() = {0.0, 3.5, -0.0, 3.5, DblNil(), -2.0, -0.0, 0.0, -2.0};
+  auto scan_mn = Aggregate(AggOp::kMin, *v);
+  auto scan_mx = Aggregate(AggOp::kMax, *v);
+  ASSERT_TRUE(scan_mn.ok());
+  ASSERT_TRUE(scan_mx.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*v).ok());
+  auto idx_mn = Aggregate(AggOp::kMin, *v);
+  auto idx_mx = Aggregate(AggOp::kMax, *v);
+  ASSERT_TRUE(idx_mn.ok());
+  ASSERT_TRUE(idx_mx.ok());
+  EXPECT_EQ(std::signbit(idx_mn->d), std::signbit(scan_mn->d));
+  EXPECT_EQ(idx_mn->d, scan_mn->d);
+  EXPECT_EQ(std::signbit(idx_mx->d), std::signbit(scan_mx->d));
+  EXPECT_EQ(idx_mx->d, scan_mx->d);
+
+  // Zero-only column: MAX ties across +0.0/-0.0; scan keeps row 0's -0.0.
+  auto z = BAT::Make(PhysType::kDbl);
+  z->dbls() = {-0.0, 0.0, -0.0};
+  auto zscan = Aggregate(AggOp::kMax, *z);
+  ASSERT_TRUE(zscan.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*z).ok());
+  auto zidx = Aggregate(AggOp::kMax, *z);
+  ASSERT_TRUE(zidx.ok());
+  EXPECT_EQ(std::signbit(zidx->d), std::signbit(zscan->d));
+}
+
+TEST(AggrTest, IndexBackedMinMaxAllNullAndString) {
+  auto nulls = IntBat({kIntNil, kIntNil});
+  ASSERT_TRUE(EnsureOrderIndex(*nulls).ok());
+  auto mn = Aggregate(AggOp::kMin, *nulls);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_TRUE(mn->is_null);
+
+  auto s = BAT::Make(PhysType::kStr);
+  ASSERT_TRUE(s->Append(ScalarValue::Str("pear")).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Null(PhysType::kStr)).ok());
+  ASSERT_TRUE(s->Append(ScalarValue::Str("apple")).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*s).ok());
+  Telemetry().Reset();
+  auto smn = Aggregate(AggOp::kMin, *s);
+  auto smx = Aggregate(AggOp::kMax, *s);
+  ASSERT_TRUE(smn.ok());
+  ASSERT_TRUE(smx.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 2u);
+  EXPECT_EQ(smn->s, "apple");
+  EXPECT_EQ(smx->s, "pear");
 }
 
 }  // namespace

@@ -454,6 +454,40 @@ TEST(ParallelDeterminism, OrderIndexThreadSweep128) {
   EXPECT_TRUE(BatsBitIdentical(*t1, *t8));
 }
 
+TEST(ParallelDeterminism, FirstNEqualsSortThenSliceAtAnyThreadCount) {
+  // The ISSUE acceptance contract verbatim: FirstN must be bit-identical to
+  // the full sort followed by a slice, at 1, 2 and 8 threads, on a
+  // multi-morsel input with duplicates and NULLs.
+  auto b = IntColumn(kRows, 60, true);
+  for (auto& v : b->ints()) {
+    if (v != kIntNil) v = v % 97;  // duplicate-heavy: ties cross morsels
+  }
+  auto& pool = ThreadPool::Get();
+  for (size_t k : {size_t{1}, size_t{100}, size_t{4096}}) {
+    b->InvalidateOrderIndex();
+    pool.SetThreadCount(1);
+    auto full = OrderIndex({b.get()}, {false}).take();
+    auto expect = full->Slice(0, k);
+    for (int threads : {1, 2, 8}) {
+      pool.SetThreadCount(threads);
+      b->InvalidateOrderIndex();  // force the bounded-heap path
+      auto topk = FirstN({b.get()}, {false}, k).take();
+      EXPECT_TRUE(BatsBitIdentical(*expect, *topk))
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+  // Descending keys go through the generic comparator.
+  pool.SetThreadCount(1);
+  auto full_desc = OrderIndex({b.get()}, {true}).take();
+  auto expect_desc = full_desc->Slice(0, 100);
+  for (int threads : {1, 2, 8}) {
+    pool.SetThreadCount(threads);
+    auto topk = FirstN({b.get()}, {true}, 100).take();
+    EXPECT_TRUE(BatsBitIdentical(*expect_desc, *topk)) << threads;
+  }
+  pool.SetThreadCount(1);
+}
+
 TEST(ParallelDeterminism, PartitionedGroupDuplicateHeavy) {
   // Three distinct values plus NULL: every morsel dictionary contains every
   // group, so the merge pass dedups heavily.

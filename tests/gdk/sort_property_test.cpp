@@ -297,6 +297,157 @@ TEST(SortProperty, MultiKeyOrderIndexLexicographic) {
   }
 }
 
+// --------------------------------------------------------------------------
+// FirstN (top-k) and the both-sides-indexed merge join
+// --------------------------------------------------------------------------
+
+// FirstN over any keys equals the full stable sort truncated to k — across
+// sizes straddling the morsel boundary, ascending/descending/multi-key, and
+// k values hitting the heap path, the k >= n/2 sort fallback and the
+// k > n clamp.
+TEST(SortProperty, FirstNEqualsFullSortPrefix) {
+  for (int threads : {1, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    for (size_t n : kSizes) {
+      auto k1 = RandomInts(n, 500 + n, 40, true);  // duplicate-heavy
+      auto k2 = RandomDbls(n, 600 + n);
+      const std::vector<std::vector<bool>> descs = {{false}, {true}};
+      for (const auto& desc : descs) {
+        k1->InvalidateOrderIndex();
+        auto full = OrderIndex({k1.get()}, desc);
+        ASSERT_TRUE(full.ok());
+        for (size_t k : {size_t{0}, size_t{1}, size_t{100}, n / 2 + 1,
+                         n + 17}) {
+          std::vector<oid_t> expect(
+              full->get()->oids().begin(),
+              full->get()->oids().begin() +
+                  static_cast<ptrdiff_t>(std::min(k, n)));
+          k1->InvalidateOrderIndex();  // force the heap / sort-fallback path
+          auto got = FirstN({k1.get()}, desc, k);
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got->get()->oids(), expect)
+              << "n=" << n << " k=" << k << " desc=" << desc[0]
+              << " threads=" << threads;
+        }
+      }
+      // Multi-key (int asc, dbl desc).
+      auto full = OrderIndex({k1.get(), k2.get()}, {false, true});
+      ASSERT_TRUE(full.ok());
+      size_t k = std::min<size_t>(n, 250);
+      std::vector<oid_t> expect(
+          full->get()->oids().begin(),
+          full->get()->oids().begin() + static_cast<ptrdiff_t>(k));
+      auto got = FirstN({k1.get(), k2.get()}, {false, true}, k);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->get()->oids(), expect) << "multi-key n=" << n;
+    }
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(SortProperty, FirstNServedFromCachedIndexWindow) {
+  auto b = RandomInts(100000, 71, 5000, true);
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  const auto& ord = *b->order_index();
+  Telemetry().Reset();
+  auto got = FirstN({b.get()}, {false}, 25);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(Telemetry().firstn_heap, 0u);
+  EXPECT_EQ(got->get()->oids(),
+            std::vector<oid_t>(ord.begin(), ord.begin() + 25));
+  // Without the cache the same query runs the bounded heaps instead.
+  b->InvalidateOrderIndex();
+  Telemetry().Reset();
+  auto heap = FirstN({b.get()}, {false}, 25);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ(Telemetry().firstn_index_window, 0u);
+  EXPECT_EQ(Telemetry().firstn_heap, 1u);
+  EXPECT_EQ(Telemetry().firstn_sort_fallback, 0u);
+  EXPECT_EQ(heap->get()->oids(), got->get()->oids());
+  // k >= n/2 routes to the full-sort fallback (and says so).
+  b->InvalidateOrderIndex();
+  Telemetry().Reset();
+  auto most = FirstN({b.get()}, {false}, 60000);
+  ASSERT_TRUE(most.ok());
+  EXPECT_EQ(Telemetry().firstn_sort_fallback, 1u);
+  EXPECT_EQ(Telemetry().firstn_heap, 0u);
+  EXPECT_EQ(most->get()->Count(), 60000u);
+}
+
+TEST(SortProperty, MergeJoinBothSidesIndexedIsBitIdenticalToHash) {
+  // With order indexes on BOTH sides — and the sides within a log factor
+  // of each other, so the one-sided binary-search gate stays closed — the
+  // join must take the merge path: no hash table, and still the hash
+  // join's exact output (same pairs in the same order, not merely the
+  // same multiset).
+  auto small = RandomInts(60000, 83, 300, true);  // dup-heavy, with nils
+  auto large = RandomInts(120000, 89, 300, true);
+  Telemetry().Reset();
+  auto hash = HashJoin(*small, *large);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_GT(hash->left->Count(), 0u);
+  ASSERT_TRUE(EnsureOrderIndex(*small).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*large).ok());
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    Telemetry().Reset();
+    auto merged = HashJoin(*small, *large);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(Telemetry().joins_hash, 0u) << "threads=" << threads;
+    EXPECT_EQ(Telemetry().joins_indexed_probe, 0u);
+    EXPECT_EQ(hash->left->oids(), merged->left->oids());
+    EXPECT_EQ(hash->right->oids(), merged->right->oids());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(SortProperty, TinyBuildSideKeepsIndexedProbeOverMerge) {
+  // Both sides indexed but the build side is tiny: the cost-gated
+  // binary-search probe (nb * log2(np) work, no O(np) run bookkeeping)
+  // must win over walking the large index linearly.
+  auto tiny = RandomInts(50, 91, 30, true);
+  auto large = RandomInts(120000, 97, 30, true);
+  auto hash = HashJoin(*tiny, *large);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*tiny).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*large).ok());
+  Telemetry().Reset();
+  auto probed = HashJoin(*tiny, *large);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(Telemetry().joins_indexed_probe, 1u);
+  EXPECT_EQ(Telemetry().joins_merge, 0u);
+  EXPECT_EQ(Telemetry().joins_hash, 0u);
+  EXPECT_EQ(SortedPairs(*hash), SortedPairs(*probed));
+}
+
+TEST(SortProperty, MergeJoinDblZeroSignsAndNils) {
+  // -0.0 and 0.0 are one key; NaN is the dbl nil and never matches. The
+  // merge path must agree with the hash path on both.
+  auto mk = [](std::initializer_list<double> vals) {
+    auto b = BAT::Make(PhysType::kDbl);
+    b->dbls() = vals;
+    return b;
+  };
+  auto l = mk({0.0, 1.5, DblNil(), -0.0, 2.5});
+  auto r = mk({-0.0, DblNil(), 2.5, 0.0, 7.0, 1.5});
+  auto hash = HashJoin(*l, *r);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*l).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*r).ok());
+  Telemetry().Reset();
+  auto merged = HashJoin(*l, *r);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Telemetry().joins_merge, 1u);
+  EXPECT_EQ(SortedPairs(*hash), SortedPairs(*merged));
+  EXPECT_EQ(hash->left->oids(), merged->left->oids());
+  EXPECT_EQ(hash->right->oids(), merged->right->oids());
+  // 0.0/-0.0 cross-match: l rows {0,3} x r rows {0,3}, plus 1.5, 2.5.
+  EXPECT_EQ(merged->left->Count(), 6u);
+}
+
 }  // namespace
 }  // namespace gdk
 }  // namespace sciql

@@ -60,6 +60,71 @@ TEST(MalModulesTest, SortAndSlice) {
   EXPECT_EQ(ctx.Reg(sliced).bat->ints(), (std::vector<int32_t>{4, 6}));
 }
 
+TEST(MalModulesTest, SliceRejectsNegativeBoundsAndClampsHigh) {
+  // Negative bounds would wrap to huge size_t offsets; the handler errors.
+  for (auto [lo, hi] : {std::pair<int64_t, int64_t>{-1, 3},
+                        std::pair<int64_t, int64_t>{0, -2}}) {
+    MalProgram prog;
+    int s = SeriesReg(&prog, 0, 1, 5);
+    prog.EmitR("algebra", "slice",
+               {s, prog.Const(ScalarValue::Lng(lo)),
+                prog.Const(ScalarValue::Lng(hi))},
+               "sl");
+    MalContext ctx(nullptr);
+    Status st = MalEngine::Global().Run(prog, &ctx);
+    EXPECT_FALSE(st.ok()) << "lo=" << lo << " hi=" << hi;
+  }
+  // hi beyond the row count clamps (BAT::Slice), lo > count yields empty.
+  MalProgram prog;
+  int s = SeriesReg(&prog, 0, 1, 5);
+  int clamped = prog.EmitR("algebra", "slice",
+                           {s, prog.Const(ScalarValue::Lng(3)),
+                            prog.Const(ScalarValue::Lng(100))},
+                           "sl");
+  int empty = prog.EmitR("algebra", "slice",
+                         {s, prog.Const(ScalarValue::Lng(50)),
+                          prog.Const(ScalarValue::Lng(60))},
+                         "sl2");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(clamped).bat->ints(), (std::vector<int32_t>{3, 4}));
+  EXPECT_EQ(ctx.Reg(empty).bat->Count(), 0u);
+}
+
+TEST(MalModulesTest, FirstNThroughInterpreter) {
+  MalProgram prog;
+  int s = SeriesReg(&prog, 10, -2, 0);  // 10 8 6 4 2
+  int idx = prog.EmitR("algebra", "firstn",
+                       {prog.Const(ScalarValue::Lng(2)), s,
+                        prog.Const(ScalarValue::Lng(0))},
+                       "idx");
+  int top = prog.EmitR("algebra", "project", {s, idx}, "top");
+  int desc = prog.EmitR("algebra", "firstn",
+                        {prog.Const(ScalarValue::Lng(2)), s,
+                         prog.Const(ScalarValue::Lng(1))},
+                        "idxd");
+  int topd = prog.EmitR("algebra", "project", {s, desc}, "topd");
+  int zero = prog.EmitR("algebra", "firstn",
+                        {prog.Const(ScalarValue::Lng(0)), s,
+                         prog.Const(ScalarValue::Lng(0))},
+                        "z");
+  MalContext ctx(nullptr);
+  ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
+  EXPECT_EQ(ctx.Reg(top).bat->ints(), (std::vector<int32_t>{2, 4}));
+  EXPECT_EQ(ctx.Reg(topd).bat->ints(), (std::vector<int32_t>{10, 8}));
+  EXPECT_EQ(ctx.Reg(zero).bat->Count(), 0u);
+
+  // A negative k is an execution error, not a wrap-around.
+  MalProgram bad;
+  int s2 = SeriesReg(&bad, 0, 1, 5);
+  bad.EmitR("algebra", "firstn",
+            {bad.Const(ScalarValue::Lng(-3)), s2,
+             bad.Const(ScalarValue::Lng(0))},
+            "neg");
+  MalContext ctx2(nullptr);
+  EXPECT_FALSE(MalEngine::Global().Run(bad, &ctx2).ok());
+}
+
 TEST(MalModulesTest, NJoinThroughInterpreter) {
   MalProgram prog;
   int l = SeriesReg(&prog, 0, 1, 4);   // 0 1 2 3

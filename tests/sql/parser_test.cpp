@@ -26,6 +26,20 @@ TEST(ParserTest, PaperCreateArray) {
   EXPECT_EQ(st->columns[2].default_value.i, 0);
 }
 
+TEST(ParserTest, LimitRangeChecked) {
+  auto ok = MustParse("SELECT x FROM t ORDER BY x LIMIT 0");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->select->limit, 0);
+  // Negative: the '-' lexes as an operator, so the literal is missing.
+  auto neg = ParseOne("SELECT x FROM t LIMIT -1");
+  EXPECT_FALSE(neg.ok());
+  // Beyond int64: strtoll saturates, and the range check rejects it with a
+  // real message instead of silently planning a 2^63-row slice.
+  auto huge = ParseOne("SELECT x FROM t LIMIT 99999999999999999999");
+  EXPECT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().ToString().find("out of range"), std::string::npos);
+}
+
 TEST(ParserTest, PaperGuardedUpdate) {
   auto st = MustParse(
       "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
