@@ -1,0 +1,167 @@
+// Storage engine benchmarks at 1M rows: checkpoint cost (dirty-only vs
+// full), cold reopen (manifest-only, lazy columns), and the first query
+// after a reopen (pays the lazy column load). Names carry the Threads/N
+// suffix so the bench_parallel target merges them into BENCH_parallel.json
+// alongside the kernel sweeps (storage I/O itself is single-threaded; the
+// thread arg only feeds the shared merge format).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/database.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sciql::Rng;
+using sciql::engine::Database;
+
+constexpr size_t kRows = 1'000'000;
+
+std::string BenchDir(const char* name) {
+  fs::path dir = fs::temp_directory_path() / "sciql_bench_storage" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Create big(k INT, v DOUBLE) with kRows deterministic rows. The columns are
+// filled through the BAT tails directly (a statement per row would dominate
+// the setup); the mutable accessors mark them dirty like any DML would.
+void FillBigTable(Database* db) {
+  if (!db->Run("CREATE TABLE big (k INT, v DOUBLE)").ok()) std::abort();
+  auto tab = *db->catalog()->GetTable("big");
+  Rng rng(20130622);
+  auto& ks = tab->bats[0]->ints();
+  ks.resize(kRows);
+  for (auto& k : ks) k = static_cast<int32_t>(rng.Below(1u << 30));
+  auto& vs = tab->bats[1]->dbls();
+  vs.resize(kRows);
+  for (auto& v : vs) v = rng.NextDouble() * 1000.0;
+}
+
+void BM_StorageCheckpointFull1M_Threads(benchmark::State& state) {
+  std::string dir = BenchDir("checkpoint_full");
+  Database db;
+  if (!db.Open(dir).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  FillBigTable(&db);
+  for (auto _ : state) {
+    auto st = db.storage_engine()->Checkpoint(/*force_full=*/true);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_StorageCheckpointFull1M_Threads)->Arg(1);
+
+void BM_StorageCheckpointClean1M_Threads(benchmark::State& state) {
+  std::string dir = BenchDir("checkpoint_clean");
+  Database db;
+  if (!db.Open(dir).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  FillBigTable(&db);
+  if (!db.Checkpoint().ok()) {
+    state.SkipWithError("initial checkpoint failed");
+    return;
+  }
+  // Nothing dirty: each checkpoint writes only the manifest. This is the
+  // floor a dirty-tracking bug would blow up (a rewrite-everything regression
+  // shows as ~checkpoint_full time here).
+  for (auto _ : state) {
+    auto st = db.Checkpoint();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_StorageCheckpointClean1M_Threads)->Arg(1);
+
+void BM_StorageCheckpointOneDirtyColumn1M_Threads(benchmark::State& state) {
+  std::string dir = BenchDir("checkpoint_dirty_one");
+  Database db;
+  if (!db.Open(dir).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  FillBigTable(&db);
+  if (!db.Checkpoint().ok()) {
+    state.SkipWithError("initial checkpoint failed");
+    return;
+  }
+  auto tab = *db.catalog()->GetTable("big");
+  int32_t tick = 0;
+  for (auto _ : state) {
+    tab->bats[0]->ints()[0] = ++tick;  // dirty exactly one column
+    auto st = db.Checkpoint();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_StorageCheckpointOneDirtyColumn1M_Threads)->Arg(1);
+
+// Shared read-only 1M-row database directory for the reopen benchmarks.
+const std::string& ReopenDir() {
+  static const std::string dir = [] {
+    std::string d = BenchDir("reopen");
+    Database db;
+    if (!db.Open(d).ok()) std::abort();
+    FillBigTable(&db);
+    if (!db.Checkpoint().ok()) std::abort();
+    return d;
+  }();
+  return dir;
+}
+
+void BM_StorageColdReopen1M_Threads(benchmark::State& state) {
+  const std::string& dir = ReopenDir();
+  for (auto _ : state) {
+    Database db;
+    auto st = db.Open(dir);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(db.HasStorage());
+    // No query: the manifest loads, the 1M-row columns do not.
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_StorageColdReopen1M_Threads)->Arg(1);
+
+void BM_StorageFirstQueryAfterReopen1M_Threads(benchmark::State& state) {
+  const std::string& dir = ReopenDir();
+  for (auto _ : state) {
+    Database db;
+    if (!db.Open(dir).ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    auto rs = db.Query("SELECT COUNT(*) FROM big");
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(rs->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_StorageFirstQueryAfterReopen1M_Threads)->Arg(1);
+
+}  // namespace

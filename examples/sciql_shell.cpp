@@ -17,7 +17,9 @@ int main() {
       "  CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], "
       "v INT DEFAULT 0);\n"
       "  SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2];\n"
-      ".threads N sets the kernel thread count (now %d). Ctrl-D to quit.\n",
+      ".threads N sets the kernel thread count (now %d).\n"
+      ".open DIR attaches a durable database directory, .checkpoint flushes\n"
+      "dirty objects, .close checkpoints and detaches. Ctrl-D to quit.\n",
       sciql::engine::Database::ExecutionThreads());
 
   std::string buffer;
@@ -31,6 +33,46 @@ int main() {
       if (n > 0) sciql::engine::Database::SetExecutionThreads(n);
       std::printf("threads: %d\n",
                   sciql::engine::Database::ExecutionThreads());
+      continue;
+    }
+    if (buffer.empty() && line.rfind(".open", 0) == 0) {
+      std::string dir = line.substr(5);
+      while (!dir.empty() && dir.front() == ' ') dir.erase(dir.begin());
+      if (dir.empty()) {
+        std::printf("usage: .open DIR\n");
+        continue;
+      }
+      auto st = db.Open(dir);
+      if (st.ok()) {
+        std::printf("opened %s (WAL records replayed: %llu)\n", dir.c_str(),
+                    static_cast<unsigned long long>(
+                        db.storage_engine()->stats().wal_replayed));
+      } else {
+        std::printf("!! %s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (buffer.empty() && line.rfind(".checkpoint", 0) == 0) {
+      auto st = db.Checkpoint();
+      if (st.ok()) {
+        auto& s = db.storage_engine()->stats();
+        std::printf("checkpoint: %llu columns written, %llu clean\n",
+                    static_cast<unsigned long long>(
+                        s.checkpoint_columns_written),
+                    static_cast<unsigned long long>(
+                        s.checkpoint_columns_clean));
+      } else {
+        std::printf("!! %s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (buffer.empty() && line.rfind(".close", 0) == 0) {
+      auto st = db.Close();
+      if (st.ok()) {
+        std::printf("closed\n");
+      } else {
+        std::printf("!! %s\n", st.ToString().c_str());
+      }
       continue;
     }
     buffer += line;

@@ -53,16 +53,21 @@ Status TableObject::DeleteRows(const gdk::BAT& positions) {
   return Status::OK();
 }
 
-Status ArrayObject::Materialize() {
+Status ArrayObject::MaterializeDims() {
   for (const auto& d : desc.dims()) {
     SCIQL_RETURN_NOT_OK(d.range.Validate());
   }
-  size_t ncells = desc.CellCount();
   dim_bats.clear();
-  attr_bats.clear();
   for (size_t d = 0; d < desc.ndims(); ++d) {
     dim_bats.push_back(array::MaterializeDim(desc, d));
   }
+  return Status::OK();
+}
+
+Status ArrayObject::Materialize() {
+  SCIQL_RETURN_NOT_OK(MaterializeDims());
+  size_t ncells = desc.CellCount();
+  attr_bats.clear();
   for (const auto& a : desc.attrs()) {
     ScalarValue def = a.default_value;
     if (def.is_null) {
@@ -165,6 +170,21 @@ Status Catalog::CreateArray(const std::string& name, array::ArrayDesc desc) {
   return Status::OK();
 }
 
+Status Catalog::DeclareArray(const std::string& name, array::ArrayDesc desc) {
+  std::string key = ToLower(name);
+  if (Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  if (desc.ndims() == 0) {
+    return Status::InvalidArgument("an array needs at least one dimension");
+  }
+  auto a = std::make_shared<ArrayObject>();
+  a->name = key;
+  a->desc = std::move(desc);
+  arrays_[key] = std::move(a);
+  return Status::OK();
+}
+
 Status Catalog::AdoptArray(const std::string& name,
                            array::MaterializedArray arr) {
   std::string key = ToLower(name);
@@ -182,9 +202,38 @@ Status Catalog::AdoptArray(const std::string& name,
 
 Status Catalog::DropObject(const std::string& name) {
   std::string key = ToLower(name);
+  unloaded_.erase(key);
   if (tables_.erase(key) > 0) return Status::OK();
   if (arrays_.erase(key) > 0) return Status::OK();
   return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
+}
+
+void Catalog::Clear() {
+  tables_.clear();
+  arrays_.clear();
+  unloaded_.clear();
+}
+
+void Catalog::MarkUnloaded(const std::string& name) {
+  unloaded_.insert(ToLower(name));
+}
+
+bool Catalog::IsUnloaded(const std::string& name) const {
+  return unloaded_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::EnsureLoaded(const std::string& key) const {
+  auto it = unloaded_.find(key);
+  if (it == unloaded_.end()) return Status::OK();
+  if (!loader_) {
+    return Status::Internal(
+        StrFormat("object %s is unloaded but no loader is attached",
+                  key.c_str()));
+  }
+  unloaded_.erase(it);
+  Status st = loader_(key);
+  if (!st.ok()) unloaded_.insert(key);
+  return st;
 }
 
 bool Catalog::Exists(const std::string& name) const {
@@ -194,19 +243,23 @@ bool Catalog::Exists(const std::string& name) const {
 
 Result<std::shared_ptr<TableObject>> Catalog::GetTable(
     const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound(StrFormat("no such table: %s", name.c_str()));
   }
+  SCIQL_RETURN_NOT_OK(EnsureLoaded(key));
   return it->second;
 }
 
 Result<std::shared_ptr<ArrayObject>> Catalog::GetArray(
     const std::string& name) const {
-  auto it = arrays_.find(ToLower(name));
+  std::string key = ToLower(name);
+  auto it = arrays_.find(key);
   if (it == arrays_.end()) {
     return Status::NotFound(StrFormat("no such array: %s", name.c_str()));
   }
+  SCIQL_RETURN_NOT_OK(EnsureLoaded(key));
   return it->second;
 }
 

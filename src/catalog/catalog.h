@@ -11,8 +11,10 @@
 #ifndef SCIQL_CATALOG_CATALOG_H_
 #define SCIQL_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,11 @@ struct ArrayObject {
   /// their defaults — the array creation step of paper Sec. 3 / Figure 3.
   Status Materialize();
 
+  /// \brief (Re-)materialise only the dimension BATs, leaving attr_bats
+  /// untouched. The storage engine uses this on lazy load: dimensions always
+  /// rematerialize from the descriptor while attributes stream in from disk.
+  Status MaterializeDims();
+
   /// \brief ALTER ARRAY ... ALTER DIMENSION d SET RANGE r: cells present in
   /// both the old and new geometry keep their values (including holes), new
   /// cells take the attribute defaults (paper Fig. 1(f)).
@@ -61,14 +68,39 @@ struct ArrayObject {
 };
 
 /// \brief Name -> object registry. Object names are case-insensitive.
+///
+/// Lazy loading: a storage engine may declare objects whose column data still
+/// lives on disk and register a loader. GetTable/GetArray materialise such an
+/// object on first access, so reopening a database costs only the objects a
+/// query actually touches (see docs/storage.md).
 class Catalog {
  public:
+  /// Fills the named object's BATs from durable storage. Invoked at most once
+  /// per object, on first GetTable/GetArray access.
+  using Loader = std::function<Status(const std::string& name)>;
+
   Status CreateTable(const std::string& name,
                      std::vector<array::AttrDesc> columns);
   Status CreateArray(const std::string& name, array::ArrayDesc desc);
+  /// \brief Register an array schema WITHOUT materialising its cells (used
+  /// for lazily loaded arrays; pair with MarkUnloaded + a loader).
+  Status DeclareArray(const std::string& name, array::ArrayDesc desc);
   /// \brief Register an already-materialised array (CREATE ARRAY AS SELECT).
   Status AdoptArray(const std::string& name, array::MaterializedArray arr);
   Status DropObject(const std::string& name);
+
+  /// \brief Drop every object (and pending lazy loads); used when a Database
+  /// switches its attached storage directory.
+  void Clear();
+
+  /// \brief Install (or clear, with nullptr) the lazy-load callback.
+  void SetLoader(Loader loader) { loader_ = std::move(loader); }
+
+  /// \brief Flag `name` (already registered) as not yet loaded from storage.
+  void MarkUnloaded(const std::string& name);
+
+  /// \brief True if `name` is declared but its data has not been loaded yet.
+  bool IsUnloaded(const std::string& name) const;
 
   /// True if `name` refers to a table or an array.
   bool Exists(const std::string& name) const;
@@ -81,8 +113,16 @@ class Catalog {
   std::vector<std::string> ArrayNames() const;
 
  private:
+  /// Run the loader for `key` if it is still pending. The pending mark is
+  /// cleared before the loader runs so the loader itself may call
+  /// GetTable/GetArray on the same object; it is restored on failure so a
+  /// later access retries (and reports) the same clean error.
+  Status EnsureLoaded(const std::string& key) const;
+
   std::map<std::string, std::shared_ptr<TableObject>> tables_;
   std::map<std::string, std::shared_ptr<ArrayObject>> arrays_;
+  Loader loader_;
+  mutable std::set<std::string> unloaded_;
 };
 
 }  // namespace catalog

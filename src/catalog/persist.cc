@@ -1,9 +1,10 @@
 #include "src/catalog/persist.h"
 
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "src/catalog/schema_io.h"
+#include "src/common/codec.h"
 #include "src/common/string_util.h"
 
 namespace sciql {
@@ -17,256 +18,133 @@ using gdk::PhysType;
 using gdk::ScalarValue;
 
 constexpr uint32_t kMagic = 0x53514C31;  // "SQL1"
-constexpr uint32_t kVersion = 1;
+// Version 2 adds a whole-image checksum after the version word. Version 1
+// images (no checksum) are still read; new images are always written as v2.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 // ---------------------------------------------------------------------------
-// Primitive writers/readers
+// BATs
 // ---------------------------------------------------------------------------
 
-void PutU32(std::string* out, uint32_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutU64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutI64(std::string* out, int64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutF64(std::string* out, double v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutStr(std::string* out, const std::string& s) {
-  PutU64(out, s.size());
-  out->append(s);
-}
-
-struct Reader {
-  const std::string& data;
-  size_t pos = 0;
-
-  Status Need(size_t n) {
-    if (pos + n > data.size()) {
-      return Status::IOError("truncated catalog image");
-    }
-    return Status::OK();
-  }
-  Result<uint32_t> U32() {
-    SCIQL_RETURN_NOT_OK(Need(4));
-    uint32_t v;
-    std::memcpy(&v, data.data() + pos, 4);
-    pos += 4;
-    return v;
-  }
-  Result<uint64_t> U64() {
-    SCIQL_RETURN_NOT_OK(Need(8));
-    uint64_t v;
-    std::memcpy(&v, data.data() + pos, 8);
-    pos += 8;
-    return v;
-  }
-  Result<int64_t> I64() {
-    SCIQL_ASSIGN_OR_RETURN(uint64_t v, U64());
-    return static_cast<int64_t>(v);
-  }
-  Result<double> F64() {
-    SCIQL_RETURN_NOT_OK(Need(8));
-    double v;
-    std::memcpy(&v, data.data() + pos, 8);
-    pos += 8;
-    return v;
-  }
-  Result<std::string> Str() {
-    SCIQL_ASSIGN_OR_RETURN(uint64_t n, U64());
-    SCIQL_RETURN_NOT_OK(Need(n));
-    std::string s = data.substr(pos, n);
-    pos += n;
-    return s;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Scalars, BATs, schemas
-// ---------------------------------------------------------------------------
-
-void PutScalar(std::string* out, const ScalarValue& v) {
-  PutU32(out, static_cast<uint32_t>(v.type));
-  PutU32(out, v.is_null ? 1 : 0);
-  if (v.is_null) return;
-  switch (v.type) {
-    case PhysType::kDbl:
-      PutF64(out, v.d);
-      break;
-    case PhysType::kStr:
-      PutStr(out, v.s);
-      break;
-    default:
-      PutI64(out, v.i);
-      break;
-  }
-}
-
-Result<ScalarValue> GetScalar(Reader* r) {
-  SCIQL_ASSIGN_OR_RETURN(uint32_t type, r->U32());
-  SCIQL_ASSIGN_OR_RETURN(uint32_t null_flag, r->U32());
-  if (type > static_cast<uint32_t>(PhysType::kStr)) {
-    return Status::IOError("bad scalar type in catalog image");
-  }
-  PhysType t = static_cast<PhysType>(type);
-  if (null_flag != 0) return ScalarValue::Null(t);
-  ScalarValue v;
-  v.type = t;
-  v.is_null = false;
-  switch (t) {
-    case PhysType::kDbl: {
-      SCIQL_ASSIGN_OR_RETURN(v.d, r->F64());
-      return v;
-    }
-    case PhysType::kStr: {
-      SCIQL_ASSIGN_OR_RETURN(v.s, r->Str());
-      return v;
-    }
-    default: {
-      SCIQL_ASSIGN_OR_RETURN(v.i, r->I64());
-      return v;
-    }
-  }
-}
-
-void PutBat(std::string* out, const BAT& b) {
-  PutU32(out, static_cast<uint32_t>(b.type()));
-  PutU64(out, b.Count());
-  switch (b.type()) {
-    case PhysType::kBit:
-      out->append(reinterpret_cast<const char*>(b.bits().data()),
-                  b.Count() * sizeof(uint8_t));
-      break;
-    case PhysType::kInt:
-      out->append(reinterpret_cast<const char*>(b.ints().data()),
-                  b.Count() * sizeof(int32_t));
-      break;
-    case PhysType::kLng:
-      out->append(reinterpret_cast<const char*>(b.lngs().data()),
-                  b.Count() * sizeof(int64_t));
-      break;
-    case PhysType::kDbl:
-      out->append(reinterpret_cast<const char*>(b.dbls().data()),
-                  b.Count() * sizeof(double));
-      break;
-    case PhysType::kOid:
-      out->append(reinterpret_cast<const char*>(b.oids().data()),
-                  b.Count() * sizeof(uint64_t));
-      break;
-    case PhysType::kStr:
-      // Strings serialize by value; offsets are heap-local.
-      for (size_t i = 0; i < b.Count(); ++i) {
-        if (b.IsNullAt(i)) {
-          PutU32(out, 1);
-        } else {
-          PutU32(out, 0);
-          PutStr(out, std::string(b.GetStr(i)));
-        }
+void PutBat(ByteWriter* w, const BAT& b) {
+  w->PutU32(static_cast<uint32_t>(b.type()));
+  w->PutU64(b.Count());
+  if (b.type() == PhysType::kStr) {
+    // Strings serialize by value; offsets are heap-local.
+    for (size_t i = 0; i < b.Count(); ++i) {
+      if (b.IsNullAt(i)) {
+        w->PutU32(1);
+      } else {
+        w->PutU32(0);
+        w->PutStr(b.GetStr(i));
       }
-      break;
+    }
+  } else {
+    w->PutBytes(b.TailData(), b.TailByteSize());
   }
 }
 
-Result<BATPtr> GetBat(Reader* r) {
+Result<BATPtr> GetBat(ByteReader* r) {
   SCIQL_ASSIGN_OR_RETURN(uint32_t type, r->U32());
   SCIQL_ASSIGN_OR_RETURN(uint64_t count, r->U64());
   if (type > static_cast<uint32_t>(PhysType::kStr)) {
     return Status::IOError("bad BAT type in catalog image");
   }
   PhysType t = static_cast<PhysType>(type);
-  auto b = BAT::Make(t);
-  auto fill = [&](auto& vec) -> Status {
-    using T = std::decay_t<decltype(vec[0])>;
-    SCIQL_RETURN_NOT_OK(r->Need(count * sizeof(T)));
-    vec.resize(count);
-    std::memcpy(vec.data(), r->data.data() + r->pos, count * sizeof(T));
-    r->pos += count * sizeof(T);
-    return Status::OK();
-  };
-  switch (t) {
-    case PhysType::kBit:
-      SCIQL_RETURN_NOT_OK(fill(b->bits()));
-      break;
-    case PhysType::kInt:
-      SCIQL_RETURN_NOT_OK(fill(b->ints()));
-      break;
-    case PhysType::kLng:
-      SCIQL_RETURN_NOT_OK(fill(b->lngs()));
-      break;
-    case PhysType::kDbl:
-      SCIQL_RETURN_NOT_OK(fill(b->dbls()));
-      break;
-    case PhysType::kOid:
-      SCIQL_RETURN_NOT_OK(fill(b->oids()));
-      break;
-    case PhysType::kStr:
-      for (uint64_t i = 0; i < count; ++i) {
-        SCIQL_ASSIGN_OR_RETURN(uint32_t null_flag, r->U32());
-        if (null_flag != 0) {
-          SCIQL_RETURN_NOT_OK(b->Append(ScalarValue::Null(PhysType::kStr)));
-        } else {
-          SCIQL_ASSIGN_OR_RETURN(std::string s, r->Str());
-          SCIQL_RETURN_NOT_OK(b->Append(ScalarValue::Str(std::move(s))));
-        }
+  if (t == PhysType::kStr) {
+    auto b = BAT::Make(t);
+    b->Reserve(std::min<uint64_t>(count, r->remaining()));
+    for (uint64_t i = 0; i < count; ++i) {
+      SCIQL_ASSIGN_OR_RETURN(uint32_t null_flag, r->U32());
+      if (null_flag != 0) {
+        SCIQL_RETURN_NOT_OK(b->Append(ScalarValue::Null(PhysType::kStr)));
+      } else {
+        SCIQL_ASSIGN_OR_RETURN(std::string s, r->Str());
+        SCIQL_RETURN_NOT_OK(b->Append(ScalarValue::Str(std::move(s))));
       }
-      break;
+    }
+    return b;
   }
-  return b;
+  size_t width = t == PhysType::kBit ? 1 : t == PhysType::kInt ? 4 : 8;
+  if (count > r->remaining() / width) {
+    return Status::IOError("truncated catalog image: BAT payload");
+  }
+  SCIQL_ASSIGN_OR_RETURN(std::string_view payload, r->Bytes(count * width));
+  return BAT::ImportTail(t, payload, count);
 }
 
-void PutAttrDesc(std::string* out, const array::AttrDesc& a) {
-  PutStr(out, a.name);
-  PutU32(out, static_cast<uint32_t>(a.type));
-  PutScalar(out, a.default_value);
+// Overflow-safe dimension extent (DimRange::Size computes stop - start in
+// int64, which a hostile range can overflow). False means the range itself
+// is malformed.
+bool CheckedDimSize(const array::DimDesc& d, uint64_t* out) {
+  int64_t step = d.range.step;
+  if (step == 0) return false;
+  uint64_t span, ustep;
+  if (step > 0) {
+    if (d.range.stop <= d.range.start) {
+      *out = 0;
+      return true;
+    }
+    span = static_cast<uint64_t>(d.range.stop) -
+           static_cast<uint64_t>(d.range.start);  // exact: wraps mod 2^64
+    ustep = static_cast<uint64_t>(step);
+  } else {
+    if (d.range.stop >= d.range.start) {
+      *out = 0;
+      return true;
+    }
+    span = static_cast<uint64_t>(d.range.start) -
+           static_cast<uint64_t>(d.range.stop);
+    ustep = ~static_cast<uint64_t>(step) + 1;  // -step without INT64_MIN UB
+  }
+  *out = span / ustep + (span % ustep != 0 ? 1 : 0);
+  return true;
 }
 
-Result<array::AttrDesc> GetAttrDesc(Reader* r) {
-  array::AttrDesc a;
-  SCIQL_ASSIGN_OR_RETURN(a.name, r->Str());
-  SCIQL_ASSIGN_OR_RETURN(uint32_t t, r->U32());
-  a.type = static_cast<PhysType>(t);
-  SCIQL_ASSIGN_OR_RETURN(a.default_value, GetScalar(r));
-  return a;
-}
+// Hard plausibility cap on imported array geometry: materializing the
+// dimension BATs of a deserialized array allocates ncells values per
+// dimension, so an (unchecksummed v1) image with a bit-flipped range could
+// otherwise demand terabytes and die on bad_alloc instead of returning a
+// Status. Any image this large could not have been produced by a catalog
+// that fit in memory.
+constexpr uint64_t kMaxImportCells = 1ull << 28;
 
 }  // namespace
 
 Result<std::string> SerializeCatalog(const Catalog& cat) {
-  std::string out;
-  PutU32(&out, kMagic);
-  PutU32(&out, kVersion);
+  std::string payload;
+  ByteWriter w(&payload);
 
   std::vector<std::string> tables = cat.TableNames();
   std::vector<std::string> arrays = cat.ArrayNames();
-  PutU64(&out, tables.size());
-  PutU64(&out, arrays.size());
+  w.PutU64(tables.size());
+  w.PutU64(arrays.size());
 
   for (const std::string& name : tables) {
     SCIQL_ASSIGN_OR_RETURN(auto tab, cat.GetTable(name));
-    PutStr(&out, tab->name);
-    PutU64(&out, tab->columns.size());
-    for (const auto& c : tab->columns) PutAttrDesc(&out, c);
-    for (const auto& b : tab->bats) PutBat(&out, *b);
+    w.PutStr(tab->name);
+    w.PutU64(tab->columns.size());
+    for (const auto& c : tab->columns) PutAttrDesc(&w, c);
+    for (const auto& b : tab->bats) PutBat(&w, *b);
   }
   for (const std::string& name : arrays) {
     SCIQL_ASSIGN_OR_RETURN(auto arr, cat.GetArray(name));
-    PutStr(&out, arr->name);
-    PutU64(&out, arr->desc.ndims());
-    for (const auto& d : arr->desc.dims()) {
-      PutStr(&out, d.name);
-      PutI64(&out, d.range.start);
-      PutI64(&out, d.range.step);
-      PutI64(&out, d.range.stop);
-      PutU32(&out, d.unbounded ? 1 : 0);
-    }
-    PutU64(&out, arr->desc.nattrs());
-    for (const auto& a : arr->desc.attrs()) PutAttrDesc(&out, a);
+    w.PutStr(arr->name);
+    w.PutU64(arr->desc.ndims());
+    for (const auto& d : arr->desc.dims()) PutDimDesc(&w, d);
+    w.PutU64(arr->desc.nattrs());
+    for (const auto& a : arr->desc.attrs()) PutAttrDesc(&w, a);
     // Only attribute BATs are stored; dimension BATs rematerialize.
-    for (const auto& b : arr->attr_bats) PutBat(&out, *b);
+    for (const auto& b : arr->attr_bats) PutBat(&w, *b);
   }
+
+  std::string out;
+  ByteWriter h(&out);
+  h.PutU32(kMagic);
+  h.PutU32(kVersion);
+  h.PutU64(Checksum64(payload));
+  out += payload;
   return out;
 }
 
@@ -274,13 +152,20 @@ Status DeserializeCatalog(Catalog* cat, const std::string& bytes) {
   if (!cat->TableNames().empty() || !cat->ArrayNames().empty()) {
     return Status::InvalidArgument("target catalog is not empty");
   }
-  Reader r{bytes};
+  ByteReader r(bytes);
   SCIQL_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   if (magic != kMagic) return Status::IOError("not a sciql catalog image");
   SCIQL_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::IOError(
         StrFormat("unsupported catalog version %u", version));
+  }
+  if (version >= 2) {
+    SCIQL_ASSIGN_OR_RETURN(uint64_t checksum, r.U64());
+    std::string_view payload(bytes.data() + r.pos(), bytes.size() - r.pos());
+    if (Checksum64(payload) != checksum) {
+      return Status::IOError("catalog image checksum mismatch");
+    }
   }
   SCIQL_ASSIGN_OR_RETURN(uint64_t ntables, r.U64());
   SCIQL_ASSIGN_OR_RETURN(uint64_t narrays, r.U64());
@@ -288,6 +173,9 @@ Status DeserializeCatalog(Catalog* cat, const std::string& bytes) {
   for (uint64_t t = 0; t < ntables; ++t) {
     SCIQL_ASSIGN_OR_RETURN(std::string name, r.Str());
     SCIQL_ASSIGN_OR_RETURN(uint64_t ncols, r.U64());
+    if (ncols > r.remaining()) {
+      return Status::IOError("truncated catalog image: column count");
+    }
     std::vector<array::AttrDesc> cols;
     for (uint64_t c = 0; c < ncols; ++c) {
       SCIQL_ASSIGN_OR_RETURN(array::AttrDesc a, GetAttrDesc(&r));
@@ -295,10 +183,16 @@ Status DeserializeCatalog(Catalog* cat, const std::string& bytes) {
     }
     SCIQL_RETURN_NOT_OK(cat->CreateTable(name, cols));
     SCIQL_ASSIGN_OR_RETURN(auto tab, cat->GetTable(name));
+    size_t nrows = 0;
     for (uint64_t c = 0; c < ncols; ++c) {
       SCIQL_ASSIGN_OR_RETURN(BATPtr b, GetBat(&r));
       if (b->type() != tab->columns[c].type) {
         return Status::IOError("column type mismatch in catalog image");
+      }
+      if (c == 0) {
+        nrows = b->Count();
+      } else if (b->Count() != nrows) {
+        return Status::IOError("column length mismatch in catalog image");
       }
       tab->bats[c] = b;
     }
@@ -306,22 +200,41 @@ Status DeserializeCatalog(Catalog* cat, const std::string& bytes) {
   for (uint64_t a = 0; a < narrays; ++a) {
     SCIQL_ASSIGN_OR_RETURN(std::string name, r.Str());
     SCIQL_ASSIGN_OR_RETURN(uint64_t ndims, r.U64());
+    if (ndims > r.remaining()) {
+      return Status::IOError("truncated catalog image: dimension count");
+    }
     std::vector<array::DimDesc> dims;
     for (uint64_t d = 0; d < ndims; ++d) {
-      array::DimDesc dim;
-      SCIQL_ASSIGN_OR_RETURN(dim.name, r.Str());
-      SCIQL_ASSIGN_OR_RETURN(dim.range.start, r.I64());
-      SCIQL_ASSIGN_OR_RETURN(dim.range.step, r.I64());
-      SCIQL_ASSIGN_OR_RETURN(dim.range.stop, r.I64());
-      SCIQL_ASSIGN_OR_RETURN(uint32_t unbounded, r.U32());
-      dim.unbounded = unbounded != 0;
+      SCIQL_ASSIGN_OR_RETURN(array::DimDesc dim, GetDimDesc(&r));
       dims.push_back(std::move(dim));
     }
     SCIQL_ASSIGN_OR_RETURN(uint64_t nattrs, r.U64());
+    if (nattrs > r.remaining()) {
+      return Status::IOError("truncated catalog image: attribute count");
+    }
     std::vector<array::AttrDesc> attrs;
     for (uint64_t c = 0; c < nattrs; ++c) {
       SCIQL_ASSIGN_OR_RETURN(array::AttrDesc ad, GetAttrDesc(&r));
       attrs.push_back(std::move(ad));
+    }
+    // Geometry plausibility: CreateArray materializes ncells values per
+    // dimension, so validate the (overflow-safe) cell count before letting a
+    // corrupt range turn into a giant allocation.
+    uint64_t ncells = 1;
+    for (const array::DimDesc& d : dims) {
+      uint64_t sz;
+      if (!CheckedDimSize(d, &sz)) {
+        return Status::IOError("malformed dimension range in catalog image");
+      }
+      if (sz != 0 && ncells > kMaxImportCells / sz) {
+        return Status::IOError("implausible array geometry in catalog image");
+      }
+      ncells *= sz;
+    }
+    if (nattrs > 0 && ncells > r.remaining()) {
+      // Each attribute row costs at least one payload byte, so a cell count
+      // beyond the remaining bytes cannot be backed by real data.
+      return Status::IOError("array larger than its catalog image");
     }
     SCIQL_RETURN_NOT_OK(cat->CreateArray(
         name, array::ArrayDesc(std::move(dims), std::move(attrs))));
@@ -334,7 +247,7 @@ Status DeserializeCatalog(Catalog* cat, const std::string& bytes) {
       arr->attr_bats[c] = b;
     }
   }
-  if (r.pos != bytes.size()) {
+  if (!r.AtEnd()) {
     return Status::IOError("trailing bytes in catalog image");
   }
   return Status::OK();

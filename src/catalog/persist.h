@@ -1,10 +1,13 @@
-// Catalog persistence: arrays and tables as *persistent* first-class
-// database objects (paper Sec. 3, "the creation of persistent database
-// objects has been extended to implement array creation").
+// Legacy whole-catalog image: one binary file holding every object's schema
+// and column BATs (versioned header + whole-image checksum; strings stored
+// length-prefixed and re-interned on load).
 //
-// The on-disk layout is one binary file per database: a versioned header,
-// then each object's schema followed by its column BATs. Strings are stored
-// length-prefixed and re-interned on load.
+// This is a read-only import/export path. The engine's durable persistence
+// lives in src/storage/ (per-column heap files, write-ahead log, lazy
+// manifest-driven open — see docs/storage.md); use engine::Database::Open.
+// Deserialization here is hardened against corrupt input: bounds- and
+// overflow-checked reads (common/codec.h), a v2 checksum (v1 images still
+// load), and plausibility caps on array geometry.
 
 #ifndef SCIQL_CATALOG_PERSIST_H_
 #define SCIQL_CATALOG_PERSIST_H_

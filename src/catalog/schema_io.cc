@@ -1,0 +1,91 @@
+#include "src/catalog/schema_io.h"
+
+namespace sciql {
+namespace catalog {
+
+using gdk::PhysType;
+using gdk::ScalarValue;
+
+void PutScalar(ByteWriter* w, const ScalarValue& v) {
+  w->PutU32(static_cast<uint32_t>(v.type));
+  w->PutU32(v.is_null ? 1 : 0);
+  if (v.is_null) return;
+  switch (v.type) {
+    case PhysType::kDbl:
+      w->PutF64(v.d);
+      break;
+    case PhysType::kStr:
+      w->PutStr(v.s);
+      break;
+    default:
+      w->PutI64(v.i);
+      break;
+  }
+}
+
+Result<ScalarValue> GetScalar(ByteReader* r) {
+  SCIQL_ASSIGN_OR_RETURN(uint32_t type, r->U32());
+  SCIQL_ASSIGN_OR_RETURN(uint32_t null_flag, r->U32());
+  if (type > static_cast<uint32_t>(PhysType::kStr)) {
+    return Status::IOError("bad scalar type in catalog image");
+  }
+  PhysType t = static_cast<PhysType>(type);
+  if (null_flag != 0) return ScalarValue::Null(t);
+  ScalarValue v;
+  v.type = t;
+  v.is_null = false;
+  switch (t) {
+    case PhysType::kDbl: {
+      SCIQL_ASSIGN_OR_RETURN(v.d, r->F64());
+      return v;
+    }
+    case PhysType::kStr: {
+      SCIQL_ASSIGN_OR_RETURN(v.s, r->Str());
+      return v;
+    }
+    default: {
+      SCIQL_ASSIGN_OR_RETURN(v.i, r->I64());
+      return v;
+    }
+  }
+}
+
+void PutAttrDesc(ByteWriter* w, const array::AttrDesc& a) {
+  w->PutStr(a.name);
+  w->PutU32(static_cast<uint32_t>(a.type));
+  PutScalar(w, a.default_value);
+}
+
+Result<array::AttrDesc> GetAttrDesc(ByteReader* r) {
+  array::AttrDesc a;
+  SCIQL_ASSIGN_OR_RETURN(a.name, r->Str());
+  SCIQL_ASSIGN_OR_RETURN(uint32_t t, r->U32());
+  if (t > static_cast<uint32_t>(PhysType::kStr)) {
+    return Status::IOError("bad attribute type in catalog image");
+  }
+  a.type = static_cast<PhysType>(t);
+  SCIQL_ASSIGN_OR_RETURN(a.default_value, GetScalar(r));
+  return a;
+}
+
+void PutDimDesc(ByteWriter* w, const array::DimDesc& d) {
+  w->PutStr(d.name);
+  w->PutI64(d.range.start);
+  w->PutI64(d.range.step);
+  w->PutI64(d.range.stop);
+  w->PutU32(d.unbounded ? 1 : 0);
+}
+
+Result<array::DimDesc> GetDimDesc(ByteReader* r) {
+  array::DimDesc dim;
+  SCIQL_ASSIGN_OR_RETURN(dim.name, r->Str());
+  SCIQL_ASSIGN_OR_RETURN(dim.range.start, r->I64());
+  SCIQL_ASSIGN_OR_RETURN(dim.range.step, r->I64());
+  SCIQL_ASSIGN_OR_RETURN(dim.range.stop, r->I64());
+  SCIQL_ASSIGN_OR_RETURN(uint32_t unbounded, r->U32());
+  dim.unbounded = unbounded != 0;
+  return dim;
+}
+
+}  // namespace catalog
+}  // namespace sciql

@@ -1,0 +1,30 @@
+// Binary encoding of schema elements (scalars, attribute and dimension
+// descriptors) shared by the legacy single-file catalog image
+// (src/catalog/persist.cc) and the storage-engine manifest
+// (src/storage/manifest.cc). One codec, so the two formats cannot drift in
+// how they spell a default value or a dimension range.
+
+#ifndef SCIQL_CATALOG_SCHEMA_IO_H_
+#define SCIQL_CATALOG_SCHEMA_IO_H_
+
+#include "src/array/descriptor.h"
+#include "src/common/codec.h"
+#include "src/common/result.h"
+#include "src/gdk/types.h"
+
+namespace sciql {
+namespace catalog {
+
+void PutScalar(ByteWriter* w, const gdk::ScalarValue& v);
+Result<gdk::ScalarValue> GetScalar(ByteReader* r);
+
+void PutAttrDesc(ByteWriter* w, const array::AttrDesc& a);
+Result<array::AttrDesc> GetAttrDesc(ByteReader* r);
+
+void PutDimDesc(ByteWriter* w, const array::DimDesc& d);
+Result<array::DimDesc> GetDimDesc(ByteReader* r);
+
+}  // namespace catalog
+}  // namespace sciql
+
+#endif  // SCIQL_CATALOG_SCHEMA_IO_H_

@@ -1,0 +1,132 @@
+// Bounds-checked binary encoding primitives shared by the catalog image
+// codec (src/catalog/persist.cc) and the durable storage engine
+// (src/storage/). Little-endian fixed-width integers, length-prefixed
+// strings, and a 64-bit content checksum.
+//
+// Every read is overflow-safe: a hostile length prefix can never advance the
+// cursor past the end of the buffer or wrap the arithmetic, so corrupt or
+// truncated input yields a clean Status instead of undefined behaviour.
+
+#ifndef SCIQL_COMMON_CODEC_H_
+#define SCIQL_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sciql {
+
+/// \brief 64-bit content checksum (FNV-1a folded through a splitmix64-style
+/// finalizer). Not cryptographic; detects truncation and bit flips.
+inline uint64_t Checksum64(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// \brief Appends fixed-width primitives to a std::string buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF64(double v) { PutRaw(&v, sizeof(v)); }
+  void PutStr(std::string_view s) {
+    PutU64(s.size());
+    out_->append(s.data(), s.size());
+  }
+  void PutBytes(const void* p, size_t n) { PutRaw(p, n); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    out_->append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string* out_;
+};
+
+/// \brief Cursor over a byte buffer; every accessor bounds-checks before it
+/// advances and fails with IOError on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// \brief Fail unless `n` more bytes are available (overflow-safe).
+  Status Need(uint64_t n) const {
+    if (n > remaining()) {
+      return Status::IOError("truncated input: record extends past the end");
+    }
+    return Status::OK();
+  }
+
+  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+  Result<int64_t> I64() { return Fixed<int64_t>(); }
+  Result<double> F64() { return Fixed<double>(); }
+
+  Result<std::string> Str() {
+    SCIQL_ASSIGN_OR_RETURN(uint64_t n, U64());
+    SCIQL_RETURN_NOT_OK(Need(n));
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// \brief A view of the next `n` bytes (no copy).
+  Result<std::string_view> Bytes(uint64_t n) {
+    SCIQL_RETURN_NOT_OK(Need(n));
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// \brief Read `count` fixed-width values into a vector. The element count
+  /// is validated before any multiplication so a hostile count cannot wrap.
+  template <typename T>
+  Status ReadVector(uint64_t count, std::vector<T>* out) {
+    if (count > remaining() / sizeof(T)) {
+      return Status::IOError("truncated input: vector extends past the end");
+    }
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), data_.data() + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    SCIQL_RETURN_NOT_OK(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sciql
+
+#endif  // SCIQL_COMMON_CODEC_H_

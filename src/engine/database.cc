@@ -36,7 +36,92 @@ void Database::SetExecutionThreads(int n) {
 
 int Database::ExecutionThreads() { return ThreadPool::Get().thread_count(); }
 
+Status Database::Open(const std::string& dir) {
+  if (storage_ != nullptr) {
+    SCIQL_RETURN_NOT_OK(storage_->Checkpoint());
+    storage_.reset();
+  }
+  cat_.Clear();
+  // During WAL replay storage_ is still null, so replayed statements run
+  // through the normal path without being re-logged.
+  auto replay = [this](const std::string& sql) -> Status {
+    SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(sql));
+    return Status::OK();
+  };
+  auto opened = storage::StorageEngine::Open(dir, &cat_, replay);
+  if (!opened.ok()) {
+    // A failed open may have declared objects it can no longer load; drop
+    // them so the session is a clean in-memory database again.
+    cat_.Clear();
+    return opened.status();
+  }
+  storage_ = std::move(*opened);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no storage attached; use Open(dir) first");
+  }
+  return storage_->Checkpoint();
+}
+
+Status Database::Close() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no storage attached; use Open(dir) first");
+  }
+  SCIQL_RETURN_NOT_OK(storage_->Checkpoint());
+  storage_.reset();  // detaches the catalog loader
+  cat_.Clear();
+  return Status::OK();
+}
+
+namespace {
+
+bool IsMutatingStatement(sql::Statement::Kind kind) {
+  switch (kind) {
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateArray:
+    case sql::Statement::Kind::kDrop:
+    case sql::Statement::Kind::kAlterArray:
+    case sql::Statement::Kind::kInsert:
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete:
+      return true;
+    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kExplain:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<ResultSet> Database::ExecuteStatement(const sql::Statement& stmt) {
+  SCIQL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteStatementNoLog(stmt));
+  // The statement committed (applied to the in-memory catalog); with storage
+  // attached it becomes durable by logging its source text to the WAL. The
+  // next checkpoint folds it into the heap files and resets the log.
+  if (storage_ != nullptr && IsMutatingStatement(stmt.kind) &&
+      !stmt.source.empty()) {
+    Status logged = storage_->LogStatement(stmt.source);
+    if (!logged.ok()) {
+      // The mutation is applied in memory but cannot be made durable, and a
+      // retry would double-apply it. Detach the storage so the divergence is
+      // explicit: the session keeps working in-memory, the directory stays
+      // at its last consistent state (checkpoint + logged prefix).
+      storage_.reset();
+      return Status::IOError(StrFormat(
+          "statement applied in memory but could not be logged for "
+          "durability (%s); storage detached — the session continues "
+          "in-memory only and the database directory keeps its last "
+          "consistent state", logged.ToString().c_str()));
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteStatementNoLog(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::Statement::Kind::kExplain: {
       SCIQL_ASSIGN_OR_RETURN(std::string text, BuildExplain(*stmt.inner));

@@ -14,12 +14,14 @@
 #ifndef SCIQL_ENGINE_DATABASE_H_
 #define SCIQL_ENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
 #include "src/engine/result_set.h"
 #include "src/sql/ast.h"
+#include "src/storage/storage_engine.h"
 
 namespace sciql {
 namespace engine {
@@ -45,6 +47,29 @@ class Database {
   /// \brief The optimized MAL program for a statement, as text.
   Result<std::string> ExplainText(const std::string& sql);
 
+  // -------------------------------------------------------------------------
+  // Durable storage (see docs/storage.md)
+  // -------------------------------------------------------------------------
+
+  /// \brief Attach the database to the storage directory `dir` (created on
+  /// first open). Replaces the current session state: attached storage is
+  /// checkpointed and detached, the in-memory catalog is cleared, then the
+  /// directory's manifest is loaded (columns lazily) and its write-ahead log
+  /// replayed. After Open, every committed mutating statement is WAL-logged.
+  Status Open(const std::string& dir);
+
+  /// \brief Write dirty objects and a new manifest, then reset the WAL.
+  Status Checkpoint();
+
+  /// \brief Checkpoint, detach from storage and clear the in-memory catalog,
+  /// returning the Database to a fresh empty session.
+  Status Close();
+
+  bool HasStorage() const { return storage_ != nullptr; }
+  /// The attached storage engine (nullptr when in-memory only); exposed for
+  /// tests and tooling that inspect storage statistics.
+  storage::StorageEngine* storage_engine() { return storage_.get(); }
+
   /// \brief Set the kernel thread count shared by every Database in this
   /// process (morsel-parallel GDK kernels; see docs/execution.md). The
   /// default comes from SCIQL_THREADS or the hardware concurrency.
@@ -56,10 +81,14 @@ class Database {
 
  private:
   Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteStatementNoLog(const sql::Statement& stmt);
   Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);
   Result<std::string> BuildExplain(const sql::Statement& stmt);
 
+  // Declaration order matters: storage_ is destroyed before cat_, and its
+  // destructor detaches the lazy loader that captures the engine pointer.
   catalog::Catalog cat_;
+  std::unique_ptr<storage::StorageEngine> storage_;
 };
 
 }  // namespace engine

@@ -1,5 +1,7 @@
 #include "src/gdk/bat.h"
 
+#include <cstring>
+
 #include "src/common/string_util.h"
 
 namespace sciql {
@@ -255,6 +257,67 @@ BATPtr BAT::Slice(size_t lo, size_t hi) const {
         dst.assign(src.begin() + lo, src.begin() + hi);
       },
       b->tail_);
+  return b;
+}
+
+const void* BAT::TailData() const {
+  return std::visit(
+      [](const auto& v) { return static_cast<const void*>(v.data()); }, tail_);
+}
+
+size_t BAT::TailByteSize() const {
+  return std::visit(
+      [](const auto& v) {
+        return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+      },
+      tail_);
+}
+
+Result<BATPtr> BAT::ImportTail(PhysType t, std::string_view bytes,
+                               uint64_t count) {
+  if (t == PhysType::kStr) {
+    return Status::Internal("ImportTail: use ImportStrTail for string BATs");
+  }
+  auto b = Make(t);
+  Status st = std::visit(
+      [&](auto& vec) -> Status {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        if (count > bytes.size() / sizeof(T) ||
+            count * sizeof(T) != bytes.size()) {
+          return Status::IOError(
+              StrFormat("heap payload holds %zu bytes, expected %llu %s rows",
+                        bytes.size(), static_cast<unsigned long long>(count),
+                        PhysTypeName(t)));
+        }
+        vec.resize(count);
+        if (count > 0) std::memcpy(vec.data(), bytes.data(), bytes.size());
+        return Status::OK();
+      },
+      b->tail_);
+  SCIQL_RETURN_NOT_OK(st);
+  return b;
+}
+
+Result<BATPtr> BAT::ImportStrTail(std::shared_ptr<StrHeap> heap,
+                                  std::string_view bytes, uint64_t count) {
+  if (heap == nullptr) return Status::Internal("ImportStrTail: null heap");
+  if (count > bytes.size() / sizeof(uint64_t) ||
+      count * sizeof(uint64_t) != bytes.size()) {
+    return Status::IOError(
+        StrFormat("string offset payload holds %zu bytes, expected %llu rows",
+                  bytes.size(), static_cast<unsigned long long>(count)));
+  }
+  auto b = MakeStr(std::move(heap));
+  std::vector<uint64_t>& offs = std::get<std::vector<uint64_t>>(b->tail_);
+  offs.resize(count);
+  if (count > 0) std::memcpy(offs.data(), bytes.data(), bytes.size());
+  for (uint64_t off : offs) {
+    if (off != kStrNilOffset && !b->heap_->IsInterned(off)) {
+      return Status::IOError(
+          StrFormat("string offset %llu does not start an interned string",
+                    static_cast<unsigned long long>(off)));
+    }
+  }
   return b;
 }
 

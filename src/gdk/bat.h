@@ -114,6 +114,33 @@ class BAT {
   /// \brief Rows [lo, hi) as a new BAT.
   BATPtr Slice(size_t lo, size_t hi) const;
 
+  // -------------------------------------------------------------------------
+  // Heap export/import (durable storage; see docs/storage.md)
+  // -------------------------------------------------------------------------
+
+  /// \brief The tail as one contiguous byte span (the on-disk heap payload).
+  /// For kStr this is the offset array; the string bytes live in the heap.
+  const void* TailData() const;
+  size_t TailByteSize() const;
+
+  /// \brief Rebuild a non-string BAT from a raw tail payload previously
+  /// produced by TailData(). Validates that `bytes` holds exactly `count`
+  /// values of `t`'s width.
+  static Result<BATPtr> ImportTail(PhysType t, std::string_view bytes,
+                                   uint64_t count);
+
+  /// \brief Rebuild a string BAT from a raw offset payload plus its heap.
+  /// Every offset is validated against the heap's interned set, so a corrupt
+  /// offset array fails cleanly instead of reading garbage.
+  static Result<BATPtr> ImportStrTail(std::shared_ptr<StrHeap> heap,
+                                      std::string_view bytes, uint64_t count);
+
+  /// \brief Monotonic mutation counter: bumped by every hook that can change
+  /// the tail's value (the same hooks that drop the cached order index).
+  /// Storage-layer dirty tracking compares this against the version it last
+  /// persisted; building an order index does NOT bump it (no value change).
+  uint64_t data_version() const { return data_version_; }
+
   /// \brief The cached stable ascending (nil-first) order index, or null if
   /// none has been built. Built lazily by gdk::EnsureOrderIndex and reused by
   /// ORDER BY, range-selects and merge-join-style probes.
@@ -131,8 +158,12 @@ class BAT {
   /// of the BAT, so read-only kernels may cache on const inputs.
   void SetOrderIndex(OrderIndexPtr idx) const;
 
-  /// \brief Drop the cached order index (any mutation invalidates it).
-  void InvalidateOrderIndex() { order_index_.reset(); }
+  /// \brief Drop the cached order index (any mutation invalidates it). Doubles
+  /// as the storage dirty hook: the data version advances with every call.
+  void InvalidateOrderIndex() {
+    order_index_.reset();
+    ++data_version_;
+  }
 
   /// \brief Debug rendering: "[ 0, 1, nil, ... ]".
   std::string ToString(size_t max_rows = 32) const;
@@ -144,6 +175,7 @@ class BAT {
       tail_;
   std::shared_ptr<StrHeap> heap_;  // only for kStr
   mutable OrderIndexPtr order_index_;  // lazy, dropped on mutation
+  uint64_t data_version_ = 0;          // bumped by every mutation hook
 };
 
 /// \brief Materialize `count` dense oids starting at `seq` into `out`.

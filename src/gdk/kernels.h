@@ -180,6 +180,13 @@ Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
 /// ordered join probe.
 Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b);
 
+/// \brief True iff `idx` is exactly the stable ascending (nil-first) order
+/// permutation of `b` — the permutation EnsureOrderIndex would build. Used to
+/// revalidate order indexes loaded from disk: the total order (row id breaks
+/// ties) makes the valid index unique, so an O(n) permutation-plus-adjacency
+/// check suffices.
+bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx);
+
 // ---------------------------------------------------------------------------
 // Execution introspection
 // ---------------------------------------------------------------------------
@@ -197,6 +204,8 @@ struct KernelTelemetry {
   uint64_t firstn_heap = 0;          ///< FirstN via per-morsel bounded heaps
   uint64_t firstn_sort_fallback = 0; ///< FirstN ran the full sort (k >= n/2)
   uint64_t minmax_index = 0;         ///< ungrouped MIN/MAX from index endpoints
+  uint64_t order_index_built = 0;    ///< persistent order indexes sorted anew
+  uint64_t order_index_loaded = 0;   ///< persisted indexes adopted from disk
 
   void Reset() { *this = KernelTelemetry{}; }
 };

@@ -320,8 +320,31 @@ Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b) {
   cols.push_back(PrepareCol(b, /*desc=*/false));
   auto idx = std::make_shared<std::vector<oid_t>>(
       SortedPermutation(b.Count(), cols));
+  Telemetry().order_index_built++;
   b.SetOrderIndex(idx);
   return OrderIndexPtr(std::move(idx));
+}
+
+bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx) {
+  size_t n = b.Count();
+  if (idx.size() != n) return false;
+  // Permutation check first so the comparator below only sees in-range rows.
+  std::vector<bool> seen(n, false);
+  for (oid_t o : idx) {
+    if (o >= n || seen[o]) return false;
+    seen[o] = true;
+  }
+  if (n < 2) return true;
+  // The total order (row id breaks ties) admits exactly one sorted
+  // permutation, so adjacent strict ordering proves idx is it.
+  std::vector<SortCol> cols;
+  cols.push_back(PrepareCol(b, /*desc=*/false));
+  return WithComparator(cols, [&idx, n](const auto& less) {
+    for (size_t i = 1; i < n; ++i) {
+      if (!less(idx[i - 1], idx[i])) return false;
+    }
+    return true;
+  });
 }
 
 Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,

@@ -1,2 +1,32 @@
-// StrHeap is header-only; this file anchors the translation unit.
 #include "src/gdk/strheap.h"
+
+namespace sciql {
+namespace gdk {
+
+Result<std::shared_ptr<StrHeap>> StrHeap::FromBytes(std::string_view bytes) {
+  if (bytes.empty() || bytes[0] != '\0') {
+    return Status::IOError("string heap payload lacks the nil prologue");
+  }
+  if (bytes.back() != '\0') {
+    return Status::IOError("string heap payload is not NUL-terminated");
+  }
+  auto heap = std::make_shared<StrHeap>();
+  heap->data_.assign(bytes.begin(), bytes.end());
+  // Walk the arena and rebuild the dedup index. Offset 0 is the reserved nil
+  // entry; every subsequent string starts right after the previous NUL.
+  size_t off = 1;
+  while (off < heap->data_.size()) {
+    std::string s(heap->data_.data() + off);
+    size_t len = s.size();
+    // First writer wins, matching Put(): only the canonical (first) offset
+    // of a string counts as interned.
+    if (heap->index_.emplace(std::move(s), off).second) {
+      heap->offsets_.insert(off);
+    }
+    off += len + 1;
+  }
+  return heap;
+}
+
+}  // namespace gdk
+}  // namespace sciql

@@ -9,10 +9,14 @@
 #define SCIQL_GDK_STRHEAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "src/common/result.h"
 
 namespace sciql {
 namespace gdk {
@@ -35,6 +39,7 @@ class StrHeap {
     data_.insert(data_.end(), s.begin(), s.end());
     data_.push_back('\0');
     index_.emplace(std::string(s), off);
+    offsets_.insert(off);
     return off;
   }
 
@@ -46,12 +51,33 @@ class StrHeap {
 
   bool IsNil(uint64_t off) const { return off == 0; }
 
+  /// \brief True if `off` is the start of an interned string (or nil). Used
+  /// to validate string BAT offsets loaded from disk; O(1) so the lazy-load
+  /// path can afford a check per row.
+  bool IsInterned(uint64_t off) const {
+    return off == 0 || offsets_.count(off) > 0;
+  }
+
   size_t ByteSize() const { return data_.size(); }
   size_t UniqueCount() const { return index_.size(); }
+
+  // -------------------------------------------------------------------------
+  // Heap export/import (durable storage; see docs/storage.md)
+  // -------------------------------------------------------------------------
+
+  /// \brief The raw arena bytes (NUL-terminated strings back to back,
+  /// starting with the reserved nil byte). This is the on-disk payload.
+  const std::vector<char>& raw() const { return data_; }
+
+  /// \brief Rebuild a heap from raw arena bytes, re-deriving the dedup index
+  /// by walking the NUL-terminated strings. Validates the nil prologue and
+  /// the terminating NUL, so truncated or shifted payloads fail cleanly.
+  static Result<std::shared_ptr<StrHeap>> FromBytes(std::string_view bytes);
 
  private:
   std::vector<char> data_;
   std::unordered_map<std::string, uint64_t> index_;
+  std::unordered_set<uint64_t> offsets_;  // canonical start offsets
 };
 
 }  // namespace gdk

@@ -178,6 +178,11 @@ struct Statement {
   // kExplain
   StatementPtr inner;
 
+  /// The statement's own SQL text (trimmed, no trailing ';'), recovered from
+  /// the parsed input's token spans. The engine's write-ahead log records
+  /// exactly this text for replay on reopen (see docs/storage.md).
+  std::string source;
+
   std::string ToString() const;
 };
 

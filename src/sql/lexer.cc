@@ -82,6 +82,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
     Token t;
     t.line = line;
     t.col = col(i);
+    t.offset = i;
 
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = i;
@@ -212,6 +213,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
   eof.type = TokenType::kEof;
   eof.line = line;
   eof.col = col(i);
+  eof.offset = i;
   out.push_back(eof);
   return out;
 }

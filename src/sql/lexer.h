@@ -29,6 +29,7 @@ struct Token {
   double float_val = 0.0;
   size_t line = 1;
   size_t col = 1;
+  size_t offset = 0;  ///< byte offset of the token's first character
 
   bool IsKeyword(const char* kw) const;
   bool IsOp(const char* op) const {

@@ -12,11 +12,15 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<std::vector<StatementPtr>> ParseStatements() {
+  Result<std::vector<StatementPtr>> ParseStatements(const std::string& text) {
     std::vector<StatementPtr> out;
     while (!AtEof()) {
       if (AcceptOp(";")) continue;
+      size_t begin = Cur().offset;
       SCIQL_ASSIGN_OR_RETURN(StatementPtr s, ParseStatement());
+      // Cur() is now the terminating ';' (or eof), so [begin, Cur().offset)
+      // spans exactly this statement's text.
+      s->source = Trim(text.substr(begin, Cur().offset - begin));
       out.push_back(std::move(s));
       if (!AtEof()) {
         SCIQL_RETURN_NOT_OK(ExpectOp(";"));
@@ -820,7 +824,7 @@ class Parser {
 Result<std::vector<StatementPtr>> Parse(const std::string& text) {
   SCIQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens));
-  return parser.ParseStatements();
+  return parser.ParseStatements(text);
 }
 
 Result<StatementPtr> ParseOne(const std::string& text) {

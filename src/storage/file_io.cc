@@ -1,0 +1,183 @@
+#include "src/storage/file_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/codec.h"
+#include "src/common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCIQL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sciql {
+namespace storage {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError(StrFormat("read failed on %s", path.c_str()));
+  }
+  return ss.str();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  std::string tmp = path + ".tmp";
+#ifdef SCIQL_HAVE_MMAP  // POSIX: fd-based write so the data can be fsynced
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot write %s", tmp.c_str()));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError(StrFormat("short write to %s", tmp.c_str()));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // The rename below is the commit point, so the data must be durable
+  // before the new name is: rename metadata can otherwise reach disk first
+  // and a power loss would leave a committed name with torn contents.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat("fsync of %s failed", tmp.c_str()));
+  }
+  ::close(fd);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError(StrFormat("cannot write %s", tmp.c_str()));
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      return Status::IOError(StrFormat("short write to %s", tmp.c_str()));
+    }
+  }
+#endif
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("rename %s -> %s failed: %s", tmp.c_str(),
+                                     path.c_str(), ec.message().c_str()));
+  }
+#ifdef SCIQL_HAVE_MMAP
+  // Persist the rename itself (the directory entry).
+  std::string parent = std::filesystem::path(path).parent_path().string();
+  if (!parent.empty()) {
+    int dfd = ::open(parent.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      ::fsync(dfd);  // best effort: some filesystems reject directory fsync
+      ::close(dfd);
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#ifdef SCIQL_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, map_len_);
+#endif
+  base_ = other.base_;
+  map_len_ = other.map_len_;
+  fallback_ = std::move(other.fallback_);
+  // A fallback view aliases the owned string, which just moved; a mapped view
+  // aliases the mapping, which transferred verbatim.
+  view_ = base_ != nullptr
+              ? other.view_
+              : std::string_view(fallback_.data(), fallback_.size());
+  other.base_ = nullptr;
+  other.map_len_ = 0;
+  other.view_ = {};
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef SCIQL_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, map_len_);
+#endif
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile f;
+#ifdef SCIQL_HAVE_MMAP
+  const char* no_mmap = std::getenv("SCIQL_NO_MMAP");
+  if (no_mmap == nullptr || no_mmap[0] == '\0' || no_mmap[0] == '0') {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError(StrFormat("cannot stat %s", path.c_str()));
+    }
+    size_t len = static_cast<size_t>(st.st_size);
+    if (len == 0) {
+      ::close(fd);
+      return f;  // empty file: empty view, no mapping needed
+    }
+    void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping survives the descriptor
+    if (base != MAP_FAILED) {
+      f.base_ = base;
+      f.map_len_ = len;
+      f.view_ = std::string_view(static_cast<const char*>(base), len);
+      return f;
+    }
+    // mmap refused (e.g. filesystem without mapping support): fall through.
+  }
+#endif
+  SCIQL_ASSIGN_OR_RETURN(f.fallback_, ReadWholeFile(path));
+  f.view_ = std::string_view(f.fallback_.data(), f.fallback_.size());
+  return f;
+}
+
+std::string EncodeBlock(uint32_t magic, uint32_t aux, uint64_t count,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(24 + payload.size());
+  ByteWriter w(&out);
+  w.PutU32(magic);
+  w.PutU32(aux);
+  w.PutU64(count);
+  w.PutU64(Checksum64(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<Block> DecodeBlock(std::string_view bytes, uint32_t expect_magic) {
+  ByteReader r(bytes);
+  Block b;
+  SCIQL_ASSIGN_OR_RETURN(b.magic, r.U32());
+  if (b.magic != expect_magic) {
+    return Status::IOError("storage block has the wrong magic (wrong or "
+                           "corrupt file)");
+  }
+  SCIQL_ASSIGN_OR_RETURN(b.aux, r.U32());
+  SCIQL_ASSIGN_OR_RETURN(b.count, r.U64());
+  SCIQL_ASSIGN_OR_RETURN(uint64_t checksum, r.U64());
+  SCIQL_ASSIGN_OR_RETURN(b.payload, r.Bytes(r.remaining()));
+  if (Checksum64(b.payload) != checksum) {
+    return Status::IOError("storage block checksum mismatch");
+  }
+  return b;
+}
+
+}  // namespace storage
+}  // namespace sciql

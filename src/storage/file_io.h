@@ -1,0 +1,84 @@
+// File-level primitives of the durable storage engine: whole-file reads,
+// atomic (write-tmp-then-rename) writes, memory-mapped reads with a portable
+// fallback, and the checksummed block-file envelope every heap / string-heap
+// / order-index file uses on disk. See docs/storage.md for the layout.
+
+#ifndef SCIQL_STORAGE_FILE_IO_H_
+#define SCIQL_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace sciql {
+namespace storage {
+
+/// \brief Read the entire file at `path` into a string.
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// \brief Write `bytes` to `path` atomically: the data lands in `path`.tmp
+/// first and is renamed over `path`, so a crash mid-write can never leave a
+/// half-written file under the final name.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// \brief A read-only view of a file, memory-mapped where the platform
+/// supports it (POSIX mmap) and read into an owned buffer otherwise. Setting
+/// SCIQL_NO_MMAP=1 in the environment forces the fallback path (used to test
+/// both routes on one platform). Move-only; the view stays valid for the
+/// lifetime of the object.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::string_view data() const { return view_; }
+  /// True if the view is backed by an actual memory mapping.
+  bool mmapped() const { return base_ != nullptr; }
+
+ private:
+  void* base_ = nullptr;  // mmap base (non-null only on the mmap path)
+  size_t map_len_ = 0;
+  std::string fallback_;  // owned bytes on the read-whole-file path
+  std::string_view view_;
+};
+
+// ---------------------------------------------------------------------------
+// Block files
+// ---------------------------------------------------------------------------
+// Every storage file is one "block": a fixed header carrying a kind magic, a
+// kind-specific aux word (e.g. the column's PhysType), a logical count and a
+// checksum, followed by the raw payload. The checksum covers the payload, so
+// truncation and bit flips are detected before any bytes are interpreted.
+
+inline constexpr uint32_t kHeapMagic = 0x48515153;     // "SQQH"
+inline constexpr uint32_t kStrHeapMagic = 0x53515153;  // "SQQS"
+inline constexpr uint32_t kOrderIdxMagic = 0x58515153; // "SQQX"
+
+struct Block {
+  uint32_t magic = 0;
+  uint32_t aux = 0;
+  uint64_t count = 0;
+  std::string_view payload;
+};
+
+/// \brief Assemble a block file image (header + checksum + payload copy).
+std::string EncodeBlock(uint32_t magic, uint32_t aux, uint64_t count,
+                        std::string_view payload);
+
+/// \brief Parse and verify a block file image; `expect_magic` guards against
+/// pointing a loader at the wrong kind of file. The returned payload view
+/// aliases `bytes`.
+Result<Block> DecodeBlock(std::string_view bytes, uint32_t expect_magic);
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_FILE_IO_H_

@@ -1,0 +1,135 @@
+#include "src/storage/manifest.h"
+
+#include "src/catalog/schema_io.h"
+#include "src/common/codec.h"
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D4C5153;  // "SQLM"
+constexpr uint32_t kManifestVersion = 1;
+
+void PutColumnFiles(ByteWriter* w, const ColumnFiles& f) {
+  w->PutStr(f.heap);
+  w->PutStr(f.strheap);
+  w->PutStr(f.oidx);
+}
+
+Result<ColumnFiles> GetColumnFiles(ByteReader* r) {
+  ColumnFiles f;
+  SCIQL_ASSIGN_OR_RETURN(f.heap, r->Str());
+  SCIQL_ASSIGN_OR_RETURN(f.strheap, r->Str());
+  SCIQL_ASSIGN_OR_RETURN(f.oidx, r->Str());
+  return f;
+}
+
+}  // namespace
+
+std::string Manifest::Encode() const {
+  std::string payload;
+  ByteWriter w(&payload);
+  w.PutU64(next_epoch);
+  w.PutStr(wal_file);
+  w.PutU64(tables.size());
+  w.PutU64(arrays.size());
+  for (const TableManifest& t : tables) {
+    w.PutStr(t.name);
+    w.PutU64(t.row_count);
+    w.PutU64(t.columns.size());
+    for (const auto& c : t.columns) catalog::PutAttrDesc(&w, c);
+    for (const auto& f : t.files) PutColumnFiles(&w, f);
+  }
+  for (const ArrayManifest& a : arrays) {
+    w.PutStr(a.name);
+    w.PutU64(a.dims.size());
+    for (const auto& d : a.dims) catalog::PutDimDesc(&w, d);
+    w.PutU64(a.attrs.size());
+    for (const auto& at : a.attrs) catalog::PutAttrDesc(&w, at);
+    for (const auto& f : a.files) PutColumnFiles(&w, f);
+  }
+
+  std::string out;
+  ByteWriter h(&out);
+  h.PutU32(kManifestMagic);
+  h.PutU32(kManifestVersion);
+  h.PutU64(Checksum64(payload));
+  out += payload;
+  return out;
+}
+
+Result<Manifest> Manifest::Decode(std::string_view bytes) {
+  ByteReader r(bytes);
+  SCIQL_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kManifestMagic) {
+    return Status::IOError("not a sciql storage manifest");
+  }
+  SCIQL_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kManifestVersion) {
+    return Status::IOError(
+        StrFormat("unsupported manifest version %u", version));
+  }
+  SCIQL_ASSIGN_OR_RETURN(uint64_t checksum, r.U64());
+  std::string_view payload(bytes.data() + r.pos(), bytes.size() - r.pos());
+  if (Checksum64(payload) != checksum) {
+    return Status::IOError("manifest checksum mismatch");
+  }
+
+  Manifest m;
+  SCIQL_ASSIGN_OR_RETURN(m.next_epoch, r.U64());
+  SCIQL_ASSIGN_OR_RETURN(m.wal_file, r.Str());
+  SCIQL_ASSIGN_OR_RETURN(uint64_t ntables, r.U64());
+  SCIQL_ASSIGN_OR_RETURN(uint64_t narrays, r.U64());
+  for (uint64_t t = 0; t < ntables; ++t) {
+    TableManifest tm;
+    SCIQL_ASSIGN_OR_RETURN(tm.name, r.Str());
+    SCIQL_ASSIGN_OR_RETURN(tm.row_count, r.U64());
+    SCIQL_ASSIGN_OR_RETURN(uint64_t ncols, r.U64());
+    if (ncols > r.remaining()) {
+      return Status::IOError("truncated manifest: column count");
+    }
+    for (uint64_t c = 0; c < ncols; ++c) {
+      SCIQL_ASSIGN_OR_RETURN(array::AttrDesc a, catalog::GetAttrDesc(&r));
+      tm.columns.push_back(std::move(a));
+    }
+    for (uint64_t c = 0; c < ncols; ++c) {
+      SCIQL_ASSIGN_OR_RETURN(ColumnFiles f, GetColumnFiles(&r));
+      tm.files.push_back(std::move(f));
+    }
+    m.tables.push_back(std::move(tm));
+  }
+  for (uint64_t a = 0; a < narrays; ++a) {
+    ArrayManifest am;
+    SCIQL_ASSIGN_OR_RETURN(am.name, r.Str());
+    SCIQL_ASSIGN_OR_RETURN(uint64_t ndims, r.U64());
+    if (ndims > r.remaining()) {
+      return Status::IOError("truncated manifest: dimension count");
+    }
+    for (uint64_t d = 0; d < ndims; ++d) {
+      SCIQL_ASSIGN_OR_RETURN(array::DimDesc dim, catalog::GetDimDesc(&r));
+      am.dims.push_back(std::move(dim));
+    }
+    SCIQL_ASSIGN_OR_RETURN(uint64_t nattrs, r.U64());
+    if (nattrs > r.remaining()) {
+      return Status::IOError("truncated manifest: attribute count");
+    }
+    for (uint64_t c = 0; c < nattrs; ++c) {
+      SCIQL_ASSIGN_OR_RETURN(array::AttrDesc ad, catalog::GetAttrDesc(&r));
+      am.attrs.push_back(std::move(ad));
+    }
+    for (uint64_t c = 0; c < nattrs; ++c) {
+      SCIQL_ASSIGN_OR_RETURN(ColumnFiles f, GetColumnFiles(&r));
+      am.files.push_back(std::move(f));
+    }
+    m.arrays.push_back(std::move(am));
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes in manifest");
+  }
+  return m;
+}
+
+}  // namespace storage
+}  // namespace sciql

@@ -1,0 +1,68 @@
+// The database manifest: the small, eagerly-loaded root of a storage
+// directory. It records every object's schema plus the names of the heap
+// files holding each column's data, so opening a database reads one file and
+// defers every column heap until a query touches its object.
+//
+// The manifest is rewritten atomically at each checkpoint (write MANIFEST.tmp,
+// rename over MANIFEST); heap files are never overwritten in place — dirty
+// columns get fresh file names (a per-manifest epoch counter), so the old
+// manifest stays valid until the rename commits the new one.
+
+#ifndef SCIQL_STORAGE_MANIFEST_H_
+#define SCIQL_STORAGE_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/array/descriptor.h"
+#include "src/common/result.h"
+
+namespace sciql {
+namespace storage {
+
+/// \brief On-disk file names (relative to the database directory) backing one
+/// column: its heap, its string heap (kStr columns only) and its persisted
+/// order index (only while a valid index exists at checkpoint time).
+struct ColumnFiles {
+  std::string heap;
+  std::string strheap;  // empty unless the column is kStr
+  std::string oidx;     // empty unless an order index is persisted
+};
+
+struct TableManifest {
+  std::string name;
+  std::vector<array::AttrDesc> columns;
+  std::vector<ColumnFiles> files;  // aligned with columns
+  uint64_t row_count = 0;
+};
+
+struct ArrayManifest {
+  std::string name;
+  std::vector<array::DimDesc> dims;
+  std::vector<array::AttrDesc> attrs;
+  std::vector<ColumnFiles> files;  // aligned with attrs (dims rematerialize)
+};
+
+struct Manifest {
+  /// File-name version counter: the next checkpoint stamps new heap files
+  /// with epochs >= this, guaranteeing fresh names that never collide with
+  /// files the current manifest still references.
+  uint64_t next_epoch = 1;
+  /// The write-ahead log this manifest pairs with. Checkpoints switch to a
+  /// fresh epoch-stamped log and commit its name here, so the manifest
+  /// rename atomically orphans the old log — a crash can never replay
+  /// statements the new manifest already folded in (no double-apply).
+  std::string wal_file = "wal.log";
+  std::vector<TableManifest> tables;
+  std::vector<ArrayManifest> arrays;
+
+  /// \brief Serialize (versioned, checksummed).
+  std::string Encode() const;
+  /// \brief Parse and verify a manifest image.
+  static Result<Manifest> Decode(std::string_view bytes);
+};
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_MANIFEST_H_

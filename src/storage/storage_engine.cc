@@ -1,0 +1,485 @@
+#include "src/storage/storage_engine.h"
+
+#include <filesystem>
+#include <set>
+
+#include "src/common/codec.h"
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+#include "src/storage/file_io.h"
+
+namespace sciql {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+using gdk::BAT;
+using gdk::BATPtr;
+using gdk::PhysType;
+
+namespace {
+
+constexpr const char* kManifestFile = "MANIFEST";
+constexpr const char* kHeapDir = "heaps";
+
+// Object/column names become file name components. Quoted SQL identifiers
+// may contain arbitrary characters ('/', '.', '..'), so anything outside
+// [a-z0-9_] is mapped to '_'; uniqueness comes from the epoch, never from
+// the name, so collisions between sanitized names are harmless.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string EpochName(const std::string& object, const std::string& column,
+                      uint64_t epoch, const char* suffix) {
+  return StrFormat("%s/%s.%s.%llu.%s", kHeapDir,
+                   SanitizeName(object).c_str(), SanitizeName(column).c_str(),
+                   static_cast<unsigned long long>(epoch), suffix);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& dir, catalog::Catalog* cat, const ReplayFn& replay) {
+  if (!cat->TableNames().empty() || !cat->ArrayNames().empty()) {
+    return Status::InvalidArgument(
+        "storage can only attach to an empty catalog");
+  }
+  std::unique_ptr<StorageEngine> eng(new StorageEngine());
+  eng->dir_ = dir;
+  eng->cat_ = cat;
+
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / kHeapDir, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot create database directory %s: %s",
+                                     dir.c_str(), ec.message().c_str()));
+  }
+
+  std::string manifest_path = (fs::path(dir) / kManifestFile).string();
+  if (fs::exists(manifest_path)) {
+    SCIQL_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(manifest_path));
+    SCIQL_ASSIGN_OR_RETURN(eng->manifest_, Manifest::Decode(bytes));
+  }
+  eng->epoch_ = eng->manifest_.next_epoch;
+
+  // Declare every manifest object: schema now, column data on first touch.
+  for (const TableManifest& tm : eng->manifest_.tables) {
+    SCIQL_RETURN_NOT_OK(cat->CreateTable(tm.name, tm.columns));
+    cat->MarkUnloaded(tm.name);
+  }
+  for (const ArrayManifest& am : eng->manifest_.arrays) {
+    SCIQL_RETURN_NOT_OK(
+        cat->DeclareArray(am.name, array::ArrayDesc(am.dims, am.attrs)));
+    cat->MarkUnloaded(am.name);
+  }
+  StorageEngine* raw = eng.get();
+  cat->SetLoader([raw](const std::string& name) {
+    return raw->LoadObject(name);
+  });
+
+  // Replay committed statements since the last checkpoint; a torn tail is
+  // truncated. Replay triggers lazy loads of exactly the touched objects.
+  // The manifest names the log it pairs with: a checkpoint that crashed
+  // after its manifest commit left an old log behind, which is exactly the
+  // one we must NOT replay (its statements are folded into the heaps).
+  std::string wal_path = (fs::path(dir) / eng->manifest_.wal_file).string();
+  Wal::ReplayFn replay_record;
+  if (replay) {
+    replay_record = [&replay](std::string_view payload) {
+      return replay(std::string(payload));
+    };
+  }
+  SCIQL_ASSIGN_OR_RETURN(eng->wal_, Wal::Open(wal_path, replay_record));
+  eng->stats_.wal_replayed = eng->wal_->replayed_count();
+  eng->stats_.wal_discarded_bytes = eng->wal_->discarded_bytes();
+  return eng;
+}
+
+StorageEngine::~StorageEngine() { Detach(); }
+
+void StorageEngine::Detach() {
+  if (cat_ != nullptr) {
+    cat_->SetLoader(nullptr);
+    cat_ = nullptr;
+  }
+}
+
+Status StorageEngine::LogStatement(const std::string& sql) {
+  if (wal_ == nullptr) return Status::Internal("storage engine has no WAL");
+  return wal_->Append(sql);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy loading
+// ---------------------------------------------------------------------------
+
+Status StorageEngine::LoadObject(const std::string& name) {
+  for (const TableManifest& tm : manifest_.tables) {
+    if (tm.name == name) return LoadTable(name, tm);
+  }
+  for (const ArrayManifest& am : manifest_.arrays) {
+    if (am.name == name) return LoadArray(name, am);
+  }
+  return Status::Internal(
+      StrFormat("object %s is not in the storage manifest", name.c_str()));
+}
+
+Status StorageEngine::LoadTable(const std::string& name,
+                                const TableManifest& tm) {
+  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(name));
+  ObjectState state;
+  for (size_t c = 0; c < tm.columns.size(); ++c) {
+    SCIQL_ASSIGN_OR_RETURN(
+        BATPtr b, LoadColumn(name, tm.columns[c].name, tm.columns[c].type,
+                             tm.files[c], &state));
+    if (b->Count() != tm.row_count) {
+      return Status::IOError(StrFormat(
+          "column %s.%s holds %zu rows, manifest says %llu", name.c_str(),
+          tm.columns[c].name.c_str(), b->Count(),
+          static_cast<unsigned long long>(tm.row_count)));
+    }
+    tab->bats[c] = b;
+  }
+  state_[name] = std::move(state);
+  stats_.objects_loaded++;
+  return Status::OK();
+}
+
+Status StorageEngine::LoadArray(const std::string& name,
+                                const ArrayManifest& am) {
+  SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(name));
+  SCIQL_RETURN_NOT_OK(arr->MaterializeDims());
+  size_t ncells = arr->CellCount();
+  ObjectState state;
+  std::vector<BATPtr> attrs;
+  for (size_t c = 0; c < am.attrs.size(); ++c) {
+    SCIQL_ASSIGN_OR_RETURN(
+        BATPtr b, LoadColumn(name, am.attrs[c].name, am.attrs[c].type,
+                             am.files[c], &state));
+    if (b->Count() != ncells) {
+      return Status::IOError(StrFormat(
+          "attribute %s.%s holds %zu cells, the array geometry needs %zu",
+          name.c_str(), am.attrs[c].name.c_str(), b->Count(), ncells));
+    }
+    attrs.push_back(std::move(b));
+  }
+  arr->attr_bats = std::move(attrs);
+  state_[name] = std::move(state);
+  stats_.objects_loaded++;
+  return Status::OK();
+}
+
+Result<BATPtr> StorageEngine::LoadColumn(const std::string& object,
+                                         const std::string& column,
+                                         PhysType type,
+                                         const ColumnFiles& files,
+                                         ObjectState* state) {
+  std::string heap_path = (fs::path(dir_) / files.heap).string();
+  SCIQL_ASSIGN_OR_RETURN(MappedFile heap_file, MappedFile::Open(heap_path));
+  SCIQL_ASSIGN_OR_RETURN(Block heap, DecodeBlock(heap_file.data(), kHeapMagic));
+  if (heap.aux != static_cast<uint32_t>(type)) {
+    return Status::IOError(StrFormat("heap %s stores type %u, schema says %s",
+                                     files.heap.c_str(), heap.aux,
+                                     PhysTypeName(type)));
+  }
+
+  BATPtr bat;
+  if (type == PhysType::kStr) {
+    if (files.strheap.empty()) {
+      return Status::IOError(StrFormat("string column %s.%s has no string "
+                                       "heap file", object.c_str(),
+                                       column.c_str()));
+    }
+    std::string sh_path = (fs::path(dir_) / files.strheap).string();
+    SCIQL_ASSIGN_OR_RETURN(MappedFile sh_file, MappedFile::Open(sh_path));
+    SCIQL_ASSIGN_OR_RETURN(Block sh, DecodeBlock(sh_file.data(), kStrHeapMagic));
+    SCIQL_ASSIGN_OR_RETURN(auto strheap, gdk::StrHeap::FromBytes(sh.payload));
+    SCIQL_ASSIGN_OR_RETURN(
+        bat, BAT::ImportStrTail(std::move(strheap), heap.payload, heap.count));
+  } else {
+    SCIQL_ASSIGN_OR_RETURN(bat, BAT::ImportTail(type, heap.payload, heap.count));
+  }
+
+  ColumnState cs;
+  cs.files = files;
+
+  // The persisted order index is derived data: revalidate it against the
+  // loaded column and adopt it only if it is exactly the index the sort
+  // would rebuild. A corrupt or stale index is dropped, never trusted.
+  if (!files.oidx.empty()) {
+    bool adopted = false;
+    std::string ox_path = (fs::path(dir_) / files.oidx).string();
+    Result<MappedFile> ox_file = MappedFile::Open(ox_path);
+    if (ox_file.ok()) {
+      Result<Block> ox = DecodeBlock(ox_file->data(), kOrderIdxMagic);
+      if (ox.ok()) {
+        ByteReader r(ox->payload);
+        std::vector<gdk::oid_t> idx;
+        if (r.ReadVector(ox->count, &idx).ok() && r.AtEnd() &&
+            gdk::ValidateOrderIndex(*bat, idx)) {
+          auto shared = std::make_shared<std::vector<gdk::oid_t>>(
+              std::move(idx));
+          cs.oidx = shared.get();
+          bat->SetOrderIndex(std::move(shared));
+          gdk::Telemetry().order_index_loaded++;
+          stats_.order_indexes_loaded++;
+          adopted = true;
+        }
+      }
+    }
+    if (!adopted) {
+      cs.files.oidx.clear();
+      stats_.order_indexes_rejected++;
+    }
+  }
+
+  cs.bat = bat;
+  cs.version = bat->data_version();
+  state->cols.push_back(std::move(cs));
+  return bat;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+Status StorageEngine::WriteColumn(const std::string& object,
+                                  const std::string& column,
+                                  const BATPtr& bat, ColumnState* cs) {
+  uint64_t epoch = epoch_++;
+  ColumnFiles files;
+  files.heap = EpochName(object, column, epoch, "heap");
+  std::string_view tail(static_cast<const char*>(bat->TailData()),
+                        bat->TailByteSize());
+  SCIQL_RETURN_NOT_OK(WriteFileAtomic(
+      (fs::path(dir_) / files.heap).string(),
+      EncodeBlock(kHeapMagic, static_cast<uint32_t>(bat->type()), bat->Count(),
+                  tail)));
+
+  if (bat->type() == PhysType::kStr) {
+    const std::vector<char>& raw = bat->heap()->raw();
+    files.strheap = EpochName(object, column, epoch, "strheap");
+    SCIQL_RETURN_NOT_OK(WriteFileAtomic(
+        (fs::path(dir_) / files.strheap).string(),
+        EncodeBlock(kStrHeapMagic, 0, raw.size(),
+                    std::string_view(raw.data(), raw.size()))));
+  }
+
+  cs->oidx = nullptr;
+  if (const gdk::OrderIndexPtr& idx = bat->order_index()) {
+    files.oidx = EpochName(object, column, epoch, "oidx");
+    std::string_view payload(reinterpret_cast<const char*>(idx->data()),
+                             idx->size() * sizeof(gdk::oid_t));
+    SCIQL_RETURN_NOT_OK(WriteFileAtomic(
+        (fs::path(dir_) / files.oidx).string(),
+        EncodeBlock(kOrderIdxMagic, 0, idx->size(), payload)));
+    cs->oidx = idx.get();
+  }
+
+  cs->files = std::move(files);
+  cs->bat = bat;
+  cs->version = bat->data_version();
+  stats_.checkpoint_columns_written++;
+  return Status::OK();
+}
+
+Status StorageEngine::RefreshColumnIndex(const std::string& object,
+                                         const std::string& column,
+                                         const BATPtr& bat, ColumnState* cs) {
+  const void* cur = bat->order_index() ? bat->order_index().get() : nullptr;
+  if (cur == cs->oidx) return Status::OK();  // same build already persisted
+  if (cur == nullptr) {
+    cs->files.oidx.clear();
+    cs->oidx = nullptr;
+    return Status::OK();
+  }
+  // The column data is clean but a (new) index was built since the last
+  // checkpoint: persist it without rewriting the heap.
+  const gdk::OrderIndexPtr& idx = bat->order_index();
+  std::string file = EpochName(object, column, epoch_++, "oidx");
+  std::string_view payload(reinterpret_cast<const char*>(idx->data()),
+                           idx->size() * sizeof(gdk::oid_t));
+  SCIQL_RETURN_NOT_OK(
+      WriteFileAtomic((fs::path(dir_) / file).string(),
+                      EncodeBlock(kOrderIdxMagic, 0, idx->size(), payload)));
+  cs->files.oidx = std::move(file);
+  cs->oidx = idx.get();
+  return Status::OK();
+}
+
+Status StorageEngine::Checkpoint(bool force_full) {
+  if (cat_ == nullptr) return Status::Internal("storage engine is detached");
+  stats_.checkpoint_columns_written = 0;
+  stats_.checkpoint_columns_clean = 0;
+  Manifest nm;
+
+  for (const std::string& name : cat_->TableNames()) {
+    if (cat_->IsUnloaded(name)) {
+      // Never touched: its on-disk state is by definition current.
+      bool found = false;
+      for (const TableManifest& tm : manifest_.tables) {
+        if (tm.name == name) {
+          nm.tables.push_back(tm);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Internal(
+            StrFormat("unloaded table %s missing from manifest", name.c_str()));
+      }
+      stats_.checkpoint_columns_clean += nm.tables.back().files.size();
+      continue;
+    }
+    SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(name));
+    ObjectState& state = state_[name];
+    state.cols.resize(tab->columns.size());
+    TableManifest tm;
+    tm.name = name;
+    tm.columns = tab->columns;
+    tm.row_count = tab->RowCount();
+    for (size_t c = 0; c < tab->columns.size(); ++c) {
+      ColumnState& cs = state.cols[c];
+      const BATPtr& bat = tab->bats[c];
+      bool dirty = force_full || cs.files.heap.empty() ||
+                   cs.bat.get() != bat.get() ||
+                   cs.version != bat->data_version();
+      if (dirty) {
+        SCIQL_RETURN_NOT_OK(
+            WriteColumn(name, tab->columns[c].name, bat, &cs));
+      } else {
+        SCIQL_RETURN_NOT_OK(
+            RefreshColumnIndex(name, tab->columns[c].name, bat, &cs));
+        stats_.checkpoint_columns_clean++;
+      }
+      tm.files.push_back(cs.files);
+    }
+    nm.tables.push_back(std::move(tm));
+  }
+
+  for (const std::string& name : cat_->ArrayNames()) {
+    if (cat_->IsUnloaded(name)) {
+      bool found = false;
+      for (const ArrayManifest& am : manifest_.arrays) {
+        if (am.name == name) {
+          nm.arrays.push_back(am);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Internal(
+            StrFormat("unloaded array %s missing from manifest", name.c_str()));
+      }
+      stats_.checkpoint_columns_clean += nm.arrays.back().files.size();
+      continue;
+    }
+    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(name));
+    ObjectState& state = state_[name];
+    state.cols.resize(arr->attr_bats.size());
+    ArrayManifest am;
+    am.name = name;
+    am.dims = arr->desc.dims();
+    am.attrs = arr->desc.attrs();
+    for (size_t c = 0; c < arr->attr_bats.size(); ++c) {
+      ColumnState& cs = state.cols[c];
+      const BATPtr& bat = arr->attr_bats[c];
+      bool dirty = force_full || cs.files.heap.empty() ||
+                   cs.bat.get() != bat.get() ||
+                   cs.version != bat->data_version();
+      if (dirty) {
+        SCIQL_RETURN_NOT_OK(
+            WriteColumn(name, arr->desc.attrs()[c].name, bat, &cs));
+      } else {
+        SCIQL_RETURN_NOT_OK(
+            RefreshColumnIndex(name, arr->desc.attrs()[c].name, bat, &cs));
+        stats_.checkpoint_columns_clean++;
+      }
+      am.files.push_back(cs.files);
+    }
+    nm.arrays.push_back(std::move(am));
+  }
+
+  // Drop tracking state for objects that no longer exist.
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (!cat_->Exists(it->first)) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Switch to a fresh epoch-stamped WAL and commit its name with the
+  // manifest: the rename below atomically orphans the old log, so a crash
+  // anywhere in this sequence either keeps the old manifest + old log
+  // (checkpoint never happened) or the new manifest + empty new log —
+  // already-folded statements can never be replayed twice.
+  std::string new_wal = StrFormat(
+      "wal.%llu.log", static_cast<unsigned long long>(epoch_++));
+  SCIQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> fresh,
+      Wal::Open((fs::path(dir_) / new_wal).string(), nullptr));
+  std::string old_wal = manifest_.wal_file;
+
+  nm.next_epoch = epoch_;
+  nm.wal_file = new_wal;
+  manifest_ = std::move(nm);
+  SCIQL_RETURN_NOT_OK(CommitManifest());
+  wal_ = std::move(fresh);
+  if (old_wal != new_wal) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / old_wal, ec);  // best effort; GC sweeps too
+  }
+  CollectGarbage();
+  stats_.checkpoints++;
+  return Status::OK();
+}
+
+Status StorageEngine::CommitManifest() {
+  return WriteFileAtomic((fs::path(dir_) / kManifestFile).string(),
+                         manifest_.Encode());
+}
+
+void StorageEngine::CollectGarbage() const {
+  std::set<std::string> referenced;
+  auto note = [&referenced](const ColumnFiles& f) {
+    if (!f.heap.empty()) referenced.insert(f.heap);
+    if (!f.strheap.empty()) referenced.insert(f.strheap);
+    if (!f.oidx.empty()) referenced.insert(f.oidx);
+  };
+  for (const TableManifest& tm : manifest_.tables) {
+    for (const ColumnFiles& f : tm.files) note(f);
+  }
+  for (const ArrayManifest& am : manifest_.arrays) {
+    for (const ColumnFiles& f : am.files) note(f);
+  }
+  std::error_code ec;
+  fs::directory_iterator it(fs::path(dir_) / kHeapDir, ec);
+  if (ec) return;  // best effort: GC never fails a checkpoint
+  for (const auto& entry : it) {
+    std::string rel = std::string(kHeapDir) + "/" +
+                      entry.path().filename().string();
+    if (referenced.count(rel) == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  // Orphaned logs: a crash between the manifest commit and the old-log
+  // removal leaves a wal.<epoch>.log no manifest references.
+  fs::directory_iterator root(dir_, ec);
+  if (ec) return;
+  for (const auto& entry : root) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("wal.", 0) == 0 && name != manifest_.wal_file) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace sciql

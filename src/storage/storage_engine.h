@@ -1,0 +1,127 @@
+// The durable storage engine: turns a catalog into a database *directory*
+// with a manifest, one heap file per column, persisted order indexes and a
+// write-ahead log. See docs/storage.md for the full design; in short:
+//
+//  - Open loads the manifest eagerly, declares every object in the catalog,
+//    and registers a lazy loader: column heaps are memory-mapped and
+//    materialised into BATs only when a query first touches their object.
+//  - Mutating statements are appended to the WAL by the engine's owner; Open
+//    replays the WAL so work since the last checkpoint survives a crash.
+//  - Checkpoint writes only dirty columns (tracked via BAT::data_version(),
+//    the same hook that invalidates order indexes), commits the new manifest
+//    atomically, resets the WAL and garbage-collects unreferenced heap files.
+
+#ifndef SCIQL_STORAGE_STORAGE_ENGINE_H_
+#define SCIQL_STORAGE_STORAGE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/storage/manifest.h"
+#include "src/storage/wal.h"
+
+namespace sciql {
+namespace storage {
+
+class StorageEngine {
+ public:
+  /// Executes one SQL statement during WAL recovery (supplied by the engine's
+  /// owner, which knows how to run SQL without re-logging it).
+  using ReplayFn = std::function<Status(const std::string& sql)>;
+
+  /// \brief Open (creating if needed) the database directory `dir`, populate
+  /// `cat` with lazily-loaded declarations of every manifest object, install
+  /// the lazy loader on `cat`, and replay the WAL through `replay`. The
+  /// catalog must be empty. `cat` must outlive the returned engine or call
+  /// SetLoader(nullptr) first (engine::Database sequences this).
+  static Result<std::unique_ptr<StorageEngine>> Open(const std::string& dir,
+                                                     catalog::Catalog* cat,
+                                                     const ReplayFn& replay);
+
+  ~StorageEngine();
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// \brief Append one committed mutating statement to the WAL (flushes).
+  Status LogStatement(const std::string& sql);
+
+  /// \brief Write dirty objects + the new manifest (atomic rename), reset the
+  /// WAL and delete heap files the new manifest no longer references. With
+  /// `force_full`, every loaded column is rewritten regardless of dirtiness
+  /// (benchmarks use this to compare dirty-only against full checkpoints).
+  Status Checkpoint(bool force_full = false);
+
+  /// \brief Detach from the catalog (clears the loader). Objects not yet
+  /// loaded become inaccessible, so the owner should Clear() the catalog.
+  void Detach();
+
+  const std::string& dir() const { return dir_; }
+
+  struct Stats {
+    uint64_t objects_loaded = 0;        ///< lazy loads performed
+    uint64_t order_indexes_loaded = 0;  ///< persisted indexes adopted
+    uint64_t order_indexes_rejected = 0;///< persisted indexes failing revalidation
+    uint64_t wal_replayed = 0;          ///< WAL records replayed at open
+    uint64_t wal_discarded_bytes = 0;   ///< torn tail bytes truncated at open
+    uint64_t checkpoint_columns_written = 0;  ///< columns written, last checkpoint
+    uint64_t checkpoint_columns_clean = 0;    ///< columns skipped, last checkpoint
+    uint64_t checkpoints = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Dirty tracking for one loaded column: the BAT identity and data version
+  // at the last load/checkpoint, plus which order index build (if any) the
+  // manifest's oidx file corresponds to. Holding the BATPtr keeps the
+  // observed identity stable (no ABA through reallocation).
+  struct ColumnState {
+    ColumnFiles files;
+    gdk::BATPtr bat;
+    uint64_t version = 0;
+    const void* oidx = nullptr;  // identity of the persisted order index
+  };
+  struct ObjectState {
+    std::vector<ColumnState> cols;
+  };
+
+  StorageEngine() = default;
+
+  Status LoadObject(const std::string& name);
+  Status LoadTable(const std::string& name, const TableManifest& tm);
+  Status LoadArray(const std::string& name, const ArrayManifest& am);
+
+  /// Load one column BAT (heap + optional string heap + optional order
+  /// index) and record its ColumnState in `state`.
+  Result<gdk::BATPtr> LoadColumn(const std::string& object,
+                                 const std::string& column,
+                                 gdk::PhysType type, const ColumnFiles& files,
+                                 ObjectState* state);
+
+  /// Write one column's files (fresh epoch-stamped names); updates `cs`.
+  Status WriteColumn(const std::string& object, const std::string& column,
+                     const gdk::BATPtr& bat, ColumnState* cs);
+  /// Persist (or drop) the column's order index without touching its heap.
+  Status RefreshColumnIndex(const std::string& object,
+                            const std::string& column,
+                            const gdk::BATPtr& bat, ColumnState* cs);
+
+  Status CommitManifest();
+  void CollectGarbage() const;
+
+  std::string dir_;
+  catalog::Catalog* cat_ = nullptr;
+  Manifest manifest_;
+  std::map<std::string, ObjectState> state_;  // loaded objects only
+  std::unique_ptr<Wal> wal_;
+  uint64_t epoch_ = 1;
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_STORAGE_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "src/storage/wal.h"
+
+#include <filesystem>
+
+#include "src/common/codec.h"
+#include "src/common/string_util.h"
+#include "src/storage/file_io.h"
+
+namespace sciql {
+namespace storage {
+
+namespace {
+constexpr uint32_t kRecordMagic = 0x314C4157;  // "WAL1"
+constexpr size_t kRecordHeader = 24;
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       const ReplayFn& replay) {
+  std::unique_ptr<Wal> wal(new Wal());
+  wal->path_ = path;
+
+  std::string bytes;
+  if (std::filesystem::exists(path)) {
+    SCIQL_ASSIGN_OR_RETURN(bytes, ReadWholeFile(path));
+  }
+
+  // Scan: every record that checks out is replayed; the first record that
+  // does not (short header, bad magic, length past the end, checksum
+  // mismatch) marks the torn tail, which is discarded by truncation below.
+  size_t good_end = 0;
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    if (r.remaining() < kRecordHeader) break;
+    size_t record_start = r.pos();
+    uint32_t magic = *r.U32();
+    (void)*r.U32();  // reserved
+    uint64_t len = *r.U64();
+    uint64_t checksum = *r.U64();
+    if (magic != kRecordMagic || len > r.remaining()) break;
+    Result<std::string_view> payload = r.Bytes(len);
+    if (!payload.ok() || Checksum64(*payload) != checksum) break;
+    if (replay) {
+      Status st = replay(*payload);
+      if (!st.ok()) {
+        return Status::IOError(StrFormat(
+            "WAL replay failed at record %llu (byte %zu of %s): %s",
+            static_cast<unsigned long long>(wal->replayed_count_),
+            record_start, path.c_str(), st.ToString().c_str()));
+      }
+    }
+    wal->replayed_count_++;
+    good_end = r.pos();
+  }
+  wal->record_count_ = wal->replayed_count_;
+  wal->discarded_bytes_ = bytes.size() - good_end;
+
+  if (good_end < bytes.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_end, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot truncate torn WAL tail of %s: %s",
+                                       path.c_str(), ec.message().c_str()));
+    }
+  }
+
+  wal->out_.open(path, std::ios::binary | std::ios::app);
+  if (!wal->out_) {
+    return Status::IOError(StrFormat("cannot open WAL %s for append",
+                                     path.c_str()));
+  }
+  return wal;
+}
+
+Status Wal::Append(std::string_view payload) {
+  std::string rec;
+  rec.reserve(kRecordHeader + payload.size());
+  ByteWriter w(&rec);
+  w.PutU32(kRecordMagic);
+  w.PutU32(0);
+  w.PutU64(payload.size());
+  w.PutU64(Checksum64(payload));
+  rec.append(payload.data(), payload.size());
+
+  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::IOError(StrFormat("WAL append to %s failed", path_.c_str()));
+  }
+  ++record_count_;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    return Status::IOError(StrFormat("cannot truncate WAL %s", path_.c_str()));
+  }
+  out_.flush();
+  // Reopen in append mode so later Appends and a concurrent reader agree.
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    return Status::IOError(StrFormat("cannot reopen WAL %s", path_.c_str()));
+  }
+  record_count_ = 0;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace sciql

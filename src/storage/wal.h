@@ -1,0 +1,65 @@
+// Write-ahead log: the durability gap-filler between checkpoints. Every
+// committed mutating SQL statement is appended as one checksummed record and
+// flushed; reopening the database replays the surviving records against the
+// last checkpoint. A torn tail (crash mid-append) is detected by the record
+// checksum and truncated away, so exactly the fully-written prefix — the
+// committed statements — is recovered.
+//
+// Record layout (little-endian):
+//   u32 magic "WAL1" | u32 reserved | u64 payload_len | u64 checksum | payload
+
+#ifndef SCIQL_STORAGE_WAL_H_
+#define SCIQL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace sciql {
+namespace storage {
+
+class Wal {
+ public:
+  /// Invoked for each intact record during recovery, in append order.
+  using ReplayFn = std::function<Status(std::string_view payload)>;
+
+  /// \brief Open (creating if absent) the log at `path`. Existing records are
+  /// scanned front to back: each intact record is handed to `replay`; the
+  /// first torn or corrupt record ends the scan and the file is truncated at
+  /// that point, discarding the tail. The log is then ready for Append.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           const ReplayFn& replay);
+
+  /// \brief Append one record and flush it to the file. The record is
+  /// considered committed once Append returns OK.
+  Status Append(std::string_view payload);
+
+  /// \brief Discard all records (after a checkpoint made them redundant).
+  Status Reset();
+
+  /// \brief Records currently in the log (replayed + appended since open).
+  uint64_t record_count() const { return record_count_; }
+  /// \brief Records recovered by the Open scan.
+  uint64_t replayed_count() const { return replayed_count_; }
+  /// \brief Bytes the Open scan discarded as a torn/corrupt tail.
+  uint64_t discarded_bytes() const { return discarded_bytes_; }
+
+ private:
+  Wal() = default;
+
+  std::string path_;
+  std::ofstream out_;
+  uint64_t record_count_ = 0;
+  uint64_t replayed_count_ = 0;
+  uint64_t discarded_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_WAL_H_

@@ -32,13 +32,13 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/engine/database.h"
+#include "tests/support/golden_format.h"
 
 #ifndef SCIQL_SOURCE_DIR
 #error "SCIQL_SOURCE_DIR must point at the repository root"
@@ -49,96 +49,15 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::string RenderRow(const engine::ResultSet& rs, size_t row) {
-  std::string out;
-  for (size_t c = 0; c < rs.NumColumns(); ++c) {
-    if (c > 0) out += '|';
-    gdk::ScalarValue v = rs.Value(row, c);
-    out += (v.type == gdk::PhysType::kStr && !v.is_null) ? v.s : v.ToString();
-  }
-  return out;
-}
+using testsupport::GoldenRecord;
+using Record = testsupport::GoldenRecord;
 
-struct Record {
-  enum class Kind { kStatementOk, kStatementError, kQuery, kReset, kThreads };
-  Kind kind = Kind::kStatementOk;
-  int line = 0;           // 1-based line of the directive, for failures
-  std::string sql;
-  std::vector<std::string> expected;  // kQuery only
-  bool sort_rows = false;             // kQuery only ("query sorted")
-  int threads = 1;                    // kThreads only
-};
-
-// Parse one golden file into records; parse errors fail the test via
-// ADD_FAILURE and return an empty list.
 std::vector<Record> ParseFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    ADD_FAILURE() << "cannot open " << path;
-    return {};
-  }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
-  }
-
   std::vector<Record> records;
-  size_t i = 0;
-  auto blank_or_comment = [&](const std::string& s) {
-    return s.empty() || s[0] == '#';
-  };
-  while (i < lines.size()) {
-    if (blank_or_comment(lines[i])) {
-      ++i;
-      continue;
-    }
-    Record rec;
-    rec.line = static_cast<int>(i) + 1;
-    const std::string& head = lines[i];
-    ++i;
-    if (head == "statement ok") {
-      rec.kind = Record::Kind::kStatementOk;
-    } else if (head == "statement error") {
-      rec.kind = Record::Kind::kStatementError;
-    } else if (head == "query" || head == "query sorted") {
-      rec.kind = Record::Kind::kQuery;
-      rec.sort_rows = head == "query sorted";
-    } else if (head == "reset") {
-      rec.kind = Record::Kind::kReset;
-      records.push_back(std::move(rec));
-      continue;
-    } else if (head.rfind("threads ", 0) == 0) {
-      rec.kind = Record::Kind::kThreads;
-      rec.threads = std::stoi(head.substr(8));
-      records.push_back(std::move(rec));
-      continue;
-    } else {
-      ADD_FAILURE() << path << ":" << rec.line << ": unknown directive '"
-                    << head << "'";
-      return {};
-    }
-    // SQL body: up to ---- (query) or a blank line / EOF.
-    std::string sql;
-    while (i < lines.size() && !lines[i].empty() && lines[i] != "----") {
-      if (!sql.empty()) sql += '\n';
-      sql += lines[i];
-      ++i;
-    }
-    rec.sql = sql;
-    if (rec.kind == Record::Kind::kQuery) {
-      if (i >= lines.size() || lines[i] != "----") {
-        ADD_FAILURE() << path << ":" << rec.line
-                      << ": query record lacks a ---- separator";
-        return {};
-      }
-      ++i;  // skip ----
-      while (i < lines.size() && !lines[i].empty()) {
-        rec.expected.push_back(lines[i]);
-        ++i;
-      }
-    }
-    records.push_back(std::move(rec));
+  std::string error;
+  if (!testsupport::ParseGoldenFile(path, &records, &error)) {
+    ADD_FAILURE() << error;
+    return {};
   }
   return records;
 }
@@ -176,7 +95,7 @@ void RunFile(const std::string& path) {
         }
         std::vector<std::string> got;
         for (size_t r = 0; r < rs->NumRows(); ++r) {
-          got.push_back(RenderRow(*rs, r));
+          got.push_back(testsupport::RenderGoldenRow(*rs, r));
         }
         if (rec.sort_rows) std::sort(got.begin(), got.end());
         if (got != rec.expected) {

@@ -1,0 +1,205 @@
+// Persisted order indexes: a column's BAT::order_index is written alongside
+// its heap at checkpoint, revalidated on load, and a reopened database
+// serves ORDER BY and MIN/MAX through the index path without rebuilding it
+// (pinned via gdk::KernelTelemetry). Corrupt or stale indexes are rejected
+// by revalidation and rebuilt, never trusted.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/rng.h"
+#include "src/engine/database.h"
+#include "src/gdk/kernels.h"
+#include "src/storage/file_io.h"
+#include "src/storage/storage_engine.h"
+#include "tests/support/golden_format.h"
+
+namespace sciql {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::Database;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<std::string> QueryRows(Database* db, const std::string& sql) {
+  auto rs = db->Query(sql);
+  EXPECT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+  std::vector<std::string> rows;
+  if (!rs.ok()) return rows;
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    rows.push_back(testsupport::RenderGoldenRow(*rs, r));
+  }
+  return rows;
+}
+
+// Populate t(k INT) with `n` deterministic values including duplicates and a
+// couple of NULLs, in a handful of multi-row INSERT statements.
+void Populate(Database* db, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string values;
+  size_t in_stmt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!values.empty()) values += ", ";
+    if (i % 97 == 13) {
+      values += "(NULL)";
+    } else {
+      values += "(" + std::to_string(rng.Range(-1000, 1000)) + ")";
+    }
+    if (++in_stmt == 64 || i + 1 == n) {
+      ASSERT_TRUE(db->Run("INSERT INTO t VALUES " + values).ok());
+      values.clear();
+      in_stmt = 0;
+    }
+  }
+}
+
+TEST(OrderIndexPersistTest, ReopenedDatabaseServesOrderByAndMinMaxFromIndex) {
+  std::string dir = FreshDir("oidx_serve");
+  std::vector<std::string> before;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(dir).ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE t (k INT)").ok());
+    Populate(&db, 300, 42);
+    gdk::Telemetry().Reset();
+    before = QueryRows(&db, "SELECT k FROM t ORDER BY k");
+    EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  std::vector<std::string> after = QueryRows(&db2, "SELECT k FROM t ORDER BY k");
+  EXPECT_EQ(after, before);  // bit-identical rendered rows across reopen
+  // Served by the persisted index: adopted from disk, never rebuilt.
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(gdk::Telemetry().order_index_loaded, 1u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 1u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 0u);
+
+  // MIN/MAX also ride the loaded index (endpoint reads, no scan, no build).
+  uint64_t minmax_before = gdk::Telemetry().minmax_index;
+  std::vector<std::string> mm = QueryRows(&db2, "SELECT MIN(k), MAX(k) FROM t");
+  ASSERT_EQ(mm.size(), 1u);
+  EXPECT_GT(gdk::Telemetry().minmax_index, minmax_before);
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+
+  // Top-k rides it too: FirstN's index-window fast path.
+  uint64_t window_before = gdk::Telemetry().firstn_index_window;
+  std::vector<std::string> top =
+      QueryRows(&db2, "SELECT k FROM t ORDER BY k LIMIT 5");
+  EXPECT_EQ(top, std::vector<std::string>(before.begin(), before.begin() + 5));
+  EXPECT_GT(gdk::Telemetry().firstn_index_window, window_before);
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+}
+
+TEST(OrderIndexPersistTest, CorruptIndexIsRejectedAndRebuilt) {
+  std::string dir = FreshDir("oidx_corrupt");
+  std::vector<std::string> before;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(dir).ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE t (k INT)").ok());
+    Populate(&db, 200, 7);
+    before = QueryRows(&db, "SELECT k FROM t ORDER BY k");
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  // Corrupt the persisted index payload. Also patch the checksum so only
+  // semantic revalidation (not the block checksum) can catch it: swap the
+  // first two index entries, which keeps a valid permutation but breaks the
+  // sorted order.
+  size_t flipped = 0;
+  for (const auto& entry : fs::directory_iterator(fs::path(dir) / "heaps")) {
+    if (entry.path().extension() != ".oidx") continue;
+    auto bytes = ReadWholeFile(entry.path().string());
+    ASSERT_TRUE(bytes.ok());
+    std::string img = *bytes;
+    ASSERT_GT(img.size(), 24u + 16u);
+    std::string payload = img.substr(24);
+    std::string head = payload.substr(0, 8);
+    payload.replace(0, 8, payload.substr(8, 8));
+    payload.replace(8, 8, head);
+    uint64_t checksum = Checksum64(payload);
+    std::string fixed = img.substr(0, 16);
+    fixed.append(reinterpret_cast<const char*>(&checksum), 8);
+    fixed += payload;
+    ASSERT_TRUE(WriteFileAtomic(entry.path().string(), fixed).ok());
+    ++flipped;
+  }
+  ASSERT_EQ(flipped, 1u);
+
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  EXPECT_EQ(QueryRows(&db2, "SELECT k FROM t ORDER BY k"), before);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 1u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 0u);
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);  // rebuilt from data
+}
+
+TEST(OrderIndexPersistTest, IndexBuiltOnCleanColumnPersistsWithoutHeapRewrite) {
+  std::string dir = FreshDir("oidx_clean");
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(dir).ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE t (k INT)").ok());
+    Populate(&db, 150, 3);
+    ASSERT_TRUE(db.Checkpoint().ok());  // heap on disk, no index yet
+    QueryRows(&db, "SELECT k FROM t ORDER BY k");  // builds + caches
+    ASSERT_TRUE(db.Checkpoint().ok());
+    // The data was clean: nothing rewritten, but the index was persisted.
+    EXPECT_EQ(db.storage_engine()->stats().checkpoint_columns_written, 0u);
+    EXPECT_EQ(db.storage_engine()->stats().checkpoint_columns_clean, 1u);
+  }
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  QueryRows(&db2, "SELECT k FROM t ORDER BY k");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 1u);
+}
+
+TEST(OrderIndexPersistTest, MutationDropsThePersistedIndex) {
+  std::string dir = FreshDir("oidx_stale");
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(dir).ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE t (k INT)").ok());
+    Populate(&db, 100, 11);
+    QueryRows(&db, "SELECT k FROM t ORDER BY k");
+    ASSERT_TRUE(db.Checkpoint().ok());  // index persisted
+    ASSERT_TRUE(db.Run("INSERT INTO t VALUES (-5000)").ok());  // invalidates
+    ASSERT_TRUE(db.Checkpoint().ok());  // heap rewritten, no index anymore
+  }
+  // No .oidx file survives for a column whose index was invalidated.
+  for (const auto& entry : fs::directory_iterator(fs::path(dir) / "heaps")) {
+    EXPECT_NE(entry.path().extension(), ".oidx") << entry.path();
+  }
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  std::vector<std::string> rows = QueryRows(&db2, "SELECT k FROM t ORDER BY k");
+  ASSERT_GT(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "null");      // NULLs sort first...
+  EXPECT_EQ(rows[1], "-5000");     // ...then the post-checkpoint insert
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace sciql

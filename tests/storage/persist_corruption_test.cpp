@@ -1,0 +1,130 @@
+// Corruption-injection round trip for the legacy single-file catalog image:
+// random bit flips and truncations at seeded-random offsets must never crash
+// the deserializer — every corrupted image yields a clean error Status (the
+// v2 header checksum catches every payload flip; bounds-checked reads catch
+// every truncation).
+
+#include "src/catalog/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/engine/database.h"
+
+namespace sciql {
+namespace catalog {
+namespace {
+
+using engine::Database;
+
+// A catalog exercising every payload shape: numeric + string + NULL table
+// columns, an array with holes, defaults, negative dimension ranges.
+std::string BuildImage() {
+  Database db;
+  EXPECT_TRUE(db.Run("CREATE TABLE t (k INT, s VARCHAR, d DOUBLE, b BOOLEAN); "
+                     "INSERT INTO t VALUES (1, 'one', 1.5, TRUE), "
+                     "(2, NULL, NULL, NULL), (3, '', -0.0, FALSE)")
+                  .ok());
+  EXPECT_TRUE(db.Run("CREATE ARRAY a (x INT DIMENSION[-2:2:4], "
+                     "v DOUBLE DEFAULT 2.5); "
+                     "UPDATE a SET v = x; DELETE FROM a WHERE x = 0")
+                  .ok());
+  auto bytes = SerializeCatalog(*db.catalog());
+  EXPECT_TRUE(bytes.ok());
+  return bytes.ok() ? *bytes : std::string();
+}
+
+TEST(PersistCorruptionTest, CleanImageRoundTrips) {
+  std::string image = BuildImage();
+  ASSERT_FALSE(image.empty());
+  Database db;
+  ASSERT_TRUE(DeserializeCatalog(db.catalog(), image).ok());
+  auto rs = db.Query("SELECT k, s FROM t ORDER BY k");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 3u);
+}
+
+TEST(PersistCorruptionTest, RandomByteFlipsNeverCrashAndAlwaysFail) {
+  std::string image = BuildImage();
+  ASSERT_FALSE(image.empty());
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad = image;
+    size_t nflips = 1 + rng.Below(8);
+    for (size_t f = 0; f < nflips; ++f) {
+      size_t off = rng.Below(bad.size());
+      char flip = static_cast<char>(1u << rng.Below(8));
+      bad[off] = static_cast<char>(bad[off] ^ flip);
+    }
+    if (bad == image) continue;  // flips cancelled out
+    Database db;
+    Status st = DeserializeCatalog(db.catalog(), bad);
+    // Any real corruption must be detected: the header checksum covers every
+    // payload byte, and the header itself fails the magic/version/checksum.
+    EXPECT_FALSE(st.ok()) << "flip trial " << trial << " was accepted";
+  }
+}
+
+TEST(PersistCorruptionTest, RandomTruncationsNeverCrashAndAlwaysFail) {
+  std::string image = BuildImage();
+  ASSERT_FALSE(image.empty());
+  Rng rng(0xDEAD);
+  // Every prefix length across a sweep of random cuts plus all short stubs.
+  for (size_t len = 0; len < 32 && len < image.size(); ++len) {
+    Database db;
+    EXPECT_FALSE(DeserializeCatalog(db.catalog(), image.substr(0, len)).ok());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.Below(image.size());
+    Database db;
+    EXPECT_FALSE(DeserializeCatalog(db.catalog(), image.substr(0, len)).ok())
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(PersistCorruptionTest, TrailingGarbageIsRejected) {
+  std::string image = BuildImage();
+  ASSERT_FALSE(image.empty());
+  Database db;
+  EXPECT_FALSE(DeserializeCatalog(db.catalog(), image + "x").ok());
+}
+
+TEST(PersistCorruptionTest, LegacyV1ImagesStillLoad) {
+  // A v1 image is the v2 layout minus the checksum word: rebuild one by
+  // patching the version and splicing the checksum out. The v1 read path has
+  // no checksum but every read stays bounds-checked.
+  std::string image = BuildImage();
+  ASSERT_GT(image.size(), 16u);
+  std::string v1 = image.substr(0, 4);
+  uint32_t version = 1;
+  v1.append(reinterpret_cast<const char*>(&version), 4);
+  v1 += image.substr(16);
+
+  Database db;
+  ASSERT_TRUE(DeserializeCatalog(db.catalog(), v1).ok());
+  auto rs = db.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok());
+
+  // Corrupted v1 images must not crash either (no checksum, so a flip may
+  // deserialize, but truncation is always caught).
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.Below(v1.size());
+    Database db2;
+    EXPECT_FALSE(DeserializeCatalog(db2.catalog(), v1.substr(0, len)).ok());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bad = v1;
+    size_t off = 8 + rng.Below(bad.size() - 8);
+    bad[off] = static_cast<char>(bad[off] ^ (1u << rng.Below(8)));
+    Database db2;
+    Status st = DeserializeCatalog(db2.catalog(), bad);  // must not crash
+    (void)st;
+  }
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace sciql

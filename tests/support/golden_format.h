@@ -1,0 +1,119 @@
+// Shared parser/renderer for the sqllogictest-style golden files under
+// tests/sql/golden/ (format documented in tests/sql/golden_runner.cpp).
+// Used by the golden conformance runner and by the storage durability suite,
+// which replays a golden file's statements into a disk-backed database and
+// checks the same expected rows after a checkpoint + reopen.
+
+#ifndef SCIQL_TESTS_SUPPORT_GOLDEN_FORMAT_H_
+#define SCIQL_TESTS_SUPPORT_GOLDEN_FORMAT_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/result_set.h"
+
+namespace sciql {
+namespace testsupport {
+
+struct GoldenRecord {
+  enum class Kind { kStatementOk, kStatementError, kQuery, kReset, kThreads };
+  Kind kind = Kind::kStatementOk;
+  int line = 0;  // 1-based line of the directive, for failure messages
+  std::string sql;
+  std::vector<std::string> expected;  // kQuery only
+  bool sort_rows = false;             // kQuery only ("query sorted")
+  int threads = 1;                    // kThreads only
+};
+
+/// \brief Render one result row the way golden files spell it: columns
+/// joined with '|', strings unquoted, NULL as "null".
+inline std::string RenderGoldenRow(const engine::ResultSet& rs, size_t row) {
+  std::string out;
+  for (size_t c = 0; c < rs.NumColumns(); ++c) {
+    if (c > 0) out += '|';
+    gdk::ScalarValue v = rs.Value(row, c);
+    out += (v.type == gdk::PhysType::kStr && !v.is_null) ? v.s : v.ToString();
+  }
+  return out;
+}
+
+/// \brief Parse a golden file. Returns false (with *error set) on malformed
+/// input; the caller decides how to report it.
+inline bool ParseGoldenFile(const std::string& path,
+                            std::vector<GoldenRecord>* records,
+                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+
+  size_t i = 0;
+  auto blank_or_comment = [](const std::string& s) {
+    return s.empty() || s[0] == '#';
+  };
+  while (i < lines.size()) {
+    if (blank_or_comment(lines[i])) {
+      ++i;
+      continue;
+    }
+    GoldenRecord rec;
+    rec.line = static_cast<int>(i) + 1;
+    const std::string& head = lines[i];
+    ++i;
+    if (head == "statement ok") {
+      rec.kind = GoldenRecord::Kind::kStatementOk;
+    } else if (head == "statement error") {
+      rec.kind = GoldenRecord::Kind::kStatementError;
+    } else if (head == "query" || head == "query sorted") {
+      rec.kind = GoldenRecord::Kind::kQuery;
+      rec.sort_rows = head == "query sorted";
+    } else if (head == "reset") {
+      rec.kind = GoldenRecord::Kind::kReset;
+      records->push_back(std::move(rec));
+      continue;
+    } else if (head.rfind("threads ", 0) == 0) {
+      rec.kind = GoldenRecord::Kind::kThreads;
+      rec.threads = std::stoi(head.substr(8));
+      records->push_back(std::move(rec));
+      continue;
+    } else {
+      *error = path + ":" + std::to_string(rec.line) +
+               ": unknown directive '" + head + "'";
+      return false;
+    }
+    // SQL body: up to ---- (query) or a blank line / EOF.
+    std::string sql;
+    while (i < lines.size() && !lines[i].empty() && lines[i] != "----") {
+      if (!sql.empty()) sql += '\n';
+      sql += lines[i];
+      ++i;
+    }
+    rec.sql = sql;
+    if (rec.kind == GoldenRecord::Kind::kQuery) {
+      if (i >= lines.size() || lines[i] != "----") {
+        *error = path + ":" + std::to_string(rec.line) +
+                 ": query record lacks a ---- separator";
+        return false;
+      }
+      ++i;  // skip ----
+      while (i < lines.size() && !lines[i].empty()) {
+        rec.expected.push_back(lines[i]);
+        ++i;
+      }
+    }
+    records->push_back(std::move(rec));
+  }
+  return true;
+}
+
+}  // namespace testsupport
+}  // namespace sciql
+
+#endif  // SCIQL_TESTS_SUPPORT_GOLDEN_FORMAT_H_
