@@ -162,6 +162,114 @@ void BM_SortSlice100of1M_Threads(benchmark::State& state) {
 BENCHMARK(BM_SortSlice100of1M_Threads)->Apply(ThreadArgs)
     ->Unit(benchmark::kMillisecond);
 
+// DESC served from the cached ascending index: the O(n) run reversal that
+// replaces a second O(n log n) sort. The ascending build happens once,
+// outside the timed loop.
+void BM_DescFromAscIndexSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto b = SweepIntColumn(8, 1000);  // duplicate-heavy: long tie runs
+  if (!EnsureOrderIndex(*b).ok()) {
+    state.SkipWithError("index build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = OrderIndex({b.get()}, {true});  // reversal, never a sort
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_DescFromAscIndexSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-key spec reuse: the first EnsureOrderIndexSpec sorts and caches;
+// the timed loop hits the keyed cache (compare against
+// BM_SortMultiKeySweep, the cache-free build of the same spec).
+void BM_MultiKeySpecReuseSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto k1 = SweepIntColumn(9, 1000);
+  auto k2 = SweepDblColumn(10);
+  const std::vector<BATPtr> keys = {k1, k2};
+  if (!EnsureOrderIndexSpec(keys, {false, true}).ok()) {
+    state.SkipWithError("spec build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = EnsureOrderIndexSpec(keys, {false, true});
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize((*r)->size());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kSweepRows);
+}
+BENCHMARK(BM_MultiKeySpecReuseSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+// String join pair: the hash path against the both-sides-indexed merge
+// path on identical data (1M x 1M rows, 64K distinct strings). Adjacent in
+// the merged report; the merge builds no hash table.
+constexpr size_t kStrJoinRows = 1024 * 1024;
+
+BATPtr SweepStrColumn(uint64_t seed) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kStr);
+  for (size_t i = 0; i < kStrJoinRows; ++i) {
+    auto st = b->Append(
+        ScalarValue::Str("k" + std::to_string(rng.Below(1u << 16))));
+    (void)st;
+  }
+  return b;
+}
+
+void BM_HashJoinStrSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto l = SweepStrColumn(11);
+  auto r = SweepStrColumn(12);
+  for (auto _ : state) {
+    l->InvalidateOrderIndex();  // keep the hash path
+    r->InvalidateOrderIndex();
+    auto jr = HashJoin(*l, *r);
+    if (!jr.ok()) {
+      state.SkipWithError(jr.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(jr->left->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kStrJoinRows);
+}
+BENCHMARK(BM_HashJoinStrSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergeJoinStrSweep_Threads(benchmark::State& state) {
+  ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  auto l = SweepStrColumn(11);  // identical rows to the hash sweep
+  auto r = SweepStrColumn(12);
+  if (!EnsureOrderIndex(*l).ok() || !EnsureOrderIndex(*r).ok()) {
+    state.SkipWithError("index build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto jr = HashJoin(*l, *r);  // both indexed: string merge path
+    if (!jr.ok()) {
+      state.SkipWithError(jr.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(jr->left->Count());
+  }
+  ThreadPool::Get().SetThreadCount(1);
+  state.SetItemsProcessed(state.iterations() * kStrJoinRows);
+}
+BENCHMARK(BM_MergeJoinStrSweep_Threads)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GroupBuildSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
   auto b = SweepIntColumn(6, 4096);  // partitioned build, modest dictionary

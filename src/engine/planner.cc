@@ -575,13 +575,14 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
       std::vector<int> args = {prog_->Const(ScalarValue::Lng(sel.limit))};
       args.insert(args.end(), sort_args.begin(), sort_args.end());
       idx = prog_->EmitR("algebra", "firstn", args, "topk");
-    } else if (sort_args.size() == 2 && !sel.order_by[0].desc) {
-      // A single ascending key orders by the persistent order index
-      // (algebra.orderidx), which is cached on the key column and reused by
-      // later sorts, range-selects and ordered join probes on it.
-      idx = prog_->EmitR("algebra", "orderidx", {sort_args[0]}, "ord");
     } else {
-      idx = prog_->EmitR("algebra", "sort", sort_args, "ord");
+      // Every ORDER BY without LIMIT orders through the keyed persistent
+      // index cache (algebra.orderidx): single or multi-key, either
+      // direction. The canonical (primary-ascending) index is built once
+      // and cached on the first key column; the exact spec reuses it and
+      // the negated spec (e.g. ORDER BY x DESC after ORDER BY x) is served
+      // by run reversal — never a second sort.
+      idx = prog_->EmitR("algebra", "orderidx", sort_args, "ord");
     }
     for (EnvCol& c : out.cols) {
       c.reg = prog_->EmitR("algebra", "project", {c.reg, idx}, c.name);

@@ -321,30 +321,48 @@ Result<BATPtr> GroupedAggregate(AggOp op, const BAT* vals, const BAT& groups,
 
 Result<ScalarValue> Aggregate(AggOp op, const BAT& vals) {
   // Ungrouped MIN/MAX on a column with a live order index reads the index
-  // endpoints instead of scanning: nils sort first, so the minimum is the
-  // first non-nil entry (the nil prefix boundary is binary-searched —
-  // IsNullAt is monotone along the index) and the maximum is the last
-  // entry. Only a cached index is used; building one would cost a full
-  // sort where the scan is O(n).
+  // endpoints instead of scanning. Any cached spec led by the column
+  // qualifies (single-key, or multi-key with this column as its primary —
+  // the cache stores canonical specs, so the primary direction is always
+  // ascending): nils sort first, so the minimum is the first non-nil entry
+  // (the nil prefix boundary is binary-searched — IsNullAt is monotone
+  // along the index, even under secondary keys) and the maximum sits in
+  // the last tie run. Only a cached index is used; building one would cost
+  // a full sort where the scan is O(n).
   if ((op == AggOp::kMin || op == AggOp::kMax) &&
-      vals.order_index() != nullptr &&
       (IsNumeric(vals.type()) || vals.type() == PhysType::kStr)) {
-    const std::vector<oid_t>& ord = *vals.order_index();
-    auto first_non_nil = std::partition_point(
-        ord.begin(), ord.end(),
-        [&vals](oid_t row) { return vals.IsNullAt(row); });
-    if (first_non_nil == ord.end()) return ScalarValue::Null(vals.type());
-    Telemetry().minmax_index++;
-    if (op == AggOp::kMin) return vals.GetScalar(*first_non_nil);
-    // The maximum value is at ord.back(), but the scan path keeps the
-    // *first-arriving* row among ties — observable when -0.0 and 0.0 tie —
-    // so return the first row of the max tie run (runs of the stable sort
-    // are ascending row id).
-    oid_t max_row = ord.back();
-    auto run_start = std::partition_point(
-        first_non_nil, ord.end(),
-        [&vals, max_row](oid_t row) { return RowValueLess(vals, row, max_row); });
-    return vals.GetScalar(*run_start);
+    bool multi_key = false;
+    OrderIndexPtr ord_ptr = FindPrimaryOrderIndex(vals, &multi_key);
+    if (ord_ptr != nullptr) {
+      const std::vector<oid_t>& ord = *ord_ptr;
+      auto first_non_nil = std::partition_point(
+          ord.begin(), ord.end(),
+          [&vals](oid_t row) { return vals.IsNullAt(row); });
+      if (first_non_nil == ord.end()) return ScalarValue::Null(vals.type());
+      Telemetry().minmax_index++;
+      // The scan path keeps the *first-arriving* row among value ties —
+      // observable when -0.0 and 0.0 tie. Single-key tie runs are ascending
+      // row id (stable sort), so MIN is the first non-nil entry and MAX the
+      // first entry of the last run; under a multi-key index the tie run is
+      // ordered by the secondary keys instead, so locate the run with
+      // partition_point and take its smallest row id.
+      if (op == AggOp::kMin) {
+        if (!multi_key) return vals.GetScalar(*first_non_nil);
+        oid_t min_row = *first_non_nil;
+        auto run_hi = std::partition_point(
+            first_non_nil, ord.end(), [&vals, min_row](oid_t row) {
+              return !RowValueLess(vals, min_row, row);
+            });
+        return vals.GetScalar(*std::min_element(first_non_nil, run_hi));
+      }
+      oid_t max_row = ord.back();
+      auto run_lo = std::partition_point(
+          first_non_nil, ord.end(), [&vals, max_row](oid_t row) {
+            return RowValueLess(vals, row, max_row);
+          });
+      if (!multi_key) return vals.GetScalar(*run_lo);
+      return vals.GetScalar(*std::min_element(run_lo, ord.end()));
+    }
   }
   auto groups = BAT::Make(PhysType::kOid);
   groups->oids().assign(vals.Count(), 0);

@@ -1,5 +1,6 @@
 #include "src/gdk/bat.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/string_util.h"
@@ -91,6 +92,107 @@ ScalarValue BAT::GetScalar(size_t i) const {
 void BAT::SetOrderIndex(OrderIndexPtr idx) const {
   assert(idx == nullptr || idx->size() == Count());
   order_index_ = std::move(idx);
+}
+
+bool BAT::SpecEntryLive(const SpecEntry& e) const {
+  if (e.idx == nullptr || e.idx->size() != Count()) return false;
+  for (const SpecKey& k : e.extras) {
+    std::shared_ptr<const BAT> locked = k.ref.lock();
+    if (locked == nullptr || locked.get() != k.raw ||
+        locked->data_version() != k.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BAT::PruneSpecEntries() const {
+  spec_indexes_.erase(
+      std::remove_if(spec_indexes_.begin(), spec_indexes_.end(),
+                     [this](const SpecEntry& e) { return !SpecEntryLive(e); }),
+      spec_indexes_.end());
+}
+
+OrderIndexPtr BAT::FindOrderIndexSpec(const std::vector<const BAT*>& keys,
+                                      const std::vector<bool>& desc) const {
+  if (keys.empty() || keys[0] != this || keys.size() != desc.size()) {
+    return nullptr;
+  }
+  PruneSpecEntries();
+  for (const SpecEntry& e : spec_indexes_) {
+    if (e.desc != desc || e.extras.size() + 1 != keys.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < e.extras.size(); ++i) {
+      if (e.extras[i].raw != keys[i + 1]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return e.idx;
+  }
+  return nullptr;
+}
+
+void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
+                              const std::vector<bool>& desc,
+                              OrderIndexPtr idx) const {
+  assert(desc.size() == extras.size() + 1);
+  assert(!desc.empty() && !desc[0]);  // only canonical specs are stored
+  assert(idx != nullptr && idx->size() == Count());
+  SpecEntry entry;
+  entry.desc = desc;
+  entry.extras.reserve(extras.size());
+  for (const BATPtr& b : extras) {
+    SpecKey k;
+    k.ref = b;
+    k.raw = b.get();
+    k.version = b->data_version();
+    entry.extras.push_back(std::move(k));
+  }
+  entry.idx = std::move(idx);
+  // Replace an existing entry for the same spec instead of accumulating.
+  for (SpecEntry& e : spec_indexes_) {
+    if (e.desc != entry.desc || e.extras.size() != entry.extras.size()) {
+      continue;
+    }
+    bool same = true;
+    for (size_t i = 0; i < e.extras.size(); ++i) {
+      if (e.extras[i].raw != entry.extras[i].raw) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  // Bound the cache: each entry holds an n-element permutation, so a
+  // workload sweeping many distinct specs led by one column must not grow
+  // memory (and checkpoint containers) without limit. Oldest entry evicts
+  // first; it can always be rebuilt.
+  constexpr size_t kMaxSpecEntries = 8;
+  if (spec_indexes_.size() >= kMaxSpecEntries) {
+    spec_indexes_.erase(spec_indexes_.begin());
+  }
+  spec_indexes_.push_back(std::move(entry));
+}
+
+std::vector<OrderIndexView> BAT::LiveOrderIndexes() const {
+  std::vector<OrderIndexView> out;
+  if (order_index_ != nullptr) {
+    out.push_back(OrderIndexView{{this}, {false}, order_index_});
+  }
+  PruneSpecEntries();
+  for (const SpecEntry& e : spec_indexes_) {
+    OrderIndexView v;
+    v.keys.push_back(this);
+    for (const SpecKey& k : e.extras) v.keys.push_back(k.raw);
+    v.desc = e.desc;
+    v.idx = e.idx;
+    out.push_back(std::move(v));
+  }
+  return out;
 }
 
 Status BAT::Append(const ScalarValue& in) {
@@ -239,8 +341,12 @@ BATPtr BAT::CloneStructure() const {
 BATPtr BAT::CloneData() const {
   auto b = CloneStructure();
   b->tail_ = tail_;
-  // The clone is value-identical, so a built order index stays valid for it.
+  // The clone is value-identical, so built order indexes stay valid for it
+  // (multi-key entries keep referencing the original secondary columns,
+  // whose values the specs were built against).
   b->order_index_ = order_index_;
+  PruneSpecEntries();
+  b->spec_indexes_ = spec_indexes_;
   return b;
 }
 

@@ -30,6 +30,17 @@ using BATPtr = std::shared_ptr<BAT>;
 /// kernels that consume it and any cloned BATs all reference one build.
 using OrderIndexPtr = std::shared_ptr<const std::vector<oid_t>>;
 
+/// \brief One live cached order index, viewed with its full key spec:
+/// `keys[0]` is the BAT the index is cached on (the primary key), `keys[1..]`
+/// are the secondary key columns, and `desc[i]` is key i's direction. The
+/// cache stores only canonical specs (desc[0] == false), so the primary key
+/// of every view is ascending, nils first.
+struct OrderIndexView {
+  std::vector<const BAT*> keys;
+  std::vector<bool> desc;
+  OrderIndexPtr idx;
+};
+
 /// \brief A single typed column with an implicit dense void head.
 class BAT {
  public:
@@ -158,10 +169,41 @@ class BAT {
   /// of the BAT, so read-only kernels may cache on const inputs.
   void SetOrderIndex(OrderIndexPtr idx) const;
 
-  /// \brief Drop the cached order index (any mutation invalidates it). Doubles
-  /// as the storage dirty hook: the data version advances with every call.
+  // -------------------------------------------------------------------------
+  // Keyed order-index cache (multi-key specs)
+  // -------------------------------------------------------------------------
+  // Beyond the single-key ascending index above, a BAT caches order indexes
+  // for multi-key specs whose *primary* key it is. Secondary key columns are
+  // referenced weakly and pinned to the data version they held at build
+  // time: an entry whose secondary mutated or died is stale and pruned on
+  // the next lookup (a mutation of this BAT itself clears the whole cache).
+  // Only canonical specs (desc[0] == false) are stored — the negated spec is
+  // served from the canonical index by run reversal (see gdk::OrderIndex).
+
+  /// \brief The cached index for the exact multi-key spec `keys`/`desc`, or
+  /// null. `keys[0]` must be this BAT; secondary keys match by identity.
+  OrderIndexPtr FindOrderIndexSpec(const std::vector<const BAT*>& keys,
+                                   const std::vector<bool>& desc) const;
+
+  /// \brief Cache `idx` for the multi-key spec whose primary key is this BAT
+  /// and whose secondary key columns are `extras` (= keys[1..], held weakly
+  /// at their current data versions). Replaces an existing entry for the
+  /// same spec.
+  void CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
+                           const std::vector<bool>& desc,
+                           OrderIndexPtr idx) const;
+
+  /// \brief Every live cached index whose primary key is this BAT: the
+  /// single-key ascending index (first, if present) plus the validated
+  /// multi-key entries. Stale entries are pruned as a side effect.
+  std::vector<OrderIndexView> LiveOrderIndexes() const;
+
+  /// \brief Drop the cached order indexes (any mutation invalidates them).
+  /// Doubles as the storage dirty hook: the data version advances with every
+  /// call.
   void InvalidateOrderIndex() {
     order_index_.reset();
+    spec_indexes_.clear();
     ++data_version_;
   }
 
@@ -169,12 +211,31 @@ class BAT {
   std::string ToString(size_t max_rows = 32) const;
 
  private:
+  // Secondary key column of a cached multi-key index: weak so the cache can
+  // never keep a dead column alive (or cycle), raw for identity compares
+  // (valid only while the weak ref locks), version-pinned so a mutated
+  // secondary invalidates the entry.
+  struct SpecKey {
+    std::weak_ptr<const BAT> ref;
+    const BAT* raw = nullptr;
+    uint64_t version = 0;
+  };
+  struct SpecEntry {
+    std::vector<bool> desc;        // 1 + extras.size() flags; desc[0] == false
+    std::vector<SpecKey> extras;   // secondary key columns (keys[1..])
+    OrderIndexPtr idx;
+  };
+
+  bool SpecEntryLive(const SpecEntry& e) const;
+  void PruneSpecEntries() const;
+
   PhysType type_;
   std::variant<std::vector<uint8_t>, std::vector<int32_t>, std::vector<int64_t>,
                std::vector<double>, std::vector<uint64_t>>
       tail_;
   std::shared_ptr<StrHeap> heap_;  // only for kStr
   mutable OrderIndexPtr order_index_;  // lazy, dropped on mutation
+  mutable std::vector<SpecEntry> spec_indexes_;  // keyed multi-key cache
   uint64_t data_version_ = 0;          // bumped by every mutation hook
 };
 

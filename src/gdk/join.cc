@@ -95,38 +95,53 @@ JoinResult OrderedProbeJoin(const std::vector<T>& build,
 
 // True merge join for two indexed inputs: one linear pass over both sorted
 // permutations records, for every probe row, its run [begin, end) of equal
-// values in the build side's sorted index; the shared probe driver then
+// keys in the build side's sorted index; the shared probe driver then
 // emits the pairs. No hash table, no binary searches — O(nb + np + pairs).
 // Build/probe roles and output shape are exactly the hash path's (pairs
 // ordered by probe row; within a row ascending build oid, because equal-key
 // runs of the stable sort are ascending row id), so the result is
 // bit-identical to the hash join, not merely the same multiset.
-template <typename T>
-JoinResult MergeJoinTyped(const std::vector<T>& build,
-                          const std::vector<T>& probe,
-                          const std::vector<oid_t>& bord,
-                          const std::vector<oid_t>& pord, bool build_left) {
-  const size_t nb = build.size();
-  const size_t np = probe.size();
+//
+// The key shape is abstracted behind four callables so one pass serves
+// single numeric keys, string keys (content compares — heap offsets are
+// never compared across heaps) and multi-key tuples: `build_nil`/`probe_nil`
+// mark unjoinable rows (any nil key — with multi-key tuples those are NOT a
+// prefix of the index, nil secondaries nest inside earlier keys' runs, so
+// they are skipped inline as the cursors pass them), `cmp(b_row, p_row)`
+// three-way-compares a build row against a probe row under the same
+// nil-first order the indexes use, and `build_eq` tests build-side key
+// equality for run extension.
+template <typename BNil, typename PNil, typename Cmp, typename BEq>
+JoinResult MergeJoinRuns(size_t nb, size_t np, const std::vector<oid_t>& bord,
+                         const std::vector<oid_t>& pord, bool build_left,
+                         BNil build_nil, PNil probe_nil, Cmp cmp,
+                         BEq build_eq) {
   std::vector<size_t> run_begin(np, 0);
   std::vector<size_t> run_end(np, 0);
-  // Nils sort first on both sides and never match: skip both prefixes.
   size_t bi = 0;
-  while (bi < nb && TypeTraits<T>::IsNil(build[bord[bi]])) ++bi;
   size_t pi = 0;
-  while (pi < np && TypeTraits<T>::IsNil(probe[pord[pi]])) ++pi;
   size_t matches = 0;
-  while (pi < np && bi < nb) {
-    const T pv = probe[pord[pi]];
-    const T bv = build[bord[bi]];
-    if (bv < pv) {
+  while (bi < nb && pi < np) {
+    if (build_nil(bord[bi])) {
       ++bi;
-    } else if (pv < bv) {
+      continue;
+    }
+    if (probe_nil(pord[pi])) {
+      ++pi;
+      continue;
+    }
+    int c = cmp(bord[bi], pord[pi]);
+    if (c < 0) {
+      ++bi;
+    } else if (c > 0) {
       ++pi;
     } else {
-      size_t be = bi;
-      while (be < nb && build[bord[be]] == pv) ++be;
-      while (pi < np && probe[pord[pi]] == pv) {
+      size_t be = bi + 1;
+      while (be < nb && build_eq(bord[bi], bord[be])) ++be;
+      const oid_t pivot = bord[bi];
+      // A row equal to the nil-free pivot is itself nil-free, so the run
+      // extension needs no extra nil checks.
+      while (pi < np && cmp(pivot, pord[pi]) == 0) {
         run_begin[pord[pi]] = bi;
         run_end[pord[pi]] = be;
         matches += be - bi;
@@ -143,6 +158,25 @@ JoinResult MergeJoinTyped(const std::vector<T>& build,
           pvec->push_back(static_cast<oid_t>(i));
         }
       });
+}
+
+template <typename T>
+JoinResult MergeJoinTyped(const std::vector<T>& build,
+                          const std::vector<T>& probe,
+                          const std::vector<oid_t>& bord,
+                          const std::vector<oid_t>& pord, bool build_left) {
+  return MergeJoinRuns(
+      build.size(), probe.size(), bord, pord, build_left,
+      [&](oid_t row) { return TypeTraits<T>::IsNil(build[row]); },
+      [&](oid_t row) { return TypeTraits<T>::IsNil(probe[row]); },
+      [&](oid_t b, oid_t p) {
+        // -0.0 and 0.0 compare equal here, exactly as the sort keys (and
+        // the hash path's KeyBits normalization) collapse them.
+        const T& bv = build[b];
+        const T& pv = probe[p];
+        return (pv < bv) - (bv < pv);
+      },
+      [&](oid_t a, oid_t b) { return build[a] == build[b]; });
 }
 
 template <typename T>
@@ -217,6 +251,23 @@ Result<JoinResult> HashJoinStr(const BAT& l, const BAT& r) {
   size_t nb = l.Count();
   size_t np = r.Count();
   const bool same_heap = l.heap() == r.heap();
+
+  // Both sides indexed: merge instead of hashing. Build/probe roles stay
+  // the hash path's fixed ones (build = left), so the output is
+  // bit-identical to the hash join. Runs compare through the decoded
+  // string views — the same comparator the sort used — never raw heap
+  // offsets across heaps; build-side run extension may compare offsets
+  // because one BAT interns into one deduplicated heap.
+  if (l.order_index() != nullptr && r.order_index() != nullptr) {
+    Telemetry().joins_merge++;
+    Telemetry().joins_merge_str++;
+    return MergeJoinRuns(
+        nb, np, *l.order_index(), *r.order_index(), /*build_left=*/true,
+        [&](oid_t row) { return l.IsNullAt(row); },
+        [&](oid_t row) { return r.IsNullAt(row); },
+        [&](oid_t b, oid_t p) { return l.GetStr(b).compare(r.GetStr(p)); },
+        [&](oid_t a, oid_t b) { return l.oids()[a] == l.oids()[b]; });
+  }
 
   Telemetry().joins_hash++;
   OidHashTable table(nb);
@@ -317,6 +368,13 @@ uint64_t HashRow(const std::vector<const BAT*>& keys, size_t i,
   return Fingerprint64(h);
 }
 
+bool AnyKeyNull(const std::vector<const BAT*>& keys, oid_t row) {
+  for (const BAT* b : keys) {
+    if (b->IsNullAt(row)) return true;
+  }
+  return false;
+}
+
 bool RowsEqual(const std::vector<const BAT*>& lkeys, size_t li,
                const std::vector<const BAT*>& rkeys, size_t ri) {
   for (size_t k = 0; k < lkeys.size(); ++k) {
@@ -381,6 +439,43 @@ Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
   const auto& probe = build_left ? rk : lk;
   size_t nb = build_left ? nl : nr;
   size_t np = build_left ? nr : nl;
+
+  // Merge path: when both sides carry a live index for the all-ascending
+  // multi-key spec (cached on the first key column, secondary keys matched
+  // by identity), one linear pass over the two sorted permutations replaces
+  // the hash build + probe. Key pairs must share a type — mismatched
+  // numerics were cast above, and a cast is a fresh BAT with no index, so
+  // the spec lookup fails naturally and the join stays on the hash path.
+  // Build/probe roles are the hash path's (build = smaller side) and runs
+  // of the stable sort are ascending row id, so the output is bit-identical
+  // to the hash join. Tuples with a nil in ANY key column are unjoinable
+  // and are skipped inline (they are not a prefix of a multi-key index).
+  {
+    bool types_match = true;
+    for (size_t c = 0; c < lk.size(); ++c) {
+      if (lk[c]->type() != rk[c]->type()) {
+        types_match = false;
+        break;
+      }
+    }
+    if (types_match) {
+      const std::vector<bool> all_asc(lk.size(), false);
+      gdk::OrderIndexPtr bidx = build[0]->FindOrderIndexSpec(build, all_asc);
+      gdk::OrderIndexPtr pidx = probe[0]->FindOrderIndexSpec(probe, all_asc);
+      if (bidx != nullptr && pidx != nullptr) {
+        Telemetry().joins_merge++;
+        Telemetry().joins_merge_multi++;
+        return MergeJoinRuns(
+            nb, np, *bidx, *pidx, build_left,
+            [&](oid_t row) { return AnyKeyNull(build, row); },
+            [&](oid_t row) { return AnyKeyNull(probe, row); },
+            [&](oid_t b, oid_t p) { return CompareKeyRows(build, b, probe, p); },
+            [&](oid_t a, oid_t b) {
+              return CompareKeyRows(build, a, build, b) == 0;
+            });
+      }
+    }
+  }
 
   Telemetry().joins_hash++;
   OidHashTable table(nb);

@@ -180,12 +180,50 @@ Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
 /// ordered join probe.
 Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b);
 
+/// \brief Spec-aware index cache entry point: the stable order index for
+/// `keys`/`desc`, served from the keyed persistent cache on keys[0].
+///
+/// Only the *canonical* spec (primary key ascending) is ever built and
+/// cached — a spec with desc[0] set is served from the canonical index of
+/// the fully negated spec by run reversal: equal-key runs reverse as blocks
+/// while keeping ascending row ids inside each run, so the result is the
+/// negated spec's unique stable permutation (in particular the nil block —
+/// nil is smallest — relocates to the tail: DESC emits nils last). No
+/// second sort, ever. Exact cache hits count order_index_reused, reversals
+/// order_index_reversed, fresh sorts order_index_built.
+Result<OrderIndexPtr> EnsureOrderIndexSpec(const std::vector<BATPtr>& keys,
+                                           const std::vector<bool>& desc);
+
+/// \brief Any live cached order index whose primary key is `b`: the
+/// single-key ascending index if present, else a multi-key entry (canonical,
+/// so the primary direction is always ascending, nils first). Used by
+/// RangeSelect and ungrouped MIN/MAX, which only need the primary ordering.
+/// `multi_key`, if non-null, reports whether the returned index carries
+/// secondary keys (its tie runs are then secondary-ordered, not row-id
+/// ordered).
+OrderIndexPtr FindPrimaryOrderIndex(const BAT& b, bool* multi_key = nullptr);
+
+/// \brief Nil-first lexicographic tuple compare of row `ai` of `akeys`
+/// against row `bi` of `bkeys` (key types must match pairwise): the
+/// per-column order the sort's key encodings induce — nil below every
+/// value, nil equal to nil, -0.0 tying 0.0, strings by content. Shared by
+/// the merge-join run machinery and the run-reversal of cached indexes so
+/// the two tie relations can never drift apart.
+int CompareKeyRows(const std::vector<const BAT*>& akeys, oid_t ai,
+                   const std::vector<const BAT*>& bkeys, oid_t bi);
+
 /// \brief True iff `idx` is exactly the stable ascending (nil-first) order
 /// permutation of `b` — the permutation EnsureOrderIndex would build. Used to
 /// revalidate order indexes loaded from disk: the total order (row id breaks
 /// ties) makes the valid index unique, so an O(n) permutation-plus-adjacency
 /// check suffices.
 bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx);
+
+/// \brief Spec generalization of ValidateOrderIndex: true iff `idx` is the
+/// stable order permutation of the aligned key columns under `desc`.
+bool ValidateOrderIndexSpec(const std::vector<const BAT*>& keys,
+                            const std::vector<bool>& desc,
+                            const std::vector<oid_t>& idx);
 
 // ---------------------------------------------------------------------------
 // Execution introspection
@@ -200,12 +238,22 @@ struct KernelTelemetry {
   uint64_t joins_hash = 0;           ///< hash build + probe joins
   uint64_t joins_indexed_probe = 0;  ///< one-sided index binary-search joins
   uint64_t joins_merge = 0;          ///< both-sides-indexed merge joins
+  uint64_t joins_merge_str = 0;      ///< ... of which string-keyed
+  uint64_t joins_merge_multi = 0;    ///< ... of which multi-key
   uint64_t firstn_index_window = 0;  ///< FirstN served as an index head copy
   uint64_t firstn_heap = 0;          ///< FirstN via per-morsel bounded heaps
   uint64_t firstn_sort_fallback = 0; ///< FirstN ran the full sort (k >= n/2)
   uint64_t minmax_index = 0;         ///< ungrouped MIN/MAX from index endpoints
+  // Per-spec cache counters: every build/load/reuse also counts in the
+  // *_multi variant when the spec has more than one key column.
   uint64_t order_index_built = 0;    ///< persistent order indexes sorted anew
+  uint64_t order_index_built_multi = 0;
   uint64_t order_index_loaded = 0;   ///< persisted indexes adopted from disk
+  uint64_t order_index_loaded_multi = 0;
+  uint64_t order_index_reused = 0;   ///< exact-spec cache hits (no work)
+  uint64_t order_index_reused_multi = 0;
+  uint64_t order_index_reversed = 0; ///< negated specs served by run reversal
+  uint64_t order_index_reversed_multi = 0;
 
   void Reset() { *this = KernelTelemetry{}; }
 };

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
@@ -146,27 +148,27 @@ Result<BATPtr> ThetaSelect(const BAT& b, const BAT* cands, CmpOp op,
 
 namespace {
 
-// Binary-search the [l, h] value window over the persistent order index and
-// emit the matching row ids re-sorted ascending — the same oid set in the
-// same row order a full scan produces, in O(log n + k log k). Returns null
-// when the window is so wide that re-sorting k ≈ n oids would cost more
-// than the O(n) scan; the caller falls through to the scan path.
-BATPtr RangeSelectViaIndex(const BAT& b, const std::vector<oid_t>& ord,
-                           double l, double h, bool lo_incl, bool hi_incl) {
-  // The index is ascending with nils first, so both predicates below hold
-  // for a prefix of `ord` and partition_point applies.
-  auto below_lo = [&](oid_t row) {
-    if (b.IsNullAt(row)) return true;  // nil prefix; nil never matches
-    double v = b.GetScalar(row).AsDouble();
-    return lo_incl ? v < l : v <= l;
-  };
-  auto within_hi = [&](oid_t row) {
-    if (b.IsNullAt(row)) return true;
-    double v = b.GetScalar(row).AsDouble();
-    return hi_incl ? v <= h : v < h;
-  };
-  auto lb = std::partition_point(ord.begin(), ord.end(), below_lo);
-  auto ub = std::partition_point(ord.begin(), ord.end(), within_hi);
+// Binary-search the value window over a live order index (any cached spec
+// whose primary key is the column: its primary direction is always
+// ascending, nils first) and emit the matching row ids re-sorted ascending —
+// the same oid set in the same row order a full scan produces, in
+// O(log n + k log k). `below_lo` / `within_hi` are *typed* predicates on the
+// tail values (never a double round-trip), each monotone along the index so
+// partition_point applies; nil rows sit in the index prefix and never match.
+// Returns null when the window is so wide that re-sorting k ≈ n oids would
+// cost more than the O(n) scan; the caller falls through to the scan path.
+template <typename T, typename BelowLo, typename WithinHi>
+BATPtr RangeSelectViaIndex(const std::vector<T>& data,
+                           const std::vector<oid_t>& ord, BelowLo below_lo,
+                           WithinHi within_hi) {
+  auto lb = std::partition_point(ord.begin(), ord.end(), [&](oid_t row) {
+    const T& v = data[row];
+    return TypeTraits<T>::IsNil(v) || below_lo(v);
+  });
+  auto ub = std::partition_point(ord.begin(), ord.end(), [&](oid_t row) {
+    const T& v = data[row];
+    return TypeTraits<T>::IsNil(v) || within_hi(v);
+  });
   size_t k = ub > lb ? static_cast<size_t>(ub - lb) : 0;
   if (k * 8 > ord.size()) return nullptr;  // unselective: scan is cheaper
   auto out = BAT::Make(PhysType::kOid);
@@ -175,6 +177,75 @@ BATPtr RangeSelectViaIndex(const BAT& b, const std::vector<oid_t>& ord,
     std::sort(out->oids().begin(), out->oids().end());
   }
   return out;
+}
+
+// 2^63 as a double (exactly representable). Doubles at or beyond this lie
+// outside the int64 range.
+constexpr double kTwo63 = 9223372036854775808.0;
+
+// The smallest int64 `v` with `v >= bound` (inclusive) or `v > bound`.
+// Computed exactly: integer-typed bounds never pass through a double, and
+// double bounds round with ceil before the cast, so 64-bit columns compare
+// precisely even beyond 2^53. Returns false when no int64 qualifies.
+bool LowerBoundLng(const ScalarValue& bound, bool incl, int64_t* out) {
+  if (bound.type != PhysType::kDbl) {
+    int64_t v = bound.AsInt64();
+    if (incl) {
+      *out = v;
+      return true;
+    }
+    if (v == std::numeric_limits<int64_t>::max()) return false;
+    *out = v + 1;
+    return true;
+  }
+  double d = bound.d;
+  if (std::isnan(d)) return false;  // NaN bound matches nothing
+  if (d >= kTwo63) return false;    // above every int64
+  if (d < -kTwo63) {
+    *out = std::numeric_limits<int64_t>::min();
+    return true;
+  }
+  // d in [-2^63, 2^63): ceil(d) is an exact double strictly below 2^63
+  // (doubles this close to the range edge are >= 1024 apart), so the cast
+  // cannot overflow.
+  double c = std::ceil(d);
+  int64_t v = static_cast<int64_t>(c);
+  if (!incl && c == d) {
+    if (v == std::numeric_limits<int64_t>::max()) return false;
+    ++v;
+  }
+  *out = v;
+  return true;
+}
+
+// The largest int64 `v` with `v <= bound` (inclusive) or `v < bound`;
+// mirror of LowerBoundLng with floor.
+bool UpperBoundLng(const ScalarValue& bound, bool incl, int64_t* out) {
+  if (bound.type != PhysType::kDbl) {
+    int64_t v = bound.AsInt64();
+    if (incl) {
+      *out = v;
+      return true;
+    }
+    if (v == std::numeric_limits<int64_t>::min()) return false;
+    *out = v - 1;
+    return true;
+  }
+  double d = bound.d;
+  if (std::isnan(d)) return false;
+  if (d < -kTwo63) return false;  // below every int64
+  if (d >= kTwo63) {
+    *out = std::numeric_limits<int64_t>::max();
+    return true;
+  }
+  double f = std::floor(d);
+  int64_t v = static_cast<int64_t>(f);
+  if (!incl && f == d) {
+    if (v == std::numeric_limits<int64_t>::min()) return false;
+    --v;
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -186,30 +257,66 @@ Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
     return Status::TypeMismatch("RangeSelect expects a numeric BAT");
   }
   if (lo.is_null || hi.is_null) return BAT::Make(PhysType::kOid);
-  double l = lo.AsDouble();
-  double h = hi.AsDouble();
-  if (cands == nullptr && b.order_index() != nullptr) {
-    BATPtr via_index =
-        RangeSelectViaIndex(b, *b.order_index(), l, h, lo_incl, hi_incl);
-    if (via_index != nullptr) return via_index;
+
+  // Index route: any cached spec led by this column serves the window.
+  OrderIndexPtr ord = cands == nullptr ? FindPrimaryOrderIndex(b) : nullptr;
+
+  if (b.type() == PhysType::kDbl) {
+    double l = lo.AsDouble();
+    double h = hi.AsDouble();
+    auto below_lo = [l, lo_incl](double v) { return lo_incl ? v < l : v <= l; };
+    auto within_hi = [h, hi_incl](double v) { return hi_incl ? v <= h : v < h; };
+    if (ord != nullptr) {
+      BATPtr via = RangeSelectViaIndex(b.dbls(), *ord, below_lo, within_hi);
+      if (via != nullptr) return via;
+    }
+    return ScanSelect(b.dbls(), cands, [below_lo, within_hi](double v) {
+      return !below_lo(v) && within_hi(v);
+    });
   }
-  auto pred = [l, h, lo_incl, hi_incl](double v) {
-    bool ge = lo_incl ? v >= l : v > l;
-    bool le = hi_incl ? v <= h : v < h;
-    return ge && le;
-  };
+
+  // Integer family (bit/int/lng): normalize to exact inclusive int64 bounds
+  // once, then compare values as int64 — no precision loss for kLng values
+  // beyond 2^53.
+  int64_t l64, h64;
+  if (!LowerBoundLng(lo, lo_incl, &l64) || !UpperBoundLng(hi, hi_incl, &h64) ||
+      l64 > h64) {
+    return BAT::Make(PhysType::kOid);
+  }
+  auto below_lo = [l64](int64_t v) { return v < l64; };
+  auto within_hi = [h64](int64_t v) { return v <= h64; };
+  auto match = [l64, h64](int64_t v) { return v >= l64 && v <= h64; };
   switch (b.type()) {
-    case PhysType::kInt:
+    case PhysType::kInt: {
+      if (ord != nullptr) {
+        BATPtr via = RangeSelectViaIndex(
+            b.ints(), *ord,
+            [&](int32_t v) { return below_lo(v); },
+            [&](int32_t v) { return within_hi(v); });
+        if (via != nullptr) return via;
+      }
       return ScanSelect(b.ints(), cands,
-                        [&](int32_t v) { return pred(static_cast<double>(v)); });
-    case PhysType::kLng:
-      return ScanSelect(b.lngs(), cands,
-                        [&](int64_t v) { return pred(static_cast<double>(v)); });
-    case PhysType::kDbl:
-      return ScanSelect(b.dbls(), cands, pred);
-    case PhysType::kBit:
+                        [match](int32_t v) { return match(v); });
+    }
+    case PhysType::kLng: {
+      if (ord != nullptr) {
+        BATPtr via =
+            RangeSelectViaIndex(b.lngs(), *ord, below_lo, within_hi);
+        if (via != nullptr) return via;
+      }
+      return ScanSelect(b.lngs(), cands, match);
+    }
+    case PhysType::kBit: {
+      if (ord != nullptr) {
+        BATPtr via = RangeSelectViaIndex(
+            b.bits(), *ord,
+            [&](uint8_t v) { return below_lo(v); },
+            [&](uint8_t v) { return within_hi(v); });
+        if (via != nullptr) return via;
+      }
       return ScanSelect(b.bits(), cands,
-                        [&](uint8_t v) { return pred(static_cast<double>(v)); });
+                        [match](uint8_t v) { return match(v); });
+    }
     default:
       return Status::TypeMismatch("RangeSelect: unsupported type");
   }

@@ -14,6 +14,7 @@
 // columns are pre-decoded into string_views with a nil flag.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 #include <string_view>
@@ -254,11 +255,113 @@ std::vector<oid_t> FirstNOfCols(size_t n, size_t k,
   });
 }
 
+// Key-tuple equality of rows a and b: the sort's tie relation, through the
+// shared nil-first tuple comparator.
+bool RowsTie(const std::vector<const BAT*>& keys, oid_t a, oid_t b) {
+  return CompareKeyRows(keys, a, keys, b) == 0;
+}
+
+// The stable permutation of the negated spec, derived from the canonical
+// index `asc` in O(n) without sorting: equal-key runs reverse as blocks
+// while keeping ascending row ids inside each run (ties keep first-arrival
+// order under either direction, because flipping every key negates the
+// order of distinct key classes but leaves the row-id tie-break alone). In
+// particular the nil block — nil is smallest — relocates from the head to
+// the tail, so a descending sort emits nils last. Emission stops once
+// `limit` rows are out (whole runs are emitted, then truncated).
+std::vector<oid_t> ReversedRuns(const std::vector<const BAT*>& keys,
+                                const std::vector<oid_t>& asc,
+                                size_t limit = SIZE_MAX) {
+  std::vector<oid_t> out;
+  out.reserve(std::min(asc.size(), limit));
+  size_t end = asc.size();
+  while (end > 0 && out.size() < limit) {
+    size_t start = end - 1;
+    while (start > 0 && RowsTie(keys, asc[start - 1], asc[start])) --start;
+    out.insert(out.end(), asc.begin() + static_cast<ptrdiff_t>(start),
+               asc.begin() + static_cast<ptrdiff_t>(end));
+    end = start;
+  }
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<bool> NegateSpec(const std::vector<bool>& desc) {
+  std::vector<bool> out(desc.size());
+  for (size_t i = 0; i < desc.size(); ++i) out[i] = !desc[i];
+  return out;
+}
+
+// Look up the cached index serving `keys`/`desc`: the canonical spec's
+// entry (single-key ascending lives on BAT::order_index, multi-key in the
+// keyed cache). Sets *negated when the caller must run-reverse it.
+OrderIndexPtr LookupCachedSpec(const std::vector<const BAT*>& keys,
+                               const std::vector<bool>& desc, bool* negated) {
+  *negated = desc[0];
+  const std::vector<bool> canon = desc[0] ? NegateSpec(desc) : desc;
+  if (keys.size() == 1) return keys[0]->order_index();
+  return keys[0]->FindOrderIndexSpec(keys, canon);
+}
+
+void CountSpecEvent(uint64_t KernelTelemetry::*total,
+                    uint64_t KernelTelemetry::*multi, size_t nkeys) {
+  Telemetry().*total += 1;
+  if (nkeys > 1) Telemetry().*multi += 1;
+}
+
 }  // namespace
 
 KernelTelemetry& Telemetry() {
   static KernelTelemetry t;
   return t;
+}
+
+namespace {
+
+// Nil-first three-way compare of one key cell across two BATs of the same
+// type (-0.0 ties 0.0 through plain double compares — NaN rows are caught
+// by the nil checks first; string content compares through the decoded
+// views, never heap offsets).
+int CompareKeyCell(const BAT& a, oid_t ai, const BAT& b, oid_t bi) {
+  bool an = a.IsNullAt(ai);
+  bool bn = b.IsNullAt(bi);
+  if (an || bn) return (an ? 0 : 1) - (bn ? 0 : 1);
+  switch (a.type()) {
+    case PhysType::kBit: {
+      uint8_t av = a.bits()[ai], bv = b.bits()[bi];
+      return (av > bv) - (av < bv);
+    }
+    case PhysType::kInt: {
+      int32_t av = a.ints()[ai], bv = b.ints()[bi];
+      return (av > bv) - (av < bv);
+    }
+    case PhysType::kLng: {
+      int64_t av = a.lngs()[ai], bv = b.lngs()[bi];
+      return (av > bv) - (av < bv);
+    }
+    case PhysType::kDbl: {
+      double av = a.dbls()[ai], bv = b.dbls()[bi];
+      return (av > bv) - (av < bv);
+    }
+    case PhysType::kOid: {
+      uint64_t av = a.oids()[ai], bv = b.oids()[bi];
+      return (av > bv) - (av < bv);
+    }
+    case PhysType::kStr:
+      return a.GetStr(ai).compare(b.GetStr(bi));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CompareKeyRows(const std::vector<const BAT*>& akeys, oid_t ai,
+                   const std::vector<const BAT*>& bkeys, oid_t bi) {
+  for (size_t k = 0; k < akeys.size(); ++k) {
+    int c = CompareKeyCell(*akeys[k], ai, *bkeys[k], bi);
+    if (c != 0) return c;
+  }
+  return 0;
 }
 
 Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
@@ -276,15 +379,24 @@ Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
   auto out = BAT::Make(PhysType::kOid);
   if (k == 0 || n == 0) return out;
 
-  // A live persistent index already holds the answer: copy its head. (Only
-  // a cached index is used — building one here would be the full sort this
-  // kernel exists to avoid.)
-  if (keys.size() == 1 && !desc[0] && keys[0]->order_index() != nullptr) {
-    const std::vector<oid_t>& ord = *keys[0]->order_index();
-    out->oids().assign(ord.begin(),
-                       ord.begin() + static_cast<ptrdiff_t>(std::min(k, n)));
-    Telemetry().firstn_index_window++;
-    return out;
+  // A live persistent index for the spec (or its negation) already holds
+  // the answer: copy its head — O(k) for an exact hit, O(n) run reversal
+  // for the negated spec, never a sort. (Only a cached index is used —
+  // building one here would be the full sort this kernel exists to avoid.)
+  {
+    bool negated = false;
+    OrderIndexPtr cached = LookupCachedSpec(keys, desc, &negated);
+    if (cached != nullptr) {
+      if (negated) {
+        out->oids() = ReversedRuns(keys, *cached, k);
+      } else {
+        out->oids().assign(
+            cached->begin(),
+            cached->begin() + static_cast<ptrdiff_t>(std::min(k, n)));
+      }
+      Telemetry().firstn_index_window++;
+      return out;
+    }
   }
 
   // Large k degenerates to the full sort: at k >= n/2 the heaps would
@@ -315,7 +427,10 @@ Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
 }
 
 Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b) {
-  if (b.order_index() != nullptr) return b.order_index();
+  if (b.order_index() != nullptr) {
+    Telemetry().order_index_reused++;
+    return b.order_index();
+  }
   std::vector<SortCol> cols;
   cols.push_back(PrepareCol(b, /*desc=*/false));
   auto idx = std::make_shared<std::vector<oid_t>>(
@@ -325,8 +440,74 @@ Result<OrderIndexPtr> EnsureOrderIndex(const BAT& b) {
   return OrderIndexPtr(std::move(idx));
 }
 
-bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx) {
-  size_t n = b.Count();
+Result<OrderIndexPtr> EnsureOrderIndexSpec(const std::vector<BATPtr>& keys,
+                                           const std::vector<bool>& desc) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("EnsureOrderIndexSpec: no keys");
+  }
+  if (keys.size() != desc.size()) {
+    return Status::Internal("EnsureOrderIndexSpec: keys/desc size mismatch");
+  }
+  size_t n = keys[0]->Count();
+  std::vector<const BAT*> raw;
+  raw.reserve(keys.size());
+  for (const BATPtr& k : keys) {
+    if (k == nullptr || k->Count() != n) {
+      return Status::Internal("EnsureOrderIndexSpec: key columns misaligned");
+    }
+    raw.push_back(k.get());
+  }
+  // Only the canonical spec (primary ascending) is built and cached; the
+  // negated spec is derived from it by run reversal below.
+  const bool negate = desc[0];
+  const std::vector<bool> canon = negate ? NegateSpec(desc) : desc;
+  OrderIndexPtr idx;
+  if (keys.size() == 1) {
+    SCIQL_ASSIGN_OR_RETURN(idx, EnsureOrderIndex(*keys[0]));
+  } else {
+    idx = keys[0]->FindOrderIndexSpec(raw, canon);
+    if (idx != nullptr) {
+      CountSpecEvent(&KernelTelemetry::order_index_reused,
+                     &KernelTelemetry::order_index_reused_multi, keys.size());
+    } else {
+      std::vector<SortCol> cols;
+      cols.reserve(keys.size());
+      for (size_t k = 0; k < keys.size(); ++k) {
+        cols.push_back(PrepareCol(*raw[k], canon[k]));
+      }
+      idx = std::make_shared<const std::vector<oid_t>>(
+          SortedPermutation(n, cols));
+      keys[0]->CacheOrderIndexSpec(
+          std::vector<BATPtr>(keys.begin() + 1, keys.end()), canon, idx);
+      CountSpecEvent(&KernelTelemetry::order_index_built,
+                     &KernelTelemetry::order_index_built_multi, keys.size());
+    }
+  }
+  if (!negate) return idx;
+  CountSpecEvent(&KernelTelemetry::order_index_reversed,
+                 &KernelTelemetry::order_index_reversed_multi, keys.size());
+  return std::make_shared<const std::vector<oid_t>>(ReversedRuns(raw, *idx));
+}
+
+OrderIndexPtr FindPrimaryOrderIndex(const BAT& b, bool* multi_key) {
+  if (multi_key != nullptr) *multi_key = false;
+  if (b.order_index() != nullptr) return b.order_index();
+  for (const OrderIndexView& v : b.LiveOrderIndexes()) {
+    // Canonical entries only: primary is ascending, nil-first.
+    if (multi_key != nullptr) *multi_key = v.keys.size() > 1;
+    return v.idx;
+  }
+  return nullptr;
+}
+
+bool ValidateOrderIndexSpec(const std::vector<const BAT*>& keys,
+                            const std::vector<bool>& desc,
+                            const std::vector<oid_t>& idx) {
+  if (keys.empty() || keys.size() != desc.size()) return false;
+  size_t n = keys[0]->Count();
+  for (const BAT* k : keys) {
+    if (k->Count() != n) return false;
+  }
   if (idx.size() != n) return false;
   // Permutation check first so the comparator below only sees in-range rows.
   std::vector<bool> seen(n, false);
@@ -338,13 +519,20 @@ bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx) {
   // The total order (row id breaks ties) admits exactly one sorted
   // permutation, so adjacent strict ordering proves idx is it.
   std::vector<SortCol> cols;
-  cols.push_back(PrepareCol(b, /*desc=*/false));
+  cols.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    cols.push_back(PrepareCol(*keys[k], desc[k]));
+  }
   return WithComparator(cols, [&idx, n](const auto& less) {
     for (size_t i = 1; i < n; ++i) {
       if (!less(idx[i - 1], idx[i])) return false;
     }
     return true;
   });
+}
+
+bool ValidateOrderIndex(const BAT& b, const std::vector<oid_t>& idx) {
+  return ValidateOrderIndexSpec({&b}, {false}, idx);
 }
 
 Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
@@ -360,12 +548,40 @@ Result<BATPtr> OrderIndex(const std::vector<const BAT*>& keys,
     }
   }
   auto out = BAT::Make(PhysType::kOid);
-  if (keys.size() == 1 && !desc[0]) {
-    // Single ascending key: the persistent order index is exactly this
-    // permutation — reuse it (or build and cache it for the next caller).
+  if (keys.size() == 1) {
+    // Single key: the persistent order index is the canonical (ascending)
+    // permutation — reuse or build-and-cache it; a descending spec derives
+    // from it by run reversal instead of a second sort.
     SCIQL_ASSIGN_OR_RETURN(OrderIndexPtr idx, EnsureOrderIndex(*keys[0]));
-    out->oids() = *idx;
+    if (desc[0]) {
+      Telemetry().order_index_reversed++;
+      out->oids() = ReversedRuns(keys, *idx);
+    } else {
+      out->oids() = *idx;
+    }
     return out;
+  }
+  // Multi-key: serve from a live keyed cache entry when one matches the
+  // spec (exactly, or as its negation — run reversal). Misses sort without
+  // caching: only the BATPtr-based EnsureOrderIndexSpec can safely retain
+  // references to the secondary key columns.
+  {
+    bool negated = false;
+    OrderIndexPtr cached = LookupCachedSpec(keys, desc, &negated);
+    if (cached != nullptr) {
+      if (negated) {
+        CountSpecEvent(&KernelTelemetry::order_index_reversed,
+                       &KernelTelemetry::order_index_reversed_multi,
+                       keys.size());
+        out->oids() = ReversedRuns(keys, *cached);
+      } else {
+        CountSpecEvent(&KernelTelemetry::order_index_reused,
+                       &KernelTelemetry::order_index_reused_multi,
+                       keys.size());
+        out->oids() = *cached;
+      }
+      return out;
+    }
   }
   std::vector<SortCol> cols;
   cols.reserve(keys.size());

@@ -319,14 +319,34 @@ void RegisterAlgebra(MalEngine* e) {
                 return Status::OK();
               });
 
-  // algebra.orderidx(key) -> ascending stable order index, served from the
-  // key BAT's persistent index (built on first use, reused until mutation).
+  // algebra.orderidx(key) or algebra.orderidx(key0, desc0, key1, desc1, ...)
+  // -> the stable order index for the spec, served from the keyed
+  // persistent cache on the first key column: the canonical (primary
+  // ascending) index is built once; exact specs reuse it, negated specs
+  // (e.g. single-key DESC) derive from it by run reversal — no second sort.
   e->Register("algebra.orderidx",
               [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
-                SCIQL_RETURN_NOT_OK(CheckArity(in, 1, 1));
-                SCIQL_ASSIGN_OR_RETURN(BATPtr k, BatArg(ctx, in, 0));
+                if (in.rets.size() != 1 ||
+                    (in.args.size() != 1 && in.args.size() % 2 != 0)) {
+                  return Status::Internal("algebra.orderidx arity");
+                }
+                std::vector<BATPtr> keys;
+                std::vector<bool> desc;
+                if (in.args.size() == 1) {
+                  // Legacy single-ascending-key form.
+                  SCIQL_ASSIGN_OR_RETURN(BATPtr k, BatArg(ctx, in, 0));
+                  keys.push_back(std::move(k));
+                  desc.push_back(false);
+                } else {
+                  for (size_t i = 0; i < in.args.size(); i += 2) {
+                    SCIQL_ASSIGN_OR_RETURN(BATPtr k, BatArg(ctx, in, i));
+                    SCIQL_ASSIGN_OR_RETURN(int64_t d, LngArg(ctx, in, i + 1));
+                    keys.push_back(std::move(k));
+                    desc.push_back(d != 0);
+                  }
+                }
                 SCIQL_ASSIGN_OR_RETURN(gdk::OrderIndexPtr idx,
-                                       gdk::EnsureOrderIndex(*k));
+                                       gdk::EnsureOrderIndexSpec(keys, desc));
                 auto out = BAT::Make(PhysType::kOid);
                 out->oids() = *idx;
                 SetRet(ctx, in, 0, MalValue::Of(std::move(out)));

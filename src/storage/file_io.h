@@ -62,6 +62,13 @@ inline constexpr uint32_t kHeapMagic = 0x48515153;     // "SQQH"
 inline constexpr uint32_t kStrHeapMagic = 0x53515153;  // "SQQS"
 inline constexpr uint32_t kOrderIdxMagic = 0x58515153; // "SQQX"
 
+// aux word of an order-index block: legacy files hold one raw
+// single-ascending-key permutation (count = rows); spec containers hold
+// `count` keyed indexes, each prefixed with its key spec (column names +
+// per-key directions) — see StorageEngine::AdoptColumnIndexes.
+inline constexpr uint32_t kOrderIdxLegacyAux = 0;
+inline constexpr uint32_t kOrderIdxSpecAux = 1;
+
 struct Block {
   uint32_t magic = 0;
   uint32_t aux = 0;

@@ -134,6 +134,7 @@ Status StorageEngine::LoadTable(const std::string& name,
                                 const TableManifest& tm) {
   SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(name));
   ObjectState state;
+  SiblingColumns siblings;
   for (size_t c = 0; c < tm.columns.size(); ++c) {
     SCIQL_ASSIGN_OR_RETURN(
         BATPtr b, LoadColumn(name, tm.columns[c].name, tm.columns[c].type,
@@ -144,8 +145,13 @@ Status StorageEngine::LoadTable(const std::string& name,
           tm.columns[c].name.c_str(), b->Count(),
           static_cast<unsigned long long>(tm.row_count)));
     }
+    siblings.names.push_back(tm.columns[c].name);
+    siblings.bats.push_back(b);
     tab->bats[c] = b;
   }
+  // Persisted order indexes may reference sibling columns (multi-key
+  // specs), so adoption waits until every column of the object exists.
+  AdoptColumnIndexes(siblings, &state);
   state_[name] = std::move(state);
   stats_.objects_loaded++;
   return Status::OK();
@@ -157,6 +163,7 @@ Status StorageEngine::LoadArray(const std::string& name,
   SCIQL_RETURN_NOT_OK(arr->MaterializeDims());
   size_t ncells = arr->CellCount();
   ObjectState state;
+  SiblingColumns siblings;
   std::vector<BATPtr> attrs;
   for (size_t c = 0; c < am.attrs.size(); ++c) {
     SCIQL_ASSIGN_OR_RETURN(
@@ -167,8 +174,17 @@ Status StorageEngine::LoadArray(const std::string& name,
           "attribute %s.%s holds %zu cells, the array geometry needs %zu",
           name.c_str(), am.attrs[c].name.c_str(), b->Count(), ncells));
     }
+    siblings.names.push_back(am.attrs[c].name);
+    siblings.bats.push_back(b);
     attrs.push_back(std::move(b));
   }
+  // Dimensions are valid secondary keys: they rematerialized above with
+  // deterministic values, and revalidation re-proves every adopted spec.
+  for (size_t d = 0; d < am.dims.size(); ++d) {
+    siblings.names.push_back(am.dims[d].name);
+    siblings.bats.push_back(arr->dim_bats[d]);
+  }
+  AdoptColumnIndexes(siblings, &state);
   arr->attr_bats = std::move(attrs);
   state_[name] = std::move(state);
   stats_.objects_loaded++;
@@ -208,50 +224,179 @@ Result<BATPtr> StorageEngine::LoadColumn(const std::string& object,
 
   ColumnState cs;
   cs.files = files;
-
-  // The persisted order index is derived data: revalidate it against the
-  // loaded column and adopt it only if it is exactly the index the sort
-  // would rebuild. A corrupt or stale index is dropped, never trusted.
-  if (!files.oidx.empty()) {
-    bool adopted = false;
-    std::string ox_path = (fs::path(dir_) / files.oidx).string();
-    Result<MappedFile> ox_file = MappedFile::Open(ox_path);
-    if (ox_file.ok()) {
-      Result<Block> ox = DecodeBlock(ox_file->data(), kOrderIdxMagic);
-      if (ox.ok()) {
-        ByteReader r(ox->payload);
-        std::vector<gdk::oid_t> idx;
-        if (r.ReadVector(ox->count, &idx).ok() && r.AtEnd() &&
-            gdk::ValidateOrderIndex(*bat, idx)) {
-          auto shared = std::make_shared<std::vector<gdk::oid_t>>(
-              std::move(idx));
-          cs.oidx = shared.get();
-          bat->SetOrderIndex(std::move(shared));
-          gdk::Telemetry().order_index_loaded++;
-          stats_.order_indexes_loaded++;
-          adopted = true;
-        }
-      }
-    }
-    if (!adopted) {
-      cs.files.oidx.clear();
-      stats_.order_indexes_rejected++;
-    }
-  }
-
   cs.bat = bat;
   cs.version = bat->data_version();
   state->cols.push_back(std::move(cs));
   return bat;
 }
 
+namespace {
+
+// One persisted index spec parsed out of a container (or a legacy file).
+struct ParsedSpec {
+  std::vector<std::string> key_names;
+  std::vector<bool> desc;
+  std::vector<gdk::oid_t> idx;
+};
+
+// Parse the payload of an order-index block into its specs. Legacy files
+// (aux == kOrderIdxLegacyAux) hold one raw single-ascending-key
+// permutation; spec containers hold `count` keyed entries.
+bool ParseIndexSpecs(const Block& block, const std::string& column,
+                     std::vector<ParsedSpec>* out) {
+  if (block.aux == kOrderIdxLegacyAux) {
+    ParsedSpec spec;
+    spec.key_names.push_back(column);
+    spec.desc.push_back(false);
+    ByteReader r(block.payload);
+    if (!r.ReadVector(block.count, &spec.idx).ok() || !r.AtEnd()) return false;
+    out->push_back(std::move(spec));
+    return true;
+  }
+  if (block.aux != kOrderIdxSpecAux) return false;
+  ByteReader r(block.payload);
+  for (uint64_t s = 0; s < block.count; ++s) {
+    ParsedSpec spec;
+    Result<uint64_t> nkeys = r.U64();
+    if (!nkeys.ok() || *nkeys == 0 || *nkeys > r.remaining()) return false;
+    for (uint64_t k = 0; k < *nkeys; ++k) {
+      Result<std::string> kname = r.Str();
+      Result<uint64_t> d = r.U64();
+      if (!kname.ok() || !d.ok()) return false;
+      spec.key_names.push_back(std::move(*kname));
+      spec.desc.push_back(*d != 0);
+    }
+    Result<uint64_t> nrows = r.U64();
+    if (!nrows.ok() || !r.ReadVector(*nrows, &spec.idx).ok()) return false;
+    out->push_back(std::move(spec));
+  }
+  return r.AtEnd();
+}
+
+}  // namespace
+
+void StorageEngine::AdoptColumnIndexes(const SiblingColumns& siblings,
+                                       ObjectState* state) {
+  for (size_t c = 0; c < state->cols.size(); ++c) {
+    ColumnState& cs = state->cols[c];
+    if (cs.files.oidx.empty()) continue;
+    const std::string& column = siblings.names[c];
+
+    // Persisted order indexes are derived data: revalidate each spec
+    // against the loaded columns and adopt it only if it is exactly the
+    // permutation the sort would rebuild. Anything corrupt or stale is
+    // dropped, never trusted.
+    std::vector<ParsedSpec> specs;
+    std::string ox_path = (fs::path(dir_) / cs.files.oidx).string();
+    Result<MappedFile> ox_file = MappedFile::Open(ox_path);
+    bool parsed = false;
+    if (ox_file.ok()) {
+      Result<Block> ox = DecodeBlock(ox_file->data(), kOrderIdxMagic);
+      parsed = ox.ok() && ParseIndexSpecs(*ox, column, &specs);
+    }
+    if (!parsed) {
+      cs.files.oidx.clear();
+      stats_.order_indexes_rejected++;
+      continue;
+    }
+
+    for (ParsedSpec& spec : specs) {
+      // Resolve key names within the object; the primary must be this
+      // very column, and only canonical specs (primary ascending) exist.
+      std::vector<BATPtr> keys;
+      bool resolved = spec.key_names.size() == spec.desc.size() &&
+                      !spec.desc.empty() && !spec.desc[0];
+      for (const std::string& kname : spec.key_names) {
+        if (!resolved) break;
+        resolved = false;
+        for (size_t i = 0; i < siblings.names.size(); ++i) {
+          if (siblings.names[i] == kname) {
+            keys.push_back(siblings.bats[i]);
+            resolved = true;
+            break;
+          }
+        }
+      }
+      resolved = resolved && keys[0].get() == cs.bat.get();
+      bool valid = false;
+      if (resolved) {
+        std::vector<const BAT*> raw;
+        for (const BATPtr& k : keys) raw.push_back(k.get());
+        valid = gdk::ValidateOrderIndexSpec(raw, spec.desc, spec.idx);
+      }
+      if (!valid) {
+        // Keep a sentinel so the identity sets can never match and the
+        // next checkpoint rewrites the container without the bad spec.
+        cs.oidx_ids.push_back(nullptr);
+        stats_.order_indexes_rejected++;
+        continue;
+      }
+      auto shared = std::make_shared<const std::vector<gdk::oid_t>>(
+          std::move(spec.idx));
+      cs.oidx_ids.push_back(shared.get());
+      if (keys.size() == 1) {
+        cs.bat->SetOrderIndex(std::move(shared));
+      } else {
+        cs.bat->CacheOrderIndexSpec(
+            std::vector<BATPtr>(keys.begin() + 1, keys.end()), spec.desc,
+            std::move(shared));
+        gdk::Telemetry().order_index_loaded_multi++;
+      }
+      gdk::Telemetry().order_index_loaded++;
+      stats_.order_indexes_loaded++;
+    }
+    std::sort(cs.oidx_ids.begin(), cs.oidx_ids.end());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint
 // ---------------------------------------------------------------------------
 
+// Gather the column's live cached indexes that can be persisted: every
+// secondary key column must be (identity-equal to) a sibling column of the
+// same object, since specs are stored by column name and resolved within
+// the object on load. Indexes keyed on columns of other objects or on
+// temporaries are simply not persisted.
+std::vector<StorageEngine::PersistableIndex> StorageEngine::GatherIndexes(
+    const std::string& column, const gdk::BATPtr& bat,
+    const SiblingColumns& siblings) {
+  std::vector<PersistableIndex> out;
+  for (const gdk::OrderIndexView& v : bat->LiveOrderIndexes()) {
+    PersistableIndex p;
+    p.key_names.push_back(column);
+    p.desc = v.desc;
+    p.idx = v.idx;
+    bool ok = true;
+    for (size_t i = 1; i < v.keys.size() && ok; ++i) {
+      ok = false;
+      for (size_t s = 0; s < siblings.bats.size(); ++s) {
+        if (siblings.bats[s].get() == v.keys[i]) {
+          p.key_names.push_back(siblings.names[s]);
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (ok) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<const void*> StorageEngine::IndexIds(
+    const std::vector<PersistableIndex>& idxs) {
+  std::vector<const void*> ids;
+  ids.reserve(idxs.size());
+  for (const auto& p : idxs) ids.push_back(p.idx.get());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 Status StorageEngine::WriteColumn(const std::string& object,
                                   const std::string& column,
-                                  const BATPtr& bat, ColumnState* cs) {
+                                  const BATPtr& bat,
+                                  const SiblingColumns& siblings,
+                                  ColumnState* cs) {
   uint64_t epoch = epoch_++;
   ColumnFiles files;
   files.heap = EpochName(object, column, epoch, "heap");
@@ -271,52 +416,65 @@ Status StorageEngine::WriteColumn(const std::string& object,
                     std::string_view(raw.data(), raw.size()))));
   }
 
-  cs->oidx = nullptr;
-  if (const gdk::OrderIndexPtr& idx = bat->order_index()) {
-    files.oidx = EpochName(object, column, epoch, "oidx");
-    std::string_view payload(reinterpret_cast<const char*>(idx->data()),
-                             idx->size() * sizeof(gdk::oid_t));
-    SCIQL_RETURN_NOT_OK(WriteFileAtomic(
-        (fs::path(dir_) / files.oidx).string(),
-        EncodeBlock(kOrderIdxMagic, 0, idx->size(), payload)));
-    cs->oidx = idx.get();
-  }
-
   cs->files = std::move(files);
   cs->bat = bat;
   cs->version = bat->data_version();
+  cs->oidx_ids.clear();
+  std::vector<PersistableIndex> live = GatherIndexes(column, bat, siblings);
+  if (!live.empty()) {
+    SCIQL_RETURN_NOT_OK(WriteIndexContainer(object, column, live, cs));
+  }
   stats_.checkpoint_columns_written++;
   return Status::OK();
 }
 
-Status StorageEngine::RefreshColumnIndex(const std::string& object,
-                                         const std::string& column,
-                                         const BATPtr& bat, ColumnState* cs) {
-  const void* cur = bat->order_index() ? bat->order_index().get() : nullptr;
-  if (cur == cs->oidx) return Status::OK();  // same build already persisted
-  if (cur == nullptr) {
+Status StorageEngine::WriteIndexContainer(
+    const std::string& object, const std::string& column,
+    const std::vector<PersistableIndex>& live, ColumnState* cs) {
+  std::string payload;
+  ByteWriter w(&payload);
+  for (const PersistableIndex& p : live) {
+    w.PutU64(p.key_names.size());
+    for (size_t k = 0; k < p.key_names.size(); ++k) {
+      w.PutStr(p.key_names[k]);
+      w.PutU64(p.desc[k] ? 1 : 0);
+    }
+    w.PutU64(p.idx->size());
+    w.PutBytes(p.idx->data(), p.idx->size() * sizeof(gdk::oid_t));
+  }
+  std::string file = EpochName(object, column, epoch_++, "oidx");
+  SCIQL_RETURN_NOT_OK(WriteFileAtomic(
+      (fs::path(dir_) / file).string(),
+      EncodeBlock(kOrderIdxMagic, kOrderIdxSpecAux, live.size(), payload)));
+  cs->files.oidx = std::move(file);
+  cs->oidx_ids = IndexIds(live);
+  stats_.checkpoint_index_files_written++;
+  return Status::OK();
+}
+
+Status StorageEngine::RefreshColumnIndexes(const std::string& object,
+                                           const std::string& column,
+                                           const BATPtr& bat,
+                                           const SiblingColumns& siblings,
+                                           ColumnState* cs) {
+  std::vector<PersistableIndex> live = GatherIndexes(column, bat, siblings);
+  if (IndexIds(live) == cs->oidx_ids) return Status::OK();  // already on disk
+  if (live.empty()) {
     cs->files.oidx.clear();
-    cs->oidx = nullptr;
+    cs->oidx_ids.clear();
     return Status::OK();
   }
-  // The column data is clean but a (new) index was built since the last
-  // checkpoint: persist it without rewriting the heap.
-  const gdk::OrderIndexPtr& idx = bat->order_index();
-  std::string file = EpochName(object, column, epoch_++, "oidx");
-  std::string_view payload(reinterpret_cast<const char*>(idx->data()),
-                           idx->size() * sizeof(gdk::oid_t));
-  SCIQL_RETURN_NOT_OK(
-      WriteFileAtomic((fs::path(dir_) / file).string(),
-                      EncodeBlock(kOrderIdxMagic, 0, idx->size(), payload)));
-  cs->files.oidx = std::move(file);
-  cs->oidx = idx.get();
-  return Status::OK();
+  // The column data is clean but the set of live index builds changed
+  // since the last checkpoint (a new spec was built, or a persisted one
+  // went stale): rewrite the spec container without touching the heap.
+  return WriteIndexContainer(object, column, live, cs);
 }
 
 Status StorageEngine::Checkpoint(bool force_full) {
   if (cat_ == nullptr) return Status::Internal("storage engine is detached");
   stats_.checkpoint_columns_written = 0;
   stats_.checkpoint_columns_clean = 0;
+  stats_.checkpoint_index_files_written = 0;
   Manifest nm;
 
   for (const std::string& name : cat_->TableNames()) {
@@ -344,6 +502,11 @@ Status StorageEngine::Checkpoint(bool force_full) {
     tm.name = name;
     tm.columns = tab->columns;
     tm.row_count = tab->RowCount();
+    SiblingColumns siblings;
+    for (size_t c = 0; c < tab->columns.size(); ++c) {
+      siblings.names.push_back(tab->columns[c].name);
+      siblings.bats.push_back(tab->bats[c]);
+    }
     for (size_t c = 0; c < tab->columns.size(); ++c) {
       ColumnState& cs = state.cols[c];
       const BATPtr& bat = tab->bats[c];
@@ -352,10 +515,10 @@ Status StorageEngine::Checkpoint(bool force_full) {
                    cs.version != bat->data_version();
       if (dirty) {
         SCIQL_RETURN_NOT_OK(
-            WriteColumn(name, tab->columns[c].name, bat, &cs));
+            WriteColumn(name, tab->columns[c].name, bat, siblings, &cs));
       } else {
-        SCIQL_RETURN_NOT_OK(
-            RefreshColumnIndex(name, tab->columns[c].name, bat, &cs));
+        SCIQL_RETURN_NOT_OK(RefreshColumnIndexes(
+            name, tab->columns[c].name, bat, siblings, &cs));
         stats_.checkpoint_columns_clean++;
       }
       tm.files.push_back(cs.files);
@@ -387,6 +550,15 @@ Status StorageEngine::Checkpoint(bool force_full) {
     am.name = name;
     am.dims = arr->desc.dims();
     am.attrs = arr->desc.attrs();
+    SiblingColumns siblings;
+    for (size_t c = 0; c < arr->attr_bats.size(); ++c) {
+      siblings.names.push_back(arr->desc.attrs()[c].name);
+      siblings.bats.push_back(arr->attr_bats[c]);
+    }
+    for (size_t d = 0; d < arr->dim_bats.size(); ++d) {
+      siblings.names.push_back(arr->desc.dims()[d].name);
+      siblings.bats.push_back(arr->dim_bats[d]);
+    }
     for (size_t c = 0; c < arr->attr_bats.size(); ++c) {
       ColumnState& cs = state.cols[c];
       const BATPtr& bat = arr->attr_bats[c];
@@ -394,11 +566,11 @@ Status StorageEngine::Checkpoint(bool force_full) {
                    cs.bat.get() != bat.get() ||
                    cs.version != bat->data_version();
       if (dirty) {
-        SCIQL_RETURN_NOT_OK(
-            WriteColumn(name, arr->desc.attrs()[c].name, bat, &cs));
+        SCIQL_RETURN_NOT_OK(WriteColumn(name, arr->desc.attrs()[c].name, bat,
+                                        siblings, &cs));
       } else {
-        SCIQL_RETURN_NOT_OK(
-            RefreshColumnIndex(name, arr->desc.attrs()[c].name, bat, &cs));
+        SCIQL_RETURN_NOT_OK(RefreshColumnIndexes(
+            name, arr->desc.attrs()[c].name, bat, siblings, &cs));
         stats_.checkpoint_columns_clean++;
       }
       am.files.push_back(cs.files);

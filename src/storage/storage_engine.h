@@ -69,23 +69,44 @@ class StorageEngine {
     uint64_t wal_discarded_bytes = 0;   ///< torn tail bytes truncated at open
     uint64_t checkpoint_columns_written = 0;  ///< columns written, last checkpoint
     uint64_t checkpoint_columns_clean = 0;    ///< columns skipped, last checkpoint
+    uint64_t checkpoint_index_files_written = 0;  ///< oidx containers written, last checkpoint
     uint64_t checkpoints = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
   // Dirty tracking for one loaded column: the BAT identity and data version
-  // at the last load/checkpoint, plus which order index build (if any) the
+  // at the last load/checkpoint, plus which order index builds (if any) the
   // manifest's oidx file corresponds to. Holding the BATPtr keeps the
   // observed identity stable (no ABA through reallocation).
   struct ColumnState {
     ColumnFiles files;
     gdk::BATPtr bat;
     uint64_t version = 0;
-    const void* oidx = nullptr;  // identity of the persisted order index
+    // Identities of the index builds inside the persisted spec container,
+    // sorted; a nullptr sentinel marks an on-disk spec that failed
+    // revalidation at load, forcing a rewrite at the next checkpoint.
+    std::vector<const void*> oidx_ids;
   };
   struct ObjectState {
     std::vector<ColumnState> cols;
+  };
+
+  // The sibling columns of one object (name-aligned BATs): the namespace a
+  // persisted index spec may reference — secondary key columns are stored
+  // by name and resolved within the object on load. Arrays include their
+  // dimension columns (as secondaries only; dims have no file slot).
+  struct SiblingColumns {
+    std::vector<std::string> names;
+    std::vector<gdk::BATPtr> bats;
+  };
+
+  // One cached index that can be persisted with its column: every key
+  // resolved to a sibling column name (primary first).
+  struct PersistableIndex {
+    std::vector<std::string> key_names;
+    std::vector<bool> desc;
+    gdk::OrderIndexPtr idx;
   };
 
   StorageEngine() = default;
@@ -94,20 +115,44 @@ class StorageEngine {
   Status LoadTable(const std::string& name, const TableManifest& tm);
   Status LoadArray(const std::string& name, const ArrayManifest& am);
 
-  /// Load one column BAT (heap + optional string heap + optional order
-  /// index) and record its ColumnState in `state`.
+  /// Load one column BAT (heap + optional string heap) and record its
+  /// ColumnState in `state`. Index adoption happens later, once all of the
+  /// object's columns exist (AdoptColumnIndexes).
   Result<gdk::BATPtr> LoadColumn(const std::string& object,
                                  const std::string& column,
                                  gdk::PhysType type, const ColumnFiles& files,
                                  ObjectState* state);
 
+  /// Parse, revalidate and adopt every column's persisted order-index
+  /// container (multi-key specs resolve their key columns in `siblings`).
+  /// Rejected specs are dropped, never trusted.
+  void AdoptColumnIndexes(const SiblingColumns& siblings, ObjectState* state);
+
+  /// The column's live cached indexes that can persist with it (all
+  /// secondary keys resolve to sibling columns of the same object).
+  static std::vector<PersistableIndex> GatherIndexes(
+      const std::string& column, const gdk::BATPtr& bat,
+      const SiblingColumns& siblings);
+  /// Sorted identity list of a set of index builds (dirty-tracking key).
+  static std::vector<const void*> IndexIds(
+      const std::vector<PersistableIndex>& idxs);
+  /// Write the spec container for `live` under a fresh epoch name.
+  Status WriteIndexContainer(const std::string& object,
+                             const std::string& column,
+                             const std::vector<PersistableIndex>& live,
+                             ColumnState* cs);
+
   /// Write one column's files (fresh epoch-stamped names); updates `cs`.
   Status WriteColumn(const std::string& object, const std::string& column,
-                     const gdk::BATPtr& bat, ColumnState* cs);
-  /// Persist (or drop) the column's order index without touching its heap.
-  Status RefreshColumnIndex(const std::string& object,
-                            const std::string& column,
-                            const gdk::BATPtr& bat, ColumnState* cs);
+                     const gdk::BATPtr& bat, const SiblingColumns& siblings,
+                     ColumnState* cs);
+  /// Persist (or drop) the column's live order indexes without touching its
+  /// heap: rewrites the spec container only when the set of live index
+  /// builds differs from what the manifest already references.
+  Status RefreshColumnIndexes(const std::string& object,
+                              const std::string& column,
+                              const gdk::BATPtr& bat,
+                              const SiblingColumns& siblings, ColumnState* cs);
 
   Status CommitManifest();
   void CollectGarbage() const;

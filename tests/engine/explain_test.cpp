@@ -89,10 +89,17 @@ TEST_F(ExplainTest, OrderByLimitFusesIntoFirstN) {
   std::string desc = Explain("SELECT k, v FROM t ORDER BY k DESC, v LIMIT 3");
   EXPECT_NE(desc.find("algebra.firstn"), std::string::npos);
   EXPECT_EQ(desc.find("algebra.sort"), std::string::npos);
-  // Without LIMIT the single-ascending-key plan keeps the persistent index.
+  // Without LIMIT every ORDER BY orders through the keyed persistent index
+  // cache — single or multi-key, either direction — never a plain sort.
   std::string plain = Explain("SELECT k FROM t ORDER BY k");
   EXPECT_NE(plain.find("algebra.orderidx"), std::string::npos);
   EXPECT_EQ(plain.find("algebra.firstn"), std::string::npos);
+  std::string desc_plain = Explain("SELECT k FROM t ORDER BY k DESC");
+  EXPECT_NE(desc_plain.find("algebra.orderidx"), std::string::npos);
+  EXPECT_EQ(desc_plain.find("algebra.sort"), std::string::npos);
+  std::string multi = Explain("SELECT k, v FROM t ORDER BY k, v DESC");
+  EXPECT_NE(multi.find("algebra.orderidx"), std::string::npos);
+  EXPECT_EQ(multi.find("algebra.sort"), std::string::npos);
   // LIMIT without ORDER BY stays a plain row-order slice.
   std::string sliced = Explain("SELECT k FROM t LIMIT 5");
   EXPECT_NE(sliced.find("algebra.slice"), std::string::npos);

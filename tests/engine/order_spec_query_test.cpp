@@ -1,0 +1,121 @@
+// SQL-level behavior of the keyed order-index cache: a descending ORDER BY
+// after an ascending one (and repeated multi-key sorts) must be served from
+// the one canonical index build — zero additional sorts, pinned through
+// gdk::KernelTelemetry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/gdk/kernels.h"
+#include "tests/support/golden_format.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+std::vector<std::string> QueryRows(Database* db, const std::string& sql) {
+  auto rs = db->Query(sql);
+  EXPECT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+  std::vector<std::string> rows;
+  if (!rs.ok()) return rows;
+  for (size_t r = 0; r < rs->NumRows(); ++r) {
+    rows.push_back(testsupport::RenderGoldenRow(*rs, r));
+  }
+  return rows;
+}
+
+class OrderSpecQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE TABLE t (k INT, v INT, s VARCHAR)").ok());
+    ASSERT_TRUE(db_.Run("INSERT INTO t VALUES "
+                        "(3, 30, 'c'), (1, 10, 'a'), (2, 21, 'b'), "
+                        "(2, 20, 'bb'), (NULL, 50, NULL), (1, 11, 'aa')")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(OrderSpecQueryTest, DescOrderByAfterAscBuildsNothing) {
+  gdk::Telemetry().Reset();
+  std::vector<std::string> asc = QueryRows(&db_, "SELECT k FROM t ORDER BY k");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+
+  gdk::Telemetry().Reset();
+  std::vector<std::string> desc =
+      QueryRows(&db_, "SELECT k, v FROM t ORDER BY k DESC");
+  // Served by run reversal of the live ascending index: zero sorts.
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  // Stable DESC with nils (smallest) last; ties keep insertion order.
+  EXPECT_EQ(desc, (std::vector<std::string>{"3|30", "2|21", "2|20", "1|10",
+                                            "1|11", "null|50"}));
+  ASSERT_EQ(asc.front(), "null");
+}
+
+TEST_F(OrderSpecQueryTest, MultiKeyOrderByCachesAndReuses) {
+  gdk::Telemetry().Reset();
+  std::vector<std::string> first =
+      QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+  EXPECT_EQ(gdk::Telemetry().order_index_built_multi, 1u);
+  EXPECT_EQ(first, (std::vector<std::string>{"null|50", "1|11", "1|10",
+                                             "2|21", "2|20", "3|30"}));
+
+  gdk::Telemetry().Reset();
+  std::vector<std::string> again =
+      QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GE(gdk::Telemetry().order_index_reused_multi, 1u);
+  EXPECT_EQ(again, first);
+
+  // The fully negated spec reverses the same build — still zero sorts.
+  gdk::Telemetry().Reset();
+  std::vector<std::string> neg =
+      QueryRows(&db_, "SELECT k, v FROM t ORDER BY k DESC, v");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GE(gdk::Telemetry().order_index_reversed_multi, 1u);
+  EXPECT_EQ(neg, (std::vector<std::string>{"3|30", "2|20", "2|21", "1|10",
+                                           "1|11", "null|50"}));
+}
+
+TEST_F(OrderSpecQueryTest, DescLimitRidesTheAscendingIndexWindow) {
+  QueryRows(&db_, "SELECT k FROM t ORDER BY k");  // builds + caches
+  gdk::Telemetry().Reset();
+  std::vector<std::string> top =
+      QueryRows(&db_, "SELECT k FROM t ORDER BY k DESC LIMIT 2");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(gdk::Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(top, (std::vector<std::string>{"3", "2"}));
+}
+
+TEST_F(OrderSpecQueryTest, StringDescOrderByReversesCachedIndex) {
+  gdk::Telemetry().Reset();
+  QueryRows(&db_, "SELECT s FROM t ORDER BY s");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+  gdk::Telemetry().Reset();
+  std::vector<std::string> desc =
+      QueryRows(&db_, "SELECT s FROM t ORDER BY s DESC");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(desc, (std::vector<std::string>{"c", "bb", "b", "aa", "a",
+                                            "null"}));
+}
+
+TEST_F(OrderSpecQueryTest, MutationInvalidatesTheWholeSpecCache) {
+  QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
+  ASSERT_TRUE(db_.Run("UPDATE t SET v = 99 WHERE k = 3").ok());
+  gdk::Telemetry().Reset();
+  std::vector<std::string> rows =
+      QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);  // rebuilt, not stale
+  EXPECT_EQ(rows, (std::vector<std::string>{"null|50", "1|11", "1|10",
+                                            "2|21", "2|20", "3|99"}));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,455 @@
+// The keyed (multi-key + descending) order-index cache: spec-aware
+// EnsureOrderIndexSpec builds the canonical (primary-ascending) index once
+// and serves exact specs by reuse and negated specs by run reversal; FirstN,
+// RangeSelect and ungrouped MIN/MAX accept whichever compatible spec is
+// cached; HashJoin's merge paths cover string and multi-key joins with
+// output bit-identical to the hash path at any thread count; and RangeSelect
+// on 64-bit columns is exact beyond 2^53 (typed comparisons, never a double
+// round-trip).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+BATPtr RandomInts(size_t n, uint64_t seed, uint64_t domain, bool with_nulls) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints().resize(n);
+  for (auto& v : b->ints()) {
+    if (with_nulls && rng.Below(19) == 0) {
+      v = kIntNil;
+    } else {
+      v = static_cast<int32_t>(rng.Below(domain)) -
+          static_cast<int32_t>(domain / 2);
+    }
+  }
+  return b;
+}
+
+BATPtr RandomStrs(size_t n, uint64_t seed, uint64_t domain, bool with_nulls) {
+  Rng rng(seed);
+  auto b = BAT::Make(PhysType::kStr);
+  for (size_t i = 0; i < n; ++i) {
+    if (with_nulls && rng.Below(17) == 0) {
+      EXPECT_TRUE(b->Append(ScalarValue::Null(PhysType::kStr)).ok());
+    } else {
+      EXPECT_TRUE(
+          b->Append(ScalarValue::Str("s" + std::to_string(rng.Below(domain))))
+              .ok());
+    }
+  }
+  return b;
+}
+
+// Fresh value-identical copies with no cached indexes: the oracle inputs
+// for "what would a from-scratch sort/join produce".
+BATPtr Uncached(const BATPtr& b) {
+  auto c = b->CloneData();
+  c->InvalidateOrderIndex();
+  return c;
+}
+
+std::vector<std::pair<oid_t, oid_t>> SortedPairs(const JoinResult& jr) {
+  std::vector<std::pair<oid_t, oid_t>> pairs;
+  const auto& l = jr.left->oids();
+  const auto& r = jr.right->oids();
+  pairs.reserve(l.size());
+  for (size_t i = 0; i < l.size(); ++i) pairs.emplace_back(l[i], r[i]);
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+// --------------------------------------------------------------------------
+// Spec cache: build once, reuse exact, reverse negated
+// --------------------------------------------------------------------------
+
+TEST(OrderSpec, MultiKeySpecBuildsOnceAndReuses) {
+  auto a = RandomInts(40000, 11, 25, true);  // duplicate-heavy primary
+  auto c = RandomInts(40000, 13, 5000, true);
+  const std::vector<BATPtr> keys = {a, c};
+  Telemetry().Reset();
+  auto idx1 = EnsureOrderIndexSpec(keys, {false, true});
+  ASSERT_TRUE(idx1.ok());
+  EXPECT_EQ(Telemetry().order_index_built, 1u);
+  EXPECT_EQ(Telemetry().order_index_built_multi, 1u);
+  auto idx2 = EnsureOrderIndexSpec(keys, {false, true});
+  ASSERT_TRUE(idx2.ok());
+  EXPECT_EQ(idx1->get(), idx2->get());  // same build
+  EXPECT_EQ(Telemetry().order_index_built, 1u);
+  EXPECT_EQ(Telemetry().order_index_reused, 1u);
+  EXPECT_EQ(Telemetry().order_index_reused_multi, 1u);
+
+  // The cached permutation equals a from-scratch sort of the same spec.
+  auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
+                           {false, true});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(**idx1, (*oracle)->oids());
+}
+
+TEST(OrderSpec, NegatedSpecServedByRunReversalNotASecondSort) {
+  auto a = RandomInts(30000, 17, 40, true);
+  auto c = RandomInts(30000, 19, 40, true);
+  const std::vector<BATPtr> keys = {a, c};
+  Telemetry().Reset();
+  ASSERT_TRUE(EnsureOrderIndexSpec(keys, {false, true}).ok());
+  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  // The fully negated spec must not sort again.
+  auto rev = EnsureOrderIndexSpec(keys, {true, false});
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(Telemetry().order_index_built, 1u);
+  EXPECT_EQ(Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(Telemetry().order_index_reversed_multi, 1u);
+  auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
+                           {true, false});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(**rev, (*oracle)->oids());  // bit-identical, ties stay stable
+}
+
+TEST(OrderSpec, SingleKeyDescDerivesFromAscendingIndex) {
+  auto b = RandomInts(50000, 23, 60, true);  // nils + heavy ties
+  Telemetry().Reset();
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  auto desc = OrderIndex({b.get()}, {true});
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(Telemetry().order_index_built, 1u);  // no second sort
+  EXPECT_GE(Telemetry().order_index_reversed, 1u);
+  auto oracle = OrderIndex({Uncached(b).get()}, {true});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ((*desc)->oids(), (*oracle)->oids());
+  // Nil block relocated: nils (smallest) come out last under DESC.
+  const auto& ord = (*desc)->oids();
+  size_t nnil = b->CountNulls();
+  ASSERT_GT(nnil, 0u);
+  for (size_t i = ord.size() - nnil; i < ord.size(); ++i) {
+    EXPECT_TRUE(b->IsNullAt(ord[i]));
+  }
+}
+
+TEST(OrderSpec, ReversalKeepsTiesStable) {
+  auto b = BAT::Make(PhysType::kInt);
+  b->ints() = {2, 1, 2, 1, kIntNil};
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  auto desc = OrderIndex({b.get()}, {true});
+  ASSERT_TRUE(desc.ok());
+  // Stable DESC: the 2s keep insertion order, then the 1s, nil last.
+  EXPECT_EQ((*desc)->oids(), (std::vector<oid_t>{0, 2, 1, 3, 4}));
+}
+
+TEST(OrderSpec, SecondaryKeyMutationInvalidatesSpecEntry) {
+  auto a = RandomInts(5000, 29, 10, false);
+  auto c = RandomInts(5000, 31, 500, false);
+  const std::vector<BATPtr> keys = {a, c};
+  Telemetry().Reset();
+  ASSERT_TRUE(EnsureOrderIndexSpec(keys, {false, false}).ok());
+  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  ASSERT_TRUE(c->Set(7, ScalarValue::Int(-12345)).ok());  // mutate secondary
+  auto again = EnsureOrderIndexSpec(keys, {false, false});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Telemetry().order_index_built, 2u);  // stale entry not reused
+  auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
+                           {false, false});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(**again, (*oracle)->oids());
+}
+
+// --------------------------------------------------------------------------
+// FirstN windows over the keyed cache
+// --------------------------------------------------------------------------
+
+TEST(OrderSpec, FirstNServedFromMultiKeyAndReversedSpecs) {
+  auto a = RandomInts(80000, 37, 30, true);
+  auto c = RandomInts(80000, 41, 4000, true);
+  const std::vector<BATPtr> keys = {a, c};
+  ASSERT_TRUE(EnsureOrderIndexSpec(keys, {false, true}).ok());
+  auto full = OrderIndex({Uncached(a).get(), Uncached(c).get()},
+                         {false, true});
+  ASSERT_TRUE(full.ok());
+  Telemetry().Reset();
+  auto top = FirstN({a.get(), c.get()}, {false, true}, 37);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ((*top)->oids(),
+            std::vector<oid_t>((*full)->oids().begin(),
+                               (*full)->oids().begin() + 37));
+  // The negated spec rides the same cached build via run reversal.
+  auto rfull = OrderIndex({Uncached(a).get(), Uncached(c).get()},
+                          {true, false});
+  ASSERT_TRUE(rfull.ok());
+  Telemetry().Reset();
+  auto rtop = FirstN({a.get(), c.get()}, {true, false}, 37);
+  ASSERT_TRUE(rtop.ok());
+  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ((*rtop)->oids(),
+            std::vector<oid_t>((*rfull)->oids().begin(),
+                               (*rfull)->oids().begin() + 37));
+}
+
+TEST(OrderSpec, FirstNDescWindowFromAscendingSingleKeyIndex) {
+  auto b = RandomInts(60000, 43, 900, true);
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  auto oracle = OrderIndex({Uncached(b).get()}, {true});
+  ASSERT_TRUE(oracle.ok());
+  Telemetry().Reset();
+  auto top = FirstN({b.get()}, {true}, 11);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ((*top)->oids(),
+            std::vector<oid_t>((*oracle)->oids().begin(),
+                               (*oracle)->oids().begin() + 11));
+}
+
+// --------------------------------------------------------------------------
+// Index-backed MIN/MAX and RangeSelect accept any compatible spec
+// --------------------------------------------------------------------------
+
+TEST(OrderSpec, MinMaxServedFromMultiKeyIndex) {
+  auto vals = RandomInts(30000, 47, 700, true);
+  auto sec = RandomInts(30000, 53, 50, true);
+  auto min_oracle = Aggregate(AggOp::kMin, *Uncached(vals));
+  auto max_oracle = Aggregate(AggOp::kMax, *Uncached(vals));
+  ASSERT_TRUE(min_oracle.ok());
+  ASSERT_TRUE(max_oracle.ok());
+  ASSERT_TRUE(EnsureOrderIndexSpec({vals, sec}, {false, true}).ok());
+  ASSERT_EQ(vals->order_index(), nullptr);  // only the multi-key spec lives
+  Telemetry().Reset();
+  auto mn = Aggregate(AggOp::kMin, *vals);
+  auto mx = Aggregate(AggOp::kMax, *vals);
+  ASSERT_TRUE(mn.ok());
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 2u);
+  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ(mn->AsInt64(), min_oracle->AsInt64());
+  EXPECT_EQ(mx->AsInt64(), max_oracle->AsInt64());
+}
+
+TEST(OrderSpec, MinMaxMultiKeyIndexKeepsFirstArrivalZeroSign) {
+  // The max value ties between -0.0 (row 0) and 0.0 (row 2); the scan keeps
+  // the first-arriving row, so the index path must return -0.0 even though
+  // the secondary key orders the tie run differently.
+  auto vals = BAT::Make(PhysType::kDbl);
+  vals->dbls() = {-0.0, -1.5, 0.0, -2.5};
+  auto sec = BAT::Make(PhysType::kInt);
+  sec->ints() = {9, 1, 2, 3};  // orders 0.0 before -0.0 inside the tie run
+  auto scan = Aggregate(AggOp::kMax, *Uncached(vals));
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(std::signbit(scan->d));
+  ASSERT_TRUE(EnsureOrderIndexSpec({vals, sec}, {false, false}).ok());
+  Telemetry().Reset();
+  auto mx = Aggregate(AggOp::kMax, *vals);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(Telemetry().minmax_index, 1u);
+  EXPECT_TRUE(std::signbit(mx->d)) << "index path must keep the scan's -0.0";
+}
+
+TEST(OrderSpec, RangeSelectServedFromMultiKeyIndex) {
+  auto vals = RandomInts(50000, 59, 4000, true);
+  auto sec = RandomInts(50000, 61, 10, true);
+  auto scan = RangeSelect(*Uncached(vals), nullptr, ScalarValue::Int(-50),
+                          ScalarValue::Int(50), true, true);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(EnsureOrderIndexSpec({vals, sec}, {false, false}).ok());
+  ASSERT_EQ(vals->order_index(), nullptr);
+  auto via = RangeSelect(*vals, nullptr, ScalarValue::Int(-50),
+                         ScalarValue::Int(50), true, true);
+  ASSERT_TRUE(via.ok());
+  EXPECT_EQ((*via)->oids(), (*scan)->oids());
+}
+
+// --------------------------------------------------------------------------
+// 64-bit RangeSelect precision (values straddling 2^53)
+// --------------------------------------------------------------------------
+
+TEST(OrderSpec, RangeSelectLngExactBeyondTwoPow53) {
+  const int64_t p53 = int64_t{1} << 53;  // 9007199254740992
+  auto b = BAT::Make(PhysType::kLng);
+  b->lngs() = {p53 - 1, p53, p53 + 1, -p53 - 1, -p53, -p53 + 1,
+               kLngNil, 0, std::numeric_limits<int64_t>::max()};
+  // [2^53+1, 2^53+1]: in double space 2^53 and 2^53+1 collapse onto one
+  // value, so an unfixed implementation also selects row 1.
+  auto one = RangeSelect(*b, nullptr, ScalarValue::Lng(p53 + 1),
+                         ScalarValue::Lng(p53 + 1), true, true);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ((*one)->oids(), (std::vector<oid_t>{2}));
+  // Exclusive bounds around 2^53 keep only 2^53 itself.
+  auto excl = RangeSelect(*b, nullptr, ScalarValue::Lng(p53 - 1),
+                          ScalarValue::Lng(p53 + 1), false, false);
+  ASSERT_TRUE(excl.ok());
+  EXPECT_EQ((*excl)->oids(), (std::vector<oid_t>{1}));
+  // Negative side: [-2^53-1, -2^53-1] selects exactly the one row.
+  auto neg = RangeSelect(*b, nullptr, ScalarValue::Lng(-p53 - 1),
+                         ScalarValue::Lng(-p53 - 1), true, true);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ((*neg)->oids(), (std::vector<oid_t>{3}));
+  // INT64_MAX inclusive upper bound reaches the extreme row exactly.
+  auto maxr = RangeSelect(
+      *b, nullptr, ScalarValue::Lng(std::numeric_limits<int64_t>::max()),
+      ScalarValue::Lng(std::numeric_limits<int64_t>::max()), true, true);
+  ASSERT_TRUE(maxr.ok());
+  EXPECT_EQ((*maxr)->oids(), (std::vector<oid_t>{8}));
+
+  // The index route must use the same typed partition predicate: identical
+  // oid sets once an index is live.
+  ASSERT_TRUE(EnsureOrderIndex(*b).ok());
+  auto one_idx = RangeSelect(*b, nullptr, ScalarValue::Lng(p53 + 1),
+                             ScalarValue::Lng(p53 + 1), true, true);
+  ASSERT_TRUE(one_idx.ok());
+  EXPECT_EQ((*one_idx)->oids(), (std::vector<oid_t>{2}));
+  auto excl_idx = RangeSelect(*b, nullptr, ScalarValue::Lng(p53 - 1),
+                              ScalarValue::Lng(p53 + 1), false, false);
+  ASSERT_TRUE(excl_idx.ok());
+  EXPECT_EQ((*excl_idx)->oids(), (std::vector<oid_t>{1}));
+}
+
+TEST(OrderSpec, RangeSelectLngDoubleBoundsRoundExactly) {
+  const int64_t p53 = int64_t{1} << 53;
+  auto b = BAT::Make(PhysType::kLng);
+  b->lngs() = {p53 - 1, p53, p53 + 1, 2, 3};
+  // A fractional double lower bound must round up to the next integer.
+  auto r = RangeSelect(*b, nullptr, ScalarValue::Dbl(2.5),
+                       ScalarValue::Dbl(3.5), true, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->oids(), (std::vector<oid_t>{4}));
+  // An exclusive integral double bound excludes exactly that integer.
+  auto e = RangeSelect(*b, nullptr, ScalarValue::Dbl(2.0),
+                       ScalarValue::Dbl(3.0), false, false);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->oids().empty());
+  // Huge double bounds clamp instead of wrapping.
+  auto all = RangeSelect(*b, nullptr, ScalarValue::Dbl(-1e300),
+                         ScalarValue::Dbl(1e300), true, true);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)->oids().size(), 5u);
+}
+
+// --------------------------------------------------------------------------
+// String and multi-key merge joins: bit-identical to the hash path
+// --------------------------------------------------------------------------
+
+TEST(OrderSpec, MergeJoinStringsBitIdenticalToHashAcrossThreads) {
+  auto l = RandomStrs(30000, 67, 400, true);   // dup-heavy, with nils
+  auto r = RandomStrs(70000, 71, 400, true);   // separate heap
+  Telemetry().Reset();
+  auto hash = HashJoin(*l, *r);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_GT(hash->left->Count(), 0u);
+  ASSERT_TRUE(EnsureOrderIndex(*l).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*r).ok());
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    Telemetry().Reset();
+    auto merged = HashJoin(*l, *r);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(Telemetry().joins_merge_str, 1u);
+    EXPECT_EQ(Telemetry().joins_hash, 0u);
+    EXPECT_EQ(hash->left->oids(), merged->left->oids())
+        << "threads=" << threads;
+    EXPECT_EQ(hash->right->oids(), merged->right->oids())
+        << "threads=" << threads;
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(OrderSpec, MergeJoinStringsAcrossDistinctHeapsComparesContent) {
+  // Same string values interned into two different heaps: offsets differ,
+  // content matches — the merge must agree with the hash join.
+  auto l = BAT::Make(PhysType::kStr);
+  auto r = BAT::Make(PhysType::kStr);
+  for (const char* s : {"b", "a", "c", "a"}) {
+    ASSERT_TRUE(l->Append(ScalarValue::Str(s)).ok());
+  }
+  for (const char* s : {"z", "a", "b", "b"}) {
+    ASSERT_TRUE(r->Append(ScalarValue::Str(s)).ok());
+  }
+  ASSERT_TRUE(r->Append(ScalarValue::Null(PhysType::kStr)).ok());
+  auto hash = HashJoin(*Uncached(l), *Uncached(r));
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(EnsureOrderIndex(*l).ok());
+  ASSERT_TRUE(EnsureOrderIndex(*r).ok());
+  Telemetry().Reset();
+  auto merged = HashJoin(*l, *r);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Telemetry().joins_merge_str, 1u);
+  EXPECT_EQ(hash->left->oids(), merged->left->oids());
+  EXPECT_EQ(hash->right->oids(), merged->right->oids());
+  EXPECT_EQ(merged->left->Count(), 4u);  // a x a, a x a, b x b, b x b
+}
+
+TEST(OrderSpec, MergeJoinMultiKeyBitIdenticalToHashAcrossThreads) {
+  auto l0 = RandomInts(40000, 73, 20, true);
+  auto l1 = RandomInts(40000, 79, 30, true);   // nils nest inside l0 runs
+  auto r0 = RandomInts(90000, 83, 20, true);
+  auto r1 = RandomInts(90000, 89, 30, true);
+  Telemetry().Reset();
+  auto hash = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
+  ASSERT_TRUE(hash.ok());
+  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_GT(hash->left->Count(), 0u);
+  ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
+  ASSERT_TRUE(EnsureOrderIndexSpec({r0, r1}, {false, false}).ok());
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::Get().SetThreadCount(threads);
+    Telemetry().Reset();
+    auto merged = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(Telemetry().joins_merge_multi, 1u);
+    EXPECT_EQ(Telemetry().joins_hash, 0u);
+    EXPECT_EQ(hash->left->oids(), merged->left->oids())
+        << "threads=" << threads;
+    EXPECT_EQ(hash->right->oids(), merged->right->oids())
+        << "threads=" << threads;
+  }
+  ThreadPool::Get().SetThreadCount(1);
+}
+
+TEST(OrderSpec, MergeJoinMultiKeyMixedTypesIncludingStrings) {
+  auto l0 = RandomStrs(20000, 97, 60, true);
+  auto l1 = RandomInts(20000, 101, 12, true);
+  auto r0 = RandomStrs(20000, 103, 60, true);
+  auto r1 = RandomInts(20000, 107, 12, true);
+  auto hash = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
+  ASSERT_TRUE(hash.ok());
+  ASSERT_GT(hash->left->Count(), 0u);
+  ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
+  ASSERT_TRUE(EnsureOrderIndexSpec({r0, r1}, {false, false}).ok());
+  Telemetry().Reset();
+  auto merged = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Telemetry().joins_merge_multi, 1u);
+  EXPECT_EQ(hash->left->oids(), merged->left->oids());
+  EXPECT_EQ(hash->right->oids(), merged->right->oids());
+}
+
+TEST(OrderSpec, MergeJoinMultiKeyOneSideUnindexedKeepsHashPath) {
+  auto l0 = RandomInts(5000, 109, 15, true);
+  auto l1 = RandomInts(5000, 113, 15, true);
+  auto r0 = RandomInts(5000, 127, 15, true);
+  auto r1 = RandomInts(5000, 131, 15, true);
+  ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
+  Telemetry().Reset();
+  auto jr = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(Telemetry().joins_merge, 0u);
+  EXPECT_EQ(Telemetry().joins_hash, 1u);
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

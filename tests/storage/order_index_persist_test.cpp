@@ -120,8 +120,8 @@ TEST(OrderIndexPersistTest, CorruptIndexIsRejectedAndRebuilt) {
   }
   // Corrupt the persisted index payload. Also patch the checksum so only
   // semantic revalidation (not the block checksum) can catch it: swap the
-  // first two index entries, which keeps a valid permutation but breaks the
-  // sorted order.
+  // last two index entries, which keeps a valid permutation but breaks the
+  // unique total order (even on a value tie the row-id tie-break inverts).
   size_t flipped = 0;
   for (const auto& entry : fs::directory_iterator(fs::path(dir) / "heaps")) {
     if (entry.path().extension() != ".oidx") continue;
@@ -130,9 +130,11 @@ TEST(OrderIndexPersistTest, CorruptIndexIsRejectedAndRebuilt) {
     std::string img = *bytes;
     ASSERT_GT(img.size(), 24u + 16u);
     std::string payload = img.substr(24);
-    std::string head = payload.substr(0, 8);
-    payload.replace(0, 8, payload.substr(8, 8));
-    payload.replace(8, 8, head);
+    size_t a = payload.size() - 16;
+    size_t b = payload.size() - 8;
+    std::string last = payload.substr(b, 8);
+    payload.replace(b, 8, payload.substr(a, 8));
+    payload.replace(a, 8, last);
     uint64_t checksum = Checksum64(payload);
     std::string fixed = img.substr(0, 16);
     fixed.append(reinterpret_cast<const char*>(&checksum), 8);
@@ -171,6 +173,109 @@ TEST(OrderIndexPersistTest, IndexBuiltOnCleanColumnPersistsWithoutHeapRewrite) {
   QueryRows(&db2, "SELECT k FROM t ORDER BY k");
   EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 1u);
+}
+
+// A reopened database serves ORDER BY x DESC and multi-key ORDER BY through
+// the persisted keyed indexes with zero rebuilds: the canonical builds are
+// adopted from disk and the descending specs derive by run reversal.
+TEST(OrderIndexPersistTest, ReopenServesDescAndMultiKeyWithZeroRebuilds) {
+  std::string dir = FreshDir("oidx_spec_serve");
+  std::vector<std::string> desc_rows, multi_rows;
+  {
+    Database db;
+    ASSERT_TRUE(db.Open(dir).ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE t (a INT, b INT)").ok());
+    Rng rng(99);
+    for (int chunk = 0; chunk < 4; ++chunk) {
+      std::string values;
+      for (int i = 0; i < 50; ++i) {
+        if (!values.empty()) values += ", ";
+        values += "(" + std::to_string(rng.Range(0, 9)) + ", " +
+                  std::to_string(rng.Range(-500, 500)) + ")";
+      }
+      ASSERT_TRUE(db.Run("INSERT INTO t VALUES " + values).ok());
+    }
+    gdk::Telemetry().Reset();
+    desc_rows = QueryRows(&db, "SELECT a FROM t ORDER BY a DESC");
+    multi_rows = QueryRows(&db, "SELECT a, b FROM t ORDER BY a, b DESC");
+    // One canonical single-key build (reversed for DESC) + one multi-key.
+    EXPECT_EQ(gdk::Telemetry().order_index_built, 2u);
+    EXPECT_EQ(gdk::Telemetry().order_index_built_multi, 1u);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  EXPECT_EQ(QueryRows(&db2, "SELECT a FROM t ORDER BY a DESC"), desc_rows);
+  EXPECT_EQ(QueryRows(&db2, "SELECT a, b FROM t ORDER BY a, b DESC"),
+            multi_rows);
+  // Both specs served from disk: zero sorts after reopen.
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(gdk::Telemetry().order_index_loaded, 2u);
+  EXPECT_EQ(gdk::Telemetry().order_index_loaded_multi, 1u);
+  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 2u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 0u);
+}
+
+// Keyed dirty tracking: building a second spec on a clean column rewrites
+// only the spec container file — the heap is untouched — and an unchanged
+// set of live builds rewrites nothing at all.
+TEST(OrderIndexPersistTest, SecondSpecRewritesOnlyTheIndexFile) {
+  std::string dir = FreshDir("oidx_spec_dirty");
+  Database db;
+  ASSERT_TRUE(db.Open(dir).ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE t (a INT, b INT)").ok());
+  {
+    Rng rng(5);
+    std::string values;
+    for (int i = 0; i < 120; ++i) {
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(rng.Range(0, 20)) + ", " +
+                std::to_string(rng.Range(-100, 100)) + ")";
+    }
+    ASSERT_TRUE(db.Run("INSERT INTO t VALUES " + values).ok());
+  }
+  QueryRows(&db, "SELECT a FROM t ORDER BY a");  // spec 1: (a asc)
+  ASSERT_TRUE(db.Checkpoint().ok());
+
+  auto files_by_ext = [&](const char* ext) {
+    std::vector<std::string> out;
+    for (const auto& e : fs::directory_iterator(fs::path(dir) / "heaps")) {
+      if (e.path().extension() == ext) out.push_back(e.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::string> heaps_before = files_by_ext(".heap");
+  std::vector<std::string> oidx_before = files_by_ext(".oidx");
+  ASSERT_EQ(oidx_before.size(), 1u);
+
+  // Build a second spec on the (clean) column and checkpoint again.
+  QueryRows(&db, "SELECT a, b FROM t ORDER BY a, b");  // spec 2: (a, b)
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(db.storage_engine()->stats().checkpoint_columns_written, 0u);
+  EXPECT_EQ(db.storage_engine()->stats().checkpoint_index_files_written, 1u);
+  EXPECT_EQ(files_by_ext(".heap"), heaps_before);  // heaps untouched
+  std::vector<std::string> oidx_after = files_by_ext(".oidx");
+  ASSERT_EQ(oidx_after.size(), 1u);
+  EXPECT_NE(oidx_after, oidx_before);  // container rewritten (fresh epoch)
+
+  // Nothing changed since: the next checkpoint writes no index files.
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(db.storage_engine()->stats().checkpoint_index_files_written, 0u);
+  EXPECT_EQ(files_by_ext(".oidx"), oidx_after);
+
+  // Both specs are in the one container: a reopen adopts two indexes.
+  ASSERT_TRUE(db.Close().ok());
+  Database db2;
+  ASSERT_TRUE(db2.Open(dir).ok());
+  gdk::Telemetry().Reset();
+  QueryRows(&db2, "SELECT a, b FROM t ORDER BY a, b");
+  QueryRows(&db2, "SELECT a FROM t ORDER BY a");
+  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 2u);
 }
 
 TEST(OrderIndexPersistTest, MutationDropsThePersistedIndex) {
