@@ -18,8 +18,11 @@ int main() {
       "v INT DEFAULT 0);\n"
       "  SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2];\n"
       ".threads N sets the kernel thread count (now %d).\n"
-      ".open DIR attaches a durable database directory, .checkpoint flushes\n"
-      "dirty objects, .close checkpoints and detaches. Ctrl-D to quit.\n",
+      ".open DIR [none|flush|fsync] attaches a durable database directory\n"
+      "(the optional level decides how hard each statement's WAL record is\n"
+      "pushed toward disk; default fsync), .checkpoint flushes dirty\n"
+      "objects, .close checkpoints and detaches, .iostats prints the\n"
+      "storage I/O counters. Ctrl-D to quit.\n",
       sciql::engine::Database::ExecutionThreads());
 
   std::string buffer;
@@ -38,18 +41,47 @@ int main() {
     if (buffer.empty() && line.rfind(".open", 0) == 0) {
       std::string dir = line.substr(5);
       while (!dir.empty() && dir.front() == ' ') dir.erase(dir.begin());
+      sciql::storage::OpenOptions options;
+      size_t space = dir.find(' ');
+      if (space != std::string::npos) {
+        std::string level = dir.substr(space + 1);
+        dir.resize(space);
+        if (!sciql::storage::ParseDurabilityLevel(level,
+                                                  &options.durability)) {
+          std::printf("unknown durability level '%s' (none|flush|fsync)\n",
+                      level.c_str());
+          continue;
+        }
+      }
       if (dir.empty()) {
-        std::printf("usage: .open DIR\n");
+        std::printf("usage: .open DIR [none|flush|fsync]\n");
         continue;
       }
-      auto st = db.Open(dir);
+      auto st = db.Open(dir, options);
       if (st.ok()) {
-        std::printf("opened %s (WAL records replayed: %llu)\n", dir.c_str(),
+        std::printf("opened %s (durability: %s, WAL records replayed: %llu)\n",
+                    dir.c_str(),
+                    sciql::storage::DurabilityLevelName(
+                        db.storage_engine()->durability()),
                     static_cast<unsigned long long>(
                         db.storage_engine()->stats().wal_replayed));
       } else {
         std::printf("!! %s\n", st.ToString().c_str());
       }
+      continue;
+    }
+    if (buffer.empty() && line.rfind(".iostats", 0) == 0) {
+      const auto& io = sciql::engine::Database::IoTelemetry();
+      std::printf(
+          "wal appends: %llu (fsyncs: %llu)\n"
+          "atomic file writes: %llu, file fsyncs: %llu\n"
+          "dir fsyncs: %llu (failed, best-effort: %llu)\n",
+          static_cast<unsigned long long>(io.wal_appends.load()),
+          static_cast<unsigned long long>(io.wal_fsyncs.load()),
+          static_cast<unsigned long long>(io.atomic_writes.load()),
+          static_cast<unsigned long long>(io.file_fsyncs.load()),
+          static_cast<unsigned long long>(io.dir_fsyncs.load()),
+          static_cast<unsigned long long>(io.dir_fsync_failed.load()));
       continue;
     }
     if (buffer.empty() && line.rfind(".checkpoint", 0) == 0) {

@@ -36,9 +36,21 @@ void Database::SetExecutionThreads(int n) {
 
 int Database::ExecutionThreads() { return ThreadPool::Get().thread_count(); }
 
-Status Database::Open(const std::string& dir) {
+Status Database::Open(const std::string& dir,
+                      const storage::OpenOptions& options) {
   if (storage_ != nullptr) {
-    SCIQL_RETURN_NOT_OK(storage_->Checkpoint());
+    Status parted = storage_->Checkpoint();
+    if (!parted.ok()) {
+      // The old directory keeps its last consistent state; whatever was not
+      // checkpointed is still covered by its WAL. Detach and report rather
+      // than staying attached to an engine mid-way through a failed commit.
+      DetachStorageAfterFailure();
+      return Status::IOError(StrFormat(
+          "checkpoint of the previously attached storage failed (%s); it was "
+          "detached at its last consistent state and no new directory was "
+          "opened — the session continues in-memory",
+          parted.ToString().c_str()));
+    }
     storage_.reset();
   }
   cat_.Clear();
@@ -48,7 +60,7 @@ Status Database::Open(const std::string& dir) {
     SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(sql));
     return Status::OK();
   };
-  auto opened = storage::StorageEngine::Open(dir, &cat_, replay);
+  auto opened = storage::StorageEngine::Open(dir, &cat_, replay, options);
   if (!opened.ok()) {
     // A failed open may have declared objects it can no longer load; drop
     // them so the session is a clean in-memory database again.
@@ -63,14 +75,43 @@ Status Database::Checkpoint() {
   if (storage_ == nullptr) {
     return Status::InvalidArgument("no storage attached; use Open(dir) first");
   }
-  return storage_->Checkpoint();
+  Status st = storage_->Checkpoint();
+  if (!st.ok()) {
+    // A failed checkpoint may have written some new-epoch files, but the
+    // manifest rename never committed them: on disk the directory is still
+    // exactly its last consistent state (old manifest + logged WAL prefix).
+    // The engine's in-memory dirty tracking is mid-transition though, so
+    // retrying could mis-track; detach instead, explicitly.
+    DetachStorageAfterFailure();
+    return Status::IOError(StrFormat(
+        "checkpoint failed (%s); storage detached — the session continues "
+        "in-memory only and the database directory keeps its last "
+        "consistent state", st.ToString().c_str()));
+  }
+  return st;
+}
+
+void Database::DetachStorageAfterFailure() {
+  if (storage_ == nullptr) return;
+  storage_->LoadAllForDetach();
+  storage_.reset();
 }
 
 Status Database::Close() {
   if (storage_ == nullptr) {
     return Status::InvalidArgument("no storage attached; use Open(dir) first");
   }
-  SCIQL_RETURN_NOT_OK(storage_->Checkpoint());
+  Status st = storage_->Checkpoint();
+  if (!st.ok()) {
+    // Everything committed is already WAL-logged, so closing without the
+    // checkpoint is still consistent: the next open replays the log.
+    storage_.reset();
+    cat_.Clear();
+    return Status::IOError(StrFormat(
+        "close could not checkpoint (%s); the directory keeps its last "
+        "consistent state and the next open replays its WAL",
+        st.ToString().c_str()));
+  }
   storage_.reset();  // detaches the catalog loader
   cat_.Clear();
   return Status::OK();
@@ -110,7 +151,7 @@ Result<ResultSet> Database::ExecuteStatement(const sql::Statement& stmt) {
       // retry would double-apply it. Detach the storage so the divergence is
       // explicit: the session keeps working in-memory, the directory stays
       // at its last consistent state (checkpoint + logged prefix).
-      storage_.reset();
+      DetachStorageAfterFailure();
       return Status::IOError(StrFormat(
           "statement applied in memory but could not be logged for "
           "durability (%s); storage detached — the session continues "

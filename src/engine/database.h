@@ -55,10 +55,16 @@ class Database {
   /// first open). Replaces the current session state: attached storage is
   /// checkpointed and detached, the in-memory catalog is cleared, then the
   /// directory's manifest is loaded (columns lazily) and its write-ahead log
-  /// replayed. After Open, every committed mutating statement is WAL-logged.
-  Status Open(const std::string& dir);
+  /// replayed. After Open, every committed mutating statement is WAL-logged
+  /// and pushed toward disk per `options.durability` (default: fsync per
+  /// statement). `options.env` injects a filesystem seam for fault testing.
+  Status Open(const std::string& dir, const storage::OpenOptions& options = {});
 
   /// \brief Write dirty objects and a new manifest, then reset the WAL.
+  /// On failure the storage is detached (after best-effort loading of every
+  /// object, so the in-memory session keeps serving them) and the directory
+  /// is left at its last committed manifest + logged WAL prefix — never a
+  /// hybrid referencing partially-written files.
   Status Checkpoint();
 
   /// \brief Checkpoint, detach from storage and clear the in-memory catalog,
@@ -70,6 +76,11 @@ class Database {
   /// tests and tooling that inspect storage statistics.
   storage::StorageEngine* storage_engine() { return storage_.get(); }
 
+  /// \brief Process-wide storage I/O counters (WAL appends/fsyncs, atomic
+  /// writes, and best-effort directory fsyncs that failed and were swallowed
+  /// — `dir_fsync_failed` makes those visible instead of silent).
+  static const storage::IoStats& IoTelemetry() { return storage::GetIoStats(); }
+
   /// \brief Set the kernel thread count shared by every Database in this
   /// process (morsel-parallel GDK kernels; see docs/execution.md). The
   /// default comes from SCIQL_THREADS or the hardware concurrency.
@@ -80,6 +91,11 @@ class Database {
   catalog::Catalog* catalog() { return &cat_; }
 
  private:
+  /// Best-effort load of every object, then drop the storage engine: the
+  /// shared failure path that keeps the in-memory session fully queryable
+  /// while the directory stays at its last consistent state.
+  void DetachStorageAfterFailure();
+
   Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
   Result<ResultSet> ExecuteStatementNoLog(const sql::Statement& stmt);
   Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);

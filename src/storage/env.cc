@@ -1,0 +1,278 @@
+#include "src/storage/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCIQL_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sciql {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+const char* DurabilityLevelName(DurabilityLevel level) {
+  switch (level) {
+    case DurabilityLevel::kNone: return "none";
+    case DurabilityLevel::kFlush: return "flush";
+    case DurabilityLevel::kFsync: return "fsync";
+  }
+  return "?";
+}
+
+bool ParseDurabilityLevel(std::string_view text, DurabilityLevel* out) {
+  std::string t(text);
+  for (char& c : t) c = static_cast<char>(std::tolower(c));
+  if (t == "none") { *out = DurabilityLevel::kNone; return true; }
+  if (t == "flush") { *out = DurabilityLevel::kFlush; return true; }
+  if (t == "fsync") { *out = DurabilityLevel::kFsync; return true; }
+  return false;
+}
+
+IoStats& GetIoStats() {
+  static IoStats stats;
+  return stats;
+}
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return StrFormat("%s %s: %s", what, path.c_str(), std::strerror(errno));
+}
+
+#ifdef SCIQL_HAVE_POSIX_IO
+
+// fd-based so Sync can reach real fsync(2) — the std::ofstream path the WAL
+// used before PR 6 could only flush to the OS, never to the platter.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (!status_.ok()) return status_;
+    buf_.append(data.data(), data.size());
+    if (buf_.size() >= kFlushThreshold) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (!status_.ok()) return status_;
+    size_t off = 0;
+    while (off < buf_.size()) {
+      ssize_t n = ::write(fd_, buf_.data() + off, buf_.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        status_ = Status::IOError(ErrnoMessage("write to", path_));
+        return status_;
+      }
+      off += static_cast<size_t>(n);
+    }
+    buf_.clear();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    SCIQL_RETURN_NOT_OK(Flush());
+    if (::fsync(fd_) != 0) {
+      status_ = Status::IOError(ErrnoMessage("fsync of", path_));
+      return status_;
+    }
+    GetIoStats().file_fsyncs++;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return status_;
+    Status flushed = Flush();
+    if (::close(fd_) != 0 && flushed.ok()) {
+      flushed = Status::IOError(ErrnoMessage("close of", path_));
+    }
+    fd_ = -1;
+    if (!flushed.ok() && status_.ok()) status_ = flushed;
+    return flushed;
+  }
+
+ private:
+  static constexpr size_t kFlushThreshold = 1 << 20;
+
+  int fd_;
+  std::string path_;
+  std::string buf_;
+  Status status_;  // first error, sticky
+};
+
+#else  // portable fallback: stream-based, Sync degrades to Flush
+
+class StreamWritableFile : public WritableFile {
+ public:
+  StreamWritableFile(std::ofstream out, std::string path)
+      : out_(std::move(out)), path_(std::move(path)) {}
+  ~StreamWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (!status_.ok()) return status_;
+    out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+    return Check("write to");
+  }
+  Status Flush() override {
+    if (!status_.ok()) return status_;
+    out_.flush();
+    return Check("flush of");
+  }
+  Status Sync() override { return Flush(); }
+  Status Close() override {
+    if (!out_.is_open()) return status_;
+    Status flushed = Flush();
+    out_.close();
+    return flushed;
+  }
+
+ private:
+  Status Check(const char* what) {
+    if (out_) return Status::OK();
+    status_ = Status::IOError(StrFormat("%s %s failed", what, path_.c_str()));
+    return status_;
+  }
+
+  std::ofstream out_;
+  std::string path_;
+  Status status_;
+};
+
+#endif
+
+class PosixEnv : public Env {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+      return Status::IOError(StrFormat("read failed on %s", path.c_str()));
+    }
+    return ss.str();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot list %s: %s", path.c_str(),
+                                       ec.message().c_str()));
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+#ifdef SCIQL_HAVE_POSIX_IO
+    int flags = O_WRONLY | O_CREAT |
+                (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for write", path));
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+#else
+    std::ios::openmode m = std::ios::binary |
+                           (mode == WriteMode::kTruncate ? std::ios::trunc
+                                                         : std::ios::app);
+    std::ofstream out(path, m);
+    if (!out) {
+      return Status::IOError(
+          StrFormat("cannot open %s for write", path.c_str()));
+    }
+    return std::unique_ptr<WritableFile>(
+        new StreamWritableFile(std::move(out), path));
+#endif
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("rename %s -> %s failed: %s",
+                                       from.c_str(), to.c_str(),
+                                       ec.message().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    fs::resize_file(path, size, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot truncate %s: %s", path.c_str(),
+                                       ec.message().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IOError(StrFormat("cannot remove %s: %s", path.c_str(),
+                                       ec.message().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot create directory %s: %s",
+                                       path.c_str(), ec.message().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+#ifdef SCIQL_HAVE_POSIX_IO
+    int dfd = ::open(path.c_str(), O_RDONLY);
+    if (dfd < 0) return Status::IOError(ErrnoMessage("cannot open dir", path));
+    int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) return Status::IOError(ErrnoMessage("fsync of dir", path));
+    GetIoStats().dir_fsyncs++;
+    return Status::OK();
+#else
+    (void)path;
+    return Status::NotSupported("directory fsync is POSIX-only");
+#endif
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+}  // namespace storage
+}  // namespace sciql

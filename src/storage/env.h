@@ -1,0 +1,105 @@
+// The filesystem seam of the durable storage engine. Every byte the engine
+// writes — WAL records, heap files, the manifest — and every directory-level
+// mutation (rename, truncate, remove, mkdir, directory fsync) goes through an
+// Env, so tests can substitute a FaultInjectingEnv (fault_env.h) that fails
+// or "crashes" at any chosen operation and prove the recovery invariants hold
+// at every single I/O point. Production uses the PosixEnv singleton
+// (Env::Default()).
+
+#ifndef SCIQL_STORAGE_ENV_H_
+#define SCIQL_STORAGE_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sciql {
+namespace storage {
+
+/// \brief How hard the WAL pushes an appended record toward the platter
+/// before the statement is acknowledged as committed.
+enum class DurabilityLevel {
+  kNone,   ///< buffered only; a crash may lose acknowledged statements
+  kFlush,  ///< pushed to the OS page cache; survives process crash, not power loss
+  kFsync,  ///< fsync'd; survives power loss (the default)
+};
+
+const char* DurabilityLevelName(DurabilityLevel level);
+/// Parse "none" / "flush" / "fsync" (case-insensitive); false if unknown.
+bool ParseDurabilityLevel(std::string_view text, DurabilityLevel* out);
+
+/// \brief A sequentially-written file. Append buffers in user space; Flush
+/// pushes the buffer to the OS; Sync additionally fsyncs. Errors stick:
+/// once a write fails the file is broken and every later call reports it.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  /// Flushes, then closes. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// \brief The injectable filesystem abstraction. All paths are plain strings;
+/// implementations never interpret them beyond passing them to the OS.
+class Env {
+ public:
+  enum class WriteMode { kTruncate, kAppend };
+
+  virtual ~Env() = default;
+
+  /// The process-wide PosixEnv (never null, never destroyed).
+  static Env* Default();
+
+  // -- reads ---------------------------------------------------------------
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Entries (leaf names, not full paths) of `path`, sorted — deterministic
+  /// order keeps fault-injection op sequences reproducible.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  // -- writes --------------------------------------------------------------
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  /// fsync the directory itself (persists renames/creates within it). Some
+  /// filesystems reject this; callers decide whether that is fatal.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+/// \brief Process-wide storage I/O counters, exposed so swallowed best-effort
+/// failures (notably directory fsyncs) are visible to tests and operators
+/// instead of disappearing silently. Mirrors the gdk::Telemetry() pattern.
+struct IoStats {
+  std::atomic<uint64_t> atomic_writes{0};     ///< WriteFileAtomic commits
+  std::atomic<uint64_t> file_fsyncs{0};       ///< successful file fsyncs
+  std::atomic<uint64_t> dir_fsyncs{0};        ///< successful directory fsyncs
+  std::atomic<uint64_t> dir_fsync_failed{0};  ///< best-effort dir fsyncs swallowed
+  std::atomic<uint64_t> wal_appends{0};       ///< WAL records appended
+  std::atomic<uint64_t> wal_fsyncs{0};        ///< WAL records fsync'd (kFsync)
+
+  void Reset() {
+    atomic_writes = 0;
+    file_fsyncs = 0;
+    dir_fsyncs = 0;
+    dir_fsync_failed = 0;
+    wal_appends = 0;
+    wal_fsyncs = 0;
+  }
+};
+
+IoStats& GetIoStats();
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_ENV_H_

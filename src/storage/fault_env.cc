@@ -1,0 +1,228 @@
+#include "src/storage/fault_env.h"
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace storage {
+
+const char* FaultInjectingEnv::OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate: return "create";
+    case OpKind::kWrite: return "write";
+    case OpKind::kFsync: return "fsync";
+    case OpKind::kRename: return "rename";
+    case OpKind::kTruncate: return "truncate";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kSyncDir: return "syncdir";
+  }
+  return "?";
+}
+
+Status FaultInjectingEnv::FaultStatus(FaultKind kind,
+                                      const std::string& path) const {
+  switch (kind) {
+    case FaultKind::kEIO:
+      return Status::IOError(
+          StrFormat("injected EIO on %s", path.c_str()));
+    case FaultKind::kENOSPC:
+      return Status::IOError(
+          StrFormat("injected ENOSPC on %s: no space left on device",
+                    path.c_str()));
+    case FaultKind::kShortWrite:
+      return Status::IOError(
+          StrFormat("injected short write on %s", path.c_str()));
+  }
+  return Status::IOError("injected fault");
+}
+
+FaultInjectingEnv::Decision FaultInjectingEnv::NextOp(OpKind kind,
+                                                      const std::string& path,
+                                                      FaultKind* fault_out) {
+  if (crashed_) return Decision::kCrash;
+  uint64_t index = ops_.size();
+  ops_.push_back(OpRecord{kind, path});
+  if (crash_at_ >= 0 && index >= static_cast<uint64_t>(crash_at_)) {
+    crashed_ = true;
+    return Decision::kCrash;
+  }
+  auto it = faults_.find(index);
+  if (it != faults_.end()) {
+    faults_injected_++;
+    *fault_out = it->second;
+    return Decision::kFail;
+  }
+  return Decision::kProceed;
+}
+
+// Buffers appends; the flush is the counted write operation, so a crash or
+// short write can land a controlled prefix of exactly the bytes one flush
+// would have written.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, std::unique_ptr<WritableFile> base,
+                    std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+  ~FaultWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (!status_.ok()) return status_;
+    pending_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (!status_.ok()) return status_;
+    if (pending_.empty()) return Status::OK();  // no bytes to move: no syscall
+    FaultInjectingEnv::FaultKind fault;
+    switch (env_->NextOp(FaultInjectingEnv::OpKind::kWrite, path_, &fault)) {
+      case FaultInjectingEnv::Decision::kProceed: {
+        Status st = base_->Append(pending_);
+        if (st.ok()) st = base_->Flush();
+        if (!st.ok()) { status_ = st; return st; }
+        pending_.clear();
+        return Status::OK();
+      }
+      case FaultInjectingEnv::Decision::kFail: {
+        if (fault == FaultInjectingEnv::FaultKind::kShortWrite) {
+          // A prefix lands before the error — a torn write the recovery
+          // machinery must detect via checksums.
+          std::string_view half(pending_.data(), pending_.size() / 2);
+          (void)base_->Append(half);
+          (void)base_->Flush();
+        }
+        status_ = env_->FaultStatus(fault, path_);
+        pending_.clear();
+        return status_;
+      }
+      case FaultInjectingEnv::Decision::kCrash: {
+        if (env_->crash_partial_ && !env_->crash_consumed_partial_) {
+          env_->crash_consumed_partial_ = true;
+          std::string_view half(pending_.data(), pending_.size() / 2);
+          (void)base_->Append(half);
+          (void)base_->Flush();
+        }
+        status_ = env_->CrashedStatus();
+        pending_.clear();
+        return status_;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Sync() override {
+    SCIQL_RETURN_NOT_OK(Flush());
+    FaultInjectingEnv::FaultKind fault;
+    switch (env_->NextOp(FaultInjectingEnv::OpKind::kFsync, path_, &fault)) {
+      case FaultInjectingEnv::Decision::kProceed:
+        return base_->Sync();
+      case FaultInjectingEnv::Decision::kFail:
+        status_ = env_->FaultStatus(fault, path_);
+        return status_;
+      case FaultInjectingEnv::Decision::kCrash:
+        status_ = env_->CrashedStatus();
+        return status_;
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Close() override {
+    if (closed_) return status_;
+    closed_ = true;
+    Status flushed = Flush();
+    Status base_closed = base_->Close();
+    if (flushed.ok() && !base_closed.ok()) flushed = base_closed;
+    return flushed;
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  std::string pending_;
+  Status status_;  // sticky first error
+  bool closed_ = false;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  // Creating or truncating a file mutates the directory; appending to an
+  // existing file does not (the writes themselves are counted at flush time).
+  bool mutates = mode == WriteMode::kTruncate || !base_->FileExists(path);
+  if (mutates) {
+    FaultKind fault;
+    switch (NextOp(OpKind::kCreate, path, &fault)) {
+      case Decision::kProceed:
+        break;
+      case Decision::kFail:
+        return FaultStatus(fault, path);
+      case Decision::kCrash:
+        return CrashedStatus();
+    }
+  } else if (crashed_) {
+    return CrashedStatus();
+  }
+  SCIQL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path, mode));
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(base), path));
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  FaultKind fault;
+  switch (NextOp(OpKind::kRename, to, &fault)) {
+    case Decision::kProceed: return base_->Rename(from, to);
+    case Decision::kFail: return FaultStatus(fault, to);
+    case Decision::kCrash: return CrashedStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingEnv::Truncate(const std::string& path, uint64_t size) {
+  FaultKind fault;
+  switch (NextOp(OpKind::kTruncate, path, &fault)) {
+    case Decision::kProceed: return base_->Truncate(path, size);
+    case Decision::kFail: return FaultStatus(fault, path);
+    case Decision::kCrash: return CrashedStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  FaultKind fault;
+  switch (NextOp(OpKind::kRemove, path, &fault)) {
+    case Decision::kProceed: return base_->RemoveFile(path);
+    case Decision::kFail: return FaultStatus(fault, path);
+    case Decision::kCrash: return CrashedStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingEnv::CreateDirs(const std::string& path) {
+  // Only count a directory that actually comes into existence.
+  if (base_->FileExists(path)) {
+    if (crashed_) return CrashedStatus();
+    return base_->CreateDirs(path);
+  }
+  FaultKind fault;
+  switch (NextOp(OpKind::kMkdir, path, &fault)) {
+    case Decision::kProceed: return base_->CreateDirs(path);
+    case Decision::kFail: return FaultStatus(fault, path);
+    case Decision::kCrash: return CrashedStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  FaultKind fault;
+  switch (NextOp(OpKind::kSyncDir, path, &fault)) {
+    case Decision::kProceed: return base_->SyncDir(path);
+    case Decision::kFail: return FaultStatus(fault, path);
+    case Decision::kCrash: return CrashedStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace storage
+}  // namespace sciql

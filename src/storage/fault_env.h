@@ -1,0 +1,142 @@
+// A fault-injecting Env test double. It wraps a real Env, counts every
+// *mutating* filesystem operation (file creation/truncation, buffered-write
+// flush, fsync, rename, truncate, remove, mkdir, directory fsync) and can
+//
+//  (a) fail the Nth such operation with an injected error (EIO, ENOSPC, or a
+//      short write that lands only a prefix of the bytes before erroring), or
+//  (b) "crash" at the Nth operation: that operation has no effect (or, in the
+//      partial flavor, a write lands only half its bytes — a torn write) and
+//      every later mutating operation is a failing no-op, exactly as if the
+//      machine lost power at that syscall. Reads keep working and observe the
+//      on-disk state as the crash left it.
+//
+// Because the wrapped writes are deterministic, one counting pass over a
+// workload yields the operation schedule, and replaying the workload with a
+// crash at every k in [0, N) enumerates every reachable disk state — the
+// crash-point matrix (tests/storage/crash_matrix_test.cpp).
+
+#ifndef SCIQL_STORAGE_FAULT_ENV_H_
+#define SCIQL_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/storage/env.h"
+
+namespace sciql {
+namespace storage {
+
+class FaultInjectingEnv : public Env {
+ public:
+  enum class OpKind {
+    kCreate,    ///< file created or truncated open
+    kWrite,     ///< buffered bytes pushed to the file
+    kFsync,     ///< file fsync
+    kRename,
+    kTruncate,
+    kRemove,
+    kMkdir,
+    kSyncDir,   ///< directory fsync
+  };
+  enum class FaultKind {
+    kEIO,        ///< the operation fails, nothing lands
+    kENOSPC,     ///< the operation fails, nothing lands ("no space")
+    kShortWrite, ///< a write lands only half its bytes, then fails
+  };
+  struct OpRecord {
+    OpKind kind;
+    std::string path;
+  };
+
+  static const char* OpKindName(OpKind kind);
+
+  /// Wraps `base` (default: the real filesystem).
+  explicit FaultInjectingEnv(Env* base = nullptr)
+      : base_(base != nullptr ? base : Env::Default()) {}
+
+  // -- schedule -------------------------------------------------------------
+
+  /// The `index`-th mutating operation (0-based) fails with `kind`.
+  void FailOperation(uint64_t index, FaultKind kind) {
+    faults_[index] = kind;
+  }
+  /// Crash at the `index`-th mutating operation: it has no effect (with
+  /// `partial_write`, a write op lands half its bytes first — a torn write)
+  /// and all later mutating operations fail without effect.
+  void CrashAtOperation(uint64_t index, bool partial_write = false) {
+    crash_at_ = static_cast<int64_t>(index);
+    crash_partial_ = partial_write;
+  }
+  /// Crash immediately: every mutating operation from now on is a failing
+  /// no-op (models pulling the plug between operations).
+  void HaltAllWrites() { crashed_ = true; }
+  /// Forget the schedule and all counters (the env becomes a pure pass-through).
+  void Reset() {
+    faults_.clear();
+    crash_at_ = -1;
+    crash_partial_ = false;
+    crash_consumed_partial_ = false;
+    crashed_ = false;
+    faults_injected_ = 0;
+    ops_.clear();
+  }
+
+  // -- observation ----------------------------------------------------------
+
+  /// Mutating operations attempted so far (the crash op, if any, included).
+  uint64_t op_count() const { return ops_.size(); }
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  bool crashed() const { return crashed_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  // -- Env ------------------------------------------------------------------
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  enum class Decision { kProceed, kFail, kCrash };
+
+  /// Count one mutating operation against the schedule. On kFail,
+  /// `*fault_out` says how; on kCrash the env is halted (crashed() is true
+  /// from here on). Once crashed, returns kCrash without counting.
+  Decision NextOp(OpKind kind, const std::string& path, FaultKind* fault_out);
+
+  Status CrashedStatus() const {
+    return Status::IOError("simulated crash: writes halted");
+  }
+  Status FaultStatus(FaultKind kind, const std::string& path) const;
+
+  Env* base_;
+  std::map<uint64_t, FaultKind> faults_;
+  int64_t crash_at_ = -1;
+  bool crash_partial_ = false;
+  bool crash_consumed_partial_ = false;
+  bool crashed_ = false;
+  uint64_t faults_injected_ = 0;
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace storage
+}  // namespace sciql
+
+#endif  // SCIQL_STORAGE_FAULT_ENV_H_

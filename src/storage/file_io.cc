@@ -20,71 +20,36 @@
 namespace sciql {
 namespace storage {
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError(StrFormat("cannot open %s", path.c_str()));
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) {
-    return Status::IOError(StrFormat("read failed on %s", path.c_str()));
-  }
-  return ss.str();
+Result<std::string> ReadWholeFile(Env* env, const std::string& path) {
+  return env->ReadFile(path);
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view bytes) {
   std::string tmp = path + ".tmp";
-#ifdef SCIQL_HAVE_MMAP  // POSIX: fd-based write so the data can be fsynced
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError(StrFormat("cannot write %s", tmp.c_str()));
-  }
-  size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      ::close(fd);
-      return Status::IOError(StrFormat("short write to %s", tmp.c_str()));
-    }
-    off += static_cast<size_t>(n);
-  }
+  SCIQL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp, Env::WriteMode::kTruncate));
+  Status st = file->Append(bytes);
   // The rename below is the commit point, so the data must be durable
   // before the new name is: rename metadata can otherwise reach disk first
   // and a power loss would leave a committed name with torn contents.
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IOError(StrFormat("fsync of %s failed", tmp.c_str()));
+  if (st.ok()) st = file->Sync();
+  Status closed = file->Close();
+  if (st.ok()) st = closed;
+  if (!st.ok()) {
+    (void)env->RemoveFile(tmp);  // best effort; GC sweeps leftovers too
+    return st;
   }
-  ::close(fd);
-#else
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError(StrFormat("cannot write %s", tmp.c_str()));
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      return Status::IOError(StrFormat("short write to %s", tmp.c_str()));
-    }
-  }
-#endif
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IOError(StrFormat("rename %s -> %s failed: %s", tmp.c_str(),
-                                     path.c_str(), ec.message().c_str()));
-  }
-#ifdef SCIQL_HAVE_MMAP
-  // Persist the rename itself (the directory entry).
+  SCIQL_RETURN_NOT_OK(env->Rename(tmp, path));
+  GetIoStats().atomic_writes++;
+  // Persist the rename itself (the directory entry). Best effort — some
+  // filesystems reject directory fsync — but never silent: swallowed
+  // failures are counted so tests and operators can see them.
   std::string parent = std::filesystem::path(path).parent_path().string();
   if (!parent.empty()) {
-    int dfd = ::open(parent.c_str(), O_RDONLY);
-    if (dfd >= 0) {
-      ::fsync(dfd);  // best effort: some filesystems reject directory fsync
-      ::close(dfd);
-    }
+    Status synced = env->SyncDir(parent);
+    if (!synced.ok()) GetIoStats().dir_fsync_failed++;
   }
-#endif
   return Status::OK();
 }
 
@@ -113,8 +78,14 @@ MappedFile::~MappedFile() {
 #endif
 }
 
-Result<MappedFile> MappedFile::Open(const std::string& path) {
+Result<MappedFile> MappedFile::Open(const std::string& path, Env* env) {
   MappedFile f;
+  if (env != nullptr && env != Env::Default()) {
+    // An injected env must see every read, so mmap (which bypasses it) is off.
+    SCIQL_ASSIGN_OR_RETURN(f.fallback_, env->ReadFile(path));
+    f.view_ = std::string_view(f.fallback_.data(), f.fallback_.size());
+    return f;
+  }
 #ifdef SCIQL_HAVE_MMAP
   const char* no_mmap = std::getenv("SCIQL_NO_MMAP");
   if (no_mmap == nullptr || no_mmap[0] == '\0' || no_mmap[0] == '0') {

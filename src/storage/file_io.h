@@ -11,17 +11,28 @@
 #include <string_view>
 
 #include "src/common/result.h"
+#include "src/storage/env.h"
 
 namespace sciql {
 namespace storage {
 
 /// \brief Read the entire file at `path` into a string.
-Result<std::string> ReadWholeFile(const std::string& path);
+Result<std::string> ReadWholeFile(Env* env, const std::string& path);
+inline Result<std::string> ReadWholeFile(const std::string& path) {
+  return ReadWholeFile(Env::Default(), path);
+}
 
 /// \brief Write `bytes` to `path` atomically: the data lands in `path`.tmp
-/// first and is renamed over `path`, so a crash mid-write can never leave a
-/// half-written file under the final name.
-Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+/// first, is fsync'd, and is renamed over `path`, so a crash mid-write can
+/// never leave a half-written file under the final name. The rename is
+/// followed by a best-effort directory fsync; a swallowed failure there is
+/// counted in IoStats::dir_fsync_failed (some filesystems reject it).
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view bytes);
+inline Status WriteFileAtomic(const std::string& path,
+                              std::string_view bytes) {
+  return WriteFileAtomic(Env::Default(), path, bytes);
+}
 
 /// \brief A read-only view of a file, memory-mapped where the platform
 /// supports it (POSIX mmap) and read into an owned buffer otherwise. Setting
@@ -37,7 +48,9 @@ class MappedFile {
   MappedFile& operator=(const MappedFile&) = delete;
   ~MappedFile();
 
-  static Result<MappedFile> Open(const std::string& path);
+  /// With a non-default `env` the file is read whole through the env (no
+  /// mmap), so test doubles intercept every byte the loaders consume.
+  static Result<MappedFile> Open(const std::string& path, Env* env = nullptr);
 
   std::string_view data() const { return view_; }
   /// True if the view is backed by an actual memory mapping.

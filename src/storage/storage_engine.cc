@@ -45,25 +45,28 @@ std::string EpochName(const std::string& object, const std::string& column,
 }  // namespace
 
 Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
-    const std::string& dir, catalog::Catalog* cat, const ReplayFn& replay) {
+    const std::string& dir, catalog::Catalog* cat, const ReplayFn& replay,
+    const OpenOptions& options) {
   if (!cat->TableNames().empty() || !cat->ArrayNames().empty()) {
     return Status::InvalidArgument(
         "storage can only attach to an empty catalog");
   }
   std::unique_ptr<StorageEngine> eng(new StorageEngine());
   eng->dir_ = dir;
+  eng->env_ = options.env != nullptr ? options.env : Env::Default();
+  eng->durability_ = options.durability;
   eng->cat_ = cat;
 
-  std::error_code ec;
-  fs::create_directories(fs::path(dir) / kHeapDir, ec);
-  if (ec) {
+  Status made = eng->env_->CreateDirs((fs::path(dir) / kHeapDir).string());
+  if (!made.ok()) {
     return Status::IOError(StrFormat("cannot create database directory %s: %s",
-                                     dir.c_str(), ec.message().c_str()));
+                                     dir.c_str(), made.ToString().c_str()));
   }
 
   std::string manifest_path = (fs::path(dir) / kManifestFile).string();
-  if (fs::exists(manifest_path)) {
-    SCIQL_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(manifest_path));
+  if (eng->env_->FileExists(manifest_path)) {
+    SCIQL_ASSIGN_OR_RETURN(std::string bytes,
+                           ReadWholeFile(eng->env_, manifest_path));
     SCIQL_ASSIGN_OR_RETURN(eng->manifest_, Manifest::Decode(bytes));
   }
   eng->epoch_ = eng->manifest_.next_epoch;
@@ -95,7 +98,8 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       return replay(std::string(payload));
     };
   }
-  SCIQL_ASSIGN_OR_RETURN(eng->wal_, Wal::Open(wal_path, replay_record));
+  SCIQL_ASSIGN_OR_RETURN(eng->wal_, Wal::Open(wal_path, replay_record,
+                                              eng->env_, eng->durability_));
   eng->stats_.wal_replayed = eng->wal_->replayed_count();
   eng->stats_.wal_discarded_bytes = eng->wal_->discarded_bytes();
   return eng;
@@ -107,6 +111,16 @@ void StorageEngine::Detach() {
   if (cat_ != nullptr) {
     cat_->SetLoader(nullptr);
     cat_ = nullptr;
+  }
+}
+
+void StorageEngine::LoadAllForDetach() {
+  if (cat_ == nullptr) return;
+  for (const std::string& name : cat_->TableNames()) {
+    if (cat_->IsUnloaded(name)) (void)cat_->GetTable(name);
+  }
+  for (const std::string& name : cat_->ArrayNames()) {
+    if (cat_->IsUnloaded(name)) (void)cat_->GetArray(name);
   }
 }
 
@@ -197,7 +211,8 @@ Result<BATPtr> StorageEngine::LoadColumn(const std::string& object,
                                          const ColumnFiles& files,
                                          ObjectState* state) {
   std::string heap_path = (fs::path(dir_) / files.heap).string();
-  SCIQL_ASSIGN_OR_RETURN(MappedFile heap_file, MappedFile::Open(heap_path));
+  SCIQL_ASSIGN_OR_RETURN(MappedFile heap_file,
+                         MappedFile::Open(heap_path, env_));
   SCIQL_ASSIGN_OR_RETURN(Block heap, DecodeBlock(heap_file.data(), kHeapMagic));
   if (heap.aux != static_cast<uint32_t>(type)) {
     return Status::IOError(StrFormat("heap %s stores type %u, schema says %s",
@@ -213,7 +228,7 @@ Result<BATPtr> StorageEngine::LoadColumn(const std::string& object,
                                        column.c_str()));
     }
     std::string sh_path = (fs::path(dir_) / files.strheap).string();
-    SCIQL_ASSIGN_OR_RETURN(MappedFile sh_file, MappedFile::Open(sh_path));
+    SCIQL_ASSIGN_OR_RETURN(MappedFile sh_file, MappedFile::Open(sh_path, env_));
     SCIQL_ASSIGN_OR_RETURN(Block sh, DecodeBlock(sh_file.data(), kStrHeapMagic));
     SCIQL_ASSIGN_OR_RETURN(auto strheap, gdk::StrHeap::FromBytes(sh.payload));
     SCIQL_ASSIGN_OR_RETURN(
@@ -288,7 +303,7 @@ void StorageEngine::AdoptColumnIndexes(const SiblingColumns& siblings,
     // dropped, never trusted.
     std::vector<ParsedSpec> specs;
     std::string ox_path = (fs::path(dir_) / cs.files.oidx).string();
-    Result<MappedFile> ox_file = MappedFile::Open(ox_path);
+    Result<MappedFile> ox_file = MappedFile::Open(ox_path, env_);
     bool parsed = false;
     if (ox_file.ok()) {
       Result<Block> ox = DecodeBlock(ox_file->data(), kOrderIdxMagic);
@@ -403,7 +418,7 @@ Status StorageEngine::WriteColumn(const std::string& object,
   std::string_view tail(static_cast<const char*>(bat->TailData()),
                         bat->TailByteSize());
   SCIQL_RETURN_NOT_OK(WriteFileAtomic(
-      (fs::path(dir_) / files.heap).string(),
+      env_, (fs::path(dir_) / files.heap).string(),
       EncodeBlock(kHeapMagic, static_cast<uint32_t>(bat->type()), bat->Count(),
                   tail)));
 
@@ -411,7 +426,7 @@ Status StorageEngine::WriteColumn(const std::string& object,
     const std::vector<char>& raw = bat->heap()->raw();
     files.strheap = EpochName(object, column, epoch, "strheap");
     SCIQL_RETURN_NOT_OK(WriteFileAtomic(
-        (fs::path(dir_) / files.strheap).string(),
+        env_, (fs::path(dir_) / files.strheap).string(),
         EncodeBlock(kStrHeapMagic, 0, raw.size(),
                     std::string_view(raw.data(), raw.size()))));
   }
@@ -444,7 +459,7 @@ Status StorageEngine::WriteIndexContainer(
   }
   std::string file = EpochName(object, column, epoch_++, "oidx");
   SCIQL_RETURN_NOT_OK(WriteFileAtomic(
-      (fs::path(dir_) / file).string(),
+      env_, (fs::path(dir_) / file).string(),
       EncodeBlock(kOrderIdxMagic, kOrderIdxSpecAux, live.size(), payload)));
   cs->files.oidx = std::move(file);
   cs->oidx_ids = IndexIds(live);
@@ -596,7 +611,8 @@ Status StorageEngine::Checkpoint(bool force_full) {
       "wal.%llu.log", static_cast<unsigned long long>(epoch_++));
   SCIQL_ASSIGN_OR_RETURN(
       std::unique_ptr<Wal> fresh,
-      Wal::Open((fs::path(dir_) / new_wal).string(), nullptr));
+      Wal::Open((fs::path(dir_) / new_wal).string(), nullptr, env_,
+                durability_));
   std::string old_wal = manifest_.wal_file;
 
   nm.next_epoch = epoch_;
@@ -605,8 +621,8 @@ Status StorageEngine::Checkpoint(bool force_full) {
   SCIQL_RETURN_NOT_OK(CommitManifest());
   wal_ = std::move(fresh);
   if (old_wal != new_wal) {
-    std::error_code ec;
-    fs::remove(fs::path(dir_) / old_wal, ec);  // best effort; GC sweeps too
+    // Best effort; GC sweeps orphaned logs too.
+    (void)env_->RemoveFile((fs::path(dir_) / old_wal).string());
   }
   CollectGarbage();
   stats_.checkpoints++;
@@ -614,7 +630,7 @@ Status StorageEngine::Checkpoint(bool force_full) {
 }
 
 Status StorageEngine::CommitManifest() {
-  return WriteFileAtomic((fs::path(dir_) / kManifestFile).string(),
+  return WriteFileAtomic(env_, (fs::path(dir_) / kManifestFile).string(),
                          manifest_.Encode());
 }
 
@@ -631,24 +647,30 @@ void StorageEngine::CollectGarbage() const {
   for (const ArrayManifest& am : manifest_.arrays) {
     for (const ColumnFiles& f : am.files) note(f);
   }
-  std::error_code ec;
-  fs::directory_iterator it(fs::path(dir_) / kHeapDir, ec);
-  if (ec) return;  // best effort: GC never fails a checkpoint
-  for (const auto& entry : it) {
-    std::string rel = std::string(kHeapDir) + "/" +
-                      entry.path().filename().string();
-    if (referenced.count(rel) == 0) {
-      fs::remove(entry.path(), ec);
+  // Best effort throughout: GC never fails a checkpoint. ListDir returns
+  // sorted names, so the op sequence stays deterministic under fault
+  // injection.
+  Result<std::vector<std::string>> heap_names =
+      env_->ListDir((fs::path(dir_) / kHeapDir).string());
+  if (heap_names.ok()) {
+    for (const std::string& name : *heap_names) {
+      std::string rel = std::string(kHeapDir) + "/" + name;
+      if (referenced.count(rel) == 0) {
+        (void)env_->RemoveFile((fs::path(dir_) / kHeapDir / name).string());
+      }
     }
   }
-  // Orphaned logs: a crash between the manifest commit and the old-log
-  // removal leaves a wal.<epoch>.log no manifest references.
-  fs::directory_iterator root(dir_, ec);
-  if (ec) return;
-  for (const auto& entry : root) {
-    std::string name = entry.path().filename().string();
-    if (name.rfind("wal.", 0) == 0 && name != manifest_.wal_file) {
-      fs::remove(entry.path(), ec);
+  // Orphaned logs (a crash between the manifest commit and the old-log
+  // removal leaves a wal.<epoch>.log no manifest references) and stray
+  // .tmp files (an interrupted atomic write never renamed its temp away).
+  Result<std::vector<std::string>> root_names = env_->ListDir(dir_);
+  if (!root_names.ok()) return;
+  for (const std::string& name : *root_names) {
+    bool orphan_log = name.rfind("wal.", 0) == 0 && name != manifest_.wal_file;
+    bool stray_tmp = name.size() > 4 &&
+                     name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (orphan_log || stray_tmp) {
+      (void)env_->RemoveFile((fs::path(dir_) / name).string());
     }
   }
 }

@@ -21,11 +21,21 @@
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
+#include "src/storage/env.h"
 #include "src/storage/manifest.h"
 #include "src/storage/wal.h"
 
 namespace sciql {
 namespace storage {
+
+/// \brief Knobs of StorageEngine::Open (and engine::Database::Open).
+struct OpenOptions {
+  /// All I/O routes through this seam; nullptr means the real filesystem
+  /// (Env::Default()). Tests inject a FaultInjectingEnv here.
+  Env* env = nullptr;
+  /// How far each WAL append is pushed before a statement commits.
+  DurabilityLevel durability = DurabilityLevel::kFsync;
+};
 
 class StorageEngine {
  public:
@@ -38,9 +48,9 @@ class StorageEngine {
   /// the lazy loader on `cat`, and replay the WAL through `replay`. The
   /// catalog must be empty. `cat` must outlive the returned engine or call
   /// SetLoader(nullptr) first (engine::Database sequences this).
-  static Result<std::unique_ptr<StorageEngine>> Open(const std::string& dir,
-                                                     catalog::Catalog* cat,
-                                                     const ReplayFn& replay);
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, catalog::Catalog* cat, const ReplayFn& replay,
+      const OpenOptions& options = {});
 
   ~StorageEngine();
   StorageEngine(const StorageEngine&) = delete;
@@ -59,7 +69,16 @@ class StorageEngine {
   /// loaded become inaccessible, so the owner should Clear() the catalog.
   void Detach();
 
+  /// \brief Best-effort materialization of every still-unloaded object —
+  /// called before a failure-driven detach so the in-memory session keeps
+  /// serving all objects (reads usually still work when writes fail, e.g.
+  /// on ENOSPC). Load errors are swallowed: the object simply stays
+  /// unavailable, as it would have been anyway.
+  void LoadAllForDetach();
+
   const std::string& dir() const { return dir_; }
+  Env* env() const { return env_; }
+  DurabilityLevel durability() const { return durability_; }
 
   struct Stats {
     uint64_t objects_loaded = 0;        ///< lazy loads performed
@@ -158,6 +177,8 @@ class StorageEngine {
   void CollectGarbage() const;
 
   std::string dir_;
+  Env* env_ = nullptr;
+  DurabilityLevel durability_ = DurabilityLevel::kFsync;
   catalog::Catalog* cat_ = nullptr;
   Manifest manifest_;
   std::map<std::string, ObjectState> state_;  // loaded objects only

@@ -1,7 +1,5 @@
 #include "src/storage/wal.h"
 
-#include <filesystem>
-
 #include "src/common/codec.h"
 #include "src/common/string_util.h"
 #include "src/storage/file_io.h"
@@ -15,13 +13,16 @@ constexpr size_t kRecordHeader = 24;
 }  // namespace
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
-                                       const ReplayFn& replay) {
+                                       const ReplayFn& replay, Env* env,
+                                       DurabilityLevel durability) {
   std::unique_ptr<Wal> wal(new Wal());
   wal->path_ = path;
+  wal->env_ = env != nullptr ? env : Env::Default();
+  wal->durability_ = durability;
 
   std::string bytes;
-  if (std::filesystem::exists(path)) {
-    SCIQL_ASSIGN_OR_RETURN(bytes, ReadWholeFile(path));
+  if (wal->env_->FileExists(path)) {
+    SCIQL_ASSIGN_OR_RETURN(bytes, ReadWholeFile(wal->env_, path));
   }
 
   // Scan: every record that checks out is replayed; the first record that
@@ -55,19 +56,15 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   wal->discarded_bytes_ = bytes.size() - good_end;
 
   if (good_end < bytes.size()) {
-    std::error_code ec;
-    std::filesystem::resize_file(path, good_end, ec);
-    if (ec) {
+    Status st = wal->env_->Truncate(path, good_end);
+    if (!st.ok()) {
       return Status::IOError(StrFormat("cannot truncate torn WAL tail of %s: %s",
-                                       path.c_str(), ec.message().c_str()));
+                                       path.c_str(), st.ToString().c_str()));
     }
   }
 
-  wal->out_.open(path, std::ios::binary | std::ios::app);
-  if (!wal->out_) {
-    return Status::IOError(StrFormat("cannot open WAL %s for append",
-                                     path.c_str()));
-  }
+  SCIQL_ASSIGN_OR_RETURN(
+      wal->out_, wal->env_->NewWritableFile(path, Env::WriteMode::kAppend));
   return wal;
 }
 
@@ -81,28 +78,41 @@ Status Wal::Append(std::string_view payload) {
   w.PutU64(Checksum64(payload));
   rec.append(payload.data(), payload.size());
 
-  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
-  out_.flush();
-  if (!out_) {
-    return Status::IOError(StrFormat("WAL append to %s failed", path_.c_str()));
+  Status st = out_->Append(rec);
+  // The durability level decides how far the record is pushed before the
+  // statement is acknowledged: kNone leaves it buffered (a crash may lose
+  // it), kFlush reaches the OS, kFsync reaches the platter.
+  if (st.ok() && durability_ != DurabilityLevel::kNone) {
+    st = durability_ == DurabilityLevel::kFsync ? out_->Sync() : out_->Flush();
+    if (st.ok() && durability_ == DurabilityLevel::kFsync) {
+      GetIoStats().wal_fsyncs++;
+    }
   }
+  if (!st.ok()) {
+    return Status::IOError(StrFormat("WAL append to %s failed: %s",
+                                     path_.c_str(), st.ToString().c_str()));
+  }
+  GetIoStats().wal_appends++;
   ++record_count_;
   return Status::OK();
 }
 
 Status Wal::Reset() {
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) {
-    return Status::IOError(StrFormat("cannot truncate WAL %s", path_.c_str()));
+  // The old stream's close result is deliberately ignored: Reset discards
+  // every buffered or half-appended byte by design (the file is truncated
+  // right below), so a sticky error from an earlier failed append — already
+  // reported to that append's caller — must not leave the WAL permanently
+  // unusable. What a reset can never do is report success without a clean
+  // truncated stream, so the reopen below is checked.
+  if (out_ != nullptr) (void)out_->Close();
+  out_.reset();
+  auto fresh = env_->NewWritableFile(path_, Env::WriteMode::kTruncate);
+  if (!fresh.ok()) {
+    return Status::IOError(StrFormat("cannot truncate WAL %s: %s",
+                                     path_.c_str(),
+                                     fresh.status().ToString().c_str()));
   }
-  out_.flush();
-  // Reopen in append mode so later Appends and a concurrent reader agree.
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_) {
-    return Status::IOError(StrFormat("cannot reopen WAL %s", path_.c_str()));
-  }
+  out_ = std::move(*fresh);
   record_count_ = 0;
   return Status::OK();
 }

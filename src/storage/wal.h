@@ -1,24 +1,28 @@
 // Write-ahead log: the durability gap-filler between checkpoints. Every
 // committed mutating SQL statement is appended as one checksummed record and
-// flushed; reopening the database replays the surviving records against the
-// last checkpoint. A torn tail (crash mid-append) is detected by the record
+// pushed toward disk as far as the configured DurabilityLevel demands;
+// reopening the database replays the surviving records against the last
+// checkpoint. A torn tail (crash mid-append) is detected by the record
 // checksum and truncated away, so exactly the fully-written prefix — the
 // committed statements — is recovered.
 //
 // Record layout (little-endian):
 //   u32 magic "WAL1" | u32 reserved | u64 payload_len | u64 checksum | payload
+//
+// All I/O routes through a storage::Env, so the crash-point matrix
+// (tests/storage/crash_matrix_test.cpp) can halt or fail any write or fsync.
 
 #ifndef SCIQL_STORAGE_WAL_H_
 #define SCIQL_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "src/common/result.h"
+#include "src/storage/env.h"
 
 namespace sciql {
 namespace storage {
@@ -32,11 +36,14 @@ class Wal {
   /// scanned front to back: each intact record is handed to `replay`; the
   /// first torn or corrupt record ends the scan and the file is truncated at
   /// that point, discarding the tail. The log is then ready for Append.
-  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
-                                           const ReplayFn& replay);
+  static Result<std::unique_ptr<Wal>> Open(
+      const std::string& path, const ReplayFn& replay, Env* env = nullptr,
+      DurabilityLevel durability = DurabilityLevel::kFsync);
 
-  /// \brief Append one record and flush it to the file. The record is
-  /// considered committed once Append returns OK.
+  /// \brief Append one record and push it toward disk per the durability
+  /// level (kFlush: OS page cache; kFsync: fsync'd — the default). The
+  /// record is considered committed once Append returns OK; any write or
+  /// flush failure surfaces as IOError, never a silently broken stream.
   Status Append(std::string_view payload);
 
   /// \brief Discard all records (after a checkpoint made them redundant).
@@ -49,11 +56,15 @@ class Wal {
   /// \brief Bytes the Open scan discarded as a torn/corrupt tail.
   uint64_t discarded_bytes() const { return discarded_bytes_; }
 
+  DurabilityLevel durability() const { return durability_; }
+
  private:
   Wal() = default;
 
   std::string path_;
-  std::ofstream out_;
+  Env* env_ = nullptr;
+  DurabilityLevel durability_ = DurabilityLevel::kFsync;
+  std::unique_ptr<WritableFile> out_;
   uint64_t record_count_ = 0;
   uint64_t replayed_count_ = 0;
   uint64_t discarded_bytes_ = 0;

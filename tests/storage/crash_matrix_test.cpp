@@ -1,0 +1,172 @@
+// The crash-point matrix: enumerate every mutating filesystem operation the
+// storage engine issues over a representative workload (inserts, updates,
+// deletes, two checkpoints), then replay the workload once per operation with
+// a simulated power cut at exactly that operation — the op has no effect (or,
+// in the torn-write flavor, a write lands only half its bytes) and every
+// later write is a failing no-op. Reopening the directory with the real
+// filesystem must then recover a database equal to either the pre- or the
+// post-commit state of the in-flight statement — never a hybrid, never less
+// than the acknowledged prefix — and a clean checkpoint must succeed on the
+// recovered database.
+//
+// Because the engine's I/O is deterministic, one fault-free counting pass
+// yields the full operation schedule; crashing at every index k in [0, N)
+// visits every distinct reachable disk state.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/storage/fault_env.h"
+#include "tests/support/crash_workload.h"
+
+namespace sciql {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::Database;
+using testsupport::CrashOutcome;
+using testsupport::ListTmpFiles;
+using testsupport::ReferenceSnapshots;
+using testsupport::RunCrashWorkload;
+using testsupport::StorageSnapshot;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// One fault-free pass over the workload through the counting env: the
+// operation schedule every crash replay below indexes into.
+std::vector<FaultInjectingEnv::OpRecord> CountOperations() {
+  std::string dir = FreshDir("crash_count");
+  FaultInjectingEnv env;
+  Database db;
+  CrashOutcome out = RunCrashWorkload(dir, {&env}, &db);
+  EXPECT_EQ(out.failed_step, CrashOutcome::kNoFailure)
+      << "fault-free pass failed at step " << out.failed_step << ": "
+      << out.error.ToString();
+  return env.ops();
+}
+
+TEST(CrashMatrixTest, WorkloadCoversEveryMutatingOperationKind) {
+  std::vector<FaultInjectingEnv::OpRecord> ops = CountOperations();
+
+  std::map<FaultInjectingEnv::OpKind, int> by_kind;
+  for (const auto& op : ops) by_kind[op.kind]++;
+  std::string breakdown;
+  for (const auto& [kind, count] : by_kind) {
+    breakdown += std::string(FaultInjectingEnv::OpKindName(kind)) + "=" +
+                 std::to_string(count) + " ";
+  }
+  // The matrix size the CI job greps for.
+  std::cout << "crash matrix: " << ops.size()
+            << " operations (" << breakdown << ")" << std::endl;
+
+  // The issue's floor, and proof the workload reaches every op kind the
+  // engine can issue (every write, fsync and rename is a crash point).
+  EXPECT_GE(ops.size(), 50u);
+  using Op = FaultInjectingEnv::OpKind;
+  for (Op kind : {Op::kCreate, Op::kWrite, Op::kFsync, Op::kRename,
+                  Op::kRemove, Op::kMkdir, Op::kSyncDir}) {
+    EXPECT_GT(by_kind[kind], 0)
+        << "workload never issues " << FaultInjectingEnv::OpKindName(kind);
+  }
+}
+
+// Replay the workload with a crash at operation k, then verify the recovered
+// directory with the real filesystem. `partial` additionally lands half of
+// the crashed write's bytes first (torn write).
+void RunCrashPoint(uint64_t k, bool partial,
+                   const std::vector<std::vector<std::string>>& refs) {
+  SCOPED_TRACE("crash at op " + std::to_string(k) +
+               (partial ? " (torn write)" : ""));
+  std::string dir =
+      FreshDir("crash_k" + std::to_string(k) + (partial ? "p" : ""));
+
+  FaultInjectingEnv env;
+  env.CrashAtOperation(k, partial);
+  CrashOutcome out;
+  {
+    Database db;
+    out = RunCrashWorkload(dir, {&env}, &db);
+    // The crash op is reached (k is within the fault-free schedule), so some
+    // step must fail: either Open itself or a statement/checkpoint. The
+    // session object is destroyed afterwards — the "process dies".
+    ASSERT_TRUE(env.crashed());
+    ASSERT_NE(out.failed_step, CrashOutcome::kNoFailure);
+    EXPECT_EQ(out.error.code(), Status::Code::kIOError) << out.error.ToString();
+  }
+
+  // Recovery with the real filesystem must always succeed...
+  Database db2;
+  Status reopened = db2.Open(dir);
+  ASSERT_TRUE(reopened.ok())
+      << "recovery failed after crash at op " << k << " ("
+      << FaultInjectingEnv::OpKindName(env.ops()[k].kind) << " of "
+      << env.ops()[k].path << "): " << reopened.ToString();
+
+  // ...to exactly the pre- or post-commit state of the in-flight statement.
+  std::vector<std::string> recovered = StorageSnapshot(&db2);
+  const std::vector<std::string>& pre = refs[out.committed];
+  const std::vector<std::string>& post =
+      refs[out.committed + (out.in_flight_mutation ? 1 : 0)];
+  EXPECT_TRUE(recovered == pre || recovered == post)
+      << "recovered state is neither the pre- nor the post-commit state of "
+      << "the in-flight statement (committed=" << out.committed
+      << ", failed step=" << out.failed_step << ", crash op="
+      << FaultInjectingEnv::OpKindName(env.ops()[k].kind) << " of "
+      << env.ops()[k].path << ")";
+
+  // A clean re-checkpoint succeeds and leaves no temp-file debris; the state
+  // survives another reopen bit-identically.
+  ASSERT_TRUE(db2.Checkpoint().ok());
+  EXPECT_TRUE(ListTmpFiles(dir).empty());
+  Database db3;
+  ASSERT_TRUE(db3.Open(dir).ok());
+  EXPECT_EQ(StorageSnapshot(&db3), recovered);
+}
+
+TEST(CrashMatrixTest, EveryCrashPointRecoversToPreOrPostCommitState) {
+  std::vector<FaultInjectingEnv::OpRecord> ops = CountOperations();
+  ASSERT_GE(ops.size(), 50u);
+  std::vector<std::vector<std::string>> refs = ReferenceSnapshots();
+  ASSERT_EQ(refs.size(), testsupport::CrashWorkloadMutationCount() + 1);
+
+  for (uint64_t k = 0; k < ops.size(); ++k) {
+    RunCrashPoint(k, /*partial=*/false, refs);
+    if (HasFatalFailure()) return;  // one broken point floods the rest
+  }
+}
+
+TEST(CrashMatrixTest, TornWriteAtEveryWriteRecoversToPreOrPostCommitState) {
+  std::vector<FaultInjectingEnv::OpRecord> ops = CountOperations();
+  std::vector<std::vector<std::string>> refs = ReferenceSnapshots();
+
+  // The torn-write flavor only changes behaviour when the crashed operation
+  // is a buffered-write flush; rerunning it for other kinds would duplicate
+  // the plain matrix.
+  int torn_points = 0;
+  for (uint64_t k = 0; k < ops.size(); ++k) {
+    if (ops[k].kind != FaultInjectingEnv::OpKind::kWrite) continue;
+    torn_points++;
+    RunCrashPoint(k, /*partial=*/true, refs);
+    if (HasFatalFailure()) return;
+  }
+  std::cout << "torn-write matrix: " << torn_points << " write operations"
+            << std::endl;
+  EXPECT_GT(torn_points, 0);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace sciql

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/storage/fault_env.h"
 #include "src/storage/file_io.h"
 
 namespace sciql {
@@ -110,6 +111,60 @@ TEST(WalTest, ReplayErrorPropagates) {
   });
   ASSERT_FALSE(wal.ok());
   EXPECT_EQ(wal.status().code(), Status::Code::kIOError);
+}
+
+TEST(WalTest, AppendFailureSurfacesIOError) {
+  std::string path = FreshDir("wal_appendfail") + "/wal.log";
+  FaultInjectingEnv env;
+  auto wal = Wal::Open(path, nullptr, &env);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // The next mutating operation is the append's buffered-write flush.
+  env.FailOperation(env.op_count(), FaultInjectingEnv::FaultKind::kEIO);
+  Status st = (*wal)->Append("doomed");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_NE(st.ToString().find("WAL append"), std::string::npos);
+  EXPECT_EQ((*wal)->record_count(), 0u);  // the failed record never counted
+  // The stream error sticks: later appends keep failing loudly instead of
+  // silently dropping records.
+  EXPECT_FALSE((*wal)->Append("also doomed").ok());
+  // Reset discards the broken stream (its pending bytes are being thrown
+  // away anyway) and recovers a usable log.
+  ASSERT_TRUE((*wal)->Reset().ok());
+  ASSERT_TRUE((*wal)->Append("fresh").ok());
+  wal->reset();
+  std::vector<std::string> seen = ReplayAll(path);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "fresh");
+}
+
+TEST(WalTest, FsyncFailureFailsTheAppend) {
+  std::string path = FreshDir("wal_fsyncfail") + "/wal.log";
+  FaultInjectingEnv env;
+  auto wal = Wal::Open(path, nullptr, &env);  // default durability: fsync
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // Skip the flush (op 1), fail the fsync (op 2): the bytes reached the OS
+  // but the statement must still not be acknowledged.
+  env.FailOperation(env.op_count() + 1, FaultInjectingEnv::FaultKind::kEIO);
+  Status st = (*wal)->Append("unsynced");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_EQ((*wal)->record_count(), 0u);
+}
+
+TEST(WalTest, ResetFailureSurfacesIOError) {
+  std::string path = FreshDir("wal_resetfail") + "/wal.log";
+  FaultInjectingEnv env;
+  auto wal = Wal::Open(path, nullptr, &env);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_TRUE((*wal)->Append("one").ok());
+  // The reset's truncating reopen is the next file creation; failing it must
+  // surface — a reset that did not truncate can never report success.
+  env.FailOperation(env.op_count(), FaultInjectingEnv::FaultKind::kENOSPC);
+  Status st = (*wal)->Reset();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_NE(st.ToString().find("cannot truncate WAL"), std::string::npos);
 }
 
 TEST(WalTest, ResetDiscardsRecords) {

@@ -1,0 +1,218 @@
+// The shared workload + oracle for the storage fault-injection suites
+// (tests/storage/crash_matrix_test.cpp, tests/storage/fault_injection_test.cpp).
+//
+// The workload mixes DDL, multi-row inserts (with NULLs, -0.0 and strings),
+// updates, deletes, ORDER BY queries (so a cached order index persists) and
+// two checkpoints — enough to drive every kind of mutating filesystem
+// operation the engine issues: WAL create/append/fsync, heap + string-heap +
+// order-index atomic writes (create, write, fsync, rename, dir-fsync),
+// manifest commit, old-WAL removal and garbage-collection removes.
+//
+// The oracle is an in-memory Database: refs[n] is the rendered result of the
+// probe queries after applying the first n mutating statements. A database
+// recovered after a crash at any filesystem operation must render exactly
+// refs[c] or refs[c+1], where c is the number of statements that committed
+// before the failure — never anything in between (atomicity) and never less
+// (durability of the acknowledged prefix).
+
+#ifndef SCIQL_TESTS_SUPPORT_CRASH_WORKLOAD_H_
+#define SCIQL_TESTS_SUPPORT_CRASH_WORKLOAD_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/storage/manifest.h"
+#include "src/storage/storage_engine.h"
+#include "tests/support/golden_format.h"
+
+namespace sciql {
+namespace testsupport {
+
+struct CrashStep {
+  enum class Kind {
+    kMutate,      ///< a WAL-logged statement (DDL/DML)
+    kQuery,       ///< read-only; builds/caches order indexes, never logged
+    kCheckpoint,  ///< engine::Database::Checkpoint()
+  };
+  Kind kind;
+  const char* sql;  // nullptr for kCheckpoint
+};
+
+inline const std::vector<CrashStep>& CrashWorkloadSteps() {
+  using K = CrashStep::Kind;
+  static const std::vector<CrashStep> steps = {
+      {K::kMutate, "CREATE TABLE t (k INT, v DOUBLE, s VARCHAR)"},
+      {K::kMutate,
+       "INSERT INTO t VALUES (1, 1.5, 'one'), (2, NULL, 'two'), "
+       "(3, -0.0, 'three')"},
+      {K::kMutate, "INSERT INTO t VALUES (4, 4.25, NULL)"},
+      // Caches an order index on t.k so the checkpoint persists an .oidx
+      // container alongside the heap.
+      {K::kQuery, "SELECT k FROM t ORDER BY k"},
+      {K::kCheckpoint, nullptr},
+      {K::kMutate, "INSERT INTO t VALUES (5, 0.5, 'five'), (6, 6.5, 'six')"},
+      {K::kMutate, "UPDATE t SET v = v * 2 WHERE k <= 2"},
+      {K::kMutate, "DELETE FROM t WHERE k = 3"},
+      // The delete invalidated the cached index; rebuild it so the second
+      // checkpoint rewrites the .oidx container under a fresh epoch.
+      {K::kQuery, "SELECT k FROM t ORDER BY k"},
+      {K::kCheckpoint, nullptr},
+      {K::kMutate, "INSERT INTO t VALUES (7, 7.75, 'seven')"},
+  };
+  return steps;
+}
+
+inline size_t CrashWorkloadMutationCount() {
+  size_t n = 0;
+  for (const CrashStep& s : CrashWorkloadSteps()) {
+    if (s.kind == CrashStep::Kind::kMutate) n++;
+  }
+  return n;
+}
+
+/// \brief Render the probe queries against `db` into a comparable vector.
+/// A failing probe (e.g. table t does not exist yet) renders as a marker
+/// line instead of rows, so "empty database" has a distinct, stable shape.
+inline std::vector<std::string> StorageSnapshot(engine::Database* db) {
+  static const char* kProbes[] = {
+      "SELECT k, v, s FROM t ORDER BY k",
+      "SELECT COUNT(*), MIN(v), MAX(k) FROM t",
+      "SELECT k FROM t WHERE v IS NULL ORDER BY k",
+  };
+  std::vector<std::string> out;
+  for (const char* probe : kProbes) {
+    auto rs = db->Query(probe);
+    if (!rs.ok()) {
+      out.push_back(std::string("<no result> ") + probe);
+      continue;
+    }
+    for (size_t r = 0; r < rs->NumRows(); ++r) {
+      out.push_back(RenderGoldenRow(*rs, r));
+    }
+    out.push_back("----");
+  }
+  return out;
+}
+
+/// \brief refs[n] = StorageSnapshot after the first n mutating statements,
+/// computed against a purely in-memory database (the oracle never touches
+/// storage, so it cannot share a bug with the code under test).
+inline std::vector<std::vector<std::string>> ReferenceSnapshots() {
+  std::vector<std::vector<std::string>> refs;
+  engine::Database db;
+  refs.push_back(StorageSnapshot(&db));
+  for (const CrashStep& s : CrashWorkloadSteps()) {
+    if (s.kind == CrashStep::Kind::kCheckpoint) continue;
+    Status st = db.Run(s.sql);
+    EXPECT_TRUE(st.ok()) << s.sql << ": " << st.ToString();
+    if (s.kind == CrashStep::Kind::kMutate) {
+      refs.push_back(StorageSnapshot(&db));
+    }
+  }
+  return refs;
+}
+
+struct CrashOutcome {
+  static constexpr int kOpenFailed = -2;
+  static constexpr int kNoFailure = -1;
+
+  /// Index into CrashWorkloadSteps() of the first failing step, or one of
+  /// the sentinels above.
+  int failed_step = kNoFailure;
+  /// Mutating statements acknowledged (returned OK) before the failure.
+  size_t committed = 0;
+  /// The failing step was a mutating statement (its effect may legally be
+  /// present or absent after recovery; a failed checkpoint or query changes
+  /// no logical state).
+  bool in_flight_mutation = false;
+  Status error = Status::OK();
+};
+
+/// \brief Open `dir` with `options` and run the workload, stopping at the
+/// first failure (after a failure the engine detaches its storage, so later
+/// steps would run in-memory only and tell us nothing about the disk).
+inline CrashOutcome RunCrashWorkload(const std::string& dir,
+                                     const storage::OpenOptions& options,
+                                     engine::Database* db) {
+  CrashOutcome out;
+  Status opened = db->Open(dir, options);
+  if (!opened.ok()) {
+    out.failed_step = CrashOutcome::kOpenFailed;
+    out.error = opened;
+    return out;
+  }
+  const std::vector<CrashStep>& steps = CrashWorkloadSteps();
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const CrashStep& s = steps[i];
+    Status st = s.kind == CrashStep::Kind::kCheckpoint ? db->Checkpoint()
+                                                       : db->Run(s.sql);
+    if (!st.ok()) {
+      out.failed_step = static_cast<int>(i);
+      out.in_flight_mutation = s.kind == CrashStep::Kind::kMutate;
+      out.error = st;
+      return out;
+    }
+    if (s.kind == CrashStep::Kind::kMutate) out.committed++;
+  }
+  return out;
+}
+
+/// \brief The heap-dir-relative file names the MANIFEST references, e.g.
+/// "heaps/t.k.3.heap". Empty set (with a failed EXPECT) if it cannot decode.
+inline std::set<std::string> ManifestReferencedFiles(const std::string& dir) {
+  std::set<std::string> referenced;
+  std::ifstream in(std::filesystem::path(dir) / "MANIFEST",
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "no MANIFEST in " << dir;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto manifest = storage::Manifest::Decode(bytes);
+  EXPECT_TRUE(manifest.ok()) << manifest.status().ToString();
+  if (!manifest.ok()) return referenced;
+  auto note = [&referenced](const storage::ColumnFiles& f) {
+    if (!f.heap.empty()) referenced.insert(f.heap);
+    if (!f.strheap.empty()) referenced.insert(f.strheap);
+    if (!f.oidx.empty()) referenced.insert(f.oidx);
+  };
+  for (const storage::TableManifest& tm : manifest->tables) {
+    for (const storage::ColumnFiles& f : tm.files) note(f);
+  }
+  for (const storage::ArrayManifest& am : manifest->arrays) {
+    for (const storage::ColumnFiles& f : am.files) note(f);
+  }
+  return referenced;
+}
+
+/// \brief Every file under dir/heaps, as heap-dir-relative names.
+inline std::set<std::string> ListHeapFiles(const std::string& dir) {
+  std::set<std::string> names;
+  std::filesystem::path heaps = std::filesystem::path(dir) / "heaps";
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(heaps, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    names.insert("heaps/" + it->path().filename().string());
+  }
+  return names;
+}
+
+/// \brief Any *.tmp leftovers anywhere in the database directory.
+inline std::vector<std::string> ListTmpFiles(const std::string& dir) {
+  std::vector<std::string> tmp;
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".tmp") tmp.push_back(it->path().string());
+  }
+  return tmp;
+}
+
+}  // namespace testsupport
+}  // namespace sciql
+
+#endif  // SCIQL_TESTS_SUPPORT_CRASH_WORKLOAD_H_
