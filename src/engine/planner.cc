@@ -11,6 +11,11 @@ namespace engine {
 using gdk::ScalarValue;
 using sql::Expr;
 
+PlannerControls& GetPlannerControls() {
+  static PlannerControls c;
+  return c;
+}
+
 namespace {
 
 // Output column name for an unaliased select item.
@@ -515,6 +520,16 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
     }
     std::string name =
         item.alias.empty() ? DeriveName(*item.expr, i) : ToLower(item.alias);
+    // A constant item (SELECT 14 AS c0 FROM t) compiles to a scalar
+    // register; broadcast it against any row-aligned column so the output
+    // has one value per row and ORDER BY/LIMIT over the alias works. With
+    // no row source (SELECT 14, or whole-input aggregation) the scalar is
+    // already the single-row answer.
+    if (ExprCompiler::IsScalarExpr(*item.expr)) {
+      if (auto ref = env.AnyReg(); ref.ok()) {
+        reg = prog_->EmitR("bat", "broadcast", {reg, *ref}, name);
+      }
+    }
     out.cols.push_back(EnvCol{"", name, item.is_dim, reg});
   }
 
@@ -567,7 +582,8 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
       sort_args.push_back(prog_->Const(ScalarValue::Lng(oi.desc ? 1 : 0)));
     }
     int idx;
-    if (sel.limit >= 0) {
+    const bool fuse_firstn = sel.limit >= 0 && GetPlannerControls().fuse_firstn;
+    if (fuse_firstn) {
       // ORDER BY + LIMIT fuses into top-k: algebra.firstn computes only the
       // first k index entries (bounded per-morsel heaps; an existing order
       // index short-circuits to an O(k) window copy), so the sort + slice
@@ -586,6 +602,16 @@ Result<Env> SelectCompiler::Compile(const sql::SelectStmt& sel) {
     }
     for (EnvCol& c : out.cols) {
       c.reg = prog_->EmitR("algebra", "project", {c.reg, idx}, c.name);
+    }
+    if (sel.limit >= 0 && !fuse_firstn) {
+      // Fusion disabled (differential testing): materialize the full sort
+      // and slice its prefix — the pipeline algebra.firstn must match
+      // bit-for-bit.
+      int lo = prog_->Const(ScalarValue::Lng(0));
+      int hi = prog_->Const(ScalarValue::Lng(sel.limit));
+      for (EnvCol& c : out.cols) {
+        c.reg = prog_->EmitR("algebra", "slice", {c.reg, lo, hi}, c.name);
+      }
     }
   } else if (sel.limit >= 0) {
     // LIMIT without ORDER BY keeps the row-order prefix: a plain slice.

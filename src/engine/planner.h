@@ -10,6 +10,21 @@
 namespace sciql {
 namespace engine {
 
+/// \brief Process-wide planner switches for differential testing. The
+/// fuzzer's oracle runner (src/fuzz/) flips these so one logical query
+/// compiles down redundant pipelines whose results must agree bit-for-bit.
+struct PlannerControls {
+  /// When false, ORDER BY + LIMIT compiles to the explicit
+  /// orderidx + project + slice pipeline instead of fusing into
+  /// algebra.firstn — the redundant pair the top-k kernel is pinned against.
+  bool fuse_firstn = true;
+
+  void Reset() { *this = PlannerControls{}; }
+};
+
+/// \brief The process-wide planner controls.
+PlannerControls& GetPlannerControls();
+
 /// \brief Compiles one SELECT (possibly nested) into an existing MalProgram.
 class SelectCompiler {
  public:

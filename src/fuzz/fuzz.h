@@ -1,0 +1,148 @@
+// Catalog-driven random query generation and a differential oracle that
+// executes every generated query down each redundant physical path of the
+// engine — thread counts, index-present vs index-dropped, firstn vs
+// sort+slice, checkpoint+reopen vs in-memory — and diffs the results
+// bit-for-bit. See docs/fuzzing.md for the grammar, the path matrix and the
+// seed/shrink workflow.
+
+#ifndef SCIQL_FUZZ_FUZZ_H_
+#define SCIQL_FUZZ_FUZZ_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace fuzz {
+
+/// \brief One SQL statement of a fuzz case.
+struct FuzzStatement {
+  enum class Kind {
+    kSetup,       ///< DDL/DML; must succeed, outcome diffed across paths
+    kSetupError,  ///< corpus replay: must fail with the same error everywhere
+    kQuery,       ///< read-only; result rows diffed bit-for-bit across paths
+  };
+  Kind kind = Kind::kSetup;
+  std::string sql;
+
+  /// kQuery only: golden-format expected rows (RenderGoldenRow spelling),
+  /// asserted in *every* path when set. `sort_expected` compares them as a
+  /// sorted multiset ("query sorted" semantics).
+  bool has_expected = false;
+  bool sort_expected = true;
+  std::vector<std::string> expected;
+
+  /// kQuery only, generator-filled: output column indexes + descending flags
+  /// of the top-level ORDER BY, for the per-path sortedness property check.
+  std::vector<int> order_cols;
+  std::vector<bool> order_desc;
+};
+
+/// \brief A self-contained workload: schema + data + queries, plus the
+/// warming statements the index-present oracle path replays first so every
+/// order-index cache is hot before the queries run.
+struct FuzzCase {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<FuzzStatement> stmts;
+  std::vector<std::string> warm;
+};
+
+struct GeneratorOptions {
+  size_t queries_per_case = 5;
+  size_t max_rows = 120;  ///< upper bound on rows per generated table
+  bool arrays = true;     ///< include SciQL array / tiling workloads
+};
+
+/// \brief Deterministic grammar-driven generation: same seed + options, same
+/// case, on every platform (common/rng.h).
+FuzzCase GenerateCase(uint64_t seed, const GeneratorOptions& opts = {});
+
+/// \brief One execution strategy of the oracle matrix.
+struct PathConfig {
+  std::string name;
+  int threads = 1;
+  bool use_index_paths = true;  ///< gdk::Controls().use_index_paths
+  bool fuse_firstn = true;      ///< engine::GetPlannerControls().fuse_firstn
+  bool warm_indexes = false;    ///< replay FuzzCase::warm before the queries
+  bool reopen = false;          ///< checkpoint + close + reopen before queries
+};
+
+/// \brief The standard path matrix: in-memory baseline at 1/2/8 threads,
+/// index paths force-dropped, indexes pre-warmed, sort+slice instead of
+/// fused firstn, and a durable checkpoint + reopen round-trip.
+std::vector<PathConfig> DefaultPaths();
+
+/// \brief One cross-path disagreement (or per-path property violation).
+struct Diff {
+  size_t stmt_index = 0;
+  std::string path;
+  std::string detail;
+  // Coarse failure class ("multiset", "schema", "setup-failed", ...). The
+  // shrinker only accepts reductions that reproduce one of the original
+  // case's kinds — dropping a CREATE TABLE makes every later statement fail,
+  // which is *a* diff but not *the* diff.
+  std::string kind;
+};
+
+struct CaseResult {
+  std::vector<Diff> diffs;
+  size_t queries_run = 0;
+  /// Kernel telemetry accumulated per path over the whole case.
+  std::map<std::string, gdk::KernelTelemetry> telemetry;
+};
+
+struct OracleOptions {
+  /// Scratch directory for the reopen path's storage; empty picks
+  /// std::filesystem::temp_directory_path()/"sciql_fuzz".
+  std::string scratch_dir;
+};
+
+/// \brief Execute `fc` down every path and diff the outcomes.
+CaseResult RunCase(const FuzzCase& fc, const std::vector<PathConfig>& paths,
+                   const OracleOptions& opts = {});
+
+/// \brief Delta-debug a failing case to a minimal statement list that still
+/// diffs. Returns `fc` unchanged if it does not fail.
+FuzzCase ShrinkCase(const FuzzCase& fc, const std::vector<PathConfig>& paths,
+                    const OracleOptions& opts = {});
+
+/// \brief Render a (shrunken) case in the corpus file format
+/// (tests/fuzz/corpus/*.sql — the golden-file dialect). Expected rows are
+/// captured from the first path's current output.
+std::string RenderCorpus(const FuzzCase& fc,
+                         const std::vector<PathConfig>& paths,
+                         const OracleOptions& opts = {});
+
+/// \brief Load a corpus file back into a FuzzCase (statement ok / statement
+/// error / query / query sorted records). Returns false with *error set on
+/// malformed input.
+bool LoadCorpus(const std::string& path, FuzzCase* fc, std::string* error);
+
+struct SweepOptions {
+  GeneratorOptions gen;
+  OracleOptions oracle;
+  size_t query_target = 200;  ///< stop once this many queries have been diffed
+  size_t max_failures = 3;    ///< stop after shrinking this many failures
+};
+
+struct SweepReport {
+  size_t cases = 0;
+  size_t queries = 0;
+  std::vector<uint64_t> failing_seeds;
+  std::vector<std::string> repros;  ///< corpus-format shrunken repros
+  std::map<std::string, gdk::KernelTelemetry> telemetry;  ///< per path, summed
+};
+
+/// \brief Generate-and-diff cases derived from `seed` until `query_target`
+/// queries have been compared (or `max_failures` failures shrunk).
+SweepReport RunSweep(uint64_t seed, const SweepOptions& opts,
+                     const std::vector<PathConfig>& paths);
+
+}  // namespace fuzz
+}  // namespace sciql
+
+#endif  // SCIQL_FUZZ_FUZZ_H_

@@ -1,0 +1,550 @@
+// The differential oracle: run one FuzzCase down every PathConfig and diff
+// the outcomes bit-for-bit (docs/fuzzing.md). Rows are compared as sorted
+// multisets of bit-exact cell renderings — join paths legitimately emit
+// different row orders with the same multiset, while doubles must agree in
+// their exact bit pattern (the pretty-printer's %.6g would mask real
+// divergence). ORDER BY correctness is checked per path as a property
+// (gdk::CompareKeyRows over the declared sort columns) instead of by
+// comparing sequences.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/engine/database.h"
+#include "src/engine/planner.h"
+#include "src/fuzz/fuzz.h"
+#include "src/gdk/kernels.h"
+#include "tests/support/golden_format.h"
+
+namespace sciql {
+namespace fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+using engine::Database;
+using engine::ResultSet;
+
+// The observable outcome of one statement in one path.
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  std::string header;              // "name:type|..." of the result columns
+  std::vector<std::string> bits;   // bit-exact rows, source order
+  std::vector<std::string> golden; // RenderGoldenRow rows, for expected checks
+  bool sorted_ok = true;           // declared ORDER BY actually held
+  std::string sorted_detail;
+};
+
+// Bit-exact cell rendering: doubles as their raw bit pattern, everything
+// else as type-tagged integers / strings. NULL renders per-type so a NULL
+// that changes type across paths still diffs.
+std::string BitCell(const gdk::ScalarValue& v) {
+  const char* tn = gdk::PhysTypeName(v.type);
+  if (v.is_null) return std::string(tn) + ":null";
+  if (v.type == gdk::PhysType::kDbl) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v.d, sizeof b);
+    return StrFormat("dbl:%016llx", (unsigned long long)b);
+  }
+  if (v.type == gdk::PhysType::kStr) return std::string("str:") + v.s;
+  return StrFormat("%s:%lld", tn, (long long)v.i);
+}
+
+Outcome QueryOutcome(Database* db, const FuzzStatement& st) {
+  Outcome out;
+  auto rs = db->Query(st.sql);
+  if (!rs.ok()) {
+    out.ok = false;
+    out.error = rs.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  const ResultSet& r = rs.value();
+  for (size_t c = 0; c < r.NumColumns(); ++c) {
+    if (c > 0) out.header += '|';
+    out.header += r.column(c).name;
+    out.header += ':';
+    out.header += gdk::PhysTypeName(r.column(c).data->type());
+  }
+  size_t rows = r.NumRows();
+  for (size_t i = 0; i < rows; ++i) {
+    std::string row;
+    for (size_t c = 0; c < r.NumColumns(); ++c) {
+      if (c > 0) row += '|';
+      row += BitCell(r.Value(i, c));
+    }
+    out.bits.push_back(std::move(row));
+    out.golden.push_back(testsupport::RenderGoldenRow(r, i));
+  }
+  // Sortedness property: adjacent rows must be non-descending under the
+  // declared keys (descending keys are checked through negation).
+  if (!st.order_cols.empty() && rows > 1) {
+    std::vector<const gdk::BAT*> keys;
+    std::vector<bool> desc;
+    for (size_t k = 0; k < st.order_cols.size(); ++k) {
+      int c = st.order_cols[k];
+      if (c < 0 || (size_t)c >= r.NumColumns()) continue;
+      keys.push_back(r.column((size_t)c).data.get());
+      desc.push_back(st.order_desc[k]);
+    }
+    for (size_t i = 0; i + 1 < rows && out.sorted_ok; ++i) {
+      for (size_t k = 0; k < keys.size(); ++k) {
+        std::vector<const gdk::BAT*> one = {keys[k]};
+        int cmp = gdk::CompareKeyRows(one, i, one, i + 1);
+        if (desc[k]) cmp = -cmp;
+        if (cmp < 0) break;  // strictly ordered by this key: done
+        if (cmp > 0) {
+          out.sorted_ok = false;
+          out.sorted_detail = StrFormat(
+              "ORDER BY violated between rows %zu and %zu (key %zu)", i,
+              i + 1, k);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Scoped save/restore of every process-wide knob the oracle flips, so a
+// failing path never leaks its configuration into later tests.
+class PathScope {
+ public:
+  explicit PathScope(const PathConfig& p)
+      : saved_threads_(Database::ExecutionThreads()),
+        saved_kernel_(gdk::Controls()),
+        saved_planner_(engine::GetPlannerControls()) {
+    Database::SetExecutionThreads(p.threads);
+    gdk::Controls().use_index_paths = p.use_index_paths;
+    engine::GetPlannerControls().fuse_firstn = p.fuse_firstn;
+  }
+  ~PathScope() {
+    Database::SetExecutionThreads(saved_threads_);
+    gdk::Controls() = saved_kernel_;
+    engine::GetPlannerControls() = saved_planner_;
+  }
+
+ private:
+  int saved_threads_;
+  gdk::KernelControls saved_kernel_;
+  engine::PlannerControls saved_planner_;
+};
+
+fs::path ScratchDir(const OracleOptions& opts, const std::string& path_name) {
+  static std::atomic<uint64_t> counter{0};
+  fs::path base = opts.scratch_dir.empty()
+                      ? fs::temp_directory_path() / "sciql_fuzz"
+                      : fs::path(opts.scratch_dir);
+  return base / StrFormat("run%llu_%s",
+                          (unsigned long long)counter.fetch_add(1),
+                          path_name.c_str());
+}
+
+// Execute the whole case down one path. Outcomes are produced for every
+// statement; a storage-layer failure (reopen path) is reported via *fatal.
+std::vector<Outcome> RunPath(const FuzzCase& fc, const PathConfig& p,
+                             const OracleOptions& opts,
+                             gdk::KernelTelemetry* telemetry,
+                             std::string* fatal) {
+  PathScope scope(p);
+  gdk::Telemetry().Reset();
+  std::vector<Outcome> outs;
+  Database db;
+  fs::path dir;
+  std::error_code ec;
+  if (p.reopen) {
+    dir = ScratchDir(opts, p.name);
+    fs::create_directories(dir, ec);
+    storage::OpenOptions oo;
+    oo.durability = storage::DurabilityLevel::kNone;  // speed; crash safety
+                                                      // is the storage
+                                                      // suite's job
+    Status st = db.Open(dir.string(), oo);
+    if (!st.ok()) {
+      *fatal = "open failed: " + st.ToString();
+      return outs;
+    }
+  }
+  bool warmed = false;
+  bool setup_dirty = true;
+  for (const FuzzStatement& st : fc.stmts) {
+    if (st.kind == FuzzStatement::Kind::kQuery) {
+      // Before the first query after new setup: warm the index caches
+      // and/or push the session through a checkpoint + reopen cycle.
+      // Warming runs first so the built indexes are persisted and the
+      // reopened session exercises index *loading*, not just rebuilding.
+      if (p.warm_indexes && (!warmed || setup_dirty)) {
+        for (const std::string& w : fc.warm) db.Run(w);  // best-effort
+        warmed = true;
+      }
+      if (p.reopen && setup_dirty) {
+        Status cs = db.Close();
+        if (cs.ok()) {
+          storage::OpenOptions oo;
+          oo.durability = storage::DurabilityLevel::kNone;
+          cs = db.Open(dir.string(), oo);
+        }
+        if (!cs.ok()) {
+          *fatal = "checkpoint/reopen failed: " + cs.ToString();
+          break;
+        }
+      }
+      setup_dirty = false;
+      outs.push_back(QueryOutcome(&db, st));
+      continue;
+    }
+    setup_dirty = true;
+    Outcome o;
+    Status st2 = db.Run(st.sql);
+    o.ok = st2.ok();
+    if (!st2.ok()) o.error = st2.ToString();
+    outs.push_back(std::move(o));
+  }
+  *telemetry = gdk::Telemetry();
+  if (p.reopen) {
+    db.Close();
+    fs::remove_all(dir, ec);
+  }
+  return outs;
+}
+
+void AccumulateTelemetry(gdk::KernelTelemetry* into,
+                         const gdk::KernelTelemetry& t) {
+  into->joins_hash += t.joins_hash;
+  into->joins_indexed_probe += t.joins_indexed_probe;
+  into->joins_merge += t.joins_merge;
+  into->joins_merge_str += t.joins_merge_str;
+  into->joins_merge_multi += t.joins_merge_multi;
+  into->firstn_index_window += t.firstn_index_window;
+  into->firstn_heap += t.firstn_heap;
+  into->firstn_sort_fallback += t.firstn_sort_fallback;
+  into->minmax_index += t.minmax_index;
+  into->order_index_built += t.order_index_built;
+  into->order_index_built_multi += t.order_index_built_multi;
+  into->order_index_loaded += t.order_index_loaded;
+  into->order_index_loaded_multi += t.order_index_loaded_multi;
+  into->order_index_reused += t.order_index_reused;
+  into->order_index_reused_multi += t.order_index_reused_multi;
+  into->order_index_reversed += t.order_index_reversed;
+  into->order_index_reversed_multi += t.order_index_reversed_multi;
+}
+
+std::string FirstLines(const std::vector<std::string>& rows, size_t n) {
+  std::string out;
+  for (size_t i = 0; i < rows.size() && i < n; ++i) {
+    out += "\n      " + rows[i];
+  }
+  if (rows.size() > n) out += StrFormat("\n      ... (%zu rows)", rows.size());
+  return out;
+}
+
+void DiffStatement(const FuzzCase& fc, size_t idx, const std::string& base_name,
+                   const Outcome& base, const std::string& path_name,
+                   const Outcome& other, std::vector<Diff>* diffs) {
+  const FuzzStatement& st = fc.stmts[idx];
+  auto add = [&](const char* kind, std::string detail) {
+    diffs->push_back(
+        {idx, path_name, detail + "\n    sql: " + st.sql, kind});
+  };
+  if (base.ok != other.ok) {
+    std::string b = base.ok ? "succeeded" : "failed: " + base.error;
+    std::string o = other.ok ? "succeeded" : "failed: " + other.error;
+    add("ok-mismatch", base_name + " " + b + " but " + path_name + " " + o);
+    return;
+  }
+  if (!base.ok) {
+    if (base.error != other.error) {
+      add("error-text",
+          "error mismatch: [" + base.error + "] vs [" + other.error + "]");
+    }
+    return;
+  }
+  if (st.kind != FuzzStatement::Kind::kQuery) return;
+  if (base.header != other.header) {
+    add("schema",
+        "schema mismatch: [" + base.header + "] vs [" + other.header + "]");
+    return;
+  }
+  std::vector<std::string> a = base.bits, b = other.bits;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  if (a != b) {
+    // Report the first differing multiset element for readability.
+    size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+    add("multiset",
+        StrFormat("row multiset mismatch (%zu vs %zu rows); first diff at "
+                  "sorted position %zu:\n    %s: %s\n    %s: %s",
+                  a.size(), b.size(), i, base_name.c_str(),
+                  i < a.size() ? a[i].c_str() : "<none>", path_name.c_str(),
+                  i < b.size() ? b[i].c_str() : "<none>"));
+  }
+}
+
+void CheckStatementLocal(const FuzzCase& fc, size_t idx,
+                         const std::string& path_name, const Outcome& o,
+                         std::vector<Diff>* diffs) {
+  const FuzzStatement& st = fc.stmts[idx];
+  auto add = [&](const char* kind, std::string detail) {
+    diffs->push_back({idx, path_name, detail + "\n    sql: " + st.sql, kind});
+  };
+  switch (st.kind) {
+    case FuzzStatement::Kind::kSetup:
+      if (!o.ok) add("setup-failed", "setup statement failed: " + o.error);
+      return;
+    case FuzzStatement::Kind::kSetupError:
+      if (o.ok)
+        add("expected-error-ok", "statement expected to fail but succeeded");
+      return;
+    case FuzzStatement::Kind::kQuery:
+      break;
+  }
+  if (!o.sorted_ok) add("sortedness", o.sorted_detail);
+  if (st.has_expected && o.ok) {
+    std::vector<std::string> got = o.golden;
+    std::vector<std::string> want = st.expected;
+    if (st.sort_expected) {
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+    }
+    if (got != want) {
+      add("expected-rows",
+          "expected rows mismatch:\n    want:" + FirstLines(want, 8) +
+              "\n    got:" + FirstLines(got, 8));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PathConfig> DefaultPaths() {
+  return {
+      // The baseline: in-memory, single-threaded, planner defaults, index
+      // caches populated only as the queries themselves build them.
+      {"mem-1t", 1, true, true, false, false},
+      {"mem-2t", 2, true, true, false, false},
+      {"mem-8t", 8, true, true, false, false},
+      // Index-aware kernels forced onto their scan/hash/heap fallbacks.
+      {"noindex-1t", 1, false, true, false, false},
+      // Every order index warmed before the queries: joins should go
+      // merge/indexed-probe, FirstN through the index window, MIN/MAX from
+      // the endpoints.
+      {"warm-1t", 1, true, true, true, false},
+      // ORDER BY + LIMIT compiled as orderidx + slice instead of firstn.
+      {"sortslice-1t", 1, true, false, false, false},
+      // Durable round-trip: warm (so indexes persist), checkpoint, reopen
+      // from disk, then query.
+      {"reopen-1t", 1, true, true, true, true},
+  };
+}
+
+CaseResult RunCase(const FuzzCase& fc, const std::vector<PathConfig>& paths,
+                   const OracleOptions& opts) {
+  CaseResult res;
+  if (paths.empty()) return res;
+  std::vector<std::vector<Outcome>> all;
+  for (const PathConfig& p : paths) {
+    gdk::KernelTelemetry t;
+    std::string fatal;
+    all.push_back(RunPath(fc, p, opts, &t, &fatal));
+    res.telemetry[p.name] = t;
+    if (!fatal.empty()) {
+      res.diffs.push_back({all.back().size(), p.name, fatal, "fatal"});
+    }
+  }
+  const std::vector<Outcome>& base = all[0];
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (fc.stmts[i].kind == FuzzStatement::Kind::kQuery) ++res.queries_run;
+    CheckStatementLocal(fc, i, paths[0].name, base[i], &res.diffs);
+    for (size_t p = 1; p < paths.size(); ++p) {
+      if (i >= all[p].size()) break;  // that path died early (reported above)
+      DiffStatement(fc, i, paths[0].name, base[i], paths[p].name, all[p][i],
+                    &res.diffs);
+      CheckStatementLocal(fc, i, paths[p].name, all[p][i], &res.diffs);
+    }
+  }
+  return res;
+}
+
+FuzzCase ShrinkCase(const FuzzCase& fc, const std::vector<PathConfig>& paths,
+                    const OracleOptions& opts) {
+  size_t budget = 200;  // RunCase invocations
+  // The original failure's signatures: (kind, SQL of the failing
+  // statement). A reduction only counts as "still failing" if it reproduces
+  // one of them — dropping a CREATE TABLE makes every later statement fail
+  // in every path, which is a diff on *different* statements, not the bug
+  // we are isolating. Matching on the statement's SQL (stable across
+  // deletions of other statements) instead of its index keeps the
+  // signature valid while the case shrinks.
+  auto signatures = [](const FuzzCase& c, const CaseResult& cr) {
+    std::set<std::string> sigs;
+    for (const Diff& d : cr.diffs) {
+      std::string sql =
+          d.stmt_index < c.stmts.size() ? c.stmts[d.stmt_index].sql : "";
+      sigs.insert(d.kind + "\x01" + sql);
+    }
+    return sigs;
+  };
+  CaseResult r = RunCase(fc, paths, opts);
+  --budget;
+  if (r.diffs.empty()) return fc;
+  const std::set<std::string> want = signatures(fc, r);
+  auto failing = [&](const FuzzCase& c) -> bool {
+    if (budget == 0) return false;
+    --budget;
+    for (const std::string& s : signatures(c, RunCase(c, paths, opts))) {
+      if (want.count(s)) return true;
+    }
+    return false;
+  };
+
+  FuzzCase cur = fc;
+  // Phase 1: truncate after the first failing statement and drop every
+  // other query before it — queries are side-effect free.
+  {
+    size_t first = cur.stmts.size();
+    for (const Diff& d : r.diffs) first = std::min(first, d.stmt_index);
+    if (first < cur.stmts.size()) {
+      FuzzCase trial = cur;
+      trial.stmts.resize(first + 1);
+      std::vector<FuzzStatement> kept;
+      for (size_t i = 0; i < trial.stmts.size(); ++i) {
+        if (i + 1 < trial.stmts.size() &&
+            trial.stmts[i].kind == FuzzStatement::Kind::kQuery) {
+          continue;
+        }
+        kept.push_back(trial.stmts[i]);
+      }
+      trial.stmts = std::move(kept);
+      if (failing(trial)) cur = std::move(trial);
+    }
+  }
+  // Phase 2: greedy one-at-a-time removal until a fixed point.
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (size_t i = 0; i < cur.stmts.size(); ++i) {
+      FuzzCase trial = cur;
+      trial.stmts.erase(trial.stmts.begin() + (long)i);
+      if (failing(trial)) {
+        cur = std::move(trial);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+std::string RenderCorpus(const FuzzCase& fc,
+                         const std::vector<PathConfig>& paths,
+                         const OracleOptions& opts) {
+  // Capture the baseline path's current rows as the expected output.
+  std::vector<Outcome> base;
+  if (!paths.empty()) {
+    gdk::KernelTelemetry t;
+    std::string fatal;
+    base = RunPath(fc, paths[0], opts, &t, &fatal);
+  }
+  std::string out = StrFormat("# %s (seed %llu)\n", fc.name.c_str(),
+                              (unsigned long long)fc.seed);
+  for (size_t i = 0; i < fc.stmts.size(); ++i) {
+    const FuzzStatement& st = fc.stmts[i];
+    out += '\n';
+    switch (st.kind) {
+      case FuzzStatement::Kind::kSetup:
+        out += "statement ok\n" + st.sql + "\n";
+        break;
+      case FuzzStatement::Kind::kSetupError:
+        out += "statement error\n" + st.sql + "\n";
+        break;
+      case FuzzStatement::Kind::kQuery: {
+        bool ok = i < base.size() && base[i].ok;
+        if (i < base.size() && !ok) {
+          out += "statement error\n" + st.sql + "\n";
+          break;
+        }
+        out += "query sorted\n" + st.sql + "\n----\n";
+        if (i < base.size()) {
+          std::vector<std::string> rows = base[i].golden;
+          std::sort(rows.begin(), rows.end());
+          for (const std::string& r : rows) out += r + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool LoadCorpus(const std::string& path, FuzzCase* fc, std::string* error) {
+  std::vector<testsupport::GoldenRecord> recs;
+  if (!testsupport::ParseGoldenFile(path, &recs, error)) return false;
+  fc->name = path;
+  for (const auto& rec : recs) {
+    using K = testsupport::GoldenRecord::Kind;
+    FuzzStatement st;
+    switch (rec.kind) {
+      case K::kStatementOk:
+        st.kind = FuzzStatement::Kind::kSetup;
+        break;
+      case K::kStatementError:
+        st.kind = FuzzStatement::Kind::kSetupError;
+        break;
+      case K::kQuery:
+        st.kind = FuzzStatement::Kind::kQuery;
+        st.has_expected = true;
+        st.sort_expected = rec.sort_rows;
+        st.expected = rec.expected;
+        break;
+      case K::kReset:
+      case K::kThreads:
+        *error = path + ": reset/threads directives are not supported in "
+                        "fuzz corpus files (the oracle owns the matrix)";
+        return false;
+    }
+    st.sql = rec.sql;
+    fc->stmts.push_back(std::move(st));
+  }
+  return true;
+}
+
+SweepReport RunSweep(uint64_t seed, const SweepOptions& opts,
+                     const std::vector<PathConfig>& paths) {
+  SweepReport rep;
+  Rng mixer(seed);
+  while (rep.queries < opts.query_target) {
+    uint64_t case_seed = mixer.Next();
+    FuzzCase fc = GenerateCase(case_seed, opts.gen);
+    CaseResult r = RunCase(fc, paths, opts.oracle);
+    ++rep.cases;
+    rep.queries += r.queries_run;
+    for (const auto& kv : r.telemetry) {
+      AccumulateTelemetry(&rep.telemetry[kv.first], kv.second);
+    }
+    if (!r.diffs.empty()) {
+      rep.failing_seeds.push_back(case_seed);
+      FuzzCase small = ShrinkCase(fc, paths, opts.oracle);
+      std::string repro = RenderCorpus(small, paths, opts.oracle);
+      CaseResult rr = RunCase(small, paths, opts.oracle);
+      for (const Diff& d : rr.diffs) {
+        repro += StrFormat("\n# DIFF stmt %zu path %s: %s\n", d.stmt_index,
+                           d.path.c_str(), d.detail.c_str());
+      }
+      rep.repros.push_back(std::move(repro));
+      if (rep.failing_seeds.size() >= opts.max_failures) break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace fuzz
+}  // namespace sciql

@@ -109,7 +109,10 @@ void AccumulateRange(const std::vector<T>& vals,
       if (!a.any || DblTotalLess(a.dmax, v)) a.dmax = v;
     } else {
       int64_t x = static_cast<int64_t>(v);
-      a.isum += x;
+      // Integer SUM wraps mod 2^64 (types.h): wraparound is associative, so
+      // per-morsel partials merged in any grouping give the same total —
+      // the property that keeps SUM bit-identical at every thread count.
+      a.isum = WrapAdd(a.isum, x);
       a.dsum += static_cast<double>(x);
       if (!a.any || x < a.imin) a.imin = x;
       if (!a.any || x > a.imax) a.imax = x;
@@ -125,7 +128,7 @@ void MergeAccum(Accum* into, const Accum& from) {
     return;
   }
   into->count += from.count;
-  into->isum += from.isum;
+  into->isum = WrapAdd(into->isum, from.isum);
   into->dsum += from.dsum;  // merge order is fixed (morsel order)
   if (DblTotalLess(from.dmin, into->dmin)) into->dmin = from.dmin;
   if (DblTotalLess(into->dmax, from.dmax)) into->dmax = from.dmax;
@@ -329,7 +332,7 @@ Result<ScalarValue> Aggregate(AggOp op, const BAT& vals) {
   // along the index, even under secondary keys) and the maximum sits in
   // the last tie run. Only a cached index is used; building one would cost
   // a full sort where the scan is O(n).
-  if ((op == AggOp::kMin || op == AggOp::kMax) &&
+  if ((op == AggOp::kMin || op == AggOp::kMax) && Controls().use_index_paths &&
       (IsNumeric(vals.type()) || vals.type() == PhysType::kStr)) {
     bool multi_key = false;
     OrderIndexPtr ord_ptr = FindPrimaryOrderIndex(vals, &multi_key);

@@ -71,13 +71,25 @@ Result<BATPtr> ArithLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
       }
       switch (op) {
         case BinOp::kAdd:
-          o[i] = a + b;
+          if constexpr (std::is_integral_v<T>) {
+            o[i] = WrapAdd(a, b);  // overflow wraps mod 2^N (see types.h)
+          } else {
+            o[i] = a + b;
+          }
           break;
         case BinOp::kSub:
-          o[i] = a - b;
+          if constexpr (std::is_integral_v<T>) {
+            o[i] = WrapSub(a, b);
+          } else {
+            o[i] = a - b;
+          }
           break;
         case BinOp::kMul:
-          o[i] = a * b;
+          if constexpr (std::is_integral_v<T>) {
+            o[i] = WrapMul(a, b);
+          } else {
+            o[i] = a * b;
+          }
           break;
         case BinOp::kDiv:
           if constexpr (std::is_same_v<T, double>) {
@@ -85,6 +97,14 @@ Result<BATPtr> ArithLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
             o[i] = a / b;
           } else {
             if (b == 0) return Status::ExecError("division by zero");
+            // MIN / -1 is the one quotient that does not fit the type;
+            // the hardware traps (SIGFPE), so surface it as the same kind
+            // of execution error as division by zero.
+            if constexpr (std::is_signed_v<T>) {
+              if (b == T(-1) && a == std::numeric_limits<T>::min()) {
+                return Status::ExecError("integer overflow in division");
+              }
+            }
             o[i] = static_cast<T>(a / b);
           }
           break;
@@ -94,6 +114,14 @@ Result<BATPtr> ArithLoop(BinOp op, size_t n, Acc<T> la, Acc<T> ra) {
             o[i] = std::fmod(a, b);
           } else {
             if (b == 0) return Status::ExecError("modulo by zero");
+            // MIN % -1 is mathematically 0, but the hardware computes the
+            // quotient first and traps; rejected like MIN / -1 so the two
+            // stay consistent.
+            if constexpr (std::is_signed_v<T>) {
+              if (b == T(-1) && a == std::numeric_limits<T>::min()) {
+                return Status::ExecError("integer overflow in modulo");
+              }
+            }
             // SQL MOD follows the sign of the divisor-free C semantics here;
             // dimension arithmetic in SciQL only uses non-negative operands.
             o[i] = static_cast<T>(a % b);
@@ -483,10 +511,21 @@ Result<BATPtr> CalcUnary(UnOp op, const BAT& b) {
               for (size_t i = begin; i < end; ++i) {
                 if (TypeTraits<T>::IsNil(v[i])) {
                   o[i] = TypeTraits<T>::Nil();
-                } else if (op == UnOp::kNeg) {
-                  o[i] = static_cast<T>(-v[i]);
+                  continue;
+                }
+                // Negating the minimum value overflows; wrap (types.h) keeps
+                // it defined. The wrapped result is the nil sentinel, so
+                // -INT64_MIN and ABS(INT64_MIN) read back as NULL.
+                T neg;
+                if constexpr (std::is_integral_v<T>) {
+                  neg = WrapNeg(v[i]);
                 } else {
-                  o[i] = v[i] < 0 ? static_cast<T>(-v[i]) : v[i];
+                  neg = -v[i];
+                }
+                if (op == UnOp::kNeg) {
+                  o[i] = neg;
+                } else {
+                  o[i] = v[i] < 0 ? neg : v[i];
                 }
               }
             });

@@ -190,8 +190,11 @@ Result<JoinResult> HashJoinTyped(const BAT& l, const BAT& r) {
   size_t nb = build.size();
   size_t np = probe.size();
 
-  const OrderIndexPtr bidx = (build_left ? l : r).order_index();
-  const OrderIndexPtr pidx = (build_left ? r : l).order_index();
+  const bool use_index = Controls().use_index_paths;
+  const OrderIndexPtr bidx = use_index ? (build_left ? l : r).order_index()
+                                       : nullptr;
+  const OrderIndexPtr pidx = use_index ? (build_left ? r : l).order_index()
+                                       : nullptr;
 
   // Merge-join-style flip: when the side that would be *probed* (the larger
   // one) carries a persistent order index and the other side is small
@@ -258,7 +261,8 @@ Result<JoinResult> HashJoinStr(const BAT& l, const BAT& r) {
   // string views — the same comparator the sort used — never raw heap
   // offsets across heaps; build-side run extension may compare offsets
   // because one BAT interns into one deduplicated heap.
-  if (l.order_index() != nullptr && r.order_index() != nullptr) {
+  if (Controls().use_index_paths && l.order_index() != nullptr &&
+      r.order_index() != nullptr) {
     Telemetry().joins_merge++;
     Telemetry().joins_merge_str++;
     return MergeJoinRuns(
@@ -458,7 +462,7 @@ Result<JoinResult> HashJoinMulti(const std::vector<const BAT*>& lkeys,
         break;
       }
     }
-    if (types_match) {
+    if (types_match && Controls().use_index_paths) {
       const std::vector<bool> all_asc(lk.size(), false);
       gdk::OrderIndexPtr bidx = build[0]->FindOrderIndexSpec(build, all_asc);
       gdk::OrderIndexPtr pidx = probe[0]->FindOrderIndexSpec(probe, all_asc);

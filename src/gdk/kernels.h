@@ -261,6 +261,26 @@ struct KernelTelemetry {
 /// \brief The process-wide telemetry counters.
 KernelTelemetry& Telemetry();
 
+/// \brief Process-wide switches steering physical-path selection. The
+/// differential fuzzer (src/fuzz/, docs/fuzzing.md) flips these to drive the
+/// same query down redundant paths and diff the results bit-for-bit; tests
+/// combine them with KernelTelemetry to *verify* the intended path fired.
+/// The engine drives kernels from one thread, so plain bools suffice.
+struct KernelControls {
+  /// When false, the index-aware consumers — join probe/merge paths,
+  /// FirstN's index-window copy, RangeSelect's binary-searched window and
+  /// ungrouped MIN/MAX endpoint reads — ignore cached order indexes and
+  /// take their scan/hash/heap fallbacks, as if every index were dropped.
+  /// Index *building* (algebra.orderidx / EnsureOrderIndexSpec) is
+  /// unaffected: ORDER BY itself still works and still populates the cache.
+  bool use_index_paths = true;
+
+  void Reset() { *this = KernelControls{}; }
+};
+
+/// \brief The process-wide kernel controls.
+KernelControls& Controls();
+
 }  // namespace gdk
 }  // namespace sciql
 

@@ -259,7 +259,9 @@ Result<BATPtr> RangeSelect(const BAT& b, const BAT* cands,
   if (lo.is_null || hi.is_null) return BAT::Make(PhysType::kOid);
 
   // Index route: any cached spec led by this column serves the window.
-  OrderIndexPtr ord = cands == nullptr ? FindPrimaryOrderIndex(b) : nullptr;
+  OrderIndexPtr ord = cands == nullptr && Controls().use_index_paths
+                          ? FindPrimaryOrderIndex(b)
+                          : nullptr;
 
   if (b.type() == PhysType::kDbl) {
     double l = lo.AsDouble();

@@ -316,6 +316,11 @@ KernelTelemetry& Telemetry() {
   return t;
 }
 
+KernelControls& Controls() {
+  static KernelControls c;
+  return c;
+}
+
 namespace {
 
 // Nil-first three-way compare of one key cell across two BATs of the same
@@ -383,7 +388,7 @@ Result<BATPtr> FirstN(const std::vector<const BAT*>& keys,
   // the answer: copy its head — O(k) for an exact hit, O(n) run reversal
   // for the negated spec, never a sort. (Only a cached index is used —
   // building one here would be the full sort this kernel exists to avoid.)
-  {
+  if (Controls().use_index_paths) {
     bool negated = false;
     OrderIndexPtr cached = LookupCachedSpec(keys, desc, &negated);
     if (cached != nullptr) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <type_traits>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
@@ -50,6 +51,43 @@ inline bool IsNumeric(PhysType t) {
 
 /// \brief Common type two numeric operands promote to (bit < int < lng < dbl).
 PhysType PromoteNumeric(PhysType a, PhysType b);
+
+// ---------------------------------------------------------------------------
+// Two's-complement wrapping arithmetic.
+//
+// Signed overflow is undefined behaviour in C++, so every kernel that adds,
+// subtracts, multiplies or negates signed integers routes through these
+// helpers: the operation runs in the unsigned domain (where wraparound is
+// defined) and the result is cast back. This fixes the engine's integer
+// overflow semantics as *wraparound modulo 2^N* — deterministic at any
+// thread count and identical down every physical path, which the
+// differential fuzzer (src/fuzz/) relies on. Note that a wrapped result
+// equal to the type's nil sentinel (INT32_MIN / INT64_MIN) reads back as
+// SQL NULL; in particular INT64_MAX + 1 and -INT64_MIN are NULL. Division
+// and modulo cannot wrap (the hardware traps); their single overflow case
+// (minimum value / -1) raises an execution error instead (see calc.cc).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+inline T WrapAdd(T a, T b) {
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+}
+template <typename T>
+inline T WrapSub(T a, T b) {
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+}
+template <typename T>
+inline T WrapMul(T a, T b) {
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+}
+template <typename T>
+inline T WrapNeg(T a) {
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(U(0) - static_cast<U>(a));
+}
 
 inline double DblNil() { return std::numeric_limits<double>::quiet_NaN(); }
 inline bool IsDblNil(double v) { return std::isnan(v); }

@@ -107,27 +107,68 @@ void RegisterBat(MalEngine* e) {
                 return Status::OK();
               });
 
-  // bat.pack(v1, v2, ...) -> BAT of the scalars (typed by the first
-  // non-null value).
+  // bat.pack(v1, v2, ...) -> BAT of the scalars, typed by the *widest*
+  // non-null value (bit < int < lng < dbl). Typing by the first value
+  // loses later wider literals: INSERT ... VALUES (5), (9223372036854775807)
+  // would pack an int BAT and reject the lng row even though the target
+  // column is BIGINT. Non-numeric values keep the first non-null type and
+  // let Append report the mismatch.
   e->Register("bat.pack",
               [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
                 if (in.args.empty() || in.rets.size() != 1) {
                   return Status::Internal("bat.pack arity");
                 }
+                auto rank = [](PhysType t) {
+                  switch (t) {
+                    case PhysType::kBit: return 1;
+                    case PhysType::kInt: return 2;
+                    case PhysType::kLng: return 3;
+                    case PhysType::kDbl: return 4;
+                    default: return 0;  // non-numeric: no widening
+                  }
+                };
                 PhysType t = PhysType::kInt;
+                bool seen = false;
                 for (int a : in.args) {
                   const MalValue& v = ctx->Reg(a);
                   if (!v.IsScalar()) {
                     return Status::Internal("bat.pack expects scalars");
                   }
-                  if (!v.scalar.is_null) {
+                  if (v.scalar.is_null) continue;
+                  if (!seen) {
                     t = v.scalar.type;
-                    break;
+                    seen = true;
+                  } else if (rank(v.scalar.type) > rank(t) && rank(t) > 0) {
+                    t = v.scalar.type;
                   }
                 }
                 auto b = BAT::Make(t);
                 for (int a : in.args) {
                   SCIQL_RETURN_NOT_OK(b->Append(ctx->Reg(a).scalar));
+                }
+                SetRet(ctx, in, 0, MalValue::Of(b));
+                return Status::OK();
+              });
+
+  // bat.broadcast(v, ref) -> BAT of ref's length filled with the scalar v.
+  // A BAT first argument passes through untouched, so the planner can emit
+  // this unconditionally for select items it cannot prove are row-aligned.
+  e->Register("bat.broadcast",
+              [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
+                SCIQL_RETURN_NOT_OK(CheckArity(in, 2, 1));
+                const MalValue& v = ctx->Reg(in.args[0]);
+                if (v.IsBat()) {
+                  SetRet(ctx, in, 0, v);
+                  return Status::OK();
+                }
+                if (!v.IsScalar()) {
+                  return Status::Internal("bat.broadcast expects a scalar");
+                }
+                SCIQL_ASSIGN_OR_RETURN(BATPtr ref, BatArg(ctx, in, 1));
+                auto b = BAT::Make(v.scalar.type);
+                b->Reserve(ref->Count());
+                for (size_t i = 0; i < ref->Count(); ++i) {
+                  SCIQL_RETURN_NOT_OK(b->Append(v.scalar));
                 }
                 SetRet(ctx, in, 0, MalValue::Of(b));
                 return Status::OK();

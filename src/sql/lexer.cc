@@ -1,7 +1,9 @@
 #include "src/sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <unordered_set>
 
 #include "src/common/string_util.h"
@@ -154,7 +156,27 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         t.float_val = std::strtod(t.text.c_str(), nullptr);
       } else {
         t.type = TokenType::kIntLiteral;
-        t.int_val = std::strtoll(t.text.c_str(), nullptr, 10);
+        // The digits are lexed unsigned (a leading '-' is the unary-minus
+        // operator), so parse the magnitude and range-check it explicitly —
+        // strtoll would silently saturate out-of-range literals to
+        // INT64_MAX. The magnitude 2^63 is one past INT64_MAX but exactly
+        // -INT64_MIN: it is tagged rather than rejected so the parser can
+        // accept it under unary minus (-9223372036854775808 round-trips to
+        // INT64_MIN) and reject it everywhere else.
+        constexpr unsigned long long kMinMagnitude = 9223372036854775808ULL;
+        errno = 0;
+        unsigned long long mag = std::strtoull(t.text.c_str(), nullptr, 10);
+        if (errno == ERANGE || mag > kMinMagnitude) {
+          return Status::ParseError(StrFormat(
+              "integer literal '%s' is out of range at line %zu column %zu",
+              t.text.c_str(), line, t.col));
+        }
+        if (mag == kMinMagnitude) {
+          t.int_min_magnitude = true;
+          t.int_val = std::numeric_limits<int64_t>::min();
+        } else {
+          t.int_val = static_cast<int64_t>(mag);
+        }
       }
       out.push_back(std::move(t));
       continue;

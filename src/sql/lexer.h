@@ -26,6 +26,10 @@ struct Token {
   TokenType type = TokenType::kEof;
   std::string text;   // keyword/operator spelled text; identifier as written
   int64_t int_val = 0;
+  // True for the literal 9223372036854775808 (magnitude 2^63): one past
+  // INT64_MAX, but exactly -INT64_MIN. int_val then holds INT64_MIN and the
+  // parser only accepts the token directly under unary minus.
+  bool int_min_magnitude = false;
   double float_val = 0.0;
   size_t line = 1;
   size_t col = 1;

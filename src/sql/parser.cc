@@ -560,6 +560,13 @@ class Parser {
 
   Result<ExprPtr> ParseUnaryExpr() {
     if (AcceptOp("-")) {
+      // -9223372036854775808: the magnitude-2^63 literal is only legal here,
+      // where the pair folds to INT64_MIN (the lexer already stored it).
+      if (Cur().type == TokenType::kIntLiteral && Cur().int_min_magnitude) {
+        int64_t v = Cur().int_val;
+        Advance();
+        return Expr::Lit(gdk::ScalarValue::Lng(v));
+      }
       SCIQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
       // Fold negation of numeric literals immediately.
       if (e->kind == Expr::Kind::kLiteral && !e->literal.is_null) {
@@ -569,6 +576,10 @@ class Parser {
         }
         if (e->literal.type == gdk::PhysType::kInt ||
             e->literal.type == gdk::PhysType::kLng) {
+          // -(-9223372036854775808) would be 2^63, one past INT64_MAX.
+          if (e->literal.i == std::numeric_limits<int64_t>::min()) {
+            return Err("negated integer literal is out of range");
+          }
           e->literal.i = -e->literal.i;
           return e;
         }
@@ -587,6 +598,11 @@ class Parser {
     const Token& t = Cur();
     switch (t.type) {
       case TokenType::kIntLiteral: {
+        if (t.int_min_magnitude) {
+          // 2^63 without a directly preceding unary minus does not fit.
+          return Err(StrFormat("integer literal '%s' is out of range",
+                               t.text.c_str()));
+        }
         int64_t v = t.int_val;
         Advance();
         if (v >= std::numeric_limits<int32_t>::min() &&
@@ -768,6 +784,16 @@ class Parser {
     if (Cur().type != TokenType::kIntLiteral) {
       return Err("expected an integer");
     }
+    if (Cur().int_min_magnitude) {
+      // int_val already holds INT64_MIN; legal only under the minus.
+      if (!neg) {
+        return Err(StrFormat("integer literal '%s' is out of range",
+                             Cur().text.c_str()));
+      }
+      int64_t v = Cur().int_val;
+      Advance();
+      return v;
+    }
     int64_t v = Cur().int_val;
     Advance();
     return neg ? -v : v;
@@ -790,7 +816,11 @@ class Parser {
     bool neg = AcceptOp("-");
     const Token& t = Cur();
     if (t.type == TokenType::kIntLiteral) {
-      int64_t v = neg ? -t.int_val : t.int_val;
+      if (t.int_min_magnitude && !neg) {
+        return Err(StrFormat("integer literal '%s' is out of range",
+                             t.text.c_str()));
+      }
+      int64_t v = t.int_min_magnitude ? t.int_val : (neg ? -t.int_val : t.int_val);
       Advance();
       if (v >= std::numeric_limits<int32_t>::min() &&
           v <= std::numeric_limits<int32_t>::max()) {

@@ -1,0 +1,49 @@
+# Found by the fuzzer (smoke seed 20130622): a constant select item
+# compiled to a scalar register and never materialized — SELECT 14 AS c0
+# FROM t returned one row regardless of the table's row count, and ORDER
+# BY c0 (or ORDER BY c0 LIMIT n) failed with "argument is not a BAT",
+# with *different* error text in the fused (algebra.firstn) and unfused
+# (algebra.orderidx) plans. Constant items are now broadcast to a
+# row-aligned BAT whenever the select has a row source.
+
+statement ok
+CREATE TABLE t (k INT, s VARCHAR)
+
+statement ok
+INSERT INTO t VALUES (2, 'b'), (1, 'a'), (3, NULL)
+
+query sorted
+SELECT 14 AS c0 FROM t
+----
+14
+14
+14
+
+query
+SELECT -14 AS c0, k AS c1 FROM t ORDER BY c0, c1
+----
+-14|1
+-14|2
+-14|3
+
+# NULLs sort first ascending (nil is smallest, as in MonetDB).
+query
+SELECT 7 AS c0, s AS c1 FROM t ORDER BY c0, c1 LIMIT 2
+----
+7|null
+7|a
+
+# Constant expression items broadcast too, and NULL constants keep their
+# type through the broadcast.
+query sorted
+SELECT 2 + 3 AS c0, NULL AS c1 FROM t
+----
+5|null
+5|null
+5|null
+
+# Without a row source the scalar is the single-row answer, unchanged.
+query
+SELECT 14 AS c0, SUM(k) AS c1 FROM t
+----
+14|6

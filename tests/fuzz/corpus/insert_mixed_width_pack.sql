@@ -1,0 +1,41 @@
+# Found by the fuzzer (smoke seed 20130622): bat.pack typed each VALUES
+# column by its *first* non-null literal. A small literal followed by a
+# BIGINT-range one then rejected the whole INSERT ("value
+# 9223372036854775807 overflows int") even though the destination column
+# is BIGINT — and worse, an integer literal followed by a fractional one
+# packed an int column and silently truncated 0.5 to 0 before the cast
+# back to DOUBLE. pack now widens to the largest numeric type present
+# (bit < int < lng < dbl); the insert path still coerces to the table
+# schema afterwards.
+
+statement ok
+CREATE TABLE t (k INT, a BIGINT, d DOUBLE)
+
+statement ok
+INSERT INTO t VALUES (1, 5, 0.5), (2, 9223372036854775807, 1.5), (3, NULL, 0.125)
+
+query sorted
+SELECT a FROM t
+----
+5
+9223372036854775807
+null
+
+# Integer literal in a DOUBLE column: pack must widen to dbl, not truncate
+# the later fractional literal through an int BAT.
+statement ok
+CREATE TABLE u (d DOUBLE)
+
+statement ok
+INSERT INTO u VALUES (1), (0.5)
+
+query sorted
+SELECT d FROM u
+----
+0.5
+1
+
+query
+SELECT SUM(d) AS s FROM u
+----
+1.5

@@ -1,0 +1,59 @@
+# Signed integer +, -, *, unary negation and ABS wrap mod 2^64 (two's
+# complement, one documented semantics — docs/execution.md). A wrapped
+# value that lands on the BIGINT nil sentinel (INT64_MIN) reads back as
+# NULL; an input slot holding the sentinel *is* NULL and propagates.
+# Wrapping keeps integer SUM associative, so every oracle path and thread
+# count must agree bit-for-bit.
+
+statement ok
+CREATE TABLE t (a BIGINT)
+
+statement ok
+INSERT INTO t VALUES (9223372036854775807), (-9223372036854775808), (1)
+
+# INT64_MAX + 1 wraps onto the sentinel -> NULL; the INT64_MIN row was
+# already NULL on input.
+query sorted
+SELECT a + 1 AS c0 FROM t
+----
+2
+null
+null
+
+query sorted
+SELECT -a AS c0 FROM t
+----
+-1
+-9223372036854775807
+null
+
+query sorted
+SELECT ABS(a) AS c0 FROM t
+----
+1
+9223372036854775807
+null
+
+query sorted
+SELECT a * 2 AS c0 FROM t
+----
+-2
+2
+null
+
+# SUM skips the NULL row, then INT64_MAX + 1 wraps onto the sentinel: the
+# aggregate itself reads back as NULL.
+query
+SELECT SUM(a) AS c0 FROM t
+----
+null
+
+query
+SELECT COUNT(a) AS c0 FROM t
+----
+2
+
+query
+SELECT SUM(a) AS c0 FROM t WHERE a < 100
+----
+1

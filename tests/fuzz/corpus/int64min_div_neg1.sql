@@ -1,0 +1,24 @@
+# INT64_MIN / -1 is the one quotient the hardware traps on (SIGFPE). The
+# engine is shielded twice: INT64_MIN is the BIGINT nil sentinel, so any
+# slot holding it is NULL and never reaches the divide (NULL in, NULL out),
+# and the kernel additionally guards the quotient defensively
+# (src/gdk/calc.cc). This pins the observable semantics: no crash, NULL
+# propagation, on every path and thread count.
+
+statement ok
+CREATE TABLE t (a BIGINT)
+
+statement ok
+INSERT INTO t VALUES (-9223372036854775808), (5), (NULL)
+
+query sorted
+SELECT a / -1 AS c0 FROM t
+----
+-5
+null
+null
+
+query sorted
+SELECT a / -1 AS c0 FROM t WHERE a IS NOT NULL
+----
+-5

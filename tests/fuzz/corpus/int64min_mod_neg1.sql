@@ -1,0 +1,27 @@
+# INT64_MIN % -1: the modulo twin of the division trap (the hardware
+# computes the quotient first). As with division, the nil sentinel shields
+# the kernel — an INT64_MIN slot is NULL — and a defensive guard backs it
+# up. Both spellings (% and MOD) hit the same kernel.
+
+statement ok
+CREATE TABLE t (a BIGINT)
+
+statement ok
+INSERT INTO t VALUES (-9223372036854775808), (7)
+
+query sorted
+SELECT a MOD -1 AS c0 FROM t
+----
+0
+null
+
+query sorted
+SELECT a % -1 AS c0 FROM t
+----
+0
+null
+
+query
+SELECT a MOD -1 AS c0 FROM t WHERE a > 0
+----
+0

@@ -1,0 +1,39 @@
+# Out-of-range integer literals used to saturate silently (strtoll with no
+# errno check): 9223372036854775808 parsed as 9223372036854775807. They
+# must be clear parse errors — except the magnitude of 2^63 directly under
+# a unary minus, which is exactly INT64_MIN and must round-trip through the
+# lexer. INT64_MIN is the BIGINT nil sentinel, so the *value* stores as
+# NULL (MonetDB-style: the smallest integer is reserved for nil).
+
+statement error
+SELECT 9223372036854775808 AS c0
+
+statement error
+SELECT 99999999999999999999 AS c0
+
+statement error
+SELECT -9223372036854775809 AS c0
+
+statement ok
+CREATE TABLE t (a BIGINT)
+
+statement error
+INSERT INTO t VALUES (9223372036854775808)
+
+statement ok
+INSERT INTO t VALUES (-9223372036854775808), (42)
+
+query sorted
+SELECT a FROM t
+----
+42
+null
+
+query sorted
+SELECT a FROM t WHERE a = -9223372036854775808
+----
+
+query sorted
+SELECT a FROM t WHERE a IS NULL
+----
+null

@@ -1,0 +1,78 @@
+// Replays every shrunken repro under tests/fuzz/corpus/*.sql through the
+// full differential-oracle path matrix (src/fuzz/, docs/fuzzing.md). Each
+// corpus file is one regression: a bug the fuzzer (or a satellite fix)
+// found, cut down to a minimal statement list. The oracle asserts three
+// things per file: `statement ok` / `statement error` expectations hold in
+// every path, query rows match the recorded expected rows in every path,
+// and all paths agree with each other bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzz.h"
+
+#ifndef SCIQL_SOURCE_DIR
+#error "SCIQL_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sciql {
+namespace fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CorpusFileTest : public ::testing::Test {
+ public:
+  explicit CorpusFileTest(std::string path) : path_(std::move(path)) {}
+
+  void TestBody() override {
+    FuzzCase fc;
+    std::string error;
+    ASSERT_TRUE(LoadCorpus(path_, &fc, &error)) << error;
+    ASSERT_FALSE(fc.stmts.empty()) << path_ << " is empty";
+    CaseResult r = RunCase(fc, DefaultPaths());
+    for (const Diff& d : r.diffs) {
+      ADD_FAILURE() << path_ << ": stmt " << d.stmt_index << " ["
+                    << d.path << "]: " << d.detail;
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+bool RegisterCorpusTests() {
+  fs::path dir = fs::path(SCIQL_SOURCE_DIR) / "tests" / "fuzz" / "corpus";
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".sql") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    // A missing corpus dir is a failing test, not a silent zero-test pass.
+    ::testing::RegisterTest(
+        "FuzzCorpus", "MissingCorpusDir", nullptr, nullptr, __FILE__,
+        __LINE__, [dir]() -> ::testing::Test* {
+          return new CorpusFileTest((dir / "<missing>").string());
+        });
+    return false;
+  }
+  for (const fs::path& f : files) {
+    std::string name = f.stem().string();
+    ::testing::RegisterTest(
+        "FuzzCorpus", name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
+        [f]() -> ::testing::Test* { return new CorpusFileTest(f.string()); });
+  }
+  return true;
+}
+
+[[maybe_unused]] const bool kRegistered = RegisterCorpusTests();
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sciql

@@ -1,0 +1,185 @@
+// Integer overflow semantics of the batcalc and aggregation kernels
+// (docs/execution.md): +, -, *, unary negation and ABS wrap mod 2^N via
+// unsigned arithmetic; a wrapped value equal to the nil sentinel reads back
+// as NULL. INT64_MIN / -1 and INT64_MIN % -1 — the one case the hardware
+// traps on (SIGFPE) — are shielded twice: INT64_MIN *is* the nil sentinel,
+// so a slot holding it is NULL and short-circuits before the divide, and
+// the kernel guards the quotient defensively anyway. Wrapping keeps
+// integer SUM associative, so every thread count produces bit-identical
+// results; the multi-threaded cases here run BATs larger than one morsel
+// (kMorselRows = 65536) to prove it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "src/engine/database.h"
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace gdk {
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+BATPtr LngBat(std::initializer_list<int64_t> vals) {
+  auto b = BAT::Make(PhysType::kLng);
+  for (int64_t v : vals) b->lngs().push_back(v);
+  return b;
+}
+
+// A BAT long enough to span several morsels (kMorselRows = 65536), with the
+// poison value planted both in the first morsel and in a later one.
+BATPtr BigLngBat(int64_t poison, int64_t filler, size_t n = 200000) {
+  auto b = BAT::Make(PhysType::kLng);
+  b->lngs().assign(n, filler);
+  b->lngs()[3] = poison;
+  b->lngs()[n - 7] = poison;
+  return b;
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    saved_ = engine::Database::ExecutionThreads();
+    engine::Database::SetExecutionThreads(GetParam());
+  }
+  void TearDown() override { engine::Database::SetExecutionThreads(saved_); }
+
+ private:
+  int saved_ = 1;
+};
+
+TEST_P(ThreadSweep, Int64MinDivMinusOneIsNilShielded) {
+  // kMin is the nil sentinel: the poison rows are NULL inputs, so the
+  // trapping quotient never runs — no SIGFPE, NULL out, at any thread
+  // count, with the poison planted in different morsels.
+  auto a = BigLngBat(kMin, 10);
+  ScalarValue neg1 = ScalarValue::Lng(-1);
+  auto r = CalcBinary(BinOp::kDiv, a.get(), nullptr, nullptr, &neg1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)->GetScalar(3).is_null);
+  EXPECT_TRUE((*r)->GetScalar((*r)->Count() - 7).is_null);
+  EXPECT_EQ((*r)->lngs()[0], -10);
+}
+
+TEST_P(ThreadSweep, Int64MinModMinusOneIsNilShielded) {
+  auto a = BigLngBat(kMin, 10);
+  ScalarValue neg1 = ScalarValue::Lng(-1);
+  auto r = CalcBinary(BinOp::kMod, a.get(), nullptr, nullptr, &neg1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)->GetScalar(3).is_null);
+  EXPECT_TRUE((*r)->GetScalar((*r)->Count() - 7).is_null);
+  EXPECT_EQ((*r)->lngs()[0], 0);
+}
+
+TEST_P(ThreadSweep, DivModByMinusOneWithoutMinStillWorks) {
+  auto a = LngBat({7, -7, kMax});
+  ScalarValue neg1 = ScalarValue::Lng(-1);
+  auto d = CalcBinary(BinOp::kDiv, a.get(), nullptr, nullptr, &neg1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->lngs(), (std::vector<int64_t>{-7, 7, -kMax}));
+  auto m = CalcBinary(BinOp::kMod, a.get(), nullptr, nullptr, &neg1);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->lngs(), (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST_P(ThreadSweep, AddSubMulWrap) {
+  // kMin itself is nil, so the most negative *value* is kMin + 1.
+  auto a = LngBat({kMax, kMin + 1, 1});
+  ScalarValue one = ScalarValue::Lng(1);
+  auto add = CalcBinary(BinOp::kAdd, a.get(), nullptr, nullptr, &one);
+  ASSERT_TRUE(add.ok());
+  // kMax + 1 wraps onto the nil sentinel (kMin): reads back as NULL.
+  EXPECT_EQ((*add)->lngs(), (std::vector<int64_t>{kMin, kMin + 2, 2}));
+  EXPECT_TRUE((*add)->GetScalar(0).is_null);
+
+  ScalarValue two = ScalarValue::Lng(2);
+  auto mul = CalcBinary(BinOp::kMul, a.get(), nullptr, nullptr, &two);
+  ASSERT_TRUE(mul.ok());
+  // kMax * 2 == -2 and (kMin + 1) * 2 == 2, both mod 2^64.
+  EXPECT_EQ((*mul)->lngs(), (std::vector<int64_t>{-2, 2, 2}));
+
+  auto b = LngBat({kMin + 1, 0, 5});
+  auto sub = CalcBinary(BinOp::kSub, b.get(), nullptr, nullptr, &one);
+  ASSERT_TRUE(sub.ok());
+  // (kMin + 1) - 1 lands exactly on the sentinel: NULL.
+  EXPECT_EQ((*sub)->lngs(), (std::vector<int64_t>{kMin, -1, 4}));
+  EXPECT_TRUE((*sub)->GetScalar(0).is_null);
+}
+
+TEST_P(ThreadSweep, NegAndAbsWrapWithoutTrapping) {
+  auto a = LngBat({kMax, kMin + 1, -5, kMin});
+  auto neg = CalcUnary(UnOp::kNeg, *a);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ((*neg)->lngs()[0], kMin + 1);  // -kMax
+  EXPECT_EQ((*neg)->lngs()[1], kMax);
+  EXPECT_EQ((*neg)->lngs()[2], 5);
+  // The kMin slot is the nil sentinel: NULL in, NULL out — negation never
+  // has to compute the trapping -INT64_MIN.
+  EXPECT_TRUE((*neg)->GetScalar(3).is_null);
+  auto abs = CalcUnary(UnOp::kAbs, *a);
+  ASSERT_TRUE(abs.ok());
+  EXPECT_EQ((*abs)->lngs()[0], kMax);
+  EXPECT_EQ((*abs)->lngs()[1], kMax);
+  EXPECT_EQ((*abs)->lngs()[2], 5);
+  EXPECT_TRUE((*abs)->GetScalar(3).is_null);
+}
+
+TEST_P(ThreadSweep, SumWrapsAndIsThreadCountInvariant) {
+  // kMax plus ~1.5M of filler overflows int64; the sum wraps mod 2^64,
+  // which is associative, so the morsel-parallel reduction is exact and
+  // bit-identical at any thread count. kMin is the nil sentinel: that row
+  // is NULL and must be skipped, not summed.
+  auto b = BAT::Make(PhysType::kLng);
+  size_t n = 150000;
+  b->lngs().assign(n, 10);
+  b->lngs()[1] = kMax;
+  b->lngs()[n - 2] = -9;
+  b->lngs()[n - 1] = kMin;  // nil: excluded from the sum
+  uint64_t expect = 0;
+  for (int64_t v : b->lngs()) {
+    if (v != kMin) expect += static_cast<uint64_t>(v);
+  }
+  auto r = Aggregate(AggOp::kSum, *b);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->is_null);
+  EXPECT_EQ(r->i, static_cast<int64_t>(expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 8));
+
+TEST(CalcOverflowSql, DivByMinusOneOnInt64MinYieldsNull) {
+  engine::Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (a BIGINT)").ok());
+  ASSERT_TRUE(
+      db.Run("INSERT INTO t VALUES (-9223372036854775808), (7)").ok());
+  // The INT64_MIN literal round-trips through the lexer, then stores as
+  // the nil sentinel: its row is NULL, so the trapping quotient never runs.
+  auto div = db.Query("SELECT a / -1 AS c0 FROM t");
+  ASSERT_TRUE(div.ok()) << div.status().ToString();
+  ASSERT_EQ(div->NumRows(), 2u);
+  EXPECT_TRUE(div->Value(0, 0).is_null);
+  EXPECT_EQ(div->Value(1, 0).i, -7);
+  auto mod = db.Query("SELECT a MOD -1 AS c0 FROM t");
+  ASSERT_TRUE(mod.ok()) << mod.status().ToString();
+  EXPECT_TRUE(mod->Value(0, 0).is_null);
+  EXPECT_EQ(mod->Value(1, 0).i, 0);
+}
+
+TEST(CalcOverflowSql, WrapLandsOnNullSentinel) {
+  engine::Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (a BIGINT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO t VALUES (9223372036854775807)").ok());
+  auto rs = db.Query("SELECT a + 1 AS c0, -(a + 1) AS c1 FROM t");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_TRUE(rs->Value(0, 0).is_null);  // kMax + 1 -> nil sentinel
+  EXPECT_TRUE(rs->Value(0, 1).is_null);  // NULL propagates
+}
+
+}  // namespace
+}  // namespace gdk
+}  // namespace sciql

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace sciql {
 namespace sql {
 namespace {
@@ -196,6 +198,44 @@ TEST(ParserTest, NegativeLiteralsFoldInRangesAndDefaults) {
       "CREATE ARRAY a (x INT DIMENSION[-3:2:3], v DOUBLE DEFAULT -1.5)");
   EXPECT_EQ(st->columns[0].range, array::DimRange(-3, 2, 3));
   EXPECT_DOUBLE_EQ(st->columns[1].default_value.d, -1.5);
+}
+
+TEST(ParserTest, OutOfRangeIntegerLiteralIsAParseError) {
+  // 2^63 without a unary minus does not fit int64; the lexer used to
+  // saturate it silently to INT64_MAX.
+  auto r = ParseOne("SELECT 9223372036854775808");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("out of range"), std::string::npos)
+      << r.status().ToString();
+  // Anything past 2^63 is rejected at lex time, minus or not.
+  EXPECT_FALSE(ParseOne("SELECT 9223372036854775809").ok());
+  EXPECT_FALSE(ParseOne("SELECT -9223372036854775809").ok());
+  EXPECT_FALSE(ParseOne("SELECT 99999999999999999999").ok());
+}
+
+TEST(ParserTest, Int64MinLiteralRoundTrips) {
+  // -9223372036854775808 is exactly INT64_MIN: the magnitude 2^63 is only
+  // legal directly under a unary minus, and must fold to the exact value
+  // (not saturate to -INT64_MAX).
+  auto st = MustParse("SELECT -9223372036854775808");
+  ASSERT_NE(st, nullptr);
+  const Expr* e = st->select->items[0].expr.get();
+  ASSERT_EQ(e->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(e->literal.type, gdk::PhysType::kLng);
+  EXPECT_EQ(e->literal.i, std::numeric_limits<int64_t>::min());
+  // Also through the VALUES literal path.
+  auto ins = MustParse("INSERT INTO t VALUES (-9223372036854775808)");
+  ASSERT_NE(ins, nullptr);
+  ASSERT_EQ(ins->kind, Statement::Kind::kInsert);
+}
+
+TEST(ParserTest, DoubleNegatedInt64MinIsOutOfRange) {
+  // -(-9223372036854775808) == 2^63 does not fit: the fold must reject it
+  // instead of wrapping silently.
+  auto r = ParseOne("SELECT -(-9223372036854775808)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("out of range"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(ParserTest, RoundTripToString) {
