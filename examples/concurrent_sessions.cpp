@@ -1,0 +1,96 @@
+// Concurrent sessions: N readers querying a shared DatabaseCore while one
+// writer keeps committing, plus an explicitly pinned snapshot that stays
+// frozen through it all.
+//
+// Demonstrates the core/session split (docs/architecture.md): every session
+// reads an immutable catalog version — there are no torn reads and readers
+// never wait for the writer — and PinSnapshot() holds one version across
+// statements for repeatable reads.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/database.h"
+
+using sciql::engine::Database;
+using sciql::engine::Session;
+
+int main() {
+  Database db;
+  if (!db.Run("CREATE TABLE readings (id INT, temp_x10 INT)").ok() ||
+      !db.Run("INSERT INTO readings VALUES (0, 0)").ok()) {
+    std::printf("setup failed\n");
+    return 1;
+  }
+
+  // A session pinned before any concurrent writes: its view never changes.
+  std::unique_ptr<Session> pinned = db.core().CreateSession();
+  pinned->PinSnapshot();
+  std::printf("pinned session at catalog version %llu\n",
+              static_cast<unsigned long long>(pinned->SnapshotVersionId()));
+
+  constexpr int kReaders = 3;
+  constexpr int kWrites = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&db, &stop, &torn, &reads] {
+      std::unique_ptr<Session> s = db.core().CreateSession();
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rs = s->Query("SELECT id, temp_x10 FROM readings");
+        if (!rs.ok()) {
+          torn.fetch_add(1);
+          continue;
+        }
+        // Every committed version keeps temp_x10 == 10 * id; a snapshot
+        // read can therefore never observe anything else.
+        for (size_t i = 0; i < rs->NumRows(); ++i) {
+          if (rs->Value(i, 1).AsInt64() != 10 * rs->Value(i, 0).AsInt64()) {
+            torn.fetch_add(1);
+          }
+        }
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  for (int k = 1; k <= kWrites; ++k) {
+    std::string sql = "INSERT INTO readings VALUES (" + std::to_string(k) +
+                      ", " + std::to_string(10 * k) + ")";
+    if (!db.Run(sql).ok()) {
+      std::printf("write %d failed\n", k);
+      stop.store(true, std::memory_order_release);
+      for (auto& th : readers) th.join();
+      return 1;
+    }
+  }
+  // Let every reader observe the final state before stopping the clock.
+  while (reads.load(std::memory_order_acquire) < kReaders * 4u) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  auto frozen = pinned->Query("SELECT id FROM readings");
+  auto live = db.Query("SELECT id FROM readings");
+  std::printf(
+      "%d writers-side commits, %llu snapshot reads across %d sessions, "
+      "%d inconsistencies\n",
+      kWrites, static_cast<unsigned long long>(reads.load()), kReaders,
+      torn.load());
+  std::printf("pinned session still sees %zu row(s); live view has %zu\n",
+              frozen.ok() ? frozen->NumRows() : 0,
+              live.ok() ? live->NumRows() : 0);
+  std::printf("core gauges: %d active sessions, %llu created, version %llu\n",
+              db.core().ActiveSessions(),
+              static_cast<unsigned long long>(db.core().SessionsCreated()),
+              static_cast<unsigned long long>(db.core().CatalogVersionId()));
+  return torn.load() == 0 ? 0 : 1;
+}

@@ -82,6 +82,11 @@ int main() {
           static_cast<unsigned long long>(io.file_fsyncs.load()),
           static_cast<unsigned long long>(io.dir_fsyncs.load()),
           static_cast<unsigned long long>(io.dir_fsync_failed.load()));
+      std::printf(
+          "sessions: %d active (%llu created), catalog version: %llu\n",
+          db.core().ActiveSessions(),
+          static_cast<unsigned long long>(db.core().SessionsCreated()),
+          static_cast<unsigned long long>(db.core().CatalogVersionId()));
       continue;
     }
     if (buffer.empty() && line.rfind(".checkpoint", 0) == 0) {

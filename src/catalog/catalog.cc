@@ -1,6 +1,7 @@
 #include "src/catalog/catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/array/series.h"
 #include "src/common/string_util.h"
@@ -135,12 +136,221 @@ Status ArrayObject::AlterDimension(size_t dim_idx,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// CatalogVersion
+// ---------------------------------------------------------------------------
+
+bool CatalogVersion::Exists(const std::string& name) const {
+  std::string key = ToLower(name);
+  return tables_.count(key) > 0 || arrays_.count(key) > 0;
+}
+
+bool CatalogVersion::IsArray(const std::string& name) const {
+  return arrays_.count(ToLower(name)) > 0;
+}
+
+Result<std::shared_ptr<TableObject>> CatalogVersion::GetTable(
+    const std::string& name) const {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("no such table: %s", name.c_str()));
+  }
+  SCIQL_RETURN_NOT_OK(owner_->EnsureLoaded(key, it->second.get()));
+  return it->second;
+}
+
+Result<std::shared_ptr<ArrayObject>> CatalogVersion::GetArray(
+    const std::string& name) const {
+  std::string key = ToLower(name);
+  auto it = arrays_.find(key);
+  if (it == arrays_.end()) {
+    return Status::NotFound(StrFormat("no such array: %s", name.c_str()));
+  }
+  SCIQL_RETURN_NOT_OK(owner_->EnsureLoaded(key, it->second.get()));
+  return it->second;
+}
+
+std::vector<std::string> CatalogVersion::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> CatalogVersion::ArrayNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : arrays_) out.push_back(k);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog: versioning machinery
+// ---------------------------------------------------------------------------
+
+Catalog::Catalog() {
+  auto v = std::make_shared<CatalogVersion>();
+  v->owner_ = this;
+  v->id_ = 0;
+  current_ = std::move(v);
+}
+
+CatalogVersionPtr Catalog::Pin() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  CatalogVersionPtr keep = current_;
+  const CatalogVersion* raw = keep.get();
+  // Custom-deleter alias: when the last copy of this pin drops, the pin
+  // count goes down (without touching mu_) and the version may be freed.
+  return CatalogVersionPtr(raw,
+                           [this, keep](const CatalogVersion*) mutable {
+                             keep.reset();
+                             pins_.fetch_sub(1, std::memory_order_release);
+                           });
+}
+
+uint64_t Catalog::CurrentVersionId() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->id_;
+}
+
+void Catalog::SetSharedMode() {
+  std::lock_guard<std::mutex> lk(mu_);
+  shared_mode_ = true;
+}
+
+bool Catalog::shared_mode() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shared_mode_;
+}
+
+template <typename Fn>
+void Catalog::PublishLocked(Fn mutate) {
+  auto next = std::make_shared<CatalogVersion>();
+  next->owner_ = this;
+  next->id_ = next_id_++;
+  next->tables_ = current_->tables_;
+  next->arrays_ = current_->arrays_;
+  mutate(next.get());
+  current_ = std::move(next);
+}
+
+std::shared_ptr<TableObject> Catalog::CloneTable(const TableObject& src) {
+  auto t = std::make_shared<TableObject>();
+  t->name = src.name;
+  t->columns = src.columns;
+  t->bats.reserve(src.bats.size());
+  for (const auto& b : src.bats) t->bats.push_back(b->CloneDataPrivate());
+  return t;
+}
+
+std::shared_ptr<ArrayObject> Catalog::CloneArray(const ArrayObject& src) {
+  auto a = std::make_shared<ArrayObject>();
+  a->name = src.name;
+  a->desc = src.desc;
+  a->dim_bats.reserve(src.dim_bats.size());
+  for (const auto& b : src.dim_bats) a->dim_bats.push_back(b->CloneDataPrivate());
+  a->attr_bats.reserve(src.attr_bats.size());
+  for (const auto& b : src.attr_bats) {
+    a->attr_bats.push_back(b->CloneDataPrivate());
+  }
+  return a;
+}
+
+Result<Catalog::WriteHandle> Catalog::BeginWrite(const std::string& name) {
+  std::string key = ToLower(name);
+  // Load the object (and learn its kind) through a short-lived pin, before
+  // taking any decision lock — the loader may do real I/O.
+  bool is_array = false;
+  {
+    CatalogVersionPtr v = Pin();
+    if (v->arrays_.count(key) > 0) {
+      is_array = true;
+      auto r = v->GetArray(key);
+      if (!r.ok()) return r.status();
+    } else if (v->tables_.count(key) > 0) {
+      auto r = v->GetTable(key);
+      if (!r.ok()) return r.status();
+    } else {
+      return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
+    }
+  }
+
+  WriteHandle h;
+  h.cat_ = this;
+  h.key_ = key;
+  std::unique_lock<std::mutex> lk(mu_);
+  // COW whenever a snapshot is pinned anywhere or the core ever went
+  // multi-session; otherwise mutate the live object in place while holding
+  // mu_, which excludes new pins for the duration of the statement. The
+  // in-place safety argument needs the "no pins" half too: result sets may
+  // alias catalog heaps, and only a single sequential session guarantees
+  // nobody reads them concurrently with this mutation.
+  bool cow = shared_mode_ || pins_.load(std::memory_order_acquire) > 0;
+  if (is_array) {
+    auto it = current_->arrays_.find(key);
+    if (it == current_->arrays_.end()) {
+      return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
+    }
+    if (cow) {
+      std::shared_ptr<ArrayObject> src = it->second;
+      lk.unlock();
+      h.arr_ = CloneArray(*src);
+      h.cow_ = true;
+    } else {
+      h.arr_ = it->second;
+      h.lock_ = std::move(lk);
+    }
+  } else {
+    auto it = current_->tables_.find(key);
+    if (it == current_->tables_.end()) {
+      return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
+    }
+    if (cow) {
+      std::shared_ptr<TableObject> src = it->second;
+      lk.unlock();
+      h.tab_ = CloneTable(*src);
+      h.cow_ = true;
+    } else {
+      h.tab_ = it->second;
+      h.lock_ = std::move(lk);
+    }
+  }
+  return h;
+}
+
+Status Catalog::WriteHandle::Commit() {
+  if (cat_ == nullptr) {
+    return Status::Internal("Commit on an empty or already-committed handle");
+  }
+  if (cow_) {
+    std::lock_guard<std::mutex> lk(cat_->mu_);
+    cat_->PublishLocked([this](CatalogVersion* v) {
+      if (tab_ != nullptr) {
+        v->tables_[key_] = tab_;
+      } else {
+        v->arrays_[key_] = arr_;
+      }
+    });
+  } else {
+    // lock_ is already held on cat_->mu_; the maps already reference the
+    // mutated object — publishing still advances the version id so every
+    // committed mutation is observable on the gauge.
+    cat_->PublishLocked([](CatalogVersion*) {});
+    lock_.unlock();
+  }
+  cat_ = nullptr;
+  tab_.reset();
+  arr_.reset();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog: mutators
+// ---------------------------------------------------------------------------
+
 Status Catalog::CreateTable(const std::string& name,
                             std::vector<array::AttrDesc> columns) {
   std::string key = ToLower(name);
-  if (Exists(key)) {
-    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
-  }
   if (columns.empty()) {
     return Status::InvalidArgument("a table needs at least one column");
   }
@@ -150,15 +360,16 @@ Status Catalog::CreateTable(const std::string& name,
   for (const auto& c : t->columns) {
     t->bats.push_back(BAT::Make(c.type));
   }
-  tables_[key] = std::move(t);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  PublishLocked([&](CatalogVersion* v) { v->tables_[key] = std::move(t); });
   return Status::OK();
 }
 
 Status Catalog::CreateArray(const std::string& name, array::ArrayDesc desc) {
   std::string key = ToLower(name);
-  if (Exists(key)) {
-    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
-  }
   if (desc.ndims() == 0) {
     return Status::InvalidArgument("an array needs at least one dimension");
   }
@@ -166,117 +377,192 @@ Status Catalog::CreateArray(const std::string& name, array::ArrayDesc desc) {
   a->name = key;
   a->desc = std::move(desc);
   SCIQL_RETURN_NOT_OK(a->Materialize());
-  arrays_[key] = std::move(a);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  PublishLocked([&](CatalogVersion* v) { v->arrays_[key] = std::move(a); });
   return Status::OK();
 }
 
 Status Catalog::DeclareArray(const std::string& name, array::ArrayDesc desc) {
   std::string key = ToLower(name);
-  if (Exists(key)) {
-    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
-  }
   if (desc.ndims() == 0) {
     return Status::InvalidArgument("an array needs at least one dimension");
   }
   auto a = std::make_shared<ArrayObject>();
   a->name = key;
   a->desc = std::move(desc);
-  arrays_[key] = std::move(a);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  PublishLocked([&](CatalogVersion* v) { v->arrays_[key] = std::move(a); });
   return Status::OK();
 }
 
 Status Catalog::AdoptArray(const std::string& name,
                            array::MaterializedArray arr) {
   std::string key = ToLower(name);
-  if (Exists(key)) {
-    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
-  }
   auto a = std::make_shared<ArrayObject>();
   a->name = key;
   a->desc = std::move(arr.desc);
   a->dim_bats = std::move(arr.dim_bats);
   a->attr_bats = std::move(arr.attr_bats);
-  arrays_[key] = std::move(a);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  PublishLocked([&](CatalogVersion* v) { v->arrays_[key] = std::move(a); });
+  return Status::OK();
+}
+
+Status Catalog::AdoptTable(const std::string& name,
+                           std::shared_ptr<TableObject> t) {
+  std::string key = ToLower(name);
+  t->name = key;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->Exists(key)) {
+    return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
+  }
+  PublishLocked([&](CatalogVersion* v) { v->tables_[key] = std::move(t); });
   return Status::OK();
 }
 
 Status Catalog::DropObject(const std::string& name) {
   std::string key = ToLower(name);
-  unloaded_.erase(key);
-  if (tables_.erase(key) > 0) return Status::OK();
-  if (arrays_.erase(key) > 0) return Status::OK();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->tables_.count(key) > 0) {
+    PublishLocked([&](CatalogVersion* v) { v->tables_.erase(key); });
+    return Status::OK();
+  }
+  if (current_->arrays_.count(key) > 0) {
+    PublishLocked([&](CatalogVersion* v) { v->arrays_.erase(key); });
+    return Status::OK();
+  }
   return Status::NotFound(StrFormat("no such object: %s", name.c_str()));
 }
 
 void Catalog::Clear() {
-  tables_.clear();
-  arrays_.clear();
-  unloaded_.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  PublishLocked([](CatalogVersion* v) {
+    v->tables_.clear();
+    v->arrays_.clear();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Catalog: lazy loading
+// ---------------------------------------------------------------------------
+
+void Catalog::SetLoader(Loader loader) {
+  std::lock_guard<std::mutex> lk(mu_);
+  loader_ = std::move(loader);
 }
 
 void Catalog::MarkUnloaded(const std::string& name) {
-  unloaded_.insert(ToLower(name));
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ti = current_->tables_.find(key);
+  if (ti != current_->tables_.end()) {
+    ti->second->load.pending.store(true, std::memory_order_release);
+    return;
+  }
+  auto ai = current_->arrays_.find(key);
+  if (ai != current_->arrays_.end()) {
+    ai->second->load.pending.store(true, std::memory_order_release);
+  }
 }
 
 bool Catalog::IsUnloaded(const std::string& name) const {
-  return unloaded_.count(ToLower(name)) > 0;
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ti = current_->tables_.find(key);
+  if (ti != current_->tables_.end()) {
+    return ti->second->load.pending.load(std::memory_order_acquire);
+  }
+  auto ai = current_->arrays_.find(key);
+  if (ai != current_->arrays_.end()) {
+    return ai->second->load.pending.load(std::memory_order_acquire);
+  }
+  return false;
 }
 
-Status Catalog::EnsureLoaded(const std::string& key) const {
-  auto it = unloaded_.find(key);
-  if (it == unloaded_.end()) return Status::OK();
-  if (!loader_) {
-    return Status::Internal(
-        StrFormat("object %s is unloaded but no loader is attached",
-                  key.c_str()));
+template <typename Obj>
+Status Catalog::EnsureLoaded(const std::string& key, Obj* obj) const {
+  if (!obj->load.pending.load(std::memory_order_acquire)) return Status::OK();
+  if (obj->load.loading.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    // The loader re-reading the object it is currently filling.
+    return Status::OK();
   }
-  unloaded_.erase(it);
-  Status st = loader_(key);
-  if (!st.ok()) unloaded_.insert(key);
+  std::lock_guard<std::mutex> lk(obj->load.mu);
+  if (!obj->load.pending.load(std::memory_order_acquire)) {
+    return Status::OK();  // a racing session loaded it while we waited
+  }
+  Loader loader;
+  {
+    std::lock_guard<std::mutex> cl(mu_);
+    loader = loader_;
+    // The loader fills whatever is registered under `key` *now*. If this
+    // snapshot's object has since been dropped or replaced, running it
+    // would hand the snapshot someone else's data — fail cleanly instead.
+    const void* live = nullptr;
+    auto ti = current_->tables_.find(key);
+    if (ti != current_->tables_.end()) {
+      live = ti->second.get();
+    } else {
+      auto ai = current_->arrays_.find(key);
+      if (ai != current_->arrays_.end()) live = ai->second.get();
+    }
+    if (live != static_cast<const void*>(obj)) {
+      return Status::NotFound(StrFormat(
+          "object %s was dropped or replaced before its data was loaded; "
+          "this snapshot can no longer load it", key.c_str()));
+    }
+  }
+  if (!loader) {
+    return Status::Internal(StrFormat(
+        "object %s is unloaded but no loader is attached", key.c_str()));
+  }
+  obj->load.loading.store(std::this_thread::get_id(),
+                          std::memory_order_release);
+  Status st = loader(key);
+  obj->load.loading.store(std::thread::id(), std::memory_order_release);
+  // On failure the object stays pending, so a later access retries (and
+  // reports) the same clean error.
+  if (st.ok()) obj->load.pending.store(false, std::memory_order_release);
   return st;
 }
 
+// ---------------------------------------------------------------------------
+// Catalog: convenience reads
+// ---------------------------------------------------------------------------
+
 bool Catalog::Exists(const std::string& name) const {
-  std::string key = ToLower(name);
-  return tables_.count(key) > 0 || arrays_.count(key) > 0;
+  return Pin()->Exists(name);
 }
 
 Result<std::shared_ptr<TableObject>> Catalog::GetTable(
     const std::string& name) const {
-  std::string key = ToLower(name);
-  auto it = tables_.find(key);
-  if (it == tables_.end()) {
-    return Status::NotFound(StrFormat("no such table: %s", name.c_str()));
-  }
-  SCIQL_RETURN_NOT_OK(EnsureLoaded(key));
-  return it->second;
+  return Pin()->GetTable(name);
 }
 
 Result<std::shared_ptr<ArrayObject>> Catalog::GetArray(
     const std::string& name) const {
-  std::string key = ToLower(name);
-  auto it = arrays_.find(key);
-  if (it == arrays_.end()) {
-    return Status::NotFound(StrFormat("no such array: %s", name.c_str()));
-  }
-  SCIQL_RETURN_NOT_OK(EnsureLoaded(key));
-  return it->second;
+  return Pin()->GetArray(name);
 }
 
 bool Catalog::IsArray(const std::string& name) const {
-  return arrays_.count(ToLower(name)) > 0;
+  return Pin()->IsArray(name);
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::vector<std::string> out;
-  for (const auto& [k, v] : tables_) out.push_back(k);
-  return out;
+  return Pin()->TableNames();
 }
 
 std::vector<std::string> Catalog::ArrayNames() const {
-  std::vector<std::string> out;
-  for (const auto& [k, v] : arrays_) out.push_back(k);
-  return out;
+  return Pin()->ArrayNames();
 }
 
 }  // namespace catalog

@@ -7,15 +7,27 @@
 // non-dimensional attribute (paper Sec. 3, "Array Storage & Creation").
 // Fixed arrays are materialised before first use via array.series /
 // array.filler.
-
+//
+// Versioning (docs/architecture.md, "Core, sessions and snapshots"): the
+// catalog is copy-on-write-versioned. Its state at any instant is an
+// immutable CatalogVersion snapshot — a map of shared_ptr objects plus a
+// monotonically increasing id. Readers Pin() the current version (one brief
+// mutex acquisition) and then bind, plan and execute against it with zero
+// further locks. Mutations go through BeginWrite()/the Create*/Drop
+// mutators, which publish a *new* version; a pinned snapshot never changes
+// underneath its reader. Whether a mutation clones the target object (COW)
+// or edits it in place while excluding new pins is an internal choice made
+// per statement — see BeginWrite.
 #ifndef SCIQL_CATALOG_CATALOG_H_
 #define SCIQL_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/array/coerce.h"
@@ -26,11 +38,34 @@
 namespace sciql {
 namespace catalog {
 
+/// \brief Lazy-load bookkeeping embedded in every catalog object.
+///
+/// An object declared from a manifest starts `pending`; the first
+/// GetTable/GetArray access runs the storage loader under `mu`, so two
+/// sessions racing to the same cold object materialise it exactly once
+/// (the loser blocks, then sees `pending == false` and returns). `loading`
+/// lets the loader itself re-enter GetTable/GetArray on the object it is
+/// filling without deadlocking on `mu`.
+struct LoadState {
+  std::atomic<bool> pending{false};
+  std::mutex mu;
+  std::atomic<std::thread::id> loading{std::thread::id()};
+};
+
 /// \brief A relational table: a set of tuples, vertically decomposed.
+///
+/// Identity matters (versions share objects by shared_ptr; LoadState owns a
+/// mutex), so table objects are never copied — COW clones are built
+/// explicitly by Catalog.
 struct TableObject {
+  TableObject() = default;
+  TableObject(const TableObject&) = delete;
+  TableObject& operator=(const TableObject&) = delete;
+
   std::string name;
   std::vector<array::AttrDesc> columns;
   std::vector<gdk::BATPtr> bats;
+  LoadState load;
 
   size_t RowCount() const { return bats.empty() ? 0 : bats[0]->Count(); }
   int ColumnIndex(const std::string& col) const;
@@ -43,12 +78,17 @@ struct TableObject {
 };
 
 /// \brief A SciQL array: an indexed collection of cells; all cells covered by
-/// the dimensions always exist.
+/// the dimensions always exist. Never copied (see TableObject).
 struct ArrayObject {
+  ArrayObject() = default;
+  ArrayObject(const ArrayObject&) = delete;
+  ArrayObject& operator=(const ArrayObject&) = delete;
+
   std::string name;
   array::ArrayDesc desc;
   std::vector<gdk::BATPtr> dim_bats;
   std::vector<gdk::BATPtr> attr_bats;
+  LoadState load;
 
   size_t CellCount() const { return desc.CellCount(); }
 
@@ -67,17 +107,124 @@ struct ArrayObject {
   Status AlterDimension(size_t dim_idx, const array::DimRange& new_range);
 };
 
-/// \brief Name -> object registry. Object names are case-insensitive.
+class Catalog;
+
+/// \brief An immutable snapshot of the catalog at one version.
+///
+/// Holds shared ownership of its objects, so a pinned version keeps serving
+/// consistent data even after later versions drop or replace the objects.
+/// All methods are const and lock-free except the lazy-load hook inside
+/// GetTable/GetArray (which synchronises per object through the owning
+/// Catalog). A version must not outlive the Catalog that published it.
+class CatalogVersion {
+ public:
+  /// Monotonically increasing; every committed mutation advances it.
+  uint64_t id() const { return id_; }
+
+  /// True if `name` refers to a table or an array.
+  bool Exists(const std::string& name) const;
+  bool IsArray(const std::string& name) const;
+
+  Result<std::shared_ptr<TableObject>> GetTable(const std::string& name) const;
+  Result<std::shared_ptr<ArrayObject>> GetArray(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ArrayNames() const;
+
+ private:
+  friend class Catalog;
+  const Catalog* owner_ = nullptr;
+  uint64_t id_ = 0;
+  std::map<std::string, std::shared_ptr<TableObject>> tables_;
+  std::map<std::string, std::shared_ptr<ArrayObject>> arrays_;
+};
+
+using CatalogVersionPtr = std::shared_ptr<const CatalogVersion>;
+
+/// \brief Name -> object registry, versioned. Object names are
+/// case-insensitive.
 ///
 /// Lazy loading: a storage engine may declare objects whose column data still
 /// lives on disk and register a loader. GetTable/GetArray materialise such an
 /// object on first access, so reopening a database costs only the objects a
 /// query actually touches (see docs/storage.md).
+///
+/// Concurrency contract: any number of reader threads may Pin() and read
+/// concurrently with ONE mutating thread (the engine serialises mutations
+/// behind DatabaseCore's writer mutex). The catalog itself never blocks
+/// readers for the duration of a mutation in shared mode — writers clone the
+/// object they touch and publish the result as a new version.
 class Catalog {
  public:
   /// Fills the named object's BATs from durable storage. Invoked at most once
   /// per object, on first GetTable/GetArray access.
   using Loader = std::function<Status(const std::string& name)>;
+
+  Catalog();
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // ---------------------------------------------------------------------
+  // Versioning
+  // ---------------------------------------------------------------------
+
+  /// \brief Pin the current version: one brief lock, then lock-free reads.
+  CatalogVersionPtr Pin() const;
+
+  /// \brief The id of the current version (telemetry gauge).
+  uint64_t CurrentVersionId() const;
+
+  /// \brief Enter shared (multi-session) mode: every mutation from now on
+  /// copies the object it touches instead of editing it in place, so result
+  /// sets and snapshots handed out earlier are never written through. Sticky
+  /// — once a core has had two sessions, cheap in-place mutation is gone for
+  /// good (its safety argument needs a single sequential owner).
+  void SetSharedMode();
+  bool shared_mode() const;
+
+  /// \brief A handle on one object opened for mutation. Obtained from
+  /// BeginWrite; mutate through table()/array(), then Commit() to publish a
+  /// new catalog version. Destroying an uncommitted handle abandons a COW
+  /// clone entirely (clean rollback); on the in-place path it simply
+  /// releases the pin-exclusion lock, leaving whatever was already applied
+  /// — the same partial-failure semantics the engine always had.
+  class WriteHandle {
+   public:
+    WriteHandle() = default;
+    WriteHandle(WriteHandle&&) = default;
+    WriteHandle& operator=(WriteHandle&&) = default;
+    WriteHandle(const WriteHandle&) = delete;
+    WriteHandle& operator=(const WriteHandle&) = delete;
+
+    bool is_array() const { return arr_ != nullptr; }
+    TableObject* table() const { return tab_.get(); }
+    ArrayObject* array() const { return arr_.get(); }
+
+    /// \brief Publish the mutation as a new catalog version.
+    Status Commit();
+
+   private:
+    friend class Catalog;
+    Catalog* cat_ = nullptr;
+    std::string key_;
+    std::shared_ptr<TableObject> tab_;
+    std::shared_ptr<ArrayObject> arr_;
+    bool cow_ = false;
+    // Held across the whole mutation on the in-place path: excludes new
+    // Pin()s (there are no existing ones, or we would have cloned).
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// \brief Open the named object for mutation. Ensures it is loaded, then
+  /// either deep-clones it (shared mode, or somebody holds a pinned
+  /// version) or locks out new pins and hands back the live object (the
+  /// single-session fast path — repeated single-row INSERTs stay O(1), not
+  /// O(rows) per statement).
+  Result<WriteHandle> BeginWrite(const std::string& name);
+
+  // ---------------------------------------------------------------------
+  // Mutators (each publishes a new version)
+  // ---------------------------------------------------------------------
 
   Status CreateTable(const std::string& name,
                      std::vector<array::AttrDesc> columns);
@@ -87,14 +234,20 @@ class Catalog {
   Status DeclareArray(const std::string& name, array::ArrayDesc desc);
   /// \brief Register an already-materialised array (CREATE ARRAY AS SELECT).
   Status AdoptArray(const std::string& name, array::MaterializedArray arr);
+  /// \brief Register a fully built table object (CREATE TABLE AS SELECT).
+  Status AdoptTable(const std::string& name, std::shared_ptr<TableObject> t);
   Status DropObject(const std::string& name);
 
   /// \brief Drop every object (and pending lazy loads); used when a Database
   /// switches its attached storage directory.
   void Clear();
 
+  // ---------------------------------------------------------------------
+  // Lazy loading
+  // ---------------------------------------------------------------------
+
   /// \brief Install (or clear, with nullptr) the lazy-load callback.
-  void SetLoader(Loader loader) { loader_ = std::move(loader); }
+  void SetLoader(Loader loader);
 
   /// \brief Flag `name` (already registered) as not yet loaded from storage.
   void MarkUnloaded(const std::string& name);
@@ -102,27 +255,47 @@ class Catalog {
   /// \brief True if `name` is declared but its data has not been loaded yet.
   bool IsUnloaded(const std::string& name) const;
 
-  /// True if `name` refers to a table or an array.
-  bool Exists(const std::string& name) const;
+  // ---------------------------------------------------------------------
+  // Convenience reads (pin + forward; prefer holding a Pin() for multi-call
+  // consistency)
+  // ---------------------------------------------------------------------
 
+  bool Exists(const std::string& name) const;
   Result<std::shared_ptr<TableObject>> GetTable(const std::string& name) const;
   Result<std::shared_ptr<ArrayObject>> GetArray(const std::string& name) const;
   bool IsArray(const std::string& name) const;
-
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ArrayNames() const;
 
  private:
-  /// Run the loader for `key` if it is still pending. The pending mark is
-  /// cleared before the loader runs so the loader itself may call
-  /// GetTable/GetArray on the same object; it is restored on failure so a
-  /// later access retries (and reports) the same clean error.
-  Status EnsureLoaded(const std::string& key) const;
+  friend class CatalogVersion;
 
-  std::map<std::string, std::shared_ptr<TableObject>> tables_;
-  std::map<std::string, std::shared_ptr<ArrayObject>> arrays_;
+  /// Run the loader for the object `obj` (registered under `key`) if still
+  /// pending. Serialised per object on obj->load.mu; re-entrant from the
+  /// loader's own thread. `obj` must still be the object registered under
+  /// `key` in the *current* version — a snapshot holding a dropped/replaced
+  /// cold object gets a clean error instead of someone else's data.
+  template <typename Obj>
+  Status EnsureLoaded(const std::string& key, Obj* obj) const;
+
+  /// Build version id+1 from `current_` with `mutate` applied to the maps;
+  /// caller must hold mu_.
+  template <typename Fn>
+  void PublishLocked(Fn mutate);
+
+  /// Deep clones for COW: every BAT is cloned; string columns re-intern into
+  /// a private heap so the clone never shares a mutable arena with the
+  /// published object (StrHeap::Put reallocates — see gdk/strheap.h).
+  static std::shared_ptr<TableObject> CloneTable(const TableObject& src);
+  static std::shared_ptr<ArrayObject> CloneArray(const ArrayObject& src);
+
+  mutable std::mutex mu_;  // guards current_, next_id_, loader_, shared_mode_
+  CatalogVersionPtr current_;  // never null
+  uint64_t next_id_ = 1;
+  /// Outstanding Pin() handles across all versions; > 0 forces COW writes.
+  mutable std::atomic<int64_t> pins_{0};
   Loader loader_;
-  mutable std::set<std::string> unloaded_;
+  bool shared_mode_ = false;
 };
 
 }  // namespace catalog

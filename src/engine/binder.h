@@ -45,7 +45,8 @@ struct Env {
 /// provides their registers through `agg_map` (keyed by AST node).
 class ExprCompiler {
  public:
-  ExprCompiler(mal::MalProgram* prog, catalog::Catalog* cat, const Env* env)
+  ExprCompiler(mal::MalProgram* prog, const catalog::CatalogVersion* cat,
+               const Env* env)
       : prog_(prog), cat_(cat), env_(env) {}
 
   void set_agg_map(const std::map<const sql::Expr*, int>* m) { agg_map_ = m; }
@@ -75,7 +76,7 @@ class ExprCompiler {
   Result<int> BroadcastToEnv(int scalar_reg);
 
   mal::MalProgram* prog_;
-  catalog::Catalog* cat_;
+  const catalog::CatalogVersion* cat_;
   const Env* env_;
   const std::map<const sql::Expr*, int>* agg_map_ = nullptr;
 };

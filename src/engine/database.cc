@@ -1,314 +1,15 @@
 #include "src/engine/database.h"
 
-#include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
-#include "src/engine/executor.h"
-#include "src/engine/mal_gen.h"
-#include "src/mal/optimizer.h"
-#include "src/sql/parser.h"
 
 namespace sciql {
 namespace engine {
-
-using gdk::ScalarValue;
-
-Result<ResultSet> Database::Execute(const std::string& text) {
-  SCIQL_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
-                         sql::Parse(text));
-  if (stmts.empty()) {
-    return Status::InvalidArgument("no statement to execute");
-  }
-  ResultSet last;
-  for (const auto& stmt : stmts) {
-    SCIQL_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
-  }
-  return last;
-}
-
-Status Database::Run(const std::string& text) {
-  SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(text));
-  return Status::OK();
-}
 
 void Database::SetExecutionThreads(int n) {
   ThreadPool::Get().SetThreadCount(n);
 }
 
 int Database::ExecutionThreads() { return ThreadPool::Get().thread_count(); }
-
-Status Database::Open(const std::string& dir,
-                      const storage::OpenOptions& options) {
-  if (storage_ != nullptr) {
-    Status parted = storage_->Checkpoint();
-    if (!parted.ok()) {
-      // The old directory keeps its last consistent state; whatever was not
-      // checkpointed is still covered by its WAL. Detach and report rather
-      // than staying attached to an engine mid-way through a failed commit.
-      DetachStorageAfterFailure();
-      return Status::IOError(StrFormat(
-          "checkpoint of the previously attached storage failed (%s); it was "
-          "detached at its last consistent state and no new directory was "
-          "opened — the session continues in-memory",
-          parted.ToString().c_str()));
-    }
-    storage_.reset();
-  }
-  cat_.Clear();
-  // During WAL replay storage_ is still null, so replayed statements run
-  // through the normal path without being re-logged.
-  auto replay = [this](const std::string& sql) -> Status {
-    SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(sql));
-    return Status::OK();
-  };
-  auto opened = storage::StorageEngine::Open(dir, &cat_, replay, options);
-  if (!opened.ok()) {
-    // A failed open may have declared objects it can no longer load; drop
-    // them so the session is a clean in-memory database again.
-    cat_.Clear();
-    return opened.status();
-  }
-  storage_ = std::move(*opened);
-  return Status::OK();
-}
-
-Status Database::Checkpoint() {
-  if (storage_ == nullptr) {
-    return Status::InvalidArgument("no storage attached; use Open(dir) first");
-  }
-  Status st = storage_->Checkpoint();
-  if (!st.ok()) {
-    // A failed checkpoint may have written some new-epoch files, but the
-    // manifest rename never committed them: on disk the directory is still
-    // exactly its last consistent state (old manifest + logged WAL prefix).
-    // The engine's in-memory dirty tracking is mid-transition though, so
-    // retrying could mis-track; detach instead, explicitly.
-    DetachStorageAfterFailure();
-    return Status::IOError(StrFormat(
-        "checkpoint failed (%s); storage detached — the session continues "
-        "in-memory only and the database directory keeps its last "
-        "consistent state", st.ToString().c_str()));
-  }
-  return st;
-}
-
-void Database::DetachStorageAfterFailure() {
-  if (storage_ == nullptr) return;
-  storage_->LoadAllForDetach();
-  storage_.reset();
-}
-
-Status Database::Close() {
-  if (storage_ == nullptr) {
-    return Status::InvalidArgument("no storage attached; use Open(dir) first");
-  }
-  Status st = storage_->Checkpoint();
-  if (!st.ok()) {
-    // Everything committed is already WAL-logged, so closing without the
-    // checkpoint is still consistent: the next open replays the log.
-    storage_.reset();
-    cat_.Clear();
-    return Status::IOError(StrFormat(
-        "close could not checkpoint (%s); the directory keeps its last "
-        "consistent state and the next open replays its WAL",
-        st.ToString().c_str()));
-  }
-  storage_.reset();  // detaches the catalog loader
-  cat_.Clear();
-  return Status::OK();
-}
-
-namespace {
-
-bool IsMutatingStatement(sql::Statement::Kind kind) {
-  switch (kind) {
-    case sql::Statement::Kind::kCreateTable:
-    case sql::Statement::Kind::kCreateArray:
-    case sql::Statement::Kind::kDrop:
-    case sql::Statement::Kind::kAlterArray:
-    case sql::Statement::Kind::kInsert:
-    case sql::Statement::Kind::kUpdate:
-    case sql::Statement::Kind::kDelete:
-      return true;
-    case sql::Statement::Kind::kSelect:
-    case sql::Statement::Kind::kExplain:
-      return false;
-  }
-  return false;
-}
-
-}  // namespace
-
-Result<ResultSet> Database::ExecuteStatement(const sql::Statement& stmt) {
-  SCIQL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteStatementNoLog(stmt));
-  // The statement committed (applied to the in-memory catalog); with storage
-  // attached it becomes durable by logging its source text to the WAL. The
-  // next checkpoint folds it into the heap files and resets the log.
-  if (storage_ != nullptr && IsMutatingStatement(stmt.kind) &&
-      !stmt.source.empty()) {
-    Status logged = storage_->LogStatement(stmt.source);
-    if (!logged.ok()) {
-      // The mutation is applied in memory but cannot be made durable, and a
-      // retry would double-apply it. Detach the storage so the divergence is
-      // explicit: the session keeps working in-memory, the directory stays
-      // at its last consistent state (checkpoint + logged prefix).
-      DetachStorageAfterFailure();
-      return Status::IOError(StrFormat(
-          "statement applied in memory but could not be logged for "
-          "durability (%s); storage detached — the session continues "
-          "in-memory only and the database directory keeps its last "
-          "consistent state", logged.ToString().c_str()));
-    }
-  }
-  return rs;
-}
-
-Result<ResultSet> Database::ExecuteStatementNoLog(const sql::Statement& stmt) {
-  switch (stmt.kind) {
-    case sql::Statement::Kind::kExplain: {
-      SCIQL_ASSIGN_OR_RETURN(std::string text, BuildExplain(*stmt.inner));
-      ResultSet rs;
-      auto col = gdk::BAT::Make(gdk::PhysType::kStr);
-      for (const std::string& line : Split(text, '\n')) {
-        if (line.empty()) continue;
-        SCIQL_RETURN_NOT_OK(col->Append(ScalarValue::Str(line)));
-      }
-      rs.AddColumn("mal", false, std::move(col));
-      return rs;
-    }
-    case sql::Statement::Kind::kCreateTable:
-    case sql::Statement::Kind::kCreateArray:
-      if (stmt.select == nullptr) return ExecuteDdl(stmt);
-      break;  // AS SELECT goes through the compiler
-    case sql::Statement::Kind::kDrop:
-    case sql::Statement::Kind::kAlterArray:
-      return ExecuteDdl(stmt);
-    default:
-      break;
-  }
-
-  StatementCompiler compiler(&cat_);
-  SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
-  SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
-  Executor exec(&cat_);
-  return exec.Execute(cs);
-}
-
-Result<ResultSet> Database::ExecuteDdl(const sql::Statement& stmt) {
-  switch (stmt.kind) {
-    case sql::Statement::Kind::kCreateTable: {
-      std::vector<array::AttrDesc> cols;
-      for (const auto& c : stmt.columns) {
-        if (c.is_dimension) {
-          return Status::InvalidArgument(
-              "DIMENSION columns belong to arrays, not tables");
-        }
-        array::AttrDesc ad;
-        ad.name = ToLower(c.name);
-        ad.type = c.type;
-        ad.default_value =
-            c.has_default ? c.default_value : ScalarValue::Null(c.type);
-        cols.push_back(std::move(ad));
-      }
-      SCIQL_RETURN_NOT_OK(cat_.CreateTable(stmt.object_name, std::move(cols)));
-      return ResultSet();
-    }
-    case sql::Statement::Kind::kCreateArray: {
-      std::vector<array::DimDesc> dims;
-      std::vector<array::AttrDesc> attrs;
-      for (const auto& c : stmt.columns) {
-        if (c.is_dimension) {
-          if (c.type != gdk::PhysType::kInt &&
-              c.type != gdk::PhysType::kLng) {
-            return Status::NotSupported(
-                "only integer dimensions are supported");
-          }
-          if (!c.has_range) {
-            return Status::NotSupported(
-                "unbounded dimensions arise from coercions; CREATE ARRAY "
-                "requires fixed dimension ranges");
-          }
-          dims.push_back(array::DimDesc{ToLower(c.name), c.range, false});
-        } else {
-          array::AttrDesc ad;
-          ad.name = ToLower(c.name);
-          ad.type = c.type;
-          ad.default_value =
-              c.has_default ? c.default_value : ScalarValue::Null(c.type);
-          attrs.push_back(std::move(ad));
-        }
-      }
-      if (dims.empty()) {
-        return Status::InvalidArgument(
-            "an array needs at least one DIMENSION column");
-      }
-      SCIQL_RETURN_NOT_OK(cat_.CreateArray(
-          stmt.object_name,
-          array::ArrayDesc(std::move(dims), std::move(attrs))));
-      return ResultSet();
-    }
-    case sql::Statement::Kind::kDrop: {
-      bool is_array = cat_.IsArray(stmt.object_name);
-      if (cat_.Exists(stmt.object_name) && is_array != stmt.drop_is_array) {
-        return Status::InvalidArgument(
-            StrFormat("%s is a%s; use DROP %s", stmt.object_name.c_str(),
-                      is_array ? "n array" : " table",
-                      is_array ? "ARRAY" : "TABLE"));
-      }
-      SCIQL_RETURN_NOT_OK(cat_.DropObject(stmt.object_name));
-      return ResultSet();
-    }
-    case sql::Statement::Kind::kAlterArray: {
-      SCIQL_ASSIGN_OR_RETURN(auto arr, cat_.GetArray(stmt.object_name));
-      int d = arr->desc.DimIndex(stmt.dim_name);
-      if (d < 0) {
-        return Status::NotFound(StrFormat("array %s has no dimension %s",
-                                          stmt.object_name.c_str(),
-                                          stmt.dim_name.c_str()));
-      }
-      SCIQL_RETURN_NOT_OK(
-          arr->AlterDimension(static_cast<size_t>(d), stmt.new_range));
-      return ResultSet();
-    }
-    default:
-      return Status::Internal("not a DDL statement");
-  }
-}
-
-Result<std::string> Database::BuildExplain(const sql::Statement& stmt) {
-  StatementCompiler compiler(&cat_);
-  switch (stmt.kind) {
-    case sql::Statement::Kind::kCreateTable:
-    case sql::Statement::Kind::kCreateArray:
-      if (stmt.select == nullptr) {
-        SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs,
-                               compiler.CompileDdlDisplay(stmt));
-        // DDL display programs are exempt from optimization: their results
-        // are the materialised BATs themselves.
-        return cs.prog.ToString();
-      }
-      break;
-    case sql::Statement::Kind::kDrop:
-    case sql::Statement::Kind::kAlterArray: {
-      SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs,
-                             compiler.CompileDdlDisplay(stmt));
-      return cs.prog.ToString();
-    }
-    case sql::Statement::Kind::kExplain:
-      return Status::InvalidArgument("cannot EXPLAIN an EXPLAIN");
-    default:
-      break;
-  }
-  SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
-  SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
-  return cs.prog.ToString();
-}
-
-Result<std::string> Database::ExplainText(const std::string& text) {
-  SCIQL_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseOne(text));
-  const sql::Statement* target = stmt.get();
-  if (stmt->kind == sql::Statement::Kind::kExplain) target = stmt->inner.get();
-  return BuildExplain(*target);
-}
 
 }  // namespace engine
 }  // namespace sciql

@@ -10,6 +10,12 @@
 //   auto rs = db.Query("SELECT [x], [y], AVG(v) FROM matrix "
 //                      "GROUP BY matrix[x:x+2][y:y+2] "
 //                      "HAVING x MOD 2 = 1 AND y MOD 2 = 1");
+//
+// Database is a thin facade: a DatabaseCore (versioned catalog + storage +
+// writer mutex) plus one default Session. Multi-user access goes through
+// `core().CreateSession()` — each session reads its own pinned catalog
+// snapshot while at most one writer commits at a time. See
+// docs/architecture.md, "Core, sessions and snapshots".
 
 #ifndef SCIQL_ENGINE_DATABASE_H_
 #define SCIQL_ENGINE_DATABASE_H_
@@ -19,33 +25,39 @@
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
+#include "src/engine/database_core.h"
 #include "src/engine/result_set.h"
-#include "src/sql/ast.h"
+#include "src/engine/session.h"
 #include "src/storage/storage_engine.h"
 
 namespace sciql {
 namespace engine {
 
-/// \brief An embedded monetlite database instance with SciQL support.
+/// \brief An embedded monetlite database instance with SciQL support:
+/// a DatabaseCore plus its default session, presented as one object.
 class Database {
  public:
-  Database() = default;
+  Database() : session_(core_.CreateSession()) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   /// \brief Execute one or more ';'-separated statements; returns the result
   /// of the last one. DML returns a one-row `rows` count; EXPLAIN returns
   /// the optimized MAL program text.
-  Result<ResultSet> Execute(const std::string& sql);
+  Result<ResultSet> Execute(const std::string& sql) {
+    return session_->Execute(sql);
+  }
 
   /// \brief Alias of Execute for read-only use.
   Result<ResultSet> Query(const std::string& sql) { return Execute(sql); }
 
   /// \brief Execute and discard the result (DDL/DML convenience).
-  Status Run(const std::string& sql);
+  Status Run(const std::string& sql) { return session_->Run(sql); }
 
   /// \brief The optimized MAL program for a statement, as text.
-  Result<std::string> ExplainText(const std::string& sql);
+  Result<std::string> ExplainText(const std::string& sql) {
+    return session_->ExplainText(sql);
+  }
 
   // -------------------------------------------------------------------------
   // Durable storage (see docs/storage.md)
@@ -58,23 +70,26 @@ class Database {
   /// replayed. After Open, every committed mutating statement is WAL-logged
   /// and pushed toward disk per `options.durability` (default: fsync per
   /// statement). `options.env` injects a filesystem seam for fault testing.
-  Status Open(const std::string& dir, const storage::OpenOptions& options = {});
+  Status Open(const std::string& dir,
+              const storage::OpenOptions& options = {}) {
+    return core_.Open(dir, options);
+  }
 
   /// \brief Write dirty objects and a new manifest, then reset the WAL.
   /// On failure the storage is detached (after best-effort loading of every
   /// object, so the in-memory session keeps serving them) and the directory
   /// is left at its last committed manifest + logged WAL prefix — never a
   /// hybrid referencing partially-written files.
-  Status Checkpoint();
+  Status Checkpoint() { return core_.Checkpoint(); }
 
   /// \brief Checkpoint, detach from storage and clear the in-memory catalog,
   /// returning the Database to a fresh empty session.
-  Status Close();
+  Status Close() { return core_.Close(); }
 
-  bool HasStorage() const { return storage_ != nullptr; }
+  bool HasStorage() const { return core_.HasStorage(); }
   /// The attached storage engine (nullptr when in-memory only); exposed for
   /// tests and tooling that inspect storage statistics.
-  storage::StorageEngine* storage_engine() { return storage_.get(); }
+  storage::StorageEngine* storage_engine() { return core_.storage_engine(); }
 
   /// \brief Process-wide storage I/O counters (WAL appends/fsyncs, atomic
   /// writes, and best-effort directory fsyncs that failed and were swallowed
@@ -88,23 +103,20 @@ class Database {
   /// \brief The current kernel thread count.
   static int ExecutionThreads();
 
-  catalog::Catalog* catalog() { return &cat_; }
+  catalog::Catalog* catalog() { return core_.catalog(); }
+
+  /// \brief The shared core behind this facade: create further sessions with
+  /// `core().CreateSession()` to read/write concurrently with this one.
+  DatabaseCore& core() { return core_; }
+
+  /// \brief The facade's own default session (for snapshot pinning etc.).
+  Session& session() { return *session_; }
 
  private:
-  /// Best-effort load of every object, then drop the storage engine: the
-  /// shared failure path that keeps the in-memory session fully queryable
-  /// while the directory stays at its last consistent state.
-  void DetachStorageAfterFailure();
-
-  Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
-  Result<ResultSet> ExecuteStatementNoLog(const sql::Statement& stmt);
-  Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);
-  Result<std::string> BuildExplain(const sql::Statement& stmt);
-
-  // Declaration order matters: storage_ is destroyed before cat_, and its
-  // destructor detaches the lazy loader that captures the engine pointer.
-  catalog::Catalog cat_;
-  std::unique_ptr<storage::StorageEngine> storage_;
+  // Declaration order matters: the default session is destroyed before the
+  // core it points into.
+  DatabaseCore core_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace engine

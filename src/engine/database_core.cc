@@ -1,0 +1,113 @@
+#include "src/engine/database_core.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace sciql {
+namespace engine {
+
+std::unique_ptr<Session> DatabaseCore::CreateSession() {
+  uint64_t created =
+      sessions_created_.fetch_add(1, std::memory_order_relaxed) + 1;
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  if (created >= 2) {
+    // Two sessions have existed on this core: from now on every mutation
+    // copies-on-write, so result sets and snapshots handed to any session
+    // (even one already destroyed) are never written through. Sticky by
+    // design — see Catalog::SetSharedMode.
+    cat_.SetSharedMode();
+  }
+  return std::unique_ptr<Session>(
+      new Session(this, /*counted=*/true, /*replay=*/false));
+}
+
+Status DatabaseCore::Open(const std::string& dir,
+                          const storage::OpenOptions& options) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (storage_ != nullptr) {
+    Status parted = storage_->Checkpoint();
+    if (!parted.ok()) {
+      // The old directory keeps its last consistent state; whatever was not
+      // checkpointed is still covered by its WAL. Detach and report rather
+      // than staying attached to an engine mid-way through a failed commit.
+      DetachStorageAfterFailure();
+      return Status::IOError(StrFormat(
+          "checkpoint of the previously attached storage failed (%s); it was "
+          "detached at its last consistent state and no new directory was "
+          "opened — the session continues in-memory",
+          parted.ToString().c_str()));
+    }
+    storage_.reset();
+  }
+  cat_.Clear();
+  // WAL replay runs through an uncounted session: storage_ is still null,
+  // so replayed statements are not re-logged, and the session skips the
+  // writer mutex (we hold it).
+  Session replayer(this, /*counted=*/false, /*replay=*/true);
+  auto replay = [&replayer](const std::string& sql) -> Status {
+    SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs,
+                           replayer.Execute(sql));
+    return Status::OK();
+  };
+  auto opened = storage::StorageEngine::Open(dir, &cat_, replay, options);
+  if (!opened.ok()) {
+    // A failed open may have declared objects it can no longer load; drop
+    // them so the core is a clean in-memory database again.
+    cat_.Clear();
+    return opened.status();
+  }
+  storage_ = std::move(*opened);
+  return Status::OK();
+}
+
+Status DatabaseCore::Checkpoint() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no storage attached; use Open(dir) first");
+  }
+  Status st = storage_->Checkpoint();
+  if (!st.ok()) {
+    // A failed checkpoint may have written some new-epoch files, but the
+    // manifest rename never committed them: on disk the directory is still
+    // exactly its last consistent state (old manifest + logged WAL prefix).
+    // The engine's in-memory dirty tracking is mid-transition though, so
+    // retrying could mis-track; detach instead, explicitly.
+    DetachStorageAfterFailure();
+    return Status::IOError(StrFormat(
+        "checkpoint failed (%s); storage detached — the session continues "
+        "in-memory only and the database directory keeps its last "
+        "consistent state", st.ToString().c_str()));
+  }
+  return st;
+}
+
+void DatabaseCore::DetachStorageAfterFailure() {
+  if (storage_ == nullptr) return;
+  storage_->LoadAllForDetach();
+  storage_.reset();
+}
+
+Status DatabaseCore::Close() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no storage attached; use Open(dir) first");
+  }
+  Status st = storage_->Checkpoint();
+  if (!st.ok()) {
+    // Everything committed is already WAL-logged, so closing without the
+    // checkpoint is still consistent: the next open replays the log.
+    storage_.reset();
+    cat_.Clear();
+    return Status::IOError(StrFormat(
+        "close could not checkpoint (%s); the directory keeps its last "
+        "consistent state and the next open replays its WAL",
+        st.ToString().c_str()));
+  }
+  storage_.reset();  // detaches the catalog loader
+  cat_.Clear();
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace sciql

@@ -1,0 +1,100 @@
+// DatabaseCore: the shared heart of an embedded SciQL database — the
+// versioned catalog, the attached storage engine (WAL + heap files), and
+// the single-writer mutex. Users talk to it through Session handles
+// (CreateSession); the legacy single-user surface lives on the Database
+// facade (database.h). See docs/architecture.md.
+
+#ifndef SCIQL_ENGINE_DATABASE_CORE_H_
+#define SCIQL_ENGINE_DATABASE_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/engine/session.h"
+#include "src/storage/storage_engine.h"
+
+namespace sciql {
+namespace engine {
+
+/// \brief Owns catalog + storage + write serialisation for any number of
+/// concurrent sessions. Lifecycle operations (Open/Checkpoint/Close) take
+/// the writer mutex like any mutation; reader sessions pinned to older
+/// catalog versions keep serving them untouched.
+class DatabaseCore {
+ public:
+  DatabaseCore() = default;
+  DatabaseCore(const DatabaseCore&) = delete;
+  DatabaseCore& operator=(const DatabaseCore&) = delete;
+
+  /// \brief A new session handle. The second session ever created flips the
+  /// catalog into shared mode (every write copies-on-write from then on);
+  /// a core that only ever had one session keeps the cheaper in-place write
+  /// path. Sessions must be destroyed before the core.
+  std::unique_ptr<Session> CreateSession();
+
+  // -------------------------------------------------------------------------
+  // Durable storage lifecycle (see docs/storage.md); serialised with writes.
+  // -------------------------------------------------------------------------
+
+  /// \brief Attach to storage directory `dir` (created on first open),
+  /// replacing current state: attached storage is checkpointed and
+  /// detached, the catalog cleared, the manifest loaded (columns lazily)
+  /// and the WAL replayed. Must not run concurrently with active statements
+  /// on other sessions of this core.
+  Status Open(const std::string& dir, const storage::OpenOptions& options = {});
+
+  /// \brief Write dirty objects and a new manifest, then reset the WAL.
+  /// On failure the storage is detached at its last consistent state.
+  Status Checkpoint();
+
+  /// \brief Checkpoint, detach and clear — back to a fresh empty core.
+  Status Close();
+
+  bool HasStorage() const { return storage_ != nullptr; }
+  storage::StorageEngine* storage_engine() { return storage_.get(); }
+
+  catalog::Catalog* catalog() { return &cat_; }
+
+  // -------------------------------------------------------------------------
+  // Telemetry gauges
+  // -------------------------------------------------------------------------
+
+  /// \brief Counted sessions currently alive.
+  int ActiveSessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+  /// \brief Counted sessions ever created on this core.
+  uint64_t SessionsCreated() const {
+    return sessions_created_.load(std::memory_order_relaxed);
+  }
+  /// \brief The current catalog version id (advances with every commit).
+  uint64_t CatalogVersionId() const { return cat_.CurrentVersionId(); }
+
+ private:
+  friend class Session;
+
+  /// Best-effort load of every object, then drop the storage engine: the
+  /// shared failure path that keeps the in-memory core fully queryable
+  /// while the directory stays at its last consistent state.
+  void DetachStorageAfterFailure();
+
+  // Declaration order matters: storage_ is destroyed before cat_, and its
+  // destructor detaches the lazy loader that captures the engine pointer.
+  catalog::Catalog cat_;
+  std::unique_ptr<storage::StorageEngine> storage_;
+  /// Serialises mutating statements, checkpoints and open/close across all
+  /// sessions. Readers never take it.
+  std::mutex writer_mu_;
+  std::atomic<int> active_sessions_{0};
+  std::atomic<uint64_t> sessions_created_{0};
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_DATABASE_CORE_H_

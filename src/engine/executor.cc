@@ -50,9 +50,10 @@ Result<ResultSet> Executor::AssembleResult(const CompiledStatement& cs,
     if (v.IsBat()) {
       // Results must not alias mutable catalog storage. A register that is
       // the sole owner of its BAT holds a value freshly computed by this
-      // program (catalog columns are co-owned by the catalog), so it can be
-      // adopted without the deep copy — sorted/projected columns of large
-      // results move instead of cloning.
+      // program (catalog columns are co-owned by their object, which the
+      // pinned version keeps alive), so it can be adopted without the deep
+      // copy — sorted/projected columns of large results move instead of
+      // cloning.
       rs.AddColumn(rc.name, rc.is_dim,
                    v.bat.use_count() == 1 ? v.bat : v.bat->CloneData());
     } else if (v.IsScalar()) {
@@ -69,13 +70,23 @@ Result<ResultSet> Executor::Execute(const CompiledStatement& cs) {
   if (cs.action == CompiledStatement::Action::kDdlDisplay) {
     return Status::Internal("DDL display programs are not executable");
   }
-  mal::MalContext ctx(cat_);
-  SCIQL_RETURN_NOT_OK(mal::MalEngine::Global().Run(cs.prog, &ctx));
-  SCIQL_ASSIGN_OR_RETURN(ResultSet rows, AssembleResult(cs, &ctx));
+  ResultSet rows;
+  {
+    mal::MalContext ctx(version_.get());
+    SCIQL_RETURN_NOT_OK(mal::MalEngine::Global().Run(cs.prog, &ctx));
+    SCIQL_ASSIGN_OR_RETURN(rows, AssembleResult(cs, &ctx));
+  }
+  if (cs.action == CompiledStatement::Action::kQuery) return rows;
+
+  // Write actions: drop our own pin first — any outstanding pin (including
+  // this one) forces the catalog onto the copy-on-write path, and the read
+  // pipeline is done with the snapshot.
+  version_.reset();
+  if (cat_ == nullptr) {
+    return Status::Internal("mutating statement executed without a catalog");
+  }
 
   switch (cs.action) {
-    case CompiledStatement::Action::kQuery:
-      return rows;
     case CompiledStatement::Action::kInsert:
       SCIQL_RETURN_NOT_OK(ApplyInsert(cs, rows));
       return SingleCount(static_cast<int64_t>(rows.NumRows()));
@@ -89,7 +100,7 @@ Result<ResultSet> Executor::Execute(const CompiledStatement& cs) {
     case CompiledStatement::Action::kCreateArrayAs:
       SCIQL_RETURN_NOT_OK(ApplyCreateAs(cs, rows));
       return SingleCount(static_cast<int64_t>(rows.NumRows()));
-    case CompiledStatement::Action::kDdlDisplay:
+    default:
       break;
   }
   return Status::Internal("unreachable executor action");
@@ -97,8 +108,10 @@ Result<ResultSet> Executor::Execute(const CompiledStatement& cs) {
 
 Status Executor::ApplyInsert(const CompiledStatement& cs,
                              const ResultSet& rows) {
-  if (cat_->IsArray(cs.target)) {
-    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+  SCIQL_ASSIGN_OR_RETURN(catalog::Catalog::WriteHandle h,
+                         cat_->BeginWrite(cs.target));
+  if (h.is_array()) {
+    catalog::ArrayObject* arr = h.array();
     const array::ArrayDesc& desc = arr->desc;
     // Map result columns onto dimensions and attributes.
     std::vector<int> dim_src(desc.ndims(), -1);
@@ -182,11 +195,11 @@ Status Executor::ApplyInsert(const CompiledStatement& cs,
           arr->attr_bats[static_cast<size_t>(attr)].get(), *pos,
           *rows.column(static_cast<size_t>(src)).data));
     }
-    return Status::OK();
+    return h.Commit();
   }
 
   // Table insert.
-  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+  catalog::TableObject* tab = h.table();
   size_t nrows = rows.NumRows();
   std::vector<int> src(tab->columns.size(), -1);
   if (!cs.insert_columns.empty()) {
@@ -231,7 +244,7 @@ Status Executor::ApplyInsert(const CompiledStatement& cs,
       }
     }
   }
-  return Status::OK();
+  return h.Commit();
 }
 
 Status Executor::ApplyUpdate(const CompiledStatement& cs,
@@ -240,8 +253,10 @@ Status Executor::ApplyUpdate(const CompiledStatement& cs,
   if (pos_col < 0) return Status::Internal("UPDATE result lacks __pos");
   const BATPtr& pos = rows.column(static_cast<size_t>(pos_col)).data;
 
-  if (cat_->IsArray(cs.target)) {
-    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+  SCIQL_ASSIGN_OR_RETURN(catalog::Catalog::WriteHandle h,
+                         cat_->BeginWrite(cs.target));
+  if (h.is_array()) {
+    catalog::ArrayObject* arr = h.array();
     for (const std::string& col : cs.set_columns) {
       int vcol = rows.ColumnIndex("__set_" + col);
       if (vcol < 0) return Status::Internal("missing UPDATE value column");
@@ -250,10 +265,10 @@ Status Executor::ApplyUpdate(const CompiledStatement& cs,
           arr->attr_bats[static_cast<size_t>(a)].get(), *pos,
           *rows.column(static_cast<size_t>(vcol)).data));
     }
-    return Status::OK();
+    return h.Commit();
   }
 
-  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
+  catalog::TableObject* tab = h.table();
   for (const std::string& col : cs.set_columns) {
     int vcol = rows.ColumnIndex("__set_" + col);
     if (vcol < 0) return Status::Internal("missing UPDATE value column");
@@ -266,7 +281,7 @@ Status Executor::ApplyUpdate(const CompiledStatement& cs,
       SCIQL_RETURN_NOT_OK(target->Set(p, vals->GetScalar(i)));
     }
   }
-  return Status::OK();
+  return h.Commit();
 }
 
 Status Executor::ApplyDelete(const CompiledStatement& cs,
@@ -275,38 +290,43 @@ Status Executor::ApplyDelete(const CompiledStatement& cs,
   if (pos_col < 0) return Status::Internal("DELETE result lacks __pos");
   const BATPtr& pos = rows.column(static_cast<size_t>(pos_col)).data;
 
-  if (cat_->IsArray(cs.target)) {
+  SCIQL_ASSIGN_OR_RETURN(catalog::Catalog::WriteHandle h,
+                         cat_->BeginWrite(cs.target));
+  if (h.is_array()) {
     // DELETE on arrays punches holes: all attributes become NULL
     // (paper Sec. 2: "The DELETE statement creates holes").
-    SCIQL_ASSIGN_OR_RETURN(auto arr, cat_->GetArray(cs.target));
+    catalog::ArrayObject* arr = h.array();
     for (size_t a = 0; a < arr->attr_bats.size(); ++a) {
       SCIQL_RETURN_NOT_OK(array::ScatterConstIntoAttr(
           arr->attr_bats[a].get(), *pos,
           ScalarValue::Null(arr->desc.attrs()[a].type)));
     }
-    return Status::OK();
+    return h.Commit();
   }
-  SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
-  return tab->DeleteRows(*pos);
+  SCIQL_RETURN_NOT_OK(h.table()->DeleteRows(*pos));
+  return h.Commit();
 }
 
 Status Executor::ApplyCreateAs(const CompiledStatement& cs,
                                const ResultSet& rows) {
   if (cs.action == CompiledStatement::Action::kCreateTableAs) {
-    std::vector<array::AttrDesc> cols;
+    // Build the table privately, then publish it in one step: snapshots
+    // never observe a half-filled object, and the fresh BATs re-intern
+    // string values into their own heaps.
+    auto t = std::make_shared<catalog::TableObject>();
     for (size_t i = 0; i < rows.NumColumns(); ++i) {
       array::AttrDesc ad;
       ad.name = rows.column(i).name;
       ad.type = rows.column(i).data->type();
       ad.default_value = ScalarValue::Null(ad.type);
-      cols.push_back(std::move(ad));
+      t->columns.push_back(std::move(ad));
+      t->bats.push_back(BAT::Make(rows.column(i).data->type()));
+      SCIQL_RETURN_NOT_OK(t->bats[i]->AppendBat(*rows.column(i).data));
     }
-    SCIQL_RETURN_NOT_OK(cat_->CreateTable(cs.target, std::move(cols)));
-    SCIQL_ASSIGN_OR_RETURN(auto tab, cat_->GetTable(cs.target));
-    for (size_t i = 0; i < rows.NumColumns(); ++i) {
-      SCIQL_RETURN_NOT_OK(tab->bats[i]->AppendBat(*rows.column(i).data));
+    if (t->columns.empty()) {
+      return Status::InvalidArgument("CREATE TABLE AS needs at least one column");
     }
-    return Status::OK();
+    return cat_->AdoptTable(cs.target, std::move(t));
   }
 
   // CREATE ARRAY AS SELECT: coerce the rows to an array; the dimension

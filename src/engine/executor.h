@@ -1,8 +1,11 @@
-// Execution of compiled statements: runs the MAL program, assembles the
-// result set, and applies DML/CREATE-AS actions to the catalog.
+// Execution of compiled statements: runs the MAL program against a pinned
+// catalog version, assembles the result set, and applies DML/CREATE-AS
+// actions through the catalog's write interface.
 
 #ifndef SCIQL_ENGINE_EXECUTOR_H_
 #define SCIQL_ENGINE_EXECUTOR_H_
+
+#include <utility>
 
 #include "src/engine/mal_gen.h"
 #include "src/engine/result_set.h"
@@ -13,7 +16,13 @@ namespace engine {
 
 class Executor {
  public:
-  explicit Executor(catalog::Catalog* cat) : cat_(cat) {}
+  /// `cat` is the write side (BeginWrite/Adopt*; may be null for read-only
+  /// statements); `version` is the pinned snapshot the MAL program reads.
+  /// The executor releases the pin after the read pipeline and before
+  /// applying writes, so a single-session write is not forced onto the
+  /// copy-on-write path by its own pin.
+  Executor(catalog::Catalog* cat, catalog::CatalogVersionPtr version)
+      : cat_(cat), version_(std::move(version)) {}
 
   /// \brief Run the statement. Queries return their rows; DML returns a
   /// single-row result with the affected row count.
@@ -30,6 +39,7 @@ class Executor {
   Status ApplyCreateAs(const CompiledStatement& cs, const ResultSet& rows);
 
   catalog::Catalog* cat_;
+  catalog::CatalogVersionPtr version_;
 };
 
 }  // namespace engine

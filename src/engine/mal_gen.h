@@ -37,10 +37,12 @@ struct CompiledStatement {
   std::vector<std::string> set_columns;     ///< UPDATE SET column names
 };
 
-/// \brief Compiles parsed statements into CompiledStatements.
+/// \brief Compiles parsed statements into CompiledStatements. Reads only a
+/// pinned, immutable catalog version: compilation never takes a lock and is
+/// never invalidated by concurrent writers publishing newer versions.
 class StatementCompiler {
  public:
-  explicit StatementCompiler(catalog::Catalog* cat) : cat_(cat) {}
+  explicit StatementCompiler(const catalog::CatalogVersion* cat) : cat_(cat) {}
 
   /// \brief Compile any non-DDL statement (SELECT, INSERT, UPDATE, DELETE,
   /// CREATE ... AS SELECT). Plain DDL is executed directly by Database.
@@ -56,7 +58,7 @@ class StatementCompiler {
   Result<CompiledStatement> CompileUpdate(const sql::Statement& stmt);
   Result<CompiledStatement> CompileDelete(const sql::Statement& stmt);
 
-  catalog::Catalog* cat_;
+  const catalog::CatalogVersion* cat_;
 };
 
 }  // namespace engine

@@ -28,7 +28,7 @@ PlannerControls& GetPlannerControls();
 /// \brief Compiles one SELECT (possibly nested) into an existing MalProgram.
 class SelectCompiler {
  public:
-  SelectCompiler(mal::MalProgram* prog, catalog::Catalog* cat)
+  SelectCompiler(mal::MalProgram* prog, const catalog::CatalogVersion* cat)
       : prog_(prog), cat_(cat) {}
 
   /// \brief Compile the full pipeline; the returned environment holds the
@@ -56,7 +56,7 @@ class SelectCompiler {
                        std::map<const sql::Expr*, int>* agg_map);
 
   mal::MalProgram* prog_;
-  catalog::Catalog* cat_;
+  const catalog::CatalogVersion* cat_;
 };
 
 }  // namespace engine

@@ -1,0 +1,276 @@
+#include "src/engine/session.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/engine/database_core.h"
+#include "src/engine/executor.h"
+#include "src/engine/mal_gen.h"
+#include "src/mal/optimizer.h"
+#include "src/sql/parser.h"
+
+namespace sciql {
+namespace engine {
+
+using gdk::ScalarValue;
+
+namespace {
+
+bool IsMutatingStatement(sql::Statement::Kind kind) {
+  switch (kind) {
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateArray:
+    case sql::Statement::Kind::kDrop:
+    case sql::Statement::Kind::kAlterArray:
+    case sql::Statement::Kind::kInsert:
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete:
+      return true;
+    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kExplain:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Session::Session(DatabaseCore* core, bool counted, bool replay)
+    : core_(core), counted_(counted), replay_(replay) {}
+
+Session::~Session() {
+  if (counted_) {
+    core_->active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Session::PinSnapshot() { pinned_ = core_->cat_.Pin(); }
+
+void Session::Unpin() { pinned_.reset(); }
+
+uint64_t Session::SnapshotVersionId() const {
+  return pinned_ != nullptr ? pinned_->id() : core_->cat_.CurrentVersionId();
+}
+
+Result<ResultSet> Session::Execute(const std::string& text) {
+  SCIQL_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                         sql::Parse(text));
+  if (stmts.empty()) {
+    return Status::InvalidArgument("no statement to execute");
+  }
+  ResultSet last;
+  for (const auto& stmt : stmts) {
+    SCIQL_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+  }
+  return last;
+}
+
+Status Session::Run(const std::string& text) {
+  SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs, Execute(text));
+  return Status::OK();
+}
+
+Result<ResultSet> Session::ExecuteStatement(const sql::Statement& stmt) {
+  if (!IsMutatingStatement(stmt.kind)) {
+    // Reads never take the writer mutex: they pin a version and go.
+    return ExecuteStatementNoLog(stmt);
+  }
+  if (pinned_ != nullptr) {
+    return Status::InvalidArgument(
+        "session holds a pinned snapshot; Unpin() before mutating");
+  }
+  // One writer at a time across all sessions of the core. The WAL replay
+  // session skips the lock: Open already holds it.
+  std::unique_lock<std::mutex> write_lock;
+  if (!replay_) {
+    write_lock = std::unique_lock<std::mutex>(core_->writer_mu_);
+  }
+  SCIQL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteStatementNoLog(stmt));
+  // The statement committed (applied to the catalog); with storage attached
+  // it becomes durable by logging its source text to the WAL. The next
+  // checkpoint folds it into the heap files and resets the log. (During
+  // replay storage_ is still null, so nothing is re-logged.)
+  if (core_->storage_ != nullptr && !stmt.source.empty()) {
+    Status logged = core_->storage_->LogStatement(stmt.source);
+    if (!logged.ok()) {
+      // The mutation is applied in memory but cannot be made durable, and a
+      // retry would double-apply it. Detach the storage so the divergence is
+      // explicit: the core keeps working in-memory, the directory stays
+      // at its last consistent state (checkpoint + logged prefix).
+      core_->DetachStorageAfterFailure();
+      return Status::IOError(StrFormat(
+          "statement applied in memory but could not be logged for "
+          "durability (%s); storage detached — the session continues "
+          "in-memory only and the database directory keeps its last "
+          "consistent state", logged.ToString().c_str()));
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> Session::ExecuteStatementNoLog(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kExplain: {
+      SCIQL_ASSIGN_OR_RETURN(std::string text, BuildExplain(*stmt.inner));
+      ResultSet rs;
+      auto col = gdk::BAT::Make(gdk::PhysType::kStr);
+      for (const std::string& line : Split(text, '\n')) {
+        if (line.empty()) continue;
+        SCIQL_RETURN_NOT_OK(col->Append(ScalarValue::Str(line)));
+      }
+      rs.AddColumn("mal", false, std::move(col));
+      return rs;
+    }
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateArray:
+      if (stmt.select == nullptr) return ExecuteDdl(stmt);
+      break;  // AS SELECT goes through the compiler
+    case sql::Statement::Kind::kDrop:
+    case sql::Statement::Kind::kAlterArray:
+      return ExecuteDdl(stmt);
+    default:
+      break;
+  }
+
+  // Pin the catalog version this statement sees (the session-held snapshot
+  // when pinned). Compile and run lock-free against it; the executor drops
+  // its copy of the pin before applying any write.
+  catalog::CatalogVersionPtr pin =
+      pinned_ != nullptr ? pinned_ : core_->cat_.Pin();
+  StatementCompiler compiler(pin.get());
+  SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
+  SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
+  Executor exec(&core_->cat_, std::move(pin));
+  return exec.Execute(cs);
+}
+
+Result<ResultSet> Session::ExecuteDdl(const sql::Statement& stmt) {
+  catalog::Catalog& cat = core_->cat_;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateTable: {
+      std::vector<array::AttrDesc> cols;
+      for (const auto& c : stmt.columns) {
+        if (c.is_dimension) {
+          return Status::InvalidArgument(
+              "DIMENSION columns belong to arrays, not tables");
+        }
+        array::AttrDesc ad;
+        ad.name = ToLower(c.name);
+        ad.type = c.type;
+        ad.default_value =
+            c.has_default ? c.default_value : ScalarValue::Null(c.type);
+        cols.push_back(std::move(ad));
+      }
+      SCIQL_RETURN_NOT_OK(cat.CreateTable(stmt.object_name, std::move(cols)));
+      return ResultSet();
+    }
+    case sql::Statement::Kind::kCreateArray: {
+      std::vector<array::DimDesc> dims;
+      std::vector<array::AttrDesc> attrs;
+      for (const auto& c : stmt.columns) {
+        if (c.is_dimension) {
+          if (c.type != gdk::PhysType::kInt &&
+              c.type != gdk::PhysType::kLng) {
+            return Status::NotSupported(
+                "only integer dimensions are supported");
+          }
+          if (!c.has_range) {
+            return Status::NotSupported(
+                "unbounded dimensions arise from coercions; CREATE ARRAY "
+                "requires fixed dimension ranges");
+          }
+          dims.push_back(array::DimDesc{ToLower(c.name), c.range, false});
+        } else {
+          array::AttrDesc ad;
+          ad.name = ToLower(c.name);
+          ad.type = c.type;
+          ad.default_value =
+              c.has_default ? c.default_value : ScalarValue::Null(c.type);
+          attrs.push_back(std::move(ad));
+        }
+      }
+      if (dims.empty()) {
+        return Status::InvalidArgument(
+            "an array needs at least one DIMENSION column");
+      }
+      SCIQL_RETURN_NOT_OK(cat.CreateArray(
+          stmt.object_name,
+          array::ArrayDesc(std::move(dims), std::move(attrs))));
+      return ResultSet();
+    }
+    case sql::Statement::Kind::kDrop: {
+      bool is_array = cat.IsArray(stmt.object_name);
+      if (cat.Exists(stmt.object_name) && is_array != stmt.drop_is_array) {
+        return Status::InvalidArgument(
+            StrFormat("%s is a%s; use DROP %s", stmt.object_name.c_str(),
+                      is_array ? "n array" : " table",
+                      is_array ? "ARRAY" : "TABLE"));
+      }
+      SCIQL_RETURN_NOT_OK(cat.DropObject(stmt.object_name));
+      return ResultSet();
+    }
+    case sql::Statement::Kind::kAlterArray: {
+      SCIQL_ASSIGN_OR_RETURN(catalog::Catalog::WriteHandle h,
+                             cat.BeginWrite(stmt.object_name));
+      if (!h.is_array()) {
+        return Status::NotFound(
+            StrFormat("no such array: %s", stmt.object_name.c_str()));
+      }
+      catalog::ArrayObject* arr = h.array();
+      int d = arr->desc.DimIndex(stmt.dim_name);
+      if (d < 0) {
+        return Status::NotFound(StrFormat("array %s has no dimension %s",
+                                          stmt.object_name.c_str(),
+                                          stmt.dim_name.c_str()));
+      }
+      SCIQL_RETURN_NOT_OK(
+          arr->AlterDimension(static_cast<size_t>(d), stmt.new_range));
+      SCIQL_RETURN_NOT_OK(h.Commit());
+      return ResultSet();
+    }
+    default:
+      return Status::Internal("not a DDL statement");
+  }
+}
+
+Result<std::string> Session::BuildExplain(const sql::Statement& stmt) {
+  catalog::CatalogVersionPtr pin =
+      pinned_ != nullptr ? pinned_ : core_->cat_.Pin();
+  StatementCompiler compiler(pin.get());
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateArray:
+      if (stmt.select == nullptr) {
+        SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs,
+                               compiler.CompileDdlDisplay(stmt));
+        // DDL display programs are exempt from optimization: their results
+        // are the materialised BATs themselves.
+        return cs.prog.ToString();
+      }
+      break;
+    case sql::Statement::Kind::kDrop:
+    case sql::Statement::Kind::kAlterArray: {
+      SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs,
+                             compiler.CompileDdlDisplay(stmt));
+      return cs.prog.ToString();
+    }
+    case sql::Statement::Kind::kExplain:
+      return Status::InvalidArgument("cannot EXPLAIN an EXPLAIN");
+    default:
+      break;
+  }
+  SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
+  SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
+  return cs.prog.ToString();
+}
+
+Result<std::string> Session::ExplainText(const std::string& text) {
+  SCIQL_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseOne(text));
+  const sql::Statement* target = stmt.get();
+  if (stmt->kind == sql::Statement::Kind::kExplain) target = stmt->inner.get();
+  return BuildExplain(*target);
+}
+
+}  // namespace engine
+}  // namespace sciql

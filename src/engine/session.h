@@ -1,0 +1,90 @@
+// Session: a per-user handle on a shared DatabaseCore.
+//
+// Reads pin an immutable catalog version at statement start (or hold one
+// across statements via PinSnapshot) and execute with zero locks; mutating
+// statements serialise on the core's writer mutex and publish a new catalog
+// version. Any number of sessions may read while one writes — see
+// docs/architecture.md, "Core, sessions and snapshots".
+
+#ifndef SCIQL_ENGINE_SESSION_H_
+#define SCIQL_ENGINE_SESSION_H_
+
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/engine/result_set.h"
+#include "src/sql/ast.h"
+
+namespace sciql {
+namespace engine {
+
+class DatabaseCore;
+
+/// \brief One user's handle: the Execute/Query/Run/ExplainText surface.
+///
+/// A session is NOT itself thread-safe — each session belongs to one thread
+/// (or is externally serialised); concurrency comes from running many
+/// sessions of the same core in parallel. Sessions must not outlive their
+/// DatabaseCore.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Execute one or more ';'-separated statements; returns the result
+  /// of the last one. DML returns a one-row `rows` count; EXPLAIN returns
+  /// the optimized MAL program text.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// \brief Alias of Execute for read-only use.
+  Result<ResultSet> Query(const std::string& sql) { return Execute(sql); }
+
+  /// \brief Execute and discard the result (DDL/DML convenience).
+  Status Run(const std::string& sql);
+
+  /// \brief The optimized MAL program for a statement, as text.
+  Result<std::string> ExplainText(const std::string& sql);
+
+  // -------------------------------------------------------------------------
+  // Explicit snapshot pinning
+  // -------------------------------------------------------------------------
+
+  /// \brief Pin the current catalog version: every read until Unpin() sees
+  /// exactly this version, bit-identically, no matter what writers publish
+  /// meanwhile. Mutating statements are refused while pinned.
+  void PinSnapshot();
+
+  /// \brief Release the pinned snapshot; reads return to pin-per-statement.
+  void Unpin();
+
+  bool IsPinned() const { return pinned_ != nullptr; }
+
+  /// \brief The pinned version id, or the current version id when unpinned.
+  uint64_t SnapshotVersionId() const;
+
+ private:
+  friend class DatabaseCore;
+
+  /// `counted` sessions appear in the core's gauges and flip the catalog
+  /// into shared (always-COW) mode when a second one is created; the WAL
+  /// replay session is uncounted and runs without the writer lock (Open
+  /// already holds it).
+  Session(DatabaseCore* core, bool counted, bool replay);
+
+  Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteStatementNoLog(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);
+  Result<std::string> BuildExplain(const sql::Statement& stmt);
+
+  DatabaseCore* core_;
+  bool counted_;
+  bool replay_;
+  catalog::CatalogVersionPtr pinned_;
+};
+
+}  // namespace engine
+}  // namespace sciql
+
+#endif  // SCIQL_ENGINE_SESSION_H_

@@ -69,11 +69,16 @@ struct PathConfig {
   bool fuse_firstn = true;      ///< engine::GetPlannerControls().fuse_firstn
   bool warm_indexes = false;    ///< replay FuzzCase::warm before the queries
   bool reopen = false;          ///< checkpoint + close + reopen before queries
+  /// Run every statement through a freshly created Session on the shared
+  /// DatabaseCore (multi-session lifecycle: pin-per-statement snapshots,
+  /// sticky COW catalog) instead of the facade's default session.
+  bool fresh_session = false;
 };
 
 /// \brief The standard path matrix: in-memory baseline at 1/2/8 threads,
 /// index paths force-dropped, indexes pre-warmed, sort+slice instead of
-/// fused firstn, and a durable checkpoint + reopen round-trip.
+/// fused firstn, a durable checkpoint + reopen round-trip, and a
+/// fresh-session-per-statement run over the shared core.
 std::vector<PathConfig> DefaultPaths();
 
 /// \brief One cross-path disagreement (or per-path property violation).

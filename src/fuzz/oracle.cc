@@ -7,6 +7,8 @@
 // (gdk::CompareKeyRows over the declared sort columns) instead of by
 // comparing sequences.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -58,7 +60,9 @@ std::string BitCell(const gdk::ScalarValue& v) {
   return StrFormat("%s:%lld", tn, (long long)v.i);
 }
 
-Outcome QueryOutcome(Database* db, const FuzzStatement& st) {
+// `Db` is engine::Database or engine::Session — anything with Query().
+template <typename Db>
+Outcome QueryOutcome(Db* db, const FuzzStatement& st) {
   Outcome out;
   auto rs = db->Query(st.sql);
   if (!rs.ok()) {
@@ -143,7 +147,10 @@ fs::path ScratchDir(const OracleOptions& opts, const std::string& path_name) {
   fs::path base = opts.scratch_dir.empty()
                       ? fs::temp_directory_path() / "sciql_fuzz"
                       : fs::path(opts.scratch_dir);
-  return base / StrFormat("run%llu_%s",
+  // The pid keeps concurrently running oracle processes (e.g. parallel
+  // ctest: the corpus and smoke suites) out of each other's directories;
+  // the counter separates paths within one process.
+  return base / StrFormat("p%ld_run%llu_%s", (long)::getpid(),
                           (unsigned long long)counter.fetch_add(1),
                           path_name.c_str());
 }
@@ -198,12 +205,22 @@ std::vector<Outcome> RunPath(const FuzzCase& fc, const PathConfig& p,
         }
       }
       setup_dirty = false;
-      outs.push_back(QueryOutcome(&db, st));
+      if (p.fresh_session) {
+        // Each statement gets its own Session on the shared core: the
+        // catalog runs in sticky shared (always-COW) mode and every query
+        // pins its own snapshot. Results must still be bit-identical to
+        // the single-session paths.
+        std::unique_ptr<engine::Session> s = db.core().CreateSession();
+        outs.push_back(QueryOutcome(s.get(), st));
+      } else {
+        outs.push_back(QueryOutcome(&db, st));
+      }
       continue;
     }
     setup_dirty = true;
     Outcome o;
-    Status st2 = db.Run(st.sql);
+    Status st2 = p.fresh_session ? db.core().CreateSession()->Run(st.sql)
+                                 : db.Run(st.sql);
     o.ok = st2.ok();
     if (!st2.ok()) o.error = st2.ToString();
     outs.push_back(std::move(o));
@@ -343,6 +360,9 @@ std::vector<PathConfig> DefaultPaths() {
       // Durable round-trip: warm (so indexes persist), checkpoint, reopen
       // from disk, then query.
       {"reopen-1t", 1, true, true, true, true},
+      // Multi-session lifecycle: every statement through a fresh Session on
+      // the shared core (sticky-COW catalog, pin-per-statement snapshots).
+      {"session-1t", 1, true, true, false, false, true},
   };
 }
 

@@ -89,9 +89,18 @@ ScalarValue BAT::GetScalar(size_t i) const {
   return ScalarValue::Null(type_);
 }
 
+OrderIndexPtr BAT::order_index() const {
+  std::lock_guard<std::mutex> lk(oidx_mu_);
+  return order_index_;
+}
+
 void BAT::SetOrderIndex(OrderIndexPtr idx) const {
   assert(idx == nullptr || idx->size() == Count());
+  std::lock_guard<std::mutex> lk(oidx_mu_);
   order_index_ = std::move(idx);
+  if (order_index_ != nullptr) {
+    oidx_present_.store(true, std::memory_order_release);
+  }
 }
 
 bool BAT::SpecEntryLive(const SpecEntry& e) const {
@@ -118,6 +127,7 @@ OrderIndexPtr BAT::FindOrderIndexSpec(const std::vector<const BAT*>& keys,
   if (keys.empty() || keys[0] != this || keys.size() != desc.size()) {
     return nullptr;
   }
+  std::lock_guard<std::mutex> lk(oidx_mu_);
   PruneSpecEntries();
   for (const SpecEntry& e : spec_indexes_) {
     if (e.desc != desc || e.extras.size() + 1 != keys.size()) continue;
@@ -150,6 +160,7 @@ void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
     entry.extras.push_back(std::move(k));
   }
   entry.idx = std::move(idx);
+  std::lock_guard<std::mutex> lk(oidx_mu_);
   // Replace an existing entry for the same spec instead of accumulating.
   for (SpecEntry& e : spec_indexes_) {
     if (e.desc != entry.desc || e.extras.size() != entry.extras.size()) {
@@ -164,6 +175,7 @@ void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
     }
     if (same) {
       e = std::move(entry);
+      oidx_present_.store(true, std::memory_order_release);
       return;
     }
   }
@@ -176,10 +188,12 @@ void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
     spec_indexes_.erase(spec_indexes_.begin());
   }
   spec_indexes_.push_back(std::move(entry));
+  oidx_present_.store(true, std::memory_order_release);
 }
 
 std::vector<OrderIndexView> BAT::LiveOrderIndexes() const {
   std::vector<OrderIndexView> out;
+  std::lock_guard<std::mutex> lk(oidx_mu_);
   if (order_index_ != nullptr) {
     out.push_back(OrderIndexView{{this}, {false}, order_index_});
   }
@@ -344,9 +358,42 @@ BATPtr BAT::CloneData() const {
   // The clone is value-identical, so built order indexes stay valid for it
   // (multi-key entries keep referencing the original secondary columns,
   // whose values the specs were built against).
+  std::lock_guard<std::mutex> lk(oidx_mu_);
   b->order_index_ = order_index_;
   PruneSpecEntries();
   b->spec_indexes_ = spec_indexes_;
+  if (b->order_index_ != nullptr || !b->spec_indexes_.empty()) {
+    b->oidx_present_.store(true, std::memory_order_release);
+  }
+  return b;
+}
+
+BATPtr BAT::CloneDataPrivate() const {
+  if (type_ != PhysType::kStr) {
+    auto b = Make(type_);
+    b->tail_ = tail_;
+    std::lock_guard<std::mutex> lk(oidx_mu_);
+    b->order_index_ = order_index_;
+    if (b->order_index_ != nullptr) {
+      b->oidx_present_.store(true, std::memory_order_release);
+    }
+    return b;
+  }
+  // Re-intern every string into the clone's fresh heap so the clone shares
+  // no mutable arena with the source (see header comment).
+  auto b = Make(PhysType::kStr);
+  const auto& src = std::get<std::vector<uint64_t>>(tail_);
+  auto& dst = std::get<std::vector<uint64_t>>(b->tail_);
+  dst.reserve(src.size());
+  for (uint64_t off : src) {
+    dst.push_back(off == kStrNilOffset ? kStrNilOffset
+                                       : b->heap_->Put(heap_->Get(off)));
+  }
+  std::lock_guard<std::mutex> lk(oidx_mu_);
+  b->order_index_ = order_index_;
+  if (b->order_index_ != nullptr) {
+    b->oidx_present_.store(true, std::memory_order_release);
+  }
   return b;
 }
 

@@ -9,8 +9,10 @@
 #ifndef SCIQL_GDK_BAT_H_
 #define SCIQL_GDK_BAT_H_
 
+#include <atomic>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -42,6 +44,17 @@ struct OrderIndexView {
 };
 
 /// \brief A single typed column with an implicit dense void head.
+///
+/// Concurrency / immutability contract (docs/architecture.md): the engine
+/// serialises all mutation — a BAT reachable from a published catalog
+/// version is only ever written by the single writer thread, and only while
+/// no snapshot can observe it (the catalog either clones the object first
+/// or excludes readers for the statement). Between mutations the value is
+/// immutable, so any number of threads may read one BAT concurrently. The
+/// only state mutated on the *read* path is the order-index cache
+/// (`SetOrderIndex`/`CacheOrderIndexSpec` are const), which is therefore
+/// guarded by its own mutex; everything else relies on the writer-exclusion
+/// protocol, asserted by `data_version()` staying constant under readers.
 class BAT {
  public:
   /// \brief Create an empty BAT with tail type `t`.
@@ -122,6 +135,14 @@ class BAT {
   /// \brief Deep copy of the tail (string heap is shared).
   BATPtr CloneData() const;
 
+  /// \brief Deep copy that shares NO mutable state with the source: string
+  /// values re-intern into a fresh private heap (StrHeap::Put reallocates
+  /// its arena, so a clone that will be mutated must not share one with a
+  /// published column). Carries the single-key order index (the clone is
+  /// value-identical) but not multi-key spec entries, whose secondary
+  /// columns belong to the source object. Used for catalog copy-on-write.
+  BATPtr CloneDataPrivate() const;
+
   /// \brief Rows [lo, hi) as a new BAT.
   BATPtr Slice(size_t lo, size_t hi) const;
 
@@ -150,7 +171,9 @@ class BAT {
   /// the tail's value (the same hooks that drop the cached order index).
   /// Storage-layer dirty tracking compares this against the version it last
   /// persisted; building an order index does NOT bump it (no value change).
-  uint64_t data_version() const { return data_version_; }
+  uint64_t data_version() const {
+    return data_version_.load(std::memory_order_relaxed);
+  }
 
   /// \brief The cached stable ascending (nil-first) order index, or null if
   /// none has been built. Built lazily by gdk::EnsureOrderIndex and reused by
@@ -160,9 +183,9 @@ class BAT {
   /// AppendBat, Resize). Kernels that fill a fresh BAT through the raw tail
   /// vectors never see a stale index because a fresh BAT has none. CloneData
   /// carries the index over (the clone is value-identical); Slice drops it.
-  /// Not thread-safe against concurrent mutation — the engine executes MAL
-  /// programs on one thread and only kernels parallelize internally.
-  const OrderIndexPtr& order_index() const { return order_index_; }
+  /// Returned by value under the cache mutex: concurrent reader sessions may
+  /// build/cache indexes on the same shared column at the same time.
+  OrderIndexPtr order_index() const;
 
   /// \brief Install `idx` (size must equal Count()) as the cached order
   /// index. `const` on purpose: building an index does not change the value
@@ -200,11 +223,18 @@ class BAT {
 
   /// \brief Drop the cached order indexes (any mutation invalidates them).
   /// Doubles as the storage dirty hook: the data version advances with every
-  /// call.
+  /// call. The writer-exclusion protocol allows one *logical* writer, but a
+  /// morsel-parallel kernel is many worker threads taking mutable accessors
+  /// on disjoint ranges of the same BAT — so the version counter is atomic
+  /// and the fast path reads an atomic presence flag, not the cache itself.
   void InvalidateOrderIndex() {
-    order_index_.reset();
-    spec_indexes_.clear();
-    ++data_version_;
+    data_version_.fetch_add(1, std::memory_order_relaxed);
+    if (oidx_present_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(oidx_mu_);
+      order_index_.reset();
+      spec_indexes_.clear();
+      oidx_present_.store(false, std::memory_order_release);
+    }
   }
 
   /// \brief Debug rendering: "[ 0, 1, nil, ... ]".
@@ -227,16 +257,22 @@ class BAT {
   };
 
   bool SpecEntryLive(const SpecEntry& e) const;
-  void PruneSpecEntries() const;
+  void PruneSpecEntries() const;  // caller holds oidx_mu_
 
   PhysType type_;
   std::variant<std::vector<uint8_t>, std::vector<int32_t>, std::vector<int64_t>,
                std::vector<double>, std::vector<uint64_t>>
       tail_;
   std::shared_ptr<StrHeap> heap_;  // only for kStr
+  // The order-index cache is the one piece of BAT state mutated from const
+  // (read-path) methods, so concurrent readers guard it with its own mutex.
+  mutable std::mutex oidx_mu_;
   mutable OrderIndexPtr order_index_;  // lazy, dropped on mutation
   mutable std::vector<SpecEntry> spec_indexes_;  // keyed multi-key cache
-  uint64_t data_version_ = 0;          // bumped by every mutation hook
+  // True whenever order_index_ or spec_indexes_ is non-empty; lets the
+  // invalidation fast path skip the mutex without reading either.
+  mutable std::atomic<bool> oidx_present_{false};
+  std::atomic<uint64_t> data_version_{0};  // bumped by every mutation hook
 };
 
 /// \brief Materialize `count` dense oids starting at `seq` into `out`.

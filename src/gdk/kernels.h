@@ -7,6 +7,7 @@
 #ifndef SCIQL_GDK_KERNELS_H_
 #define SCIQL_GDK_KERNELS_H_
 
+#include <atomic>
 #include <vector>
 
 #include "src/common/result.h"
@@ -230,32 +231,61 @@ bool ValidateOrderIndexSpec(const std::vector<const BAT*>& keys,
 // ---------------------------------------------------------------------------
 
 /// \brief Counters recording which physical strategy the index-aware kernels
-/// chose. The engine drives kernels from one thread (only kernel internals
-/// parallelize), so plain counters suffice. Tests reset and inspect these to
-/// pin decision rules ("this plan must not build a hash table") that are
-/// invisible in the result values.
+/// chose. Atomic: concurrent reader sessions all bump the same process-wide
+/// instance. Copyable (relaxed snapshot) so the fuzzer can capture per-path
+/// snapshots into plain maps. Tests reset and inspect these to pin decision
+/// rules ("this plan must not build a hash table") that are invisible in the
+/// result values.
 struct KernelTelemetry {
-  uint64_t joins_hash = 0;           ///< hash build + probe joins
-  uint64_t joins_indexed_probe = 0;  ///< one-sided index binary-search joins
-  uint64_t joins_merge = 0;          ///< both-sides-indexed merge joins
-  uint64_t joins_merge_str = 0;      ///< ... of which string-keyed
-  uint64_t joins_merge_multi = 0;    ///< ... of which multi-key
-  uint64_t firstn_index_window = 0;  ///< FirstN served as an index head copy
-  uint64_t firstn_heap = 0;          ///< FirstN via per-morsel bounded heaps
-  uint64_t firstn_sort_fallback = 0; ///< FirstN ran the full sort (k >= n/2)
-  uint64_t minmax_index = 0;         ///< ungrouped MIN/MAX from index endpoints
+  std::atomic<uint64_t> joins_hash{0};  ///< hash build + probe joins
+  std::atomic<uint64_t> joins_indexed_probe{0};  ///< one-sided index joins
+  std::atomic<uint64_t> joins_merge{0};  ///< both-sides-indexed merge joins
+  std::atomic<uint64_t> joins_merge_str{0};    ///< ... of which string-keyed
+  std::atomic<uint64_t> joins_merge_multi{0};  ///< ... of which multi-key
+  std::atomic<uint64_t> firstn_index_window{0};  ///< index head copy
+  std::atomic<uint64_t> firstn_heap{0};  ///< FirstN via per-morsel heaps
+  std::atomic<uint64_t> firstn_sort_fallback{0};  ///< full sort (k >= n/2)
+  std::atomic<uint64_t> minmax_index{0};  ///< MIN/MAX from index endpoints
   // Per-spec cache counters: every build/load/reuse also counts in the
   // *_multi variant when the spec has more than one key column.
-  uint64_t order_index_built = 0;    ///< persistent order indexes sorted anew
-  uint64_t order_index_built_multi = 0;
-  uint64_t order_index_loaded = 0;   ///< persisted indexes adopted from disk
-  uint64_t order_index_loaded_multi = 0;
-  uint64_t order_index_reused = 0;   ///< exact-spec cache hits (no work)
-  uint64_t order_index_reused_multi = 0;
-  uint64_t order_index_reversed = 0; ///< negated specs served by run reversal
-  uint64_t order_index_reversed_multi = 0;
+  std::atomic<uint64_t> order_index_built{0};  ///< indexes sorted anew
+  std::atomic<uint64_t> order_index_built_multi{0};
+  std::atomic<uint64_t> order_index_loaded{0};  ///< adopted from disk
+  std::atomic<uint64_t> order_index_loaded_multi{0};
+  std::atomic<uint64_t> order_index_reused{0};  ///< exact-spec cache hits
+  std::atomic<uint64_t> order_index_reused_multi{0};
+  std::atomic<uint64_t> order_index_reversed{0};  ///< run-reversal serves
+  std::atomic<uint64_t> order_index_reversed_multi{0};
+
+  KernelTelemetry() = default;
+  KernelTelemetry(const KernelTelemetry& o) { CopyFrom(o); }
+  KernelTelemetry& operator=(const KernelTelemetry& o) {
+    CopyFrom(o);
+    return *this;
+  }
 
   void Reset() { *this = KernelTelemetry{}; }
+
+ private:
+  void CopyFrom(const KernelTelemetry& o) {
+    joins_hash = o.joins_hash.load();
+    joins_indexed_probe = o.joins_indexed_probe.load();
+    joins_merge = o.joins_merge.load();
+    joins_merge_str = o.joins_merge_str.load();
+    joins_merge_multi = o.joins_merge_multi.load();
+    firstn_index_window = o.firstn_index_window.load();
+    firstn_heap = o.firstn_heap.load();
+    firstn_sort_fallback = o.firstn_sort_fallback.load();
+    minmax_index = o.minmax_index.load();
+    order_index_built = o.order_index_built.load();
+    order_index_built_multi = o.order_index_built_multi.load();
+    order_index_loaded = o.order_index_loaded.load();
+    order_index_loaded_multi = o.order_index_loaded_multi.load();
+    order_index_reused = o.order_index_reused.load();
+    order_index_reused_multi = o.order_index_reused_multi.load();
+    order_index_reversed = o.order_index_reversed.load();
+    order_index_reversed_multi = o.order_index_reversed_multi.load();
+  }
 };
 
 /// \brief The process-wide telemetry counters.

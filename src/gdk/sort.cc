@@ -303,8 +303,9 @@ OrderIndexPtr LookupCachedSpec(const std::vector<const BAT*>& keys,
   return keys[0]->FindOrderIndexSpec(keys, canon);
 }
 
-void CountSpecEvent(uint64_t KernelTelemetry::*total,
-                    uint64_t KernelTelemetry::*multi, size_t nkeys) {
+void CountSpecEvent(std::atomic<uint64_t> KernelTelemetry::*total,
+                    std::atomic<uint64_t> KernelTelemetry::*multi,
+                    size_t nkeys) {
   Telemetry().*total += 1;
   if (nkeys > 1) Telemetry().*multi += 1;
 }

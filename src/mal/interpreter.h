@@ -19,11 +19,13 @@
 namespace sciql {
 namespace mal {
 
-/// \brief Execution state of one MAL program run.
+/// \brief Execution state of one MAL program run. Binds a pinned, immutable
+/// catalog version (or null for catalog-free programs): runtime binding ops
+/// resolve against the same snapshot the program was compiled from.
 struct MalContext {
-  explicit MalContext(catalog::Catalog* cat) : catalog(cat) {}
+  explicit MalContext(const catalog::CatalogVersion* cat) : catalog(cat) {}
 
-  catalog::Catalog* catalog;
+  const catalog::CatalogVersion* catalog;
   std::vector<MalValue> regs;
 
   MalValue& Reg(int r) { return regs[static_cast<size_t>(r)]; }

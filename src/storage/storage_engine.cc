@@ -125,6 +125,7 @@ void StorageEngine::LoadAllForDetach() {
 }
 
 Status StorageEngine::LogStatement(const std::string& sql) {
+  std::lock_guard<std::mutex> lk(wal_mu_);
   if (wal_ == nullptr) return Status::Internal("storage engine has no WAL");
   return wal_->Append(sql);
 }
@@ -166,7 +167,10 @@ Status StorageEngine::LoadTable(const std::string& name,
   // Persisted order indexes may reference sibling columns (multi-key
   // specs), so adoption waits until every column of the object exists.
   AdoptColumnIndexes(siblings, &state);
-  state_[name] = std::move(state);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    state_[name] = std::move(state);
+  }
   stats_.objects_loaded++;
   return Status::OK();
 }
@@ -200,7 +204,10 @@ Status StorageEngine::LoadArray(const std::string& name,
   }
   AdoptColumnIndexes(siblings, &state);
   arr->attr_bats = std::move(attrs);
-  state_[name] = std::move(state);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    state_[name] = std::move(state);
+  }
   stats_.objects_loaded++;
   return Status::OK();
 }
@@ -487,6 +494,12 @@ Status StorageEngine::RefreshColumnIndexes(const std::string& object,
 
 Status StorageEngine::Checkpoint(bool force_full) {
   if (cat_ == nullptr) return Status::Internal("storage engine is detached");
+  // Hold the state map for the whole checkpoint: concurrent lazy loads block
+  // at their final insertion until the manifest is committed. (The GetTable/
+  // GetArray calls below only touch objects already loaded — IsUnloaded was
+  // just checked and objects never transition back — so they cannot re-enter
+  // the loader and self-deadlock on state_mu_.)
+  std::lock_guard<std::mutex> state_lock(state_mu_);
   stats_.checkpoint_columns_written = 0;
   stats_.checkpoint_columns_clean = 0;
   stats_.checkpoint_index_files_written = 0;

@@ -14,8 +14,10 @@
 #ifndef SCIQL_STORAGE_STORAGE_ENGINE_H_
 #define SCIQL_STORAGE_STORAGE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,16 +82,19 @@ class StorageEngine {
   Env* env() const { return env_; }
   DurabilityLevel durability() const { return durability_; }
 
+  /// Counters are atomic because lazy loads run on whichever reader session
+  /// first touches an object, concurrently with other readers and with a
+  /// checkpointing writer.
   struct Stats {
-    uint64_t objects_loaded = 0;        ///< lazy loads performed
-    uint64_t order_indexes_loaded = 0;  ///< persisted indexes adopted
-    uint64_t order_indexes_rejected = 0;///< persisted indexes failing revalidation
-    uint64_t wal_replayed = 0;          ///< WAL records replayed at open
-    uint64_t wal_discarded_bytes = 0;   ///< torn tail bytes truncated at open
-    uint64_t checkpoint_columns_written = 0;  ///< columns written, last checkpoint
-    uint64_t checkpoint_columns_clean = 0;    ///< columns skipped, last checkpoint
-    uint64_t checkpoint_index_files_written = 0;  ///< oidx containers written, last checkpoint
-    uint64_t checkpoints = 0;
+    std::atomic<uint64_t> objects_loaded{0};        ///< lazy loads performed
+    std::atomic<uint64_t> order_indexes_loaded{0};  ///< persisted indexes adopted
+    std::atomic<uint64_t> order_indexes_rejected{0};///< persisted indexes failing revalidation
+    std::atomic<uint64_t> wal_replayed{0};          ///< WAL records replayed at open
+    std::atomic<uint64_t> wal_discarded_bytes{0};   ///< torn tail bytes truncated at open
+    std::atomic<uint64_t> checkpoint_columns_written{0};  ///< columns written, last checkpoint
+    std::atomic<uint64_t> checkpoint_columns_clean{0};    ///< columns skipped, last checkpoint
+    std::atomic<uint64_t> checkpoint_index_files_written{0};  ///< oidx containers written, last checkpoint
+    std::atomic<uint64_t> checkpoints{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -181,7 +186,17 @@ class StorageEngine {
   DurabilityLevel durability_ = DurabilityLevel::kFsync;
   catalog::Catalog* cat_ = nullptr;
   Manifest manifest_;
+  /// Guards state_: lazy loads insert from whichever reader thread first
+  /// touches an object, while Checkpoint (writer-side) iterates and mutates
+  /// the whole map — it holds this mutex for its entire run. Loaders only
+  /// take it for the final insertion, never while holding a BAT index lock,
+  /// so the ordering state_mu_ → oidx_mu_ is acyclic.
+  mutable std::mutex state_mu_;
   std::map<std::string, ObjectState> state_;  // loaded objects only
+  /// The WAL is single-writer by protocol (DatabaseCore's writer mutex);
+  /// this mutex makes the append path locally safe regardless, so a misuse
+  /// corrupts no log records.
+  std::mutex wal_mu_;
   std::unique_ptr<Wal> wal_;
   uint64_t epoch_ = 1;
   Stats stats_;

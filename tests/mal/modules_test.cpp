@@ -158,7 +158,8 @@ TEST(MalModulesTest, SqlBindAgainstCatalog) {
                      "v");
   int n = prog.EmitR("sql", "count",
                      {prog.Const(ScalarValue::Str("a"))}, "n");
-  MalContext ctx(&cat);
+  catalog::CatalogVersionPtr snap = cat.Pin();
+  MalContext ctx(snap.get());
   ASSERT_TRUE(MalEngine::Global().Run(prog, &ctx).ok());
   EXPECT_EQ(ctx.Reg(x).bat->ints(), (std::vector<int32_t>{0, 1, 2}));
   EXPECT_EQ(ctx.Reg(v).bat->ints(), (std::vector<int32_t>{7, 7, 7}));
@@ -170,7 +171,7 @@ TEST(MalModulesTest, SqlBindAgainstCatalog) {
             {bad.Const(ScalarValue::Str("a")),
              bad.Const(ScalarValue::Str("nope"))},
             "z");
-  MalContext ctx2(&cat);
+  MalContext ctx2(snap.get());
   EXPECT_FALSE(MalEngine::Global().Run(bad, &ctx2).ok());
 }
 
