@@ -5,17 +5,78 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
 #include <thread>
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
+#include "src/obs/metrics.h"
 
 using sciql::Rng;
 using sciql::ThreadPool;
 using namespace sciql::gdk;
 
 namespace {
+
+// Attributes kernel work to each benchmark: a TelemetryProbe pins the
+// kernel-telemetry delta across the timed loop (so the report says which
+// physical path each op actually took — e.g. order_index_built vs
+// order_index_reused) and a fixed log2 histogram records per-iteration
+// latency. Both land in the JSON report as counters ("telemetry.<field>"
+// per iteration, "lat_us.le_<bound>" cumulative, "lat_us.count"/".sum")
+// that merge_parallel_bench.py folds into BENCH_parallel.json.
+class KernelObserver {
+ public:
+  void BeginIter() { iter_start_ = std::chrono::steady_clock::now(); }
+  void EndIter() {
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - iter_start_)
+                  .count();
+    hist_.Observe(static_cast<uint64_t>(us));
+  }
+  void Flush(benchmark::State& state) {
+    const TelemetrySnapshot delta = probe_.delta();
+    for (const TelemetryField& f : TelemetryFields()) {
+      uint64_t v = delta.*(f.snap);
+      if (v == 0) continue;
+      state.counters[std::string("telemetry.") + f.name] = benchmark::Counter(
+          static_cast<double>(v), benchmark::Counter::kAvgIterations);
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < sciql::obs::Histogram::kFiniteBuckets; ++i) {
+      if (hist_.bucket(i) == 0) {
+        cumulative += hist_.bucket(i);
+        continue;
+      }
+      cumulative += hist_.bucket(i);
+      state.counters["lat_us.le_" + std::to_string(
+                         sciql::obs::Histogram::BucketBound(i))] =
+          static_cast<double>(cumulative);
+    }
+    if (hist_.bucket(sciql::obs::Histogram::kFiniteBuckets) != 0) {
+      state.counters["lat_us.le_inf"] = static_cast<double>(hist_.count());
+    }
+    state.counters["lat_us.count"] = static_cast<double>(hist_.count());
+    state.counters["lat_us.sum"] = static_cast<double>(hist_.sum());
+  }
+
+ private:
+  TelemetryProbe probe_;
+  sciql::obs::Histogram hist_;
+  std::chrono::steady_clock::time_point iter_start_;
+};
+
+/// One iteration of the timed loop, latency-observed end to end.
+class IterTimer {
+ public:
+  explicit IterTimer(KernelObserver* o) : o_(o) { o_->BeginIter(); }
+  ~IterTimer() { o_->EndIter(); }
+
+ private:
+  KernelObserver* o_;
+};
 
 void ThreadArgs(benchmark::internal::Benchmark* b) {
   b->Arg(1)->Arg(2)->Arg(4);
@@ -45,8 +106,10 @@ BATPtr SweepDblColumn(uint64_t seed) {
 
 void BM_SortIntSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto b = SweepIntColumn(1, 1u << 30);
   for (auto _ : state) {
+    IterTimer it(&kobs);
     b->InvalidateOrderIndex();  // time the build, not the cache hit
     auto r = OrderIndex({b.get()}, {false});
     if (!r.ok()) {
@@ -56,6 +119,7 @@ void BM_SortIntSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_SortIntSweep_Threads)->Apply(ThreadArgs)
@@ -63,8 +127,10 @@ BENCHMARK(BM_SortIntSweep_Threads)->Apply(ThreadArgs)
 
 void BM_SortDblDescSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto b = SweepDblColumn(2);
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto r = OrderIndex({b.get()}, {true});
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -73,6 +139,7 @@ void BM_SortDblDescSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_SortDblDescSweep_Threads)->Apply(ThreadArgs)
@@ -80,9 +147,11 @@ BENCHMARK(BM_SortDblDescSweep_Threads)->Apply(ThreadArgs)
 
 void BM_SortMultiKeySweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto k1 = SweepIntColumn(3, 1000);  // duplicate-heavy primary key
   auto k2 = SweepDblColumn(4);
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto r = OrderIndex({k1.get(), k2.get()}, {false, true});
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -91,6 +160,7 @@ void BM_SortMultiKeySweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_SortMultiKeySweep_Threads)->Apply(ThreadArgs)
@@ -98,8 +168,10 @@ BENCHMARK(BM_SortMultiKeySweep_Threads)->Apply(ThreadArgs)
 
 void BM_SortMaterializeSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto b = SweepIntColumn(5, 1u << 30);
   for (auto _ : state) {
+    IterTimer it(&kobs);
     b->InvalidateOrderIndex();
     auto r = SortBat(*b, /*desc=*/false);
     if (!r.ok()) {
@@ -109,6 +181,7 @@ void BM_SortMaterializeSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_SortMaterializeSweep_Threads)->Apply(ThreadArgs)
@@ -122,11 +195,13 @@ constexpr size_t kTopK = 100;
 
 void BM_FirstN100of1M_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   Rng rng(7);
   auto b = BAT::Make(PhysType::kInt);
   b->ints().resize(kTopKRows);
   for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(1u << 30));
   for (auto _ : state) {
+    IterTimer it(&kobs);
     b->InvalidateOrderIndex();  // time the heap path, not the index window
     auto r = FirstN({b.get()}, {false}, kTopK);
     if (!r.ok()) {
@@ -136,6 +211,7 @@ void BM_FirstN100of1M_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kTopKRows);
 }
 BENCHMARK(BM_FirstN100of1M_Threads)->Apply(ThreadArgs)
@@ -143,11 +219,13 @@ BENCHMARK(BM_FirstN100of1M_Threads)->Apply(ThreadArgs)
 
 void BM_SortSlice100of1M_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   Rng rng(7);  // identical rows to the FirstN sweep
   auto b = BAT::Make(PhysType::kInt);
   b->ints().resize(kTopKRows);
   for (auto& v : b->ints()) v = static_cast<int32_t>(rng.Below(1u << 30));
   for (auto _ : state) {
+    IterTimer it(&kobs);
     b->InvalidateOrderIndex();
     auto r = OrderIndex({b.get()}, {false});
     if (!r.ok()) {
@@ -157,6 +235,7 @@ void BM_SortSlice100of1M_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Slice(0, kTopK)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kTopKRows);
 }
 BENCHMARK(BM_SortSlice100of1M_Threads)->Apply(ThreadArgs)
@@ -167,12 +246,14 @@ BENCHMARK(BM_SortSlice100of1M_Threads)->Apply(ThreadArgs)
 // outside the timed loop.
 void BM_DescFromAscIndexSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto b = SweepIntColumn(8, 1000);  // duplicate-heavy: long tie runs
   if (!EnsureOrderIndex(*b).ok()) {
     state.SkipWithError("index build failed");
     return;
   }
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto r = OrderIndex({b.get()}, {true});  // reversal, never a sort
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -181,6 +262,7 @@ void BM_DescFromAscIndexSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_DescFromAscIndexSweep_Threads)->Apply(ThreadArgs)
@@ -191,6 +273,7 @@ BENCHMARK(BM_DescFromAscIndexSweep_Threads)->Apply(ThreadArgs)
 // BM_SortMultiKeySweep, the cache-free build of the same spec).
 void BM_MultiKeySpecReuseSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto k1 = SweepIntColumn(9, 1000);
   auto k2 = SweepDblColumn(10);
   const std::vector<BATPtr> keys = {k1, k2};
@@ -199,6 +282,7 @@ void BM_MultiKeySpecReuseSweep_Threads(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto r = EnsureOrderIndexSpec(keys, {false, true});
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -207,6 +291,7 @@ void BM_MultiKeySpecReuseSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize((*r)->size());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_MultiKeySpecReuseSweep_Threads)->Apply(ThreadArgs)
@@ -230,9 +315,11 @@ BATPtr SweepStrColumn(uint64_t seed) {
 
 void BM_HashJoinStrSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto l = SweepStrColumn(11);
   auto r = SweepStrColumn(12);
   for (auto _ : state) {
+    IterTimer it(&kobs);
     l->InvalidateOrderIndex();  // keep the hash path
     r->InvalidateOrderIndex();
     auto jr = HashJoin(*l, *r);
@@ -243,6 +330,7 @@ void BM_HashJoinStrSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize(jr->left->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kStrJoinRows);
 }
 BENCHMARK(BM_HashJoinStrSweep_Threads)->Apply(ThreadArgs)
@@ -250,6 +338,7 @@ BENCHMARK(BM_HashJoinStrSweep_Threads)->Apply(ThreadArgs)
 
 void BM_MergeJoinStrSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto l = SweepStrColumn(11);  // identical rows to the hash sweep
   auto r = SweepStrColumn(12);
   if (!EnsureOrderIndex(*l).ok() || !EnsureOrderIndex(*r).ok()) {
@@ -257,6 +346,7 @@ void BM_MergeJoinStrSweep_Threads(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto jr = HashJoin(*l, *r);  // both indexed: string merge path
     if (!jr.ok()) {
       state.SkipWithError(jr.status().ToString().c_str());
@@ -265,6 +355,7 @@ void BM_MergeJoinStrSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize(jr->left->Count());
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kStrJoinRows);
 }
 BENCHMARK(BM_MergeJoinStrSweep_Threads)->Apply(ThreadArgs)
@@ -272,8 +363,10 @@ BENCHMARK(BM_MergeJoinStrSweep_Threads)->Apply(ThreadArgs)
 
 void BM_GroupBuildSweep_Threads(benchmark::State& state) {
   ThreadPool::Get().SetThreadCount(static_cast<int>(state.range(0)));
+  KernelObserver kobs;
   auto b = SweepIntColumn(6, 4096);  // partitioned build, modest dictionary
   for (auto _ : state) {
+    IterTimer it(&kobs);
     auto r = Group(*b, nullptr, 0);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -282,6 +375,7 @@ void BM_GroupBuildSweep_Threads(benchmark::State& state) {
     benchmark::DoNotOptimize(r->ngroups);
   }
   ThreadPool::Get().SetThreadCount(1);
+  kobs.Flush(state);
   state.SetItemsProcessed(state.iterations() * kSweepRows);
 }
 BENCHMARK(BM_GroupBuildSweep_Threads)->Apply(ThreadArgs)

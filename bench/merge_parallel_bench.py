@@ -31,13 +31,33 @@ def main():
                 threads = int(threads)
             except ValueError:
                 continue
-            results.append({
+            record = {
                 "op": op,
                 "threads": threads,
                 "real_time_ns": b.get("real_time"),
                 "cpu_time_ns": b.get("cpu_time"),
                 "items_per_second": b.get("items_per_second"),
-            })
+            }
+            # Benchmarks instrumented with a KernelObserver (bench_sort)
+            # emit extra counters: per-iteration kernel-telemetry deltas
+            # ("telemetry.<field>" — which physical path the op took) and a
+            # cumulative log2 latency histogram ("lat_us.le_<bound>", plus
+            # count/sum). Fold them into structured sub-objects.
+            telemetry = {
+                key[len("telemetry."):]: value
+                for key, value in b.items()
+                if key.startswith("telemetry.")
+            }
+            if telemetry:
+                record["telemetry"] = dict(sorted(telemetry.items()))
+            latency = {
+                key[len("lat_us."):]: value
+                for key, value in b.items()
+                if key.startswith("lat_us.")
+            }
+            if latency:
+                record["latency_hist_us"] = dict(sorted(latency.items()))
+            results.append(record)
 
     speedups = {}
     by_op = {}
@@ -57,7 +77,9 @@ def main():
         "description": "Thread-count sweep over the morsel-parallel GDK "
                        "kernels and tiling engines (1/2/4/N threads; "
                        "speedup is real time at 1 thread divided by real "
-                       "time at N threads)",
+                       "time at N threads). Instrumented ops also carry "
+                       "per-iteration kernel-telemetry deltas (the chosen "
+                       "physical path) and a log2 latency histogram.",
         "host": {
             "num_cpus": context.get("num_cpus"),
             "date": context.get("date"),

@@ -2,12 +2,14 @@
 // Reads ';'-terminated statements from stdin, prints results or errors.
 // EXPLAIN <stmt> shows the optimized MAL program.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "src/engine/database.h"
+#include "src/obs/metrics.h"
 
 int main() {
   sciql::engine::Database db;
@@ -21,10 +23,14 @@ int main() {
       ".open DIR [none|flush|fsync] attaches a durable database directory\n"
       "(the optional level decides how hard each statement's WAL record is\n"
       "pushed toward disk; default fsync), .checkpoint flushes dirty\n"
-      "objects, .close checkpoints and detaches, .iostats prints the\n"
-      "storage I/O counters. Ctrl-D to quit.\n",
+      "objects, .close checkpoints and detaches, .metrics (alias .iostats)\n"
+      "prints every engine metric in Prometheus exposition format,\n"
+      ".timer on|off prints per-statement latency.\n"
+      "EXPLAIN ANALYZE <stmt> shows the executed plan with actual rows,\n"
+      "timings and chosen physical paths. Ctrl-D to quit.\n",
       sciql::engine::Database::ExecutionThreads());
 
+  bool timer = false;
   std::string buffer;
   std::string line;
   while (true) {
@@ -70,23 +76,24 @@ int main() {
       }
       continue;
     }
-    if (buffer.empty() && line.rfind(".iostats", 0) == 0) {
-      const auto& io = sciql::engine::Database::IoTelemetry();
-      std::printf(
-          "wal appends: %llu (fsyncs: %llu)\n"
-          "atomic file writes: %llu, file fsyncs: %llu\n"
-          "dir fsyncs: %llu (failed, best-effort: %llu)\n",
-          static_cast<unsigned long long>(io.wal_appends.load()),
-          static_cast<unsigned long long>(io.wal_fsyncs.load()),
-          static_cast<unsigned long long>(io.atomic_writes.load()),
-          static_cast<unsigned long long>(io.file_fsyncs.load()),
-          static_cast<unsigned long long>(io.dir_fsyncs.load()),
-          static_cast<unsigned long long>(io.dir_fsync_failed.load()));
-      std::printf(
-          "sessions: %d active (%llu created), catalog version: %llu\n",
-          db.core().ActiveSessions(),
-          static_cast<unsigned long long>(db.core().SessionsCreated()),
-          static_cast<unsigned long long>(db.core().CatalogVersionId()));
+    if (buffer.empty() && (line.rfind(".metrics", 0) == 0 ||
+                           line.rfind(".iostats", 0) == 0)) {
+      // The full unified registry: kernel telemetry, storage I/O counters,
+      // per-core gauges, statement histograms — the same text a metrics
+      // endpoint would serve. .iostats is a legacy alias.
+      std::printf("%s", sciql::obs::RenderPrometheus().c_str());
+      continue;
+    }
+    if (buffer.empty() && line.rfind(".timer", 0) == 0) {
+      std::string arg = line.substr(6);
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      if (arg == "on") timer = true;
+      else if (arg == "off") timer = false;
+      else if (!arg.empty()) {
+        std::printf("usage: .timer on|off\n");
+        continue;
+      }
+      std::printf("timer: %s\n", timer ? "on" : "off");
       continue;
     }
     if (buffer.empty() && line.rfind(".checkpoint", 0) == 0) {
@@ -116,10 +123,16 @@ int main() {
     buffer += '\n';
     if (buffer.find(';') == std::string::npos) continue;
 
+    auto started = std::chrono::steady_clock::now();
     auto rs = db.Execute(buffer);
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
     buffer.clear();
     if (!rs.ok()) {
       std::printf("!! %s\n", rs.status().ToString().c_str());
+      if (timer) std::printf("Time: %.3f ms\n", elapsed_ms);
       continue;
     }
     if (rs->NumColumns() > 0) {
@@ -131,6 +144,7 @@ int main() {
     } else {
       std::printf("ok\n");
     }
+    if (timer) std::printf("Time: %.3f ms\n", elapsed_ms);
   }
   std::printf("\n");
   return 0;

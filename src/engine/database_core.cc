@@ -3,9 +3,82 @@
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace sciql {
 namespace engine {
+
+namespace {
+
+uint64_t NextCoreId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+DatabaseCore::DatabaseCore() : core_id_(NextCoreId()) {
+  std::string label = StrFormat("core=\"%llu\"",
+                                static_cast<unsigned long long>(core_id_));
+  obs::Metrics().RegisterGauge(
+      "sciql.core.active_sessions", "counted sessions currently alive",
+      [this]() { return static_cast<uint64_t>(ActiveSessions()); }, label);
+  obs::Metrics().RegisterGauge(
+      "sciql.core.sessions_created", "counted sessions ever created",
+      [this]() { return SessionsCreated(); }, label);
+  obs::Metrics().RegisterGauge(
+      "sciql.core.catalog_version",
+      "current catalog version id (advances with every commit)",
+      [this]() { return CatalogVersionId(); }, label);
+}
+
+DatabaseCore::~DatabaseCore() {
+  // Drop the gauges before any member dies: Unregister blocks until a
+  // concurrent scrape finishes, after which no closure can run again.
+  std::string label = StrFormat("core=\"%llu\"",
+                                static_cast<unsigned long long>(core_id_));
+  obs::Metrics().Unregister("sciql.core.active_sessions", label);
+  obs::Metrics().Unregister("sciql.core.sessions_created", label);
+  obs::Metrics().Unregister("sciql.core.catalog_version", label);
+  DisableSlowQueryLog();
+}
+
+Status DatabaseCore::EnableSlowQueryLog(const SlowQueryLogOptions& options) {
+  storage::Env* env =
+      options.env != nullptr ? options.env : storage::Env::Default();
+  auto file =
+      env->NewWritableFile(options.path, storage::Env::WriteMode::kAppend);
+  SCIQL_RETURN_NOT_OK(file.status());
+  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  slowlog_file_ = std::move(*file);
+  slowlog_threshold_.store(static_cast<int64_t>(options.threshold_micros),
+                           std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DatabaseCore::DisableSlowQueryLog() {
+  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  slowlog_threshold_.store(-1, std::memory_order_relaxed);
+  if (slowlog_file_ != nullptr) {
+    (void)slowlog_file_->Close();
+    slowlog_file_.reset();
+  }
+}
+
+void DatabaseCore::AppendSlowQueryLine(const std::string& line) {
+  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  if (slowlog_file_ == nullptr) return;
+  Status st = slowlog_file_->Append(line);
+  if (st.ok()) st = slowlog_file_->Append("\n");
+  if (st.ok()) st = slowlog_file_->Flush();
+  if (st.ok()) {
+    obs::Counters().slow_queries_logged.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  } else {
+    obs::Counters().slow_query_log_write_failed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
 
 std::unique_ptr<Session> DatabaseCore::CreateSession() {
   uint64_t created =
@@ -19,7 +92,7 @@ std::unique_ptr<Session> DatabaseCore::CreateSession() {
     cat_.SetSharedMode();
   }
   return std::unique_ptr<Session>(
-      new Session(this, /*counted=*/true, /*replay=*/false));
+      new Session(this, /*counted=*/true, /*replay=*/false, /*id=*/created));
 }
 
 Status DatabaseCore::Open(const std::string& dir,
@@ -44,7 +117,7 @@ Status DatabaseCore::Open(const std::string& dir,
   // WAL replay runs through an uncounted session: storage_ is still null,
   // so replayed statements are not re-logged, and the session skips the
   // writer mutex (we hold it).
-  Session replayer(this, /*counted=*/false, /*replay=*/true);
+  Session replayer(this, /*counted=*/false, /*replay=*/true, /*id=*/0);
   auto replay = [&replayer](const std::string& sql) -> Status {
     SCIQL_ASSIGN_OR_RETURN([[maybe_unused]] ResultSet rs,
                            replayer.Execute(sql));

@@ -16,6 +16,7 @@
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
 #include "src/engine/session.h"
+#include "src/storage/env.h"
 #include "src/storage/storage_engine.h"
 
 namespace sciql {
@@ -27,7 +28,11 @@ namespace engine {
 /// catalog versions keep serving them untouched.
 class DatabaseCore {
  public:
-  DatabaseCore() = default;
+  /// Construction registers this core's gauges (active sessions, catalog
+  /// version, ...) with obs::Metrics() under a `core="<id>"` label;
+  /// destruction unregisters them.
+  DatabaseCore();
+  ~DatabaseCore();
   DatabaseCore(const DatabaseCore&) = delete;
   DatabaseCore& operator=(const DatabaseCore&) = delete;
 
@@ -75,6 +80,40 @@ class DatabaseCore {
   /// \brief The current catalog version id (advances with every commit).
   uint64_t CatalogVersionId() const { return cat_.CurrentVersionId(); }
 
+  /// \brief Process-unique id of this core, the `core` label of its gauges.
+  uint64_t core_id() const { return core_id_; }
+
+  // -------------------------------------------------------------------------
+  // Slow-query log (see docs/observability.md)
+  // -------------------------------------------------------------------------
+
+  struct SlowQueryLogOptions {
+    std::string path;  ///< file the JSON lines are appended to
+    /// Statements whose total traced time is >= this are logged. 0 logs
+    /// every statement (useful for tests and full audit traces).
+    uint64_t threshold_micros = 0;
+    storage::Env* env = nullptr;  ///< defaults to storage::Env::Default()
+  };
+
+  /// \brief Open `path` for append through the Env seam and start logging
+  /// one structured JSON line per statement at/above the threshold, from
+  /// every session of this core.
+  Status EnableSlowQueryLog(const SlowQueryLogOptions& options);
+
+  /// \brief Stop logging and close the file.
+  void DisableSlowQueryLog();
+
+  /// \brief The active threshold, or -1 when the log is disabled. Sessions
+  /// read this on every statement to decide whether to trace.
+  int64_t SlowQueryThresholdMicros() const {
+    return slowlog_threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Append one line (newline added here). Best-effort: failures
+  /// bump sciql.slowlog.write_failed and disable nothing — the statement
+  /// itself already succeeded.
+  void AppendSlowQueryLine(const std::string& line);
+
  private:
   friend class Session;
 
@@ -92,6 +131,12 @@ class DatabaseCore {
   std::mutex writer_mu_;
   std::atomic<int> active_sessions_{0};
   std::atomic<uint64_t> sessions_created_{0};
+
+  uint64_t core_id_ = 0;
+  /// Serialises slow-query-log appends across sessions.
+  std::mutex slowlog_mu_;
+  std::unique_ptr<storage::WritableFile> slowlog_file_;
+  std::atomic<int64_t> slowlog_threshold_{-1};
 };
 
 }  // namespace engine

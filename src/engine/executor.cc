@@ -5,6 +5,7 @@
 #include "src/common/string_util.h"
 #include "src/gdk/kernels.h"
 #include "src/mal/interpreter.h"
+#include "src/obs/trace.h"
 
 namespace sciql {
 namespace engine {
@@ -73,8 +74,12 @@ Result<ResultSet> Executor::Execute(const CompiledStatement& cs) {
   ResultSet rows;
   {
     mal::MalContext ctx(version_.get());
+    ctx.trace = trace_;
     SCIQL_RETURN_NOT_OK(mal::MalEngine::Global().Run(cs.prog, &ctx));
     SCIQL_ASSIGN_OR_RETURN(rows, AssembleResult(cs, &ctx));
+  }
+  if (trace_ != nullptr) {
+    trace_->SetRowsReturned(static_cast<uint64_t>(rows.NumRows()));
   }
   if (cs.action == CompiledStatement::Action::kQuery) return rows;
 

@@ -28,6 +28,10 @@ class Executor {
   /// single-row result with the affected row count.
   Result<ResultSet> Execute(const CompiledStatement& cs);
 
+  /// \brief Attach a statement trace: the MAL run records one sample per
+  /// instruction and the assembled row count is reported into the trace.
+  void SetTrace(obs::StatementTrace* trace) { trace_ = trace; }
+
  private:
   /// Assemble aligned result columns (scalars broadcast to the row count).
   Result<ResultSet> AssembleResult(const CompiledStatement& cs,
@@ -40,6 +44,7 @@ class Executor {
 
   catalog::Catalog* cat_;
   catalog::CatalogVersionPtr version_;
+  obs::StatementTrace* trace_ = nullptr;
 };
 
 }  // namespace engine

@@ -1,5 +1,6 @@
 #include "src/engine/session.h"
 
+#include <chrono>
 #include <mutex>
 #include <utility>
 
@@ -8,6 +9,8 @@
 #include "src/engine/executor.h"
 #include "src/engine/mal_gen.h"
 #include "src/mal/optimizer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sql/parser.h"
 
 namespace sciql {
@@ -34,10 +37,19 @@ bool IsMutatingStatement(sql::Statement::Kind kind) {
   return false;
 }
 
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
 }  // namespace
 
-Session::Session(DatabaseCore* core, bool counted, bool replay)
-    : core_(core), counted_(counted), replay_(replay) {}
+Session::Session(DatabaseCore* core, bool counted, bool replay, uint64_t id)
+    : core_(core), counted_(counted), replay_(replay), id_(id) {}
 
 Session::~Session() {
   if (counted_) {
@@ -54,8 +66,11 @@ uint64_t Session::SnapshotVersionId() const {
 }
 
 Result<ResultSet> Session::Execute(const std::string& text) {
+  SteadyClock::time_point parse_start = SteadyClock::now();
+  auto parsed = sql::Parse(text);
+  last_parse_micros_ = MicrosSince(parse_start);
   SCIQL_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
-                         sql::Parse(text));
+                         std::move(parsed));
   if (stmts.empty()) {
     return Status::InvalidArgument("no statement to execute");
   }
@@ -72,6 +87,40 @@ Status Session::Run(const std::string& text) {
 }
 
 Result<ResultSet> Session::ExecuteStatement(const sql::Statement& stmt) {
+  // Per-statement observability wrapper: every statement is timed into the
+  // latency/rows histograms; when the core's slow-query log is enabled a
+  // StatementTrace rides along to collect spans and per-operator samples.
+  int64_t slow_threshold = core_->SlowQueryThresholdMicros();
+  obs::StatementTrace trace;
+  cur_trace_ = slow_threshold >= 0 ? &trace : nullptr;
+  if (cur_trace_ != nullptr) {
+    trace.SetSpanMicros(obs::StatementTrace::kParse, last_parse_micros_);
+  }
+  SteadyClock::time_point start = SteadyClock::now();
+  Result<ResultSet> rs = DispatchStatement(stmt);
+  uint64_t micros = MicrosSince(start);
+  cur_trace_ = nullptr;
+  obs::StatementLatencyHistogram().Observe(micros);
+  obs::EngineCounters& counters = obs::Counters();
+  if (rs.ok()) {
+    counters.statements_executed.fetch_add(1, std::memory_order_relaxed);
+    obs::StatementRowsHistogram().Observe(
+        static_cast<uint64_t>(rs->NumRows()));
+  } else {
+    counters.statements_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (slow_threshold >= 0) {
+    // Total = measured wall time (includes lock wait + WAL logging, which
+    // the compile/execute spans do not cover).
+    trace.SetTotalMicros(last_parse_micros_ + micros);
+    if (trace.TotalMicros() >= static_cast<uint64_t>(slow_threshold)) {
+      core_->AppendSlowQueryLine(trace.RenderSlowLogLine(stmt.source, id_));
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> Session::DispatchStatement(const sql::Statement& stmt) {
   if (!IsMutatingStatement(stmt.kind)) {
     // Reads never take the writer mutex: they pin a version and go.
     return ExecuteStatementNoLog(stmt);
@@ -112,6 +161,7 @@ Result<ResultSet> Session::ExecuteStatement(const sql::Statement& stmt) {
 Result<ResultSet> Session::ExecuteStatementNoLog(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::Statement::Kind::kExplain: {
+      if (stmt.analyze) return AnalyzeStatement(*stmt.inner);
       SCIQL_ASSIGN_OR_RETURN(std::string text, BuildExplain(*stmt.inner));
       ResultSet rs;
       auto col = gdk::BAT::Make(gdk::PhysType::kStr);
@@ -133,16 +183,62 @@ Result<ResultSet> Session::ExecuteStatementNoLog(const sql::Statement& stmt) {
       break;
   }
 
+  return CompileAndRun(stmt, cur_trace_, nullptr);
+}
+
+Result<ResultSet> Session::CompileAndRun(const sql::Statement& stmt,
+                                         obs::StatementTrace* trace,
+                                         mal::MalProgram* prog_out) {
   // Pin the catalog version this statement sees (the session-held snapshot
   // when pinned). Compile and run lock-free against it; the executor drops
   // its copy of the pin before applying any write.
   catalog::CatalogVersionPtr pin =
       pinned_ != nullptr ? pinned_ : core_->cat_.Pin();
   StatementCompiler compiler(pin.get());
+  SteadyClock::time_point t0 = SteadyClock::now();
   SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
+  if (trace != nullptr) {
+    trace->SetSpanMicros(obs::StatementTrace::kBind, MicrosSince(t0));
+  }
+  SteadyClock::time_point t1 = SteadyClock::now();
   SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
+  if (trace != nullptr) {
+    trace->SetSpanMicros(obs::StatementTrace::kOptimize, MicrosSince(t1));
+  }
   Executor exec(&core_->cat_, std::move(pin));
-  return exec.Execute(cs);
+  exec.SetTrace(trace);
+  SteadyClock::time_point t2 = SteadyClock::now();
+  Result<ResultSet> rs = exec.Execute(cs);
+  if (trace != nullptr) {
+    trace->SetSpanMicros(obs::StatementTrace::kExecute, MicrosSince(t2));
+  }
+  if (prog_out != nullptr) *prog_out = std::move(cs.prog);
+  return rs;
+}
+
+Result<ResultSet> Session::AnalyzeStatement(const sql::Statement& stmt) {
+  if (stmt.kind != sql::Statement::Kind::kSelect) {
+    // Executing DDL/DML from here would bypass the writer lock and the WAL;
+    // EXPLAIN ANALYZE is a read-only instrument.
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE supports SELECT statements only");
+  }
+  obs::StatementTrace trace;
+  trace.SetSpanMicros(obs::StatementTrace::kParse, last_parse_micros_);
+  mal::MalProgram prog;
+  SCIQL_ASSIGN_OR_RETURN(ResultSet executed,
+                         CompileAndRun(stmt, &trace, &prog));
+  (void)executed;  // the annotated plan is the result, not the rows
+  std::string text =
+      trace.RenderAnalyze(prog, obs::GetTraceControls().redact_timings);
+  ResultSet rs;
+  auto col = gdk::BAT::Make(gdk::PhysType::kStr);
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    SCIQL_RETURN_NOT_OK(col->Append(ScalarValue::Str(line)));
+  }
+  rs.AddColumn("analyze", false, std::move(col));
+  return rs;
 }
 
 Result<ResultSet> Session::ExecuteDdl(const sql::Statement& stmt) {

@@ -9,6 +9,7 @@
 #ifndef SCIQL_ENGINE_SESSION_H_
 #define SCIQL_ENGINE_SESSION_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/catalog/catalog.h"
@@ -17,6 +18,13 @@
 #include "src/sql/ast.h"
 
 namespace sciql {
+namespace mal {
+class MalProgram;
+}  // namespace mal
+namespace obs {
+class StatementTrace;
+}  // namespace obs
+
 namespace engine {
 
 class DatabaseCore;
@@ -64,6 +72,10 @@ class Session {
   /// \brief The pinned version id, or the current version id when unpinned.
   uint64_t SnapshotVersionId() const;
 
+  /// \brief Stable id of this session on its core (1, 2, ...; 0 for the
+  /// internal WAL replay session). Appears in the slow-query log.
+  uint64_t id() const { return id_; }
+
  private:
   friend class DatabaseCore;
 
@@ -71,17 +83,41 @@ class Session {
   /// into shared (always-COW) mode when a second one is created; the WAL
   /// replay session is uncounted and runs without the writer lock (Open
   /// already holds it).
-  Session(DatabaseCore* core, bool counted, bool replay);
+  Session(DatabaseCore* core, bool counted, bool replay, uint64_t id);
 
+  /// The per-statement wrapper: latency/rows histograms, executed/failed
+  /// counters, and — when the core's slow-query log is enabled — a
+  /// StatementTrace feeding its threshold check.
   Result<ResultSet> ExecuteStatement(const sql::Statement& stmt);
+  /// The pre-observability dispatch: read path vs writer-lock + WAL path.
+  Result<ResultSet> DispatchStatement(const sql::Statement& stmt);
   Result<ResultSet> ExecuteStatementNoLog(const sql::Statement& stmt);
   Result<ResultSet> ExecuteDdl(const sql::Statement& stmt);
   Result<std::string> BuildExplain(const sql::Statement& stmt);
 
+  /// Pin, compile, optimize and run `stmt`, timing the bind/optimize/
+  /// execute spans into `trace` (may be null) and attaching it to the MAL
+  /// run. `prog_out`, if non-null, receives the optimized program for
+  /// rendering after execution.
+  Result<ResultSet> CompileAndRun(const sql::Statement& stmt,
+                                  obs::StatementTrace* trace,
+                                  mal::MalProgram* prog_out);
+
+  /// EXPLAIN ANALYZE: execute the (SELECT-only) statement with a trace and
+  /// return the annotated plan as a one-column result set.
+  Result<ResultSet> AnalyzeStatement(const sql::Statement& stmt);
+
   DatabaseCore* core_;
   bool counted_;
   bool replay_;
+  uint64_t id_ = 0;
   catalog::CatalogVersionPtr pinned_;
+  /// Trace of the statement currently dispatching (slow-query logging);
+  /// null when the slow log is off. Set/cleared by ExecuteStatement.
+  obs::StatementTrace* cur_trace_ = nullptr;
+  /// Wall time of the last sql::Parse() in Execute(), attributed as the
+  /// parse span of each statement of that batch.
+  uint64_t last_parse_micros_ = 0;
 };
 
 }  // namespace engine

@@ -96,8 +96,9 @@ struct Diff {
 struct CaseResult {
   std::vector<Diff> diffs;
   size_t queries_run = 0;
-  /// Kernel telemetry accumulated per path over the whole case.
-  std::map<std::string, gdk::KernelTelemetry> telemetry;
+  /// Kernel telemetry delta (before/after snapshot diff) accumulated per
+  /// path over the whole case.
+  std::map<std::string, gdk::TelemetrySnapshot> telemetry;
 };
 
 struct OracleOptions {
@@ -139,7 +140,7 @@ struct SweepReport {
   size_t queries = 0;
   std::vector<uint64_t> failing_seeds;
   std::vector<std::string> repros;  ///< corpus-format shrunken repros
-  std::map<std::string, gdk::KernelTelemetry> telemetry;  ///< per path, summed
+  std::map<std::string, gdk::TelemetrySnapshot> telemetry;  ///< per path, summed
 };
 
 /// \brief Generate-and-diff cases derived from `seed` until `query_target`

@@ -159,10 +159,13 @@ fs::path ScratchDir(const OracleOptions& opts, const std::string& path_name) {
 // statement; a storage-layer failure (reopen path) is reported via *fatal.
 std::vector<Outcome> RunPath(const FuzzCase& fc, const PathConfig& p,
                              const OracleOptions& opts,
-                             gdk::KernelTelemetry* telemetry,
+                             gdk::TelemetrySnapshot* telemetry,
                              std::string* fatal) {
   PathScope scope(p);
-  gdk::Telemetry().Reset();
+  // Snapshot-delta attribution: the process-global counters are monotonic
+  // and shared with every concurrent session (and any metrics scrape), so
+  // the oracle diffs before/after instead of zeroing them.
+  gdk::TelemetryProbe probe;
   std::vector<Outcome> outs;
   Database db;
   fs::path dir;
@@ -225,7 +228,7 @@ std::vector<Outcome> RunPath(const FuzzCase& fc, const PathConfig& p,
     if (!st2.ok()) o.error = st2.ToString();
     outs.push_back(std::move(o));
   }
-  *telemetry = gdk::Telemetry();
+  *telemetry = probe.delta();
   if (p.reopen) {
     db.Close();
     fs::remove_all(dir, ec);
@@ -233,25 +236,11 @@ std::vector<Outcome> RunPath(const FuzzCase& fc, const PathConfig& p,
   return outs;
 }
 
-void AccumulateTelemetry(gdk::KernelTelemetry* into,
-                         const gdk::KernelTelemetry& t) {
-  into->joins_hash += t.joins_hash;
-  into->joins_indexed_probe += t.joins_indexed_probe;
-  into->joins_merge += t.joins_merge;
-  into->joins_merge_str += t.joins_merge_str;
-  into->joins_merge_multi += t.joins_merge_multi;
-  into->firstn_index_window += t.firstn_index_window;
-  into->firstn_heap += t.firstn_heap;
-  into->firstn_sort_fallback += t.firstn_sort_fallback;
-  into->minmax_index += t.minmax_index;
-  into->order_index_built += t.order_index_built;
-  into->order_index_built_multi += t.order_index_built_multi;
-  into->order_index_loaded += t.order_index_loaded;
-  into->order_index_loaded_multi += t.order_index_loaded_multi;
-  into->order_index_reused += t.order_index_reused;
-  into->order_index_reused_multi += t.order_index_reused_multi;
-  into->order_index_reversed += t.order_index_reversed;
-  into->order_index_reversed_multi += t.order_index_reversed_multi;
+void AccumulateTelemetry(gdk::TelemetrySnapshot* into,
+                         const gdk::TelemetrySnapshot& t) {
+  for (const gdk::TelemetryField& f : gdk::TelemetryFields()) {
+    into->*f.snap += t.*f.snap;
+  }
 }
 
 std::string FirstLines(const std::vector<std::string>& rows, size_t n) {
@@ -372,7 +361,7 @@ CaseResult RunCase(const FuzzCase& fc, const std::vector<PathConfig>& paths,
   if (paths.empty()) return res;
   std::vector<std::vector<Outcome>> all;
   for (const PathConfig& p : paths) {
-    gdk::KernelTelemetry t;
+    gdk::TelemetrySnapshot t;
     std::string fatal;
     all.push_back(RunPath(fc, p, opts, &t, &fatal));
     res.telemetry[p.name] = t;
@@ -470,7 +459,7 @@ std::string RenderCorpus(const FuzzCase& fc,
   // Capture the baseline path's current rows as the expected output.
   std::vector<Outcome> base;
   if (!paths.empty()) {
-    gdk::KernelTelemetry t;
+    gdk::TelemetrySnapshot t;
     std::string fatal;
     base = RunPath(fc, paths[0], opts, &t, &fatal);
   }

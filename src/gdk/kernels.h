@@ -231,11 +231,11 @@ bool ValidateOrderIndexSpec(const std::vector<const BAT*>& keys,
 // ---------------------------------------------------------------------------
 
 /// \brief Counters recording which physical strategy the index-aware kernels
-/// chose. Atomic: concurrent reader sessions all bump the same process-wide
-/// instance. Copyable (relaxed snapshot) so the fuzzer can capture per-path
-/// snapshots into plain maps. Tests reset and inspect these to pin decision
-/// rules ("this plan must not build a hash table") that are invisible in the
-/// result values.
+/// chose. Atomic and strictly monotonic: concurrent reader sessions all bump
+/// the same process-wide instance, and nothing may ever zero it — a scrape or
+/// a second session would observe the reset. Consumers that need per-scope
+/// attribution (tests, the fuzz oracle, per-instruction statement traces)
+/// capture a TelemetrySnapshot before and diff with DeltaSince after.
 struct KernelTelemetry {
   std::atomic<uint64_t> joins_hash{0};  ///< hash build + probe joins
   std::atomic<uint64_t> joins_indexed_probe{0};  ///< one-sided index joins
@@ -258,38 +258,76 @@ struct KernelTelemetry {
   std::atomic<uint64_t> order_index_reversed_multi{0};
 
   KernelTelemetry() = default;
-  KernelTelemetry(const KernelTelemetry& o) { CopyFrom(o); }
-  KernelTelemetry& operator=(const KernelTelemetry& o) {
-    CopyFrom(o);
-    return *this;
-  }
-
-  void Reset() { *this = KernelTelemetry{}; }
-
- private:
-  void CopyFrom(const KernelTelemetry& o) {
-    joins_hash = o.joins_hash.load();
-    joins_indexed_probe = o.joins_indexed_probe.load();
-    joins_merge = o.joins_merge.load();
-    joins_merge_str = o.joins_merge_str.load();
-    joins_merge_multi = o.joins_merge_multi.load();
-    firstn_index_window = o.firstn_index_window.load();
-    firstn_heap = o.firstn_heap.load();
-    firstn_sort_fallback = o.firstn_sort_fallback.load();
-    minmax_index = o.minmax_index.load();
-    order_index_built = o.order_index_built.load();
-    order_index_built_multi = o.order_index_built_multi.load();
-    order_index_loaded = o.order_index_loaded.load();
-    order_index_loaded_multi = o.order_index_loaded_multi.load();
-    order_index_reused = o.order_index_reused.load();
-    order_index_reused_multi = o.order_index_reused_multi.load();
-    order_index_reversed = o.order_index_reversed.load();
-    order_index_reversed_multi = o.order_index_reversed_multi.load();
-  }
+  KernelTelemetry(const KernelTelemetry&) = delete;
+  KernelTelemetry& operator=(const KernelTelemetry&) = delete;
 };
 
 /// \brief The process-wide telemetry counters.
 KernelTelemetry& Telemetry();
+
+/// \brief A plain-integer copy of KernelTelemetry, field for field. Either an
+/// absolute capture (CaptureTelemetry) or a delta between two captures
+/// (DeltaSince / TelemetryProbe::delta). Freely copyable; this is what tests
+/// and the fuzz oracle store in maps.
+struct TelemetrySnapshot {
+  uint64_t joins_hash = 0;
+  uint64_t joins_indexed_probe = 0;
+  uint64_t joins_merge = 0;
+  uint64_t joins_merge_str = 0;
+  uint64_t joins_merge_multi = 0;
+  uint64_t firstn_index_window = 0;
+  uint64_t firstn_heap = 0;
+  uint64_t firstn_sort_fallback = 0;
+  uint64_t minmax_index = 0;
+  uint64_t order_index_built = 0;
+  uint64_t order_index_built_multi = 0;
+  uint64_t order_index_loaded = 0;
+  uint64_t order_index_loaded_multi = 0;
+  uint64_t order_index_reused = 0;
+  uint64_t order_index_reused_multi = 0;
+  uint64_t order_index_reversed = 0;
+  uint64_t order_index_reversed_multi = 0;
+};
+
+/// \brief One entry of the counter catalog: the stable field name plus
+/// member pointers into both the live struct and the snapshot, so capture,
+/// accumulation and metric registration all iterate one table instead of
+/// hand-listing 17 fields.
+struct TelemetryField {
+  const char* name;
+  const char* help;
+  std::atomic<uint64_t> KernelTelemetry::*live;
+  uint64_t TelemetrySnapshot::*snap;
+};
+
+/// \brief The full counter catalog, in declaration order.
+const std::vector<TelemetryField>& TelemetryFields();
+
+/// \brief Relaxed capture of the process-wide counters.
+TelemetrySnapshot CaptureTelemetry();
+
+/// \brief Field-wise `CaptureTelemetry() - base` (counters are monotonic, so
+/// every field of the result is the activity since `base` was captured —
+/// plus whatever concurrent sessions did meanwhile; single-threaded scopes
+/// attribute exactly).
+TelemetrySnapshot DeltaSince(const TelemetrySnapshot& base);
+
+/// \brief Scoped attribution helper: captures a baseline at construction (or
+/// Rebase()), reports the activity since then via delta(). The replacement
+/// for the removed KernelTelemetry::Reset() — probes never touch the global.
+class TelemetryProbe {
+ public:
+  TelemetryProbe() : base_(CaptureTelemetry()) {}
+
+  /// \brief Move the baseline to "now".
+  void Rebase() { base_ = CaptureTelemetry(); }
+
+  /// \brief Counter activity since construction / the last Rebase().
+  TelemetrySnapshot delta() const { return DeltaSince(base_); }
+
+ private:
+  TelemetrySnapshot base_;
+};
 
 /// \brief Process-wide switches steering physical-path selection. The
 /// differential fuzzer (src/fuzz/, docs/fuzzing.md) flips these to drive the

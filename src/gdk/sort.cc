@@ -317,6 +317,75 @@ KernelTelemetry& Telemetry() {
   return t;
 }
 
+const std::vector<TelemetryField>& TelemetryFields() {
+  static const auto* fields = new std::vector<TelemetryField>{
+      {"joins_hash", "hash build + probe joins",
+       &KernelTelemetry::joins_hash, &TelemetrySnapshot::joins_hash},
+      {"joins_indexed_probe", "one-sided index joins",
+       &KernelTelemetry::joins_indexed_probe,
+       &TelemetrySnapshot::joins_indexed_probe},
+      {"joins_merge", "both-sides-indexed merge joins",
+       &KernelTelemetry::joins_merge, &TelemetrySnapshot::joins_merge},
+      {"joins_merge_str", "merge joins that were string-keyed",
+       &KernelTelemetry::joins_merge_str, &TelemetrySnapshot::joins_merge_str},
+      {"joins_merge_multi", "merge joins that were multi-key",
+       &KernelTelemetry::joins_merge_multi,
+       &TelemetrySnapshot::joins_merge_multi},
+      {"firstn_index_window", "top-k served by an index head copy",
+       &KernelTelemetry::firstn_index_window,
+       &TelemetrySnapshot::firstn_index_window},
+      {"firstn_heap", "top-k via per-morsel heaps",
+       &KernelTelemetry::firstn_heap, &TelemetrySnapshot::firstn_heap},
+      {"firstn_sort_fallback", "top-k via full sort (k >= n/2)",
+       &KernelTelemetry::firstn_sort_fallback,
+       &TelemetrySnapshot::firstn_sort_fallback},
+      {"minmax_index", "MIN/MAX answered from index endpoints",
+       &KernelTelemetry::minmax_index, &TelemetrySnapshot::minmax_index},
+      {"order_index_built", "order indexes sorted anew",
+       &KernelTelemetry::order_index_built,
+       &TelemetrySnapshot::order_index_built},
+      {"order_index_built_multi", "order index builds that were multi-key",
+       &KernelTelemetry::order_index_built_multi,
+       &TelemetrySnapshot::order_index_built_multi},
+      {"order_index_loaded", "order indexes adopted from disk",
+       &KernelTelemetry::order_index_loaded,
+       &TelemetrySnapshot::order_index_loaded},
+      {"order_index_loaded_multi", "order index loads that were multi-key",
+       &KernelTelemetry::order_index_loaded_multi,
+       &TelemetrySnapshot::order_index_loaded_multi},
+      {"order_index_reused", "exact-spec order-index cache hits",
+       &KernelTelemetry::order_index_reused,
+       &TelemetrySnapshot::order_index_reused},
+      {"order_index_reused_multi", "order index reuses that were multi-key",
+       &KernelTelemetry::order_index_reused_multi,
+       &TelemetrySnapshot::order_index_reused_multi},
+      {"order_index_reversed", "ORDER BY served by run reversal",
+       &KernelTelemetry::order_index_reversed,
+       &TelemetrySnapshot::order_index_reversed},
+      {"order_index_reversed_multi", "run reversals that were multi-key",
+       &KernelTelemetry::order_index_reversed_multi,
+       &TelemetrySnapshot::order_index_reversed_multi},
+  };
+  return *fields;
+}
+
+TelemetrySnapshot CaptureTelemetry() {
+  TelemetrySnapshot s;
+  const KernelTelemetry& t = Telemetry();
+  for (const TelemetryField& f : TelemetryFields()) {
+    s.*f.snap = (t.*f.live).load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+TelemetrySnapshot DeltaSince(const TelemetrySnapshot& base) {
+  TelemetrySnapshot s = CaptureTelemetry();
+  for (const TelemetryField& f : TelemetryFields()) {
+    s.*f.snap -= base.*f.snap;
+  }
+  return s;
+}
+
 KernelControls& Controls() {
   static KernelControls c;
   return c;

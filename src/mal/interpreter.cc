@@ -1,9 +1,33 @@
 #include "src/mal/interpreter.h"
 
+#include <chrono>
+
 #include "src/common/string_util.h"
+#include "src/obs/trace.h"
 
 namespace sciql {
 namespace mal {
+
+namespace {
+
+/// Summed row counts over a register list: BATs contribute their count;
+/// result-side scalars count as one row (an aggregate's scalar output is
+/// one value), input-side scalars as zero (constants are not flowing rows).
+uint64_t SumRows(const MalContext& ctx, const std::vector<int>& regs,
+                 bool scalar_is_row) {
+  uint64_t rows = 0;
+  for (int r : regs) {
+    const MalValue& v = ctx.regs[static_cast<size_t>(r)];
+    if (v.IsBat()) {
+      rows += v.bat->Count();
+    } else if (scalar_is_row && v.IsScalar()) {
+      rows += 1;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
 
 const MalEngine& MalEngine::Global() {
   static MalEngine* engine = [] {
@@ -33,8 +57,31 @@ Status MalEngine::Run(const MalProgram& prog, MalContext* ctx) const {
       ctx->regs[i] = MalValue::Object(r.obj, r.obj_tag);
     }
   }
-  for (const MalInstr& instr : prog.instrs()) {
+  if (ctx->trace == nullptr) {
+    for (const MalInstr& instr : prog.instrs()) {
+      SCIQL_RETURN_NOT_OK(RunInstr(prog, instr, ctx));
+    }
+    return Status::OK();
+  }
+  // Traced run: sample wall time, row counts and the kernel-telemetry
+  // delta around every instruction. The delta is a before/after snapshot
+  // diff of the process-wide counters, never a reset — concurrent sessions
+  // keep their own attribution.
+  for (size_t i = 0; i < prog.instrs().size(); ++i) {
+    const MalInstr& instr = prog.instrs()[i];
+    obs::InstrSample sample;
+    sample.name = instr.Name();
+    sample.in_rows = SumRows(*ctx, instr.args, /*scalar_is_row=*/false);
+    gdk::TelemetrySnapshot before = gdk::CaptureTelemetry();
+    auto start = std::chrono::steady_clock::now();
     SCIQL_RETURN_NOT_OK(RunInstr(prog, instr, ctx));
+    sample.micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    sample.delta = gdk::DeltaSince(before);
+    sample.out_rows = SumRows(*ctx, instr.rets, /*scalar_is_row=*/true);
+    ctx->trace->RecordInstr(i, std::move(sample));
   }
   return Status::OK();
 }

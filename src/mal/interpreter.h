@@ -17,6 +17,10 @@
 #include "src/mal/value.h"
 
 namespace sciql {
+namespace obs {
+class StatementTrace;
+}  // namespace obs
+
 namespace mal {
 
 /// \brief Execution state of one MAL program run. Binds a pinned, immutable
@@ -27,6 +31,10 @@ struct MalContext {
 
   const catalog::CatalogVersion* catalog;
   std::vector<MalValue> regs;
+
+  /// When non-null, Run() records one obs::InstrSample per instruction
+  /// (wall time, row counts, telemetry delta) into this trace.
+  obs::StatementTrace* trace = nullptr;
 
   MalValue& Reg(int r) { return regs[static_cast<size_t>(r)]; }
 };

@@ -62,31 +62,40 @@ std::string MalProgram::RegName(int r) const {
   return reg.name;
 }
 
+std::string MalProgram::InstrToString(size_t i) const {
+  const MalInstr& in = instrs_[i];
+  std::string line;
+  if (in.rets.size() == 1) {
+    line += RegName(in.rets[0]) + " := ";
+  } else if (in.rets.size() > 1) {
+    std::vector<std::string> rets;
+    for (int r : in.rets) rets.push_back(RegName(r));
+    line += "(" + Join(rets, ", ") + ") := ";
+  }
+  line += in.Name() + "(";
+  std::vector<std::string> args;
+  for (int a : in.args) args.push_back(RegName(a));
+  line += Join(args, ", ") + ");";
+  return line;
+}
+
+std::string MalProgram::ResultLineToString() const {
+  if (results_.empty()) return std::string();
+  std::vector<std::string> cols;
+  for (const auto& rc : results_) {
+    std::string name = rc.is_dim ? "[" + rc.name + "]" : rc.name;
+    cols.push_back(name + "=" + RegName(rc.reg));
+  }
+  return "io.result(" + Join(cols, ", ") + ");";
+}
+
 std::string MalProgram::ToString() const {
   std::string out;
-  for (const MalInstr& in : instrs_) {
-    std::string line;
-    if (in.rets.size() == 1) {
-      line += RegName(in.rets[0]) + " := ";
-    } else if (in.rets.size() > 1) {
-      std::vector<std::string> rets;
-      for (int r : in.rets) rets.push_back(RegName(r));
-      line += "(" + Join(rets, ", ") + ") := ";
-    }
-    line += in.Name() + "(";
-    std::vector<std::string> args;
-    for (int a : in.args) args.push_back(RegName(a));
-    line += Join(args, ", ") + ");";
-    out += line + "\n";
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    out += InstrToString(i) + "\n";
   }
-  if (!results_.empty()) {
-    std::vector<std::string> cols;
-    for (const auto& rc : results_) {
-      std::string name = rc.is_dim ? "[" + rc.name + "]" : rc.name;
-      cols.push_back(name + "=" + RegName(rc.reg));
-    }
-    out += "io.result(" + Join(cols, ", ") + ");\n";
-  }
+  std::string result_line = ResultLineToString();
+  if (!result_line.empty()) out += result_line + "\n";
   return out;
 }
 

@@ -82,6 +82,13 @@ class MalProgram {
   /// \brief Textual MAL rendering of the whole program.
   std::string ToString() const;
 
+  /// \brief One instruction rendered as `rets := module.fn(args);` (no
+  /// trailing newline) — the unit EXPLAIN ANALYZE annotates per line.
+  std::string InstrToString(size_t i) const;
+
+  /// \brief The trailing `io.result(...);` line, or "" without results.
+  std::string ResultLineToString() const;
+
  private:
   std::string RegName(int r) const;
 

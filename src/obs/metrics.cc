@@ -1,0 +1,223 @@
+#include "src/obs/metrics.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/gdk/kernels.h"
+#include "src/storage/env.h"
+
+namespace sciql {
+namespace obs {
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  for (size_t i = 0; i < kFiniteBuckets; ++i) {
+    if (v <= BucketBound(i)) return i;
+  }
+  return kFiniteBuckets;  // +Inf
+}
+
+void Histogram::Observe(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map '.' (and anything else) to '_'.
+std::string SanitizeName(const std::string& dotted) {
+  std::string out = dotted;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void RegisterBuiltins(MetricsRegistry* reg) {
+  for (const gdk::TelemetryField& f : gdk::TelemetryFields()) {
+    auto member = f.live;
+    reg->RegisterCounter(
+        std::string("sciql.gdk.") + f.name, f.help,
+        [member]() {
+          return (gdk::Telemetry().*member).load(std::memory_order_relaxed);
+        });
+  }
+  for (const storage::IoStatsField& f : storage::IoStatsFields()) {
+    auto member = f.member;
+    reg->RegisterCounter(
+        std::string("sciql.io.") + f.name, f.help,
+        [member]() {
+          return (storage::GetIoStats().*member)
+              .load(std::memory_order_relaxed);
+        });
+  }
+  EngineCounters& c = Counters();
+  reg->RegisterCounter("sciql.statement.executed",
+                       "statements executed successfully",
+                       [&c]() { return c.statements_executed.load(); });
+  reg->RegisterCounter("sciql.statement.failed",
+                       "statements that returned an error",
+                       [&c]() { return c.statements_failed.load(); });
+  reg->RegisterCounter("sciql.slowlog.lines",
+                       "slow-query log lines written",
+                       [&c]() { return c.slow_queries_logged.load(); });
+  reg->RegisterCounter("sciql.slowlog.write_failed",
+                       "slow-query log appends that failed (best-effort)",
+                       [&c]() { return c.slow_query_log_write_failed.load(); });
+  // Eager registration so a scrape of an idle process already shows the
+  // empty histograms; StatementLatencyHistogram()/StatementRowsHistogram()
+  // find and reuse these entries (RegisterHistogram is idempotent).
+  reg->RegisterHistogram("sciql.statement.latency_us",
+                         "wall latency per executed statement, microseconds");
+  reg->RegisterHistogram("sciql.statement.rows",
+                         "rows returned per statement");
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+void MetricsRegistry::Register(const std::string& name,
+                               const std::string& labels, Type type,
+                               const std::string& help, ReadFn read) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[{name, labels}];
+  e.help = help;
+  e.type = type;
+  e.read = std::move(read);
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const std::string& help, ReadFn read,
+                                      const std::string& labels) {
+  Register(name, labels, Type::kCounter, help, std::move(read));
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help, ReadFn read,
+                                    const std::string& labels) {
+  Register(name, labels, Type::kGauge, help, std::move(read));
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[{name, std::string()}];
+  e.help = help;
+  e.type = Type::kHistogram;
+  if (e.hist == nullptr) e.hist = std::make_unique<Histogram>();
+  return e.hist.get();
+}
+
+void MetricsRegistry::Unregister(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.erase({name, labels});
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  const std::string* prev_name = nullptr;
+  for (const auto& kv : entries_) {
+    const std::string& name = kv.first.first;
+    const std::string& labels = kv.first.second;
+    const Entry& e = kv.second;
+    std::string pname = SanitizeName(name);
+    // One HELP/TYPE header per family; label variants follow their first
+    // series (entries_ is sorted, so same-name series are adjacent).
+    if (prev_name == nullptr || *prev_name != name) {
+      const char* type = e.type == Type::kCounter   ? "counter"
+                         : e.type == Type::kGauge   ? "gauge"
+                                                    : "histogram";
+      out += "# HELP " + pname + " " + e.help + "\n";
+      out += "# TYPE " + pname + " " + type + "\n";
+      prev_name = &name;
+    }
+    std::string braced = labels.empty() ? "" : "{" + labels + "}";
+    if (e.type == Type::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+        cumulative += e.hist->bucket(i);
+        out += pname + "_bucket{le=\"" +
+               StrFormat("%llu", static_cast<unsigned long long>(
+                                     Histogram::BucketBound(i))) +
+               "\"} " +
+               StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+               "\n";
+      }
+      cumulative += e.hist->bucket(Histogram::kFiniteBuckets);
+      out += pname + "_bucket{le=\"+Inf\"} " +
+             StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+      out += pname + "_sum " +
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(e.hist->sum())) +
+             "\n";
+      out += pname + "_count " +
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(e.hist->count())) +
+             "\n";
+    } else {
+      out += pname + braced + " " +
+             StrFormat("%llu", static_cast<unsigned long long>(e.read())) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus() { return Metrics().RenderPrometheus(); }
+
+Histogram& StatementLatencyHistogram() {
+  static Histogram* h = Metrics().RegisterHistogram(
+      "sciql.statement.latency_us",
+      "wall latency per executed statement, microseconds");
+  return *h;
+}
+
+Histogram& StatementRowsHistogram() {
+  static Histogram* h = Metrics().RegisterHistogram(
+      "sciql.statement.rows", "rows returned per statement");
+  return *h;
+}
+
+EngineCounters& Counters() {
+  static EngineCounters c;
+  return c;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sciql

@@ -1,0 +1,152 @@
+// The unified metrics registry: one process-wide catalog of named counters,
+// gauges and fixed-bucket histograms, rendered as Prometheus text exposition.
+//
+// Counters and gauges are *read-through*: registration stores a closure over
+// the live atomic (gdk::Telemetry(), storage::GetIoStats(), DatabaseCore
+// gauges, ...), so a scrape always sees the current value and registration
+// costs nothing on the hot path. Histograms are owned by the registry and
+// observed directly (lock-free atomic buckets). RenderPrometheus() output is
+// deterministically ordered — sorted by (name, labels) — so golden tests and
+// diff-based monitoring can rely on the shape. See docs/observability.md.
+
+#ifndef SCIQL_OBS_METRICS_H_
+#define SCIQL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace sciql {
+namespace obs {
+
+/// \brief Fixed-bucket log2-scale histogram of non-negative integer
+/// observations (microseconds, row counts). Bucket upper bounds are
+/// 1, 2, 4, ..., 2^26, +Inf — fixed at compile time so two histograms (or
+/// two runs) always bucket identically, which keeps golden tests and
+/// cross-run comparisons deterministic. Observe() is lock-free; concurrent
+/// scrapes read each bucket atomically (the set of buckets is not read as
+/// one atomic snapshot — acceptable for monitoring, where _count may run
+/// slightly ahead of a bucket mid-scrape).
+class Histogram {
+ public:
+  /// 27 finite buckets (le=1 .. le=2^26) + the +Inf bucket.
+  static constexpr size_t kFiniteBuckets = 27;
+  static constexpr size_t kBuckets = kFiniteBuckets + 1;
+
+  /// \brief Upper bound of finite bucket `i`: 2^i.
+  static uint64_t BucketBound(size_t i) { return uint64_t{1} << i; }
+
+  /// \brief Index of the bucket that counts `v` (the first bucket whose
+  /// bound is >= v; values above 2^26 land in +Inf).
+  static size_t BucketIndex(uint64_t v);
+
+  void Observe(uint64_t v);
+
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief The registry. Metric names are stable dotted paths
+/// ("sciql.gdk.joins_hash"); rendering sanitises '.' to '_' for Prometheus.
+/// `labels`, when non-empty, is a preformatted Prometheus label list without
+/// braces (e.g. `core="3"`) — entries with the same name but different
+/// labels are one metric family with several series.
+class MetricsRegistry {
+ public:
+  using ReadFn = std::function<uint64_t()>;
+
+  /// \brief The process-wide registry, with every builtin metric (gdk
+  /// kernel telemetry, storage I/O counters, statement histograms)
+  /// registered on first use.
+  static MetricsRegistry& Global();
+
+  /// Counters must be monotonic; gauges may go up and down. `read` is
+  /// called under the registry mutex during a scrape — it must not call
+  /// back into the registry, and must stay valid until Unregister.
+  void RegisterCounter(const std::string& name, const std::string& help,
+                       ReadFn read, const std::string& labels = "");
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     ReadFn read, const std::string& labels = "");
+
+  /// \brief Registry-owned histogram; the pointer stays valid for the
+  /// process lifetime (histograms are never unregistered, so statement
+  /// latency distributions survive core close/reopen).
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& help);
+
+  /// \brief Drop one (name, labels) series; required before a ReadFn's
+  /// captured object dies (DatabaseCore unregisters its gauges on
+  /// destruction). Safe against concurrent scrapes: once this returns, no
+  /// scrape will call the closure again.
+  void Unregister(const std::string& name, const std::string& labels = "");
+
+  /// \brief Prometheus text exposition (# HELP / # TYPE / samples),
+  /// deterministically ordered by (name, labels).
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string help;
+    Type type = Type::kCounter;
+    ReadFn read;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  void Register(const std::string& name, const std::string& labels,
+                Type type, const std::string& help, ReadFn read);
+
+  mutable std::mutex mu_;
+  /// (dotted name, labels) -> entry; std::map keeps the scrape order
+  /// deterministic without a sort at render time.
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+};
+
+/// \brief Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+
+/// \brief Shorthand for Metrics().RenderPrometheus().
+std::string RenderPrometheus();
+
+/// \brief Builtin histogram: wall latency of every executed statement, in
+/// microseconds ("sciql.statement.latency_us").
+Histogram& StatementLatencyHistogram();
+
+/// \brief Builtin histogram: rows returned per statement
+/// ("sciql.statement.rows").
+Histogram& StatementRowsHistogram();
+
+/// \brief Engine-level counters owned by obs (bumped by engine::Session):
+/// statements executed/failed and slow-query-log activity.
+struct EngineCounters {
+  std::atomic<uint64_t> statements_executed{0};
+  std::atomic<uint64_t> statements_failed{0};
+  std::atomic<uint64_t> slow_queries_logged{0};
+  std::atomic<uint64_t> slow_query_log_write_failed{0};
+};
+
+EngineCounters& Counters();
+
+/// \brief Minimal JSON string escaping (quotes, backslashes, control
+/// characters) for the slow-query log's structured lines.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace sciql
+
+#endif  // SCIQL_OBS_METRICS_H_

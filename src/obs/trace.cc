@@ -1,0 +1,137 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/string_util.h"
+#include "src/mal/program.h"
+#include "src/obs/metrics.h"
+
+namespace sciql {
+namespace obs {
+
+TraceControls& GetTraceControls() {
+  static TraceControls c;
+  return c;
+}
+
+const char* StatementTrace::SpanName(Span s) {
+  switch (s) {
+    case kParse: return "parse";
+    case kBind: return "bind";
+    case kOptimize: return "optimize";
+    case kExecute: return "execute";
+    case kSpanCount: break;
+  }
+  return "?";
+}
+
+uint64_t StatementTrace::TotalMicros() const {
+  if (total_micros_ != 0) return total_micros_;
+  uint64_t total = 0;
+  for (uint64_t us : spans_) total += us;
+  return total;
+}
+
+void StatementTrace::RecordInstr(size_t index, InstrSample s) {
+  if (samples_.size() <= index) samples_.resize(index + 1);
+  samples_[index] = std::move(s);
+}
+
+namespace {
+
+std::string Micros(uint64_t us, bool redact) {
+  if (redact) return "*";
+  return StrFormat("%lluus", static_cast<unsigned long long>(us));
+}
+
+/// The chosen-path annotation: every telemetry counter this instruction
+/// bumped, in catalog order, e.g. "[order_index_built,order_index_reused]".
+std::string PathAnnotation(const gdk::TelemetrySnapshot& delta) {
+  std::string out;
+  for (const gdk::TelemetryField& f : gdk::TelemetryFields()) {
+    if (delta.*f.snap == 0) continue;
+    if (!out.empty()) out += ',';
+    out += f.name;
+    uint64_t n = delta.*f.snap;
+    if (n > 1) out += StrFormat("x%llu", static_cast<unsigned long long>(n));
+  }
+  return out.empty() ? out : " [" + out + "]";
+}
+
+}  // namespace
+
+std::string StatementTrace::RenderAnalyze(const mal::MalProgram& prog,
+                                          bool redact) const {
+  std::string out = "# EXPLAIN ANALYZE\n# spans:";
+  for (int s = 0; s < kSpanCount; ++s) {
+    out += StrFormat(" %s=%s", SpanName(static_cast<Span>(s)),
+                     Micros(spans_[static_cast<size_t>(s)], redact).c_str());
+  }
+  out += StrFormat(" total=%s\n", Micros(TotalMicros(), redact).c_str());
+  out += StrFormat("# rows returned: %llu\n",
+                   static_cast<unsigned long long>(rows_returned_));
+  for (size_t i = 0; i < prog.instrs().size(); ++i) {
+    out += prog.InstrToString(i);
+    if (i < samples_.size()) {
+      const InstrSample& s = samples_[i];
+      out += StrFormat(" # in=%llu out=%llu time=%s",
+                       static_cast<unsigned long long>(s.in_rows),
+                       static_cast<unsigned long long>(s.out_rows),
+                       Micros(s.micros, redact).c_str());
+      out += PathAnnotation(s.delta);
+    }
+    out += '\n';
+  }
+  std::string result_line = prog.ResultLineToString();
+  if (!result_line.empty()) out += result_line + "\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatementTrace::TopOperators(
+    size_t k) const {
+  std::map<std::string, uint64_t> by_op;
+  for (const InstrSample& s : samples_) {
+    if (!s.name.empty()) by_op[s.name] += s.micros;
+  }
+  std::vector<std::pair<std::string, uint64_t>> ops(by_op.begin(),
+                                                    by_op.end());
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ops.size() > k) ops.resize(k);
+  return ops;
+}
+
+std::string StatementTrace::RenderSlowLogLine(const std::string& sql,
+                                              uint64_t session_id) const {
+  std::string out = "{\"sql\":\"" + JsonEscape(sql) + "\"";
+  out += StrFormat(",\"session\":%llu",
+                   static_cast<unsigned long long>(session_id));
+  out += StrFormat(",\"total_us\":%llu",
+                   static_cast<unsigned long long>(TotalMicros()));
+  out += StrFormat(",\"rows\":%llu",
+                   static_cast<unsigned long long>(rows_returned_));
+  out += ",\"spans\":{";
+  for (int s = 0; s < kSpanCount; ++s) {
+    if (s > 0) out += ',';
+    out += StrFormat(
+        "\"%s_us\":%llu", SpanName(static_cast<Span>(s)),
+        static_cast<unsigned long long>(spans_[static_cast<size_t>(s)]));
+  }
+  out += "},\"top_ops\":[";
+  bool first = true;
+  for (const auto& op : TopOperators(3)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"op\":\"" + JsonEscape(op.first) + "\"";
+    out += StrFormat(",\"us\":%llu}",
+                     static_cast<unsigned long long>(op.second));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sciql

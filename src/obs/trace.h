@@ -1,0 +1,108 @@
+// Per-statement execution tracing: lifecycle spans (parse/bind/optimize/
+// execute) plus, when the MAL interpreter runs with a trace attached, one
+// sample per instruction — wall time, input/output row counts, and the
+// kernel-telemetry delta captured as a before/after snapshot diff so
+// concurrent sessions attribute physical-path counters to *their own*
+// instructions instead of reading the shared global. Rendered by
+// EXPLAIN ANALYZE and summarised into the slow-query log.
+// See docs/observability.md.
+
+#ifndef SCIQL_OBS_TRACE_H_
+#define SCIQL_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace mal {
+class MalProgram;
+}  // namespace mal
+
+namespace obs {
+
+/// \brief Process-wide trace rendering switches, mirroring the
+/// gdk::Controls() / engine::GetPlannerControls() pattern.
+struct TraceControls {
+  /// When true, EXPLAIN ANALYZE renders every duration as '*' so golden
+  /// tests can pin the plan shape, row counts and chosen-path annotations
+  /// without depending on wall-clock noise.
+  bool redact_timings = false;
+};
+
+TraceControls& GetTraceControls();
+
+/// \brief One traced MAL instruction.
+struct InstrSample {
+  std::string name;      ///< module.fn, captured so the sample outlives the program
+  uint64_t in_rows = 0;  ///< summed rows of BAT arguments
+  uint64_t out_rows = 0; ///< summed rows of BAT results (scalars count as 1)
+  uint64_t micros = 0;   ///< wall time of this instruction
+  /// Kernel-telemetry delta across this instruction (this thread's bumps
+  /// plus any concurrent session's — exact when the statement runs alone).
+  gdk::TelemetrySnapshot delta;
+};
+
+/// \brief The trace of one statement. Not thread-safe: one trace belongs to
+/// the one session thread executing the statement (the morsel pool's worker
+/// threads never touch it — instruction boundaries are sequential).
+class StatementTrace {
+ public:
+  enum Span { kParse = 0, kBind, kOptimize, kExecute, kSpanCount };
+
+  static const char* SpanName(Span s);
+
+  void SetSpanMicros(Span s, uint64_t us) {
+    spans_[static_cast<size_t>(s)] = us;
+  }
+  uint64_t span_micros(Span s) const {
+    return spans_[static_cast<size_t>(s)];
+  }
+
+  /// \brief Pin the statement's total wall time (which may exceed the span
+  /// sum: writer-lock wait and WAL logging are outside every span).
+  void SetTotalMicros(uint64_t us) { total_micros_ = us; }
+
+  /// \brief The explicit total when set, else the sum of all spans.
+  uint64_t TotalMicros() const;
+
+  /// \brief Record the sample of instruction `index` (its position in
+  /// MalProgram::instrs(), so RenderAnalyze can zip samples with lines).
+  void RecordInstr(size_t index, InstrSample s);
+  const std::vector<InstrSample>& samples() const { return samples_; }
+
+  void SetRowsReturned(uint64_t n) { rows_returned_ = n; }
+  uint64_t rows_returned() const { return rows_returned_; }
+
+  /// \brief The MAL program rendered line by line, each instruction
+  /// annotated with actual rows, wall time and the physical-path counters
+  /// it fired, preceded by a span/rows summary header. `redact` replaces
+  /// every duration with '*' (see TraceControls::redact_timings).
+  std::string RenderAnalyze(const mal::MalProgram& prog, bool redact) const;
+
+  /// \brief The `k` most expensive operators by summed self time, as
+  /// (module.fn, micros) pairs — ties broken by name so the slow-query log
+  /// is deterministic under equal timings.
+  std::vector<std::pair<std::string, uint64_t>> TopOperators(size_t k) const;
+
+  /// \brief One structured slow-query-log line (no trailing newline):
+  /// {"sql":...,"session":...,"total_us":...,"rows":...,
+  ///  "spans":{...},"top_ops":[{"op":...,"us":...},...]}.
+  std::string RenderSlowLogLine(const std::string& sql,
+                                uint64_t session_id) const;
+
+ private:
+  std::array<uint64_t, kSpanCount> spans_{};
+  std::vector<InstrSample> samples_;
+  uint64_t rows_returned_ = 0;
+  uint64_t total_micros_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sciql
+
+#endif  // SCIQL_OBS_TRACE_H_

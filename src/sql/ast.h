@@ -177,6 +177,9 @@ struct Statement {
 
   // kExplain
   StatementPtr inner;
+  /// EXPLAIN ANALYZE: execute `inner` and annotate the plan with actual
+  /// rows, per-instruction timings and chosen-path telemetry.
+  bool analyze = false;
 
   /// The statement's own SQL text (trimmed, no trailing ';'), recovered from
   /// the parsed input's token spans. The engine's write-ahead log records

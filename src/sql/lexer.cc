@@ -23,6 +23,7 @@ const std::unordered_set<std::string>& Keywords() {
       "RANGE", "CASE", "WHEN", "THEN", "ELSE", "END", "NULL", "IS", "NOT",
       "IN", "BETWEEN", "AND", "OR", "MOD", "DISTINCT", "COUNT", "SUM", "AVG",
       "MIN", "MAX", "ABS", "JOIN", "INNER", "ON", "TRUE", "FALSE", "EXPLAIN",
+      "ANALYZE",
   };
   return *kw;
 }

@@ -88,6 +88,7 @@ class Parser {
       Advance();
       auto st = std::make_unique<Statement>();
       st->kind = Statement::Kind::kExplain;
+      st->analyze = AcceptKw("ANALYZE");
       SCIQL_ASSIGN_OR_RETURN(st->inner, ParseStatement());
       return st;
     }

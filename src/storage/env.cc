@@ -45,6 +45,20 @@ IoStats& GetIoStats() {
   return stats;
 }
 
+const std::vector<IoStatsField>& IoStatsFields() {
+  static const auto* fields = new std::vector<IoStatsField>{
+      {"atomic_writes", "WriteFileAtomic commits", &IoStats::atomic_writes},
+      {"file_fsyncs", "successful file fsyncs", &IoStats::file_fsyncs},
+      {"dir_fsyncs", "successful directory fsyncs", &IoStats::dir_fsyncs},
+      {"dir_fsync_failed", "best-effort directory fsyncs swallowed",
+       &IoStats::dir_fsync_failed},
+      {"wal_appends", "WAL records appended", &IoStats::wal_appends},
+      {"wal_fsyncs", "WAL records fsync'd (kFsync durability)",
+       &IoStats::wal_fsyncs},
+  };
+  return *fields;
+}
+
 namespace {
 
 std::string ErrnoMessage(const char* what, const std::string& path) {

@@ -86,18 +86,21 @@ struct IoStats {
   std::atomic<uint64_t> dir_fsync_failed{0};  ///< best-effort dir fsyncs swallowed
   std::atomic<uint64_t> wal_appends{0};       ///< WAL records appended
   std::atomic<uint64_t> wal_fsyncs{0};        ///< WAL records fsync'd (kFsync)
-
-  void Reset() {
-    atomic_writes = 0;
-    file_fsyncs = 0;
-    dir_fsyncs = 0;
-    dir_fsync_failed = 0;
-    wal_appends = 0;
-    wal_fsyncs = 0;
-  }
 };
 
 IoStats& GetIoStats();
+
+/// \brief Counter catalog entry for IoStats: stable field name + member
+/// pointer, so the metrics registry (src/obs/) and any snapshotting consumer
+/// iterate one table. Mirrors gdk::TelemetryFields().
+struct IoStatsField {
+  const char* name;
+  const char* help;
+  std::atomic<uint64_t> IoStats::*member;
+};
+
+/// \brief The full IoStats counter catalog, in declaration order.
+const std::vector<IoStatsField>& IoStatsFields();
 
 }  // namespace storage
 }  // namespace sciql

@@ -10,6 +10,8 @@
 
 #include "src/engine/database.h"
 #include "src/gdk/kernels.h"
+
+#include "tests/support/telemetry_probe.h"
 #include "tests/support/golden_format.h"
 
 namespace sciql {
@@ -40,16 +42,16 @@ class OrderSpecQueryTest : public ::testing::Test {
 };
 
 TEST_F(OrderSpecQueryTest, DescOrderByAfterAscBuildsNothing) {
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> asc = QueryRows(&db_, "SELECT k FROM t ORDER BY k");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
 
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> desc =
       QueryRows(&db_, "SELECT k, v FROM t ORDER BY k DESC");
   // Served by run reversal of the live ascending index: zero sorts.
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reversed, 1u);
   // Stable DESC with nils (smallest) last; ties keep insertion order.
   EXPECT_EQ(desc, (std::vector<std::string>{"3|30", "2|21", "2|20", "1|10",
                                             "1|11", "null|50"}));
@@ -57,50 +59,50 @@ TEST_F(OrderSpecQueryTest, DescOrderByAfterAscBuildsNothing) {
 }
 
 TEST_F(OrderSpecQueryTest, MultiKeyOrderByCachesAndReuses) {
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> first =
       QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
-  EXPECT_EQ(gdk::Telemetry().order_index_built_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built_multi, 1u);
   EXPECT_EQ(first, (std::vector<std::string>{"null|50", "1|11", "1|10",
                                              "2|21", "2|20", "3|30"}));
 
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> again =
       QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_GE(gdk::Telemetry().order_index_reused_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reused_multi, 1u);
   EXPECT_EQ(again, first);
 
   // The fully negated spec reverses the same build — still zero sorts.
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> neg =
       QueryRows(&db_, "SELECT k, v FROM t ORDER BY k DESC, v");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_GE(gdk::Telemetry().order_index_reversed_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reversed_multi, 1u);
   EXPECT_EQ(neg, (std::vector<std::string>{"3|30", "2|20", "2|21", "1|10",
                                            "1|11", "null|50"}));
 }
 
 TEST_F(OrderSpecQueryTest, DescLimitRidesTheAscendingIndexWindow) {
   QueryRows(&db_, "SELECT k FROM t ORDER BY k");  // builds + caches
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> top =
       QueryRows(&db_, "SELECT k FROM t ORDER BY k DESC LIMIT 2");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_EQ(gdk::Telemetry().firstn_index_window, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 1u);
   EXPECT_EQ(top, (std::vector<std::string>{"3", "2"}));
 }
 
 TEST_F(OrderSpecQueryTest, StringDescOrderByReversesCachedIndex) {
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   QueryRows(&db_, "SELECT s FROM t ORDER BY s");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
-  gdk::Telemetry().Reset();
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> desc =
       QueryRows(&db_, "SELECT s FROM t ORDER BY s DESC");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reversed, 1u);
   EXPECT_EQ(desc, (std::vector<std::string>{"c", "bb", "b", "aa", "a",
                                             "null"}));
 }
@@ -108,10 +110,10 @@ TEST_F(OrderSpecQueryTest, StringDescOrderByReversesCachedIndex) {
 TEST_F(OrderSpecQueryTest, MutationInvalidatesTheWholeSpecCache) {
   QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
   ASSERT_TRUE(db_.Run("UPDATE t SET v = 99 WHERE k = 3").ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> rows =
       QueryRows(&db_, "SELECT k, v FROM t ORDER BY k, v DESC");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);  // rebuilt, not stale
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);  // rebuilt, not stale
   EXPECT_EQ(rows, (std::vector<std::string>{"null|50", "1|11", "1|10",
                                             "2|21", "2|20", "3|99"}));
 }

@@ -1,0 +1,124 @@
+// Concurrent metrics scrapes racing live sessions. The registry's counters
+// and gauges are read-through closures over atomics owned by the engine, so
+// a scrape may run at any moment — including mid-statement, mid-histogram
+// observation, or while a DatabaseCore is being created or destroyed. This
+// binary is named engine_session_* so the TSan CI job picks it up: the
+// interesting assertions are the ones the race detector makes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/obs/metrics.h"
+
+namespace sciql {
+namespace engine {
+namespace {
+
+TEST(SessionScrapeTest, ScrapeWhileSessionsQuery) {
+  Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE t (k INT, v INT)").ok());
+  ASSERT_TRUE(
+      db.Run("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 5), "
+             "(5, 20), (6, 1)")
+          .ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE u (k INT, w INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO u VALUES (2, 200), (3, 300)").ok());
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 40;
+  const std::string queries[] = {
+      "SELECT k, v FROM t ORDER BY v DESC LIMIT 2",
+      "SELECT t.k, u.w FROM t JOIN u ON t.k = u.k",
+      "SELECT v, COUNT(*) AS c FROM t GROUP BY v",
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  // The scraper hammers RenderPrometheus() for the whole run; every render
+  // reads the engine's live atomics while the sessions below mutate them.
+  std::thread scraper([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string text = obs::RenderPrometheus();
+      if (text.find("sciql_statement_executed") == std::string::npos) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kQueryThreads; ++w) {
+    workers.emplace_back([&, w]() {
+      std::unique_ptr<Session> session = db.core().CreateSession();
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto rs = session->Query(queries[(w + i) % 3]);
+        if (!rs.ok() || rs->NumRows() == 0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  // Cores registering/unregistering labeled gauges must also be safe
+  // against an in-flight scrape.
+  for (int i = 0; i < 8; ++i) {
+    Database ephemeral;
+    ASSERT_TRUE(ephemeral.Run("CREATE TABLE e (v INT)").ok());
+  }
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  std::string final_text = obs::RenderPrometheus();
+  EXPECT_NE(final_text.find("sciql_statement_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(final_text.find("sciql_gdk_joins_hash"), std::string::npos);
+}
+
+TEST(SessionScrapeTest, ScrapeWhileSlowLogAppends) {
+  std::string path = ::testing::TempDir() + "sciql_scrape_slow.jsonl";
+  std::remove(path.c_str());
+
+  Database db;
+  DatabaseCore::SlowQueryLogOptions options;
+  options.path = path;
+  options.threshold_micros = 0;  // every statement appends a line
+  ASSERT_TRUE(db.core().EnableSlowQueryLog(options).ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE s (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO s VALUES (3), (1), (2)").ok());
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)obs::RenderPrometheus();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&]() {
+      std::unique_ptr<Session> session = db.core().CreateSession();
+      for (int i = 0; i < 30; ++i) {
+        auto rs = session->Query("SELECT v FROM s ORDER BY v");
+        EXPECT_TRUE(rs.ok());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  db.core().DisableSlowQueryLog();
+  EXPECT_GE(obs::Counters().slow_queries_logged.load(), 90u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sciql

@@ -38,31 +38,31 @@ TEST(FuzzSmoke, TwoHundredQueriesZeroDiffs) {
   }
 
   // Path-coverage proofs over the summed telemetry.
-  const gdk::KernelTelemetry& noindex = rep.telemetry["noindex-1t"];
+  const gdk::TelemetrySnapshot& noindex = rep.telemetry["noindex-1t"];
   EXPECT_EQ(noindex.joins_merge, 0u) << "kill switch leaked a merge join";
   EXPECT_EQ(noindex.joins_indexed_probe, 0u);
   EXPECT_EQ(noindex.firstn_index_window, 0u);
   EXPECT_EQ(noindex.minmax_index, 0u);
   EXPECT_GT(noindex.joins_hash, 0u) << "sweep generated no joins at all?";
 
-  const gdk::KernelTelemetry& sortslice = rep.telemetry["sortslice-1t"];
+  const gdk::TelemetrySnapshot& sortslice = rep.telemetry["sortslice-1t"];
   EXPECT_EQ(sortslice.firstn_heap, 0u)
       << "fuse_firstn=false still compiled a firstn";
   EXPECT_EQ(sortslice.firstn_index_window, 0u);
   EXPECT_EQ(sortslice.firstn_sort_fallback, 0u);
 
-  const gdk::KernelTelemetry& base = rep.telemetry["mem-1t"];
+  const gdk::TelemetrySnapshot& base = rep.telemetry["mem-1t"];
   EXPECT_GT(base.firstn_heap + base.firstn_sort_fallback +
                 base.firstn_index_window,
             0u)
       << "sweep generated no LIMIT queries?";
 
-  const gdk::KernelTelemetry& warm = rep.telemetry["warm-1t"];
+  const gdk::TelemetrySnapshot& warm = rep.telemetry["warm-1t"];
   EXPECT_GT(warm.joins_merge + warm.joins_indexed_probe, 0u)
       << "warmed indexes never steered a join off the hash path";
   EXPECT_GT(warm.order_index_built, 0u);
 
-  const gdk::KernelTelemetry& reopen = rep.telemetry["reopen-1t"];
+  const gdk::TelemetrySnapshot& reopen = rep.telemetry["reopen-1t"];
   EXPECT_GT(reopen.order_index_loaded, 0u)
       << "reopen path never adopted a persisted order index";
 }

@@ -5,6 +5,8 @@
 
 #include "src/gdk/kernels.h"
 
+#include "tests/support/telemetry_probe.h"
+
 namespace sciql {
 namespace gdk {
 namespace {
@@ -195,29 +197,29 @@ TEST(AggrTest, DoubleMinMaxNaNAcrossMorsels) {
 // prefix skipped) instead of scanning; without one it scans as before.
 TEST(AggrTest, IndexBackedMinMax) {
   auto v = IntBat({5, kIntNil, -2, 9, kIntNil, 7});
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto scan_mn = Aggregate(AggOp::kMin, *v);
   auto scan_mx = Aggregate(AggOp::kMax, *v);
   ASSERT_TRUE(scan_mn.ok());
   ASSERT_TRUE(scan_mx.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 0u);
   ASSERT_TRUE(EnsureOrderIndex(*v).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto idx_mn = Aggregate(AggOp::kMin, *v);
   auto idx_mx = Aggregate(AggOp::kMax, *v);
   ASSERT_TRUE(idx_mn.ok());
   ASSERT_TRUE(idx_mx.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 2u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 2u);
   EXPECT_EQ(idx_mn->AsInt64(), scan_mn->AsInt64());
   EXPECT_EQ(idx_mx->AsInt64(), scan_mx->AsInt64());
   EXPECT_EQ(idx_mn->AsInt64(), -2);
   EXPECT_EQ(idx_mx->AsInt64(), 9);
   // Mutation drops the index; the next aggregate scans the new values.
   ASSERT_TRUE(v->Set(0, ScalarValue::Int(-100)).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto after = Aggregate(AggOp::kMin, *v);
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 0u);
   EXPECT_EQ(after->AsInt64(), -100);
 }
 
@@ -264,12 +266,12 @@ TEST(AggrTest, IndexBackedMinMaxAllNullAndString) {
   ASSERT_TRUE(s->Append(ScalarValue::Null(PhysType::kStr)).ok());
   ASSERT_TRUE(s->Append(ScalarValue::Str("apple")).ok());
   ASSERT_TRUE(EnsureOrderIndex(*s).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto smn = Aggregate(AggOp::kMin, *s);
   auto smx = Aggregate(AggOp::kMax, *s);
   ASSERT_TRUE(smn.ok());
   ASSERT_TRUE(smx.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 2u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 2u);
   EXPECT_EQ(smn->s, "apple");
   EXPECT_EQ(smx->s, "pear");
 }

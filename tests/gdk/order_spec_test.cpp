@@ -18,6 +18,8 @@
 #include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
+#include "tests/support/telemetry_probe.h"
+
 namespace sciql {
 namespace gdk {
 namespace {
@@ -78,17 +80,17 @@ TEST(OrderSpec, MultiKeySpecBuildsOnceAndReuses) {
   auto a = RandomInts(40000, 11, 25, true);  // duplicate-heavy primary
   auto c = RandomInts(40000, 13, 5000, true);
   const std::vector<BATPtr> keys = {a, c};
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto idx1 = EnsureOrderIndexSpec(keys, {false, true});
   ASSERT_TRUE(idx1.ok());
-  EXPECT_EQ(Telemetry().order_index_built, 1u);
-  EXPECT_EQ(Telemetry().order_index_built_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built_multi, 1u);
   auto idx2 = EnsureOrderIndexSpec(keys, {false, true});
   ASSERT_TRUE(idx2.ok());
   EXPECT_EQ(idx1->get(), idx2->get());  // same build
-  EXPECT_EQ(Telemetry().order_index_built, 1u);
-  EXPECT_EQ(Telemetry().order_index_reused, 1u);
-  EXPECT_EQ(Telemetry().order_index_reused_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_reused, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_reused_multi, 1u);
 
   // The cached permutation equals a from-scratch sort of the same spec.
   auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
@@ -101,15 +103,15 @@ TEST(OrderSpec, NegatedSpecServedByRunReversalNotASecondSort) {
   auto a = RandomInts(30000, 17, 40, true);
   auto c = RandomInts(30000, 19, 40, true);
   const std::vector<BATPtr> keys = {a, c};
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   ASSERT_TRUE(EnsureOrderIndexSpec(keys, {false, true}).ok());
-  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
   // The fully negated spec must not sort again.
   auto rev = EnsureOrderIndexSpec(keys, {true, false});
   ASSERT_TRUE(rev.ok());
-  EXPECT_EQ(Telemetry().order_index_built, 1u);
-  EXPECT_EQ(Telemetry().order_index_reversed, 1u);
-  EXPECT_EQ(Telemetry().order_index_reversed_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_reversed, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_reversed_multi, 1u);
   auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
                            {true, false});
   ASSERT_TRUE(oracle.ok());
@@ -118,13 +120,13 @@ TEST(OrderSpec, NegatedSpecServedByRunReversalNotASecondSort) {
 
 TEST(OrderSpec, SingleKeyDescDerivesFromAscendingIndex) {
   auto b = RandomInts(50000, 23, 60, true);  // nils + heavy ties
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   ASSERT_TRUE(EnsureOrderIndex(*b).ok());
-  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
   auto desc = OrderIndex({b.get()}, {true});
   ASSERT_TRUE(desc.ok());
-  EXPECT_EQ(Telemetry().order_index_built, 1u);  // no second sort
-  EXPECT_GE(Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);  // no second sort
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reversed, 1u);
   auto oracle = OrderIndex({Uncached(b).get()}, {true});
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ((*desc)->oids(), (*oracle)->oids());
@@ -151,13 +153,13 @@ TEST(OrderSpec, SecondaryKeyMutationInvalidatesSpecEntry) {
   auto a = RandomInts(5000, 29, 10, false);
   auto c = RandomInts(5000, 31, 500, false);
   const std::vector<BATPtr> keys = {a, c};
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   ASSERT_TRUE(EnsureOrderIndexSpec(keys, {false, false}).ok());
-  ASSERT_EQ(Telemetry().order_index_built, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
   ASSERT_TRUE(c->Set(7, ScalarValue::Int(-12345)).ok());  // mutate secondary
   auto again = EnsureOrderIndexSpec(keys, {false, false});
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(Telemetry().order_index_built, 2u);  // stale entry not reused
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 2u);  // stale entry not reused
   auto oracle = OrderIndex({Uncached(a).get(), Uncached(c).get()},
                            {false, false});
   ASSERT_TRUE(oracle.ok());
@@ -176,11 +178,11 @@ TEST(OrderSpec, FirstNServedFromMultiKeyAndReversedSpecs) {
   auto full = OrderIndex({Uncached(a).get(), Uncached(c).get()},
                          {false, true});
   ASSERT_TRUE(full.ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto top = FirstN({a.get(), c.get()}, {false, true}, 37);
   ASSERT_TRUE(top.ok());
-  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
-  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ((*top)->oids(),
             std::vector<oid_t>((*full)->oids().begin(),
                                (*full)->oids().begin() + 37));
@@ -188,11 +190,11 @@ TEST(OrderSpec, FirstNServedFromMultiKeyAndReversedSpecs) {
   auto rfull = OrderIndex({Uncached(a).get(), Uncached(c).get()},
                           {true, false});
   ASSERT_TRUE(rfull.ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto rtop = FirstN({a.get(), c.get()}, {true, false}, 37);
   ASSERT_TRUE(rtop.ok());
-  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
-  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ((*rtop)->oids(),
             std::vector<oid_t>((*rfull)->oids().begin(),
                                (*rfull)->oids().begin() + 37));
@@ -203,11 +205,11 @@ TEST(OrderSpec, FirstNDescWindowFromAscendingSingleKeyIndex) {
   ASSERT_TRUE(EnsureOrderIndex(*b).ok());
   auto oracle = OrderIndex({Uncached(b).get()}, {true});
   ASSERT_TRUE(oracle.ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto top = FirstN({b.get()}, {true}, 11);
   ASSERT_TRUE(top.ok());
-  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
-  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ((*top)->oids(),
             std::vector<oid_t>((*oracle)->oids().begin(),
                                (*oracle)->oids().begin() + 11));
@@ -226,13 +228,13 @@ TEST(OrderSpec, MinMaxServedFromMultiKeyIndex) {
   ASSERT_TRUE(max_oracle.ok());
   ASSERT_TRUE(EnsureOrderIndexSpec({vals, sec}, {false, true}).ok());
   ASSERT_EQ(vals->order_index(), nullptr);  // only the multi-key spec lives
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto mn = Aggregate(AggOp::kMin, *vals);
   auto mx = Aggregate(AggOp::kMax, *vals);
   ASSERT_TRUE(mn.ok());
   ASSERT_TRUE(mx.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 2u);
-  EXPECT_EQ(Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 2u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ(mn->AsInt64(), min_oracle->AsInt64());
   EXPECT_EQ(mx->AsInt64(), max_oracle->AsInt64());
 }
@@ -249,10 +251,10 @@ TEST(OrderSpec, MinMaxMultiKeyIndexKeepsFirstArrivalZeroSign) {
   ASSERT_TRUE(scan.ok());
   ASSERT_TRUE(std::signbit(scan->d));
   ASSERT_TRUE(EnsureOrderIndexSpec({vals, sec}, {false, false}).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto mx = Aggregate(AggOp::kMax, *vals);
   ASSERT_TRUE(mx.ok());
-  EXPECT_EQ(Telemetry().minmax_index, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().minmax_index, 1u);
   EXPECT_TRUE(std::signbit(mx->d)) << "index path must keep the scan's -0.0";
 }
 
@@ -343,21 +345,21 @@ TEST(OrderSpec, RangeSelectLngDoubleBoundsRoundExactly) {
 TEST(OrderSpec, MergeJoinStringsBitIdenticalToHashAcrossThreads) {
   auto l = RandomStrs(30000, 67, 400, true);   // dup-heavy, with nils
   auto r = RandomStrs(70000, 71, 400, true);   // separate heap
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto hash = HashJoin(*l, *r);
   ASSERT_TRUE(hash.ok());
-  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().joins_hash, 1u);
   ASSERT_GT(hash->left->Count(), 0u);
   ASSERT_TRUE(EnsureOrderIndex(*l).ok());
   ASSERT_TRUE(EnsureOrderIndex(*r).ok());
   for (int threads : {1, 2, 8}) {
     ThreadPool::Get().SetThreadCount(threads);
-    Telemetry().Reset();
+    testsupport::TestProbe().Rebase();
     auto merged = HashJoin(*l, *r);
     ASSERT_TRUE(merged.ok());
-    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
-    EXPECT_EQ(Telemetry().joins_merge_str, 1u);
-    EXPECT_EQ(Telemetry().joins_hash, 0u);
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_merge_str, 1u);
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_hash, 0u);
     EXPECT_EQ(hash->left->oids(), merged->left->oids())
         << "threads=" << threads;
     EXPECT_EQ(hash->right->oids(), merged->right->oids())
@@ -382,10 +384,10 @@ TEST(OrderSpec, MergeJoinStringsAcrossDistinctHeapsComparesContent) {
   ASSERT_TRUE(hash.ok());
   ASSERT_TRUE(EnsureOrderIndex(*l).ok());
   ASSERT_TRUE(EnsureOrderIndex(*r).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto merged = HashJoin(*l, *r);
   ASSERT_TRUE(merged.ok());
-  EXPECT_EQ(Telemetry().joins_merge_str, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_merge_str, 1u);
   EXPECT_EQ(hash->left->oids(), merged->left->oids());
   EXPECT_EQ(hash->right->oids(), merged->right->oids());
   EXPECT_EQ(merged->left->Count(), 4u);  // a x a, a x a, b x b, b x b
@@ -396,21 +398,21 @@ TEST(OrderSpec, MergeJoinMultiKeyBitIdenticalToHashAcrossThreads) {
   auto l1 = RandomInts(40000, 79, 30, true);   // nils nest inside l0 runs
   auto r0 = RandomInts(90000, 83, 20, true);
   auto r1 = RandomInts(90000, 89, 30, true);
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto hash = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
   ASSERT_TRUE(hash.ok());
-  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().joins_hash, 1u);
   ASSERT_GT(hash->left->Count(), 0u);
   ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
   ASSERT_TRUE(EnsureOrderIndexSpec({r0, r1}, {false, false}).ok());
   for (int threads : {1, 2, 8}) {
     ThreadPool::Get().SetThreadCount(threads);
-    Telemetry().Reset();
+    testsupport::TestProbe().Rebase();
     auto merged = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
     ASSERT_TRUE(merged.ok());
-    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
-    EXPECT_EQ(Telemetry().joins_merge_multi, 1u);
-    EXPECT_EQ(Telemetry().joins_hash, 0u);
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_merge_multi, 1u);
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_hash, 0u);
     EXPECT_EQ(hash->left->oids(), merged->left->oids())
         << "threads=" << threads;
     EXPECT_EQ(hash->right->oids(), merged->right->oids())
@@ -429,10 +431,10 @@ TEST(OrderSpec, MergeJoinMultiKeyMixedTypesIncludingStrings) {
   ASSERT_GT(hash->left->Count(), 0u);
   ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
   ASSERT_TRUE(EnsureOrderIndexSpec({r0, r1}, {false, false}).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto merged = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
   ASSERT_TRUE(merged.ok());
-  EXPECT_EQ(Telemetry().joins_merge_multi, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_merge_multi, 1u);
   EXPECT_EQ(hash->left->oids(), merged->left->oids());
   EXPECT_EQ(hash->right->oids(), merged->right->oids());
 }
@@ -443,11 +445,11 @@ TEST(OrderSpec, MergeJoinMultiKeyOneSideUnindexedKeepsHashPath) {
   auto r0 = RandomInts(5000, 127, 15, true);
   auto r1 = RandomInts(5000, 131, 15, true);
   ASSERT_TRUE(EnsureOrderIndexSpec({l0, l1}, {false, false}).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto jr = HashJoinMulti({l0.get(), l1.get()}, {r0.get(), r1.get()});
   ASSERT_TRUE(jr.ok());
-  EXPECT_EQ(Telemetry().joins_merge, 0u);
-  EXPECT_EQ(Telemetry().joins_hash, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_hash, 1u);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include "src/common/thread_pool.h"
 #include "src/gdk/kernels.h"
 
+#include "tests/support/telemetry_probe.h"
+
 namespace sciql {
 namespace gdk {
 namespace {
@@ -349,29 +351,29 @@ TEST(SortProperty, FirstNServedFromCachedIndexWindow) {
   auto b = RandomInts(100000, 71, 5000, true);
   ASSERT_TRUE(EnsureOrderIndex(*b).ok());
   const auto& ord = *b->order_index();
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto got = FirstN({b.get()}, {false}, 25);
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(Telemetry().firstn_index_window, 1u);
-  EXPECT_EQ(Telemetry().firstn_heap, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_heap, 0u);
   EXPECT_EQ(got->get()->oids(),
             std::vector<oid_t>(ord.begin(), ord.begin() + 25));
   // Without the cache the same query runs the bounded heaps instead.
   b->InvalidateOrderIndex();
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto heap = FirstN({b.get()}, {false}, 25);
   ASSERT_TRUE(heap.ok());
-  EXPECT_EQ(Telemetry().firstn_index_window, 0u);
-  EXPECT_EQ(Telemetry().firstn_heap, 1u);
-  EXPECT_EQ(Telemetry().firstn_sort_fallback, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_index_window, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_heap, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_sort_fallback, 0u);
   EXPECT_EQ(heap->get()->oids(), got->get()->oids());
   // k >= n/2 routes to the full-sort fallback (and says so).
   b->InvalidateOrderIndex();
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto most = FirstN({b.get()}, {false}, 60000);
   ASSERT_TRUE(most.ok());
-  EXPECT_EQ(Telemetry().firstn_sort_fallback, 1u);
-  EXPECT_EQ(Telemetry().firstn_heap, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_sort_fallback, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().firstn_heap, 0u);
   EXPECT_EQ(most->get()->Count(), 60000u);
 }
 
@@ -383,21 +385,21 @@ TEST(SortProperty, MergeJoinBothSidesIndexedIsBitIdenticalToHash) {
   // same multiset).
   auto small = RandomInts(60000, 83, 300, true);  // dup-heavy, with nils
   auto large = RandomInts(120000, 89, 300, true);
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto hash = HashJoin(*small, *large);
   ASSERT_TRUE(hash.ok());
-  ASSERT_EQ(Telemetry().joins_hash, 1u);
+  ASSERT_EQ(testsupport::TestProbe().delta().joins_hash, 1u);
   ASSERT_GT(hash->left->Count(), 0u);
   ASSERT_TRUE(EnsureOrderIndex(*small).ok());
   ASSERT_TRUE(EnsureOrderIndex(*large).ok());
   for (int threads : {1, 2, 8}) {
     ThreadPool::Get().SetThreadCount(threads);
-    Telemetry().Reset();
+    testsupport::TestProbe().Rebase();
     auto merged = HashJoin(*small, *large);
     ASSERT_TRUE(merged.ok());
-    EXPECT_EQ(Telemetry().joins_merge, 1u) << "threads=" << threads;
-    EXPECT_EQ(Telemetry().joins_hash, 0u) << "threads=" << threads;
-    EXPECT_EQ(Telemetry().joins_indexed_probe, 0u);
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 1u) << "threads=" << threads;
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_hash, 0u) << "threads=" << threads;
+    EXPECT_EQ(testsupport::TestProbe().delta().joins_indexed_probe, 0u);
     EXPECT_EQ(hash->left->oids(), merged->left->oids());
     EXPECT_EQ(hash->right->oids(), merged->right->oids());
   }
@@ -414,12 +416,12 @@ TEST(SortProperty, TinyBuildSideKeepsIndexedProbeOverMerge) {
   ASSERT_TRUE(hash.ok());
   ASSERT_TRUE(EnsureOrderIndex(*tiny).ok());
   ASSERT_TRUE(EnsureOrderIndex(*large).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto probed = HashJoin(*tiny, *large);
   ASSERT_TRUE(probed.ok());
-  EXPECT_EQ(Telemetry().joins_indexed_probe, 1u);
-  EXPECT_EQ(Telemetry().joins_merge, 0u);
-  EXPECT_EQ(Telemetry().joins_hash, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_indexed_probe, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_hash, 0u);
   EXPECT_EQ(SortedPairs(*hash), SortedPairs(*probed));
 }
 
@@ -437,10 +439,10 @@ TEST(SortProperty, MergeJoinDblZeroSignsAndNils) {
   ASSERT_TRUE(hash.ok());
   ASSERT_TRUE(EnsureOrderIndex(*l).ok());
   ASSERT_TRUE(EnsureOrderIndex(*r).ok());
-  Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   auto merged = HashJoin(*l, *r);
   ASSERT_TRUE(merged.ok());
-  EXPECT_EQ(Telemetry().joins_merge, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().joins_merge, 1u);
   EXPECT_EQ(SortedPairs(*hash), SortedPairs(*merged));
   EXPECT_EQ(hash->left->oids(), merged->left->oids());
   EXPECT_EQ(hash->right->oids(), merged->right->oids());

@@ -1,0 +1,400 @@
+// The unified metrics registry: Prometheus exposition round-trip, histogram
+// bucket determinism, per-core gauge lifecycle and the slow-query log.
+//
+// The round-trip test re-parses RenderPrometheus() with a minimal exposition
+// parser and checks the invariants monitoring relies on: every builtin
+// counter is present, sample values parse, families are sorted, histogram
+// buckets are cumulative and the +Inf bucket equals _count.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/gdk/kernels.h"
+#include "src/obs/metrics.h"
+#include "src/storage/env.h"
+#include "src/storage/fault_env.h"
+
+namespace sciql {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal Prometheus text-exposition parser, enough to round-trip the
+// registry's output: HELP/TYPE headers plus `name{labels} value` samples.
+// ---------------------------------------------------------------------------
+
+struct Sample {
+  std::string name;    // full sample name, e.g. sciql_statement_latency_us_bucket
+  std::string labels;  // raw label list without braces, "" if none
+  double value = 0;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> help;  // family -> help text
+  std::map<std::string, std::string> type;  // family -> counter|gauge|histogram
+  std::vector<Sample> samples;              // in exposition order
+};
+
+bool ParseExposition(const std::string& text, Exposition* out,
+                     std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      bool is_help = line[2] == 'H';
+      size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos) {
+        *error = "malformed header at line " + std::to_string(lineno);
+        return false;
+      }
+      std::string family = line.substr(7, sp - 7);
+      std::string rest = line.substr(sp + 1);
+      if (is_help) {
+        out->help[family] = rest;
+      } else {
+        out->type[family] = rest;
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      *error = "unexpected comment at line " + std::to_string(lineno);
+      return false;
+    }
+    Sample s;
+    size_t brace = line.find('{');
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) {
+      *error = "malformed sample at line " + std::to_string(lineno);
+      return false;
+    }
+    if (brace != std::string::npos && brace < sp) {
+      size_t close = line.find('}', brace);
+      if (close == std::string::npos || close > sp) {
+        *error = "malformed labels at line " + std::to_string(lineno);
+        return false;
+      }
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace + 1, close - brace - 1);
+    } else {
+      s.name = line.substr(0, sp);
+    }
+    const char* val = line.c_str() + sp + 1;
+    char* end = nullptr;
+    s.value = std::strtod(val, &end);
+    if (end == val || *end != '\0') {
+      *error = "unparseable value at line " + std::to_string(lineno) + ": " +
+               line;
+      return false;
+    }
+    out->samples.push_back(std::move(s));
+  }
+  return true;
+}
+
+double SampleValue(const Exposition& exp, const std::string& name,
+                   const std::string& labels = "") {
+  for (const Sample& s : exp.samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  ADD_FAILURE() << "sample not found: " << name << " {" << labels << "}";
+  return -1;
+}
+
+bool HasSample(const Exposition& exp, const std::string& name) {
+  for (const Sample& s : exp.samples) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing is fixed at compile time — pin it exactly.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketIndexIsDeterministic) {
+  // First bucket whose bound (2^i) is >= v.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1000), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 26), 26u);
+  // Everything past the last finite bound lands in +Inf.
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 26) + 1),
+            Histogram::kFiniteBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kFiniteBuckets);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketBound(i), uint64_t{1} << i);
+  }
+}
+
+TEST(HistogramTest, ObserveAccumulatesIdenticallyAcrossInstances) {
+  Histogram a, b;
+  const uint64_t values[] = {0, 1, 7, 64, 65, 100000, uint64_t{1} << 30};
+  for (uint64_t v : values) {
+    a.Observe(v);
+    b.Observe(v);
+  }
+  EXPECT_EQ(a.count(), 7u);
+  EXPECT_EQ(a.sum(), b.sum());
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.bucket(Histogram::kFiniteBuckets), 1u);  // the 2^30 observation
+}
+
+// ---------------------------------------------------------------------------
+// Exposition round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RenderPrometheusRoundTrips) {
+  // Touch the engine so statement metrics are live, not just registered.
+  engine::Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE m (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO m VALUES (3), (1), (2)").ok());
+  ASSERT_TRUE(db.Query("SELECT v FROM m ORDER BY v").ok());
+
+  Exposition exp;
+  std::string error;
+  std::string text = RenderPrometheus();
+  ASSERT_TRUE(ParseExposition(text, &exp, &error)) << error;
+
+  // Every pre-existing counter is present under its stable prefix.
+  for (const gdk::TelemetryField& f : gdk::TelemetryFields()) {
+    std::string family = std::string("sciql_gdk_") + f.name;
+    EXPECT_TRUE(HasSample(exp, family)) << family;
+    EXPECT_EQ(exp.type[family], "counter") << family;
+    EXPECT_FALSE(exp.help[family].empty()) << family;
+  }
+  for (const storage::IoStatsField& f : storage::IoStatsFields()) {
+    std::string family = std::string("sciql_io_") + f.name;
+    EXPECT_TRUE(HasSample(exp, family)) << family;
+    EXPECT_EQ(exp.type[family], "counter") << family;
+  }
+  EXPECT_TRUE(HasSample(exp, "sciql_statement_executed"));
+  EXPECT_TRUE(HasSample(exp, "sciql_statement_failed"));
+  EXPECT_TRUE(HasSample(exp, "sciql_slowlog_lines"));
+  EXPECT_TRUE(HasSample(exp, "sciql_slowlog_write_failed"));
+
+  // The statements above were counted.
+  EXPECT_GE(SampleValue(exp, "sciql_statement_executed"), 3);
+  // The ORDER BY flowed through a kernel that pinned telemetry.
+  EXPECT_GE(SampleValue(exp, "sciql_statement_latency_us_count"), 1);
+
+  // Samples are sorted by (family base name, labels): verify the exposition
+  // is grouped — once a family ends, it never reappears.
+  std::map<std::string, int> family_runs;
+  std::string prev_family;
+  auto family_of = [](const std::string& sample_name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t n = sample_name.size(), m = std::string(suffix).size();
+      if (n > m && sample_name.compare(n - m, m, suffix) == 0) {
+        return sample_name.substr(0, n - m);
+      }
+    }
+    return sample_name;
+  };
+  for (const Sample& s : exp.samples) {
+    std::string fam = family_of(s.name);
+    if (fam != prev_family) {
+      family_runs[fam]++;
+      prev_family = fam;
+    }
+  }
+  for (const auto& [fam, runs] : family_runs) {
+    EXPECT_EQ(runs, 1) << "family " << fam << " appears in " << runs
+                       << " separate runs";
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramExpositionIsCumulative) {
+  // Drive a few statements so the latency histogram has observations.
+  engine::Database db;
+  ASSERT_TRUE(db.Run("CREATE TABLE h (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO h VALUES (1), (2)").ok());
+
+  Exposition exp;
+  std::string error;
+  ASSERT_TRUE(ParseExposition(RenderPrometheus(), &exp, &error)) << error;
+
+  for (const char* family :
+       {"sciql_statement_latency_us", "sciql_statement_rows"}) {
+    EXPECT_EQ(exp.type[family], "histogram") << family;
+    std::string bucket = std::string(family) + "_bucket";
+    double prev = 0;
+    double inf = -1;
+    size_t buckets_seen = 0;
+    for (const Sample& s : exp.samples) {
+      if (s.name != bucket) continue;
+      ++buckets_seen;
+      EXPECT_GE(s.value, prev) << family << " buckets must be cumulative";
+      prev = s.value;
+      if (s.labels == "le=\"+Inf\"") inf = s.value;
+    }
+    EXPECT_EQ(buckets_seen, Histogram::kBuckets) << family;
+    EXPECT_EQ(inf, SampleValue(exp, std::string(family) + "_count"))
+        << family << ": +Inf bucket must equal _count";
+  }
+}
+
+TEST(MetricsRegistryTest, RegisterUnregisterLabeledSeries) {
+  uint64_t v1 = 41, v2 = 42;
+  Metrics().RegisterGauge("test.tmp.gauge", "a test gauge",
+                          [&v1]() { return v1; }, "shard=\"1\"");
+  Metrics().RegisterGauge("test.tmp.gauge", "a test gauge",
+                          [&v2]() { return v2; }, "shard=\"2\"");
+
+  Exposition exp;
+  std::string error;
+  ASSERT_TRUE(ParseExposition(RenderPrometheus(), &exp, &error)) << error;
+  EXPECT_EQ(SampleValue(exp, "test_tmp_gauge", "shard=\"1\""), 41);
+  EXPECT_EQ(SampleValue(exp, "test_tmp_gauge", "shard=\"2\""), 42);
+  EXPECT_EQ(exp.type["test_tmp_gauge"], "gauge");
+
+  Metrics().Unregister("test.tmp.gauge", "shard=\"1\"");
+  Metrics().Unregister("test.tmp.gauge", "shard=\"2\"");
+  Exposition after;
+  ASSERT_TRUE(ParseExposition(RenderPrometheus(), &after, &error)) << error;
+  EXPECT_FALSE(HasSample(after, "test_tmp_gauge"));
+}
+
+TEST(MetricsRegistryTest, CoreGaugesAppearAndDisappearWithTheCore) {
+  std::string labels;
+  {
+    engine::Database db;
+    labels = "core=\"" + std::to_string(db.core().core_id()) + "\"";
+    Exposition exp;
+    std::string error;
+    ASSERT_TRUE(ParseExposition(RenderPrometheus(), &exp, &error)) << error;
+    // The facade's default session is alive.
+    EXPECT_EQ(SampleValue(exp, "sciql_core_active_sessions", labels), 1);
+    EXPECT_GE(SampleValue(exp, "sciql_core_sessions_created", labels), 1);
+  }
+  Exposition after;
+  std::string error;
+  ASSERT_TRUE(ParseExposition(RenderPrometheus(), &after, &error)) << error;
+  for (const Sample& s : after.samples) {
+    EXPECT_FALSE(s.name == "sciql_core_active_sessions" && s.labels == labels)
+        << "destroyed core still scraped";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log.
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() /
+          ("sciql_obs_test_" + std::to_string(::getpid()) + "_" + leaf))
+      .string();
+}
+
+TEST(SlowQueryLogTest, ThresholdZeroLogsEveryStatementAsJson) {
+  std::string path = TempPath("slow.jsonl");
+  std::filesystem::remove(path);
+
+  engine::Database db;
+  engine::DatabaseCore::SlowQueryLogOptions options;
+  options.path = path;
+  options.threshold_micros = 0;  // log everything
+  ASSERT_TRUE(db.core().EnableSlowQueryLog(options).ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE s (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO s VALUES (2), (1)").ok());
+  ASSERT_TRUE(db.Query("SELECT v FROM s ORDER BY v").ok());
+  db.core().DisableSlowQueryLog();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  // Structured shape: every line is one JSON object with the fixed keys.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"sql\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"session\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"total_us\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"spans\":{\"parse_us\":"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"top_ops\":["), std::string::npos) << line;
+  }
+  EXPECT_NE(lines[0].find("CREATE TABLE s (v INT)"), std::string::npos);
+  EXPECT_NE(lines[2].find("SELECT v FROM s ORDER BY v"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SlowQueryLogTest, HugeThresholdLogsNothing) {
+  std::string path = TempPath("quiet.jsonl");
+  std::filesystem::remove(path);
+
+  engine::Database db;
+  engine::DatabaseCore::SlowQueryLogOptions options;
+  options.path = path;
+  options.threshold_micros = uint64_t{1} << 40;  // ~13 days
+  ASSERT_TRUE(db.core().EnableSlowQueryLog(options).ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE q (v INT)").ok());
+  db.core().DisableSlowQueryLog();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());  // the file is created eagerly...
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_TRUE(all.empty());  // ...but nothing crossed the threshold
+  std::filesystem::remove(path);
+}
+
+TEST(SlowQueryLogTest, AppendFailureBumpsCounterAndStatementsStillSucceed) {
+  std::string path = TempPath("failing.jsonl");
+  std::filesystem::remove(path);
+
+  storage::FaultInjectingEnv env;
+  engine::Database db;
+  engine::DatabaseCore::SlowQueryLogOptions options;
+  options.path = path;
+  options.threshold_micros = 0;
+  options.env = &env;
+  ASSERT_TRUE(db.core().EnableSlowQueryLog(options).ok());
+  // Pull the plug underneath the already-open log file: every append from
+  // here on fails. The engine must treat that as best-effort.
+  env.HaltAllWrites();
+
+  uint64_t failed_before = Counters().slow_query_log_write_failed.load();
+  ASSERT_TRUE(db.Run("CREATE TABLE f (v INT)").ok());
+  ASSERT_TRUE(db.Run("INSERT INTO f VALUES (7)").ok());
+  db.core().DisableSlowQueryLog();
+
+  EXPECT_GE(Counters().slow_query_log_write_failed.load(), failed_before + 2);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sciql

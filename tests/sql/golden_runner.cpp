@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/engine/database.h"
+#include "src/obs/trace.h"
 #include "tests/support/golden_format.h"
 
 #ifndef SCIQL_SOURCE_DIR
@@ -64,6 +65,9 @@ std::vector<Record> ParseFile(const std::string& path) {
 
 void RunFile(const std::string& path) {
   std::vector<Record> records = ParseFile(path);
+  // Golden files pin EXPLAIN ANALYZE output; durations become '*' so the
+  // expected rows are stable (rows and chosen-path annotations are exact).
+  obs::GetTraceControls().redact_timings = true;
   auto db = std::make_unique<engine::Database>();
   for (const Record& rec : records) {
     std::string where = path + ":" + std::to_string(rec.line);

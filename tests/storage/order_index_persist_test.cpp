@@ -15,6 +15,8 @@
 #include "src/common/rng.h"
 #include "src/engine/database.h"
 #include "src/gdk/kernels.h"
+
+#include "tests/support/telemetry_probe.h"
 #include "src/storage/file_io.h"
 #include "src/storage/storage_engine.h"
 #include "tests/support/golden_format.h"
@@ -74,37 +76,37 @@ TEST(OrderIndexPersistTest, ReopenedDatabaseServesOrderByAndMinMaxFromIndex) {
     ASSERT_TRUE(db.Open(dir).ok());
     ASSERT_TRUE(db.Run("CREATE TABLE t (k INT)").ok());
     Populate(&db, 300, 42);
-    gdk::Telemetry().Reset();
+    testsupport::TestProbe().Rebase();
     before = QueryRows(&db, "SELECT k FROM t ORDER BY k");
-    EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+    EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
     ASSERT_TRUE(db.Checkpoint().ok());
   }
 
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> after = QueryRows(&db2, "SELECT k FROM t ORDER BY k");
   EXPECT_EQ(after, before);  // bit-identical rendered rows across reopen
   // Served by the persisted index: adopted from disk, never rebuilt.
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_EQ(gdk::Telemetry().order_index_loaded, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_loaded, 1u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 1u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 0u);
 
   // MIN/MAX also ride the loaded index (endpoint reads, no scan, no build).
-  uint64_t minmax_before = gdk::Telemetry().minmax_index;
+  uint64_t minmax_before = testsupport::TestProbe().delta().minmax_index;
   std::vector<std::string> mm = QueryRows(&db2, "SELECT MIN(k), MAX(k) FROM t");
   ASSERT_EQ(mm.size(), 1u);
-  EXPECT_GT(gdk::Telemetry().minmax_index, minmax_before);
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GT(testsupport::TestProbe().delta().minmax_index, minmax_before);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
 
   // Top-k rides it too: FirstN's index-window fast path.
-  uint64_t window_before = gdk::Telemetry().firstn_index_window;
+  uint64_t window_before = testsupport::TestProbe().delta().firstn_index_window;
   std::vector<std::string> top =
       QueryRows(&db2, "SELECT k FROM t ORDER BY k LIMIT 5");
   EXPECT_EQ(top, std::vector<std::string>(before.begin(), before.begin() + 5));
-  EXPECT_GT(gdk::Telemetry().firstn_index_window, window_before);
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_GT(testsupport::TestProbe().delta().firstn_index_window, window_before);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
 }
 
 TEST(OrderIndexPersistTest, CorruptIndexIsRejectedAndRebuilt) {
@@ -146,11 +148,11 @@ TEST(OrderIndexPersistTest, CorruptIndexIsRejectedAndRebuilt) {
 
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   EXPECT_EQ(QueryRows(&db2, "SELECT k FROM t ORDER BY k"), before);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 1u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 0u);
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);  // rebuilt from data
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);  // rebuilt from data
 }
 
 TEST(OrderIndexPersistTest, IndexBuiltOnCleanColumnPersistsWithoutHeapRewrite) {
@@ -169,9 +171,9 @@ TEST(OrderIndexPersistTest, IndexBuiltOnCleanColumnPersistsWithoutHeapRewrite) {
   }
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   QueryRows(&db2, "SELECT k FROM t ORDER BY k");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 1u);
 }
 
@@ -195,26 +197,26 @@ TEST(OrderIndexPersistTest, ReopenServesDescAndMultiKeyWithZeroRebuilds) {
       }
       ASSERT_TRUE(db.Run("INSERT INTO t VALUES " + values).ok());
     }
-    gdk::Telemetry().Reset();
+    testsupport::TestProbe().Rebase();
     desc_rows = QueryRows(&db, "SELECT a FROM t ORDER BY a DESC");
     multi_rows = QueryRows(&db, "SELECT a, b FROM t ORDER BY a, b DESC");
     // One canonical single-key build (reversed for DESC) + one multi-key.
-    EXPECT_EQ(gdk::Telemetry().order_index_built, 2u);
-    EXPECT_EQ(gdk::Telemetry().order_index_built_multi, 1u);
+    EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 2u);
+    EXPECT_EQ(testsupport::TestProbe().delta().order_index_built_multi, 1u);
     ASSERT_TRUE(db.Checkpoint().ok());
   }
 
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   EXPECT_EQ(QueryRows(&db2, "SELECT a FROM t ORDER BY a DESC"), desc_rows);
   EXPECT_EQ(QueryRows(&db2, "SELECT a, b FROM t ORDER BY a, b DESC"),
             multi_rows);
   // Both specs served from disk: zero sorts after reopen.
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
-  EXPECT_EQ(gdk::Telemetry().order_index_loaded, 2u);
-  EXPECT_EQ(gdk::Telemetry().order_index_loaded_multi, 1u);
-  EXPECT_GE(gdk::Telemetry().order_index_reversed, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_loaded, 2u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_loaded_multi, 1u);
+  EXPECT_GE(testsupport::TestProbe().delta().order_index_reversed, 1u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 2u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_rejected, 0u);
 }
@@ -271,10 +273,10 @@ TEST(OrderIndexPersistTest, SecondSpecRewritesOnlyTheIndexFile) {
   ASSERT_TRUE(db.Close().ok());
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   QueryRows(&db2, "SELECT a, b FROM t ORDER BY a, b");
   QueryRows(&db2, "SELECT a FROM t ORDER BY a");
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 0u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 0u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 2u);
 }
 
@@ -296,12 +298,12 @@ TEST(OrderIndexPersistTest, MutationDropsThePersistedIndex) {
   }
   Database db2;
   ASSERT_TRUE(db2.Open(dir).ok());
-  gdk::Telemetry().Reset();
+  testsupport::TestProbe().Rebase();
   std::vector<std::string> rows = QueryRows(&db2, "SELECT k FROM t ORDER BY k");
   ASSERT_GT(rows.size(), 2u);
   EXPECT_EQ(rows[0], "null");      // NULLs sort first...
   EXPECT_EQ(rows[1], "-5000");     // ...then the post-checkpoint insert
-  EXPECT_EQ(gdk::Telemetry().order_index_built, 1u);
+  EXPECT_EQ(testsupport::TestProbe().delta().order_index_built, 1u);
   EXPECT_EQ(db2.storage_engine()->stats().order_indexes_loaded, 0u);
 }
 

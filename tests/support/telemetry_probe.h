@@ -1,0 +1,24 @@
+// A process-wide gdk::TelemetryProbe for tests that pin kernel telemetry.
+// KernelTelemetry is monotonic (Reset() was removed: zeroing the global
+// would corrupt concurrent sessions and metric scrapes), so tests Rebase()
+// the probe where they used to reset and read delta() where they used to
+// read the global. Test binaries run their cases sequentially, so one
+// shared probe is exactly the old semantics without touching the global.
+
+#ifndef SCIQL_TESTS_SUPPORT_TELEMETRY_PROBE_H_
+#define SCIQL_TESTS_SUPPORT_TELEMETRY_PROBE_H_
+
+#include "src/gdk/kernels.h"
+
+namespace sciql {
+namespace testsupport {
+
+inline gdk::TelemetryProbe& TestProbe() {
+  static gdk::TelemetryProbe probe;
+  return probe;
+}
+
+}  // namespace testsupport
+}  // namespace sciql
+
+#endif  // SCIQL_TESTS_SUPPORT_TELEMETRY_PROBE_H_

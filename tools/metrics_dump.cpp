@@ -1,0 +1,81 @@
+// metrics_dump: print the unified metrics registry in Prometheus text
+// exposition format — the exact bytes a metrics endpoint would serve.
+//
+//   metrics_dump                    # the registry of a fresh process
+//   metrics_dump --sql "..."        # execute statements first (repeatable),
+//                                   # so kernel/statement metrics are live
+//   metrics_dump --open DIR         # attach a database directory first
+//   metrics_dump --names            # metric names only (catalog listing)
+//
+// Scripts use --names to diff the metric catalog against
+// docs/observability.md, and --sql to sanity-check counter attribution.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--open DIR] [--sql STMTS]... [--names]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string open_dir;
+  std::vector<std::string> sql;
+  bool names_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--open") == 0 && i + 1 < argc) {
+      open_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--sql") == 0 && i + 1 < argc) {
+      sql.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--names") == 0) {
+      names_only = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  sciql::engine::Database db;
+  if (!open_dir.empty()) {
+    auto st = db.Open(open_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", open_dir.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& s : sql) {
+    auto rs = db.Execute(s);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "sql: %s\n", rs.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::string text = sciql::obs::RenderPrometheus();
+  if (!names_only) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  // --names: every distinct family name, from the # TYPE headers.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    size_t sp = line.find(' ', 7);
+    std::printf("%s\n", line.substr(7, sp - 7).c_str());
+  }
+  return 0;
+}
