@@ -195,7 +195,7 @@ Catalog::Catalog() {
 }
 
 CatalogVersionPtr Catalog::Pin() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   pins_.fetch_add(1, std::memory_order_relaxed);
   CatalogVersionPtr keep = current_;
   const CatalogVersion* raw = keep.get();
@@ -209,17 +209,17 @@ CatalogVersionPtr Catalog::Pin() const {
 }
 
 uint64_t Catalog::CurrentVersionId() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   return current_->id_;
 }
 
 void Catalog::SetSharedMode() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   shared_mode_ = true;
 }
 
 bool Catalog::shared_mode() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   return shared_mode_;
 }
 
@@ -278,7 +278,7 @@ Result<Catalog::WriteHandle> Catalog::BeginWrite(const std::string& name) {
   WriteHandle h;
   h.cat_ = this;
   h.key_ = key;
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<common::Mutex> lk(mu_);
   // COW whenever a snapshot is pinned anywhere or the core ever went
   // multi-session; otherwise mutate the live object in place while holding
   // mu_, which excludes new pins for the duration of the statement. The
@@ -323,7 +323,7 @@ Status Catalog::WriteHandle::Commit() {
     return Status::Internal("Commit on an empty or already-committed handle");
   }
   if (cow_) {
-    std::lock_guard<std::mutex> lk(cat_->mu_);
+    common::MutexLock lk(&cat_->mu_);
     cat_->PublishLocked([this](CatalogVersion* v) {
       if (tab_ != nullptr) {
         v->tables_[key_] = tab_;
@@ -360,7 +360,7 @@ Status Catalog::CreateTable(const std::string& name,
   for (const auto& c : t->columns) {
     t->bats.push_back(BAT::Make(c.type));
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->Exists(key)) {
     return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
   }
@@ -377,7 +377,7 @@ Status Catalog::CreateArray(const std::string& name, array::ArrayDesc desc) {
   a->name = key;
   a->desc = std::move(desc);
   SCIQL_RETURN_NOT_OK(a->Materialize());
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->Exists(key)) {
     return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
   }
@@ -393,7 +393,7 @@ Status Catalog::DeclareArray(const std::string& name, array::ArrayDesc desc) {
   auto a = std::make_shared<ArrayObject>();
   a->name = key;
   a->desc = std::move(desc);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->Exists(key)) {
     return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
   }
@@ -409,7 +409,7 @@ Status Catalog::AdoptArray(const std::string& name,
   a->desc = std::move(arr.desc);
   a->dim_bats = std::move(arr.dim_bats);
   a->attr_bats = std::move(arr.attr_bats);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->Exists(key)) {
     return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
   }
@@ -421,7 +421,7 @@ Status Catalog::AdoptTable(const std::string& name,
                            std::shared_ptr<TableObject> t) {
   std::string key = ToLower(name);
   t->name = key;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->Exists(key)) {
     return Status::AlreadyExists(StrFormat("object %s exists", name.c_str()));
   }
@@ -431,7 +431,7 @@ Status Catalog::AdoptTable(const std::string& name,
 
 Status Catalog::DropObject(const std::string& name) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (current_->tables_.count(key) > 0) {
     PublishLocked([&](CatalogVersion* v) { v->tables_.erase(key); });
     return Status::OK();
@@ -444,7 +444,7 @@ Status Catalog::DropObject(const std::string& name) {
 }
 
 void Catalog::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   PublishLocked([](CatalogVersion* v) {
     v->tables_.clear();
     v->arrays_.clear();
@@ -456,13 +456,13 @@ void Catalog::Clear() {
 // ---------------------------------------------------------------------------
 
 void Catalog::SetLoader(Loader loader) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   loader_ = std::move(loader);
 }
 
 void Catalog::MarkUnloaded(const std::string& name) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   auto ti = current_->tables_.find(key);
   if (ti != current_->tables_.end()) {
     ti->second->load.pending.store(true, std::memory_order_release);
@@ -476,7 +476,7 @@ void Catalog::MarkUnloaded(const std::string& name) {
 
 bool Catalog::IsUnloaded(const std::string& name) const {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   auto ti = current_->tables_.find(key);
   if (ti != current_->tables_.end()) {
     return ti->second->load.pending.load(std::memory_order_acquire);
@@ -496,13 +496,13 @@ Status Catalog::EnsureLoaded(const std::string& key, Obj* obj) const {
     // The loader re-reading the object it is currently filling.
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lk(obj->load.mu);
+  common::MutexLock lk(&obj->load.mu);
   if (!obj->load.pending.load(std::memory_order_acquire)) {
     return Status::OK();  // a racing session loaded it while we waited
   }
   Loader loader;
   {
-    std::lock_guard<std::mutex> cl(mu_);
+    common::MutexLock cl(&mu_);
     loader = loader_;
     // The loader fills whatever is registered under `key` *now*. If this
     // snapshot's object has since been dropped or replaced, running it

@@ -33,6 +33,7 @@
 #include "src/array/coerce.h"
 #include "src/array/descriptor.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/gdk/bat.h"
 
 namespace sciql {
@@ -48,7 +49,13 @@ namespace catalog {
 /// filling without deadlocking on `mu`.
 struct LoadState {
   std::atomic<bool> pending{false};
-  std::mutex mu;
+  /// Serialises the load of this one object. Sits between the writer mutex
+  /// and the catalog mutex in the documented lock order (the loader body
+  /// takes Catalog::mu_ to re-check identity); being per-object, that
+  /// cross-instance relation is not expressible as an ACQUIRED_AFTER
+  /// attribute — Catalog::EnsureLoaded is the single place the nesting
+  /// happens.
+  common::Mutex mu;
   std::atomic<std::thread::id> loading{std::thread::id()};
 };
 
@@ -201,7 +208,11 @@ class Catalog {
     ArrayObject* array() const { return arr_.get(); }
 
     /// \brief Publish the mutation as a new catalog version.
-    Status Commit();
+    ///
+    /// Analysis-exempt: on the in-place path mu_ arrives held inside the
+    /// movable `lock_` (taken by BeginWrite, possibly on another statement
+    /// boundary), a transfer the thread-safety analysis cannot track.
+    Status Commit() NO_THREAD_SAFETY_ANALYSIS;
 
    private:
     friend class Catalog;
@@ -212,7 +223,7 @@ class Catalog {
     bool cow_ = false;
     // Held across the whole mutation on the in-place path: excludes new
     // Pin()s (there are no existing ones, or we would have cloned).
-    std::unique_lock<std::mutex> lock_;
+    std::unique_lock<common::Mutex> lock_;
   };
 
   /// \brief Open the named object for mutation. Ensures it is loaded, then
@@ -220,7 +231,13 @@ class Catalog {
   /// version) or locks out new pins and hands back the live object (the
   /// single-session fast path — repeated single-row INSERTs stay O(1), not
   /// O(rows) per statement).
-  Result<WriteHandle> BeginWrite(const std::string& name);
+  ///
+  /// Analysis-exempt: the in-place branch returns with mu_ still held,
+  /// moved into the handle's `lock_` — a conditional ownership transfer
+  /// the thread-safety analysis cannot express (WriteHandle::Commit is the
+  /// matching release).
+  Result<WriteHandle> BeginWrite(const std::string& name)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   // ---------------------------------------------------------------------
   // Mutators (each publishes a new version)
@@ -278,10 +295,9 @@ class Catalog {
   template <typename Obj>
   Status EnsureLoaded(const std::string& key, Obj* obj) const;
 
-  /// Build version id+1 from `current_` with `mutate` applied to the maps;
-  /// caller must hold mu_.
+  /// Build version id+1 from `current_` with `mutate` applied to the maps.
   template <typename Fn>
-  void PublishLocked(Fn mutate);
+  void PublishLocked(Fn mutate) REQUIRES(mu_);
 
   /// Deep clones for COW: every BAT is cloned; string columns re-intern into
   /// a private heap so the clone never shares a mutable arena with the
@@ -289,13 +305,16 @@ class Catalog {
   static std::shared_ptr<TableObject> CloneTable(const TableObject& src);
   static std::shared_ptr<ArrayObject> CloneArray(const ArrayObject& src);
 
-  mutable std::mutex mu_;  // guards current_, next_id_, loader_, shared_mode_
-  CatalogVersionPtr current_;  // never null
-  uint64_t next_id_ = 1;
+  /// Innermost of the catalog's own locks: taken after the writer mutex
+  /// and after a per-object load mutex, never the other way around
+  /// (docs/architecture.md lock order).
+  mutable common::Mutex mu_;
+  CatalogVersionPtr current_ GUARDED_BY(mu_);  // never null
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
   /// Outstanding Pin() handles across all versions; > 0 forces COW writes.
   mutable std::atomic<int64_t> pins_{0};
-  Loader loader_;
-  bool shared_mode_ = false;
+  Loader loader_ GUARDED_BY(mu_);
+  bool shared_mode_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace catalog

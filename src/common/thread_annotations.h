@@ -1,0 +1,120 @@
+// Clang thread-safety capability annotations plus the annotated mutex
+// types the engine's locked classes are written against.
+//
+// Under Clang the macros expand to the thread-safety attributes, so a build
+// with `-Wthread-safety` (CI pins `-Werror=thread-safety`) statically proves
+// that every GUARDED_BY field is only touched with its mutex held, that
+// REQUIRES contracts hold at every call site, and — with
+// `-Wthread-safety-beta` — that same-class ACQUIRED_BEFORE/ACQUIRED_AFTER
+// orderings are respected. Under GCC (the local toolchain) they expand to
+// nothing; the annotations are documentation there and enforcement happens
+// in the CI `static-analysis` job. docs/static_analysis.md describes the
+// conventions; the negative-compile harness under tests/negative_compile/
+// proves the enforcement is real.
+//
+// The std mutex types in libstdc++ are not annotated, so GUARDED_BY needs a
+// CAPABILITY-wrapped mutex: use `common::Mutex` + `common::MutexLock` (and
+// `common::CondVar` instead of std::condition_variable) anywhere a lock
+// guards shared state. `std::unique_lock<common::Mutex>` still works when a
+// lock must be movable or conditionally held — the analysis cannot track
+// it, so such functions carry NO_THREAD_SAFETY_ANALYSIS with a comment.
+
+#ifndef SCIQL_COMMON_THREAD_ANNOTATIONS_H_
+#define SCIQL_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SCIQL_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCIQL_THREAD_ANNOTATION_
+#define SCIQL_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) SCIQL_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY SCIQL_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) SCIQL_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) SCIQL_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  SCIQL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SCIQL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  SCIQL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SCIQL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SCIQL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) SCIQL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SCIQL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SCIQL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SCIQL_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) SCIQL_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCIQL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace sciql {
+namespace common {
+
+/// \brief std::mutex wrapped as a Clang thread-safety capability.
+///
+/// BasicLockable (lock/unlock/try_lock), so std::unique_lock and
+/// std::condition_variable_any accept it where movable ownership is needed.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII guard over Mutex — the annotated std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable usable with Mutex.
+///
+/// Wait takes the Mutex directly (condition_variable_any unlocks/relocks it
+/// around the block), so the REQUIRES contract stays visible to the
+/// analysis: the caller holds the mutex before and after the wait, exactly
+/// as with std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One blocking wait; always re-check the condition in a while loop. A
+  /// predicate overload is deliberately absent: the analysis treats a
+  /// predicate lambda as a separate unannotated function, so reading
+  /// GUARDED_BY state from one would (rightly) fail the build.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace common
+}  // namespace sciql
+
+#endif  // SCIQL_COMMON_THREAD_ANNOTATIONS_H_

@@ -31,8 +31,8 @@ struct ThreadPool::Job {
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
-  std::mutex mu;
-  std::condition_variable done_cv;
+  common::Mutex mu;
+  common::CondVar done_cv;
 };
 
 ThreadPool& ThreadPool::Get() {
@@ -45,17 +45,16 @@ ThreadPool& ThreadPool::Get() {
 ThreadPool::ThreadPool() : thread_count_(DefaultThreadCount()) {}
 
 int ThreadPool::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return thread_count_;
 }
 
 void ThreadPool::SetThreadCount(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   thread_count_ = n < 1 ? 1 : (n > 256 ? 256 : n);
 }
 
 void ThreadPool::EnsureWorkers(int needed) {
-  // Caller holds mu_.
   while (static_cast<int>(workers_.size()) < needed) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -66,8 +65,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return !jobs_.empty(); });
+      common::MutexLock lock(&mu_);
+      while (jobs_.empty()) work_cv_.Wait(mu_);
       job = jobs_.front();
       if (job->next.load(std::memory_order_relaxed) >= job->nmorsels) {
         // Fully claimed; retire it and look again.
@@ -89,8 +88,8 @@ void ThreadPool::RunJob(Job& job) {
     (*job.fn)(m, begin, end);
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.nmorsels) {
-      std::lock_guard<std::mutex> lock(job.mu);
-      job.done_cv.notify_all();
+      common::MutexLock lock(&job.mu);
+      job.done_cv.NotifyAll();
     }
   }
 }
@@ -104,7 +103,7 @@ void ThreadPool::ParallelFor(
 
   int threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     threads = thread_count_;
   }
   if (threads <= 1 || nmorsels <= 1 || t_in_worker) {
@@ -127,11 +126,11 @@ void ThreadPool::ParallelFor(
   size_t helpers = static_cast<size_t>(threads) - 1;
   if (helpers > nmorsels - 1) helpers = nmorsels - 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     EnsureWorkers(static_cast<int>(helpers));
     jobs_.push_back(job);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller claims morsels too, then waits for stragglers.
   bool was_in_worker = t_in_worker;
@@ -140,14 +139,14 @@ void ThreadPool::ParallelFor(
   t_in_worker = was_in_worker;
 
   {
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->done_cv.wait(lock, [&job] {
-      return job->done.load(std::memory_order_acquire) >= job->nmorsels;
-    });
+    common::MutexLock lock(&job->mu);
+    while (job->done.load(std::memory_order_acquire) < job->nmorsels) {
+      job->done_cv.Wait(job->mu);
+    }
   }
   {
     // Retire the job so parked workers don't touch its (stack-held) fn.
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
       if (it->get() == job.get()) {
         jobs_.erase(it);

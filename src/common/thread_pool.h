@@ -16,16 +16,15 @@
 #ifndef SCIQL_COMMON_THREAD_POOL_H_
 #define SCIQL_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace sciql {
 
@@ -68,15 +67,15 @@ class ThreadPool {
   ThreadPool();
   ~ThreadPool() = delete;  // the singleton leaks by design (see Get())
 
-  void EnsureWorkers(int needed);
+  void EnsureWorkers(int needed) REQUIRES(mu_);
   void WorkerLoop();
   static void RunJob(Job& job);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::thread> workers_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  int thread_count_ = 1;
+  mutable common::Mutex mu_;
+  common::CondVar work_cv_;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<Job>> jobs_ GUARDED_BY(mu_);
+  int thread_count_ GUARDED_BY(mu_) = 1;
 };
 
 /// \brief Morsel-parallel loop for fallible row kernels: runs

@@ -49,7 +49,7 @@ Status DatabaseCore::EnableSlowQueryLog(const SlowQueryLogOptions& options) {
   auto file =
       env->NewWritableFile(options.path, storage::Env::WriteMode::kAppend);
   SCIQL_RETURN_NOT_OK(file.status());
-  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  common::MutexLock lk(&slowlog_mu_);
   slowlog_file_ = std::move(*file);
   slowlog_threshold_.store(static_cast<int64_t>(options.threshold_micros),
                            std::memory_order_relaxed);
@@ -57,7 +57,7 @@ Status DatabaseCore::EnableSlowQueryLog(const SlowQueryLogOptions& options) {
 }
 
 void DatabaseCore::DisableSlowQueryLog() {
-  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  common::MutexLock lk(&slowlog_mu_);
   slowlog_threshold_.store(-1, std::memory_order_relaxed);
   if (slowlog_file_ != nullptr) {
     (void)slowlog_file_->Close();
@@ -66,7 +66,7 @@ void DatabaseCore::DisableSlowQueryLog() {
 }
 
 void DatabaseCore::AppendSlowQueryLine(const std::string& line) {
-  std::lock_guard<std::mutex> lk(slowlog_mu_);
+  common::MutexLock lk(&slowlog_mu_);
   if (slowlog_file_ == nullptr) return;
   Status st = slowlog_file_->Append(line);
   if (st.ok()) st = slowlog_file_->Append("\n");
@@ -97,7 +97,7 @@ std::unique_ptr<Session> DatabaseCore::CreateSession() {
 
 Status DatabaseCore::Open(const std::string& dir,
                           const storage::OpenOptions& options) {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  common::MutexLock lk(&writer_mu_);
   if (storage_ != nullptr) {
     Status parted = storage_->Checkpoint();
     if (!parted.ok()) {
@@ -135,7 +135,7 @@ Status DatabaseCore::Open(const std::string& dir,
 }
 
 Status DatabaseCore::Checkpoint() {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  common::MutexLock lk(&writer_mu_);
   if (storage_ == nullptr) {
     return Status::InvalidArgument("no storage attached; use Open(dir) first");
   }
@@ -161,8 +161,24 @@ void DatabaseCore::DetachStorageAfterFailure() {
   storage_.reset();
 }
 
+Status DatabaseCore::LogCommittedStatement(const std::string& source) {
+  if (storage_ == nullptr || source.empty()) return Status::OK();
+  Status logged = storage_->LogStatement(source);
+  if (logged.ok()) return Status::OK();
+  // The mutation is applied in memory but cannot be made durable, and a
+  // retry would double-apply it. Detach the storage so the divergence is
+  // explicit: the core keeps working in-memory, the directory stays at its
+  // last consistent state (checkpoint + logged prefix).
+  DetachStorageAfterFailure();
+  return Status::IOError(StrFormat(
+      "statement applied in memory but could not be logged for "
+      "durability (%s); storage detached — the session continues "
+      "in-memory only and the database directory keeps its last "
+      "consistent state", logged.ToString().c_str()));
+}
+
 Status DatabaseCore::Close() {
-  std::lock_guard<std::mutex> lk(writer_mu_);
+  common::MutexLock lk(&writer_mu_);
   if (storage_ == nullptr) {
     return Status::InvalidArgument("no storage attached; use Open(dir) first");
   }

@@ -10,11 +10,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/session.h"
 #include "src/storage/env.h"
 #include "src/storage/storage_engine.h"
@@ -51,17 +51,27 @@ class DatabaseCore {
   /// detached, the catalog cleared, the manifest loaded (columns lazily)
   /// and the WAL replayed. Must not run concurrently with active statements
   /// on other sessions of this core.
-  Status Open(const std::string& dir, const storage::OpenOptions& options = {});
+  Status Open(const std::string& dir, const storage::OpenOptions& options = {})
+      EXCLUDES(writer_mu_);
 
   /// \brief Write dirty objects and a new manifest, then reset the WAL.
   /// On failure the storage is detached at its last consistent state.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(writer_mu_);
 
   /// \brief Checkpoint, detach and clear — back to a fresh empty core.
-  Status Close();
+  Status Close() EXCLUDES(writer_mu_);
 
-  bool HasStorage() const { return storage_ != nullptr; }
-  storage::StorageEngine* storage_engine() { return storage_.get(); }
+  bool HasStorage() const EXCLUDES(writer_mu_) {
+    common::MutexLock lock(&writer_mu_);
+    return storage_ != nullptr;
+  }
+  /// The returned engine is only safe to use while no Open/Checkpoint/Close
+  /// runs concurrently (single-user tooling); only the pointer read itself
+  /// is protected here.
+  storage::StorageEngine* storage_engine() EXCLUDES(writer_mu_) {
+    common::MutexLock lock(&writer_mu_);
+    return storage_.get();
+  }
 
   catalog::Catalog* catalog() { return &cat_; }
 
@@ -120,22 +130,32 @@ class DatabaseCore {
   /// Best-effort load of every object, then drop the storage engine: the
   /// shared failure path that keeps the in-memory core fully queryable
   /// while the directory stays at its last consistent state.
-  void DetachStorageAfterFailure();
+  void DetachStorageAfterFailure() REQUIRES(writer_mu_);
+
+  /// Append a committed statement's source text to the WAL (no-op without
+  /// storage or during replay, when storage_ is still null). On failure the
+  /// storage is detached and the durability error returned.
+  Status LogCommittedStatement(const std::string& source)
+      REQUIRES(writer_mu_);
 
   // Declaration order matters: storage_ is destroyed before cat_, and its
   // destructor detaches the lazy loader that captures the engine pointer.
   catalog::Catalog cat_;
-  std::unique_ptr<storage::StorageEngine> storage_;
+  std::unique_ptr<storage::StorageEngine> storage_ GUARDED_BY(writer_mu_);
   /// Serialises mutating statements, checkpoints and open/close across all
-  /// sessions. Readers never take it.
-  std::mutex writer_mu_;
+  /// sessions. Readers never take it. Outermost in the documented lock
+  /// order (docs/architecture.md: writer → per-object load → catalog →
+  /// storage state → BAT order-index), hence before every other mutex of
+  /// this class too.
+  mutable common::Mutex writer_mu_ ACQUIRED_BEFORE(slowlog_mu_);
   std::atomic<int> active_sessions_{0};
   std::atomic<uint64_t> sessions_created_{0};
 
   uint64_t core_id_ = 0;
   /// Serialises slow-query-log appends across sessions.
-  std::mutex slowlog_mu_;
-  std::unique_ptr<storage::WritableFile> slowlog_file_;
+  common::Mutex slowlog_mu_;
+  std::unique_ptr<storage::WritableFile> slowlog_file_
+      GUARDED_BY(slowlog_mu_);
   std::atomic<int64_t> slowlog_threshold_{-1};
 };
 

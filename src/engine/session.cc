@@ -1,14 +1,15 @@
 #include "src/engine/session.h"
 
 #include <chrono>
-#include <mutex>
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/database_core.h"
 #include "src/engine/executor.h"
 #include "src/engine/mal_gen.h"
 #include "src/mal/optimizer.h"
+#include "src/mal/verify.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sql/parser.h"
@@ -129,32 +130,18 @@ Result<ResultSet> Session::DispatchStatement(const sql::Statement& stmt) {
     return Status::InvalidArgument(
         "session holds a pinned snapshot; Unpin() before mutating");
   }
-  // One writer at a time across all sessions of the core. The WAL replay
-  // session skips the lock: Open already holds it.
-  std::unique_lock<std::mutex> write_lock;
-  if (!replay_) {
-    write_lock = std::unique_lock<std::mutex>(core_->writer_mu_);
+  if (replay_) {
+    // The WAL replay session skips the writer lock — Open holds it on this
+    // thread already — and never re-logs: storage_ is still null.
+    return ExecuteStatementNoLog(stmt);
   }
+  // One writer at a time across all sessions of the core. The statement
+  // commits (applies to the catalog), then with storage attached it becomes
+  // durable by logging its source text to the WAL; the next checkpoint
+  // folds it into the heap files and resets the log.
+  common::MutexLock write_lock(&core_->writer_mu_);
   SCIQL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteStatementNoLog(stmt));
-  // The statement committed (applied to the catalog); with storage attached
-  // it becomes durable by logging its source text to the WAL. The next
-  // checkpoint folds it into the heap files and resets the log. (During
-  // replay storage_ is still null, so nothing is re-logged.)
-  if (core_->storage_ != nullptr && !stmt.source.empty()) {
-    Status logged = core_->storage_->LogStatement(stmt.source);
-    if (!logged.ok()) {
-      // The mutation is applied in memory but cannot be made durable, and a
-      // retry would double-apply it. Detach the storage so the divergence is
-      // explicit: the core keeps working in-memory, the directory stays
-      // at its last consistent state (checkpoint + logged prefix).
-      core_->DetachStorageAfterFailure();
-      return Status::IOError(StrFormat(
-          "statement applied in memory but could not be logged for "
-          "durability (%s); storage detached — the session continues "
-          "in-memory only and the database directory keeps its last "
-          "consistent state", logged.ToString().c_str()));
-    }
-  }
+  SCIQL_RETURN_NOT_OK(core_->LogCommittedStatement(stmt.source));
   return rs;
 }
 
@@ -200,11 +187,17 @@ Result<ResultSet> Session::CompileAndRun(const sql::Statement& stmt,
   if (trace != nullptr) {
     trace->SetSpanMicros(obs::StatementTrace::kBind, MicrosSince(t0));
   }
+  // Verify the raw program and the optimizer's rewrite separately, so a
+  // malformed plan is attributed to the pass that produced it (on by
+  // default in Debug builds; the fuzz oracle forces it on everywhere).
+  const bool verify = mal::GetVerifyControls().enabled;
+  if (verify) SCIQL_RETURN_NOT_OK(mal::VerifyProgram(cs.prog));
   SteadyClock::time_point t1 = SteadyClock::now();
   SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
   if (trace != nullptr) {
     trace->SetSpanMicros(obs::StatementTrace::kOptimize, MicrosSince(t1));
   }
+  if (verify) SCIQL_RETURN_NOT_OK(mal::VerifyProgram(cs.prog));
   Executor exec(&core_->cat_, std::move(pin));
   exec.SetTrace(trace);
   SteadyClock::time_point t2 = SteadyClock::now();
@@ -342,6 +335,7 @@ Result<std::string> Session::BuildExplain(const sql::Statement& stmt) {
                                compiler.CompileDdlDisplay(stmt));
         // DDL display programs are exempt from optimization: their results
         // are the materialised BATs themselves.
+        SCIQL_RETURN_NOT_OK(mal::VerifyProgram(cs.prog));
         return cs.prog.ToString();
       }
       break;
@@ -349,6 +343,7 @@ Result<std::string> Session::BuildExplain(const sql::Statement& stmt) {
     case sql::Statement::Kind::kAlterArray: {
       SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs,
                              compiler.CompileDdlDisplay(stmt));
+      SCIQL_RETURN_NOT_OK(mal::VerifyProgram(cs.prog));
       return cs.prog.ToString();
     }
     case sql::Statement::Kind::kExplain:
@@ -358,6 +353,9 @@ Result<std::string> Session::BuildExplain(const sql::Statement& stmt) {
   }
   SCIQL_ASSIGN_OR_RETURN(CompiledStatement cs, compiler.Compile(stmt));
   SCIQL_RETURN_NOT_OK(mal::Optimize(&cs.prog));
+  // EXPLAIN verifies unconditionally: rendering a plan is exactly when a
+  // malformed one should be loudest, and the cost is off the execution path.
+  SCIQL_RETURN_NOT_OK(mal::VerifyProgram(cs.prog));
   return cs.prog.ToString();
 }
 

@@ -24,6 +24,7 @@
 #include "src/engine/planner.h"
 #include "src/fuzz/fuzz.h"
 #include "src/gdk/kernels.h"
+#include "src/mal/verify.h"
 #include "tests/support/golden_format.h"
 
 namespace sciql {
@@ -125,21 +126,28 @@ class PathScope {
   explicit PathScope(const PathConfig& p)
       : saved_threads_(Database::ExecutionThreads()),
         saved_kernel_(gdk::Controls()),
-        saved_planner_(engine::GetPlannerControls()) {
+        saved_planner_(engine::GetPlannerControls()),
+        saved_verify_(mal::GetVerifyControls()) {
     Database::SetExecutionThreads(p.threads);
     gdk::Controls().use_index_paths = p.use_index_paths;
     engine::GetPlannerControls().fuse_firstn = p.fuse_firstn;
+    // The oracle always verifies every compiled plan, even in release
+    // builds where the session default is off: a plan the verifier rejects
+    // surfaces as a statement failure and therefore a divergence.
+    mal::GetVerifyControls().enabled = true;
   }
   ~PathScope() {
     Database::SetExecutionThreads(saved_threads_);
     gdk::Controls() = saved_kernel_;
     engine::GetPlannerControls() = saved_planner_;
+    mal::GetVerifyControls() = saved_verify_;
   }
 
  private:
   int saved_threads_;
   gdk::KernelControls saved_kernel_;
   engine::PlannerControls saved_planner_;
+  mal::VerifyControls saved_verify_;
 };
 
 fs::path ScratchDir(const OracleOptions& opts, const std::string& path_name) {

@@ -90,13 +90,13 @@ ScalarValue BAT::GetScalar(size_t i) const {
 }
 
 OrderIndexPtr BAT::order_index() const {
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
   return order_index_;
 }
 
 void BAT::SetOrderIndex(OrderIndexPtr idx) const {
   assert(idx == nullptr || idx->size() == Count());
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
   order_index_ = std::move(idx);
   if (order_index_ != nullptr) {
     oidx_present_.store(true, std::memory_order_release);
@@ -127,7 +127,7 @@ OrderIndexPtr BAT::FindOrderIndexSpec(const std::vector<const BAT*>& keys,
   if (keys.empty() || keys[0] != this || keys.size() != desc.size()) {
     return nullptr;
   }
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
   PruneSpecEntries();
   for (const SpecEntry& e : spec_indexes_) {
     if (e.desc != desc || e.extras.size() + 1 != keys.size()) continue;
@@ -160,7 +160,7 @@ void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
     entry.extras.push_back(std::move(k));
   }
   entry.idx = std::move(idx);
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
   // Replace an existing entry for the same spec instead of accumulating.
   for (SpecEntry& e : spec_indexes_) {
     if (e.desc != entry.desc || e.extras.size() != entry.extras.size()) {
@@ -193,7 +193,7 @@ void BAT::CacheOrderIndexSpec(const std::vector<BATPtr>& extras,
 
 std::vector<OrderIndexView> BAT::LiveOrderIndexes() const {
   std::vector<OrderIndexView> out;
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
   if (order_index_ != nullptr) {
     out.push_back(OrderIndexView{{this}, {false}, order_index_});
   }
@@ -357,8 +357,11 @@ BATPtr BAT::CloneData() const {
   b->tail_ = tail_;
   // The clone is value-identical, so built order indexes stay valid for it
   // (multi-key entries keep referencing the original secondary columns,
-  // whose values the specs were built against).
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  // whose values the specs were built against). The clone's mutex is locked
+  // too for the analysis; it is private to this thread, so there is no
+  // contention and no ordering concern.
+  common::MutexLock lk(&oidx_mu_);
+  common::MutexLock lk_clone(&b->oidx_mu_);
   b->order_index_ = order_index_;
   PruneSpecEntries();
   b->spec_indexes_ = spec_indexes_;
@@ -372,7 +375,8 @@ BATPtr BAT::CloneDataPrivate() const {
   if (type_ != PhysType::kStr) {
     auto b = Make(type_);
     b->tail_ = tail_;
-    std::lock_guard<std::mutex> lk(oidx_mu_);
+    common::MutexLock lk(&oidx_mu_);
+    common::MutexLock lk_clone(&b->oidx_mu_);
     b->order_index_ = order_index_;
     if (b->order_index_ != nullptr) {
       b->oidx_present_.store(true, std::memory_order_release);
@@ -389,7 +393,8 @@ BATPtr BAT::CloneDataPrivate() const {
     dst.push_back(off == kStrNilOffset ? kStrNilOffset
                                        : b->heap_->Put(heap_->Get(off)));
   }
-  std::lock_guard<std::mutex> lk(oidx_mu_);
+  common::MutexLock lk(&oidx_mu_);
+  common::MutexLock lk_clone(&b->oidx_mu_);
   b->order_index_ = order_index_;
   if (b->order_index_ != nullptr) {
     b->oidx_present_.store(true, std::memory_order_release);

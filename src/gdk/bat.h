@@ -12,12 +12,12 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/gdk/strheap.h"
 #include "src/gdk/types.h"
 
@@ -230,7 +230,7 @@ class BAT {
   void InvalidateOrderIndex() {
     data_version_.fetch_add(1, std::memory_order_relaxed);
     if (oidx_present_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lk(oidx_mu_);
+      common::MutexLock lk(&oidx_mu_);
       order_index_.reset();
       spec_indexes_.clear();
       oidx_present_.store(false, std::memory_order_release);
@@ -257,7 +257,7 @@ class BAT {
   };
 
   bool SpecEntryLive(const SpecEntry& e) const;
-  void PruneSpecEntries() const;  // caller holds oidx_mu_
+  void PruneSpecEntries() const REQUIRES(oidx_mu_);
 
   PhysType type_;
   std::variant<std::vector<uint8_t>, std::vector<int32_t>, std::vector<int64_t>,
@@ -266,9 +266,13 @@ class BAT {
   std::shared_ptr<StrHeap> heap_;  // only for kStr
   // The order-index cache is the one piece of BAT state mutated from const
   // (read-path) methods, so concurrent readers guard it with its own mutex.
-  mutable std::mutex oidx_mu_;
-  mutable OrderIndexPtr order_index_;  // lazy, dropped on mutation
-  mutable std::vector<SpecEntry> spec_indexes_;  // keyed multi-key cache
+  // Per-object and innermost in the documented lock order: nothing else is
+  // acquired while it is held (cross-instance nesting happens only in
+  // CloneData/CloneDataPrivate, where the second instance is a private,
+  // not-yet-shared clone).
+  mutable common::Mutex oidx_mu_;
+  mutable OrderIndexPtr order_index_ GUARDED_BY(oidx_mu_);
+  mutable std::vector<SpecEntry> spec_indexes_ GUARDED_BY(oidx_mu_);
   // True whenever order_index_ or spec_indexes_ is non-empty; lets the
   // invalidation fast path skip the mutex without reading either.
   mutable std::atomic<bool> oidx_present_{false};

@@ -186,7 +186,7 @@ void RegisterBat(MalEngine* e) {
 void RegisterAlgebra(MalEngine* e) {
   e->Register("algebra.select",
               [](MalContext* ctx, const MalProgram&, const MalInstr& in) {
-                if (in.args.size() < 1 || in.args.size() > 2 ||
+                if (in.args.empty() || in.args.size() > 2 ||
                     in.rets.size() != 1) {
                   return Status::Internal("algebra.select arity");
                 }

@@ -4,6 +4,7 @@
 
 #include "src/common/string_util.h"
 #include "src/gdk/kernels.h"
+#include "src/mal/verify.h"
 #include "src/storage/env.h"
 
 namespace sciql {
@@ -67,6 +68,13 @@ void RegisterBuiltins(MetricsRegistry* reg) {
   reg->RegisterCounter("sciql.slowlog.write_failed",
                        "slow-query log appends that failed (best-effort)",
                        [&c]() { return c.slow_query_log_write_failed.load(); });
+  mal::VerifyCounters& v = mal::VerifyStats();
+  reg->RegisterCounter("sciql.mal.programs_verified",
+                       "MAL programs checked by the plan verifier",
+                       [&v]() { return v.programs_verified.load(); });
+  reg->RegisterCounter("sciql.mal.programs_rejected",
+                       "MAL programs the plan verifier rejected",
+                       [&v]() { return v.programs_rejected.load(); });
   // Eager registration so a scrape of an idle process already shows the
   // empty histograms; StatementLatencyHistogram()/StatementRowsHistogram()
   // find and reuse these entries (RegisterHistogram is idempotent).
@@ -90,7 +98,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 void MetricsRegistry::Register(const std::string& name,
                                const std::string& labels, Type type,
                                const std::string& help, ReadFn read) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Entry& e = entries_[{name, labels}];
   e.help = help;
   e.type = type;
@@ -111,7 +119,7 @@ void MetricsRegistry::RegisterGauge(const std::string& name,
 
 Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
                                               const std::string& help) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Entry& e = entries_[{name, std::string()}];
   e.help = help;
   e.type = Type::kHistogram;
@@ -121,12 +129,12 @@ Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
 
 void MetricsRegistry::Unregister(const std::string& name,
                                  const std::string& labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   entries_.erase({name, labels});
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   std::string out;
   const std::string* prev_name = nullptr;
   for (const auto& kv : entries_) {

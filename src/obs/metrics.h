@@ -18,9 +18,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "src/common/thread_annotations.h"
 
 namespace sciql {
 namespace obs {
@@ -111,10 +112,15 @@ class MetricsRegistry {
   void Register(const std::string& name, const std::string& labels,
                 Type type, const std::string& help, ReadFn read);
 
-  mutable std::mutex mu_;
+  /// Leaf lock: nothing else is acquired while mu_ is held (ReadFns run
+  /// under it but only touch atomics), so it cannot participate in a cycle.
+  mutable common::Mutex mu_;
   /// (dotted name, labels) -> entry; std::map keeps the scrape order
-  /// deterministic without a sort at render time.
-  std::map<std::pair<std::string, std::string>, Entry> entries_;
+  /// deterministic without a sort at render time. Scrape-safety of
+  /// Unregister follows from the guard: erase and the closure calls in
+  /// RenderPrometheus are serialized on mu_.
+  std::map<std::pair<std::string, std::string>, Entry> entries_
+      GUARDED_BY(mu_);
 };
 
 /// \brief Shorthand for MetricsRegistry::Global().

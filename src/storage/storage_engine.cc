@@ -98,10 +98,15 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       return replay(std::string(payload));
     };
   }
-  SCIQL_ASSIGN_OR_RETURN(eng->wal_, Wal::Open(wal_path, replay_record,
-                                              eng->env_, eng->durability_));
-  eng->stats_.wal_replayed = eng->wal_->replayed_count();
-  eng->stats_.wal_discarded_bytes = eng->wal_->discarded_bytes();
+  SCIQL_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                         Wal::Open(wal_path, replay_record, eng->env_,
+                                   eng->durability_));
+  eng->stats_.wal_replayed = wal->replayed_count();
+  eng->stats_.wal_discarded_bytes = wal->discarded_bytes();
+  {
+    common::MutexLock lk(&eng->wal_mu_);
+    eng->wal_ = std::move(wal);
+  }
   return eng;
 }
 
@@ -125,7 +130,7 @@ void StorageEngine::LoadAllForDetach() {
 }
 
 Status StorageEngine::LogStatement(const std::string& sql) {
-  std::lock_guard<std::mutex> lk(wal_mu_);
+  common::MutexLock lk(&wal_mu_);
   if (wal_ == nullptr) return Status::Internal("storage engine has no WAL");
   return wal_->Append(sql);
 }
@@ -168,7 +173,7 @@ Status StorageEngine::LoadTable(const std::string& name,
   // specs), so adoption waits until every column of the object exists.
   AdoptColumnIndexes(siblings, &state);
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    common::MutexLock lk(&state_mu_);
     state_[name] = std::move(state);
   }
   stats_.objects_loaded++;
@@ -205,7 +210,7 @@ Status StorageEngine::LoadArray(const std::string& name,
   AdoptColumnIndexes(siblings, &state);
   arr->attr_bats = std::move(attrs);
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    common::MutexLock lk(&state_mu_);
     state_[name] = std::move(state);
   }
   stats_.objects_loaded++;
@@ -499,7 +504,7 @@ Status StorageEngine::Checkpoint(bool force_full) {
   // GetArray calls below only touch objects already loaded — IsUnloaded was
   // just checked and objects never transition back — so they cannot re-enter
   // the loader and self-deadlock on state_mu_.)
-  std::lock_guard<std::mutex> state_lock(state_mu_);
+  common::MutexLock state_lock(&state_mu_);
   stats_.checkpoint_columns_written = 0;
   stats_.checkpoint_columns_clean = 0;
   stats_.checkpoint_index_files_written = 0;
@@ -632,7 +637,11 @@ Status StorageEngine::Checkpoint(bool force_full) {
   nm.wal_file = new_wal;
   manifest_ = std::move(nm);
   SCIQL_RETURN_NOT_OK(CommitManifest());
-  wal_ = std::move(fresh);
+  {
+    // state_mu_ is still held: wal_mu_ nests inside it (ACQUIRED_AFTER).
+    common::MutexLock wal_lock(&wal_mu_);
+    wal_ = std::move(fresh);
+  }
   if (old_wal != new_wal) {
     // Best effort; GC sweeps orphaned logs too.
     (void)env_->RemoveFile((fs::path(dir_) / old_wal).string());

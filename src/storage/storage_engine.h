@@ -17,12 +17,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/storage/env.h"
 #include "src/storage/manifest.h"
 #include "src/storage/wal.h"
@@ -191,13 +191,14 @@ class StorageEngine {
   /// the whole map — it holds this mutex for its entire run. Loaders only
   /// take it for the final insertion, never while holding a BAT index lock,
   /// so the ordering state_mu_ → oidx_mu_ is acyclic.
-  mutable std::mutex state_mu_;
-  std::map<std::string, ObjectState> state_;  // loaded objects only
+  mutable common::Mutex state_mu_;
+  std::map<std::string, ObjectState> state_ GUARDED_BY(state_mu_);
   /// The WAL is single-writer by protocol (DatabaseCore's writer mutex);
   /// this mutex makes the append path locally safe regardless, so a misuse
-  /// corrupts no log records.
-  std::mutex wal_mu_;
-  std::unique_ptr<Wal> wal_;
+  /// corrupts no log records. Ordered after state_mu_: Checkpoint swaps in
+  /// the fresh WAL while still holding the state map.
+  common::Mutex wal_mu_ ACQUIRED_AFTER(state_mu_);
+  std::unique_ptr<Wal> wal_ GUARDED_BY(wal_mu_);
   uint64_t epoch_ = 1;
   Stats stats_;
 };

@@ -1,0 +1,54 @@
+// Positive control: the same capability types used *correctly* MUST
+// compile cleanly with -Werror=thread-safety -Wthread-safety-beta. If this
+// file ever fails, the harness is broken (and every fail_*.cc result is
+// meaningless).
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    sciql::common::MutexLock lock(&mu_);
+    DepositLocked(amount);
+  }
+
+  int WaitForFunds(int minimum) {
+    sciql::common::MutexLock lock(&mu_);
+    while (balance_ < minimum) cv_.Wait(mu_);
+    return balance_;
+  }
+
+ private:
+  void DepositLocked(int amount) REQUIRES(mu_) {
+    balance_ += amount;
+    cv_.NotifyAll();
+  }
+
+  sciql::common::Mutex mu_;
+  sciql::common::CondVar cv_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+class Engine {
+ public:
+  void Ordered() {
+    sciql::common::MutexLock outer(&state_mu_);
+    sciql::common::MutexLock inner(&wal_mu_);
+  }
+
+ private:
+  sciql::common::Mutex state_mu_;
+  sciql::common::Mutex wal_mu_ ACQUIRED_AFTER(state_mu_);
+};
+
+}  // namespace
+
+void NegativeCompileControl() {
+  Account a;
+  a.Deposit(5);
+  (void)a.WaitForFunds(1);
+  Engine e;
+  e.Ordered();
+}

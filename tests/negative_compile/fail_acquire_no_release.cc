@@ -1,0 +1,26 @@
+// MUST NOT COMPILE with -Werror=thread-safety: returns with the mutex
+// still held (a plain function may not leak a capability it acquired).
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Leak() {
+    mu_.lock();
+    balance_ = 0;
+    // error: mu_ is still held when the function returns
+  }
+
+ private:
+  sciql::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void NegativeCompileProbe() {
+  Account a;
+  a.Leak();
+}

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE with -Werror=thread-safety: touches a GUARDED_BY field
+// without holding its mutex.
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // error: writing balance_ requires holding mu_
+  }
+
+ private:
+  sciql::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void NegativeCompileProbe() {
+  Account a;
+  a.Deposit(1);
+}

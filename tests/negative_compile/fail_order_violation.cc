@@ -1,0 +1,27 @@
+// MUST NOT COMPILE with -Werror=thread-safety -Wthread-safety-beta:
+// acquires two mutexes against their declared ACQUIRED_AFTER ordering —
+// the same way the engine declares wal_mu_ after state_mu_
+// (src/storage/storage_engine.h).
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  void Backwards() {
+    sciql::common::MutexLock inner(&wal_mu_);
+    sciql::common::MutexLock outer(&state_mu_);  // error: wrong order
+  }
+
+ private:
+  sciql::common::Mutex state_mu_;
+  sciql::common::Mutex wal_mu_ ACQUIRED_AFTER(state_mu_);
+};
+
+}  // namespace
+
+void NegativeCompileProbe() {
+  Engine e;
+  e.Backwards();
+}

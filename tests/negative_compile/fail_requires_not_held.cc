@@ -1,0 +1,26 @@
+// MUST NOT COMPILE with -Werror=thread-safety: calls a REQUIRES(mu_)
+// function without holding the mutex.
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  void Deposit(int amount) {
+    DepositLocked(amount);  // error: calling requires holding mu_
+  }
+
+ private:
+  sciql::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void NegativeCompileProbe() {
+  Account a;
+  a.Deposit(1);
+}
